@@ -1,0 +1,35 @@
+//! Error types for the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors from matrix construction, decomposition and quadrature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// Inputs disagree in shape; the payload describes the mismatch.
+    DimensionMismatch(String),
+    /// A square-matrix operation received a rectangular matrix.
+    NotSquare,
+    /// Cholesky factorization met a non-positive pivot.
+    NotPositiveDefinite,
+    /// The matrix is singular to working precision.
+    Singular,
+    /// An iterative scheme did not converge; the payload names it.
+    ConvergenceFailure(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            AlgebraError::NotSquare => write!(f, "matrix is not square"),
+            AlgebraError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            AlgebraError::Singular => write!(f, "matrix is singular to working precision"),
+            AlgebraError::ConvergenceFailure(what) => write!(f, "{what} failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Convenience result alias for the algebra crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -1,0 +1,38 @@
+//! Error types for Bayesian-network construction and inference.
+
+use std::fmt;
+
+/// Errors from network construction, factor algebra and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BnError {
+    /// A node definition was malformed; the payload explains why.
+    InvalidNode(String),
+    /// A factor operation received inconsistent shapes.
+    InvalidFactor(String),
+    /// A node name or id was not found.
+    UnknownNode(String),
+    /// A state name was not found on its node.
+    UnknownState(String),
+    /// The evidence has probability zero under the model — in the paper's
+    /// terms, an observation outside the model: an ontological event.
+    InconsistentEvidence,
+}
+
+impl fmt::Display for BnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BnError::InvalidNode(msg) => write!(f, "invalid node: {msg}"),
+            BnError::InvalidFactor(msg) => write!(f, "invalid factor: {msg}"),
+            BnError::UnknownNode(name) => write!(f, "unknown node '{name}'"),
+            BnError::UnknownState(name) => write!(f, "unknown state '{name}'"),
+            BnError::InconsistentEvidence => {
+                write!(f, "evidence has zero probability under the model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BnError {}
+
+/// Convenience result alias for the Bayesian-network crate.
+pub type Result<T> = std::result::Result<T, BnError>;

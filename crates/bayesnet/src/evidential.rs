@@ -1,0 +1,262 @@
+//! Evidential networks: Dempster–Shafer theory on a Bayesian-network
+//! skeleton, after Simon, Weber & Evsukoff (the paper's reference \[8\]).
+//!
+//! The construction extends each node's sample space from its *states* to a
+//! chosen family of *focal sets* (subsets of states). Conditional mass
+//! tables then assign belief mass to sets — so epistemic indecision
+//! ("car **or** pedestrian") and ontological reserve (mass on the whole
+//! frame Θ) propagate through the network exactly, using the ordinary
+//! variable-elimination engine on the extended space. Query results come
+//! back as [`MassFunction`]s, from which belief/plausibility bounds on any
+//! event can be read.
+
+use crate::error::{BnError, Result};
+use crate::infer::VariableElimination;
+use crate::network::BayesNet;
+use sysunc_evidence::{Frame, MassFunction};
+
+/// A Bayesian network whose node states are Dempster–Shafer focal sets.
+#[derive(Debug, Clone, Default)]
+pub struct EvidentialNetwork {
+    bn: BayesNet,
+    frames: Vec<Frame>,
+    focal_sets: Vec<Vec<u64>>,
+}
+
+impl EvidentialNetwork {
+    /// Creates an empty evidential network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a root node from a prior mass function. The node's extended
+    /// states are precisely the prior's focal elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BnError::InvalidNode`] from the underlying network.
+    pub fn add_root<S: Into<String>>(&mut self, name: S, prior: &MassFunction) -> Result<usize> {
+        let focal: Vec<(u64, f64)> = prior.focal_elements().collect();
+        let states: Vec<String> =
+            focal.iter().map(|(s, _)| prior.frame().format_subset(*s)).collect();
+        let masses: Vec<f64> = focal.iter().map(|&(_, m)| m).collect();
+        let id = self.bn.add_root(name, states, masses)?;
+        self.frames.push(prior.frame().clone());
+        self.focal_sets.push(focal.into_iter().map(|(s, _)| s).collect());
+        Ok(id)
+    }
+
+    /// Adds a child node.
+    ///
+    /// `focal_sets` are the extended states of the new node (subset masks
+    /// of `frame`); `cmt` is the conditional mass table: one row per
+    /// combination of the parents' extended states (last parent fastest),
+    /// each row a mass distribution over `focal_sets`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::InvalidNode`] for empty or out-of-frame focal
+    /// sets, plus the underlying network's CPT validation errors.
+    pub fn add_node<S: Into<String>>(
+        &mut self,
+        name: S,
+        frame: Frame,
+        focal_sets: Vec<u64>,
+        parents: Vec<usize>,
+        cmt: Vec<Vec<f64>>,
+    ) -> Result<usize> {
+        if focal_sets.is_empty() {
+            return Err(BnError::InvalidNode("node needs at least one focal set".into()));
+        }
+        for &s in &focal_sets {
+            if s == 0 || s & !frame.theta() != 0 {
+                return Err(BnError::InvalidNode(format!(
+                    "focal set {s:#b} invalid for the frame"
+                )));
+            }
+        }
+        let states: Vec<String> = focal_sets.iter().map(|&s| frame.format_subset(s)).collect();
+        let id = self.bn.add_node(name, states, parents, cmt)?;
+        self.frames.push(frame);
+        self.focal_sets.push(focal_sets);
+        Ok(id)
+    }
+
+    /// The underlying extended-state Bayesian network.
+    pub fn as_bayes_net(&self) -> &BayesNet {
+        &self.bn
+    }
+
+    /// The frame of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range ids.
+    pub fn frame(&self, node: usize) -> &Frame {
+        &self.frames[node]
+    }
+
+    /// Marginal mass function of a node given focal-set evidence
+    /// (`(node, focal set mask)` pairs; the mask must be one of the
+    /// observed node's extended states).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::UnknownState`] when an evidence mask is not an
+    /// extended state of its node, plus inference errors.
+    pub fn query(&self, node: usize, evidence: &[(usize, u64)]) -> Result<MassFunction> {
+        if node >= self.bn.len() {
+            return Err(BnError::UnknownNode(format!("id {node}")));
+        }
+        let ev: Vec<(usize, usize)> = evidence
+            .iter()
+            .map(|&(nid, mask)| {
+                let sid = self
+                    .focal_sets
+                    .get(nid)
+                    .ok_or_else(|| BnError::UnknownNode(format!("id {nid}")))?
+                    .iter()
+                    .position(|&s| s == mask)
+                    .ok_or_else(|| {
+                        BnError::UnknownState(format!("focal mask {mask:#b} of node {nid}"))
+                    })?;
+                Ok((nid, sid))
+            })
+            .collect::<Result<_>>()?;
+        let marginal = VariableElimination::new(&self.bn).marginal(node, &ev)?;
+        let focal: Vec<(u64, f64)> = self.focal_sets[node]
+            .iter()
+            .zip(&marginal)
+            .filter(|(_, &m)| m > 0.0)
+            .map(|(&s, &m)| (s, m))
+            .collect();
+        MassFunction::from_focal(&self.frames[node], focal)
+            .map_err(|e| BnError::InvalidNode(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysunc_evidence::Frame;
+
+    /// The paper's Table I, read *evidentially*: the ground-truth node has
+    /// an `unknown` singleton; the perception node has focal sets for each
+    /// output plus the epistemic `{car, pedestrian}` set; the missing 0.1
+    /// of the unknown row is assigned to Θ (ontological reserve).
+    fn perception_chain() -> (EvidentialNetwork, usize, usize) {
+        let gt_frame = Frame::new(vec!["car", "pedestrian", "unknown"]).unwrap();
+        let prior =
+            MassFunction::bayesian(&gt_frame, &[0.6, 0.3, 0.1]).unwrap();
+        let mut en = EvidentialNetwork::new();
+        let gt = en.add_root("ground_truth", &prior).unwrap();
+
+        let p_frame = Frame::new(vec!["car", "pedestrian", "none"]).unwrap();
+        let car = p_frame.singleton("car").unwrap();
+        let ped = p_frame.singleton("pedestrian").unwrap();
+        let none = p_frame.singleton("none").unwrap();
+        let car_ped = p_frame.subset(&["car", "pedestrian"]).unwrap();
+        let theta = p_frame.theta();
+        let focal = vec![car, ped, car_ped, none, theta];
+        // Rows: ground truth = car, pedestrian, unknown (Table I, with the
+        // unknown row's missing 0.1 going to Θ).
+        let cmt = vec![
+            vec![0.9, 0.005, 0.05, 0.045, 0.0],
+            vec![0.005, 0.9, 0.05, 0.045, 0.0],
+            vec![0.0, 0.0, 0.2, 0.7, 0.1],
+        ];
+        let perc = en.add_node("perception", p_frame, focal, vec![gt], cmt).unwrap();
+        (en, gt, perc)
+    }
+
+    #[test]
+    fn prior_mass_round_trips() {
+        let (en, gt, _) = perception_chain();
+        let m = en.query(gt, &[]).unwrap();
+        let car = en.frame(gt).singleton("car").unwrap();
+        assert!((m.belief(car) - 0.6).abs() < 1e-12);
+        assert!((m.plausibility(car) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perception_marginal_has_bel_pl_gap() {
+        let (en, _, perc) = perception_chain();
+        let m = en.query(perc, &[]).unwrap();
+        let frame = en.frame(perc);
+        let car = frame.singleton("car").unwrap();
+        // Bel(car) counts only the singleton; Pl(car) adds the epistemic
+        // {car, pedestrian} focal mass and the Θ reserve.
+        let bel = m.belief(car);
+        let pl = m.plausibility(car);
+        assert!((bel - (0.6 * 0.9 + 0.3 * 0.005)).abs() < 1e-12);
+        let expected_pl = bel + (0.6 * 0.05 + 0.3 * 0.05 + 0.1 * 0.2) + 0.1 * 0.1;
+        assert!((pl - expected_pl).abs() < 1e-12, "{pl} vs {expected_pl}");
+        assert!(pl > bel);
+    }
+
+    #[test]
+    fn mass_on_theta_tracks_ontological_reserve() {
+        let (en, _, perc) = perception_chain();
+        let m = en.query(perc, &[]).unwrap();
+        let theta = en.frame(perc).theta();
+        // Only the unknown ground truth feeds Θ: 0.1 * 0.1.
+        assert!((m.mass(theta) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagnostic_query_given_none_output() {
+        let (en, gt, perc) = perception_chain();
+        let none = en.frame(perc).singleton("none").unwrap();
+        let post = en.query(gt, &[(perc, none)]).unwrap();
+        let unknown = en.frame(gt).singleton("unknown").unwrap();
+        // P(none) = 0.6*0.045 + 0.3*0.045 + 0.1*0.7 = 0.1105;
+        // P(unknown | none) = 0.07 / 0.1105.
+        assert!((post.belief(unknown) - 0.07 / 0.1105).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut en = EvidentialNetwork::new();
+        let frame = Frame::new(vec!["a", "b"]).unwrap();
+        let prior = MassFunction::vacuous(&frame);
+        let root = en.add_root("r", &prior).unwrap();
+        // Focal set outside the frame.
+        assert!(en
+            .add_node("c", frame.clone(), vec![0b100], vec![root], vec![vec![1.0]])
+            .is_err());
+        // Empty focal list.
+        assert!(en
+            .add_node("c", frame.clone(), vec![], vec![root], vec![])
+            .is_err());
+        // Evidence on a non-state mask.
+        let c = en
+            .add_node("c", frame.clone(), vec![0b01, 0b11], vec![root], vec![vec![0.5, 0.5]])
+            .unwrap();
+        assert!(en.query(c, &[(c, 0b10)]).is_err());
+        assert!(en.query(9, &[]).is_err());
+    }
+
+    #[test]
+    fn bayesian_special_case_matches_plain_bn() {
+        // With singleton-only focal sets, the evidential network reduces to
+        // an ordinary BN.
+        let frame = Frame::new(vec!["x", "y"]).unwrap();
+        let prior = MassFunction::bayesian(&frame, &[0.3, 0.7]).unwrap();
+        let mut en = EvidentialNetwork::new();
+        let r = en.add_root("r", &prior).unwrap();
+        let c = en
+            .add_node(
+                "c",
+                frame.clone(),
+                vec![0b01, 0b10],
+                vec![r],
+                vec![vec![0.8, 0.2], vec![0.1, 0.9]],
+            )
+            .unwrap();
+        let m = en.query(c, &[]).unwrap();
+        let x = frame.singleton("x").unwrap();
+        let expect = 0.3 * 0.8 + 0.7 * 0.1;
+        assert!((m.belief(x) - expect).abs() < 1e-12);
+        assert!((m.plausibility(x) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,206 @@
+//! CPT learning from observation counts — the Bayesian-network face of
+//! uncertainty *removal during use* (paper Sec. IV: "field observation,
+//! continuous updates"): field counts sharpen the conditional probability
+//! tables, with Dirichlet smoothing carrying the prior knowledge.
+
+use crate::error::{BnError, Result};
+use crate::network::BayesNet;
+
+/// Maximum-a-posteriori CPT rows from observation counts with a symmetric
+/// Dirichlet(alpha) prior: `p = (count + alpha) / (row_total + k alpha)`.
+///
+/// `counts[row][state]` are joint observation counts per parent
+/// combination (same row ordering as [`BayesNet::add_node`]).
+///
+/// # Errors
+///
+/// Returns [`BnError::InvalidNode`] for empty/ragged counts or
+/// non-positive `alpha`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_bayesnet::cpt_from_counts;
+/// let cpt = cpt_from_counts(&[vec![90, 10], vec![20, 80]], 1.0)?;
+/// assert!((cpt[0][0] - 91.0 / 102.0).abs() < 1e-12);
+/// # Ok::<(), sysunc_bayesnet::BnError>(())
+/// ```
+pub fn cpt_from_counts(counts: &[Vec<u64>], alpha: f64) -> Result<Vec<Vec<f64>>> {
+    if counts.is_empty() || counts[0].is_empty() {
+        return Err(BnError::InvalidNode("cpt_from_counts: empty counts".into()));
+    }
+    if !(alpha > 0.0) || !alpha.is_finite() {
+        return Err(BnError::InvalidNode(format!(
+            "cpt_from_counts: alpha must be > 0, got {alpha}"
+        )));
+    }
+    let k = counts[0].len();
+    counts
+        .iter()
+        .map(|row| {
+            if row.len() != k {
+                return Err(BnError::InvalidNode("cpt_from_counts: ragged counts".into()));
+            }
+            let total: f64 = row.iter().map(|&c| c as f64).sum::<f64>() + k as f64 * alpha;
+            Ok(row.iter().map(|&c| (c as f64 + alpha) / total).collect())
+        })
+        .collect()
+}
+
+impl BayesNet {
+    /// Replaces a node's CPT (e.g. with a learned one), re-validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::UnknownNode`] for bad ids and
+    /// [`BnError::InvalidNode`] for malformed CPTs.
+    pub fn set_cpt(&mut self, node: usize, cpt: Vec<Vec<f64>>) -> Result<()> {
+        if node >= self.len() {
+            return Err(BnError::UnknownNode(format!("id {node}")));
+        }
+        let rows = self.nodes()[node].cpt.len();
+        let states = self.nodes()[node].states.len();
+        if cpt.len() != rows {
+            return Err(BnError::InvalidNode(format!(
+                "set_cpt: expected {rows} rows, got {}",
+                cpt.len()
+            )));
+        }
+        for (i, row) in cpt.iter().enumerate() {
+            if row.len() != states {
+                return Err(BnError::InvalidNode(format!(
+                    "set_cpt: row {i} has {} entries, expected {states}",
+                    row.len()
+                )));
+            }
+            if row.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+                return Err(BnError::InvalidNode(format!("set_cpt: row {i} has negatives")));
+            }
+            let total: f64 = row.iter().sum();
+            if (total - 1.0).abs() > 1e-9 {
+                return Err(BnError::InvalidNode(format!(
+                    "set_cpt: row {i} sums to {total}"
+                )));
+            }
+        }
+        self.set_cpt_unchecked(node, cpt);
+        Ok(())
+    }
+
+    /// Blends a node's current CPT (treated as a prior worth
+    /// `equivalent_sample_size` observations per row) with new counts —
+    /// the continuous-update cycle of the paper's cybernetic loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::UnknownNode`] / [`BnError::InvalidNode`] for bad
+    /// ids, shapes, or non-positive sample size.
+    pub fn update_cpt_with_counts(
+        &mut self,
+        node: usize,
+        counts: &[Vec<u64>],
+        equivalent_sample_size: f64,
+    ) -> Result<()> {
+        if node >= self.len() {
+            return Err(BnError::UnknownNode(format!("id {node}")));
+        }
+        if !(equivalent_sample_size > 0.0) {
+            return Err(BnError::InvalidNode(
+                "update_cpt_with_counts: sample size must be > 0".into(),
+            ));
+        }
+        let old = self.nodes()[node].cpt.clone();
+        if counts.len() != old.len() {
+            return Err(BnError::InvalidNode(format!(
+                "update_cpt_with_counts: expected {} rows, got {}",
+                old.len(),
+                counts.len()
+            )));
+        }
+        let mut new_cpt = Vec::with_capacity(old.len());
+        for (old_row, count_row) in old.iter().zip(counts) {
+            if count_row.len() != old_row.len() {
+                return Err(BnError::InvalidNode("update_cpt_with_counts: ragged".into()));
+            }
+            let n: f64 = count_row.iter().map(|&c| c as f64).sum();
+            let total = equivalent_sample_size + n;
+            let row: Vec<f64> = old_row
+                .iter()
+                .zip(count_row)
+                .map(|(&p, &c)| (p * equivalent_sample_size + c as f64) / total)
+                .collect();
+            new_cpt.push(row);
+        }
+        self.set_cpt_unchecked(node, new_cpt);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_validation() {
+        assert!(cpt_from_counts(&[], 1.0).is_err());
+        assert!(cpt_from_counts(&[vec![]], 1.0).is_err());
+        assert!(cpt_from_counts(&[vec![1, 2], vec![3]], 1.0).is_err());
+        assert!(cpt_from_counts(&[vec![1, 2]], 0.0).is_err());
+    }
+
+    #[test]
+    fn laplace_smoothing() {
+        let cpt = cpt_from_counts(&[vec![0, 0]], 1.0).unwrap();
+        assert_eq!(cpt[0], vec![0.5, 0.5]);
+        let cpt = cpt_from_counts(&[vec![99, 0]], 0.5).unwrap();
+        assert!((cpt[0][0] - 99.5 / 100.0).abs() < 1e-12);
+        assert!(cpt[0][1] > 0.0, "smoothing keeps impossible-looking states alive");
+    }
+
+    #[test]
+    fn set_cpt_validation_and_effect() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_root("a", vec!["x", "y"], vec![0.5, 0.5]).unwrap();
+        bn.add_node("b", vec!["u", "v"], vec![a], vec![vec![0.9, 0.1], vec![0.2, 0.8]])
+            .unwrap();
+        assert!(bn.set_cpt(9, vec![]).is_err());
+        assert!(bn.set_cpt(1, vec![vec![1.0, 0.0]]).is_err()); // wrong rows
+        assert!(bn.set_cpt(1, vec![vec![0.6, 0.6], vec![0.2, 0.8]]).is_err());
+        bn.set_cpt(1, vec![vec![0.7, 0.3], vec![0.3, 0.7]]).unwrap();
+        let m = bn.marginal("b", &[]).unwrap();
+        assert!((m[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_update_converges_to_truth() {
+        // Start with a wrong CPT; feed counts drawn from the true one.
+        let mut bn = BayesNet::new();
+        let a = bn.add_root("a", vec!["x", "y"], vec![0.5, 0.5]).unwrap();
+        let b = bn
+            .add_node("b", vec!["u", "v"], vec![a], vec![vec![0.5, 0.5], vec![0.5, 0.5]])
+            .unwrap();
+        // True behavior: (0.9, 0.1) and (0.2, 0.8); 10k observations/row.
+        let counts = vec![vec![9_000u64, 1_000], vec![2_000, 8_000]];
+        bn.update_cpt_with_counts(b, &counts, 10.0).unwrap();
+        let row0 = &bn.nodes()[b].cpt[0];
+        assert!((row0[0] - 0.9).abs() < 0.01, "posterior {row0:?}");
+        // The prior still matters for small counts.
+        let mut bn2 = bn.clone();
+        bn2.update_cpt_with_counts(b, &vec![vec![0, 1], vec![0, 0]], 1_000.0).unwrap();
+        assert!(bn2.nodes()[b].cpt[0][0] > 0.85, "strong prior resists one observation");
+        assert!(bn.update_cpt_with_counts(9, &counts, 1.0).is_err());
+        assert!(bn.update_cpt_with_counts(b, &counts, 0.0).is_err());
+        assert!(bn.update_cpt_with_counts(b, &vec![vec![1, 2]], 1.0).is_err());
+    }
+
+    #[test]
+    fn learned_cpt_loads_directly() {
+        let counts = vec![vec![80u64, 15, 5], vec![10, 70, 20], vec![5, 5, 90]];
+        let cpt = cpt_from_counts(&counts, 1.0).unwrap();
+        let mut bn = BayesNet::new();
+        let a = bn.add_root("a", vec!["1", "2", "3"], vec![1.0 / 3.0; 3]).unwrap();
+        bn.add_node("b", vec!["1", "2", "3"], vec![a], cpt).unwrap();
+        let m = bn.marginal("b", &[]).unwrap();
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

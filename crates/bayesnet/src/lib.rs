@@ -1,0 +1,59 @@
+//! # sysunc-bayesnet — discrete Bayesian and evidential networks
+//!
+//! The graphical-model substrate of the `sysunc` toolkit (reproduction of
+//! Gansch & Adee, *System Theoretic View on Uncertainties*, DATE 2020).
+//! The paper's Sec. V-B proposes safety analysis with Bayesian networks
+//! whose CPTs encode all three uncertainty types — the Fig. 4 / Table I
+//! perception chain is the canonical instance, reproduced verbatim in this
+//! crate's tests and in experiment E1.
+//!
+//! - [`BayesNet`] — DAG + CPT construction with full validation;
+//!   topological order enforced by construction.
+//! - [`Factor`] — discrete factor algebra (product, marginalization,
+//!   evidence reduction).
+//! - [`VariableElimination`] — exact posterior marginals, joints and
+//!   evidence probabilities, with a greedy elimination order.
+//! - [`likelihood_weighting`] — approximate inference used as an
+//!   independent cross-check.
+//! - [`EvidentialNetwork`] — Dempster–Shafer masses on a BN skeleton
+//!   (Simon–Weber–Evsukoff, reference \[8\]): nodes range over *focal sets*,
+//!   so epistemic indecision and ontological reserve propagate exactly and
+//!   queries return [`sysunc_evidence::MassFunction`]s with Bel/Pl bounds.
+//!
+//! ```
+//! use sysunc_bayesnet::BayesNet;
+//!
+//! // Paper Fig. 4: ground truth -> perception.
+//! let mut bn = BayesNet::new();
+//! let gt = bn.add_root("ground_truth", vec!["car", "pedestrian", "unknown"],
+//!                      vec![0.6, 0.3, 0.1])?;
+//! bn.add_node("perception",
+//!             vec!["car", "pedestrian", "car_pedestrian", "none"], vec![gt],
+//!             vec![vec![0.9, 0.005, 0.05, 0.045],
+//!                  vec![0.005, 0.9, 0.05, 0.045],
+//!                  vec![0.0, 0.0, 2.0 / 9.0, 7.0 / 9.0]])?;
+//! // Diagnosis: what produced a "none" output?
+//! let post = bn.marginal("ground_truth", &[("perception", "none")])?;
+//! assert!(post[2] > 0.4); // dominated by unknown objects
+//! # Ok::<(), sysunc_bayesnet::BnError>(())
+//! ```
+
+mod error;
+mod evidential;
+mod factor;
+mod infer;
+mod learn;
+mod mpe;
+mod network;
+mod ranked;
+mod structure;
+
+pub use error::{BnError, Result};
+pub use evidential::EvidentialNetwork;
+pub use factor::Factor;
+pub use infer::{likelihood_weighting, VariableElimination};
+pub use learn::cpt_from_counts;
+pub use mpe::most_probable_explanation;
+pub use network::{BayesNet, Node};
+pub use ranked::ranked_cpt;
+pub use structure::d_separated;

@@ -1,0 +1,111 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! alias-method vs inversion categorical sampling, antithetic vs plain
+//! Monte Carlo at equal evaluation budget, Sobol' burn-in skip, and p-box
+//! condensation caps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use rand::SeedableRng;
+use sysunc::evidence::DsStructure;
+use sysunc::prob::dist::{Categorical, Continuous, Normal};
+use sysunc::sampling::{propagate, propagate_antithetic, Design, RandomDesign, SobolDesign};
+
+/// Inversion (linear-scan) categorical sampling, the ablated baseline for
+/// the alias method.
+fn sample_linear(probs: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // ---- categorical sampling: alias vs linear scan ----
+    let mut group = c.benchmark_group("categorical_sampling");
+    for k in [8usize, 64, 512] {
+        let probs: Vec<f64> = {
+            let raw: Vec<f64> = (1..=k).map(|i| 1.0 / i as f64).collect();
+            let s: f64 = raw.iter().sum();
+            raw.iter().map(|p| p / s).collect()
+        };
+        let cat = Categorical::new(probs.clone()).expect("valid");
+        group.bench_with_input(BenchmarkId::new("alias_10k", k), &cat, |b, cat| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..10_000 {
+                    acc += cat.sample_index(&mut rng);
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear_10k", k), &probs, |b, probs| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..10_000 {
+                    acc += sample_linear(probs, &mut rng);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+
+    // ---- antithetic vs plain at equal model-evaluation budget ----
+    let mut group = c.benchmark_group("variance_reduction");
+    let x = Normal::new(0.0, 1.0).expect("valid");
+    let inputs: Vec<&dyn Continuous> = vec![&x];
+    let model = |v: &[f64]| v[0].exp();
+    group.bench_function("plain_8k_evals", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            propagate(&inputs, &RandomDesign, &model, 8_192, &mut rng).expect("runs")
+        });
+    });
+    group.bench_function("antithetic_8k_evals", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            propagate_antithetic(&inputs, &model, 4_096, &mut rng).expect("runs")
+        });
+    });
+    group.finish();
+
+    // ---- Sobol' skip ablation (generation cost of burn-in) ----
+    let mut group = c.benchmark_group("sobol_skip");
+    for skip in [0usize, 1, 1024] {
+        group.bench_with_input(BenchmarkId::new("skip", skip), &skip, |b, &skip| {
+            let design = SobolDesign { skip };
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| design.generate(4_096, 8, &mut rng).expect("valid"));
+        });
+    }
+    group.finish();
+
+    // ---- p-box condensation cap ----
+    let mut group = c.benchmark_group("pbox_condensation");
+        let normal = Normal::new(0.0, 1.0).expect("valid");
+    let ds = DsStructure::from_distribution(&normal, 60).expect("valid");
+    for cap in [20usize, 60, 200] {
+        group.bench_with_input(BenchmarkId::new("add_condense", cap), &cap, |b, &cap| {
+            b.iter(|| ds.add(&ds).expect("valid").condensed(cap));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_ablation
+}
+criterion_main!(benches);

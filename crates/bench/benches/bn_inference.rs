@@ -1,0 +1,75 @@
+//! Criterion benchmark: variable-elimination inference cost vs network
+//! shape (chain, naive-Bayes star, and the paper's Table I network).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysunc::bayesnet::{BayesNet, VariableElimination};
+use sysunc::casestudy::paper_bayes_net;
+
+fn chain(n: usize) -> BayesNet {
+    let mut bn = BayesNet::new();
+    let mut prev = bn.add_root("n0", vec!["0", "1"], vec![0.6, 0.4]).expect("valid");
+    for i in 1..n {
+        prev = bn
+            .add_node(
+                format!("n{i}"),
+                vec!["0", "1"],
+                vec![prev],
+                vec![vec![0.9, 0.1], vec![0.2, 0.8]],
+            )
+            .expect("valid");
+    }
+    bn
+}
+
+fn star(leaves: usize) -> BayesNet {
+    let mut bn = BayesNet::new();
+    let root = bn.add_root("cause", vec!["0", "1"], vec![0.7, 0.3]).expect("valid");
+    for i in 0..leaves {
+        bn.add_node(
+            format!("obs{i}"),
+            vec!["0", "1"],
+            vec![root],
+            vec![vec![0.8, 0.2], vec![0.3, 0.7]],
+        )
+        .expect("valid");
+    }
+    bn
+}
+
+fn bench_bn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variable_elimination");
+    for n in [4usize, 8, 16, 32] {
+        let bn = chain(n);
+        group.bench_with_input(BenchmarkId::new("chain_posterior", n), &bn, |b, bn| {
+            let ve = VariableElimination::new(bn);
+            b.iter(|| ve.marginal(0, &[(bn.len() - 1, 1)]).expect("query"));
+        });
+    }
+    for leaves in [4usize, 8, 16] {
+        let bn = star(leaves);
+        let evidence: Vec<(usize, usize)> = (1..=leaves).map(|i| (i, i % 2)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("star_diagnosis", leaves),
+            &(bn, evidence),
+            |b, (bn, ev)| {
+                let ve = VariableElimination::new(bn);
+                b.iter(|| ve.marginal(0, ev).expect("query"));
+            },
+        );
+    }
+    let paper = paper_bayes_net().expect("builds");
+    group.bench_function("paper_table1_diagnosis", |b| {
+        b.iter(|| paper.marginal("ground_truth", &[("perception", "none")]).expect("query"));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_bn
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmark: Dempster–Shafer operations vs frame size and
+//! focal-element count, and p-box arithmetic vs discretization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysunc::evidence::{DsStructure, Frame, Interval, MassFunction};
+use sysunc::prob::dist::Normal;
+
+fn random_ish_mass(frame: &Frame, focal_count: usize) -> MassFunction {
+    // Deterministic pseudo-random focal structure.
+    let theta = frame.theta();
+    let mut focal = Vec::new();
+    let mut total = 0.0;
+    for i in 0..focal_count {
+        let set = (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1) & theta).max(1);
+        let w = 1.0 / (i + 1) as f64;
+        focal.push((set, w));
+        total += w;
+    }
+    let focal = focal.into_iter().map(|(s, w)| (s, w / total)).collect();
+    MassFunction::from_focal(frame, focal).expect("valid")
+}
+
+fn bench_evidence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dempster_shafer");
+    for n in [4usize, 8, 16] {
+        let names: Vec<String> = (0..n).map(|i| format!("h{i}")).collect();
+        let frame = Frame::new(names).expect("valid");
+        let m1 = random_ish_mass(&frame, 12);
+        let m2 = random_ish_mass(&frame, 12);
+        group.bench_with_input(BenchmarkId::new("combine", n), &(m1.clone(), m2.clone()), |b, (a, bb)| {
+            b.iter(|| a.combine_dempster(bb).expect("no total conflict"));
+        });
+        group.bench_with_input(BenchmarkId::new("belief_all_singletons", n), &m1, |b, m| {
+            b.iter(|| {
+                (0..n).map(|i| m.belief(1 << i)).sum::<f64>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pignistic", n), &m1, |b, m| {
+            b.iter(|| m.pignistic());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pbox_arithmetic");
+        let normal = Normal::new(0.0, 1.0).expect("valid");
+    for cells in [20usize, 50, 100] {
+        let ds = DsStructure::from_distribution(&normal, cells).expect("valid");
+        let other = DsStructure::from_interval(Interval::new(-0.5, 0.5).expect("ordered"));
+        group.bench_with_input(BenchmarkId::new("add_then_condense", cells), &ds, |b, ds| {
+            b.iter(|| ds.add(&other).expect("valid").condensed(50));
+        });
+        group.bench_with_input(BenchmarkId::new("self_convolution", cells), &ds, |b, ds| {
+            b.iter(|| ds.add(ds).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_evidence
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmark: fault tree analysis cost — MOCUS cut sets, exact
+//! enumeration, structure-recursive quantification (crisp / interval /
+//! fuzzy), and dynamic-tree Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use sysunc::evidence::{FuzzyNumber, Interval};
+use sysunc::fta::{
+    minimal_cut_sets, quantify_with, DynGateKind, DynamicFaultTree, FaultTree, GateKind,
+};
+use sysunc::prob::dist::Exponential;
+
+/// Layered tree: `groups` OR-ed groups of AND-ed triples.
+fn layered_tree(groups: usize) -> FaultTree {
+    let mut ft = FaultTree::new();
+    let mut ors = Vec::new();
+    for g in 0..groups {
+        let events: Vec<_> = (0..3)
+            .map(|i| ft.add_basic_event(format!("e{g}_{i}"), 0.01 * (i + 1) as f64).expect("valid"))
+            .collect();
+        ors.push(ft.add_gate(format!("g{g}"), GateKind::And, events).expect("valid"));
+    }
+    let top = ft.add_gate("top", GateKind::Or, ors).expect("valid");
+    ft.set_top(top).expect("valid");
+    ft
+}
+
+fn bench_fta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_fta");
+    for groups in [2usize, 4, 6, 8] {
+        let ft = layered_tree(groups);
+        group.bench_with_input(BenchmarkId::new("mocus", groups), &ft, |b, ft| {
+            b.iter(|| minimal_cut_sets(ft).expect("small"));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_enum", groups), &ft, |b, ft| {
+            b.iter(|| ft.top_probability_exact().expect("small"));
+        });
+        let crisp: Vec<f64> = ft.basic_events().iter().map(|e| e.probability).collect();
+        group.bench_with_input(BenchmarkId::new("structural_crisp", groups), &ft, |b, ft| {
+            b.iter(|| quantify_with(ft, &crisp).expect("valid"));
+        });
+        let intervals: Vec<Interval> = crisp
+            .iter()
+            .map(|&p| Interval::new(p * 0.5, p * 2.0).expect("ordered"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("structural_interval", groups), &ft, |b, ft| {
+            b.iter(|| quantify_with(ft, &intervals).expect("valid"));
+        });
+        let fuzzies: Vec<FuzzyNumber> = crisp
+            .iter()
+            .map(|&p| FuzzyNumber::triangular(p * 0.5, p, p * 2.0).expect("ordered"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("structural_fuzzy", groups), &ft, |b, ft| {
+            b.iter(|| quantify_with(ft, &fuzzies).expect("valid"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dynamic_fta");
+        let mut dft = DynamicFaultTree::new();
+    let a = dft.add_event("a", Arc::new(Exponential::new(1.0).expect("valid")));
+    let b_ev = dft.add_event("b", Arc::new(Exponential::new(1.5).expect("valid")));
+    let spare = dft.add_gate("sp", DynGateKind::ColdSpare, vec![a, b_ev]).expect("valid");
+    let c_ev = dft.add_event("c", Arc::new(Exponential::new(0.2).expect("valid")));
+    let top = dft.add_gate("top", DynGateKind::Or, vec![spare, c_ev]).expect("valid");
+    dft.set_top(top).expect("valid");
+    group.bench_function("mc_unreliability_10k", |bch| {
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            dft.unreliability(1.0, 10_000, &mut rng).expect("runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_fta
+}
+criterion_main!(benches);

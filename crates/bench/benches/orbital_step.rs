@@ -1,0 +1,76 @@
+//! Criterion benchmark: N-body integration step cost vs body count,
+//! mascon fidelity and integrator order; occupancy-grid ingestion rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::orbital::{
+    Body, Integrator, NBodySystem, ObservationChannel, OccupancyGrid, Vec2,
+};
+
+fn ring_system(n: usize, mascons: usize) -> NBodySystem {
+    let mut bodies = Vec::new();
+    for i in 0..n {
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        let pos = Vec2::new(3.0 * angle.cos(), 3.0 * angle.sin());
+        let vel = Vec2::new(-angle.sin(), angle.cos()) * 0.4;
+        let mut body = Body::point_mass(format!("b{i}"), 1.0 / n as f64, pos, vel).expect("valid");
+        if mascons > 0 {
+            body = body.with_mascon_ring(mascons, 0.2, 0.3, 1.0).expect("valid");
+        }
+        bodies.push(body);
+    }
+    NBodySystem::new(bodies, 1.0).expect("valid")
+}
+
+fn bench_orbital(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nbody_step");
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("verlet_pointmass", n), &n, |b, &n| {
+            let mut sys = ring_system(n, 0);
+            b.iter(|| Integrator::VelocityVerlet.step(&mut sys, 1e-3));
+        });
+    }
+    for mascons in [0usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("verlet_2body_mascons", mascons), &mascons, |b, &m| {
+            let mut sys = ring_system(2, m);
+            b.iter(|| Integrator::VelocityVerlet.step(&mut sys, 1e-3));
+        });
+    }
+    for (name, integ) in [
+        ("euler", Integrator::SymplecticEuler),
+        ("verlet", Integrator::VelocityVerlet),
+        ("rk4", Integrator::Rk4),
+    ] {
+        group.bench_with_input(BenchmarkId::new("integrator_4body", name), &integ, |b, integ| {
+            let mut sys = ring_system(4, 0);
+            b.iter(|| integ.step(&mut sys, 1e-3));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("observation");
+    let channel = ObservationChannel::new(0.05).expect("valid");
+    group.bench_function("observe_and_grid_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut grid =
+            OccupancyGrid::new(Vec2::new(-4.0, -4.0), Vec2::new(4.0, 4.0), 32, 32).expect("valid");
+        b.iter(|| {
+            for i in 0..1_000 {
+                let p = Vec2::new((i as f64 * 0.01).sin(), (i as f64 * 0.01).cos());
+                grid.add(channel.observe(p, &mut rng));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_orbital
+}
+criterion_main!(benches);

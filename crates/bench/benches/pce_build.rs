@@ -1,0 +1,52 @@
+//! Criterion benchmark: polynomial-chaos construction cost vs dimension
+//! and degree, projection vs regression vs sparse projection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::pce::{ChaosExpansion, PceInput};
+
+fn model(x: &[f64]) -> f64 {
+    x.iter().map(|v| (0.3 * v).sin()).sum::<f64>() + x.iter().product::<f64>()
+}
+
+fn bench_pce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pce_build");
+        for dim in [2usize, 3, 4] {
+        let inputs = vec![PceInput::Uniform { a: -1.0, b: 1.0 }; dim];
+        group.bench_with_input(BenchmarkId::new("projection_deg4", dim), &inputs, |b, inp| {
+            b.iter(|| ChaosExpansion::fit_projection(inp, 4, model).expect("fits"));
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_l4_deg4", dim), &inputs, |b, inp| {
+            b.iter(|| ChaosExpansion::fit_sparse_projection(inp, 4, 4, model).expect("fits"));
+        });
+        group.bench_with_input(BenchmarkId::new("regression_deg4", dim), &inputs, |b, inp| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let basis = sysunc::pce::multiindex::total_degree_len(inp.len(), 4);
+                ChaosExpansion::fit_regression(inp, 4, 3 * basis, &mut rng, model).expect("fits")
+            });
+        });
+    }
+    for degree in [2usize, 6, 10] {
+        let inputs = vec![PceInput::Normal { mu: 0.0, sigma: 1.0 }; 2];
+        group.bench_with_input(
+            BenchmarkId::new("projection_dim2", degree),
+            &degree,
+            |b, &deg| {
+                b.iter(|| ChaosExpansion::fit_projection(&inputs, deg, model).expect("fits"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_pce
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmark: design generation and propagation throughput for
+//! each sampling engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::prob::dist::{Continuous, Normal};
+use sysunc::sampling::{
+    propagate, propagate_parallel, Design, HaltonDesign, LatinHypercubeDesign, RandomDesign,
+    SobolDesign,
+};
+
+fn bench_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_generation");
+    let designs: Vec<(&str, Box<dyn Design>)> = vec![
+        ("random", Box::new(RandomDesign)),
+        ("lhs", Box::new(LatinHypercubeDesign)),
+        ("sobol", Box::new(SobolDesign::default())),
+        ("halton", Box::new(HaltonDesign::default())),
+    ];
+    for (name, design) in &designs {
+        group.bench_with_input(BenchmarkId::new(*name, 4096), design, |b, d| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                d.generate(4096, 8, &mut rng).expect("valid")
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("propagation");
+    let n1 = Normal::new(0.0, 1.0).expect("valid");
+    let n2 = Normal::new(1.0, 2.0).expect("valid");
+    let inputs: Vec<&dyn Continuous> = vec![&n1, &n2];
+    let model = |x: &[f64]| (x[0] * x[1]).sin() + x[0].exp().ln_1p();
+    group.bench_function("serial_16k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            propagate(&inputs, &LatinHypercubeDesign, &model, 16_384, &mut rng).expect("runs")
+        });
+    });
+    group.bench_function("parallel4_16k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            propagate_parallel(&inputs, &LatinHypercubeDesign, &model, 16_384, 4, &mut rng)
+                .expect("runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_designs
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E7 — Sec. V-B: the evidential network (evidence theory + BN, after
+//! Simon–Weber–Evsukoff) compared against the plain-probability reading
+//! of Table I. Shows how the Bel/Pl gap carries the epistemic and
+//! ontological content that a single probability number erases.
+
+use sysunc::casestudy::{paper_bayes_net, paper_evidential_network, PERCEPTION_STATES};
+use sysunc_bench::{header, prob_vec, section};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E7", "Sec. V-B — evidential network vs plain Bayesian network");
+    let bn = paper_bayes_net()?;
+    let ev = paper_evidential_network()?;
+
+    section("perception-node state, both readings");
+    let m_bn = bn.marginal("perception", &[])?;
+    println!("  Bayesian marginal (unknown row renormalized): {}", prob_vec(&m_bn));
+    let mass = ev.network.query(ev.perception, &[])?;
+    println!("\n  evidential focal masses:");
+    for (set, m) in mass.focal_elements() {
+        println!("    m({}) = {m:.4}", ev.perception_frame.format_subset(set));
+    }
+    println!("\n  {:<14} {:>10} {:>10} {:>10}", "event", "Bel", "Pl", "gap");
+    for name in ["car", "pedestrian", "none"] {
+        let set = ev.perception_frame.singleton(name)?;
+        let i = mass.interval(set);
+        println!("  {name:<14} {:>10.4} {:>10.4} {:>10.4}", i.lo(), i.hi(), i.width());
+    }
+    let detect = ev.perception_frame.subset(&["car", "pedestrian"])?;
+    let i = mass.interval(detect);
+    println!("  {:<14} {:>10.4} {:>10.4} {:>10.4}", "some object", i.lo(), i.hi(), i.width());
+
+    section("diagnosis under each evidence, both engines");
+    for state in PERCEPTION_STATES {
+        let post = bn.marginal("ground_truth", &[("perception", state)])?;
+        println!("  BN  given {state:<15}: {}", prob_vec(&post));
+    }
+    let gt_frame_unknown = 0b100u64; // ground-truth frame: car, pedestrian, unknown
+    for name in ["car", "pedestrian", "none"] {
+        let set = ev.perception_frame.singleton(name)?;
+        let post = ev.network.query(ev.ground_truth, &[(ev.perception, set)])?;
+        println!(
+            "  EN  given {name:<15}: Bel(unknown) = {:.4}, Pl(unknown) = {:.4}",
+            post.belief(gt_frame_unknown),
+            post.plausibility(gt_frame_unknown)
+        );
+    }
+    // The evidential network can also condition on the *epistemic* output
+    // "car or pedestrian", which the plain BN must model as a fake state.
+    let carped = ev.perception_frame.subset(&["car", "pedestrian"])?;
+    let post = ev.network.query(ev.ground_truth, &[(ev.perception, carped)])?;
+    println!(
+        "  EN  given {{car, pedestrian}}: Bel(unknown) = {:.4}, Pl(unknown) = {:.4}",
+        post.belief(gt_frame_unknown),
+        post.plausibility(gt_frame_unknown)
+    );
+
+    section("decision quality: pignistic transform");
+    let bet = mass.pignistic();
+    println!(
+        "  pignistic P over (car, pedestrian, none) = {}",
+        prob_vec(&bet)
+    );
+    println!("  nonspecific (epistemic+ontological) mass = {:.4}", mass.nonspecificity_mass());
+    println!("  mass on Θ (pure ontological reserve)     = {:.4}", mass.mass(ev.perception_frame.theta()));
+    Ok(())
+}

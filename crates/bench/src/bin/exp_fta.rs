@@ -1,0 +1,112 @@
+//! E6 — Sec. V-A: fault tree analysis of the perception system with
+//! uncertainty: cut sets, exact and bounded quantification, importance
+//! measures, interval/fuzzy (Tanaka) extensions, and dynamic gates.
+
+use std::sync::Arc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::evidence::{FuzzyNumber, Interval};
+use sysunc::fta::{
+    esary_proschan, importance, minimal_cut_sets, quantify_with, rare_event_approximation,
+    DynGateKind, DynamicFaultTree, FaultTree, GateKind,
+};
+use sysunc::prob::dist::{Exponential, Weibull};
+use sysunc_bench::{header, section};
+
+fn perception_tree() -> Result<FaultTree, Box<dyn std::error::Error>> {
+    let mut ft = FaultTree::new();
+    let cam = ft.add_basic_event("camera channel fails", 1e-3)?;
+    let radar = ft.add_basic_event("radar channel fails", 2e-3)?;
+    let lidar = ft.add_basic_event("lidar channel fails", 3e-3)?;
+    let fusion = ft.add_basic_event("fusion software fault", 5e-5)?;
+    let power = ft.add_basic_event("power supply fails", 1e-5)?;
+    // 2-out-of-3 sensor voting; system fails if 2+ sensors fail, or the
+    // fusion software faults, or power is lost.
+    let vote = ft.add_gate("2oo3 sensor loss", GateKind::KOfN(2), vec![cam, radar, lidar])?;
+    let top =
+        ft.add_gate("perception failure", GateKind::Or, vec![vote, fusion, power])?;
+    ft.set_top(top)?;
+    Ok(ft)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E6", "Sec. V-A — FTA of the perception system with uncertainty");
+    let ft = perception_tree()?;
+
+    section("minimal cut sets (MOCUS)");
+    let cuts = minimal_cut_sets(&ft)?;
+    for cut in &cuts {
+        let names: Vec<&str> =
+            cut.iter().map(|&i| ft.basic_events()[i].name.as_str()).collect();
+        println!("  {{{}}}", names.join(", "));
+    }
+
+    section("top event quantification");
+    let exact = ft.top_probability_exact()?;
+    println!("  exact (enumeration)       = {exact:.6e}");
+    println!("  rare-event approximation  = {:.6e}", rare_event_approximation(&ft, &cuts));
+    println!("  Esary-Proschan bound      = {:.6e}", esary_proschan(&ft, &cuts));
+
+    section("importance measures");
+    println!(
+        "  {:<26} {:>12} {:>8} {:>10} {:>10}",
+        "basic event", "Birnbaum", "FV", "RAW", "RRW"
+    );
+    for (i, be) in ft.basic_events().iter().enumerate() {
+        let m = importance(&ft, i)?;
+        println!(
+            "  {:<26} {:>12.3e} {:>8.3} {:>10.1} {:>10.2}",
+            be.name, m.birnbaum, m.fussell_vesely, m.risk_achievement_worth,
+            m.risk_reduction_worth
+        );
+    }
+
+    section("epistemic quantification: interval FTA (factor-5 error bands)");
+    let intervals: Vec<Interval> = ft
+        .basic_events()
+        .iter()
+        .map(|b| Interval::new(b.probability / 5.0, (b.probability * 5.0).min(1.0)))
+        .collect::<Result<_, _>>()?;
+    let bounds = quantify_with(&ft, &intervals)?;
+    println!("  P(top) in [{:.3e}, {:.3e}]  (width {:.3e})", bounds.lo(), bounds.hi(), bounds.width());
+
+    section("fuzzy FTA (Tanaka): triangular memberships");
+    let fuzzies: Vec<FuzzyNumber> = ft
+        .basic_events()
+        .iter()
+        .map(|b| {
+            FuzzyNumber::triangular(b.probability / 5.0, b.probability, (b.probability * 5.0).min(1.0))
+        })
+        .collect::<Result<_, _>>()?;
+    let top = quantify_with(&ft, &fuzzies)?;
+    println!(
+        "  core {:.3e}; alpha=0.5 cut [{:.3e}, {:.3e}]; support [{:.3e}, {:.3e}]",
+        top.core().midpoint(),
+        top.alpha_cut(0.5).lo(),
+        top.alpha_cut(0.5).hi(),
+        top.support().lo(),
+        top.support().hi()
+    );
+    println!("  centroid defuzzification = {:.3e}", top.defuzzify_centroid());
+
+    section("dynamic FTA (Dugan): cold spare + PAND, mission profile");
+    let mut dft = DynamicFaultTree::new();
+    let ecu1 = dft.add_event("primary ECU", Arc::new(Exponential::new(1.0 / 8_000.0)?));
+    let ecu2 = dft.add_event("cold-spare ECU", Arc::new(Exponential::new(1.0 / 8_000.0)?));
+    let compute = dft.add_gate("compute platform", DynGateKind::ColdSpare, vec![ecu1, ecu2])?;
+    let cooling = dft.add_event("cooling degrades", Arc::new(Weibull::new(2.0, 12_000.0)?));
+    let sensor = dft.add_event("sensor ages out", Arc::new(Weibull::new(3.0, 9_000.0)?));
+    let wearout =
+        dft.add_gate("cooling-then-sensor", DynGateKind::PriorityAnd, vec![cooling, sensor])?;
+    let top = dft.add_gate("vehicle platform failure", DynGateKind::Or, vec![compute, wearout])?;
+    dft.set_top(top)?;
+    let mut rng = StdRng::seed_from_u64(6);
+    println!("  {:>10} {:>16}", "mission h", "unreliability");
+    for mission in [1_000.0, 4_000.0, 8_000.0, 16_000.0] {
+        let u = dft.unreliability(mission, 200_000, &mut rng)?;
+        println!("  {mission:>10} {:>16.5}", u.mean());
+    }
+    let (mttf, frac) = dft.mean_time_to_failure(200_000, &mut rng)?;
+    println!("  MTTF ≈ {:.0} h over {:.1}% failing runs", mttf.mean(), 100.0 * frac);
+    Ok(())
+}

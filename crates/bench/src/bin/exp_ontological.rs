@@ -1,0 +1,98 @@
+//! E4 — Sec. III-C: ontological uncertainty as model incompleteness.
+//! A third planet appears in reality while the deployed model stays
+//! 2-body. The surprisal trace must (a) stay at baseline before the
+//! event, (b) spike after it, (c) stay high under *epistemic* refinement
+//! of the wrong model (better parameters cannot fix a missing planet),
+//! and (d) return to baseline only after *reformulation* to a 3-body
+//! model.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::orbital::{Integrator, NBodySystem, ObservationChannel, SurpriseMonitor};
+use sysunc_bench::{header, section};
+
+const STEPS_BEFORE: usize = 3_000;
+const STEPS_AFTER: usize = 3_000;
+
+/// Runs the scenario with a given model-building policy; returns
+/// (pre-event mean surprisal, post-event mean surprisal, detection step).
+fn run(
+    reform_model: bool,
+    better_epistemic: bool,
+    seed: u64,
+) -> Result<(f64, f64, Option<usize>), Box<dyn std::error::Error>> {
+    let (m1, m2, d) = (1.0, 0.4, 2.0);
+    let dt = NBodySystem::circular_period(m1, m2, d) / 2_000.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let channel = ObservationChannel::new(0.02)?;
+    let mut reality = NBodySystem::two_planets(m1, m2, d)?;
+    let mut model = NBodySystem::two_planets(m1, m2, d)?;
+    if better_epistemic {
+        // "Refine" the wrong model: smaller integration steps (higher
+        // numerical fidelity) — epistemic improvement of model accuracy.
+        // (Implemented as a finer inner loop below.)
+    }
+    let substeps = if better_epistemic { 4 } else { 1 };
+    let mut monitor = SurpriseMonitor::new(channel, 200)?;
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    let mut detection = None;
+    for step in 0..STEPS_BEFORE + STEPS_AFTER {
+        if step == STEPS_BEFORE {
+            reality.inject_third_planet(0.3, 3.0)?;
+            if reform_model {
+                model.inject_third_planet(0.3, 3.0)?;
+            }
+        }
+        Integrator::VelocityVerlet.step(&mut reality, dt);
+        for _ in 0..substeps {
+            Integrator::VelocityVerlet.step(&mut model, dt / substeps as f64);
+        }
+        let obs = channel.observe(reality.bodies[0].position, &mut rng);
+        let s = monitor.record(model.bodies[0].position, obs);
+        if step < STEPS_BEFORE {
+            pre.push(s);
+        } else {
+            post.push(s);
+            if detection.is_none() && monitor.alarm(3.0) {
+                detection = Some(step - STEPS_BEFORE);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Ok((mean(&pre), mean(&post), detection))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E4", "Sec. III-C — ontological surprise and model reformulation");
+    let channel_baseline = {
+        let ch = ObservationChannel::new(0.02)?;
+        SurpriseMonitor::new(ch, 1)?.baseline()
+    };
+    println!("  surprisal baseline (correct model): {channel_baseline:.2} nats\n");
+
+    section("policies");
+    println!(
+        "  {:<34} {:>12} {:>12} {:>12}",
+        "model policy", "pre (nats)", "post (nats)", "detect step"
+    );
+    for (name, reform, epi) in [
+        ("stale 2-body model", false, false),
+        ("epistemically refined 2-body", false, true),
+        ("reformulated 3-body model", true, false),
+    ] {
+        let (pre, post, det) = run(reform, epi, 99)?;
+        println!(
+            "  {:<34} {:>12.2} {:>12.2} {:>12}",
+            name,
+            pre,
+            post,
+            det.map_or("none".to_string(), |d| d.to_string())
+        );
+    }
+    println!("\n  Expected shape (paper Sec. III-C): the stale and refined 2-body");
+    println!("  models both alarm shortly after the event — epistemic refinement");
+    println!("  cannot remove ontological uncertainty — while the reformulated");
+    println!("  3-body model never leaves baseline.");
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! E9 — Sec. IV removal at design time: uncertainty propagation method
+//! comparison (crude MC, LHS, Sobol' QMC, sparse-grid and tensor PCE) on
+//! two canonical benchmarks: the smooth Ishigami function and a
+//! discontinuous step function where spectral methods lose their edge.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::pce::{ChaosExpansion, PceInput};
+use sysunc::prob::dist::{Continuous, Uniform};
+use sysunc::sampling::{propagate, Design, LatinHypercubeDesign, RandomDesign, SobolDesign};
+use sysunc_bench::{header, section};
+
+fn ishigami(x: &[f64]) -> f64 {
+    x[0].sin() + 7.0 * x[1].sin().powi(2) + 0.1 * x[2].powi(4) * x[0].sin()
+}
+
+/// Discontinuous benchmark: indicator of a corner region.
+fn step(x: &[f64]) -> f64 {
+    if x[0] > 0.5 && x[1] > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E9", "Sec. IV — propagation method comparison (accuracy per evaluation)");
+    let pi = std::f64::consts::PI;
+
+    section("smooth model: Ishigami over U(-pi, pi)^3");
+    let mean_true = 3.5;
+    let var_true = {
+        let v1 = 0.5 * (1.0 + 0.1 * pi.powi(4) / 5.0).powi(2);
+        let v2 = 49.0 / 8.0;
+        let v13 = 0.01 * pi.powi(8) * (1.0 / 18.0 - 1.0 / 50.0);
+        v1 + v2 + v13
+    };
+    let u = Uniform::new(-pi, pi)?;
+    let inputs: Vec<&dyn Continuous> = vec![&u, &u, &u];
+    println!("  {:<22} {:>8} {:>12} {:>12}", "method", "evals", "|mean err|", "|var err|");
+    // Average sampling methods over replicates for fair comparison.
+    let designs: Vec<(&str, Box<dyn Design>)> = vec![
+        ("monte-carlo", Box::new(RandomDesign)),
+        ("latin-hypercube", Box::new(LatinHypercubeDesign)),
+        ("sobol-qmc", Box::new(SobolDesign::default())),
+    ];
+    for n in [128usize, 512, 2_048, 8_192] {
+        for (name, design) in &designs {
+            let reps = 8;
+            let mut mean_err = 0.0;
+            let mut var_err = 0.0;
+            for rep in 0..reps {
+                let mut rng = StdRng::seed_from_u64(100 + rep);
+                let res = propagate(&inputs, design.as_ref(), &ishigami, n, &mut rng)?;
+                mean_err += (res.mean() - mean_true).abs() / reps as f64;
+                var_err += (res.variance() - var_true).abs() / reps as f64;
+            }
+            println!("  {name:<22} {n:>8} {mean_err:>12.5} {var_err:>12.5}");
+        }
+    }
+    for degree in [4usize, 6, 8, 10] {
+        let pce = ChaosExpansion::fit_projection(
+            &[PceInput::Uniform { a: -pi, b: pi }; 3],
+            degree,
+            ishigami,
+        )?;
+        println!(
+            "  {:<22} {:>8} {:>12.5} {:>12.5}",
+            format!("pce-tensor-deg{degree}"),
+            pce.evaluations(),
+            (pce.mean() - mean_true).abs(),
+            (pce.variance() - var_true).abs()
+        );
+    }
+    // Levels chosen so quadrature aliasing stays below basis truncation.
+    for (degree, level) in [(4usize, 8usize), (6, 9), (8, 12)] {
+        let pce = ChaosExpansion::fit_sparse_projection(
+            &[PceInput::Uniform { a: -pi, b: pi }; 3],
+            degree,
+            level,
+            ishigami,
+        )?;
+        println!(
+            "  {:<22} {:>8} {:>12.5} {:>12.5}",
+            format!("pce-sparse-l{level}"),
+            pce.evaluations(),
+            (pce.mean() - mean_true).abs(),
+            (pce.variance() - var_true).abs()
+        );
+    }
+
+    section("Sobol' sensitivity indices from the degree-10 expansion");
+    let pce =
+        ChaosExpansion::fit_projection(&[PceInput::Uniform { a: -pi, b: pi }; 3], 10, ishigami)?;
+    let v = var_true;
+    let s1_true = 0.5 * (1.0 + 0.1 * pi.powi(4) / 5.0).powi(2) / v;
+    let s2_true = (49.0 / 8.0) / v;
+    let st3_true = 0.01 * pi.powi(8) * (1.0 / 18.0 - 1.0 / 50.0) / v;
+    println!("  {:>6} {:>10} {:>10}", "index", "pce", "analytic");
+    println!("  {:>6} {:>10.4} {:>10.4}", "S1", pce.sobol_first(0), s1_true);
+    println!("  {:>6} {:>10.4} {:>10.4}", "S2", pce.sobol_first(1), s2_true);
+    println!("  {:>6} {:>10.4} {:>10.4}", "S3", pce.sobol_first(2), 0.0);
+    println!("  {:>6} {:>10.4} {:>10.4}", "ST3", pce.sobol_total(2), st3_true);
+
+    section("non-smooth model: corner indicator over U(-1, 1)^2 (crossover)");
+    // True mean: P(x > 0.5) * P(y > 0) = 0.25 * 0.5.
+    let truth = 0.125;
+    let u2 = Uniform::new(-1.0, 1.0)?;
+    let inputs2: Vec<&dyn Continuous> = vec![&u2, &u2];
+    println!("  {:<22} {:>8} {:>12}", "method", "evals", "|mean err|");
+    for n in [512usize, 4_096] {
+        for (name, design) in &designs {
+            let reps = 8;
+            let mut err = 0.0;
+            for rep in 0..reps {
+                let mut rng = StdRng::seed_from_u64(200 + rep);
+                let res = propagate(&inputs2, design.as_ref(), &step, n, &mut rng)?;
+                err += (res.mean() - truth).abs() / reps as f64;
+            }
+            println!("  {name:<22} {n:>8} {err:>12.5}");
+        }
+    }
+    for degree in [6usize, 14] {
+        let pce = ChaosExpansion::fit_projection(
+            &[PceInput::Uniform { a: -1.0, b: 1.0 }; 2],
+            degree,
+            step,
+        )?;
+        println!(
+            "  {:<22} {:>8} {:>12.5}",
+            format!("pce-tensor-deg{degree}"),
+            pce.evaluations(),
+            (pce.mean() - truth).abs()
+        );
+    }
+    println!("\n  Expected shape: on the smooth model PCE >> QMC > LHS > MC per");
+    println!("  evaluation (spectral convergence); on the discontinuous model the");
+    println!("  spectral advantage collapses (Gibbs) while QMC/MC keep their rates");
+    println!("  — the crossover that motivates method *selection* as part of");
+    println!("  uncertainty removal.");
+    Ok(())
+}

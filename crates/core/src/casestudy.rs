@@ -1,0 +1,189 @@
+//! The paper's worked example, verbatim: the Fig. 4 Bayesian network with
+//! the Table I conditional probability table, in both its plain-Bayesian
+//! and evidential readings.
+
+use crate::error::{Result, SysuncError};
+use sysunc_bayesnet::{BayesNet, EvidentialNetwork};
+use sysunc_evidence::{Frame, MassFunction};
+
+/// Ground-truth states of Fig. 4.
+pub const GROUND_TRUTH_STATES: [&str; 3] = ["car", "pedestrian", "unknown"];
+
+/// Perception output states of Fig. 4 / Table I.
+pub const PERCEPTION_STATES: [&str; 4] = ["car", "pedestrian", "car_pedestrian", "none"];
+
+/// The ground-truth prior of the paper:
+/// `P(car) = 0.6, P(pedestrian) = 0.3, P(unknown) = 0.1` (aleatory world
+/// model).
+pub fn ground_truth_prior() -> [f64; 3] {
+    [0.6, 0.3, 0.1]
+}
+
+/// Table I of the paper, row-for-row: `P(perception | ground truth)`.
+///
+/// Note: the `unknown` row as printed sums to 0.9 — the remaining 0.1 is
+/// unassigned in the paper. [`paper_bayes_net`] renormalizes that row;
+/// [`paper_evidential_network`] instead assigns the missing 0.1 to the
+/// whole frame Θ (ontological reserve), which is the evidential reading.
+pub fn table1_cpt() -> [[f64; 4]; 3] {
+    [
+        [0.9, 0.005, 0.05, 0.045],
+        [0.005, 0.9, 0.05, 0.045],
+        [0.0, 0.0, 0.2, 0.7],
+    ]
+}
+
+/// Builds the Fig. 4 network as a plain Bayesian network.
+///
+/// The deficient `unknown` row of Table I is renormalized
+/// (`[0, 0, 2/9, 7/9]`).
+///
+/// # Errors
+///
+/// Never fails for the built-in constants; the `Result` mirrors the
+/// underlying constructors.
+pub fn paper_bayes_net() -> Result<BayesNet> {
+    let mut bn = BayesNet::new();
+    let gt = bn
+        .add_root("ground_truth", GROUND_TRUTH_STATES.to_vec(), ground_truth_prior().to_vec())
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let mut cpt: Vec<Vec<f64>> = table1_cpt().iter().map(|r| r.to_vec()).collect();
+    let s: f64 = cpt[2].iter().sum();
+    for v in &mut cpt[2] {
+        *v /= s;
+    }
+    bn.add_node("perception", PERCEPTION_STATES.to_vec(), vec![gt], cpt)
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    Ok(bn)
+}
+
+/// Handles into the evidential version of the Fig. 4 network.
+#[derive(Debug, Clone)]
+pub struct PaperEvidentialNetwork {
+    /// The network itself.
+    pub network: EvidentialNetwork,
+    /// Node id of the ground-truth node.
+    pub ground_truth: usize,
+    /// Node id of the perception node.
+    pub perception: usize,
+    /// Frame of the perception node (`car`, `pedestrian`, `none`).
+    pub perception_frame: Frame,
+}
+
+/// Builds the evidential reading of Fig. 4 / Table I: the
+/// `car_pedestrian` output is a *focal set* `{car, pedestrian}` (epistemic
+/// indecision) and the missing 0.1 of the unknown row is mass on Θ
+/// (ontological reserve). Queries return mass functions with Bel/Pl
+/// bounds.
+///
+/// # Errors
+///
+/// Never fails for the built-in constants; the `Result` mirrors the
+/// underlying constructors.
+pub fn paper_evidential_network() -> Result<PaperEvidentialNetwork> {
+    let gt_frame = Frame::new(GROUND_TRUTH_STATES.to_vec())
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let prior = MassFunction::bayesian(&gt_frame, &ground_truth_prior())
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let mut en = EvidentialNetwork::new();
+    let ground_truth = en
+        .add_root("ground_truth", &prior)
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+
+    let p_frame = Frame::new(vec!["car", "pedestrian", "none"])
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let car = p_frame.singleton("car").map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let ped = p_frame
+        .singleton("pedestrian")
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let none = p_frame.singleton("none").map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let car_ped = p_frame
+        .subset(&["car", "pedestrian"])
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    let theta = p_frame.theta();
+    let focal = vec![car, ped, car_ped, none, theta];
+    let t = table1_cpt();
+    let cmt = vec![
+        vec![t[0][0], t[0][1], t[0][2], t[0][3], 0.0],
+        vec![t[1][0], t[1][1], t[1][2], t[1][3], 0.0],
+        // Table I unknown row + the unprinted 0.1 as ontological reserve.
+        vec![t[2][0], t[2][1], t[2][2], t[2][3], 0.1],
+    ];
+    let perception = en
+        .add_node("perception", p_frame.clone(), focal, vec![ground_truth], cmt)
+        .map_err(|e| SysuncError::CaseStudy(e.to_string()))?;
+    Ok(PaperEvidentialNetwork { network: en, ground_truth, perception, perception_frame: p_frame })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows() {
+        let t = table1_cpt();
+        assert!((t[0].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((t[1].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // The paper's unknown row famously sums to 0.9.
+        assert!((t[2].iter().sum::<f64>() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bayes_net_perception_marginal() {
+        let bn = paper_bayes_net().unwrap();
+        let m = bn.marginal("perception", &[]).unwrap();
+        // P(perception = car) = 0.6*0.9 + 0.3*0.005 + 0.1*0 = 0.5415.
+        assert!((m[0] - 0.5415).abs() < 1e-12);
+        // P(perception = pedestrian) = 0.6*0.005 + 0.3*0.9 = 0.273.
+        assert!((m[1] - 0.273).abs() < 1e-12);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bayes_net_diagnostic_posteriors() {
+        let bn = paper_bayes_net().unwrap();
+        // Given output "none", the unknown object dominates.
+        let post = bn.marginal("ground_truth", &[("perception", "none")]).unwrap();
+        assert!(post[2] > post[0] && post[2] > post[1], "unknown dominates: {post:?}");
+        // Given output "car", ground truth is almost surely car.
+        let post_car = bn.marginal("ground_truth", &[("perception", "car")]).unwrap();
+        assert!(post_car[0] > 0.99);
+    }
+
+    #[test]
+    fn evidential_network_bel_pl_on_car() {
+        let p = paper_evidential_network().unwrap();
+        let m = p.network.query(p.perception, &[]).unwrap();
+        let car = p.perception_frame.singleton("car").unwrap();
+        let bel = m.belief(car);
+        let pl = m.plausibility(car);
+        // Bel = singleton car mass: 0.6*0.9 + 0.3*0.005.
+        assert!((bel - 0.5415).abs() < 1e-12);
+        // Pl adds the {car,pedestrian} epistemic mass and Θ reserve:
+        // + (0.6+0.3)*0.05 + 0.1*0.2 + 0.1*0.1.
+        assert!((pl - (0.5415 + 0.045 + 0.02 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evidential_and_bayesian_agree_on_bel_when_renormalized() {
+        // The Bayesian reading's P(car) equals the evidential Bel(car) for
+        // the car/pedestrian rows (which are proper distributions).
+        let bn = paper_bayes_net().unwrap();
+        let p = paper_evidential_network().unwrap();
+        let m_bn = bn.marginal("perception", &[]).unwrap();
+        let m_ev = p.network.query(p.perception, &[]).unwrap();
+        let car = p.perception_frame.singleton("car").unwrap();
+        assert!((m_bn[0] - m_ev.belief(car)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ontological_reserve_propagates() {
+        let p = paper_evidential_network().unwrap();
+        let m = p.network.query(p.perception, &[]).unwrap();
+        assert!((m.mass(p.perception_frame.theta()) - 0.01).abs() < 1e-12);
+        // Nonspecific (non-Bayesian) mass: {car,ped} column + Θ.
+        let nonspec = m.nonspecificity_mass();
+        let expect = 0.6 * 0.05 + 0.3 * 0.05 + 0.1 * 0.2 + 0.01;
+        assert!((nonspec - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! Error types for the top-level `sysunc` crate.
+
+use std::fmt;
+
+/// Errors from the taxonomy, modeling-relation and case-study layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SysuncError {
+    /// An input slice or parameter was invalid.
+    InvalidInput(String),
+    /// Construction of the built-in paper case study failed (only possible
+    /// if a substrate invariant is violated).
+    CaseStudy(String),
+}
+
+impl fmt::Display for SysuncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysuncError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            SysuncError::CaseStudy(msg) => write!(f, "case study construction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SysuncError {}
+
+/// Convenience result alias for the `sysunc` crate.
+pub type Result<T> = std::result::Result<T, SysuncError>;

@@ -1,0 +1,60 @@
+//! # sysunc — a system-theoretic uncertainty engineering toolkit
+//!
+//! Rust reproduction of **"System Theoretic View on Uncertainties"**
+//! (R. Gansch and A. Adee, DATE 2020). The paper proposes a taxonomy of
+//! uncertainty — **aleatory** (model-inherent randomness), **epistemic**
+//! (reducible lack of knowledge) and **ontological** (model
+//! incompleteness, the unknown-unknown) — and a taxonomy of means to cope
+//! with them (**prevention, removal, tolerance, forecasting**), mirroring
+//! Laprie's dependability framework. This crate turns that framework into
+//! an executable library, with every substrate built from scratch in the
+//! workspace:
+//!
+//! | module | contents | paper anchor |
+//! |---|---|---|
+//! | [`taxonomy`] | [`taxonomy::UncertaintyKind`], [`taxonomy::Means`], the classified method catalog and strategy recommendation | Secs. III-IV, Fig. 3 |
+//! | [`modeling`] | the modeling relation, adequacy assessment and the conditional-entropy surprise factor | Sec. II-A, Fig. 2, Sec. III-C |
+//! | [`casestudy`] | Fig. 4 / Table I verbatim, in Bayesian and evidential form | Sec. V |
+//! | [`budget`] | quantified per-kind uncertainty budgets and the release gate | Secs. IV, VI |
+//!
+//! The substrate crates are re-exported for one-stop access: [`prob`],
+//! [`algebra`], [`sampling`], [`pce`], [`evidence`], [`bayesnet`],
+//! [`fta`], [`orbital`], [`perception`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sysunc::casestudy::paper_bayes_net;
+//! use sysunc::taxonomy::{recommend, UncertaintyKind};
+//!
+//! // The paper's Table I network, ready to query:
+//! let bn = paper_bayes_net()?;
+//! let posterior = bn.marginal("ground_truth", &[("perception", "none")])
+//!     .expect("valid query");
+//! assert!(posterior[2] > 0.5); // "none" outputs are mostly unknown objects
+//!
+//! // What does the paper recommend against ontological uncertainty?
+//! let methods = recommend(UncertaintyKind::Ontological);
+//! assert!(methods[0].name.contains("operational design domain")
+//!     || methods[0].name.contains("field observation"));
+//! # Ok::<(), sysunc::SysuncError>(())
+//! ```
+
+pub mod budget;
+pub mod casestudy;
+mod error;
+pub mod modeling;
+pub mod register;
+pub mod taxonomy;
+
+pub use error::{Result, SysuncError};
+
+pub use sysunc_algebra as algebra;
+pub use sysunc_bayesnet as bayesnet;
+pub use sysunc_evidence as evidence;
+pub use sysunc_fta as fta;
+pub use sysunc_orbital as orbital;
+pub use sysunc_pce as pce;
+pub use sysunc_perception as perception;
+pub use sysunc_prob as prob;
+pub use sysunc_sampling as sampling;

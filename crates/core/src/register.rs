@@ -1,0 +1,280 @@
+//! The uncertainty register: an engineering artifact that tracks every
+//! identified uncertainty source, its type, the means assigned to it and
+//! its mitigation status — the "overall strategy" the paper's Secs. I and
+//! VI call for ("build a safety argument that uncertainties are properly
+//! managed").
+
+use crate::error::{Result, SysuncError};
+use crate::taxonomy::{recommend, Means, UncertaintyKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mitigation status of one registered uncertainty source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MitigationStatus {
+    /// Identified but not yet addressed.
+    Open,
+    /// A means has been assigned but not yet verified effective.
+    Assigned,
+    /// The assigned means has been verified (analysis or field evidence).
+    Verified,
+    /// Accepted as residual risk with rationale.
+    AcceptedResidual,
+}
+
+impl fmt::Display for MitigationStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MitigationStatus::Open => write!(f, "open"),
+            MitigationStatus::Assigned => write!(f, "assigned"),
+            MitigationStatus::Verified => write!(f, "verified"),
+            MitigationStatus::AcceptedResidual => write!(f, "accepted-residual"),
+        }
+    }
+}
+
+/// One registered uncertainty source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterEntry {
+    /// Short identifier (unique in the register).
+    pub id: String,
+    /// Where in the system the uncertainty lives.
+    pub location: String,
+    /// What is uncertain.
+    pub description: String,
+    /// Classified type.
+    pub kind: UncertaintyKind,
+    /// Assigned means, if any.
+    pub assigned_means: Option<Means>,
+    /// Current status.
+    pub status: MitigationStatus,
+}
+
+/// A register of uncertainty sources with status tracking and a release
+/// gate.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc::register::{MitigationStatus, UncertaintyRegister};
+/// use sysunc::taxonomy::{Means, UncertaintyKind};
+///
+/// let mut reg = UncertaintyRegister::new();
+/// reg.add("U1", "perception", "CPT accuracy of the classifier",
+///         UncertaintyKind::Epistemic)?;
+/// reg.assign("U1", Means::Removal)?;
+/// reg.set_status("U1", MitigationStatus::Verified)?;
+/// assert!(reg.release_ready());
+/// # Ok::<(), sysunc::SysuncError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UncertaintyRegister {
+    entries: Vec<RegisterEntry>,
+}
+
+impl UncertaintyRegister {
+    /// Creates an empty register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new uncertainty source (status `Open`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysuncError::InvalidInput`] for duplicate ids or empty
+    /// fields.
+    pub fn add<S1, S2, S3>(
+        &mut self,
+        id: S1,
+        location: S2,
+        description: S3,
+        kind: UncertaintyKind,
+    ) -> Result<()>
+    where
+        S1: Into<String>,
+        S2: Into<String>,
+        S3: Into<String>,
+    {
+        let id = id.into();
+        let location = location.into();
+        let description = description.into();
+        if id.is_empty() || location.is_empty() || description.is_empty() {
+            return Err(SysuncError::InvalidInput("register fields must be non-empty".into()));
+        }
+        if self.entries.iter().any(|e| e.id == id) {
+            return Err(SysuncError::InvalidInput(format!("duplicate register id '{id}'")));
+        }
+        self.entries.push(RegisterEntry {
+            id,
+            location,
+            description,
+            kind,
+            assigned_means: None,
+            status: MitigationStatus::Open,
+        });
+        Ok(())
+    }
+
+    /// Assigns a means to an entry (status becomes `Assigned`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysuncError::InvalidInput`] for unknown ids.
+    pub fn assign(&mut self, id: &str, means: Means) -> Result<()> {
+        let entry = self.entry_mut(id)?;
+        entry.assigned_means = Some(means);
+        entry.status = MitigationStatus::Assigned;
+        Ok(())
+    }
+
+    /// Sets an entry's status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysuncError::InvalidInput`] for unknown ids, or when
+    /// marking an entry `Verified`/`Assigned` without an assigned means.
+    pub fn set_status(&mut self, id: &str, status: MitigationStatus) -> Result<()> {
+        let entry = self.entry_mut(id)?;
+        if matches!(status, MitigationStatus::Verified | MitigationStatus::Assigned)
+            && entry.assigned_means.is_none()
+        {
+            return Err(SysuncError::InvalidInput(format!(
+                "entry '{id}' has no assigned means"
+            )));
+        }
+        entry.status = status;
+        Ok(())
+    }
+
+    fn entry_mut(&mut self, id: &str) -> Result<&mut RegisterEntry> {
+        self.entries
+            .iter_mut()
+            .find(|e| e.id == id)
+            .ok_or_else(|| SysuncError::InvalidInput(format!("unknown register id '{id}'")))
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[RegisterEntry] {
+        &self.entries
+    }
+
+    /// Entries of a given kind.
+    pub fn by_kind(&self, kind: UncertaintyKind) -> Vec<&RegisterEntry> {
+        self.entries.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Entries still open (no means assigned).
+    pub fn open_entries(&self) -> Vec<&RegisterEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.status == MitigationStatus::Open)
+            .collect()
+    }
+
+    /// Release gate: every entry must be `Verified` or `AcceptedResidual`
+    /// (paper Sec. VI: "uncertainties are properly managed and do not pose
+    /// an unacceptable level of risk").
+    pub fn release_ready(&self) -> bool {
+        self.entries.iter().all(|e| {
+            matches!(
+                e.status,
+                MitigationStatus::Verified | MitigationStatus::AcceptedResidual
+            )
+        })
+    }
+
+    /// For each open entry, the top recommended methods from the catalog
+    /// (paper Fig. 3 classification).
+    pub fn recommendations(&self) -> Vec<(String, Vec<&'static str>)> {
+        self.open_entries()
+            .iter()
+            .map(|e| {
+                let names: Vec<&'static str> =
+                    recommend(e.kind).iter().take(3).map(|m| m.name).collect();
+                (e.id.clone(), names)
+            })
+            .collect()
+    }
+
+    /// Renders the register as a Markdown table for a safety case
+    /// appendix.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| id | location | kind | description | means | status |\n|---|---|---|---|---|---|\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                e.id,
+                e.location,
+                e.kind,
+                e.description,
+                e.assigned_means.map_or("—".to_string(), |m| m.to_string()),
+                e.status
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_register() -> UncertaintyRegister {
+        let mut reg = UncertaintyRegister::new();
+        reg.add("U1", "perception", "classifier confusion rates", UncertaintyKind::Epistemic)
+            .unwrap();
+        reg.add("U2", "world model", "sensor noise floor", UncertaintyKind::Aleatory).unwrap();
+        reg.add("U3", "ODD", "unmodeled object classes", UncertaintyKind::Ontological)
+            .unwrap();
+        reg
+    }
+
+    #[test]
+    fn add_and_validation() {
+        let mut reg = sample_register();
+        assert_eq!(reg.entries().len(), 3);
+        assert!(reg.add("U1", "x", "dup", UncertaintyKind::Aleatory).is_err());
+        assert!(reg.add("", "x", "y", UncertaintyKind::Aleatory).is_err());
+        assert!(reg.assign("U9", Means::Removal).is_err());
+    }
+
+    #[test]
+    fn lifecycle_and_release_gate() {
+        let mut reg = sample_register();
+        assert!(!reg.release_ready());
+        assert_eq!(reg.open_entries().len(), 3);
+        // Cannot verify without an assigned means.
+        assert!(reg.set_status("U1", MitigationStatus::Verified).is_err());
+        reg.assign("U1", Means::Removal).unwrap();
+        reg.set_status("U1", MitigationStatus::Verified).unwrap();
+        reg.assign("U2", Means::Tolerance).unwrap();
+        reg.set_status("U2", MitigationStatus::Verified).unwrap();
+        assert!(!reg.release_ready(), "U3 still open");
+        reg.set_status("U3", MitigationStatus::AcceptedResidual).unwrap();
+        assert!(reg.release_ready());
+    }
+
+    #[test]
+    fn kind_filters_and_recommendations() {
+        let reg = sample_register();
+        assert_eq!(reg.by_kind(UncertaintyKind::Ontological).len(), 1);
+        let recs = reg.recommendations();
+        assert_eq!(recs.len(), 3);
+        let u3 = recs.iter().find(|(id, _)| id == "U3").expect("U3 present");
+        assert!(u3.1.iter().any(|n| n.contains("field observation")
+            || n.contains("operational design domain")));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut reg = sample_register();
+        reg.assign("U1", Means::Removal).unwrap();
+        let md = reg.to_markdown();
+        assert!(md.contains("| U1 | perception | epistemic |"));
+        assert!(md.contains("| removal |"));
+        assert!(md.lines().count() == 5); // header + separator + 3 rows
+    }
+}

@@ -1,0 +1,315 @@
+//! The paper's taxonomy: types of uncertainty (Sec. III) and means to cope
+//! with them (Sec. IV, Fig. 3), as first-class values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three types of uncertainty (paper Sec. III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UncertaintyKind {
+    /// Randomness of a process represented by a (chosen) probabilistic
+    /// model; irreducible for that model choice (Sec. III-A).
+    Aleatory,
+    /// Lack of knowledge about the model's parameters or accuracy — the
+    /// *known unknown*; reducible by observation and refinement
+    /// (Sec. III-B).
+    Epistemic,
+    /// Complete ignorance of a relevant aspect — the *unknown unknown*;
+    /// only reducible by model *reformulation* (Sec. III-C).
+    Ontological,
+}
+
+impl UncertaintyKind {
+    /// All kinds, in the paper's order.
+    pub const ALL: [UncertaintyKind; 3] =
+        [UncertaintyKind::Aleatory, UncertaintyKind::Epistemic, UncertaintyKind::Ontological];
+
+    /// Whether the holder is *aware* of this uncertainty (the paper's
+    /// known-unknown vs unknown-unknown distinction).
+    pub fn is_known_unknown(&self) -> bool {
+        !matches!(self, UncertaintyKind::Ontological)
+    }
+
+    /// Whether more observations of the *same* model can reduce it.
+    pub fn reducible_by_observation(&self) -> bool {
+        matches!(self, UncertaintyKind::Epistemic)
+    }
+
+    /// The paper's rule of thumb for telling epistemic from ontological:
+    /// model *accuracy* vs model *correctness*.
+    pub fn discriminator(&self) -> &'static str {
+        match self {
+            UncertaintyKind::Aleatory => "spread of the chosen probabilistic model",
+            UncertaintyKind::Epistemic => "model accuracy (known unknown)",
+            UncertaintyKind::Ontological => "model correctness (unknown unknown)",
+        }
+    }
+}
+
+impl fmt::Display for UncertaintyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UncertaintyKind::Aleatory => write!(f, "aleatory"),
+            UncertaintyKind::Epistemic => write!(f, "epistemic"),
+            UncertaintyKind::Ontological => write!(f, "ontological"),
+        }
+    }
+}
+
+/// The four means to cope with uncertainty (paper Sec. IV, mirroring
+/// Laprie's fault prevention/removal/tolerance/forecasting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Means {
+    /// Avoid introducing uncertainty: simple architectures, restricted
+    /// operational design domain, well-known elements.
+    Prevention,
+    /// Reduce uncertainty: design-of-experiment and safety analysis at
+    /// design time; field observation and updates in use.
+    Removal,
+    /// Operate safely despite uncertainty: redundancy with diverse
+    /// uncertainties, uncertainty-aware components.
+    Tolerance,
+    /// Estimate the present level and future occurrence of uncertainty:
+    /// residual-risk estimation for the release decision.
+    Forecasting,
+}
+
+impl Means {
+    /// All means, in the paper's priority order ("uncertainty prevention
+    /// should be prioritized").
+    pub const ALL: [Means; 4] =
+        [Means::Prevention, Means::Removal, Means::Tolerance, Means::Forecasting];
+}
+
+impl fmt::Display for Means {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Means::Prevention => write!(f, "prevention"),
+            Means::Removal => write!(f, "removal"),
+            Means::Tolerance => write!(f, "tolerance"),
+            Means::Forecasting => write!(f, "forecasting"),
+        }
+    }
+}
+
+/// Lifecycle phase in which a method operates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// During development (design time).
+    DesignTime,
+    /// After release (during use / runtime).
+    InUse,
+}
+
+/// Qualitative effectiveness of a method against one uncertainty kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Effectiveness {
+    /// No meaningful effect.
+    None,
+    /// Helps, but cannot be the primary measure.
+    Partial,
+    /// A primary measure for this kind.
+    Strong,
+}
+
+/// A concrete engineering method classified by the taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    /// Method name.
+    pub name: &'static str,
+    /// Which mean it realizes.
+    pub means: Means,
+    /// When it operates.
+    pub phase: Phase,
+    /// Effectiveness against (aleatory, epistemic, ontological).
+    pub effectiveness: [Effectiveness; 3],
+    /// Which module of this workspace implements or demonstrates it.
+    pub implemented_by: &'static str,
+}
+
+impl Method {
+    /// Effectiveness against one kind.
+    pub fn against(&self, kind: UncertaintyKind) -> Effectiveness {
+        match kind {
+            UncertaintyKind::Aleatory => self.effectiveness[0],
+            UncertaintyKind::Epistemic => self.effectiveness[1],
+            UncertaintyKind::Ontological => self.effectiveness[2],
+        }
+    }
+}
+
+/// The built-in catalog of methods the paper names, classified per its
+/// Fig. 3 and Sec. IV discussion.
+pub fn method_catalog() -> Vec<Method> {
+    use Effectiveness::{None as No, Partial, Strong};
+    vec![
+        Method {
+            name: "restriction of the operational design domain",
+            means: Means::Prevention,
+            phase: Phase::DesignTime,
+            effectiveness: [Partial, Strong, Strong],
+            implemented_by: "sysunc-perception::WorldModel (reduced novel mass)",
+        },
+        Method {
+            name: "simple architectures not prone to emergent behavior",
+            means: Means::Prevention,
+            phase: Phase::DesignTime,
+            effectiveness: [No, Strong, Partial],
+            implemented_by: "design guideline (no executable form)",
+        },
+        Method {
+            name: "use of elements with well-known behavior",
+            means: Means::Prevention,
+            phase: Phase::DesignTime,
+            effectiveness: [No, Strong, Partial],
+            implemented_by: "sysunc-perception::ClassifierModel with tight confusion bounds",
+        },
+        Method {
+            name: "design of experiment / uncertainty propagation",
+            means: Means::Removal,
+            phase: Phase::DesignTime,
+            effectiveness: [Partial, Strong, No],
+            implemented_by: "sysunc-sampling, sysunc-pce",
+        },
+        Method {
+            name: "safety analysis with epistemic/ontological uncertainty",
+            means: Means::Removal,
+            phase: Phase::DesignTime,
+            effectiveness: [Partial, Strong, Partial],
+            implemented_by: "sysunc-fta (interval/fuzzy), sysunc-bayesnet::EvidentialNetwork",
+        },
+        Method {
+            name: "field observation and continuous updates",
+            means: Means::Removal,
+            phase: Phase::InUse,
+            effectiveness: [No, Strong, Strong],
+            implemented_by: "sysunc-perception::FieldCampaign",
+        },
+        Method {
+            name: "redundant architectures with diverse uncertainties",
+            means: Means::Tolerance,
+            phase: Phase::InUse,
+            effectiveness: [Strong, Strong, Partial],
+            implemented_by: "sysunc-perception::FusionSystem",
+        },
+        Method {
+            name: "uncertainty-aware components (epistemic outputs)",
+            means: Means::Tolerance,
+            phase: Phase::InUse,
+            effectiveness: [Partial, Strong, Partial],
+            implemented_by: "sysunc-perception::RejectingClassifier",
+        },
+        Method {
+            name: "estimation of residual uncertainty",
+            means: Means::Forecasting,
+            phase: Phase::DesignTime,
+            effectiveness: [Partial, Partial, Strong],
+            implemented_by: "sysunc-perception::ReleaseForecast (Good-Turing)",
+        },
+        Method {
+            name: "surprise monitoring (conditional entropy)",
+            means: Means::Forecasting,
+            phase: Phase::InUse,
+            effectiveness: [No, Partial, Strong],
+            implemented_by: "sysunc-orbital::SurpriseMonitor, sysunc-prob::info",
+        },
+    ]
+}
+
+/// Derives a ranked method shortlist for a given dominant uncertainty
+/// kind, honoring the paper's priority order prevention → removal →
+/// tolerance → forecasting among equally effective methods.
+pub fn recommend(kind: UncertaintyKind) -> Vec<Method> {
+    let mut methods: Vec<Method> = method_catalog()
+        .into_iter()
+        .filter(|m| m.against(kind) != Effectiveness::None)
+        .collect();
+    methods.sort_by(|a, b| {
+        b.against(kind)
+            .cmp(&a.against(kind))
+            .then_with(|| a.means.cmp(&b.means))
+    });
+    methods
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_properties_match_paper() {
+        assert!(UncertaintyKind::Epistemic.is_known_unknown());
+        assert!(UncertaintyKind::Aleatory.is_known_unknown());
+        assert!(!UncertaintyKind::Ontological.is_known_unknown());
+        assert!(UncertaintyKind::Epistemic.reducible_by_observation());
+        assert!(!UncertaintyKind::Aleatory.reducible_by_observation());
+        assert!(!UncertaintyKind::Ontological.reducible_by_observation());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(UncertaintyKind::Aleatory.to_string(), "aleatory");
+        assert_eq!(Means::Forecasting.to_string(), "forecasting");
+        assert_eq!(UncertaintyKind::ALL.len(), 3);
+        assert_eq!(Means::ALL.len(), 4);
+    }
+
+    #[test]
+    fn catalog_covers_all_means_and_phases() {
+        let catalog = method_catalog();
+        for means in Means::ALL {
+            assert!(
+                catalog.iter().any(|m| m.means == means),
+                "no method for {means}"
+            );
+        }
+        assert!(catalog.iter().any(|m| m.phase == Phase::DesignTime));
+        assert!(catalog.iter().any(|m| m.phase == Phase::InUse));
+        // Every kind has at least one Strong method.
+        for kind in UncertaintyKind::ALL {
+            assert!(
+                catalog.iter().any(|m| m.against(kind) == Effectiveness::Strong),
+                "no strong method against {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn ontological_recommendations_match_paper_argument() {
+        // Sec. IV: tolerance is "hardly able to cope" with ontological
+        // uncertainty; removal during use is "better suited".
+        let recs = recommend(UncertaintyKind::Ontological);
+        let first_strong: Vec<&Method> = recs
+            .iter()
+            .filter(|m| m.against(UncertaintyKind::Ontological) == Effectiveness::Strong)
+            .collect();
+        assert!(first_strong
+            .iter()
+            .any(|m| m.name.contains("field observation")));
+        // No tolerance method is rated Strong against ontological.
+        assert!(first_strong.iter().all(|m| m.means != Means::Tolerance));
+    }
+
+    #[test]
+    fn recommendation_ranking_prefers_prevention_on_ties() {
+        let recs = recommend(UncertaintyKind::Epistemic);
+        // Among Strong methods, prevention-type come first.
+        let strong: Vec<&Method> = recs
+            .iter()
+            .take_while(|m| m.against(UncertaintyKind::Epistemic) == Effectiveness::Strong)
+            .collect();
+        assert!(!strong.is_empty());
+        assert_eq!(strong[0].means, Means::Prevention);
+    }
+
+    #[test]
+    fn aleatory_is_tolerated_not_removed_in_use() {
+        // Field observation cannot reduce aleatory spread (it is
+        // irreducible for the chosen model) — the catalog encodes that.
+        let field = method_catalog()
+            .into_iter()
+            .find(|m| m.name.contains("field observation"))
+            .expect("catalog contains field observation");
+        assert_eq!(field.against(UncertaintyKind::Aleatory), Effectiveness::None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Additional combination rules and conflict diagnostics for mass
+//! functions: Murphy's averaging rule (robust under high conflict) and
+//! scalar evidence metrics used by the fusion experiments.
+
+use crate::error::{EvidenceError, Result};
+use crate::mass::MassFunction;
+
+/// Murphy's combination: average the mass functions, then apply Dempster's
+/// rule `n - 1` times to the average. Converges toward the majority
+/// opinion and, unlike raw Dempster, is robust to a single conflicting
+/// source (Zadeh's paradox).
+///
+/// # Errors
+///
+/// Returns [`EvidenceError::InvalidMass`] for empty input,
+/// [`EvidenceError::FrameMismatch`] for inconsistent frames, and
+/// propagates [`EvidenceError::TotalConflict`] (unreachable for the
+/// averaged input unless all masses were degenerate).
+pub fn combine_murphy(sources: &[MassFunction]) -> Result<MassFunction> {
+    let first = sources.first().ok_or_else(|| {
+        EvidenceError::InvalidMass("Murphy combination needs at least one source".into())
+    })?;
+    if sources.iter().any(|m| m.frame() != first.frame()) {
+        return Err(EvidenceError::FrameMismatch);
+    }
+    // Average the basic probability assignments.
+    let n = sources.len() as f64;
+    let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    for m in sources {
+        for (set, mass) in m.focal_elements() {
+            *acc.entry(set).or_insert(0.0) += mass / n;
+        }
+    }
+    let average = MassFunction::from_focal(first.frame(), acc.into_iter().collect())?;
+    let mut combined = average.clone();
+    for _ in 1..sources.len() {
+        combined = combined.combine_dempster(&average)?;
+    }
+    Ok(combined)
+}
+
+/// Shannon entropy (nats) of the pignistic transform — a scalar summary of
+/// the *decision-level* uncertainty left in the evidence.
+pub fn pignistic_entropy(m: &MassFunction) -> f64 {
+    sysunc_prob::info::entropy(&m.pignistic())
+}
+
+/// The weight of conflict `log(1 / (1 - K))` between two sources
+/// (Shafer): zero for agreeing sources, infinite at total conflict.
+///
+/// # Errors
+///
+/// Returns [`EvidenceError::FrameMismatch`] for different frames.
+pub fn weight_of_conflict(a: &MassFunction, b: &MassFunction) -> Result<f64> {
+    let k = a.conflict(b)?;
+    if (1.0 - k).abs() < 1e-15 {
+        Ok(f64::INFINITY)
+    } else {
+        Ok(-(1.0 - k).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mass::Frame;
+
+    fn frame() -> Frame {
+        Frame::new(vec!["a", "b", "c"]).unwrap()
+    }
+
+    #[test]
+    fn murphy_resolves_zadeh_paradox() {
+        // Two experts strongly favor a and c, both weakly allow b.
+        let f = frame();
+        let m1 = MassFunction::from_focal(&f, vec![(0b001, 0.99), (0b010, 0.01)]).unwrap();
+        let m2 = MassFunction::from_focal(&f, vec![(0b100, 0.99), (0b010, 0.01)]).unwrap();
+        // Dempster's pathological answer: all mass on b.
+        let dempster = m1.combine_dempster(&m2).unwrap();
+        assert!((dempster.mass(0b010) - 1.0).abs() < 1e-12);
+        // Murphy keeps a and c as the leading hypotheses.
+        let murphy = combine_murphy(&[m1, m2]).unwrap();
+        assert!(murphy.mass(0b001) > 0.4);
+        assert!(murphy.mass(0b100) > 0.4);
+        assert!(murphy.mass(0b010) < 0.02);
+    }
+
+    #[test]
+    fn murphy_agrees_with_dempster_for_consonant_sources() {
+        let f = frame();
+        let m = MassFunction::from_focal(&f, vec![(0b001, 0.6), (0b111, 0.4)]).unwrap();
+        let murphy = combine_murphy(&[m.clone(), m.clone()]).unwrap();
+        let dempster = m.combine_dempster(&m).unwrap();
+        for set in 1u64..8 {
+            assert!((murphy.mass(set) - dempster.mass(set)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn murphy_single_source_is_identity() {
+        let f = frame();
+        let m = MassFunction::from_focal(&f, vec![(0b011, 0.5), (0b111, 0.5)]).unwrap();
+        let out = combine_murphy(&[m.clone()]).unwrap();
+        for set in 1u64..8 {
+            assert!((out.mass(set) - m.mass(set)).abs() < 1e-12);
+        }
+        assert!(combine_murphy(&[]).is_err());
+    }
+
+    #[test]
+    fn conflict_weight_scale() {
+        let f = frame();
+        let agree = MassFunction::from_focal(&f, vec![(0b001, 1.0)]).unwrap();
+        assert_eq!(weight_of_conflict(&agree, &agree).unwrap(), 0.0);
+        let disagree = MassFunction::from_focal(&f, vec![(0b010, 1.0)]).unwrap();
+        assert_eq!(weight_of_conflict(&agree, &disagree).unwrap(), f64::INFINITY);
+        let partial = MassFunction::from_focal(&f, vec![(0b001, 0.5), (0b010, 0.5)]).unwrap();
+        let w = weight_of_conflict(&agree, &partial).unwrap();
+        assert!(w > 0.0 && w.is_finite());
+    }
+
+    #[test]
+    fn pignistic_entropy_orders_ignorance() {
+        let f = frame();
+        let sharp = MassFunction::from_focal(&f, vec![(0b001, 1.0)]).unwrap();
+        let vague = MassFunction::vacuous(&f);
+        assert!(pignistic_entropy(&sharp) < 1e-12);
+        assert!((pignistic_entropy(&vague) - 3.0f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error types for the evidence-theory crate.
+
+use std::fmt;
+
+/// Errors from interval, mass-function and fuzzy-number construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvidenceError {
+    /// An interval or cut family was malformed; the payload shows it.
+    InvalidInterval(String),
+    /// A frame of discernment was malformed (empty, too large, duplicate
+    /// names).
+    InvalidFrame(String),
+    /// A basic probability assignment was malformed.
+    InvalidMass(String),
+    /// A hypothesis name was not found in the frame.
+    UnknownHypothesis(String),
+    /// Two mass functions over different frames were combined.
+    FrameMismatch,
+    /// Dempster combination met total conflict (`K = 1`).
+    TotalConflict,
+}
+
+impl fmt::Display for EvidenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvidenceError::InvalidInterval(what) => write!(f, "invalid interval: {what}"),
+            EvidenceError::InvalidFrame(msg) => write!(f, "invalid frame: {msg}"),
+            EvidenceError::InvalidMass(msg) => write!(f, "invalid mass assignment: {msg}"),
+            EvidenceError::UnknownHypothesis(name) => {
+                write!(f, "hypothesis '{name}' is not in the frame")
+            }
+            EvidenceError::FrameMismatch => write!(f, "mass functions have different frames"),
+            EvidenceError::TotalConflict => {
+                write!(f, "total conflict: Dempster combination undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvidenceError {}
+
+/// Convenience result alias for the evidence crate.
+pub type Result<T> = std::result::Result<T, EvidenceError>;

@@ -1,0 +1,257 @@
+//! Closed-interval arithmetic — the simplest representation of *epistemic*
+//! uncertainty about a scalar (paper Sec. III-B: a quantity we could know
+//! but do not).
+
+use crate::error::{EvidenceError, Result};
+use std::fmt;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A closed real interval `[lo, hi]`.
+///
+/// Arithmetic follows the usual conservative (worst-case) rules, so results
+/// always *enclose* the true value — the containment guarantee that makes
+/// intervals sound for safety analysis.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_evidence::Interval;
+/// let a = Interval::new(1.0, 2.0)?;
+/// let b = Interval::new(-1.0, 1.0)?;
+/// let c = a * b;
+/// assert_eq!(c.lo(), -2.0);
+/// assert_eq!(c.hi(), 2.0);
+/// # Ok::<(), sysunc_evidence::EvidenceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvidenceError::InvalidInterval`] when `lo > hi` or either
+    /// endpoint is NaN.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            return Err(EvidenceError::InvalidInterval(format!("[{lo}, {hi}]")));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn degenerate(x: f64) -> Self {
+        Self { lo: x, hi: x }
+    }
+
+    /// The unit interval `[0, 1]` — total epistemic ignorance about a
+    /// probability.
+    pub fn unit() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo` — the scalar amount of epistemic uncertainty.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `x` lies in the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn encloses(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Clamps to `[0, 1]`, the valid range of probabilities.
+    pub fn clamp_unit(&self) -> Interval {
+        Interval { lo: self.lo.clamp(0.0, 1.0), hi: self.hi.clamp(0.0, 1.0) }
+    }
+
+    /// Applies a monotone non-decreasing function to both endpoints.
+    pub fn map_monotone<F: Fn(f64) -> f64>(&self, f: F) -> Interval {
+        Interval { lo: f(self.lo), hi: f(self.hi) }
+    }
+
+    /// `1 - [lo, hi]` — the complement of a probability interval.
+    pub fn complement_probability(&self) -> Interval {
+        Interval { lo: 1.0 - self.hi, hi: 1.0 - self.lo }
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+
+    fn add(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, rhs: Interval) -> Interval {
+        let c = [self.lo * rhs.lo, self.lo * rhs.hi, self.hi * rhs.lo, self.hi * rhs.hi];
+        Interval {
+            lo: c.iter().copied().fold(f64::INFINITY, f64::min),
+            hi: c.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl Div for Interval {
+    type Output = Interval;
+
+    /// # Panics
+    ///
+    /// Panics when the divisor interval contains zero.
+    fn div(self, rhs: Interval) -> Interval {
+        assert!(
+            !rhs.contains(0.0),
+            "interval division by an interval containing zero: [{}, {}]",
+            rhs.lo,
+            rhs.hi
+        );
+        self * Interval { lo: 1.0 / rhs.hi, hi: 1.0 / rhs.lo }
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+
+    fn neg(self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_inverted_or_nan() {
+        assert!(Interval::new(2.0, 1.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert!(Interval::new(1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn arithmetic_containment_property() {
+        // For any points inside the operands, the op result is inside the
+        // interval result.
+        let a = Interval::new(-1.5, 2.0).unwrap();
+        let b = Interval::new(0.5, 3.0).unwrap();
+        let xs = [-1.5, -0.3, 0.0, 1.0, 2.0];
+        let ys = [0.5, 1.1, 2.9, 3.0];
+        for &x in &xs {
+            if !a.contains(x) {
+                continue;
+            }
+            for &y in &ys {
+                assert!((a + b).contains(x + y));
+                assert!((a - b).contains(x - y));
+                assert!((a * b).contains(x * y));
+                assert!((a / b).contains(x / y));
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_sign_cases() {
+        let neg = Interval::new(-3.0, -1.0).unwrap();
+        let pos = Interval::new(2.0, 4.0).unwrap();
+        let prod = neg * pos;
+        assert_eq!(prod.lo(), -12.0);
+        assert_eq!(prod.hi(), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "containing zero")]
+    fn division_by_zero_interval_panics() {
+        let a = Interval::new(1.0, 2.0).unwrap();
+        let b = Interval::new(-1.0, 1.0).unwrap();
+        let _ = a / b;
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Interval::new(0.0, 2.0).unwrap();
+        let b = Interval::new(1.0, 3.0).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!((i.lo(), i.hi()), (1.0, 2.0));
+        let h = a.hull(&b);
+        assert_eq!((h.lo(), h.hi()), (0.0, 3.0));
+        let c = Interval::new(5.0, 6.0).unwrap();
+        assert!(a.intersect(&c).is_none());
+        assert!(h.encloses(&a));
+        assert!(!a.encloses(&h));
+    }
+
+    #[test]
+    fn probability_helpers() {
+        let p = Interval::new(0.2, 0.5).unwrap();
+        let q = p.complement_probability();
+        assert_eq!((q.lo(), q.hi()), (0.5, 0.8));
+        let wide = Interval::new(-0.5, 1.5).unwrap();
+        let cl = wide.clamp_unit();
+        assert_eq!((cl.lo(), cl.hi()), (0.0, 1.0));
+        assert_eq!(Interval::unit().width(), 1.0);
+        assert_eq!(Interval::degenerate(3.0).width(), 0.0);
+    }
+
+    #[test]
+    fn monotone_map() {
+        let a = Interval::new(0.0, 1.0).unwrap();
+        let e = a.map_monotone(|x| x.exp());
+        assert_eq!(e.lo(), 1.0);
+        assert!((e.hi() - std::f64::consts::E).abs() < 1e-15);
+    }
+}

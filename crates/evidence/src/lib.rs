@@ -1,0 +1,48 @@
+//! # sysunc-evidence — imprecise probability
+//!
+//! Epistemic- and ontological-uncertainty representations for the `sysunc`
+//! toolkit (reproduction of Gansch & Adee, *System Theoretic View on
+//! Uncertainties*, DATE 2020). The paper's Sec. V-B proposes safety
+//! analysis "based on evidence theory \[36\] in combination with Bayesian
+//! networks \[8\]"; this crate supplies the evidence-theory half:
+//!
+//! - [`Interval`] — conservative interval arithmetic for scalar epistemic
+//!   bounds.
+//! - [`Frame`] / [`MassFunction`] — Dempster–Shafer belief functions:
+//!   `Bel`/`Pl`, Dempster and Yager combination, discounting, pignistic
+//!   transform. Mass on non-singletons is epistemic indecision; mass on the
+//!   whole frame is (ontological) ignorance.
+//! - [`DsStructure`] — Dempster–Shafer structures on ℝ (probability
+//!   boxes): mixed aleatory+epistemic propagation with guaranteed
+//!   enclosure.
+//! - [`FuzzyNumber`] — α-cut fuzzy arithmetic for fuzzy fault tree analysis
+//!   (the paper's reference \[34\]).
+//!
+//! ```
+//! use sysunc_evidence::{Frame, MassFunction};
+//!
+//! // A classifier report that cannot tell car from pedestrian:
+//! let frame = Frame::new(vec!["car", "pedestrian", "unknown"])?;
+//! let report = MassFunction::from_focal(&frame, vec![
+//!     (frame.singleton("car")?, 0.6),
+//!     (frame.subset(&["car", "pedestrian"])?, 0.3), // epistemic indecision
+//!     (frame.theta(), 0.1),                          // ontological reserve
+//! ])?;
+//! let car = frame.singleton("car")?;
+//! assert!(report.belief(car) < report.plausibility(car));
+//! # Ok::<(), sysunc_evidence::EvidenceError>(())
+//! ```
+
+mod combination;
+mod error;
+mod fuzzy;
+mod interval;
+mod mass;
+mod pbox;
+
+pub use combination::{combine_murphy, pignistic_entropy, weight_of_conflict};
+pub use error::{EvidenceError, Result};
+pub use fuzzy::FuzzyNumber;
+pub use interval::Interval;
+pub use mass::{Frame, MassFunction};
+pub use pbox::DsStructure;

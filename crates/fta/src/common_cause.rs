@@ -1,0 +1,167 @@
+//! Common-cause failure modeling (beta-factor method).
+//!
+//! The paper closes Sec. V-B by noting that dependency modeling "by common
+//! parent nodes" identifies "common causes for uncertainties" — the
+//! classic reliability counterpart is the beta-factor model: a fraction
+//! `β` of each redundant component's failure rate is carried by a shared
+//! cause that defeats the redundancy. This module rewrites a group of
+//! redundant basic events into independent parts plus an explicit
+//! common-cause event, so the standard (independence-assuming) fault tree
+//! machinery stays sound.
+
+use crate::error::{FtaError, Result};
+use crate::tree::{FaultTree, GateKind, NodeRef};
+
+/// Result of installing a beta-factor common-cause group.
+#[derive(Debug, Clone)]
+pub struct CommonCauseGroup {
+    /// The common-cause basic event shared by the whole group.
+    pub common_event: NodeRef,
+    /// Per member: an OR gate `independent part ∨ common cause` that
+    /// should be used in place of the original event.
+    pub member_events: Vec<NodeRef>,
+}
+
+/// Installs a beta-factor common-cause group over `n` redundant components
+/// with total per-component failure probability `p` and common-cause
+/// fraction `beta ∈ [0, 1)`.
+///
+/// Each member's failure is modeled as `independent(p·(1-β)) ∨ common(p·β)`
+/// with a single shared common event, so that:
+/// - each member still fails with probability ≈ `p` (exactly
+///   `1-(1-p(1-β))(1-pβ)`, equal to `p` to first order);
+/// - all members fail together with probability at least `p·β`.
+///
+/// # Errors
+///
+/// Returns [`FtaError::InvalidEvent`] for `n == 0`, `p` outside `[0, 1]`,
+/// or `beta` outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_fta::{install_common_cause_group, FaultTree, GateKind};
+/// let mut ft = FaultTree::new();
+/// let group = install_common_cause_group(&mut ft, "sensor", 2, 1e-3, 0.1)?;
+/// let top = ft.add_gate("both fail", GateKind::And, group.member_events)?;
+/// ft.set_top(top)?;
+/// // With β = 0.1 the pair failure is dominated by the common cause
+/// // (1e-4), far above the independent product (≈ 8.1e-7).
+/// let p = ft.top_probability_exact()?;
+/// assert!(p > 0.9e-4 && p < 1.2e-4);
+/// # Ok::<(), sysunc_fta::FtaError>(())
+/// ```
+pub fn install_common_cause_group(
+    tree: &mut FaultTree,
+    name_prefix: &str,
+    n: usize,
+    p: f64,
+    beta: f64,
+) -> Result<CommonCauseGroup> {
+    if n == 0 {
+        return Err(FtaError::InvalidEvent("common-cause group needs n > 0".into()));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FtaError::InvalidEvent(format!(
+            "component probability must be in [0,1], got {p}"
+        )));
+    }
+    if !(0.0..1.0).contains(&beta) {
+        return Err(FtaError::InvalidEvent(format!(
+            "beta must be in [0,1), got {beta}"
+        )));
+    }
+    let common =
+        tree.add_basic_event(format!("{name_prefix}: common cause"), p * beta)?;
+    let mut member_events = Vec::with_capacity(n);
+    for i in 0..n {
+        let independent = tree.add_basic_event(
+            format!("{name_prefix} #{i}: independent failure"),
+            p * (1.0 - beta),
+        )?;
+        let member = tree.add_gate(
+            format!("{name_prefix} #{i} fails"),
+            GateKind::Or,
+            vec![independent, common],
+        )?;
+        member_events.push(member);
+    }
+    Ok(CommonCauseGroup { common_event: common, member_events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let mut ft = FaultTree::new();
+        assert!(install_common_cause_group(&mut ft, "x", 0, 0.1, 0.1).is_err());
+        assert!(install_common_cause_group(&mut ft, "x", 2, 1.5, 0.1).is_err());
+        assert!(install_common_cause_group(&mut ft, "x", 2, 0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn member_probability_is_preserved_to_first_order() {
+        let mut ft = FaultTree::new();
+        let p = 1e-3;
+        let group = install_common_cause_group(&mut ft, "s", 3, p, 0.2).unwrap();
+        ft.set_top(group.member_events[0]).unwrap();
+        let member_p = ft.top_probability_exact().unwrap();
+        assert!((member_p - p).abs() / p < 2e-4, "member p = {member_p}");
+    }
+
+    #[test]
+    fn beta_floor_on_group_failure() {
+        // The all-fail probability cannot drop below p*beta no matter the
+        // redundancy depth — the paper's common-cause warning quantified.
+        let p = 1e-3;
+        let beta = 0.1;
+        for n in [2usize, 3, 4] {
+            let mut ft = FaultTree::new();
+            let group = install_common_cause_group(&mut ft, "s", n, p, beta).unwrap();
+            let top = ft.add_gate("all fail", GateKind::And, group.member_events).unwrap();
+            ft.set_top(top).unwrap();
+            let pf = ft.top_probability_exact().unwrap();
+            assert!(pf >= p * beta, "n={n}: {pf} < floor {}", p * beta);
+            assert!(pf < p * beta * 1.1, "n={n}: dominated by the common cause");
+        }
+    }
+
+    #[test]
+    fn zero_beta_recovers_independence() {
+        let p = 0.01;
+        let mut ft = FaultTree::new();
+        let group = install_common_cause_group(&mut ft, "s", 2, p, 0.0).unwrap();
+        let top = ft.add_gate("both", GateKind::And, group.member_events).unwrap();
+        ft.set_top(top).unwrap();
+        let pf = ft.top_probability_exact().unwrap();
+        assert!((pf - p * p).abs() < 1e-9, "{pf} vs {}", p * p);
+    }
+
+    #[test]
+    fn diversity_comparison() {
+        // Diverse channels (two independent groups) beat same-technology
+        // channels (one shared group) at equal per-channel probability.
+        let p = 1e-3;
+        let beta = 0.1;
+        // Same technology: shared common cause.
+        let mut same = FaultTree::new();
+        let g = install_common_cause_group(&mut same, "cam", 2, p, beta).unwrap();
+        let top = same.add_gate("both", GateKind::And, g.member_events).unwrap();
+        same.set_top(top).unwrap();
+        // Diverse: each channel its own (unshared) common-cause slot, so
+        // effectively independent at probability p.
+        let mut diverse = FaultTree::new();
+        let a = diverse.add_basic_event("cam fails", p).unwrap();
+        let b = diverse.add_basic_event("radar fails", p).unwrap();
+        let top2 = diverse.add_gate("both", GateKind::And, vec![a, b]).unwrap();
+        diverse.set_top(top2).unwrap();
+        let p_same = same.top_probability_exact().unwrap();
+        let p_div = diverse.top_probability_exact().unwrap();
+        assert!(
+            p_same > 50.0 * p_div,
+            "common cause dominates: {p_same} vs {p_div}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Fault tree → Bayesian network conversion (paper Sec. V-B: BNs subsume
+//! FTA and "allow hierarchical refinement analogous to FTA").
+//!
+//! Basic events become root nodes with a Bernoulli prior; gates become
+//! deterministic nodes whose CPTs encode the boolean function. Posterior
+//! queries on the resulting BN answer diagnostic questions classic FTA
+//! cannot (e.g. `P(basic event | top occurred)`).
+
+use crate::error::{FtaError, Result};
+use crate::tree::{FaultTree, GateKind, NodeRef};
+use sysunc_bayesnet::BayesNet;
+
+/// Result of converting a fault tree to a Bayesian network.
+#[derive(Debug, Clone)]
+pub struct ConvertedTree {
+    /// The Bayesian network. Every node has states `["ok", "failed"]`.
+    pub network: BayesNet,
+    /// BN node id for each basic event (by basic-event index).
+    pub basic_ids: Vec<usize>,
+    /// BN node id for each gate (by gate index).
+    pub gate_ids: Vec<usize>,
+    /// BN node id of the top event.
+    pub top_id: usize,
+}
+
+/// Converts a static fault tree into an equivalent Bayesian network.
+///
+/// # Errors
+///
+/// Returns [`FtaError::NoTopEvent`] when no top is set; internal BN
+/// construction errors surface as [`FtaError::InvalidGate`].
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_fta::{fault_tree_to_bayes_net, FaultTree, GateKind};
+/// let mut ft = FaultTree::new();
+/// let a = ft.add_basic_event("a", 0.01)?;
+/// let b = ft.add_basic_event("b", 0.02)?;
+/// let top = ft.add_gate("top", GateKind::Or, vec![a, b])?;
+/// ft.set_top(top)?;
+/// let conv = fault_tree_to_bayes_net(&ft)?;
+/// let p_top = conv.network.marginal("top", &[])?[1];
+/// assert!((p_top - ft.top_probability_exact()?).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fault_tree_to_bayes_net(tree: &FaultTree) -> Result<ConvertedTree> {
+    let top = tree.top().ok_or(FtaError::NoTopEvent)?;
+    let mut bn = BayesNet::new();
+    let mut basic_ids = Vec::with_capacity(tree.basic_events().len());
+    for be in tree.basic_events() {
+        let id = bn
+            .add_root(be.name.clone(), vec!["ok", "failed"], vec![
+                1.0 - be.probability,
+                be.probability,
+            ])
+            .map_err(|e| FtaError::InvalidGate(e.to_string()))?;
+        basic_ids.push(id);
+    }
+    let mut gate_ids = Vec::with_capacity(tree.gates().len());
+    for gate in tree.gates() {
+        let parents: Vec<usize> = gate
+            .inputs
+            .iter()
+            .map(|&r| match r {
+                NodeRef::Basic(i) => basic_ids[i],
+                NodeRef::Gate(g) => gate_ids[g],
+            })
+            .collect();
+        // Deterministic CPT: one row per parent combination (last parent
+        // fastest), each row [P(ok), P(failed)].
+        let rows = 1usize << parents.len();
+        let mut cpt = Vec::with_capacity(rows);
+        for row in 0..rows {
+            // Bit j of `row` is the state of parent j — with the LAST
+            // parent iterating fastest, parent j has weight
+            // 2^(n-1-j).
+            let n = parents.len();
+            let failed_count = (0..n)
+                .filter(|&j| (row >> (n - 1 - j)) & 1 == 1)
+                .count();
+            let fails = match gate.kind {
+                GateKind::And => failed_count == n,
+                GateKind::Or => failed_count >= 1,
+                GateKind::KOfN(k) => failed_count >= k,
+            };
+            cpt.push(if fails { vec![0.0, 1.0] } else { vec![1.0, 0.0] });
+        }
+        let id = bn
+            .add_node(gate.name.clone(), vec!["ok", "failed"], parents, cpt)
+            .map_err(|e| FtaError::InvalidGate(e.to_string()))?;
+        gate_ids.push(id);
+    }
+    let top_id = match top {
+        NodeRef::Basic(i) => basic_ids[i],
+        NodeRef::Gate(g) => gate_ids[g],
+    };
+    Ok(ConvertedTree { network: bn, basic_ids, gate_ids, top_id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> FaultTree {
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.1).unwrap();
+        let b = ft.add_basic_event("b", 0.2).unwrap();
+        let c = ft.add_basic_event("c", 0.05).unwrap();
+        let g1 = ft.add_gate("ab", GateKind::And, vec![a, b]).unwrap();
+        let top = ft.add_gate("top", GateKind::Or, vec![g1, c]).unwrap();
+        ft.set_top(top).unwrap();
+        ft
+    }
+
+    #[test]
+    fn converted_bn_matches_exact_probability() {
+        let ft = sample_tree();
+        let conv = fault_tree_to_bayes_net(&ft).unwrap();
+        let p_bn = conv.network.marginal("top", &[]).unwrap()[1];
+        let p_ft = ft.top_probability_exact().unwrap();
+        assert!((p_bn - p_ft).abs() < 1e-12);
+
+        // also for a voting gate with repeated structure
+        let mut ft2 = FaultTree::new();
+        let events: Vec<NodeRef> =
+            (0..3).map(|i| ft2.add_basic_event(format!("e{i}"), 0.2).unwrap()).collect();
+        let vote = ft2.add_gate("2oo3", GateKind::KOfN(2), events).unwrap();
+        ft2.set_top(vote).unwrap();
+        let conv2 = fault_tree_to_bayes_net(&ft2).unwrap();
+        let p2 = conv2.network.marginal("2oo3", &[]).unwrap()[1];
+        assert!((p2 - ft2.top_probability_exact().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagnostic_posterior_beyond_classic_fta() {
+        let ft = sample_tree();
+        let conv = fault_tree_to_bayes_net(&ft).unwrap();
+        // P(c failed | top failed): diagnosis that FTA cannot express.
+        let post = conv.network.marginal("c", &[("top", "failed")]).unwrap()[1];
+        let prior = 0.05;
+        assert!(post > prior, "observing the top failure must raise P(c): {post}");
+        // Explaining away: also observing that the AND branch failed
+        // lowers P(c failed) back down.
+        let post2 = conv
+            .network
+            .marginal("c", &[("top", "failed"), ("ab", "failed")])
+            .unwrap()[1];
+        assert!(post2 < post);
+    }
+
+    #[test]
+    fn conversion_requires_top() {
+        let mut ft = FaultTree::new();
+        ft.add_basic_event("a", 0.1).unwrap();
+        assert!(matches!(fault_tree_to_bayes_net(&ft), Err(FtaError::NoTopEvent)));
+    }
+}

@@ -1,0 +1,287 @@
+//! Minimal cut set computation (MOCUS) and cut-set-based quantification
+//! bounds and importance measures.
+
+use crate::error::{FtaError, Result};
+use crate::tree::{FaultTree, GateKind, NodeRef};
+use std::collections::BTreeSet;
+
+/// A cut set: a set of basic-event indices whose joint failure causes the
+/// top event.
+pub type CutSet = BTreeSet<usize>;
+
+/// Computes the minimal cut sets of the tree's top event using the MOCUS
+/// top-down expansion with subsumption minimization.
+///
+/// # Errors
+///
+/// Returns [`FtaError::NoTopEvent`] when no top is set and
+/// [`FtaError::TooLarge`] if the intermediate expansion exceeds one
+/// million cut set candidates.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_fta::{minimal_cut_sets, FaultTree, GateKind};
+/// let mut ft = FaultTree::new();
+/// let a = ft.add_basic_event("a", 0.1)?;
+/// let b = ft.add_basic_event("b", 0.1)?;
+/// let c = ft.add_basic_event("c", 0.1)?;
+/// let and = ft.add_gate("ab", GateKind::And, vec![a, b])?;
+/// let top = ft.add_gate("top", GateKind::Or, vec![and, c])?;
+/// ft.set_top(top)?;
+/// let cuts = minimal_cut_sets(&ft)?;
+/// assert_eq!(cuts.len(), 2); // {a, b} and {c}
+/// # Ok::<(), sysunc_fta::FtaError>(())
+/// ```
+pub fn minimal_cut_sets(tree: &FaultTree) -> Result<Vec<CutSet>> {
+    const LIMIT: usize = 1_000_000;
+    let top = tree.top().ok_or(FtaError::NoTopEvent)?;
+    let mut sets = expand(tree, top, LIMIT)?;
+    // Subsumption: drop any set that contains another.
+    sets.sort_by_key(|s| s.len());
+    let mut minimal: Vec<CutSet> = Vec::new();
+    'outer: for s in sets {
+        for m in &minimal {
+            if m.is_subset(&s) {
+                continue 'outer;
+            }
+        }
+        minimal.push(s);
+    }
+    Ok(minimal)
+}
+
+/// Recursive expansion of a node into (not yet minimal) cut sets.
+fn expand(tree: &FaultTree, node: NodeRef, limit: usize) -> Result<Vec<CutSet>> {
+    match node {
+        NodeRef::Basic(i) => Ok(vec![CutSet::from([i])]),
+        NodeRef::Gate(g) => {
+            let gate = &tree.gates()[g];
+            let children: Vec<Vec<CutSet>> = gate
+                .inputs
+                .iter()
+                .map(|&c| expand(tree, c, limit))
+                .collect::<Result<_>>()?;
+            match gate.kind {
+                GateKind::Or => {
+                    let mut out: Vec<CutSet> = children.into_iter().flatten().collect();
+                    out.dedup();
+                    check_limit(out.len(), limit)?;
+                    Ok(out)
+                }
+                GateKind::And => combine_all(&children, limit),
+                GateKind::KOfN(k) => {
+                    // OR over all k-subsets of inputs, AND within.
+                    let n = children.len();
+                    let mut out = Vec::new();
+                    let mut combo: Vec<usize> = (0..k).collect();
+                    loop {
+                        let subset: Vec<Vec<CutSet>> =
+                            combo.iter().map(|&i| children[i].clone()).collect();
+                        out.extend(combine_all(&subset, limit)?);
+                        check_limit(out.len(), limit)?;
+                        // Next k-combination.
+                        let mut i = k;
+                        loop {
+                            if i == 0 {
+                                return Ok(out);
+                            }
+                            i -= 1;
+                            if combo[i] != i + n - k {
+                                combo[i] += 1;
+                                for j in i + 1..k {
+                                    combo[j] = combo[j - 1] + 1;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cartesian product with union — the AND combination of child cut sets.
+fn combine_all(children: &[Vec<CutSet>], limit: usize) -> Result<Vec<CutSet>> {
+    let mut acc: Vec<CutSet> = vec![CutSet::new()];
+    for child in children {
+        let mut next = Vec::with_capacity(acc.len() * child.len());
+        for a in &acc {
+            for c in child {
+                let mut u = a.clone();
+                u.extend(c.iter().copied());
+                next.push(u);
+            }
+        }
+        check_limit(next.len(), limit)?;
+        acc = next;
+    }
+    Ok(acc)
+}
+
+fn check_limit(len: usize, limit: usize) -> Result<()> {
+    if len > limit {
+        Err(FtaError::TooLarge(len))
+    } else {
+        Ok(())
+    }
+}
+
+/// Rare-event (first-order) approximation of the top-event probability:
+/// the sum of cut-set probabilities. An upper bound for coherent trees.
+pub fn rare_event_approximation(tree: &FaultTree, cuts: &[CutSet]) -> f64 {
+    cuts.iter()
+        .map(|c| c.iter().map(|&i| tree.basic_events()[i].probability).product::<f64>())
+        .sum()
+}
+
+/// Esary–Proschan (min-cut upper bound) approximation:
+/// `1 - Π_k (1 - P(C_k))`. Exact when cut sets are independent.
+pub fn esary_proschan(tree: &FaultTree, cuts: &[CutSet]) -> f64 {
+    1.0 - cuts
+        .iter()
+        .map(|c| {
+            1.0 - c.iter().map(|&i| tree.basic_events()[i].probability).product::<f64>()
+        })
+        .product::<f64>()
+}
+
+/// Importance measures of a basic event, all defined from the exact
+/// top-event probability with the event forced working/failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImportanceMeasures {
+    /// Birnbaum: `P(top | e fails) - P(top | e works)`.
+    pub birnbaum: f64,
+    /// Fussell–Vesely: fraction of top probability carried by cut sets
+    /// containing the event.
+    pub fussell_vesely: f64,
+    /// Risk achievement worth: `P(top | e fails) / P(top)`.
+    pub risk_achievement_worth: f64,
+    /// Risk reduction worth: `P(top) / P(top | e works)`.
+    pub risk_reduction_worth: f64,
+}
+
+/// Computes importance measures for one basic event.
+///
+/// # Errors
+///
+/// Returns [`FtaError::InvalidEvent`] for bad indices and propagates
+/// quantification errors.
+pub fn importance(tree: &FaultTree, basic: usize) -> Result<ImportanceMeasures> {
+    if basic >= tree.basic_events().len() {
+        return Err(FtaError::InvalidEvent(format!("no basic event {basic}")));
+    }
+    let p0 = tree.top_probability_exact()?;
+    let original = tree.basic_events()[basic].probability;
+    let mut t = tree.clone();
+    t.set_probability(basic, 1.0)?;
+    let p_failed = t.top_probability_exact()?;
+    t.set_probability(basic, 0.0)?;
+    let p_working = t.top_probability_exact()?;
+    t.set_probability(basic, original)?;
+    let cuts = minimal_cut_sets(tree)?;
+    let with_event: Vec<CutSet> =
+        cuts.iter().filter(|c| c.contains(&basic)).cloned().collect();
+    let fv = if p0 > 0.0 { esary_proschan(tree, &with_event) / p0 } else { 0.0 };
+    Ok(ImportanceMeasures {
+        birnbaum: p_failed - p_working,
+        fussell_vesely: fv,
+        risk_achievement_worth: if p0 > 0.0 { p_failed / p0 } else { f64::INFINITY },
+        risk_reduction_worth: if p_working > 0.0 { p0 / p_working } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic bridge-like tree: top = (A·B) + (C·D) + (A·D·E).
+    fn sample_tree() -> FaultTree {
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.1).unwrap();
+        let b = ft.add_basic_event("b", 0.2).unwrap();
+        let c = ft.add_basic_event("c", 0.15).unwrap();
+        let d = ft.add_basic_event("d", 0.05).unwrap();
+        let e = ft.add_basic_event("e", 0.3).unwrap();
+        let g1 = ft.add_gate("ab", GateKind::And, vec![a, b]).unwrap();
+        let g2 = ft.add_gate("cd", GateKind::And, vec![c, d]).unwrap();
+        let g3 = ft.add_gate("ade", GateKind::And, vec![a, d, e]).unwrap();
+        let top = ft.add_gate("top", GateKind::Or, vec![g1, g2, g3]).unwrap();
+        ft.set_top(top).unwrap();
+        ft
+    }
+
+    #[test]
+    fn mocus_finds_minimal_cut_sets() {
+        let ft = sample_tree();
+        let cuts = minimal_cut_sets(&ft).unwrap();
+        assert_eq!(cuts.len(), 3);
+        assert!(cuts.contains(&CutSet::from([0, 1])));
+        assert!(cuts.contains(&CutSet::from([2, 3])));
+        assert!(cuts.contains(&CutSet::from([0, 3, 4])));
+    }
+
+    #[test]
+    fn subsumption_removes_non_minimal_sets() {
+        // top = A + (A·B): minimal cut sets = {A} only.
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.1).unwrap();
+        let b = ft.add_basic_event("b", 0.1).unwrap();
+        let ab = ft.add_gate("ab", GateKind::And, vec![a, b]).unwrap();
+        let top = ft.add_gate("top", GateKind::Or, vec![a, ab]).unwrap();
+        ft.set_top(top).unwrap();
+        let cuts = minimal_cut_sets(&ft).unwrap();
+        assert_eq!(cuts, vec![CutSet::from([0])]);
+    }
+
+    #[test]
+    fn kofn_cut_sets() {
+        let mut ft = FaultTree::new();
+        let events: Vec<NodeRef> =
+            (0..4).map(|i| ft.add_basic_event(format!("e{i}"), 0.1).unwrap()).collect();
+        let vote = ft.add_gate("2oo4", GateKind::KOfN(2), events).unwrap();
+        ft.set_top(vote).unwrap();
+        let cuts = minimal_cut_sets(&ft).unwrap();
+        assert_eq!(cuts.len(), 6); // C(4, 2)
+        assert!(cuts.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn bounds_bracket_exact_probability() {
+        let ft = sample_tree();
+        let cuts = minimal_cut_sets(&ft).unwrap();
+        let exact = ft.top_probability_exact().unwrap();
+        let rare = rare_event_approximation(&ft, &cuts);
+        let ep = esary_proschan(&ft, &cuts);
+        assert!(exact <= rare + 1e-12, "rare-event must upper bound: {exact} vs {rare}");
+        assert!(exact <= ep + 1e-12, "Esary-Proschan upper bounds coherent trees");
+        assert!(ep <= rare + 1e-12, "EP is tighter than the rare-event sum");
+        // For small probabilities the bounds are tight.
+        assert!((rare - exact) / exact < 0.05);
+    }
+
+    #[test]
+    fn importance_ordering_is_sensible() {
+        let ft = sample_tree();
+        // Event a participates in two cut sets, event e in one (the
+        // weakest). Birnbaum(a) should exceed Birnbaum(e).
+        let ia = importance(&ft, 0).unwrap();
+        let ie = importance(&ft, 4).unwrap();
+        assert!(ia.birnbaum > ie.birnbaum);
+        assert!(ia.fussell_vesely > ie.fussell_vesely);
+        assert!(ia.risk_achievement_worth > 1.0);
+        assert!(ia.risk_reduction_worth > 1.0);
+        assert!(importance(&ft, 99).is_err());
+    }
+
+    #[test]
+    fn single_event_importance_is_total() {
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.25).unwrap();
+        ft.set_top(a).unwrap();
+        let m = importance(&ft, 0).unwrap();
+        assert!((m.birnbaum - 1.0).abs() < 1e-12);
+        assert!((m.fussell_vesely - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! Error types for fault tree analysis.
+
+use std::fmt;
+
+/// Errors from fault tree construction and quantification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtaError {
+    /// A basic event was malformed (bad probability, duplicate name, bad
+    /// index).
+    InvalidEvent(String),
+    /// A gate was malformed (no inputs, dangling reference, bad k).
+    InvalidGate(String),
+    /// No top event has been set.
+    NoTopEvent,
+    /// The analysis exceeds the implementation's size guard; the payload
+    /// is the offending count.
+    TooLarge(usize),
+}
+
+impl fmt::Display for FtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtaError::InvalidEvent(msg) => write!(f, "invalid basic event: {msg}"),
+            FtaError::InvalidGate(msg) => write!(f, "invalid gate: {msg}"),
+            FtaError::NoTopEvent => write!(f, "no top event set"),
+            FtaError::TooLarge(n) => write!(f, "analysis too large: {n} elements"),
+        }
+    }
+}
+
+impl std::error::Error for FtaError {}
+
+/// Convenience result alias for the FTA crate.
+pub type Result<T> = std::result::Result<T, FtaError>;

@@ -1,0 +1,61 @@
+//! # sysunc-fta — fault tree analysis with uncertainty
+//!
+//! The safety-analysis substrate of the `sysunc` toolkit (reproduction of
+//! Gansch & Adee, *System Theoretic View on Uncertainties*, DATE 2020).
+//! The paper's Sec. V discusses FTA, its shortcomings for uncertain
+//! relations, and its extensions; this crate implements the whole family
+//! from scratch:
+//!
+//! - [`FaultTree`] — static trees (AND/OR/K-of-N), exact top-event
+//!   probability by enumeration, structure function, coherence check.
+//! - [`minimal_cut_sets`] — MOCUS with subsumption;
+//!   [`rare_event_approximation`] / [`esary_proschan`] bounds;
+//!   [`importance`] measures (Birnbaum, Fussell–Vesely, RAW, RRW).
+//! - [`quantify_with`] — structure-recursive quantification generic over a
+//!   [`ProbabilityAlgebra`]: crisp `f64`, epistemic
+//!   [`sysunc_evidence::Interval`]s (interval FTA), or
+//!   [`sysunc_evidence::FuzzyNumber`]s (fuzzy FTA, Tanaka — paper
+//!   reference \[34\]).
+//! - [`DynamicFaultTree`] — dynamic gates (PAND, cold SPARE, FDEP — Dugan,
+//!   reference \[33\]) quantified by Monte Carlo on failure timelines.
+//! - [`fault_tree_to_bayes_net`] — the FTA→BN embedding the paper's
+//!   Sec. V-B builds on.
+//!
+//! ```
+//! use sysunc_fta::{minimal_cut_sets, FaultTree, GateKind};
+//!
+//! // Redundant perception: camera AND radar must fail together,
+//! // OR the shared power supply fails (common cause).
+//! let mut ft = FaultTree::new();
+//! let cam = ft.add_basic_event("camera fails", 1e-3)?;
+//! let radar = ft.add_basic_event("radar fails", 2e-3)?;
+//! let psu = ft.add_basic_event("power supply fails", 1e-5)?;
+//! let pair = ft.add_gate("both sensors", GateKind::And, vec![cam, radar])?;
+//! let top = ft.add_gate("perception lost", GateKind::Or, vec![pair, psu])?;
+//! ft.set_top(top)?;
+//! let cuts = minimal_cut_sets(&ft)?;
+//! assert_eq!(cuts.len(), 2); // {cam, radar} and {psu}
+//! assert!(ft.top_probability_exact()? < 2e-5);
+//! # Ok::<(), sysunc_fta::FtaError>(())
+//! ```
+
+mod common_cause;
+mod convert;
+mod epistemic_importance;
+mod cutset;
+mod dynamic;
+mod error;
+mod tree;
+mod uncertain;
+
+pub use common_cause::{install_common_cause_group, CommonCauseGroup};
+pub use epistemic_importance::{epistemic_importance, EpistemicImportance};
+pub use convert::{fault_tree_to_bayes_net, ConvertedTree};
+pub use cutset::{
+    esary_proschan, importance, minimal_cut_sets, rare_event_approximation, CutSet,
+    ImportanceMeasures,
+};
+pub use dynamic::{DynGate, DynGateKind, DynRef, DynamicFaultTree, TimedEvent};
+pub use error::{FtaError, Result};
+pub use tree::{BasicEvent, FaultTree, Gate, GateKind, NodeRef};
+pub use uncertain::{quantify_with, ProbabilityAlgebra};

@@ -1,0 +1,382 @@
+//! Static fault tree structure (paper Sec. V-A).
+
+use crate::error::{FtaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Reference to a node of the fault tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A basic event by index.
+    Basic(usize),
+    /// A gate by index.
+    Gate(usize),
+}
+
+/// The boolean operator of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Output fails iff all inputs fail.
+    And,
+    /// Output fails iff any input fails.
+    Or,
+    /// Output fails iff at least `k` inputs fail (voting gate).
+    KOfN(usize),
+}
+
+/// A basic event: a root cause with a failure probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicEvent {
+    /// Event name.
+    pub name: String,
+    /// Failure probability per demand (or at mission time).
+    pub probability: f64,
+}
+
+/// A gate combining child nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Gate name.
+    pub name: String,
+    /// Boolean operator.
+    pub kind: GateKind,
+    /// Input nodes.
+    pub inputs: Vec<NodeRef>,
+}
+
+/// A static fault tree: basic events, gates and a designated top event.
+///
+/// Gates must be added after their inputs, so the structure is acyclic by
+/// construction. Shared subtrees (repeated events) are allowed.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_fta::{FaultTree, GateKind};
+/// let mut ft = FaultTree::new();
+/// let a = ft.add_basic_event("sensor A fails", 0.01)?;
+/// let b = ft.add_basic_event("sensor B fails", 0.01)?;
+/// let top = ft.add_gate("both sensors fail", GateKind::And, vec![a, b])?;
+/// ft.set_top(top)?;
+/// assert!((ft.top_probability_exact()? - 1e-4).abs() < 1e-12);
+/// # Ok::<(), sysunc_fta::FtaError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultTree {
+    basic: Vec<BasicEvent>,
+    gates: Vec<Gate>,
+    top: Option<NodeRef>,
+}
+
+impl FaultTree {
+    /// Creates an empty fault tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a basic event; returns its reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidEvent`] for probabilities outside
+    /// `[0, 1]` or duplicate names.
+    pub fn add_basic_event<S: Into<String>>(
+        &mut self,
+        name: S,
+        probability: f64,
+    ) -> Result<NodeRef> {
+        let name = name.into();
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(FtaError::InvalidEvent(format!(
+                "probability of '{name}' must be in [0,1], got {probability}"
+            )));
+        }
+        if self.basic.iter().any(|b| b.name == name) {
+            return Err(FtaError::InvalidEvent(format!("duplicate basic event '{name}'")));
+        }
+        self.basic.push(BasicEvent { name, probability });
+        Ok(NodeRef::Basic(self.basic.len() - 1))
+    }
+
+    /// Adds a gate over existing nodes; returns its reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidGate`] for empty inputs, dangling
+    /// references, or invalid `k` in a voting gate.
+    pub fn add_gate<S: Into<String>>(
+        &mut self,
+        name: S,
+        kind: GateKind,
+        inputs: Vec<NodeRef>,
+    ) -> Result<NodeRef> {
+        let name = name.into();
+        if inputs.is_empty() {
+            return Err(FtaError::InvalidGate(format!("gate '{name}' has no inputs")));
+        }
+        for input in &inputs {
+            if !self.node_exists(*input) {
+                return Err(FtaError::InvalidGate(format!(
+                    "gate '{name}' references a missing node"
+                )));
+            }
+        }
+        if let GateKind::KOfN(k) = kind {
+            if k == 0 || k > inputs.len() {
+                return Err(FtaError::InvalidGate(format!(
+                    "gate '{name}': k = {k} out of range for {} inputs",
+                    inputs.len()
+                )));
+            }
+        }
+        self.gates.push(Gate { name, kind, inputs });
+        Ok(NodeRef::Gate(self.gates.len() - 1))
+    }
+
+    /// Sets the top (undesired) event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidGate`] for dangling references.
+    pub fn set_top(&mut self, node: NodeRef) -> Result<()> {
+        if !self.node_exists(node) {
+            return Err(FtaError::InvalidGate("top event references a missing node".into()));
+        }
+        self.top = Some(node);
+        Ok(())
+    }
+
+    fn node_exists(&self, node: NodeRef) -> bool {
+        match node {
+            NodeRef::Basic(i) => i < self.basic.len(),
+            NodeRef::Gate(i) => i < self.gates.len(),
+        }
+    }
+
+    /// The top event, if set.
+    pub fn top(&self) -> Option<NodeRef> {
+        self.top
+    }
+
+    /// Basic events in index order.
+    pub fn basic_events(&self) -> &[BasicEvent] {
+        &self.basic
+    }
+
+    /// Gates in index order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Looks up a basic event's index by name.
+    pub fn basic_index(&self, name: &str) -> Option<usize> {
+        self.basic.iter().position(|b| b.name == name)
+    }
+
+    /// Replaces a basic event's probability (for sensitivity studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::InvalidEvent`] for bad indices or probabilities.
+    pub fn set_probability(&mut self, basic: usize, probability: f64) -> Result<()> {
+        if basic >= self.basic.len() {
+            return Err(FtaError::InvalidEvent(format!("no basic event {basic}")));
+        }
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(FtaError::InvalidEvent(format!(
+                "probability must be in [0,1], got {probability}"
+            )));
+        }
+        self.basic[basic].probability = probability;
+        Ok(())
+    }
+
+    /// Evaluates the boolean structure function for a given basic-event
+    /// state vector (`true` = failed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::NoTopEvent`] when no top is set and
+    /// [`FtaError::InvalidEvent`] for wrong state-vector length.
+    pub fn structure_function(&self, failed: &[bool]) -> Result<bool> {
+        if failed.len() != self.basic.len() {
+            return Err(FtaError::InvalidEvent(format!(
+                "state vector has {} entries, expected {}",
+                failed.len(),
+                self.basic.len()
+            )));
+        }
+        let top = self.top.ok_or(FtaError::NoTopEvent)?;
+        Ok(self.eval_node(top, failed))
+    }
+
+    fn eval_node(&self, node: NodeRef, failed: &[bool]) -> bool {
+        match node {
+            NodeRef::Basic(i) => failed[i],
+            NodeRef::Gate(g) => {
+                let gate = &self.gates[g];
+                let count =
+                    gate.inputs.iter().filter(|&&inp| self.eval_node(inp, failed)).count();
+                match gate.kind {
+                    GateKind::And => count == gate.inputs.len(),
+                    GateKind::Or => count >= 1,
+                    GateKind::KOfN(k) => count >= k,
+                }
+            }
+        }
+    }
+
+    /// Exact top-event probability by full enumeration over the basic
+    /// events (independent events). Exponential in the number of basic
+    /// events; guarded at 24.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::TooLarge`] beyond 24 basic events and
+    /// [`FtaError::NoTopEvent`] when no top is set.
+    pub fn top_probability_exact(&self) -> Result<f64> {
+        let n = self.basic.len();
+        if n > 24 {
+            return Err(FtaError::TooLarge(n));
+        }
+        self.top.ok_or(FtaError::NoTopEvent)?;
+        let mut total = 0.0;
+        let mut failed = vec![false; n];
+        for mask in 0u64..(1 << n) {
+            let mut p = 1.0;
+            for (i, f) in failed.iter_mut().enumerate() {
+                *f = mask & (1 << i) != 0;
+                p *= if *f { self.basic[i].probability } else { 1.0 - self.basic[i].probability };
+            }
+            if p > 0.0 && self.structure_function(&failed)? {
+                total += p;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Whether the structure function is coherent in each component
+    /// (monotone: a failure can never fix the system). Checked by
+    /// enumeration; same size guard as [`FaultTree::top_probability_exact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::TooLarge`] beyond 24 basic events and
+    /// [`FtaError::NoTopEvent`] when no top is set.
+    pub fn is_coherent(&self) -> Result<bool> {
+        let n = self.basic.len();
+        if n > 24 {
+            return Err(FtaError::TooLarge(n));
+        }
+        self.top.ok_or(FtaError::NoTopEvent)?;
+        let mut failed = vec![false; n];
+        // Monotonicity check: for every state, failing one more component
+        // must not turn a failed system into a working one.
+        for mask in 0u64..(1 << n) {
+            for (i, f) in failed.iter_mut().enumerate() {
+                *f = mask & (1 << i) != 0;
+            }
+            if !self.structure_function(&failed)? {
+                continue;
+            }
+            for i in 0..n {
+                if !failed[i] {
+                    failed[i] = true;
+                    let more = self.structure_function(&failed)?;
+                    failed[i] = false;
+                    if !more {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let mut ft = FaultTree::new();
+        assert!(ft.add_basic_event("a", 1.5).is_err());
+        let a = ft.add_basic_event("a", 0.1).unwrap();
+        assert!(ft.add_basic_event("a", 0.1).is_err());
+        assert!(ft.add_gate("g", GateKind::And, vec![]).is_err());
+        assert!(ft.add_gate("g", GateKind::And, vec![NodeRef::Basic(7)]).is_err());
+        assert!(ft.add_gate("g", GateKind::KOfN(3), vec![a, a]).is_err());
+        assert!(ft.set_top(NodeRef::Gate(0)).is_err());
+        assert!(ft.top_probability_exact().is_err()); // no top
+    }
+
+    #[test]
+    fn and_or_probabilities() {
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.1).unwrap();
+        let b = ft.add_basic_event("b", 0.2).unwrap();
+        let and = ft.add_gate("and", GateKind::And, vec![a, b]).unwrap();
+        ft.set_top(and).unwrap();
+        assert!((ft.top_probability_exact().unwrap() - 0.02).abs() < 1e-12);
+        let mut ft2 = ft.clone();
+        let a2 = NodeRef::Basic(0);
+        let b2 = NodeRef::Basic(1);
+        let or = ft2.add_gate("or", GateKind::Or, vec![a2, b2]).unwrap();
+        ft2.set_top(or).unwrap();
+        assert!((ft2.top_probability_exact().unwrap() - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_out_of_three_voting() {
+        let mut ft = FaultTree::new();
+        let p = 0.1;
+        let events: Vec<NodeRef> =
+            (0..3).map(|i| ft.add_basic_event(format!("e{i}"), p).unwrap()).collect();
+        let vote = ft.add_gate("2oo3", GateKind::KOfN(2), events).unwrap();
+        ft.set_top(vote).unwrap();
+        // P = 3 p² (1-p) + p³.
+        let expect = 3.0 * p * p * (1.0 - p) + p * p * p;
+        assert!((ft.top_probability_exact().unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_events_handled_exactly() {
+        // top = (A AND B) OR (A AND C): repeated A. Exact: P(A)(P(B ∪ C)).
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.5).unwrap();
+        let b = ft.add_basic_event("b", 0.5).unwrap();
+        let c = ft.add_basic_event("c", 0.5).unwrap();
+        let g1 = ft.add_gate("g1", GateKind::And, vec![a, b]).unwrap();
+        let g2 = ft.add_gate("g2", GateKind::And, vec![a, c]).unwrap();
+        let top = ft.add_gate("top", GateKind::Or, vec![g1, g2]).unwrap();
+        ft.set_top(top).unwrap();
+        // P = P(A) * (1 - (1-0.5)(1-0.5)) = 0.5 * 0.75.
+        assert!((ft.top_probability_exact().unwrap() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structure_function_and_coherence() {
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.1).unwrap();
+        let b = ft.add_basic_event("b", 0.1).unwrap();
+        let top = ft.add_gate("top", GateKind::Or, vec![a, b]).unwrap();
+        ft.set_top(top).unwrap();
+        assert!(!ft.structure_function(&[false, false]).unwrap());
+        assert!(ft.structure_function(&[true, false]).unwrap());
+        assert!(ft.structure_function(&[false, true]).unwrap());
+        assert!(ft.is_coherent().unwrap());
+        assert!(ft.structure_function(&[true]).is_err());
+    }
+
+    #[test]
+    fn set_probability_updates_quantification() {
+        let mut ft = FaultTree::new();
+        let a = ft.add_basic_event("a", 0.1).unwrap();
+        ft.set_top(a).unwrap();
+        assert!((ft.top_probability_exact().unwrap() - 0.1).abs() < 1e-15);
+        ft.set_probability(0, 0.4).unwrap();
+        assert!((ft.top_probability_exact().unwrap() - 0.4).abs() < 1e-15);
+        assert!(ft.set_probability(5, 0.1).is_err());
+        assert!(ft.set_probability(0, 2.0).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Error types for the orbital simulator.
+
+use std::fmt;
+
+/// Errors from system construction and observation modeling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrbitalError {
+    /// A body or system parameter was invalid.
+    InvalidBody(String),
+    /// An observation-model parameter was invalid.
+    InvalidObservation(String),
+}
+
+impl fmt::Display for OrbitalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbitalError::InvalidBody(msg) => write!(f, "invalid body: {msg}"),
+            OrbitalError::InvalidObservation(msg) => write!(f, "invalid observation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrbitalError {}
+
+/// Convenience result alias for the orbital crate.
+pub type Result<T> = std::result::Result<T, OrbitalError>;

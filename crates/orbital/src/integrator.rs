@@ -1,0 +1,179 @@
+//! Numerical integrators for the N-body equations of motion — the
+//! computational realization of the paper's deterministic model A
+//! ("a set of differential equations" inferring "every future state").
+
+use crate::system::NBodySystem;
+use crate::vec2::Vec2;
+
+/// An explicit one-step integrator for [`NBodySystem`] dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integrator {
+    /// Symplectic (semi-implicit) Euler: first order, long-term stable.
+    SymplecticEuler,
+    /// Velocity Verlet: second order, symplectic, the workhorse.
+    VelocityVerlet,
+    /// Classic Runge–Kutta 4: fourth order, not symplectic (energy drifts
+    /// secularly) — useful as a high-accuracy short-horizon reference.
+    Rk4,
+}
+
+impl Integrator {
+    /// Advances the system by one step of size `dt`.
+    pub fn step(&self, sys: &mut NBodySystem, dt: f64) {
+        match self {
+            Integrator::SymplecticEuler => {
+                let acc = sys.accelerations();
+                for (b, a) in sys.bodies.iter_mut().zip(&acc) {
+                    b.velocity += *a * dt;
+                }
+                for b in sys.bodies.iter_mut() {
+                    let v = b.velocity;
+                    b.position += v * dt;
+                }
+                sys.time += dt;
+            }
+            Integrator::VelocityVerlet => {
+                let acc0 = sys.accelerations();
+                for (b, a) in sys.bodies.iter_mut().zip(&acc0) {
+                    let v = b.velocity;
+                    b.position += v * dt + *a * (0.5 * dt * dt);
+                }
+                sys.time += dt;
+                let acc1 = sys.accelerations();
+                for (b, (a0, a1)) in sys.bodies.iter_mut().zip(acc0.iter().zip(&acc1)) {
+                    b.velocity += (*a0 + *a1) * (0.5 * dt);
+                }
+            }
+            Integrator::Rk4 => {
+                let state0: Vec<(Vec2, Vec2)> =
+                    sys.bodies.iter().map(|b| (b.position, b.velocity)).collect();
+                let t0 = sys.time;
+
+                let eval = |sys: &mut NBodySystem,
+                            state: &[(Vec2, Vec2)],
+                            t: f64|
+                 -> Vec<(Vec2, Vec2)> {
+                    for (b, (p, v)) in sys.bodies.iter_mut().zip(state) {
+                        b.position = *p;
+                        b.velocity = *v;
+                    }
+                    sys.time = t;
+                    let acc = sys.accelerations();
+                    state
+                        .iter()
+                        .zip(&acc)
+                        .map(|((_, v), a)| (*v, *a))
+                        .collect()
+                };
+
+                let advance = |state: &[(Vec2, Vec2)], k: &[(Vec2, Vec2)], h: f64| {
+                    state
+                        .iter()
+                        .zip(k)
+                        .map(|((p, v), (dp, dv))| (*p + *dp * h, *v + *dv * h))
+                        .collect::<Vec<_>>()
+                };
+
+                let k1 = eval(sys, &state0, t0);
+                let k2 = eval(sys, &advance(&state0, &k1, 0.5 * dt), t0 + 0.5 * dt);
+                let k3 = eval(sys, &advance(&state0, &k2, 0.5 * dt), t0 + 0.5 * dt);
+                let k4 = eval(sys, &advance(&state0, &k3, dt), t0 + dt);
+
+                for (i, b) in sys.bodies.iter_mut().enumerate() {
+                    let (p0, v0) = state0[i];
+                    b.position = p0
+                        + (k1[i].0 + k2[i].0 * 2.0 + k3[i].0 * 2.0 + k4[i].0) * (dt / 6.0);
+                    b.velocity = v0
+                        + (k1[i].1 + k2[i].1 * 2.0 + k3[i].1 * 2.0 + k4[i].1) * (dt / 6.0);
+                }
+                sys.time = t0 + dt;
+            }
+        }
+    }
+
+    /// Integrates for `steps` steps, recording each body's position after
+    /// every step. Returns `trajectory[step][body]`.
+    pub fn propagate(&self, sys: &mut NBodySystem, dt: f64, steps: usize) -> Vec<Vec<Vec2>> {
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            self.step(sys, dt);
+            out.push(sys.bodies.iter().map(|b| b.position).collect());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::NBodySystem;
+
+    fn two_planet() -> NBodySystem {
+        NBodySystem::two_planets(1.0, 0.3, 1.5).unwrap()
+    }
+
+    #[test]
+    fn verlet_conserves_energy_over_many_orbits() {
+        let mut sys = two_planet();
+        let e0 = sys.total_energy();
+        let period = NBodySystem::circular_period(1.0, 0.3, 1.5);
+        let dt = period / 2_000.0;
+        Integrator::VelocityVerlet.propagate(&mut sys, dt, 20_000); // 10 orbits
+        let drift = ((sys.total_energy() - e0) / e0).abs();
+        assert!(drift < 1e-5, "Verlet energy drift {drift}");
+    }
+
+    #[test]
+    fn rk4_is_most_accurate_over_one_orbit() {
+        // After one full period the circular orbit returns to the start.
+        let period = NBodySystem::circular_period(1.0, 0.3, 1.5);
+        let steps = 1_000usize;
+        let dt = period / steps as f64;
+        let start = two_planet().bodies[0].position;
+        let mut errors = Vec::new();
+        for integ in [Integrator::SymplecticEuler, Integrator::VelocityVerlet, Integrator::Rk4] {
+            let mut sys = two_planet();
+            integ.propagate(&mut sys, dt, steps);
+            errors.push(sys.bodies[0].position.distance(start));
+        }
+        assert!(errors[2] < errors[1], "rk4 {} < verlet {}", errors[2], errors[1]);
+        assert!(errors[1] < errors[0], "verlet {} < euler {}", errors[1], errors[0]);
+        assert!(errors[2] < 1e-6, "rk4 return error {}", errors[2]);
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let mut sys = two_planet();
+        Integrator::VelocityVerlet.propagate(&mut sys, 0.01, 5_000);
+        assert!(sys.total_momentum().norm() < 1e-10);
+    }
+
+    #[test]
+    fn angular_momentum_is_conserved_for_point_masses() {
+        let mut sys = two_planet();
+        let l0 = sys.total_angular_momentum();
+        Integrator::VelocityVerlet.propagate(&mut sys, 0.005, 10_000);
+        assert!(((sys.total_angular_momentum() - l0) / l0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circular_orbit_radius_stays_constant() {
+        let mut sys = two_planet();
+        let r0 = sys.bodies[0].position.distance(sys.bodies[1].position);
+        let period = NBodySystem::circular_period(1.0, 0.3, 1.5);
+        let dt = period / 4_000.0;
+        for _ in 0..8_000 {
+            Integrator::VelocityVerlet.step(&mut sys, dt);
+            let r = sys.bodies[0].position.distance(sys.bodies[1].position);
+            assert!((r - r0).abs() / r0 < 1e-3, "separation wandered: {r} vs {r0}");
+        }
+    }
+
+    #[test]
+    fn trajectory_shape() {
+        let mut sys = two_planet();
+        let traj = Integrator::Rk4.propagate(&mut sys, 0.01, 100);
+        assert_eq!(traj.len(), 100);
+        assert_eq!(traj[0].len(), 2);
+    }
+}

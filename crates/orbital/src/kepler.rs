@@ -1,0 +1,241 @@
+//! Analytic two-body (Kepler) solution — the closed-form version of the
+//! paper's deterministic model A, used to cross-validate the numerical
+//! integrators and to serve as an exact reference model in the epistemic
+//! experiments.
+
+use crate::error::{OrbitalError, Result};
+use crate::system::NBodySystem;
+use crate::vec2::Vec2;
+
+/// Analytic propagator for the planar two-body problem (G = 1).
+///
+/// Constructed from an [`NBodySystem`] snapshot with exactly two point
+/// masses; propagates the *relative* orbit with the universal Kepler
+/// equation (elliptic case) and reconstructs barycentric positions.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_orbital::{KeplerOrbit, NBodySystem};
+/// let sys = NBodySystem::two_planets(1.0, 0.5, 2.0)?;
+/// let orbit = KeplerOrbit::from_system(&sys)?;
+/// assert!((orbit.eccentricity()).abs() < 1e-12); // circular setup
+/// # Ok::<(), sysunc_orbital::OrbitalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeplerOrbit {
+    mu: f64,          // G (m1 + m2)
+    m1: f64,
+    m2: f64,
+    a: f64,           // semi-major axis
+    e: f64,           // eccentricity
+    omega: f64,       // argument of periapsis (angle of periapsis direction)
+    t_peri: f64,      // time of periapsis passage relative to epoch
+    retrograde: bool, // orbit direction
+    barycenter: Vec2,
+    barycenter_velocity: Vec2,
+}
+
+impl KeplerOrbit {
+    /// Builds the analytic orbit from a two-point-mass system snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidBody`] unless the system has exactly
+    /// two point-mass bodies on a bound (elliptic) relative orbit.
+    pub fn from_system(sys: &NBodySystem) -> Result<Self> {
+        if sys.bodies.len() != 2 || sys.bodies.iter().any(|b| !b.is_point_mass()) {
+            return Err(OrbitalError::InvalidBody(
+                "Kepler solution needs exactly two point masses".into(),
+            ));
+        }
+        let (b1, b2) = (&sys.bodies[0], &sys.bodies[1]);
+        let m_total = b1.mass + b2.mass;
+        let mu = sys.g * m_total;
+        // Relative state (body 2 relative to body 1).
+        let r = b2.position - b1.position;
+        let v = b2.velocity - b1.velocity;
+        let rn = r.norm();
+        let energy = 0.5 * v.norm_squared() - mu / rn;
+        if energy >= 0.0 {
+            return Err(OrbitalError::InvalidBody(
+                "relative orbit is not bound (elliptic) — analytic propagator unsupported".into(),
+            ));
+        }
+        let a = -mu / (2.0 * energy);
+        let h = r.cross(v); // specific angular momentum (z component)
+        // Eccentricity vector: e = (v × h)/mu − r̂ in 2-D.
+        let e_vec = Vec2::new(v.y * h, -v.x * h) / mu - r / rn;
+        let e = e_vec.norm();
+        if e >= 1.0 {
+            return Err(OrbitalError::InvalidBody("parabolic/hyperbolic orbit".into()));
+        }
+        let omega = if e > 1e-12 { e_vec.y.atan2(e_vec.x) } else { 0.0 };
+        // True anomaly at epoch.
+        let theta = r.y.atan2(r.x) - omega;
+        // Eccentric anomaly and mean anomaly at epoch.
+        let ecc_anom = 2.0 * ((1.0 - e).sqrt() * (theta / 2.0).sin())
+            .atan2((1.0 + e).sqrt() * (theta / 2.0).cos());
+        let mean_anom = ecc_anom - e * ecc_anom.sin();
+        let n = (mu / (a * a * a)).sqrt(); // mean motion
+        let retrograde = h < 0.0;
+        let mean_anom = if retrograde { -mean_anom } else { mean_anom };
+        let t_peri = sys.time - mean_anom / n;
+        let barycenter =
+            (b1.position * b1.mass + b2.position * b2.mass) / m_total;
+        let barycenter_velocity =
+            (b1.velocity * b1.mass + b2.velocity * b2.mass) / m_total;
+        Ok(Self {
+            mu,
+            m1: b1.mass,
+            m2: b2.mass,
+            a,
+            e,
+            omega,
+            t_peri,
+            retrograde,
+            barycenter,
+            barycenter_velocity,
+        })
+    }
+
+    /// Semi-major axis of the relative orbit.
+    pub fn semi_major_axis(&self) -> f64 {
+        self.a
+    }
+
+    /// Eccentricity of the relative orbit.
+    pub fn eccentricity(&self) -> f64 {
+        self.e
+    }
+
+    /// Orbital period.
+    pub fn period(&self) -> f64 {
+        2.0 * std::f64::consts::PI * (self.a * self.a * self.a / self.mu).sqrt()
+    }
+
+    /// Solves Kepler's equation `M = E - e sin E` by Newton iteration.
+    fn eccentric_anomaly(&self, mean_anom: f64) -> f64 {
+        let m = mean_anom.rem_euclid(2.0 * std::f64::consts::PI);
+        let mut ecc = if self.e > 0.8 { std::f64::consts::PI } else { m };
+        for _ in 0..50 {
+            let f = ecc - self.e * ecc.sin() - m;
+            let fp = 1.0 - self.e * ecc.cos();
+            let step = f / fp;
+            ecc -= step;
+            if step.abs() < 1e-14 {
+                break;
+            }
+        }
+        ecc
+    }
+
+    /// Barycentric positions `(body 1, body 2)` at absolute time `t`.
+    pub fn positions_at(&self, t: f64) -> (Vec2, Vec2) {
+        let n = (self.mu / (self.a * self.a * self.a)).sqrt();
+        let mut mean_anom = n * (t - self.t_peri);
+        if self.retrograde {
+            mean_anom = -mean_anom;
+        }
+        let ecc = self.eccentric_anomaly(mean_anom);
+        // Position in the orbital (periapsis-aligned) frame.
+        let x = self.a * (ecc.cos() - self.e);
+        let y = self.a * (1.0 - self.e * self.e).sqrt() * ecc.sin();
+        let y = if self.retrograde { -y } else { y };
+        let rel = Vec2::new(x, y).rotated(self.omega);
+        // Split about the (drifting) barycenter.
+        let m_total = self.m1 + self.m2;
+        let bary = self.barycenter + self.barycenter_velocity * t;
+        let p1 = bary - rel * (self.m2 / m_total);
+        let p2 = bary + rel * (self.m1 / m_total);
+        (p1, p2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrator::Integrator;
+
+    #[test]
+    fn rejects_bad_systems() {
+        let mut sys = NBodySystem::two_planets(1.0, 1.0, 2.0).unwrap();
+        sys.inject_third_planet(0.1, 5.0).unwrap();
+        assert!(KeplerOrbit::from_system(&sys).is_err());
+        // Unbound: double the velocity to escape.
+        let mut fast = NBodySystem::two_planets(1.0, 1.0, 2.0).unwrap();
+        for b in &mut fast.bodies {
+            b.velocity = b.velocity * 3.0;
+        }
+        assert!(KeplerOrbit::from_system(&fast).is_err());
+    }
+
+    #[test]
+    fn circular_orbit_elements() {
+        let sys = NBodySystem::two_planets(1.0, 0.5, 2.0).unwrap();
+        let orbit = KeplerOrbit::from_system(&sys).unwrap();
+        assert!(orbit.eccentricity() < 1e-12);
+        assert!((orbit.semi_major_axis() - 2.0).abs() < 1e-12);
+        let expect_period = NBodySystem::circular_period(1.0, 0.5, 2.0);
+        assert!((orbit.period() - expect_period).abs() < 1e-10);
+    }
+
+    #[test]
+    fn analytic_matches_initial_conditions() {
+        let sys = NBodySystem::two_planets(1.0, 0.4, 1.5).unwrap();
+        let orbit = KeplerOrbit::from_system(&sys).unwrap();
+        let (p1, p2) = orbit.positions_at(0.0);
+        assert!(p1.distance(sys.bodies[0].position) < 1e-10);
+        assert!(p2.distance(sys.bodies[1].position) < 1e-10);
+    }
+
+    #[test]
+    fn analytic_matches_numerical_integration_circular() {
+        let mut sys = NBodySystem::two_planets(1.0, 0.4, 1.5).unwrap();
+        let orbit = KeplerOrbit::from_system(&sys).unwrap();
+        let dt = orbit.period() / 5_000.0;
+        for step in 1..=5_000 {
+            Integrator::Rk4.step(&mut sys, dt);
+            if step % 500 == 0 {
+                let (p1, p2) = orbit.positions_at(sys.time);
+                assert!(
+                    p1.distance(sys.bodies[0].position) < 1e-6,
+                    "step {step}: body 1 diverged by {}",
+                    p1.distance(sys.bodies[0].position)
+                );
+                assert!(p2.distance(sys.bodies[1].position) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_matches_numerical_integration_eccentric() {
+        // Perturb to an eccentric orbit by slowing body 2 down.
+        let mut sys = NBodySystem::two_planets(1.0, 0.2, 2.0).unwrap();
+        sys.bodies[1].velocity = sys.bodies[1].velocity * 0.8;
+        sys.bodies[0].velocity = sys.bodies[0].velocity * 0.8;
+        let orbit = KeplerOrbit::from_system(&sys).unwrap();
+        assert!(orbit.eccentricity() > 0.1 && orbit.eccentricity() < 1.0);
+        let dt = orbit.period() / 20_000.0;
+        for _ in 0..20_000 {
+            Integrator::Rk4.step(&mut sys, dt);
+        }
+        let (p1, _) = orbit.positions_at(sys.time);
+        assert!(
+            p1.distance(sys.bodies[0].position) < 1e-4,
+            "after one eccentric period: {}",
+            p1.distance(sys.bodies[0].position)
+        );
+    }
+
+    #[test]
+    fn period_recurrence() {
+        let sys = NBodySystem::two_planets(2.0, 1.0, 3.0).unwrap();
+        let orbit = KeplerOrbit::from_system(&sys).unwrap();
+        let (a0, b0) = orbit.positions_at(0.0);
+        let (a1, b1) = orbit.positions_at(orbit.period());
+        // Barycenter is static for this setup, so positions recur exactly.
+        assert!(a0.distance(a1) < 1e-9);
+        assert!(b0.distance(b1) < 1e-9);
+    }
+}

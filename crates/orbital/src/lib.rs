@@ -1,0 +1,46 @@
+//! # sysunc-orbital — the two-planet universe as a physical substrate
+//!
+//! A planar N-body gravity simulator built for the `sysunc` toolkit
+//! (reproduction of Gansch & Adee, *System Theoretic View on
+//! Uncertainties*, DATE 2020). The paper's running example (Fig. 2,
+//! Secs. II-III) is "a reality where only two planets exist"; this crate
+//! *is* that reality, so the paper's three uncertainty types become
+//! executable experiments:
+//!
+//! - **Deterministic model A**: Newton's laws integrated by
+//!   [`Integrator`] (symplectic Euler, velocity Verlet, RK4) over
+//!   [`NBodySystem`]s with energy/momentum diagnostics.
+//! - **Probabilistic model B**: repeated noisy observation through an
+//!   [`ObservationChannel`] into an [`OccupancyGrid`] — the frequentist
+//!   spatial distribution whose distance-to-truth is *epistemic* and whose
+//!   converged spread is *aleatory*.
+//! - **Epistemic model error**: heterogeneous bodies via
+//!   [`Body::with_mascon_ring`]; a point-mass model of a lumpy body is
+//!   inaccurate in a way more mascons monotonically reduce (Sec. III-B).
+//! - **Ontological surprise**: [`NBodySystem::inject_third_planet`] plus
+//!   the [`SurpriseMonitor`] reproduce Sec. III-C — prediction log-loss
+//!   spikes that only model *reformulation* (a 3-body model) removes.
+//!
+//! ```
+//! use sysunc_orbital::{Integrator, NBodySystem};
+//!
+//! let mut sys = NBodySystem::two_planets(1.0, 0.5, 2.0)?;
+//! let e0 = sys.total_energy();
+//! Integrator::VelocityVerlet.propagate(&mut sys, 0.001, 10_000);
+//! assert!(((sys.total_energy() - e0) / e0).abs() < 1e-6);
+//! # Ok::<(), sysunc_orbital::OrbitalError>(())
+//! ```
+
+mod error;
+mod integrator;
+mod kepler;
+mod observe;
+mod system;
+mod vec2;
+
+pub use error::{OrbitalError, Result};
+pub use integrator::Integrator;
+pub use kepler::KeplerOrbit;
+pub use observe::{ObservationChannel, OccupancyGrid, SurpriseMonitor};
+pub use system::{Body, Mascon, NBodySystem};
+pub use vec2::Vec2;

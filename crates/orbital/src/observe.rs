@@ -1,0 +1,297 @@
+//! Observation channel and frequentist occupancy model — the paper's
+//! Fig. 2 model B ("build a probabilistic model by repeated observation of
+//! the positions") plus the surprise monitor of Sec. III-C.
+
+use crate::error::{OrbitalError, Result};
+use crate::vec2::Vec2;
+use rand::RngCore;
+use sysunc_prob::dist::{Continuous, Normal};
+
+/// A noisy position sensor: isotropic Gaussian noise on true positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservationChannel {
+    noise: Normal,
+}
+
+impl ObservationChannel {
+    /// Creates a channel with the given per-axis noise standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidObservation`] for non-positive sigma.
+    pub fn new(sigma: f64) -> Result<Self> {
+        let noise = Normal::new(0.0, sigma)
+            .map_err(|e| OrbitalError::InvalidObservation(e.to_string()))?;
+        Ok(Self { noise })
+    }
+
+    /// Noise standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.noise.sigma()
+    }
+
+    /// Observes a true position through the channel.
+    pub fn observe(&self, truth: Vec2, rng: &mut dyn RngCore) -> Vec2 {
+        Vec2::new(truth.x + self.noise.sample(rng), truth.y + self.noise.sample(rng))
+    }
+
+    /// Log-likelihood of an observation given a predicted position — the
+    /// per-observation model fit; its negation is the surprisal.
+    pub fn log_likelihood(&self, predicted: Vec2, observed: Vec2) -> f64 {
+        self.noise.ln_pdf(observed.x - predicted.x) + self.noise.ln_pdf(observed.y - predicted.y)
+    }
+}
+
+/// A 2-D occupancy grid: the frequentist spatial distribution model of
+/// Fig. 2 model B. Cell probabilities estimate "the probabilities to find
+/// either of the two bodies within a spatial frame".
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyGrid {
+    min: Vec2,
+    max: Vec2,
+    nx: usize,
+    ny: usize,
+    counts: Vec<u64>,
+    total: u64,
+    out_of_range: u64,
+}
+
+impl OccupancyGrid {
+    /// Creates an empty grid over `[min, max]` with `nx × ny` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidObservation`] for degenerate bounds
+    /// or zero cells.
+    pub fn new(min: Vec2, max: Vec2, nx: usize, ny: usize) -> Result<Self> {
+        if !(min.x < max.x && min.y < max.y) || nx == 0 || ny == 0 {
+            return Err(OrbitalError::InvalidObservation(
+                "grid needs min < max and nx, ny > 0".into(),
+            ));
+        }
+        Ok(Self { min, max, nx, ny, counts: vec![0; nx * ny], total: 0, out_of_range: 0 })
+    }
+
+    /// Cell index of a position, if inside the grid.
+    fn cell(&self, p: Vec2) -> Option<usize> {
+        if p.x < self.min.x || p.x >= self.max.x || p.y < self.min.y || p.y >= self.max.y {
+            return None;
+        }
+        let ix = ((p.x - self.min.x) / (self.max.x - self.min.x) * self.nx as f64) as usize;
+        let iy = ((p.y - self.min.y) / (self.max.y - self.min.y) * self.ny as f64) as usize;
+        Some(iy.min(self.ny - 1) * self.nx + ix.min(self.nx - 1))
+    }
+
+    /// Records an observation.
+    pub fn add(&mut self, p: Vec2) {
+        match self.cell(p) {
+            Some(c) => {
+                self.counts[c] += 1;
+                self.total += 1;
+            }
+            None => self.out_of_range += 1,
+        }
+    }
+
+    /// Number of in-grid observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations that fell outside the grid — out-of-model
+    /// events (the grid's own ontological bucket).
+    pub fn out_of_range_count(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Estimated probability of finding the observed body in a cell.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Estimated probability of the cell containing `p` (zero outside).
+    pub fn probability_at(&self, p: Vec2) -> f64 {
+        match self.cell(p) {
+            Some(c) if self.total > 0 => self.counts[c] as f64 / self.total as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Total-variation distance to another grid of identical shape — the
+    /// scalar *epistemic* distance between two frequentist models (e.g.
+    /// a small-sample model vs a converged reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidObservation`] for shape mismatches.
+    pub fn total_variation(&self, other: &OccupancyGrid) -> Result<f64> {
+        if self.nx != other.nx || self.ny != other.ny {
+            return Err(OrbitalError::InvalidObservation("grid shapes differ".into()));
+        }
+        let p = self.probabilities();
+        let q = other.probabilities();
+        Ok(0.5 * p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+    }
+
+    /// Shannon entropy (nats) of the occupancy distribution.
+    pub fn entropy(&self) -> f64 {
+        sysunc_prob::info::entropy(&self.probabilities())
+    }
+}
+
+/// One-step-ahead prediction monitor: compares model predictions with
+/// observations and tracks the surprisal trace. A sustained spike that
+/// model refinement cannot remove is the quantitative signature of an
+/// **ontological** event (paper Sec. III-C).
+#[derive(Debug, Clone)]
+pub struct SurpriseMonitor {
+    channel: ObservationChannel,
+    /// Per-step surprisal (negative log-likelihood).
+    surprisals: Vec<f64>,
+    window: usize,
+}
+
+impl SurpriseMonitor {
+    /// Creates a monitor with the given smoothing window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidObservation`] for a zero window.
+    pub fn new(channel: ObservationChannel, window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(OrbitalError::InvalidObservation("window must be > 0".into()));
+        }
+        Ok(Self { channel, surprisals: Vec::new(), window })
+    }
+
+    /// Scores one prediction/observation pair; returns the surprisal.
+    pub fn record(&mut self, predicted: Vec2, observed: Vec2) -> f64 {
+        let s = -self.channel.log_likelihood(predicted, observed);
+        self.surprisals.push(s);
+        s
+    }
+
+    /// The full surprisal trace.
+    pub fn trace(&self) -> &[f64] {
+        &self.surprisals
+    }
+
+    /// Moving average of the most recent window.
+    pub fn recent_mean(&self) -> f64 {
+        let n = self.surprisals.len().min(self.window);
+        if n == 0 {
+            return 0.0;
+        }
+        self.surprisals[self.surprisals.len() - n..].iter().sum::<f64>() / n as f64
+    }
+
+    /// Expected surprisal when the model is correct: the (differential)
+    /// entropy of the 2-D observation noise.
+    pub fn baseline(&self) -> f64 {
+        // Entropy of an isotropic 2-D Gaussian: 1 + ln(2π σ²).
+        1.0 + (2.0 * std::f64::consts::PI * self.channel.sigma().powi(2)).ln()
+    }
+
+    /// Whether the recent surprisal exceeds the baseline by `threshold`
+    /// nats — the ontological-event alarm.
+    pub fn alarm(&self, threshold: f64) -> bool {
+        self.surprisals.len() >= self.window && self.recent_mean() > self.baseline() + threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn channel_noise_statistics() {
+        let ch = ObservationChannel::new(0.1).unwrap();
+        let mut r = rng();
+        let truth = Vec2::new(1.0, -2.0);
+        let n = 20_000;
+        let mut mean = Vec2::zero();
+        for _ in 0..n {
+            mean += ch.observe(truth, &mut r);
+        }
+        mean = mean / n as f64;
+        assert!((mean - truth).norm() < 0.01);
+        assert!(ObservationChannel::new(0.0).is_err());
+    }
+
+    #[test]
+    fn grid_counting_and_probabilities() {
+        let mut g =
+            OccupancyGrid::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0), 2, 2).unwrap();
+        g.add(Vec2::new(0.5, 0.5)); // cell (0,0)
+        g.add(Vec2::new(1.5, 0.5)); // cell (1,0)
+        g.add(Vec2::new(1.5, 1.5)); // cell (1,1)
+        g.add(Vec2::new(5.0, 5.0)); // out of range
+        assert_eq!(g.count(), 3);
+        assert_eq!(g.out_of_range_count(), 1);
+        let p = g.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((g.probability_at(Vec2::new(0.5, 0.5)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(OccupancyGrid::new(Vec2::zero(), Vec2::zero(), 2, 2).is_err());
+    }
+
+    #[test]
+    fn total_variation_between_grids() {
+        let mk = |pts: &[(f64, f64)]| {
+            let mut g =
+                OccupancyGrid::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0), 2, 1).unwrap();
+            for &(x, y) in pts {
+                g.add(Vec2::new(x, y));
+            }
+            g
+        };
+        let a = mk(&[(0.25, 0.5), (0.25, 0.5), (0.75, 0.5), (0.75, 0.5)]);
+        let b = mk(&[(0.25, 0.5), (0.75, 0.5), (0.75, 0.5), (0.75, 0.5)]);
+        assert!((a.total_variation(&b).unwrap() - 0.25).abs() < 1e-12);
+        let c = OccupancyGrid::new(Vec2::zero(), Vec2::new(1.0, 1.0), 3, 1).unwrap();
+        assert!(a.total_variation(&c).is_err());
+    }
+
+    #[test]
+    fn surprise_monitor_baseline_and_alarm() {
+        let ch = ObservationChannel::new(0.05).unwrap();
+        let mut mon = SurpriseMonitor::new(ch, 50).unwrap();
+        let mut r = rng();
+        // Phase 1: correct model — observations match predictions.
+        let truth = Vec2::new(0.0, 0.0);
+        for _ in 0..200 {
+            let obs = ch.observe(truth, &mut r);
+            mon.record(truth, obs);
+        }
+        assert!(!mon.alarm(1.0), "no alarm when the model is right");
+        assert!((mon.recent_mean() - mon.baseline()).abs() < 0.5);
+        // Phase 2: ontological shift — reality moves, model doesn't.
+        let shifted = Vec2::new(0.5, 0.0); // 10 sigma away
+        for _ in 0..100 {
+            let obs = ch.observe(shifted, &mut r);
+            mon.record(truth, obs);
+        }
+        assert!(mon.alarm(1.0), "alarm must fire after the shift");
+        assert!(SurpriseMonitor::new(ch, 0).is_err());
+    }
+
+    #[test]
+    fn grid_entropy_increases_with_spread() {
+        let mut tight =
+            OccupancyGrid::new(Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0), 4, 4).unwrap();
+        let mut spread = tight.clone();
+        for i in 0..16 {
+            tight.add(Vec2::new(0.5, 0.5));
+            spread.add(Vec2::new(0.5 + (i % 4) as f64, 0.5 + (i / 4) as f64));
+        }
+        assert!(spread.entropy() > tight.entropy());
+    }
+}

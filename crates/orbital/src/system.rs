@@ -1,0 +1,402 @@
+//! N-body gravitational systems with heterogeneous (mascon) bodies.
+//!
+//! This is the paper's Fig. 2 physical system, built as an actual
+//! simulator: "a reality where only two planets exist" whose behavior the
+//! deterministic model A (Newton's laws, here integrated numerically) and
+//! the probabilistic model B (frequentist occupancy, see
+//! [`crate::observe`]) both describe. Heterogeneous mass distributions
+//! (Sec. III-B) are modeled by *mascons* — sub-masses offset from the body
+//! centre that rotate with the body — so a point-mass model of the same
+//! body exhibits genuine, reducible model error.
+
+use crate::error::{OrbitalError, Result};
+use crate::vec2::Vec2;
+
+/// A point sub-mass of a heterogeneous body, fixed in the body frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mascon {
+    /// Offset from the body centre in the body frame.
+    pub offset: Vec2,
+    /// Fraction of the body's total mass carried by this mascon.
+    pub mass_fraction: f64,
+}
+
+/// A celestial body: total mass, kinematic state, and an optional mascon
+/// decomposition with spin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Body {
+    /// Name for reports.
+    pub name: String,
+    /// Total mass.
+    pub mass: f64,
+    /// Centre-of-mass position.
+    pub position: Vec2,
+    /// Centre-of-mass velocity.
+    pub velocity: Vec2,
+    /// Mascon decomposition (empty = ideal point mass).
+    pub mascons: Vec<Mascon>,
+    /// Spin rate of the body frame (rad per time unit).
+    pub spin: f64,
+}
+
+impl Body {
+    /// Creates an ideal point-mass body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidBody`] for non-positive mass.
+    pub fn point_mass<S: Into<String>>(
+        name: S,
+        mass: f64,
+        position: Vec2,
+        velocity: Vec2,
+    ) -> Result<Self> {
+        if !(mass > 0.0) || !mass.is_finite() {
+            return Err(OrbitalError::InvalidBody(format!("mass must be > 0, got {mass}")));
+        }
+        Ok(Self { name: name.into(), mass, position, velocity, mascons: Vec::new(), spin: 0.0 })
+    }
+
+    /// Gives the body a heterogeneous mass distribution: `k` mascons evenly
+    /// spaced on a ring of the given radius, with `lumpiness ∈ [0, 1)`
+    /// skewing mass toward the first mascon (0 = symmetric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidBody`] for `k == 0`, negative radius
+    /// or lumpiness outside `[0, 1)`.
+    pub fn with_mascon_ring(
+        mut self,
+        k: usize,
+        radius: f64,
+        lumpiness: f64,
+        spin: f64,
+    ) -> Result<Self> {
+        if k == 0 || radius < 0.0 || !(0.0..1.0).contains(&lumpiness) {
+            return Err(OrbitalError::InvalidBody(format!(
+                "mascon ring needs k > 0, radius >= 0, lumpiness in [0,1); got ({k}, {radius}, {lumpiness})"
+            )));
+        }
+        let base = 1.0 / k as f64;
+        let mut fractions: Vec<f64> = (0..k)
+            .map(|i| if i == 0 { base * (1.0 + lumpiness * (k as f64 - 1.0)) } else { base * (1.0 - lumpiness) })
+            .collect();
+        let total: f64 = fractions.iter().sum();
+        for f in &mut fractions {
+            *f /= total;
+        }
+        // Place mascons so the centre of mass stays at the body centre:
+        // offset the ring's centroid correction onto every mascon.
+        let mut mascons: Vec<Mascon> = (0..k)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / k as f64;
+                Mascon {
+                    offset: Vec2::new(radius * angle.cos(), radius * angle.sin()),
+                    mass_fraction: fractions[i],
+                }
+            })
+            .collect();
+        let centroid: Vec2 = mascons
+            .iter()
+            .fold(Vec2::zero(), |acc, m| acc + m.offset * m.mass_fraction);
+        for m in &mut mascons {
+            m.offset -= centroid;
+        }
+        self.mascons = mascons;
+        self.spin = spin;
+        Ok(self)
+    }
+
+    /// Whether the body is an ideal point mass.
+    pub fn is_point_mass(&self) -> bool {
+        self.mascons.is_empty()
+    }
+}
+
+/// An N-body system under Newtonian gravity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NBodySystem {
+    /// Bodies.
+    pub bodies: Vec<Body>,
+    /// Gravitational constant.
+    pub g: f64,
+    /// Elapsed simulation time (drives mascon spin phases).
+    pub time: f64,
+    /// Gravitational softening length (avoids singularities on close
+    /// approaches; 0 = none).
+    pub softening: f64,
+}
+
+impl NBodySystem {
+    /// Creates a system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidBody`] for fewer than one body or
+    /// non-positive `g`.
+    pub fn new(bodies: Vec<Body>, g: f64) -> Result<Self> {
+        if bodies.is_empty() {
+            return Err(OrbitalError::InvalidBody("system needs at least one body".into()));
+        }
+        if !(g > 0.0) || !g.is_finite() {
+            return Err(OrbitalError::InvalidBody(format!("G must be > 0, got {g}")));
+        }
+        Ok(Self { bodies, g, time: 0.0, softening: 0.0 })
+    }
+
+    /// The paper's two-planet universe: masses `m1`, `m2` separated by
+    /// `d`, placed on a mutual circular orbit around their barycentre
+    /// (G = 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidBody`] for non-positive masses or
+    /// separation.
+    pub fn two_planets(m1: f64, m2: f64, d: f64) -> Result<Self> {
+        if !(d > 0.0) {
+            return Err(OrbitalError::InvalidBody(format!("separation must be > 0, got {d}")));
+        }
+        let total = m1 + m2;
+        // Barycentric radii and circular orbital speed.
+        let r1 = d * m2 / total;
+        let r2 = d * m1 / total;
+        let omega = (total / (d * d * d)).sqrt(); // G = 1
+        let b1 = Body::point_mass(
+            "planet-1",
+            m1,
+            Vec2::new(-r1, 0.0),
+            Vec2::new(0.0, -r1 * omega),
+        )?;
+        let b2 =
+            Body::point_mass("planet-2", m2, Vec2::new(r2, 0.0), Vec2::new(0.0, r2 * omega))?;
+        Self::new(vec![b1, b2], 1.0)
+    }
+
+    /// Orbital period of the circular two-planet configuration (Kepler's
+    /// third law, G = 1).
+    pub fn circular_period(m1: f64, m2: f64, d: f64) -> f64 {
+        2.0 * std::f64::consts::PI * (d * d * d / (m1 + m2)).sqrt()
+    }
+
+    /// World-frame positions and masses of all gravitating point sources
+    /// of a body (the body itself for point masses, its spun mascons
+    /// otherwise).
+    fn sources(&self, body: &Body) -> Vec<(Vec2, f64)> {
+        if body.is_point_mass() {
+            vec![(body.position, body.mass)]
+        } else {
+            let angle = body.spin * self.time;
+            body.mascons
+                .iter()
+                .map(|m| (body.position + m.offset.rotated(angle), body.mass * m.mass_fraction))
+                .collect()
+        }
+    }
+
+    /// Gravitational acceleration on body `i` from all other bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range indices.
+    pub fn acceleration(&self, i: usize) -> Vec2 {
+        assert!(i < self.bodies.len(), "acceleration: body index out of range");
+        let target = &self.bodies[i];
+        let eps2 = self.softening * self.softening;
+        let mut acc = Vec2::zero();
+        for (j, other) in self.bodies.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            for (pos, mass) in self.sources(other) {
+                let r = pos - target.position;
+                let d2 = r.norm_squared() + eps2;
+                let d = d2.sqrt();
+                acc += r * (self.g * mass / (d2 * d));
+            }
+        }
+        acc
+    }
+
+    /// Accelerations of all bodies.
+    pub fn accelerations(&self) -> Vec<Vec2> {
+        (0..self.bodies.len()).map(|i| self.acceleration(i)).collect()
+    }
+
+    /// Total mechanical energy (kinetic + pairwise point-source
+    /// potential).
+    pub fn total_energy(&self) -> f64 {
+        let kinetic: f64 = self
+            .bodies
+            .iter()
+            .map(|b| 0.5 * b.mass * b.velocity.norm_squared())
+            .sum();
+        let mut potential = 0.0;
+        for i in 0..self.bodies.len() {
+            for j in i + 1..self.bodies.len() {
+                for (pi, mi) in self.sources(&self.bodies[i]) {
+                    for (pj, mj) in self.sources(&self.bodies[j]) {
+                        potential -= self.g * mi * mj / pi.distance(pj).max(1e-12);
+                    }
+                }
+            }
+        }
+        kinetic + potential
+    }
+
+    /// Total linear momentum.
+    pub fn total_momentum(&self) -> Vec2 {
+        self.bodies
+            .iter()
+            .fold(Vec2::zero(), |acc, b| acc + b.velocity * b.mass)
+    }
+
+    /// Total angular momentum about the origin.
+    pub fn total_angular_momentum(&self) -> f64 {
+        self.bodies
+            .iter()
+            .map(|b| b.mass * b.position.cross(b.velocity))
+            .sum()
+    }
+
+    /// Injects a third planet on a wide orbit — the paper's Sec. III-C
+    /// ontological surprise ("at some point we observe a behavior of the
+    /// planets that contradicts the prediction by the models due to the
+    /// influence of a third planet").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrbitalError::InvalidBody`] for non-positive mass or
+    /// distance.
+    pub fn inject_third_planet(&mut self, mass: f64, distance: f64) -> Result<()> {
+        if !(distance > 0.0) {
+            return Err(OrbitalError::InvalidBody(format!(
+                "distance must be > 0, got {distance}"
+            )));
+        }
+        let total: f64 = self.bodies.iter().map(|b| b.mass).sum();
+        let speed = (self.g * total / distance).sqrt();
+        self.bodies.push(Body::point_mass(
+            "planet-3",
+            mass,
+            Vec2::new(0.0, distance),
+            Vec2::new(-speed, 0.0),
+        )?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_validation() {
+        assert!(Body::point_mass("x", 0.0, Vec2::zero(), Vec2::zero()).is_err());
+        assert!(Body::point_mass("x", -1.0, Vec2::zero(), Vec2::zero()).is_err());
+        let b = Body::point_mass("x", 1.0, Vec2::zero(), Vec2::zero()).unwrap();
+        assert!(b.clone().with_mascon_ring(0, 0.1, 0.0, 1.0).is_err());
+        assert!(b.clone().with_mascon_ring(4, 0.1, 1.0, 1.0).is_err());
+        assert!(NBodySystem::new(vec![], 1.0).is_err());
+        assert!(NBodySystem::new(vec![b], 0.0).is_err());
+    }
+
+    #[test]
+    fn mascon_ring_preserves_total_mass_and_centroid() {
+        let b = Body::point_mass("p", 2.0, Vec2::zero(), Vec2::zero())
+            .unwrap()
+            .with_mascon_ring(6, 0.3, 0.4, 2.0)
+            .unwrap();
+        let total: f64 = b.mascons.iter().map(|m| m.mass_fraction).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let centroid = b
+            .mascons
+            .iter()
+            .fold(Vec2::zero(), |acc, m| acc + m.offset * m.mass_fraction);
+        assert!(centroid.norm() < 1e-12, "centre of mass must stay at the body centre");
+    }
+
+    #[test]
+    fn two_planets_start_with_zero_net_momentum() {
+        let sys = NBodySystem::two_planets(1.0, 0.5, 2.0).unwrap();
+        assert!(sys.total_momentum().norm() < 1e-12);
+        // Mutual acceleration points along the separation axis.
+        let a0 = sys.acceleration(0);
+        assert!(a0.x > 0.0 && a0.y.abs() < 1e-15);
+    }
+
+    #[test]
+    fn point_mass_gravity_inverse_square() {
+        let sys = NBodySystem::new(
+            vec![
+                Body::point_mass("a", 1.0, Vec2::zero(), Vec2::zero()).unwrap(),
+                Body::point_mass("b", 4.0, Vec2::new(2.0, 0.0), Vec2::zero()).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let a = sys.acceleration(0);
+        assert!((a.x - 1.0).abs() < 1e-12); // G m / r² = 4/4
+        let b = sys.acceleration(1);
+        assert!((b.x + 0.25).abs() < 1e-12); // 1/4, opposite direction
+    }
+
+    #[test]
+    fn symmetric_mascon_body_approximates_point_mass_far_away() {
+        let far = Vec2::new(100.0, 0.0);
+        let point = NBodySystem::new(
+            vec![
+                Body::point_mass("probe", 1e-6, far, Vec2::zero()).unwrap(),
+                Body::point_mass("planet", 1.0, Vec2::zero(), Vec2::zero()).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let hetero = NBodySystem::new(
+            vec![
+                Body::point_mass("probe", 1e-6, far, Vec2::zero()).unwrap(),
+                Body::point_mass("planet", 1.0, Vec2::zero(), Vec2::zero())
+                    .unwrap()
+                    .with_mascon_ring(8, 0.5, 0.0, 1.0)
+                    .unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let ap = point.acceleration(0);
+        let ah = hetero.acceleration(0);
+        assert!((ap - ah).norm() / ap.norm() < 1e-3);
+    }
+
+    #[test]
+    fn lumpy_mascon_body_differs_near_field() {
+        let near = Vec2::new(1.5, 0.3);
+        let mk = |mascons: bool| {
+            let planet = Body::point_mass("planet", 1.0, Vec2::zero(), Vec2::zero()).unwrap();
+            let planet = if mascons {
+                planet.with_mascon_ring(4, 0.5, 0.6, 1.0).unwrap()
+            } else {
+                planet
+            };
+            NBodySystem::new(
+                vec![Body::point_mass("probe", 1e-6, near, Vec2::zero()).unwrap(), planet],
+                1.0,
+            )
+            .unwrap()
+        };
+        let ap = mk(false).acceleration(0);
+        let ah = mk(true).acceleration(0);
+        assert!(
+            (ap - ah).norm() / ap.norm() > 1e-3,
+            "near-field epistemic model error must be visible"
+        );
+    }
+
+    #[test]
+    fn third_planet_injection() {
+        let mut sys = NBodySystem::two_planets(1.0, 1.0, 2.0).unwrap();
+        assert_eq!(sys.bodies.len(), 2);
+        sys.inject_third_planet(0.1, 10.0).unwrap();
+        assert_eq!(sys.bodies.len(), 3);
+        assert!(sys.inject_third_planet(0.1, 0.0).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for polynomial chaos construction.
+
+use std::fmt;
+use sysunc_algebra::AlgebraError;
+
+/// Errors from PCE specification, quadrature and fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PceError {
+    /// The expansion specification was invalid; the payload explains why.
+    InvalidSpec(String),
+    /// A linear-algebra step (quadrature eigen-solve or regression solve)
+    /// failed.
+    Algebra(AlgebraError),
+}
+
+impl fmt::Display for PceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PceError::InvalidSpec(msg) => write!(f, "invalid PCE specification: {msg}"),
+            PceError::Algebra(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PceError::Algebra(e) => Some(e),
+            PceError::InvalidSpec(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<AlgebraError> for PceError {
+    fn from(e: AlgebraError) -> Self {
+        PceError::Algebra(e)
+    }
+}
+
+/// Convenience result alias for the PCE crate.
+pub type Result<T> = std::result::Result<T, PceError>;

@@ -1,0 +1,395 @@
+//! Polynomial chaos expansions: construction (projection and regression)
+//! and post-processing (moments, Sobol' sensitivity indices).
+
+use crate::error::{PceError, Result};
+use crate::input::PceInput;
+use crate::multiindex::{total_degree_set, MultiIndex};
+use crate::quadrature::{sparse_grid, tensor_grid};
+use rand::RngCore;
+use sysunc_algebra::{lstsq, Matrix, PolyFamily};
+use sysunc_sampling::{Design, LatinHypercubeDesign};
+
+/// A fitted polynomial chaos expansion
+/// `Y ≈ Σ_α c_α Ψ_α(ξ)` over orthonormal multivariate polynomials of the
+/// germ vector `ξ`.
+///
+/// Because the basis is orthonormal, the mean is `c_0`, the variance is
+/// `Σ_{α≠0} c_α²`, and Sobol' sensitivity indices are partial sums of
+/// squared coefficients — uncertainty *forecasting* for free once the
+/// expansion is built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosExpansion {
+    inputs: Vec<PceInput>,
+    indices: Vec<MultiIndex>,
+    coefficients: Vec<f64>,
+    /// Number of model evaluations spent building the expansion.
+    evaluations: usize,
+}
+
+impl ChaosExpansion {
+    /// Fits by spectral projection on a full tensor Gauss grid with
+    /// `degree + 1` points per dimension (exact for polynomial models up to
+    /// `degree`).
+    ///
+    /// The model is evaluated in *physical* space: the germ nodes are mapped
+    /// through each input's transform before the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::InvalidSpec`] for empty inputs and propagates
+    /// quadrature failures.
+    pub fn fit_projection<F: FnMut(&[f64]) -> f64>(
+        inputs: &[PceInput],
+        degree: usize,
+        mut model: F,
+    ) -> Result<Self> {
+        if inputs.is_empty() {
+            return Err(PceError::InvalidSpec("at least one input required".into()));
+        }
+        let families: Vec<PolyFamily> = inputs.iter().map(|i| i.family()).collect();
+        let grid = tensor_grid(&families, degree + 1)?;
+        Self::project_on_grid(inputs, degree, &grid.nodes, &grid.weights, &mut model)
+    }
+
+    /// Fits by spectral projection on a Smolyak sparse grid of the given
+    /// level — far fewer model evaluations in higher dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::InvalidSpec`] for empty inputs or zero level.
+    pub fn fit_sparse_projection<F: FnMut(&[f64]) -> f64>(
+        inputs: &[PceInput],
+        degree: usize,
+        level: usize,
+        mut model: F,
+    ) -> Result<Self> {
+        if inputs.is_empty() {
+            return Err(PceError::InvalidSpec("at least one input required".into()));
+        }
+        let families: Vec<PolyFamily> = inputs.iter().map(|i| i.family()).collect();
+        let grid = sparse_grid(&families, level)?;
+        Self::project_on_grid(inputs, degree, &grid.nodes, &grid.weights, &mut model)
+    }
+
+    fn project_on_grid<F: FnMut(&[f64]) -> f64>(
+        inputs: &[PceInput],
+        degree: usize,
+        nodes: &[Vec<f64>],
+        weights: &[f64],
+        model: &mut F,
+    ) -> Result<Self> {
+        let dim = inputs.len();
+        let indices = total_degree_set(dim, degree);
+        let mut coefficients = vec![0.0; indices.len()];
+        let families: Vec<PolyFamily> = inputs.iter().map(|i| i.family()).collect();
+        for (node, &w) in nodes.iter().zip(weights) {
+            let x: Vec<f64> =
+                node.iter().zip(inputs).map(|(&xi, inp)| inp.to_physical(xi)).collect();
+            let y = model(&x);
+            // Evaluate all univariate polynomials once per node.
+            let uni: Vec<Vec<f64>> = families
+                .iter()
+                .zip(node)
+                .map(|(f, &xi)| f.eval_orthonormal(degree, xi))
+                .collect();
+            for (c, alpha) in coefficients.iter_mut().zip(&indices) {
+                let psi: f64 = alpha.iter().enumerate().map(|(d, &a)| uni[d][a]).product();
+                *c += w * y * psi;
+            }
+        }
+        Ok(Self {
+            inputs: inputs.to_vec(),
+            indices,
+            coefficients,
+            evaluations: nodes.len(),
+        })
+    }
+
+    /// Fits by ordinary least-squares regression on `n` Latin-hypercube
+    /// germ samples (`n` should be 2–3× the basis size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::InvalidSpec`] when `n` is smaller than the basis
+    /// size, and propagates design/linear-algebra failures.
+    pub fn fit_regression<F: FnMut(&[f64]) -> f64>(
+        inputs: &[PceInput],
+        degree: usize,
+        n: usize,
+        rng: &mut dyn RngCore,
+        mut model: F,
+    ) -> Result<Self> {
+        if inputs.is_empty() {
+            return Err(PceError::InvalidSpec("at least one input required".into()));
+        }
+        let dim = inputs.len();
+        let indices = total_degree_set(dim, degree);
+        if n < indices.len() {
+            return Err(PceError::InvalidSpec(format!(
+                "regression needs n >= {} basis terms, got n = {n}",
+                indices.len()
+            )));
+        }
+        let families: Vec<PolyFamily> = inputs.iter().map(|i| i.family()).collect();
+        let design = LatinHypercubeDesign;
+        let points = design
+            .generate(n, dim, rng)
+            .map_err(|e| PceError::InvalidSpec(e.to_string()))?;
+        let mut a = Matrix::zeros(n, indices.len());
+        let mut b = vec![0.0; n];
+        for (row, u) in points.iter().enumerate() {
+            let germ: Vec<f64> = u
+                .iter()
+                .zip(inputs)
+                .map(|(&ui, inp)| inp.germ_quantile(ui.clamp(1e-12, 1.0 - 1e-12)))
+                .collect();
+            let x: Vec<f64> =
+                germ.iter().zip(inputs).map(|(&xi, inp)| inp.to_physical(xi)).collect();
+            b[row] = model(&x);
+            let uni: Vec<Vec<f64>> = families
+                .iter()
+                .zip(&germ)
+                .map(|(f, &xi)| f.eval_orthonormal(degree, xi))
+                .collect();
+            for (col, alpha) in indices.iter().enumerate() {
+                a[(row, col)] = alpha.iter().enumerate().map(|(d, &k)| uni[d][k]).product();
+            }
+        }
+        let coefficients = lstsq(&a, &b)?;
+        Ok(Self { inputs: inputs.to_vec(), indices, coefficients, evaluations: n })
+    }
+
+    /// The multi-index set of the basis.
+    pub fn indices(&self) -> &[MultiIndex] {
+        &self.indices
+    }
+
+    /// The fitted coefficients, aligned with [`ChaosExpansion::indices`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Number of model evaluations used for the fit.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Number of input dimensions.
+    pub fn dim(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Evaluates the surrogate at a germ point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `germ.len()` differs from the input dimension.
+    pub fn eval_germ(&self, germ: &[f64]) -> f64 {
+        assert_eq!(germ.len(), self.inputs.len(), "eval_germ: dimension mismatch");
+        let degree = self.indices.iter().map(|a| a.iter().sum::<usize>()).max().unwrap_or(0);
+        let uni: Vec<Vec<f64>> = self
+            .inputs
+            .iter()
+            .zip(germ)
+            .map(|(inp, &xi)| inp.family().eval_orthonormal(degree, xi))
+            .collect();
+        self.indices
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(alpha, &c)| {
+                c * alpha.iter().enumerate().map(|(d, &k)| uni[d][k]).product::<f64>()
+            })
+            .sum()
+    }
+
+    /// Mean of the surrogate output (`c_0` by orthonormality).
+    pub fn mean(&self) -> f64 {
+        self.coefficients[0]
+    }
+
+    /// Variance of the surrogate output (`Σ_{α≠0} c_α²`).
+    pub fn variance(&self) -> f64 {
+        self.coefficients[1..].iter().map(|c| c * c).sum()
+    }
+
+    /// Standard deviation of the surrogate output.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// First-order Sobol' index of input `i`: the fraction of output
+    /// variance explained by terms involving *only* `ξ_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sobol_first(&self, i: usize) -> f64 {
+        assert!(i < self.inputs.len(), "sobol_first: input index out of range");
+        let var = self.variance();
+        if var == 0.0 {
+            return 0.0;
+        }
+        self.indices
+            .iter()
+            .zip(&self.coefficients)
+            .filter(|(alpha, _)| {
+                alpha[i] > 0 && alpha.iter().enumerate().all(|(d, &a)| d == i || a == 0)
+            })
+            .map(|(_, &c)| c * c)
+            .sum::<f64>()
+            / var
+    }
+
+    /// Total Sobol' index of input `i`: the fraction of output variance in
+    /// terms involving `ξ_i` at all (including interactions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sobol_total(&self, i: usize) -> f64 {
+        assert!(i < self.inputs.len(), "sobol_total: input index out of range");
+        let var = self.variance();
+        if var == 0.0 {
+            return 0.0;
+        }
+        self.indices
+            .iter()
+            .zip(&self.coefficients)
+            .filter(|(alpha, _)| alpha[i] > 0)
+            .map(|(_, &c)| c * c)
+            .sum::<f64>()
+            / var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn projection_exact_for_linear_model() {
+        // Y = 3 + 2 X1 - X2, X1 ~ N(1, 0.5), X2 ~ U(0, 4).
+        let inputs = [
+            PceInput::Normal { mu: 1.0, sigma: 0.5 },
+            PceInput::Uniform { a: 0.0, b: 4.0 },
+        ];
+        let pce =
+            ChaosExpansion::fit_projection(&inputs, 1, |x| 3.0 + 2.0 * x[0] - x[1]).unwrap();
+        // E[Y] = 3 + 2 - 2 = 3; Var[Y] = 4*0.25 + 16/12 = 1 + 4/3.
+        assert!((pce.mean() - 3.0).abs() < 1e-10);
+        assert!((pce.variance() - (1.0 + 4.0 / 3.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_exact_for_quadratic_model() {
+        // Y = X², X ~ N(0, 1): mean 1, variance 2.
+        let inputs = [PceInput::Normal { mu: 0.0, sigma: 1.0 }];
+        let pce = ChaosExpansion::fit_projection(&inputs, 2, |x| x[0] * x[0]).unwrap();
+        assert!((pce.mean() - 1.0).abs() < 1e-10);
+        assert!((pce.variance() - 2.0).abs() < 1e-9);
+        // Surrogate reproduces the model pointwise.
+        for &xi in &[-2.0, -0.5, 0.0, 1.0, 2.3] {
+            assert!((pce.eval_germ(&[xi]) - xi * xi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exp_of_normal_converges_with_degree() {
+        // Y = exp(X), X ~ N(0, 0.5²): E[Y] = exp(0.125).
+        let inputs = [PceInput::Normal { mu: 0.0, sigma: 0.5 }];
+        let truth = (0.125f64).exp();
+        let mut prev = f64::INFINITY;
+        for degree in [1usize, 3, 6] {
+            let pce = ChaosExpansion::fit_projection(&inputs, degree, |x| x[0].exp()).unwrap();
+            let err = (pce.mean() - truth).abs();
+            assert!(err < prev, "degree {degree}: {err} !< {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-8);
+    }
+
+    #[test]
+    fn regression_matches_projection_on_polynomials() {
+        let inputs = [
+            PceInput::Uniform { a: -1.0, b: 1.0 },
+            PceInput::Uniform { a: -1.0, b: 1.0 },
+        ];
+        let model = |x: &[f64]| 1.0 + x[0] + 0.5 * x[0] * x[1];
+        let proj = ChaosExpansion::fit_projection(&inputs, 2, model).unwrap();
+        let reg = ChaosExpansion::fit_regression(&inputs, 2, 60, &mut rng(), model).unwrap();
+        for (a, b) in proj.coefficients().iter().zip(reg.coefficients()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        assert!(ChaosExpansion::fit_regression(&inputs, 2, 3, &mut rng(), model).is_err());
+    }
+
+    #[test]
+    fn sobol_indices_additive_model() {
+        // Y = X1 + 2 X2 with unit-variance inputs: S1 = 1/5, S2 = 4/5.
+        let inputs = [
+            PceInput::Normal { mu: 0.0, sigma: 1.0 },
+            PceInput::Normal { mu: 0.0, sigma: 1.0 },
+        ];
+        let pce = ChaosExpansion::fit_projection(&inputs, 2, |x| x[0] + 2.0 * x[1]).unwrap();
+        assert!((pce.sobol_first(0) - 0.2).abs() < 1e-9);
+        assert!((pce.sobol_first(1) - 0.8).abs() < 1e-9);
+        assert!((pce.sobol_total(0) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sobol_indices_interaction_model() {
+        // Y = X1 * X2 (pure interaction): S1 = S2 = 0, totals = 1.
+        let inputs = [
+            PceInput::Uniform { a: -1.0, b: 1.0 },
+            PceInput::Uniform { a: -1.0, b: 1.0 },
+        ];
+        let pce = ChaosExpansion::fit_projection(&inputs, 2, |x| x[0] * x[1]).unwrap();
+        assert!(pce.sobol_first(0).abs() < 1e-9);
+        assert!(pce.sobol_first(1).abs() < 1e-9);
+        assert!((pce.sobol_total(0) - 1.0).abs() < 1e-9);
+        assert!((pce.sobol_total(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ishigami_sobol_indices_match_analytic() {
+        // Ishigami with a = 7, b = 0.1 over U(-π, π)³.
+        let a = 7.0;
+        let b = 0.1;
+        let pi = std::f64::consts::PI;
+        let inputs = [PceInput::Uniform { a: -pi, b: pi }; 3];
+        let model = |x: &[f64]| x[0].sin() + a * x[1].sin().powi(2) + b * x[2].powi(4) * x[0].sin();
+        let pce = ChaosExpansion::fit_projection(&inputs, 10, model).unwrap();
+        // Analytic values.
+        let v1 = 0.5 * (1.0 + b * pi.powi(4) / 5.0).powi(2);
+        let v2 = a * a / 8.0;
+        let v13 = b * b * pi.powi(8) * (1.0 / 18.0 - 1.0 / 50.0);
+        let v = v1 + v2 + v13;
+        assert!((pce.variance() - v).abs() / v < 0.02, "var {} vs {v}", pce.variance());
+        assert!((pce.sobol_first(0) - v1 / v).abs() < 0.02);
+        assert!((pce.sobol_first(1) - v2 / v).abs() < 0.02);
+        assert!(pce.sobol_first(2).abs() < 0.02);
+        assert!((pce.sobol_total(2) - v13 / v).abs() < 0.02);
+    }
+
+    #[test]
+    fn sparse_projection_close_to_tensor_for_smooth_model() {
+        let inputs = [PceInput::Uniform { a: -1.0, b: 1.0 }; 4];
+        let model = |x: &[f64]| (x.iter().sum::<f64>() / 2.0).cos();
+        let tensor = ChaosExpansion::fit_projection(&inputs, 3, model).unwrap();
+        let sparse = ChaosExpansion::fit_sparse_projection(&inputs, 3, 4, model).unwrap();
+        assert!(
+            sparse.evaluations() < tensor.evaluations(),
+            "sparse {} vs tensor {}",
+            sparse.evaluations(),
+            tensor.evaluations()
+        );
+        assert!((tensor.mean() - sparse.mean()).abs() < 1e-4);
+        assert!((tensor.variance() - sparse.variance()).abs() < 1e-3);
+    }
+}

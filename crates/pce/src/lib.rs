@@ -1,0 +1,39 @@
+//! # sysunc-pce — polynomial chaos expansions
+//!
+//! Spectral uncertainty propagation for the `sysunc` toolkit (reproduction
+//! of Gansch & Adee, *System Theoretic View on Uncertainties*, DATE 2020).
+//! Polynomial chaos turns a deterministic model plus aleatory input
+//! distributions (paper Sec. III-A) into an inexpensive surrogate whose
+//! mean, variance and Sobol' sensitivity indices are read directly off the
+//! coefficients — the quantitative backbone of uncertainty *forecasting*
+//! (Sec. IV).
+//!
+//! - [`PceInput`] — physical inputs paired with Wiener–Askey germs
+//!   (normal↔Hermite, uniform↔Legendre, exponential↔Laguerre,
+//!   beta↔Jacobi).
+//! - [`multiindex`] — total-degree and hyperbolic-cross basis sets.
+//! - [`quadrature`] — full tensor and Smolyak sparse grids.
+//! - [`ChaosExpansion`] — projection / sparse-projection / regression
+//!   fitting, evaluation, moments and Sobol' indices.
+//!
+//! ```
+//! use sysunc_pce::{ChaosExpansion, PceInput};
+//!
+//! // Y = X², X ~ N(0,1): mean 1, variance 2 — recovered exactly at
+//! // degree 2.
+//! let inputs = [PceInput::Normal { mu: 0.0, sigma: 1.0 }];
+//! let pce = ChaosExpansion::fit_projection(&inputs, 2, |x| x[0] * x[0])?;
+//! assert!((pce.mean() - 1.0).abs() < 1e-10);
+//! assert!((pce.variance() - 2.0).abs() < 1e-9);
+//! # Ok::<(), sysunc_pce::PceError>(())
+//! ```
+
+mod error;
+mod expansion;
+mod input;
+pub mod multiindex;
+pub mod quadrature;
+
+pub use error::{PceError, Result};
+pub use expansion::ChaosExpansion;
+pub use input::PceInput;

@@ -1,0 +1,132 @@
+//! Multi-index sets for multivariate polynomial bases.
+
+/// A multi-index `α ∈ ℕ^d`: the per-dimension degrees of one basis term.
+pub type MultiIndex = Vec<usize>;
+
+/// Generates the total-degree index set
+/// `{ α : |α|₁ <= degree }` in graded lexicographic order.
+///
+/// The set has `C(dim + degree, degree)` elements.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_pce::multiindex::total_degree_set;
+/// let set = total_degree_set(2, 2);
+/// assert_eq!(set.len(), 6); // C(4, 2)
+/// assert_eq!(set[0], vec![0, 0]);
+/// ```
+pub fn total_degree_set(dim: usize, degree: usize) -> Vec<MultiIndex> {
+    assert!(dim > 0, "total_degree_set: dim must be > 0");
+    let mut out = Vec::new();
+    for total in 0..=degree {
+        append_with_sum(dim, total, &mut vec![0; dim], 0, total, &mut out);
+    }
+    out
+}
+
+/// Generates the hyperbolic-cross set
+/// `{ α : (Σ α_i^q)^{1/q} <= degree }` for `0 < q <= 1`, which prunes
+/// high-order interaction terms (sparsity-of-effects heuristic).
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `q` is outside `(0, 1]`.
+pub fn hyperbolic_set(dim: usize, degree: usize, q: f64) -> Vec<MultiIndex> {
+    assert!(dim > 0, "hyperbolic_set: dim must be > 0");
+    assert!(q > 0.0 && q <= 1.0, "hyperbolic_set: q in (0, 1], got {q}");
+    total_degree_set(dim, degree)
+        .into_iter()
+        .filter(|alpha| {
+            let norm: f64 =
+                alpha.iter().map(|&a| (a as f64).powf(q)).sum::<f64>().powf(1.0 / q);
+            norm <= degree as f64 + 1e-9
+        })
+        .collect()
+}
+
+/// Recursive helper: fills `out` with all vectors of the given element sum.
+fn append_with_sum(
+    dim: usize,
+    _total: usize,
+    buf: &mut Vec<usize>,
+    pos: usize,
+    remaining: usize,
+    out: &mut Vec<MultiIndex>,
+) {
+    if pos == dim - 1 {
+        buf[pos] = remaining;
+        out.push(buf.clone());
+        return;
+    }
+    for v in (0..=remaining).rev() {
+        buf[pos] = v;
+        append_with_sum(dim, _total, buf, pos + 1, remaining - v, out);
+    }
+}
+
+/// Number of terms of the total-degree basis: `C(dim + degree, degree)`.
+pub fn total_degree_len(dim: usize, degree: usize) -> usize {
+    // Evaluate the binomial iteratively to avoid overflow for typical sizes.
+    let mut num = 1usize;
+    for i in 1..=degree {
+        num = num * (dim + i) / i;
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_degree_counts() {
+        assert_eq!(total_degree_set(1, 3).len(), 4);
+        assert_eq!(total_degree_set(2, 2).len(), 6);
+        assert_eq!(total_degree_set(3, 4).len(), 35);
+        assert_eq!(total_degree_len(3, 4), 35);
+        assert_eq!(total_degree_len(5, 3), 56);
+    }
+
+    #[test]
+    fn total_degree_contains_each_axis() {
+        let set = total_degree_set(3, 2);
+        assert!(set.contains(&vec![0, 0, 0]));
+        assert!(set.contains(&vec![2, 0, 0]));
+        assert!(set.contains(&vec![0, 1, 1]));
+        assert!(!set.contains(&vec![2, 1, 0]) || set.iter().all(|a| a.iter().sum::<usize>() <= 2));
+    }
+
+    #[test]
+    fn all_indices_unique_and_within_budget() {
+        let set = total_degree_set(4, 3);
+        let unique: std::collections::HashSet<_> = set.iter().cloned().collect();
+        assert_eq!(unique.len(), set.len());
+        assert!(set.iter().all(|a| a.iter().sum::<usize>() <= 3));
+    }
+
+    #[test]
+    fn hyperbolic_prunes_interactions() {
+        let full = total_degree_set(3, 4);
+        let hyp = hyperbolic_set(3, 4, 0.5);
+        assert!(hyp.len() < full.len());
+        // Pure univariate terms survive.
+        assert!(hyp.contains(&vec![4, 0, 0]));
+        // Strong interactions are pruned: (2,2,0) has q=0.5 norm
+        // (2*sqrt(2))² = 8 > 4.
+        assert!(!hyp.contains(&vec![2, 2, 0]));
+        // q = 1 reduces to total degree.
+        assert_eq!(hyperbolic_set(3, 4, 1.0).len(), full.len());
+    }
+
+    #[test]
+    fn first_index_is_constant_term() {
+        for dim in 1..5 {
+            assert_eq!(total_degree_set(dim, 3)[0], vec![0; dim]);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Runtime drift monitoring of a deployed classifier — uncertainty
+//! *removal during use* applied to the perception chain itself: compare
+//! the recent labeled-output distribution against the design-time
+//! reference with a chi-square test, and alarm when the deployed behaviour
+//! has drifted (sensor aging, domain shift, silent degradation).
+
+use crate::error::{PerceptionError, Result};
+use sysunc_prob::htest::chi_square_gof;
+
+/// A windowed drift monitor over a discrete output distribution.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_perception::DriftMonitor;
+/// let mut mon = DriftMonitor::new(vec![0.9, 0.05, 0.05], 200, 0.01)?;
+/// for _ in 0..180 { mon.record(0); }
+/// for _ in 0..10 { mon.record(1); }
+/// for _ in 0..10 { mon.record(2); }
+/// assert!(!mon.drift_detected()?); // matches the reference
+/// # Ok::<(), sysunc_perception::PerceptionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftMonitor {
+    reference: Vec<f64>,
+    window: usize,
+    alpha: f64,
+    /// Ring buffer of recent outputs.
+    recent: std::collections::VecDeque<usize>,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor with a design-time reference distribution, a
+    /// sliding window length and a significance level `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerceptionError::InvalidClassifier`] for invalid
+    /// reference distributions, `window < 2` or `alpha` outside `(0, 1)`.
+    pub fn new(reference: Vec<f64>, window: usize, alpha: f64) -> Result<Self> {
+        if reference.len() < 2
+            || reference.iter().any(|&p| p < 0.0)
+            || (reference.iter().sum::<f64>() - 1.0).abs() > 1e-9
+        {
+            return Err(PerceptionError::InvalidClassifier(
+                "drift reference must be a distribution over >= 2 labels".into(),
+            ));
+        }
+        if window < 2 {
+            return Err(PerceptionError::InvalidClassifier("window must be >= 2".into()));
+        }
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(PerceptionError::InvalidClassifier(format!(
+                "alpha must be in (0,1), got {alpha}"
+            )));
+        }
+        Ok(Self { reference, window, alpha, recent: std::collections::VecDeque::new() })
+    }
+
+    /// Records one output label (out-of-range labels are counted in the
+    /// last bucket — the monitor's own unknown bin).
+    pub fn record(&mut self, label: usize) {
+        let label = label.min(self.reference.len() - 1);
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(label);
+    }
+
+    /// Number of observations currently in the window.
+    pub fn observed(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// The chi-square goodness-of-fit p-value of the current window
+    /// against the reference (1.0 while the window is still filling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates statistical-input errors (not expected for a constructed
+    /// monitor).
+    pub fn p_value(&self) -> Result<f64> {
+        if self.recent.len() < self.window {
+            return Ok(1.0);
+        }
+        let mut counts = vec![0u64; self.reference.len()];
+        for &l in &self.recent {
+            counts[l] += 1;
+        }
+        let res = chi_square_gof(&counts, &self.reference, 0)
+            .map_err(|e| PerceptionError::InvalidClassifier(e.to_string()))?;
+        Ok(res.p_value)
+    }
+
+    /// Whether drift is detected at the configured significance level.
+    ///
+    /// # Errors
+    ///
+    /// See [`DriftMonitor::p_value`].
+    pub fn drift_detected(&self) -> Result<bool> {
+        Ok(self.p_value()? < self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierModel;
+    use crate::world::Truth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(DriftMonitor::new(vec![1.0], 100, 0.01).is_err());
+        assert!(DriftMonitor::new(vec![0.5, 0.4], 100, 0.01).is_err());
+        assert!(DriftMonitor::new(vec![0.5, 0.5], 1, 0.01).is_err());
+        assert!(DriftMonitor::new(vec![0.5, 0.5], 100, 0.0).is_err());
+    }
+
+    #[test]
+    fn no_alarm_while_filling_or_matching() {
+        let mut mon = DriftMonitor::new(vec![0.5, 0.5], 100, 0.01).unwrap();
+        assert_eq!(mon.p_value().unwrap(), 1.0);
+        for i in 0..100 {
+            mon.record(i % 2);
+        }
+        assert!(!mon.drift_detected().unwrap());
+        assert_eq!(mon.observed(), 100);
+    }
+
+    #[test]
+    fn alarm_on_shifted_distribution() {
+        let mut mon = DriftMonitor::new(vec![0.8, 0.1, 0.1], 300, 0.01).unwrap();
+        for i in 0..300 {
+            // Heavy drift: the third label dominates.
+            mon.record(if i % 3 == 0 { 0 } else { 2 });
+        }
+        assert!(mon.drift_detected().unwrap());
+    }
+
+    #[test]
+    fn detects_classifier_degradation_end_to_end() {
+        // Design-time reference from the healthy camera; runtime stream
+        // from a degraded one.
+        let healthy = ClassifierModel::paper_camera().unwrap();
+        let degraded = ClassifierModel::new(
+            vec!["car".into(), "pedestrian".into()],
+            vec![vec![0.6, 0.1, 0.3], vec![0.1, 0.55, 0.35]],
+            vec![0.1, 0.1, 0.8],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Reference = P(label | car) of the healthy camera.
+        let reference: Vec<f64> = (0..3).map(|l| healthy.likelihood(0, l)).collect();
+        let mut mon = DriftMonitor::new(reference, 500, 0.001).unwrap();
+        // Phase 1: healthy stream — no alarm.
+        for _ in 0..500 {
+            mon.record(healthy.classify(Truth::Known(0), &mut rng).label);
+        }
+        assert!(!mon.drift_detected().unwrap(), "healthy stream must not alarm");
+        // Phase 2: degraded stream — alarm.
+        for _ in 0..500 {
+            mon.record(degraded.classify(Truth::Known(0), &mut rng).label);
+        }
+        assert!(mon.drift_detected().unwrap(), "degraded stream must alarm");
+    }
+
+    #[test]
+    fn out_of_range_labels_fold_into_last_bucket() {
+        let mut mon = DriftMonitor::new(vec![0.5, 0.5], 10, 0.05).unwrap();
+        for _ in 0..10 {
+            mon.record(99);
+        }
+        // All mass in bucket 1 vs reference (0.5, 0.5): strong drift.
+        assert!(mon.drift_detected().unwrap());
+    }
+}

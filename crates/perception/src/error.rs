@@ -1,0 +1,32 @@
+//! Error types for the perception case study.
+
+use std::fmt;
+
+/// Errors from world, classifier, fusion and forecast construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerceptionError {
+    /// The world model specification was invalid.
+    InvalidWorld(String),
+    /// The classifier specification was invalid.
+    InvalidClassifier(String),
+    /// The fusion system specification or inputs were invalid.
+    InvalidFusion(String),
+    /// A forecast parameter was invalid.
+    InvalidForecast(String),
+}
+
+impl fmt::Display for PerceptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerceptionError::InvalidWorld(msg) => write!(f, "invalid world model: {msg}"),
+            PerceptionError::InvalidClassifier(msg) => write!(f, "invalid classifier: {msg}"),
+            PerceptionError::InvalidFusion(msg) => write!(f, "invalid fusion: {msg}"),
+            PerceptionError::InvalidForecast(msg) => write!(f, "invalid forecast: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PerceptionError {}
+
+/// Convenience result alias for the perception crate.
+pub type Result<T> = std::result::Result<T, PerceptionError>;

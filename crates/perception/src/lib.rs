@@ -1,0 +1,47 @@
+//! # sysunc-perception — the perception-chain case study
+//!
+//! The worked example of the `sysunc` toolkit (reproduction of Gansch &
+//! Adee, *System Theoretic View on Uncertainties*, DATE 2020). The paper's
+//! Fig. 4 analyzes "a camera with a machine learning algorithm that
+//! classifies objects" against a world of cars, pedestrians and unknowns;
+//! this crate builds both sides of that modeling relation as simulators:
+//!
+//! - [`WorldModel`] — the open-context reality: known classes (car 0.6,
+//!   pedestrian 0.3) plus a Zipf long tail of novel classes (total 0.1) —
+//!   the "long furry tail" of references \[30\]\[31\].
+//! - [`ClassifierModel`] — a confusion-matrix perception chain whose
+//!   behaviour matches Table I, with a confidence model and
+//!   [`RejectingClassifier`] for uncertainty-aware operation (tolerance).
+//! - [`FusionSystem`] — redundant diverse channels fused by Bayes,
+//!   Dempster–Shafer, or voting: the paper's "redundant architectures with
+//!   diverse uncertainties" (Sec. IV).
+//! - [`FieldCampaign`] / [`ReleaseForecast`] — field observation
+//!   (removal in use) and Good–Turing / Chao1 residual-ontological-risk
+//!   forecasting for the release decision.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sysunc_perception::{ClassifierModel, WorldModel};
+//!
+//! let world = WorldModel::paper_example()?;
+//! let camera = ClassifierModel::paper_camera()?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let truth = world.sample(&mut rng);
+//! let output = camera.classify(truth, &mut rng);
+//! assert!(output.label < camera.labels().len());
+//! # Ok::<(), sysunc_perception::PerceptionError>(())
+//! ```
+
+mod classifier;
+mod drift;
+mod error;
+mod fusion;
+mod monitor;
+mod world;
+
+pub use classifier::{ClassifierModel, Output, RejectingClassifier, Verdict};
+pub use drift::DriftMonitor;
+pub use error::{PerceptionError, Result};
+pub use fusion::{FusedVerdict, FusionSystem};
+pub use monitor::{FieldCampaign, ReleaseForecast};
+pub use world::{Truth, WorldModel};

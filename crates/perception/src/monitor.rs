@@ -1,0 +1,277 @@
+//! Field observation and residual-uncertainty forecasting.
+//!
+//! Uncertainty *removal during use* ("field observation to monitor
+//! ontological events") and uncertainty *forecasting* ("estimation of the
+//! present level and future occurrence of uncertainties ... to make a
+//! decision about the release of a product") — paper Sec. IV. The
+//! quantitative engine is species-richness statistics: Good–Turing
+//! missing mass and the Chao1 richness estimator over the stream of novel
+//! encounters.
+
+use crate::error::{PerceptionError, Result};
+use crate::world::{Truth, WorldModel};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// A running field-observation campaign: counts every encountered class
+/// and tracks the discovery curve of novel classes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FieldCampaign {
+    known_counts: Vec<u64>,
+    novel_counts: HashMap<usize, u64>,
+    encounters: u64,
+    /// `(encounter index, distinct novel classes seen)` at each discovery.
+    discovery_curve: Vec<(u64, usize)>,
+}
+
+impl FieldCampaign {
+    /// Creates a campaign for a world with `known` known classes.
+    pub fn new(known: usize) -> Self {
+        Self {
+            known_counts: vec![0; known],
+            novel_counts: HashMap::new(),
+            encounters: 0,
+            discovery_curve: Vec::new(),
+        }
+    }
+
+    /// Records one encounter.
+    pub fn record(&mut self, truth: Truth) {
+        self.encounters += 1;
+        match truth {
+            Truth::Known(i) => {
+                if let Some(c) = self.known_counts.get_mut(i) {
+                    *c += 1;
+                }
+            }
+            Truth::Novel(k) => {
+                let entry = self.novel_counts.entry(k).or_insert(0);
+                *entry += 1;
+                if *entry == 1 {
+                    self.discovery_curve.push((self.encounters, self.novel_counts.len()));
+                }
+            }
+        }
+    }
+
+    /// Runs the campaign over `n` fresh world encounters.
+    pub fn observe_world(&mut self, world: &WorldModel, n: usize, rng: &mut dyn RngCore) {
+        for truth in world.sample_n(n, rng) {
+            self.record(truth);
+        }
+    }
+
+    /// Total encounters so far.
+    pub fn encounters(&self) -> u64 {
+        self.encounters
+    }
+
+    /// Number of distinct novel classes discovered so far.
+    pub fn distinct_novel(&self) -> usize {
+        self.novel_counts.len()
+    }
+
+    /// The discovery curve: `(encounter index, cumulative distinct novel
+    /// classes)`.
+    pub fn discovery_curve(&self) -> &[(u64, usize)] {
+        &self.discovery_curve
+    }
+
+    /// Number of novel classes seen exactly `r` times.
+    fn novel_seen_exactly(&self, r: u64) -> usize {
+        self.novel_counts.values().filter(|&&c| c == r).count()
+    }
+
+    /// Good–Turing estimate of the *missing mass*: the probability that
+    /// the next encounter is a never-before-seen class, estimated as
+    /// `f1 / N` (singleton count over sample size).
+    ///
+    /// This is the paper's "residual ontological uncertainty" made
+    /// quantitative: the forecast of how much of the world remains outside
+    /// everything observed so far.
+    pub fn good_turing_missing_mass(&self) -> f64 {
+        if self.encounters == 0 {
+            return 1.0;
+        }
+        self.novel_seen_exactly(1) as f64 / self.encounters as f64
+    }
+
+    /// Chao1 lower-bound estimate of the total number of novel classes
+    /// (seen + unseen): `S + f1² / (2 f2)`.
+    pub fn chao1_richness(&self) -> f64 {
+        let s = self.novel_counts.len() as f64;
+        let f1 = self.novel_seen_exactly(1) as f64;
+        let f2 = self.novel_seen_exactly(2) as f64;
+        if f2 > 0.0 {
+            s + f1 * f1 / (2.0 * f2)
+        } else {
+            s + f1 * (f1 - 1.0) / 2.0
+        }
+    }
+
+    /// Posterior (Laplace-smoothed) estimate of the probability of a
+    /// *known* class, from field counts — epistemic refinement of the
+    /// world priors.
+    pub fn known_probability_estimate(&self, class: usize) -> f64 {
+        let total = self.encounters as f64 + self.known_counts.len() as f64 + 1.0;
+        (self.known_counts.get(class).copied().unwrap_or(0) as f64 + 1.0) / total
+    }
+}
+
+/// A release-decision forecast built from a campaign snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseForecast {
+    /// Estimated probability that the next encounter is an unseen class.
+    pub residual_novelty_rate: f64,
+    /// Exposure (encounters) accumulated so far.
+    pub exposure: u64,
+}
+
+impl ReleaseForecast {
+    /// Builds a forecast from a campaign.
+    pub fn from_campaign(campaign: &FieldCampaign) -> Self {
+        Self {
+            residual_novelty_rate: campaign.good_turing_missing_mass(),
+            exposure: campaign.encounters(),
+        }
+    }
+
+    /// Whether the residual ontological uncertainty is below the release
+    /// target.
+    pub fn ready_for_release(&self, target_rate: f64) -> bool {
+        self.residual_novelty_rate <= target_rate
+    }
+
+    /// Crude extrapolation of how many further encounters are needed to
+    /// reach the target rate, assuming the `~1/N` decay of the
+    /// Good–Turing singleton fraction for long-tailed worlds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerceptionError::InvalidForecast`] for a non-positive
+    /// target.
+    pub fn encounters_to_target(&self, target_rate: f64) -> Result<u64> {
+        if target_rate <= 0.0 {
+            return Err(PerceptionError::InvalidForecast(format!(
+                "target rate must be > 0, got {target_rate}"
+            )));
+        }
+        if self.ready_for_release(target_rate) {
+            return Ok(0);
+        }
+        let factor = self.residual_novelty_rate / target_rate;
+        Ok((self.exposure as f64 * (factor - 1.0)).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(33)
+    }
+
+    #[test]
+    fn campaign_counting() {
+        let mut c = FieldCampaign::new(2);
+        c.record(Truth::Known(0));
+        c.record(Truth::Known(0));
+        c.record(Truth::Novel(5));
+        c.record(Truth::Novel(5));
+        c.record(Truth::Novel(9));
+        assert_eq!(c.encounters(), 5);
+        assert_eq!(c.distinct_novel(), 2);
+        assert_eq!(c.discovery_curve(), &[(3, 1), (5, 2)]);
+        // One singleton (class 9) out of 5 encounters.
+        assert!((c.good_turing_missing_mass() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_turing_tracks_true_unseen_mass() {
+        let world = WorldModel::paper_example().unwrap();
+        let mut r = rng();
+        let mut c = FieldCampaign::new(2);
+        c.observe_world(&world, 50_000, &mut r);
+        // True unseen mass: total probability of novel classes never seen.
+        let seen: std::collections::HashSet<usize> =
+            c.novel_counts.keys().copied().collect();
+        let true_unseen: f64 = (0..1_000)
+            .filter(|k| !seen.contains(k))
+            .map(|k| world.novel_class_probability(k))
+            .sum();
+        let gt = c.good_turing_missing_mass();
+        assert!(
+            (gt - true_unseen).abs() < 0.5 * true_unseen.max(2e-4),
+            "GT {gt} vs true unseen {true_unseen}"
+        );
+    }
+
+    #[test]
+    fn missing_mass_decreases_with_exposure() {
+        let world = WorldModel::paper_example().unwrap();
+        let mut r = rng();
+        let mut c = FieldCampaign::new(2);
+        c.observe_world(&world, 1_000, &mut r);
+        let early = c.good_turing_missing_mass();
+        c.observe_world(&world, 99_000, &mut r);
+        let late = c.good_turing_missing_mass();
+        assert!(late < early, "residual uncertainty must fall: {early} -> {late}");
+    }
+
+    #[test]
+    fn discovery_curve_is_concave() {
+        // Discoveries come fast early and slow down (the long-tail
+        // validation challenge).
+        let world = WorldModel::paper_example().unwrap();
+        let mut r = rng();
+        let mut c = FieldCampaign::new(2);
+        c.observe_world(&world, 100_000, &mut r);
+        let curve = c.discovery_curve();
+        assert!(curve.len() > 50);
+        let mid = curve[curve.len() / 2];
+        let end = curve[curve.len() - 1];
+        // Second half of discoveries takes much more exposure than the
+        // first half.
+        assert!(end.0 - mid.0 > mid.0, "{:?} vs {:?}", mid, end);
+    }
+
+    #[test]
+    fn chao1_lower_bounds_latent_richness() {
+        let world = WorldModel::paper_example().unwrap();
+        let mut r = rng();
+        let mut c = FieldCampaign::new(2);
+        c.observe_world(&world, 30_000, &mut r);
+        let chao = c.chao1_richness();
+        assert!(chao >= c.distinct_novel() as f64);
+        assert!(chao < 5_000.0, "sane upper range, got {chao}");
+    }
+
+    #[test]
+    fn release_forecast_logic() {
+        let mut c = FieldCampaign::new(2);
+        for i in 0..100 {
+            c.record(if i % 10 == 0 { Truth::Novel(i) } else { Truth::Known(0) });
+        }
+        let f = ReleaseForecast::from_campaign(&c);
+        assert!((f.residual_novelty_rate - 0.1).abs() < 1e-12);
+        assert!(!f.ready_for_release(0.01));
+        assert!(f.ready_for_release(0.2));
+        assert_eq!(f.encounters_to_target(0.2).unwrap(), 0);
+        let need = f.encounters_to_target(0.01).unwrap();
+        assert_eq!(need, 900);
+        assert!(f.encounters_to_target(0.0).is_err());
+    }
+
+    #[test]
+    fn known_probability_estimates_converge() {
+        let world = WorldModel::paper_example().unwrap();
+        let mut r = rng();
+        let mut c = FieldCampaign::new(2);
+        c.observe_world(&world, 100_000, &mut r);
+        assert!((c.known_probability_estimate(0) - 0.6).abs() < 0.01);
+        assert!((c.known_probability_estimate(1) - 0.3).abs() < 0.01);
+    }
+}

@@ -1,0 +1,235 @@
+//! Synthetic operational domain: a long-tailed world model of object
+//! encounters.
+//!
+//! The paper develops its Fig. 4 example against an "open context": the
+//! developing organization models only the classes it knows (car,
+//! pedestrian) and reserves probability for the unknown. This module is
+//! the *reality* that model faces: a world with a known head and a Zipf
+//! long tail of novel classes — the "long furry tail of unlikely events"
+//! of the paper's references \[30\]\[31\].
+
+use crate::error::{PerceptionError, Result};
+use rand::RngCore;
+use sysunc_prob::dist::Categorical;
+
+/// Ground truth of one encounter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// One of the classes the developers modeled (index into the known
+    /// list).
+    Known(usize),
+    /// A class outside the model — an ontological event (tail index).
+    Novel(usize),
+}
+
+impl Truth {
+    /// Whether this encounter is outside the modeled class set.
+    pub fn is_novel(&self) -> bool {
+        matches!(self, Truth::Novel(_))
+    }
+}
+
+/// The world: known classes with probabilities, plus a Zipf tail of novel
+/// classes carrying a fixed total probability mass.
+///
+/// # Examples
+///
+/// The paper's running numbers: `P(car) = 0.6, P(pedestrian) = 0.3,
+/// P(unknown) = 0.1`, with the unknown mass spread over a long tail.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sysunc_perception::WorldModel;
+/// let world = WorldModel::new(
+///     vec!["car".into(), "pedestrian".into()],
+///     vec![0.6, 0.3],
+///     0.1,      // total novel mass
+///     1_000,    // latent novel classes
+///     1.1,      // Zipf exponent
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let t = world.sample(&mut rng);
+/// let _ = t.is_novel();
+/// # Ok::<(), sysunc_perception::PerceptionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldModel {
+    known: Vec<String>,
+    known_probs: Vec<f64>,
+    novel_mass: f64,
+    top: Categorical,
+    tail: Categorical,
+}
+
+impl WorldModel {
+    /// Creates a world model.
+    ///
+    /// `known_probs` are the *absolute* probabilities of each known class;
+    /// together with `novel_mass` they must sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerceptionError::InvalidWorld`] for inconsistent
+    /// probabilities, empty classes, or bad tail parameters.
+    pub fn new(
+        known: Vec<String>,
+        known_probs: Vec<f64>,
+        novel_mass: f64,
+        novel_classes: usize,
+        zipf_exponent: f64,
+    ) -> Result<Self> {
+        if known.is_empty() || known.len() != known_probs.len() {
+            return Err(PerceptionError::InvalidWorld(
+                "known classes and probabilities must be non-empty and aligned".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&novel_mass) {
+            return Err(PerceptionError::InvalidWorld(format!(
+                "novel mass must be in [0, 1), got {novel_mass}"
+            )));
+        }
+        if novel_classes == 0 || zipf_exponent <= 0.0 {
+            return Err(PerceptionError::InvalidWorld(
+                "need novel_classes > 0 and zipf_exponent > 0".into(),
+            ));
+        }
+        let total: f64 = known_probs.iter().sum::<f64>() + novel_mass;
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(PerceptionError::InvalidWorld(format!(
+                "probabilities sum to {total}, expected 1"
+            )));
+        }
+        // Top-level choice: known classes ++ [novel].
+        let mut top_probs = known_probs.clone();
+        top_probs.push(novel_mass);
+        let top = Categorical::new(top_probs)
+            .map_err(|e| PerceptionError::InvalidWorld(e.to_string()))?;
+        // Zipf tail over novel classes.
+        let weights: Vec<f64> =
+            (1..=novel_classes).map(|k| 1.0 / (k as f64).powf(zipf_exponent)).collect();
+        let tail = Categorical::from_weights(&weights)
+            .map_err(|e| PerceptionError::InvalidWorld(e.to_string()))?;
+        Ok(Self { known, known_probs, novel_mass, top, tail })
+    }
+
+    /// The paper's running configuration: car 0.6, pedestrian 0.3, unknown
+    /// 0.1 over a 1000-class Zipf(1.1) tail.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for these constants; the `Result` mirrors
+    /// [`WorldModel::new`].
+    pub fn paper_example() -> Result<Self> {
+        Self::new(
+            vec!["car".into(), "pedestrian".into()],
+            vec![0.6, 0.3],
+            0.1,
+            1_000,
+            1.1,
+        )
+    }
+
+    /// Known class names.
+    pub fn known_classes(&self) -> &[String] {
+        &self.known
+    }
+
+    /// Absolute probabilities of the known classes.
+    pub fn known_probs(&self) -> &[f64] {
+        &self.known_probs
+    }
+
+    /// Total probability of encountering something novel.
+    pub fn novel_mass(&self) -> f64 {
+        self.novel_mass
+    }
+
+    /// True probability of one specific novel class (for validating
+    /// missing-mass estimators).
+    pub fn novel_class_probability(&self, tail_index: usize) -> f64 {
+        use sysunc_prob::dist::Discrete as _;
+        self.novel_mass * self.tail.pmf(tail_index as u64)
+    }
+
+    /// Samples one encounter.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Truth {
+        let pick = self.top.sample_index(rng);
+        if pick < self.known.len() {
+            Truth::Known(pick)
+        } else {
+            Truth::Novel(self.tail.sample_index(rng))
+        }
+    }
+
+    /// Samples a batch of encounters.
+    pub fn sample_n(&self, n: usize, rng: &mut dyn RngCore) -> Vec<Truth> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WorldModel::new(vec![], vec![], 0.1, 10, 1.0).is_err());
+        assert!(WorldModel::new(vec!["a".into()], vec![0.5], 0.1, 10, 1.0).is_err()); // sums to 0.6
+        assert!(WorldModel::new(vec!["a".into()], vec![0.9], 0.1, 0, 1.0).is_err());
+        assert!(WorldModel::new(vec!["a".into()], vec![0.9], 0.1, 10, 0.0).is_err());
+        assert!(WorldModel::paper_example().is_ok());
+    }
+
+    #[test]
+    fn sampling_frequencies_match_priors() {
+        let world = WorldModel::paper_example().unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let mut counts = [0u64; 3];
+        for t in world.sample_n(n, &mut r) {
+            match t {
+                Truth::Known(i) => counts[i] += 1,
+                Truth::Novel(_) => counts[2] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.6).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.1).abs() < 0.005);
+    }
+
+    #[test]
+    fn tail_is_long() {
+        // Many distinct novel classes appear; the most common dominates
+        // but does not exhaust the tail.
+        let world = WorldModel::paper_example().unwrap();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        let mut first = 0u64;
+        let mut novel = 0u64;
+        for t in world.sample_n(300_000, &mut r) {
+            if let Truth::Novel(k) = t {
+                novel += 1;
+                seen.insert(k);
+                if k == 0 {
+                    first += 1;
+                }
+            }
+        }
+        assert!(seen.len() > 100, "long tail: saw {} distinct classes", seen.len());
+        let share = first as f64 / novel as f64;
+        assert!(share > 0.05 && share < 0.5, "head share {share}");
+    }
+
+    #[test]
+    fn novel_class_probability_sums_to_mass() {
+        let world = WorldModel::paper_example().unwrap();
+        let total: f64 = (0..1_000).map(|k| world.novel_class_probability(k)).sum();
+        assert!((total - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Bernoulli distribution.
+
+use super::Discrete;
+use crate::error::{ProbError, Result};
+use rand::RngCore;
+
+/// Bernoulli distribution: `P(X = 1) = p`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::dist::{Bernoulli, Discrete};
+/// let b = Bernoulli::new(0.3)?;
+/// assert!((b.pmf(1) - 0.3).abs() < 1e-15);
+/// assert!((b.variance() - 0.21).abs() < 1e-15);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ProbError::InvalidParameter(format!(
+                "Bernoulli requires p in [0,1], got {p}"
+            )));
+        }
+        Ok(Self { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws a boolean sample directly.
+    pub fn sample_bool(&self, rng: &mut dyn RngCore) -> bool {
+        use rand::Rng as _;
+        rng.random::<f64>() < self.p
+    }
+}
+
+impl Discrete for Bernoulli {
+    fn pmf(&self, k: u64) -> f64 {
+        match k {
+            0 => 1.0 - self.p,
+            1 => self.p,
+            _ => 0.0,
+        }
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        match k {
+            0 => 1.0 - self.p,
+            _ => 1.0,
+        }
+    }
+
+    fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli::quantile: p in [0,1], got {p}");
+        if p <= 1.0 - self.p {
+            0
+        } else {
+            1
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        u64::from(self.sample_bool(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Bernoulli::new(0.7).unwrap();
+        assert!((b.pmf(0) + b.pmf(1) - 1.0).abs() < 1e-15);
+        assert_eq!(b.pmf(2), 0.0);
+    }
+
+    #[test]
+    fn sample_frequency_matches_p() {
+        let b = Bernoulli::new(0.25).unwrap();
+        let mut rng = testutil::rng(5);
+        let n = 100_000;
+        let ones: u64 = b.sample_n(&mut rng, n).iter().sum();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let zero = Bernoulli::new(0.0).unwrap();
+        let one = Bernoulli::new(1.0).unwrap();
+        let mut rng = testutil::rng(1);
+        assert_eq!(zero.sample(&mut rng), 0);
+        assert_eq!(one.sample(&mut rng), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Categorical distribution with O(1) alias-method sampling.
+
+use super::Discrete;
+use crate::error::{ProbError, Result};
+use rand::RngCore;
+
+/// Categorical distribution over outcomes `0..k` with given probabilities.
+///
+/// Sampling uses Walker's alias method: O(k) construction, O(1) per draw —
+/// important for the large synthetic field campaigns in the perception
+/// experiments.
+///
+/// This is exactly the distribution of the paper's *ground truth* node
+/// (Fig. 4): `P(car) = 0.6, P(pedestrian) = 0.3, P(unknown) = 0.1`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::dist::{Categorical, Discrete};
+/// let gt = Categorical::new(vec![0.6, 0.3, 0.1])?;
+/// assert!((gt.pmf(0) - 0.6).abs() < 1e-15);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    probs: Vec<f64>,
+    // Alias tables.
+    prob_table: Vec<f64>,
+    alias_table: Vec<usize>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from a probability vector.
+    ///
+    /// The probabilities must be non-negative and sum to 1 within `1e-9`;
+    /// they are re-normalized exactly internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidProbabilities`] for empty, negative or
+    /// badly normalized inputs.
+    pub fn new(probs: Vec<f64>) -> Result<Self> {
+        if probs.is_empty() {
+            return Err(ProbError::InvalidProbabilities("empty probability vector".into()));
+        }
+        if probs.iter().any(|&p| !(0.0..=1.0 + 1e-12).contains(&p)) {
+            return Err(ProbError::InvalidProbabilities(format!(
+                "probabilities must be in [0,1], got {probs:?}"
+            )));
+        }
+        let total: f64 = probs.iter().sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(ProbError::InvalidProbabilities(format!(
+                "probabilities must sum to 1, got {total}"
+            )));
+        }
+        let probs: Vec<f64> = probs.iter().map(|p| p / total).collect();
+        let (prob_table, alias_table) = Self::build_alias(&probs);
+        Ok(Self { probs, prob_table, alias_table })
+    }
+
+    /// Creates a categorical distribution from unnormalized non-negative
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidProbabilities`] for empty, negative or
+    /// all-zero weights.
+    pub fn from_weights(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(ProbError::InvalidProbabilities("empty weight vector".into()));
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err(ProbError::InvalidProbabilities(format!(
+                "weights must be finite and non-negative, got {weights:?}"
+            )));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ProbError::InvalidProbabilities("weights sum to zero".into()));
+        }
+        Self::new(weights.iter().map(|w| w / total).collect())
+    }
+
+    /// Walker alias table construction (Vose's stable variant).
+    fn build_alias(probs: &[f64]) -> (Vec<f64>, Vec<usize>) {
+        let k = probs.len();
+        let mut prob_table = vec![0.0; k];
+        let mut alias_table = vec![0usize; k];
+        let scaled: Vec<f64> = probs.iter().map(|p| p * k as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut scaled = scaled;
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob_table[s] = scaled[s];
+            alias_table[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &l in &large {
+            prob_table[l] = 1.0;
+        }
+        for &s in &small {
+            prob_table[s] = 1.0; // numerical residue
+        }
+        (prob_table, alias_table)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution has zero categories (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The (normalized) probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Draws an index sample with the alias method.
+    pub fn sample_index(&self, rng: &mut dyn RngCore) -> usize {
+        use rand::Rng as _;
+        let k = self.probs.len();
+        let i = (rng.random::<f64>() * k as f64) as usize % k;
+        if rng.random::<f64>() < self.prob_table[i] {
+            i
+        } else {
+            self.alias_table[i]
+        }
+    }
+
+    /// Shannon entropy in nats.
+    pub fn entropy(&self) -> f64 {
+        crate::info::entropy(&self.probs)
+    }
+}
+
+impl Discrete for Categorical {
+    fn pmf(&self, k: u64) -> f64 {
+        self.probs.get(k as usize).copied().unwrap_or(0.0)
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        let end = ((k as usize) + 1).min(self.probs.len());
+        self.probs[..end].iter().sum::<f64>().min(1.0)
+    }
+
+    fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "Categorical::quantile: p in [0,1], got {p}");
+        let mut acc = 0.0;
+        for (i, &q) in self.probs.iter().enumerate() {
+            acc += q;
+            if acc >= p - 1e-15 {
+                return i as u64;
+            }
+        }
+        (self.probs.len() - 1) as u64
+    }
+
+    fn mean(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.probs.iter().enumerate().map(|(i, &p)| (i as f64 - m).powi(2) * p).sum()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        self.sample_index(rng) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        assert!(Categorical::new(vec![]).is_err());
+        assert!(Categorical::new(vec![0.5, 0.6]).is_err());
+        assert!(Categorical::new(vec![-0.1, 1.1]).is_err());
+        assert!(Categorical::from_weights(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let c = Categorical::from_weights(&[2.0, 6.0, 2.0]).unwrap();
+        assert!((c.pmf(1) - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_ground_truth_prior() {
+        let gt = Categorical::new(vec![0.6, 0.3, 0.1]).unwrap();
+        assert!((gt.cdf(1) - 0.9).abs() < 1e-15);
+        assert_eq!(gt.quantile(0.95), 2);
+    }
+
+    #[test]
+    fn alias_sampling_matches_pmf() {
+        let c = Categorical::new(vec![0.1, 0.2, 0.3, 0.25, 0.15]).unwrap();
+        let mut rng = testutil::rng(17);
+        let n = 500_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..n {
+            counts[c.sample_index(&mut rng)] += 1;
+        }
+        for (i, &cnt) in counts.iter().enumerate() {
+            let freq = cnt as f64 / n as f64;
+            let p = c.pmf(i as u64);
+            let se = (p * (1.0 - p) / n as f64).sqrt();
+            assert!((freq - p).abs() < 5.0 * se, "i={i} freq={freq} p={p}");
+        }
+    }
+
+    #[test]
+    fn alias_handles_degenerate_mass() {
+        let c = Categorical::new(vec![1.0, 0.0, 0.0]).unwrap();
+        let mut rng = testutil::rng(3);
+        for _ in 0..100 {
+            assert_eq!(c.sample_index(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn entropy_uniform_is_ln_k() {
+        let c = Categorical::new(vec![0.25; 4]).unwrap();
+        assert!((c.entropy() - 4.0f64.ln()).abs() < 1e-12);
+    }
+}

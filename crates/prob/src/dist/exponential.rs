@@ -1,0 +1,135 @@
+//! Exponential distribution.
+
+use super::{uniform_open01, Continuous, Support};
+use crate::error::{ProbError, Result};
+use rand::RngCore;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// The canonical failure-time model for constant-hazard components; used by
+/// the fault-tree crate for basic-event lifetimes.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::dist::{Continuous, Exponential};
+/// let e = Exponential::new(2.0)?;
+/// assert!((e.mean() - 0.5).abs() < 1e-15);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] if `rate <= 0` or non-finite.
+    pub fn new(rate: f64) -> Result<Self> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ProbError::InvalidParameter(format!(
+                "Exponential requires rate > 0, got {rate}"
+            )));
+        }
+        Ok(Self { rate })
+    }
+
+    /// The rate parameter `lambda`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Continuous for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "Exponential::quantile: p in [0,1], got {p}");
+        -(-p).ln_1p() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn support(&self) -> Support {
+        Support::non_negative()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -uniform_open01(rng).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn memoryless_property() {
+        let e = Exponential::new(0.7).unwrap();
+        // P(X > s + t | X > s) = P(X > t)
+        let s = 1.3;
+        let t = 2.1;
+        let lhs = (1.0 - e.cdf(s + t)) / (1.0 - e.cdf(s));
+        let rhs = 1.0 - e.cdf(t);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_exact_inverse() {
+        let e = Exponential::new(3.0).unwrap();
+        testutil::check_quantile_cdf_round_trip(&e, &[0.01, 0.1, 0.5, 2.0], 1e-12);
+        // Median = ln 2 / rate.
+        assert!((e.quantile(0.5) - std::f64::consts::LN_2 / 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let e = Exponential::new(1.5).unwrap();
+        testutil::check_pdf_integrates_to_cdf(&e, 0.0, 3.0, 1e-10);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let e = Exponential::new(4.0).unwrap();
+        testutil::check_sample_moments(&e, 13, 200_000, 4.0);
+    }
+}

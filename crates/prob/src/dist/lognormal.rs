@@ -1,0 +1,153 @@
+//! Log-normal distribution.
+
+use super::{Continuous, Normal, Support};
+use crate::error::Result;
+use rand::RngCore;
+
+/// Log-normal distribution: `X = exp(Y)` where `Y ~ N(mu, sigma^2)`.
+///
+/// Commonly used as an epistemic error-factor model on failure rates in
+/// probabilistic risk assessment.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::dist::{Continuous, LogNormal};
+/// let ln = LogNormal::new(0.0, 0.5)?;
+/// assert!((ln.quantile(0.5) - 1.0).abs() < 1e-12); // median = exp(mu)
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    base: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-mean `mu` and log-standard-deviation
+    /// `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ProbError::InvalidParameter`] if `sigma <= 0` or
+    /// either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        Ok(Self { base: Normal::new(mu, sigma)? })
+    }
+
+    /// Creates a log-normal from its median and *error factor*
+    /// `EF = x_{0.95} / x_{0.50}`, the parameterization used in nuclear and
+    /// automotive PRA handbooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ProbError::InvalidParameter`] if `median <= 0` or
+    /// `error_factor <= 1`.
+    pub fn from_median_error_factor(median: f64, error_factor: f64) -> Result<Self> {
+        if median <= 0.0 || error_factor <= 1.0 {
+            return Err(crate::ProbError::InvalidParameter(format!(
+                "LogNormal::from_median_error_factor requires median > 0 and EF > 1, got ({median}, {error_factor})"
+            )));
+        }
+        const Z95: f64 = 1.644_853_626_951_472_7;
+        Self::new(median.ln(), error_factor.ln() / Z95)
+    }
+
+    /// Log-mean parameter `mu`.
+    pub fn mu(&self) -> f64 {
+        self.base.mu()
+    }
+
+    /// Log-standard-deviation parameter `sigma`.
+    pub fn sigma(&self) -> f64 {
+        self.base.sigma()
+    }
+}
+
+impl Continuous for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.base.pdf(x.ln()) / x
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.base.ln_pdf(x.ln()) - x.ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.base.cdf(x.ln())
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.base.quantile(p).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.base.mu() + 0.5 * self.base.sigma() * self.base.sigma()).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.base.sigma() * self.base.sigma();
+        (s2.exp() - 1.0) * (2.0 * self.base.mu() + s2).exp()
+    }
+
+    fn support(&self) -> Support {
+        Support::non_negative()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.base.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(1.2, 0.8).unwrap();
+        assert!((d.quantile(0.5) - 1.2f64.exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn error_factor_parameterization() {
+        let d = LogNormal::from_median_error_factor(1e-4, 3.0).unwrap();
+        assert!((d.quantile(0.5) - 1e-4).abs() < 1e-14);
+        assert!((d.quantile(0.95) / d.quantile(0.5) - 3.0).abs() < 1e-9);
+        assert!(LogNormal::from_median_error_factor(0.0, 3.0).is_err());
+        assert!(LogNormal::from_median_error_factor(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn analytic_moments() {
+        let d = LogNormal::new(0.3, 0.6).unwrap();
+        let expect_mean = (0.3f64 + 0.18).exp();
+        assert!((d.mean() - expect_mean).abs() < 1e-12);
+        testutil::check_sample_moments(&d, 21, 400_000, 5.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let d = LogNormal::new(0.0, 0.4).unwrap();
+        testutil::check_pdf_integrates_to_cdf(&d, 0.2, 3.0, 1e-9);
+    }
+
+    #[test]
+    fn zero_outside_support() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+}

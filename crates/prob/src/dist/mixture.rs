@@ -1,0 +1,233 @@
+//! Finite mixture of continuous distributions.
+
+use super::{Categorical, Continuous, Support};
+use crate::error::{ProbError, Result};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A finite mixture `Σ w_i F_i` of continuous components.
+///
+/// Mixtures are the natural model of *populations* of regimes — e.g. a
+/// failure-rate that is low in the nominal regime and high in a degraded
+/// one. The component weights carry aleatory regime uncertainty; not
+/// knowing the weights is the epistemic layer above it.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sysunc_prob::dist::{Continuous, Mixture, Normal};
+/// let m = Mixture::new(vec![
+///     (0.5, Arc::new(Normal::new(-2.0, 0.5)?) as Arc<dyn Continuous>),
+///     (0.5, Arc::new(Normal::new(2.0, 0.5)?)),
+/// ])?;
+/// assert!((m.mean()).abs() < 1e-12);
+/// assert!(m.pdf(0.0) < m.pdf(2.0)); // bimodal
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Clone)]
+pub struct Mixture {
+    weights: Vec<f64>,
+    components: Vec<Arc<dyn Continuous>>,
+    picker: Categorical,
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("weights", &self.weights)
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidProbabilities`] for empty input or
+    /// weights that are not a probability vector.
+    pub fn new(parts: Vec<(f64, Arc<dyn Continuous>)>) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(ProbError::InvalidProbabilities("empty mixture".into()));
+        }
+        let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+        let picker = Categorical::new(weights.clone())?;
+        let components = parts.into_iter().map(|(_, c)| c).collect();
+        Ok(Self { weights, components, picker })
+    }
+
+    /// Component weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl Continuous for Mixture {
+    fn pdf(&self, x: f64) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.pdf(x))
+            .sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.cdf(x))
+            .sum()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "Mixture::quantile: p in [0,1], got {p}");
+        // Bracket by the component quantiles, then bisect the CDF.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in &self.components {
+            lo = lo.min(c.quantile(p.max(1e-12)));
+            hi = hi.max(c.quantile(p.min(1.0 - 1e-12)));
+        }
+        if lo >= hi {
+            return lo;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-12 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn mean(&self) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * c.mean())
+            .sum()
+    }
+
+    fn variance(&self) -> f64 {
+        // Law of total variance.
+        let m = self.mean();
+        self.weights
+            .iter()
+            .zip(&self.components)
+            .map(|(w, c)| w * (c.variance() + (c.mean() - m).powi(2)))
+            .sum()
+    }
+
+    fn support(&self) -> Support {
+        let lo = self
+            .components
+            .iter()
+            .map(|c| c.support().lower)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .components
+            .iter()
+            .map(|c| c.support().upper)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Support::new(lo, hi)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let k = self.picker.sample_index(rng);
+        self.components[k].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+    use crate::dist::{Exponential, Normal, Uniform};
+
+    fn bimodal() -> Mixture {
+        Mixture::new(vec![
+            (0.3, Arc::new(Normal::new(-3.0, 0.5).unwrap()) as Arc<dyn Continuous>),
+            (0.7, Arc::new(Normal::new(2.0, 1.0).unwrap())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(
+            0.5,
+            Arc::new(Normal::standard()) as Arc<dyn Continuous>
+        )])
+        .is_err());
+    }
+
+    #[test]
+    fn moments_by_total_laws() {
+        let m = bimodal();
+        let mean = 0.3 * -3.0 + 0.7 * 2.0;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        let var = 0.3 * (0.25 + (-3.0f64 - mean).powi(2)) + 0.7 * (1.0 + (2.0f64 - mean).powi(2));
+        assert!((m.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_weighted_sum() {
+        let m = bimodal();
+        assert!((m.cdf(-10.0)).abs() < 1e-9);
+        assert!((m.cdf(10.0) - 1.0).abs() < 1e-9);
+        // Between the modes: the full left component plus the lower tail
+        // of the right one: 0.3 + 0.7 * Phi(-2).
+        let expect = 0.3 * Normal::new(-3.0, 0.5).unwrap().cdf(0.0)
+            + 0.7 * Normal::new(2.0, 1.0).unwrap().cdf(0.0);
+        assert!((m.cdf(0.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let m = bimodal();
+        for &p in &[0.05, 0.25, 0.3, 0.5, 0.9] {
+            let x = m.quantile(p);
+            assert!((m.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_components() {
+        let m = Mixture::new(vec![
+            (0.5, Arc::new(Uniform::new(0.0, 1.0).unwrap()) as Arc<dyn Continuous>),
+            (0.5, Arc::new(Exponential::new(1.0).unwrap())),
+        ])
+        .unwrap();
+        assert!((m.mean() - 0.75).abs() < 1e-12);
+        let s = m.support();
+        assert_eq!(s.lower, 0.0);
+        assert_eq!(s.upper, f64::INFINITY);
+        // Simpson tolerance is loose: the uniform component's pdf jump at
+        // x = 1 limits the quadrature order.
+        testutil::check_pdf_integrates_to_cdf(&m, 0.01, 5.0, 1e-3);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let m = bimodal();
+        testutil::check_sample_moments(&m, 91, 300_000, 5.0);
+    }
+}

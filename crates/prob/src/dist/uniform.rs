@@ -1,0 +1,135 @@
+//! Continuous uniform distribution.
+
+use super::{Continuous, Support};
+use crate::error::{ProbError, Result};
+use rand::RngCore;
+
+/// Uniform distribution on the interval `[a, b]`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::dist::{Continuous, Uniform};
+/// let u = Uniform::new(2.0, 6.0)?;
+/// assert!((u.mean() - 4.0).abs() < 1e-15);
+/// assert!((u.cdf(3.0) - 0.25).abs() < 1e-15);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[a, b]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] if `a >= b` or either bound is
+    /// non-finite.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if !a.is_finite() || !b.is_finite() || a >= b {
+            return Err(ProbError::InvalidParameter(format!(
+                "Uniform requires finite a < b, got a={a}, b={b}"
+            )));
+        }
+        Ok(Self { a, b })
+    }
+
+    /// The standard uniform on `[0, 1]`.
+    pub fn standard() -> Self {
+        Self { a: 0.0, b: 1.0 }
+    }
+
+    /// Lower bound.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Continuous for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.a && x <= self.b {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.a {
+            0.0
+        } else if x > self.b {
+            1.0
+        } else {
+            (x - self.a) / (self.b - self.a)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "Uniform::quantile: p in [0,1], got {p}");
+        self.a + p * (self.b - self.a)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+
+    fn support(&self) -> Support {
+        Support::new(self.a, self.b)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        use rand::Rng as _;
+        self.a + rng.random::<f64>() * (self.b - self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_interval() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn density_is_flat_and_normalized() {
+        let u = Uniform::new(-1.0, 3.0).unwrap();
+        assert!((u.pdf(0.0) - 0.25).abs() < 1e-15);
+        assert_eq!(u.pdf(-2.0), 0.0);
+        assert_eq!(u.pdf(4.0), 0.0);
+        testutil::check_pdf_integrates_to_cdf(&u, -1.0, 3.0, 1e-10);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let u = Uniform::new(10.0, 20.0).unwrap();
+        testutil::check_quantile_cdf_round_trip(&u, &[10.5, 13.0, 17.7, 19.9], 1e-12);
+    }
+
+    #[test]
+    fn sampling_stays_in_support_with_correct_moments() {
+        let u = Uniform::new(2.0, 4.0).unwrap();
+        let mut r = testutil::rng(7);
+        for x in u.sample_n(&mut r, 10_000) {
+            assert!((2.0..=4.0).contains(&x));
+        }
+        testutil::check_sample_moments(&u, 11, 100_000, 4.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Weibull distribution.
+
+use super::{uniform_open01, Continuous, Support};
+use crate::error::{ProbError, Result};
+use crate::special::ln_gamma;
+use rand::RngCore;
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// The standard wear-out / infant-mortality lifetime model in reliability
+/// engineering; shape < 1 gives decreasing hazard, shape > 1 increasing.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::dist::{Continuous, Weibull};
+/// let w = Weibull::new(2.0, 1.0)?; // Rayleigh
+/// assert!((w.cdf(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution with shape `k > 0` and scale
+    /// `lambda > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] if either parameter is not
+    /// strictly positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        if !shape.is_finite() || !scale.is_finite() || shape <= 0.0 || scale <= 0.0 {
+            return Err(ProbError::InvalidParameter(format!(
+                "Weibull requires shape > 0 and scale > 0, got ({shape}, {scale})"
+            )));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `lambda`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Hazard (failure-rate) function `h(x) = pdf / (1 - cdf)`.
+    pub fn hazard(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            let z = x / self.scale;
+            self.shape / self.scale * z.powf(self.shape - 1.0)
+        }
+    }
+}
+
+impl Continuous for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            let z = x / self.scale;
+            let zk = z.powf(self.shape);
+            self.shape / self.scale * z.powf(self.shape - 1.0) * (-zk).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "Weibull::quantile: p in [0,1], got {p}");
+        self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * ln_gamma(1.0 + 1.0 / self.shape).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn support(&self) -> Support {
+        Support::non_negative()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * (-uniform_open01(rng).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        use crate::dist::Exponential;
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = Exponential::new(0.5).unwrap();
+        for &x in &[0.1, 1.0, 4.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hazard_monotonicity() {
+        let wearing = Weibull::new(3.0, 1.0).unwrap();
+        assert!(wearing.hazard(2.0) > wearing.hazard(1.0));
+        let infant = Weibull::new(0.5, 1.0).unwrap();
+        assert!(infant.hazard(2.0) < infant.hazard(1.0));
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let w = Weibull::new(1.8, 3.0).unwrap();
+        testutil::check_quantile_cdf_round_trip(&w, &[0.5, 1.0, 2.0, 5.0], 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let w = Weibull::new(2.0, 1.5).unwrap();
+        testutil::check_pdf_integrates_to_cdf(&w, 0.0, 4.0, 1e-9);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let w = Weibull::new(2.5, 2.0).unwrap();
+        testutil::check_sample_moments(&w, 51, 200_000, 5.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Empirical (data-driven) distributions: ECDFs, histograms and kernel
+//! density estimates.
+//!
+//! These are the machinery behind the paper's *frequentist* model B of
+//! Fig. 2: "build a probabilistic model by repeated observation of the
+//! positions". The gap between the empirical estimate and the underlying
+//! distribution is the **epistemic** uncertainty of the probabilistic model
+//! (Sec. III-B), which shrinks as observations accumulate.
+
+use crate::error::{ProbError, Result};
+
+/// Empirical cumulative distribution function over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::empirical::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert!((e.cdf(2.5) - 0.5).abs() < 1e-15);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (sorted internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::EmptyData`] on empty input or
+    /// [`ProbError::InvalidParameter`] if the sample contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self> {
+        if sample.is_empty() {
+            return Err(ProbError::EmptyData);
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(ProbError::InvalidParameter("sample contains NaN".into()));
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN"));
+        Ok(Self { sorted: sample })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Empirical CDF value `#{x_i <= x} / n`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile (inverse ECDF): the smallest order statistic with
+    /// CDF at least `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "Ecdf::quantile: p in [0,1], got {p}");
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let k = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[k - 1]
+    }
+
+    /// Underlying sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Kolmogorov–Smirnov distance `sup |F_n - F|` against a reference CDF.
+    pub fn ks_distance<F: Fn(f64) -> f64>(&self, reference_cdf: F) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = reference_cdf(x);
+            let upper = (i + 1) as f64 / n - f;
+            let lower = f - i as f64 / n;
+            d = d.max(upper.max(lower));
+        }
+        d
+    }
+}
+
+/// Fixed-width histogram over a bounded range, usable as a density
+/// estimate.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::empirical::Histogram;
+/// let mut h = Histogram::new(0.0, 1.0, 10)?;
+/// h.add(0.05);
+/// h.add(0.15);
+/// assert_eq!(h.count(), 2);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    out_of_range: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins on
+    /// `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] when the range is degenerate
+    /// or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(ProbError::InvalidParameter(format!(
+                "Histogram requires finite lo < hi, got ({lo}, {hi})"
+            )));
+        }
+        if bins == 0 {
+            return Err(ProbError::InvalidParameter("Histogram requires bins > 0".into()));
+        }
+        Ok(Self { lo, hi, counts: vec![0; bins], total: 0, out_of_range: 0 })
+    }
+
+    /// Adds an observation; values outside `[lo, hi)` are tallied
+    /// separately and do not contribute to the density.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo || x >= self.hi || x.is_nan() {
+            self.out_of_range += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every value of a slice.
+    pub fn extend_from_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of in-range observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations that fell outside the histogram range — the
+    /// histogram's own "unknown" bucket (out-of-model observations).
+    pub fn out_of_range_count(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bin probability estimates (summing to 1 over in-range data).
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Estimated density at `x` (count / (n * bin_width)).
+    pub fn density(&self, x: f64) -> f64 {
+        if x < self.lo || x >= self.hi || self.total == 0 {
+            return 0.0;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+        self.counts[idx] as f64 / (self.total as f64 * w)
+    }
+
+    /// Total-variation distance between the bin-probability vectors of two
+    /// equally shaped histograms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::DimensionMismatch`] for differing bin counts.
+    pub fn total_variation(&self, other: &Histogram) -> Result<f64> {
+        if self.counts.len() != other.counts.len() {
+            return Err(ProbError::DimensionMismatch {
+                expected: self.counts.len(),
+                actual: other.counts.len(),
+            });
+        }
+        let p = self.probabilities();
+        let q = other.probabilities();
+        Ok(0.5 * p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+    }
+
+    /// Total-variation distance against exact bin probabilities computed
+    /// from a reference CDF.
+    pub fn total_variation_to_cdf<F: Fn(f64) -> f64>(&self, reference_cdf: F) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let p = self.probabilities();
+        let mut acc = 0.0;
+        let denom = reference_cdf(self.hi) - reference_cdf(self.lo);
+        for (i, &pi) in p.iter().enumerate() {
+            let a = self.lo + i as f64 * w;
+            let b = a + w;
+            let qi = if denom > 0.0 { (reference_cdf(b) - reference_cdf(a)) / denom } else { 0.0 };
+            acc += (pi - qi).abs();
+        }
+        0.5 * acc
+    }
+}
+
+/// Gaussian kernel density estimate.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::empirical::Kde;
+/// let kde = Kde::from_sample(vec![0.0, 0.1, -0.1, 0.05])?;
+/// assert!(kde.density(0.0) > kde.density(2.0));
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kde {
+    sample: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Builds a KDE with Silverman's rule-of-thumb bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::EmptyData`] for samples smaller than 2 or
+    /// [`ProbError::InvalidParameter`] for constant samples.
+    pub fn from_sample(sample: Vec<f64>) -> Result<Self> {
+        if sample.len() < 2 {
+            return Err(ProbError::EmptyData);
+        }
+        let sd = crate::stats::std_dev(&sample)?;
+        let iqr = crate::stats::quantile(&sample, 0.75)? - crate::stats::quantile(&sample, 0.25)?;
+        let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+        if spread <= 0.0 {
+            return Err(ProbError::InvalidParameter("KDE of constant sample".into()));
+        }
+        let h = 0.9 * spread * (sample.len() as f64).powf(-0.2);
+        Self::with_bandwidth(sample, h)
+    }
+
+    /// Builds a KDE with an explicit bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] for non-positive bandwidths
+    /// or [`ProbError::EmptyData`] for empty samples.
+    pub fn with_bandwidth(sample: Vec<f64>, bandwidth: f64) -> Result<Self> {
+        if sample.is_empty() {
+            return Err(ProbError::EmptyData);
+        }
+        if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+            return Err(ProbError::InvalidParameter(format!(
+                "KDE bandwidth must be > 0, got {bandwidth}"
+            )));
+        }
+        Ok(Self { sample, bandwidth })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.sample.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.sample
+            .iter()
+            .map(|&xi| {
+                let z = (x - xi) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Smoothed CDF estimate at `x` (mixture of normal CDFs).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        self.sample
+            .iter()
+            .map(|&xi| crate::special::standard_normal_cdf((x - xi) / h))
+            .sum::<f64>()
+            / self.sample.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Continuous, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ecdf_basic() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert!((e.cdf(0.5)).abs() < 1e-15);
+        assert!((e.cdf(1.0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((e.cdf(10.0) - 1.0).abs() < 1e-15);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 3.0);
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn ks_distance_shrinks_with_sample_size() {
+        // Frequentist epistemic convergence (paper Sec. III-B).
+        let n_dist = Normal::standard();
+        let mut prev = f64::INFINITY;
+        for &n in &[100usize, 10_000] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let xs = n_dist.sample_n(&mut rng, n);
+            let e = Ecdf::new(xs).unwrap();
+            let d = e.ks_distance(|x| n_dist.cdf(x));
+            assert!(d < prev, "KS distance must shrink: {prev} -> {d}");
+            prev = d;
+        }
+        assert!(prev < 0.02);
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend_from_slice(&[0.5, 1.5, 1.6, 9.99, -1.0, 10.0]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.out_of_range_count(), 2);
+        assert_eq!(h.counts()[1], 2);
+        assert!((h.density(1.5) - 2.0 / (4.0 * 1.0)).abs() < 1e-12);
+        assert!((h.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_total_variation() {
+        let mut a = Histogram::new(0.0, 1.0, 2).unwrap();
+        let mut b = Histogram::new(0.0, 1.0, 2).unwrap();
+        a.extend_from_slice(&[0.1, 0.2, 0.6, 0.7]);
+        b.extend_from_slice(&[0.1, 0.6, 0.7, 0.8]);
+        // a = (0.5, 0.5), b = (0.25, 0.75) → TV = 0.25
+        assert!((a.total_variation(&b).unwrap() - 0.25).abs() < 1e-12);
+        let c = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert!(a.total_variation(&c).is_err());
+    }
+
+    #[test]
+    fn histogram_tv_to_reference_cdf_converges() {
+        let d = Normal::standard();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut h = Histogram::new(-4.0, 4.0, 32).unwrap();
+        h.extend_from_slice(&d.sample_n(&mut rng, 100));
+        let tv_small = h.total_variation_to_cdf(|x| d.cdf(x));
+        h.extend_from_slice(&d.sample_n(&mut rng, 100_000));
+        let tv_big = h.total_variation_to_cdf(|x| d.cdf(x));
+        assert!(tv_big < tv_small, "TV must shrink with data: {tv_small} -> {tv_big}");
+        assert!(tv_big < 0.02);
+    }
+
+    #[test]
+    fn kde_integrates_to_one_and_tracks_modes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = Normal::new(2.0, 0.5).unwrap();
+        let kde = Kde::from_sample(d.sample_n(&mut rng, 2_000)).unwrap();
+        // Crude trapezoid integral.
+        let mut acc = 0.0;
+        let (a, b, n) = (-2.0, 6.0, 2_000);
+        let h = (b - a) / n as f64;
+        for i in 0..=n {
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            acc += w * kde.density(a + i as f64 * h);
+        }
+        acc *= h;
+        assert!((acc - 1.0).abs() < 0.01, "KDE integral {acc}");
+        assert!(kde.density(2.0) > kde.density(0.0));
+        assert!(Kde::from_sample(vec![1.0]).is_err());
+        assert!(Kde::with_bandwidth(vec![1.0, 2.0], 0.0).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types for the probability substrate.
+
+use std::fmt;
+
+/// Errors produced when constructing or evaluating probabilistic objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// A distribution or estimator parameter was invalid (e.g. a negative
+    /// scale). The payload describes the offending parameter.
+    InvalidParameter(String),
+    /// An operation that needs data received an empty slice.
+    EmptyData,
+    /// Two inputs that must agree in length or shape did not.
+    DimensionMismatch {
+        /// Expected length/shape.
+        expected: usize,
+        /// Actual length/shape.
+        actual: usize,
+    },
+    /// A probability vector did not sum to one (within tolerance) or
+    /// contained negative entries.
+    InvalidProbabilities(String),
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ProbError::EmptyData => write!(f, "operation requires non-empty data"),
+            ProbError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            ProbError::InvalidProbabilities(msg) => write!(f, "invalid probabilities: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+/// Convenience result alias for the probability substrate.
+pub type Result<T> = std::result::Result<T, ProbError>;

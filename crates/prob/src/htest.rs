@@ -1,0 +1,219 @@
+//! Hypothesis tests used for model validation (uncertainty *removal* during
+//! design, paper Sec. IV): Kolmogorov–Smirnov and chi-square
+//! goodness-of-fit.
+
+use crate::dist::Continuous;
+use crate::empirical::Ecdf;
+use crate::error::{ProbError, Result};
+use crate::special::reg_upper_gamma;
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// Test statistic value.
+    pub statistic: f64,
+    /// Asymptotic p-value (probability of a statistic at least this extreme
+    /// under the null).
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis is rejected at significance `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Asymptotic Kolmogorov distribution survival function
+/// `Q(x) = 2 Σ (-1)^{k-1} exp(-2 k² x²)`.
+pub fn kolmogorov_survival(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * x * x).exp();
+        if term < 1e-18 {
+            break;
+        }
+        acc += if k % 2 == 1 { term } else { -term };
+    }
+    (2.0 * acc).clamp(0.0, 1.0)
+}
+
+/// One-sample Kolmogorov–Smirnov test of `sample` against a continuous
+/// reference distribution.
+///
+/// # Errors
+///
+/// Returns [`ProbError::EmptyData`] for empty samples.
+pub fn ks_test_one_sample<D: Continuous + ?Sized>(sample: &[f64], dist: &D) -> Result<TestResult> {
+    let ecdf = Ecdf::new(sample.to_vec())?;
+    let d = ecdf.ks_distance(|x| dist.cdf(x));
+    let n = sample.len() as f64;
+    let arg = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    Ok(TestResult { statistic: d, p_value: kolmogorov_survival(arg) })
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// # Errors
+///
+/// Returns [`ProbError::EmptyData`] when either sample is empty.
+pub fn ks_test_two_sample(a: &[f64], b: &[f64]) -> Result<TestResult> {
+    let ea = Ecdf::new(a.to_vec())?;
+    let eb = Ecdf::new(b.to_vec())?;
+    let mut d: f64 = 0.0;
+    for &x in ea.sorted_values().iter().chain(eb.sorted_values()) {
+        d = d.max((ea.cdf(x) - eb.cdf(x)).abs());
+    }
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let ne = na * nb / (na + nb);
+    let arg = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Ok(TestResult { statistic: d, p_value: kolmogorov_survival(arg) })
+}
+
+/// Chi-square survival function `P(X² > x)` with `k` degrees of freedom.
+pub fn chi_square_survival(x: f64, k: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    reg_upper_gamma(k as f64 / 2.0, x / 2.0)
+}
+
+/// Pearson chi-square goodness-of-fit test of observed counts against
+/// expected probabilities.
+///
+/// Degrees of freedom are `k - 1 - params_fitted`.
+///
+/// # Errors
+///
+/// Returns an error for mismatched lengths, empty inputs, expected
+/// probabilities that are not a distribution, or zero expected counts.
+pub fn chi_square_gof(
+    observed_counts: &[u64],
+    expected_probs: &[f64],
+    params_fitted: usize,
+) -> Result<TestResult> {
+    if observed_counts.is_empty() {
+        return Err(ProbError::EmptyData);
+    }
+    if observed_counts.len() != expected_probs.len() {
+        return Err(ProbError::DimensionMismatch {
+            expected: observed_counts.len(),
+            actual: expected_probs.len(),
+        });
+    }
+    let total: u64 = observed_counts.iter().sum();
+    if total == 0 {
+        return Err(ProbError::EmptyData);
+    }
+    let psum: f64 = expected_probs.iter().sum();
+    if (psum - 1.0).abs() > 1e-6 || expected_probs.iter().any(|&p| p < 0.0) {
+        return Err(ProbError::InvalidProbabilities(format!(
+            "expected probabilities must sum to 1, got {psum}"
+        )));
+    }
+    let mut stat = 0.0;
+    for (&o, &p) in observed_counts.iter().zip(expected_probs) {
+        let e = p * total as f64;
+        if e <= 0.0 {
+            if o > 0 {
+                // Observation in an impossible cell: infinite statistic —
+                // the chi-square view of an ontological event.
+                return Ok(TestResult { statistic: f64::INFINITY, p_value: 0.0 });
+            }
+            continue;
+        }
+        stat += (o as f64 - e) * (o as f64 - e) / e;
+    }
+    let dof = observed_counts.len().saturating_sub(1 + params_fitted).max(1);
+    Ok(TestResult { statistic: stat, p_value: chi_square_survival(stat, dof) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Continuous, Normal, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kolmogorov_survival_endpoints() {
+        assert_eq!(kolmogorov_survival(0.0), 1.0);
+        assert!(kolmogorov_survival(3.0) < 1e-6);
+        // Known value: Q(1.0) ≈ 0.26999967...
+        assert!((kolmogorov_survival(1.0) - 0.27) < 1e-3);
+    }
+
+    #[test]
+    fn ks_accepts_correct_model() {
+        let d = Normal::standard();
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs = d.sample_n(&mut rng, 2_000);
+        let res = ks_test_one_sample(&xs, &d).unwrap();
+        assert!(!res.rejects_at(0.01), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_model() {
+        let d = Normal::standard();
+        let wrong = Uniform::new(-3.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs = d.sample_n(&mut rng, 2_000);
+        let res = ks_test_one_sample(&xs, &wrong).unwrap();
+        assert!(res.rejects_at(0.001), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn ks_two_sample_same_vs_different() {
+        let d = Normal::standard();
+        let shifted = Normal::new(1.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let a = d.sample_n(&mut rng, 1_500);
+        let b = d.sample_n(&mut rng, 1_500);
+        let c = shifted.sample_n(&mut rng, 1_500);
+        assert!(!ks_test_two_sample(&a, &b).unwrap().rejects_at(0.01));
+        assert!(ks_test_two_sample(&a, &c).unwrap().rejects_at(0.001));
+    }
+
+    #[test]
+    fn chi_square_survival_known_values() {
+        // P(X²_1 > 3.841) ≈ 0.05
+        assert!((chi_square_survival(3.841, 1) - 0.05).abs() < 1e-3);
+        // P(X²_2 > 5.991) ≈ 0.05
+        assert!((chi_square_survival(5.991, 2) - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_square_gof_fair_die() {
+        let observed = [166u64, 170, 162, 168, 166, 168];
+        let expected = [1.0 / 6.0; 6];
+        let res = chi_square_gof(&observed, &expected, 0).unwrap();
+        assert!(!res.rejects_at(0.05), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn chi_square_gof_biased_die() {
+        let observed = [300u64, 140, 140, 140, 140, 140];
+        let expected = [1.0 / 6.0; 6];
+        let res = chi_square_gof(&observed, &expected, 0).unwrap();
+        assert!(res.rejects_at(0.001));
+    }
+
+    #[test]
+    fn chi_square_impossible_cell_is_ontological() {
+        // Model says category 2 is impossible, but we observed it.
+        let res = chi_square_gof(&[10, 10, 1], &[0.5, 0.5, 0.0], 0).unwrap();
+        assert_eq!(res.statistic, f64::INFINITY);
+        assert_eq!(res.p_value, 0.0);
+    }
+
+    #[test]
+    fn chi_square_rejects_bad_inputs() {
+        assert!(chi_square_gof(&[], &[], 0).is_err());
+        assert!(chi_square_gof(&[1, 2], &[0.5], 0).is_err());
+        assert!(chi_square_gof(&[1, 2], &[0.7, 0.7], 0).is_err());
+    }
+}

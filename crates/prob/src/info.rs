@@ -1,0 +1,345 @@
+//! Information-theoretic measures.
+//!
+//! The paper (Secs. III-B/III-C) proposes **conditional entropy** between a
+//! system and its model as the formal expression of epistemic uncertainty
+//! and of the "surprise factor" that signals ontological events. This module
+//! provides those quantities for discrete distributions and joint tables.
+//!
+//! All entropies are in **nats** unless a `_bits` suffix says otherwise.
+
+use crate::error::{ProbError, Result};
+
+/// Shannon entropy `H(p) = -Σ p_i ln p_i` of a discrete distribution.
+///
+/// Zero-probability entries contribute zero (the `0 ln 0 = 0` convention).
+/// The input need not be exactly normalized; entries are used as given.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::info::entropy;
+/// let h = entropy(&[0.5, 0.5]);
+/// assert!((h - std::f64::consts::LN_2).abs() < 1e-15);
+/// ```
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter().filter(|&&pi| pi > 0.0).map(|&pi| -pi * pi.ln()).sum()
+}
+
+/// Shannon entropy in bits.
+pub fn entropy_bits(p: &[f64]) -> f64 {
+    entropy(p) / std::f64::consts::LN_2
+}
+
+/// Cross entropy `H(p, q) = -Σ p_i ln q_i`.
+///
+/// Returns infinity when `p` puts mass where `q` has none — exactly the
+/// signature of an *ontological* event: the world (`p`) produced something
+/// the model (`q`) declared impossible.
+///
+/// # Errors
+///
+/// Returns [`ProbError::DimensionMismatch`] when the slices differ in
+/// length.
+pub fn cross_entropy(p: &[f64], q: &[f64]) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(ProbError::DimensionMismatch { expected: p.len(), actual: q.len() });
+    }
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return Ok(f64::INFINITY);
+            }
+            acc -= pi * qi.ln();
+        }
+    }
+    Ok(acc)
+}
+
+/// Kullback–Leibler divergence `D(p || q) = Σ p_i ln(p_i / q_i)`.
+///
+/// # Errors
+///
+/// Returns [`ProbError::DimensionMismatch`] when the slices differ in
+/// length.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    Ok(cross_entropy(p, q)? - entropy(p))
+}
+
+/// Jensen–Shannon divergence (symmetric, bounded by `ln 2`).
+///
+/// # Errors
+///
+/// Returns [`ProbError::DimensionMismatch`] when the slices differ in
+/// length.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(ProbError::DimensionMismatch { expected: p.len(), actual: q.len() });
+    }
+    let m: Vec<f64> = p.iter().zip(q).map(|(&pi, &qi)| 0.5 * (pi + qi)).collect();
+    Ok(0.5 * kl_divergence(p, &m)? + 0.5 * kl_divergence(q, &m)?)
+}
+
+/// A joint probability table over two discrete variables, stored row-major:
+/// `joint[i][j] = P(X = i, Y = j)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointTable {
+    rows: usize,
+    cols: usize,
+    p: Vec<f64>,
+}
+
+impl JointTable {
+    /// Creates a joint table from row-major probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty tables, negative entries, length
+    /// mismatches, or totals that deviate from 1 by more than `1e-6`.
+    pub fn new(rows: usize, cols: usize, p: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(ProbError::InvalidProbabilities("empty joint table".into()));
+        }
+        if p.len() != rows * cols {
+            return Err(ProbError::DimensionMismatch { expected: rows * cols, actual: p.len() });
+        }
+        if p.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err(ProbError::InvalidProbabilities("negative or non-finite entry".into()));
+        }
+        let total: f64 = p.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(ProbError::InvalidProbabilities(format!(
+                "joint table sums to {total}, expected 1"
+            )));
+        }
+        // Exact renormalization.
+        let p = p.iter().map(|x| x / total).collect();
+        Ok(Self { rows, cols, p })
+    }
+
+    /// Builds the joint `P(X, Y)` from a prior `P(X)` and a conditional
+    /// row-stochastic matrix `P(Y | X)` (rows indexed by `X`).
+    ///
+    /// This mirrors the construction of the paper's Fig. 4 network: ground
+    /// truth prior × Table I CPT.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when dimensions disagree or probabilities are
+    /// invalid.
+    pub fn from_prior_and_conditional(prior: &[f64], conditional: &[Vec<f64>]) -> Result<Self> {
+        if prior.len() != conditional.len() {
+            return Err(ProbError::DimensionMismatch {
+                expected: prior.len(),
+                actual: conditional.len(),
+            });
+        }
+        let cols = conditional.first().map_or(0, |r| r.len());
+        let mut p = Vec::with_capacity(prior.len() * cols);
+        for (pi, row) in prior.iter().zip(conditional) {
+            if row.len() != cols {
+                return Err(ProbError::DimensionMismatch { expected: cols, actual: row.len() });
+            }
+            for &c in row {
+                p.push(pi * c);
+            }
+        }
+        Self::new(prior.len(), cols, p)
+    }
+
+    /// Number of rows (states of `X`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (states of `Y`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Probability `P(X = i, Y = j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "JointTable::get: index out of range");
+        self.p[i * self.cols + j]
+    }
+
+    /// Marginal distribution of `X` (row sums).
+    pub fn marginal_x(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| (0..self.cols).map(|j| self.get(i, j)).sum()).collect()
+    }
+
+    /// Marginal distribution of `Y` (column sums).
+    pub fn marginal_y(&self) -> Vec<f64> {
+        (0..self.cols).map(|j| (0..self.rows).map(|i| self.get(i, j)).sum()).collect()
+    }
+
+    /// Posterior `P(X | Y = j)` by Bayes' rule.
+    ///
+    /// Returns `None` when `P(Y = j) = 0`.
+    pub fn posterior_x_given_y(&self, j: usize) -> Option<Vec<f64>> {
+        let py: f64 = (0..self.rows).map(|i| self.get(i, j)).sum();
+        if py <= 0.0 {
+            return None;
+        }
+        Some((0..self.rows).map(|i| self.get(i, j) / py).collect())
+    }
+
+    /// Joint entropy `H(X, Y)`.
+    pub fn joint_entropy(&self) -> f64 {
+        entropy(&self.p)
+    }
+
+    /// Conditional entropy `H(Y | X) = H(X, Y) - H(X)` — the paper's formal
+    /// "surprise factor" when `X` is the system state and `Y` the model's
+    /// account of it (Sec. III-C).
+    pub fn conditional_entropy_y_given_x(&self) -> f64 {
+        (self.joint_entropy() - entropy(&self.marginal_x())).max(0.0)
+    }
+
+    /// Conditional entropy `H(X | Y)` — the residual uncertainty about the
+    /// ground truth once the perception output is known.
+    pub fn conditional_entropy_x_given_y(&self) -> f64 {
+        (self.joint_entropy() - entropy(&self.marginal_y())).max(0.0)
+    }
+
+    /// Mutual information `I(X; Y) = H(X) + H(Y) - H(X, Y)`.
+    pub fn mutual_information(&self) -> f64 {
+        (entropy(&self.marginal_x()) + entropy(&self.marginal_y()) - self.joint_entropy()).max(0.0)
+    }
+}
+
+/// Surprisal `-ln p` of observing an event the model assigned probability
+/// `p`. Infinite for `p = 0` — the quantitative signature of an ontological
+/// event.
+pub fn surprisal(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::INFINITY
+    } else {
+        -p.ln()
+    }
+}
+
+/// Average log-loss (negative log-likelihood per observation) of predicted
+/// probabilities assigned to realized outcomes.
+///
+/// # Errors
+///
+/// Returns [`ProbError::EmptyData`] on empty input.
+pub fn log_loss(predicted_probs_of_outcomes: &[f64]) -> Result<f64> {
+    if predicted_probs_of_outcomes.is_empty() {
+        return Err(ProbError::EmptyData);
+    }
+    Ok(predicted_probs_of_outcomes.iter().map(|&p| surprisal(p)).sum::<f64>()
+        / predicted_probs_of_outcomes.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_edge_cases() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        assert!((entropy(&[0.25; 4]) - 4.0f64.ln()).abs() < 1e-14);
+        assert!((entropy_bits(&[0.25; 4]) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.5, 0.3, 0.2];
+        let d = kl_divergence(&p, &q).unwrap();
+        assert!(d > 0.0);
+        assert!((kl_divergence(&p, &p).unwrap()).abs() < 1e-14);
+        // Ontological signature: mass where the model says impossible.
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap(), f64::INFINITY);
+        assert!(kl_divergence(&p, &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        let d1 = js_divergence(&p, &q).unwrap();
+        let d2 = js_divergence(&q, &p).unwrap();
+        assert!((d1 - d2).abs() < 1e-14);
+        assert!(d1 <= std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn joint_table_construction_and_marginals() {
+        // Paper Table I joint: prior (0.6, 0.3, 0.1) × CPT.
+        let prior = [0.6, 0.3, 0.1];
+        let cpt = vec![
+            vec![0.9, 0.005, 0.05, 0.045],
+            vec![0.005, 0.9, 0.05, 0.045],
+            vec![0.0, 0.0, 0.2, 0.7],
+        ];
+        // The third CPT row sums to 0.9 in the paper (the remaining 0.1 is
+        // the unmodeled part); pad it to a proper distribution for this test.
+        let mut cpt = cpt;
+        cpt[2] = vec![0.0, 0.0, 0.25, 0.75];
+        let j = JointTable::from_prior_and_conditional(&prior, &cpt).unwrap();
+        let mx = j.marginal_x();
+        assert!((mx[0] - 0.6).abs() < 1e-12);
+        let my = j.marginal_y();
+        assert!((my.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // P(perception = car) = 0.6*0.9 + 0.3*0.005 = 0.5415
+        assert!((my[0] - 0.5415).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_bayes_rule() {
+        let j = JointTable::new(2, 2, vec![0.4, 0.1, 0.2, 0.3]).unwrap();
+        let post = j.posterior_x_given_y(0).unwrap();
+        assert!((post[0] - 0.4 / 0.6).abs() < 1e-12);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_chain_rule() {
+        let j = JointTable::new(2, 3, vec![0.1, 0.2, 0.1, 0.2, 0.2, 0.2]).unwrap();
+        let lhs = j.joint_entropy();
+        let rhs = entropy(&j.marginal_x()) + j.conditional_entropy_y_given_x();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_zero_iff_independent() {
+        // Independent joint.
+        let px = [0.3, 0.7];
+        let py = [0.4, 0.6];
+        let mut p = Vec::new();
+        for &a in &px {
+            for &b in &py {
+                p.push(a * b);
+            }
+        }
+        let j = JointTable::new(2, 2, p).unwrap();
+        assert!(j.mutual_information().abs() < 1e-12);
+        // Perfectly correlated joint.
+        let j2 = JointTable::new(2, 2, vec![0.5, 0.0, 0.0, 0.5]).unwrap();
+        assert!((j2.mutual_information() - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surprisal_and_log_loss() {
+        assert_eq!(surprisal(0.0), f64::INFINITY);
+        assert!((surprisal(1.0)).abs() < 1e-15);
+        let ll = log_loss(&[0.5, 0.25]).unwrap();
+        assert!((ll - 1.5 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(log_loss(&[]).is_err());
+    }
+
+    #[test]
+    fn joint_table_rejects_bad_input() {
+        assert!(JointTable::new(0, 2, vec![]).is_err());
+        assert!(JointTable::new(2, 2, vec![0.5, 0.5, 0.5, 0.5]).is_err());
+        assert!(JointTable::new(2, 2, vec![0.5, -0.1, 0.3, 0.3]).is_err());
+        assert!(JointTable::new(2, 2, vec![0.5, 0.5]).is_err());
+    }
+}

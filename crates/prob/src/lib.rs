@@ -1,0 +1,59 @@
+//! # sysunc-prob — probability substrate
+//!
+//! The foundational crate of the `sysunc` workspace, which reproduces
+//! *"System Theoretic View on Uncertainties"* (Gansch & Adee, DATE 2020).
+//! Rust has no established uncertainty-quantification ecosystem, so every
+//! layer is built here from scratch:
+//!
+//! - [`special`] — special functions (log-gamma, incomplete gamma/beta,
+//!   error function, probit) implemented via Lanczos, power series and
+//!   continued fractions.
+//! - [`dist`] — parametric distributions ([`dist::Continuous`] /
+//!   [`dist::Discrete`] traits with 13 implementations) that represent
+//!   **aleatory** uncertainty (paper Sec. III-A).
+//! - [`empirical`] — ECDFs, histograms and KDEs: the *frequentist* model of
+//!   the paper's Fig. 2 (model B); their distance to truth is the
+//!   **epistemic** uncertainty of a probabilistic model (Sec. III-B).
+//! - [`stats`] — descriptive statistics and Welford accumulators.
+//! - [`htest`] — KS and chi-square model-validation tests (uncertainty
+//!   *removal* at design time, Sec. IV).
+//! - [`info`] — entropies, divergences and the paper's conditional-entropy
+//!   **surprise factor** that flags **ontological** events (Sec. III-C).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sysunc_prob::dist::{Continuous, Normal};
+//! use sysunc_prob::info::JointTable;
+//!
+//! // An aleatory model of a sensor noise process:
+//! let noise = Normal::new(0.0, 0.1)?;
+//! assert!(noise.cdf(0.0) == 0.5);
+//!
+//! // The paper's Table I as a joint distribution:
+//! let prior = [0.6, 0.3, 0.1];
+//! let mut cpt = vec![
+//!     vec![0.9, 0.005, 0.05, 0.045],
+//!     vec![0.005, 0.9, 0.05, 0.045],
+//!     vec![0.0, 0.0, 0.2, 0.7],
+//! ];
+//! // (the unknown row of Table I sums to 0.9; renormalize it to use
+//! //  the joint-table helper, which requires proper distributions)
+//! let s: f64 = cpt[2].iter().sum();
+//! for v in &mut cpt[2] { *v /= s; }
+//! let joint = JointTable::from_prior_and_conditional(&prior, &cpt)?;
+//! let posterior = joint.posterior_x_given_y(3).expect("P(none) > 0");
+//! assert!(posterior[2] > 0.5); // "none" output is dominated by unknown objects
+//! # Ok::<(), sysunc_prob::ProbError>(())
+//! ```
+
+pub mod dist;
+pub mod empirical;
+mod error;
+pub mod fit;
+pub mod htest;
+pub mod info;
+pub mod special;
+pub mod stats;
+
+pub use error::{ProbError, Result};

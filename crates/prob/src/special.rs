@@ -1,0 +1,697 @@
+//! Special mathematical functions used throughout the probability substrate.
+//!
+//! Everything here is implemented from scratch (no external math crates are
+//! available in this workspace): log-gamma via the Lanczos approximation,
+//! regularized incomplete gamma/beta functions via series and continued
+//! fractions (modified Lentz algorithm), the error function derived from the
+//! incomplete gamma function, and high-accuracy inverse CDF helpers.
+//!
+//! Accuracy targets: ~1e-13 relative error for `ln_gamma`, ~1e-12 for the
+//! regularized incomplete functions over their well-conditioned domains, and
+//! full `f64` accuracy for `inverse_standard_normal_cdf` (Acklam initial
+//! estimate plus one Halley refinement step).
+
+/// Natural logarithm of `sqrt(2 * pi)`.
+pub const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_74;
+
+/// `sqrt(2)`.
+pub const SQRT_2: f64 = std::f64::consts::SQRT_2;
+
+/// Machine epsilon based convergence tolerance for iterative schemes.
+const EPS: f64 = 1e-15;
+
+/// Iteration cap for series/continued-fraction evaluation.
+const MAX_ITER: usize = 500;
+
+/// Lanczos coefficients (g = 7, n = 9), giving ~15 significant digits.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// # Panics
+///
+/// Panics if `x` is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::special::ln_gamma;
+/// assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(!x.is_nan(), "ln_gamma: x must not be NaN");
+    if x < 0.5 {
+        // Reflection formula: Γ(x) Γ(1-x) = π / sin(πx).
+        let s = (std::f64::consts::PI * x).sin();
+        if s == 0.0 {
+            return f64::INFINITY; // poles at non-positive integers
+        }
+        std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS_COEF[0];
+        for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + LANCZOS_G + 0.5;
+        LN_SQRT_2PI + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// The gamma function `Γ(x)`.
+///
+/// Computed as `exp(ln_gamma(x))` with sign handling for negative arguments.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::special::gamma;
+/// assert!((gamma(6.0) - 120.0).abs() < 1e-9);
+/// ```
+pub fn gamma(x: f64) -> f64 {
+    if x > 0.0 {
+        ln_gamma(x).exp()
+    } else if x == x.floor() {
+        f64::NAN // poles
+    } else {
+        // Reflection: Γ(x) = π / (sin(πx) Γ(1-x))
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * ln_gamma(1.0 - x).exp())
+    }
+}
+
+/// Digamma function `ψ(x) = d/dx ln Γ(x)` for `x > 0`.
+///
+/// Uses upward recurrence to shift the argument above 6 and an asymptotic
+/// series with Bernoulli-number coefficients.
+pub fn digamma(x: f64) -> f64 {
+    assert!(x > 0.0, "digamma: requires x > 0, got {x}");
+    let mut x = x;
+    let mut result = 0.0;
+    while x < 10.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Uses the power series for `x < a + 1` and the continued fraction of the
+/// upper function otherwise.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_lower_gamma: requires a > 0, got {a}");
+    assert!(x >= 0.0, "reg_lower_gamma: requires x >= 0, got {x}");
+    if x == 0.0 {
+        0.0
+    } else if x < a + 1.0 {
+        lower_gamma_series(a, x)
+    } else {
+        1.0 - upper_gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn reg_upper_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_upper_gamma: requires a > 0, got {a}");
+    assert!(x >= 0.0, "reg_upper_gamma: requires x >= 0, got {x}");
+    if x == 0.0 {
+        1.0
+    } else if x < a + 1.0 {
+        1.0 - lower_gamma_series(a, x)
+    } else {
+        upper_gamma_cf(a, x)
+    }
+}
+
+/// Power-series evaluation of `P(a, x)`; converges fast for `x < a + 1`.
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..MAX_ITER {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (a * x.ln() - x - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction evaluation of `Q(a, x)` (modified Lentz algorithm);
+/// converges fast for `x >= a + 1`.
+fn upper_gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h * (a * x.ln() - x - ln_gamma(a)).exp()
+}
+
+/// Inverse of the regularized lower incomplete gamma: finds `x` such that
+/// `P(a, x) = p`.
+///
+/// Uses a starting estimate (Wilson–Hilferty for moderate `a`) refined by
+/// safeguarded Newton iteration.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `p` is outside `[0, 1]`.
+pub fn inv_reg_lower_gamma(a: f64, p: f64) -> f64 {
+    assert!(a > 0.0, "inv_reg_lower_gamma: requires a > 0, got {a}");
+    assert!((0.0..=1.0).contains(&p), "inv_reg_lower_gamma: p in [0,1], got {p}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    // Wilson-Hilferty initial approximation.
+    let z = inverse_standard_normal_cdf(p);
+    let t = 1.0 - 1.0 / (9.0 * a) + z / (3.0 * a.sqrt());
+    let mut x = (a * t * t * t).max(1e-8 * a.min(1.0));
+    // Safeguarded Newton: P(a, x) is increasing in x; derivative is the pdf.
+    let mut lo = 0.0_f64;
+    let mut hi = f64::INFINITY;
+    for _ in 0..100 {
+        let f = reg_lower_gamma(a, x) - p;
+        if f > 0.0 {
+            hi = hi.min(x);
+        } else {
+            lo = lo.max(x);
+        }
+        // pdf of Gamma(a, 1) at x:
+        let ln_pdf = (a - 1.0) * x.ln() - x - ln_gamma(a);
+        let dfdx = ln_pdf.exp();
+        let mut x_new = if dfdx > 0.0 { x - f / dfdx } else { x };
+        if !(x_new > lo && (hi.is_infinite() || x_new < hi)) || !x_new.is_finite() {
+            // Bisection fallback.
+            x_new = if hi.is_finite() { 0.5 * (lo + hi) } else { (lo.max(x)) * 2.0 + 1.0 };
+        }
+        if (x_new - x).abs() <= 1e-14 * x.abs().max(1e-300) {
+            x = x_new;
+            break;
+        }
+        x = x_new;
+    }
+    x
+}
+
+/// Natural logarithm of the beta function `ln B(a, b)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `b <= 0`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "ln_beta: requires a, b > 0, got ({a}, {b})");
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Continued fraction (modified Lentz), using the symmetry
+/// `I_x(a, b) = 1 - I_{1-x}(b, a)` for convergence.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0` or `x` is outside `[0, 1]`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "reg_inc_beta: requires a, b > 0, got ({a}, {b})");
+    assert!((0.0..=1.0).contains(&x), "reg_inc_beta: x in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Inverse of the regularized incomplete beta: finds `x` with `I_x(a, b) = p`.
+///
+/// Safeguarded Newton iteration bracketed by bisection.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0` or `p` is outside `[0, 1]`.
+pub fn inv_reg_inc_beta(a: f64, b: f64, p: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "inv_reg_inc_beta: requires a, b > 0, got ({a}, {b})");
+    assert!((0.0..=1.0).contains(&p), "inv_reg_inc_beta: p in [0,1], got {p}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut x = a / (a + b); // mean as starting point
+    let ln_b = ln_beta(a, b);
+    for _ in 0..200 {
+        let f = reg_inc_beta(a, b, x) - p;
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        let ln_pdf = (a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_b;
+        let dfdx = ln_pdf.exp();
+        let mut x_new = if dfdx > 0.0 { x - f / dfdx } else { 0.5 * (lo + hi) };
+        if !(x_new > lo && x_new < hi) || !x_new.is_finite() {
+            x_new = 0.5 * (lo + hi);
+        }
+        if (x_new - x).abs() <= 1e-15 * x.abs().max(1e-300) {
+            x = x_new;
+            break;
+        }
+        x = x_new;
+    }
+    x
+}
+
+/// The error function `erf(x)`, computed from the regularized incomplete
+/// gamma function: `erf(x) = sign(x) * P(1/2, x^2)`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::special::erf;
+/// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else if x > 0.0 {
+        reg_lower_gamma(0.5, x * x)
+    } else {
+        -reg_lower_gamma(0.5, x * x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`, accurate for
+/// large `x` (no cancellation).
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        reg_upper_gamma(0.5, x * x)
+    } else {
+        1.0 + reg_lower_gamma(0.5, x * x)
+    }
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+/// Standard normal probability density function `φ(x)`.
+pub fn standard_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Inverse standard normal CDF (probit function) `Φ⁻¹(p)`.
+///
+/// Peter Acklam's rational approximation (relative error < 1.15e-9) refined
+/// by a single Halley step against [`standard_normal_cdf`], giving accuracy
+/// at the level of `f64` round-off.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::special::inverse_standard_normal_cdf;
+/// assert!((inverse_standard_normal_cdf(0.975) - 1.959963984540054).abs() < 1e-12);
+/// ```
+pub fn inverse_standard_normal_cdf(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "inverse_standard_normal_cdf: p in [0,1], got {p}");
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = standard_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Inverse error function `erf⁻¹(y)` for `y` in `(-1, 1)`.
+pub fn inv_erf(y: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&y), "inv_erf: y in [-1,1], got {y}");
+    inverse_standard_normal_cdf(0.5 * (y + 1.0)) / SQRT_2
+}
+
+/// Natural logarithm of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact table for small n keeps binomial pmfs crisp.
+    const TABLE: [f64; 21] = [
+        1.0,
+        1.0,
+        2.0,
+        6.0,
+        24.0,
+        120.0,
+        720.0,
+        5040.0,
+        40320.0,
+        362880.0,
+        3628800.0,
+        39916800.0,
+        479001600.0,
+        6227020800.0,
+        87178291200.0,
+        1307674368000.0,
+        20922789888000.0,
+        355687428096000.0,
+        6402373705728000.0,
+        121645100408832000.0,
+        2432902008176640000.0,
+    ];
+    if n <= 20 {
+        TABLE[n as usize].ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns negative infinity when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        f64::NEG_INFINITY
+    } else {
+        ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn ln_gamma_integer_factorials() {
+        for n in 1..20u64 {
+            let expect = ln_factorial(n - 1);
+            close(ln_gamma(n as f64), expect, 1e-13);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π)
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-13);
+        // Γ(3/2) = sqrt(π)/2
+        close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-13);
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Γ(0.25) = 3.625609908221908...
+        close(ln_gamma(0.25), 3.625_609_908_221_908_3_f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn gamma_negative_non_integer() {
+        // Γ(-0.5) = -2 sqrt(π)
+        close(gamma(-0.5), -2.0 * std::f64::consts::PI.sqrt(), 1e-11);
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+        close(digamma(1.0), -EULER_MASCHERONI, 1e-12);
+        close(digamma(2.0), 1.0 - EULER_MASCHERONI, 1e-12);
+        close(digamma(0.5), -EULER_MASCHERONI - 2.0 * 2.0_f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn incomplete_gamma_complementarity() {
+        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (2.5, 4.0), (10.0, 3.0), (10.0, 20.0)] {
+            close(reg_lower_gamma(a, x) + reg_upper_gamma(a, x), 1.0, 1e-14);
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 0.5, 1.0, 3.0, 10.0] {
+            close(reg_lower_gamma(1.0, x), 1.0 - (-x).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn inverse_incomplete_gamma_round_trip() {
+        for &a in &[0.3, 1.0, 2.5, 17.0] {
+            for &p in &[1e-6, 0.01, 0.3, 0.5, 0.9, 0.999] {
+                let x = inv_reg_lower_gamma(a, p);
+                close(reg_lower_gamma(a, x), p, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_special_case() {
+        // I_x(1, 1) = x
+        for &x in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            close(reg_inc_beta(1.0, 1.0, x), x, 1e-14);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.25), (5.0, 1.5, 0.8)] {
+            close(reg_inc_beta(a, b, x), 1.0 - reg_inc_beta(b, a, 1.0 - x), 1e-13);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.25}(2, 2) = 3x² - 2x³ at 0.25
+        close(reg_inc_beta(2.0, 2.0, 0.5), 0.5, 1e-14);
+        let x: f64 = 0.25;
+        close(reg_inc_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-13);
+    }
+
+    #[test]
+    fn inverse_incomplete_beta_round_trip() {
+        for &(a, b) in &[(2.0, 3.0), (0.5, 0.5), (8.0, 2.0)] {
+            for &p in &[1e-5, 0.1, 0.5, 0.9, 0.99999] {
+                let x = inv_reg_inc_beta(a, b, p);
+                close(reg_inc_beta(a, b, x), p, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-12);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+    }
+
+    #[test]
+    fn erfc_large_argument_no_underflow_to_garbage() {
+        // erfc(5) = 1.5374597944280349e-12
+        close(erfc(5.0), 1.537_459_794_428_034_9e-12, 1e-9);
+        assert!(erfc(10.0) > 0.0 && erfc(10.0) < 1e-40);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for &x in &[0.0, 0.5, 1.0, 2.5, 6.0] {
+            close(standard_normal_cdf(x) + standard_normal_cdf(-x), 1.0, 1e-14);
+        }
+    }
+
+    #[test]
+    fn probit_round_trip_and_known_quantiles() {
+        close(inverse_standard_normal_cdf(0.5), 0.0, 1e-15);
+        close(inverse_standard_normal_cdf(0.975), 1.959_963_984_540_054, 1e-12);
+        close(inverse_standard_normal_cdf(0.025), -1.959_963_984_540_054, 1e-12);
+        for &p in &[1e-10, 1e-4, 0.2, 0.5, 0.7, 0.9999, 1.0 - 1e-10] {
+            let x = inverse_standard_normal_cdf(p);
+            close(standard_normal_cdf(x), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inv_erf_round_trip() {
+        for &y in &[-0.9, -0.3, 0.0, 0.3, 0.99] {
+            close(erf(inv_erf(y)), y, 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        close(ln_choose(5, 2), 10.0_f64.ln(), 1e-14);
+        close(ln_choose(10, 0), 0.0, 1e-15);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        close(ln_choose(52, 5), 2_598_960.0_f64.ln(), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a > 0")]
+    fn reg_lower_gamma_rejects_nonpositive_a() {
+        reg_lower_gamma(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in [0,1]")]
+    fn probit_rejects_out_of_range() {
+        inverse_standard_normal_cdf(1.5);
+    }
+}

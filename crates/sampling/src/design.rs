@@ -1,0 +1,413 @@
+//! Experimental designs: point sets in the unit hypercube `[0, 1)^d`.
+//!
+//! These are the "design of experiment" machinery the paper lists under
+//! *uncertainty removal during design time* (Sec. IV). A design decides
+//! *where* to probe a model; the [`crate::propagate`] helpers then push the
+//! points through input distributions and the model.
+
+use crate::error::{Result, SamplingError};
+use rand::Rng as _;
+use rand::RngCore;
+
+/// A generator of `n` points in the unit hypercube `[0, 1)^dim`.
+///
+/// Object-safe so engines can be selected at runtime (e.g. by the
+/// method-comparison experiment E9).
+pub trait Design: std::fmt::Debug + Send + Sync {
+    /// Generates `n` points of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidDesign`] for `n == 0`, `dim == 0`, or
+    /// dimensions the design cannot support.
+    fn generate(&self, n: usize, dim: usize, rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_shape(n: usize, dim: usize) -> Result<()> {
+    if n == 0 || dim == 0 {
+        return Err(SamplingError::InvalidDesign(format!(
+            "need n > 0 and dim > 0, got n={n}, dim={dim}"
+        )));
+    }
+    Ok(())
+}
+
+/// Plain pseudo-random (crude Monte Carlo) design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomDesign;
+
+impl Design for RandomDesign {
+    fn generate(&self, n: usize, dim: usize, rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>> {
+        check_shape(n, dim)?;
+        Ok((0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+}
+
+/// Latin hypercube design: each one-dimensional projection hits every one of
+/// the `n` strata exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatinHypercubeDesign;
+
+impl Design for LatinHypercubeDesign {
+    fn generate(&self, n: usize, dim: usize, rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>> {
+        check_shape(n, dim)?;
+        let mut pts = vec![vec![0.0; dim]; n];
+        let mut perm: Vec<usize> = (0..n).collect();
+        for j in 0..dim {
+            // Fisher-Yates shuffle of the strata.
+            for i in (1..n).rev() {
+                let k = (rng.random::<f64>() * (i + 1) as f64) as usize % (i + 1);
+                perm.swap(i, k);
+            }
+            for (i, pt) in pts.iter_mut().enumerate() {
+                pt[j] = (perm[i] as f64 + rng.random::<f64>()) / n as f64;
+            }
+        }
+        Ok(pts)
+    }
+
+    fn name(&self) -> &'static str {
+        "latin-hypercube"
+    }
+}
+
+/// First 16 primes, the bases of the Halton sequence.
+const PRIMES: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// Halton low-discrepancy sequence (radical inverse in coprime bases).
+///
+/// Deterministic: the RNG argument is unused. Supports up to 16 dimensions;
+/// correlations between high-prime dimensions make it a poor choice beyond
+/// that, use [`SobolDesign`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaltonDesign {
+    /// Number of initial sequence elements to skip (burn-in, commonly 20).
+    pub skip: usize,
+}
+
+impl Default for HaltonDesign {
+    fn default() -> Self {
+        Self { skip: 20 }
+    }
+}
+
+impl HaltonDesign {
+    /// Radical inverse of `index` in the given base.
+    fn radical_inverse(mut index: u64, base: u64) -> f64 {
+        let mut result = 0.0;
+        let mut f = 1.0 / base as f64;
+        while index > 0 {
+            result += f * (index % base) as f64;
+            index /= base;
+            f /= base as f64;
+        }
+        result
+    }
+}
+
+impl Design for HaltonDesign {
+    fn generate(&self, n: usize, dim: usize, _rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>> {
+        check_shape(n, dim)?;
+        if dim > PRIMES.len() {
+            return Err(SamplingError::InvalidDesign(format!(
+                "Halton supports up to {} dimensions, requested {dim}",
+                PRIMES.len()
+            )));
+        }
+        Ok((0..n)
+            .map(|i| {
+                let idx = (i + self.skip + 1) as u64;
+                (0..dim).map(|j| Self::radical_inverse(idx, PRIMES[j])).collect()
+            })
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "halton"
+    }
+}
+
+/// Sobol' direction-number initialization: degree `s`, primitive-polynomial
+/// coefficient bits `a`, and initial values `m` (one entry per degree).
+struct SobolInit {
+    s: usize,
+    a: u32,
+    m: &'static [u32],
+}
+
+/// Initialization data for dimensions 2..=16 (dimension 1 is the van der
+/// Corput sequence in base 2). Primitive polynomials encoded Joe–Kuo style.
+const SOBOL_INIT: [SobolInit; 15] = [
+    SobolInit { s: 1, a: 0, m: &[1] },
+    SobolInit { s: 2, a: 1, m: &[1, 3] },
+    SobolInit { s: 3, a: 1, m: &[1, 3, 1] },
+    SobolInit { s: 3, a: 2, m: &[1, 1, 1] },
+    SobolInit { s: 4, a: 1, m: &[1, 1, 3, 3] },
+    SobolInit { s: 4, a: 4, m: &[1, 3, 5, 13] },
+    SobolInit { s: 5, a: 2, m: &[1, 1, 5, 5, 17] },
+    SobolInit { s: 5, a: 4, m: &[1, 1, 5, 5, 5] },
+    SobolInit { s: 5, a: 7, m: &[1, 1, 7, 11, 19] },
+    SobolInit { s: 5, a: 11, m: &[1, 1, 5, 1, 1] },
+    SobolInit { s: 5, a: 13, m: &[1, 1, 1, 3, 11] },
+    SobolInit { s: 5, a: 14, m: &[1, 3, 5, 5, 31] },
+    SobolInit { s: 6, a: 1, m: &[1, 3, 3, 9, 7, 49] },
+    SobolInit { s: 6, a: 13, m: &[1, 1, 1, 15, 21, 21] },
+    SobolInit { s: 6, a: 16, m: &[1, 3, 1, 13, 27, 49] },
+];
+
+/// Number of bits of the generated integers (and max sequence length 2^32).
+const SOBOL_BITS: usize = 32;
+
+/// Sobol' low-discrepancy sequence (Gray-code construction, up to 16
+/// dimensions).
+///
+/// Deterministic: the RNG argument is unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SobolDesign {
+    /// Number of initial points to skip. Skipping the first point (the
+    /// origin) is conventional; larger powers of two preserve balance.
+    pub skip: usize,
+}
+
+impl Default for SobolDesign {
+    fn default() -> Self {
+        Self { skip: 1 }
+    }
+}
+
+impl SobolDesign {
+    /// Maximum supported dimension.
+    pub const MAX_DIM: usize = 16;
+
+    /// Computes the direction numbers `v[bit]` for one dimension.
+    fn direction_numbers(dim_index: usize) -> Vec<u64> {
+        let mut v = vec![0u64; SOBOL_BITS];
+        if dim_index == 0 {
+            for (i, vi) in v.iter_mut().enumerate() {
+                *vi = 1u64 << (SOBOL_BITS - 1 - i);
+            }
+            return v;
+        }
+        let init = &SOBOL_INIT[dim_index - 1];
+        let s = init.s;
+        let mut m: Vec<u64> = init.m.iter().map(|&x| x as u64).collect();
+        // Extend m by the primitive-polynomial recurrence.
+        for i in s..SOBOL_BITS {
+            // m_i = 2 a_1 m_{i-1} XOR 4 a_2 m_{i-2} XOR ... XOR
+            //       2^{s-1} a_{s-1} m_{i-s+1} XOR 2^s m_{i-s} XOR m_{i-s}
+            let mut mi = m[i - s] ^ (m[i - s] << s);
+            for k in 1..s {
+                let a_k = (init.a >> (s - 1 - k)) & 1;
+                if a_k == 1 {
+                    mi ^= m[i - k] << k;
+                }
+            }
+            m.push(mi);
+        }
+        for (i, vi) in v.iter_mut().enumerate() {
+            *vi = m[i] << (SOBOL_BITS - 1 - i);
+        }
+        v
+    }
+}
+
+impl Design for SobolDesign {
+    fn generate(&self, n: usize, dim: usize, _rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>> {
+        check_shape(n, dim)?;
+        if dim > Self::MAX_DIM {
+            return Err(SamplingError::InvalidDesign(format!(
+                "Sobol supports up to {} dimensions, requested {dim}",
+                Self::MAX_DIM
+            )));
+        }
+        let dirs: Vec<Vec<u64>> = (0..dim).map(SobolDesign::direction_numbers).collect();
+        let scale = 1.0 / (1u64 << SOBOL_BITS) as f64;
+        let mut state = vec![0u64; dim];
+        let mut out = Vec::with_capacity(n);
+        // Gray-code iteration: point i flips the bit at the position of the
+        // lowest zero bit of i.
+        for i in 0..(self.skip + n) {
+            if i > 0 {
+                let c = (i as u64 - 1).trailing_ones() as usize;
+                for (j, st) in state.iter_mut().enumerate() {
+                    *st ^= dirs[j][c];
+                }
+            }
+            if i >= self.skip {
+                out.push(state.iter().map(|&s| s as f64 * scale).collect());
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "sobol"
+    }
+}
+
+/// Stratified design: the hypercube is divided into `strata^dim` congruent
+/// cells; points are placed uniformly in cells visited round-robin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedDesign {
+    /// Strata per dimension.
+    pub strata_per_dim: usize,
+}
+
+impl Design for StratifiedDesign {
+    fn generate(&self, n: usize, dim: usize, rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>> {
+        check_shape(n, dim)?;
+        if self.strata_per_dim == 0 {
+            return Err(SamplingError::InvalidDesign("strata_per_dim must be > 0".into()));
+        }
+        let cells = self.strata_per_dim.checked_pow(dim as u32).ok_or_else(|| {
+            SamplingError::InvalidDesign("strata^dim overflows".into())
+        })?;
+        let k = self.strata_per_dim;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cell = i % cells;
+            let mut pt = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                let idx = cell % k;
+                cell /= k;
+                pt.push((idx as f64 + rng.random::<f64>()) / k as f64);
+            }
+            out.push(pt);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "stratified"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    fn in_unit_cube(pts: &[Vec<f64>]) {
+        for p in pts {
+            for &x in p {
+                assert!((0.0..1.0).contains(&x), "point outside [0,1): {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_designs_produce_requested_shape() {
+        let designs: Vec<Box<dyn Design>> = vec![
+            Box::new(RandomDesign),
+            Box::new(LatinHypercubeDesign),
+            Box::new(HaltonDesign::default()),
+            Box::new(SobolDesign::default()),
+            Box::new(StratifiedDesign { strata_per_dim: 3 }),
+        ];
+        for d in designs {
+            let pts = d.generate(50, 4, &mut rng()).unwrap();
+            assert_eq!(pts.len(), 50, "{}", d.name());
+            assert!(pts.iter().all(|p| p.len() == 4));
+            in_unit_cube(&pts);
+            assert!(d.generate(0, 4, &mut rng()).is_err());
+            assert!(d.generate(10, 0, &mut rng()).is_err());
+        }
+    }
+
+    #[test]
+    fn latin_hypercube_stratification_property() {
+        // Every 1-D projection hits every stratum exactly once.
+        let n = 64;
+        let pts = LatinHypercubeDesign.generate(n, 3, &mut rng()).unwrap();
+        for j in 0..3 {
+            let mut seen = vec![false; n];
+            for p in &pts {
+                let stratum = (p[j] * n as f64) as usize;
+                assert!(!seen[stratum], "stratum {stratum} hit twice in dim {j}");
+                seen[stratum] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn halton_first_elements_in_base_2_and_3() {
+        let pts = HaltonDesign { skip: 0 }.generate(4, 2, &mut rng()).unwrap();
+        // Base 2: 1/2, 1/4, 3/4, 1/8; base 3: 1/3, 2/3, 1/9, 4/9.
+        let expect0 = [0.5, 0.25, 0.75, 0.125];
+        let expect1 = [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0];
+        for i in 0..4 {
+            assert!((pts[i][0] - expect0[i]).abs() < 1e-12);
+            assert!((pts[i][1] - expect1[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sobol_first_points_dimension_one_is_van_der_corput() {
+        let pts = SobolDesign { skip: 1 }.generate(7, 1, &mut rng()).unwrap();
+        let expect = [0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125];
+        for (p, e) in pts.iter().zip(expect) {
+            assert!((p[0] - e).abs() < 1e-12, "{} vs {e}", p[0]);
+        }
+    }
+
+    #[test]
+    fn sobol_balance_in_power_of_two_blocks() {
+        // In each dimension, the first 2^k points (skipping the origin-led
+        // block boundary) land 2^{k-1} in each half.
+        let n = 256;
+        let pts = SobolDesign { skip: 0 }.generate(n, 8, &mut rng()).unwrap();
+        for j in 0..8 {
+            let lower = pts.iter().filter(|p| p[j] < 0.5).count();
+            assert_eq!(lower, n / 2, "dim {j} unbalanced: {lower}");
+        }
+    }
+
+    #[test]
+    fn sobol_integrates_better_than_random() {
+        // Integrate f(x) = prod(2 x_i) over [0,1]^5: exact value 1.
+        let n = 4096;
+        let dim = 5;
+        let f = |p: &[f64]| p.iter().map(|x| 2.0 * x).product::<f64>();
+        let sob = SobolDesign::default().generate(n, dim, &mut rng()).unwrap();
+        let est_s: f64 = sob.iter().map(|p| f(p)).sum::<f64>() / n as f64;
+        let rnd = RandomDesign.generate(n, dim, &mut rng()).unwrap();
+        let est_r: f64 = rnd.iter().map(|p| f(p)).sum::<f64>() / n as f64;
+        assert!(
+            (est_s - 1.0).abs() < (est_r - 1.0).abs(),
+            "sobol {est_s} should beat random {est_r}"
+        );
+        assert!((est_s - 1.0).abs() < 5e-3);
+    }
+
+    #[test]
+    fn dimension_limits_enforced() {
+        assert!(HaltonDesign::default().generate(8, 17, &mut rng()).is_err());
+        assert!(SobolDesign::default().generate(8, 17, &mut rng()).is_err());
+        let pts = SobolDesign::default().generate(8, 16, &mut rng()).unwrap();
+        in_unit_cube(&pts);
+    }
+
+    #[test]
+    fn stratified_covers_all_cells() {
+        let pts = StratifiedDesign { strata_per_dim: 2 }.generate(8, 3, &mut rng()).unwrap();
+        let mut cells = std::collections::HashSet::new();
+        for p in &pts {
+            let cell: Vec<usize> = p.iter().map(|&x| (x * 2.0) as usize).collect();
+            cells.insert(cell);
+        }
+        assert_eq!(cells.len(), 8);
+    }
+}

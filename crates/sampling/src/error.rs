@@ -1,0 +1,34 @@
+//! Error types for the sampling engines.
+
+use std::fmt;
+
+/// Errors from design generation and propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// A design parameter was invalid (zero points, unsupported dimension,
+    /// ...). The payload describes it.
+    InvalidDesign(String),
+    /// Inputs and design dimension disagree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidDesign(msg) => write!(f, "invalid design: {msg}"),
+            SamplingError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
+/// Convenience result alias for the sampling crate.
+pub type Result<T> = std::result::Result<T, SamplingError>;

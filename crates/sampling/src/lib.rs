@@ -1,0 +1,49 @@
+//! # sysunc-sampling — Monte Carlo and quasi-Monte Carlo engines
+//!
+//! Design-of-experiment machinery for the `sysunc` uncertainty toolkit
+//! (reproduction of Gansch & Adee, *System Theoretic View on
+//! Uncertainties*, DATE 2020). The paper lists design of experiments as an
+//! **uncertainty removal** means at design time (Sec. IV); this crate
+//! provides the engines:
+//!
+//! - [`RandomDesign`] — crude Monte Carlo.
+//! - [`LatinHypercubeDesign`] — stratified 1-D projections.
+//! - [`SobolDesign`] / [`HaltonDesign`] — low-discrepancy (quasi-Monte
+//!   Carlo) sequences, built from scratch (Gray-code Sobol' with embedded
+//!   primitive-polynomial direction numbers; radical-inverse Halton).
+//! - [`StratifiedDesign`] — grid stratification for low dimensions.
+//! - [`propagate`] / [`propagate_parallel`] — push input distributions
+//!   through a deterministic model and collect output statistics.
+//! - [`importance_estimate`] — rare-event estimation.
+//! - [`ConvergenceTrace`] — accuracy-vs-cost curves for the method
+//!   comparison experiment (E9 in EXPERIMENTS.md).
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sysunc_prob::dist::{Continuous, Uniform};
+//! use sysunc_sampling::{propagate, SobolDesign};
+//!
+//! // E[X1 * X2] for independent U(0,1): exact 0.25.
+//! let u = Uniform::standard();
+//! let inputs: Vec<&dyn Continuous> = vec![&u, &u];
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let res = propagate(&inputs, &SobolDesign::default(),
+//!                     &|x: &[f64]| x[0] * x[1], 4096, &mut rng)?;
+//! assert!((res.mean() - 0.25).abs() < 1e-3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod design;
+mod error;
+mod propagate;
+mod variance_reduction;
+
+pub use design::{
+    Design, HaltonDesign, LatinHypercubeDesign, RandomDesign, SobolDesign, StratifiedDesign,
+};
+pub use error::{Result, SamplingError};
+pub use propagate::{
+    importance_estimate, propagate, propagate_parallel, to_input_space, ConvergenceTrace, Model,
+    PropagationResult,
+};
+pub use variance_reduction::{control_variate_estimate, propagate_antithetic};

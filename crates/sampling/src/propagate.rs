@@ -1,0 +1,342 @@
+//! Pushing designs through input distributions and models — the core
+//! aleatory-uncertainty propagation loop, serial and parallel.
+
+use crate::design::Design;
+use crate::error::{Result, SamplingError};
+use rand::RngCore;
+use sysunc_prob::dist::Continuous;
+use sysunc_prob::stats::RunningStats;
+
+/// A deterministic model `y = f(x)` mapping an input vector to a scalar,
+/// in the sense of the paper's Fig. 2 model A.
+///
+/// Blanket-implemented for closures.
+pub trait Model: Sync {
+    /// Evaluates the model at one input point.
+    fn eval(&self, x: &[f64]) -> f64;
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Model for F {
+    fn eval(&self, x: &[f64]) -> f64 {
+        self(x)
+    }
+}
+
+/// Transforms unit-hypercube design points to the input space via the
+/// inverse-CDF of each marginal (independent inputs).
+///
+/// # Errors
+///
+/// Returns [`SamplingError::DimensionMismatch`] when point dimensions and
+/// the number of inputs disagree.
+pub fn to_input_space(
+    points: &[Vec<f64>],
+    inputs: &[&dyn Continuous],
+) -> Result<Vec<Vec<f64>>> {
+    points
+        .iter()
+        .map(|p| {
+            if p.len() != inputs.len() {
+                return Err(SamplingError::DimensionMismatch {
+                    expected: inputs.len(),
+                    actual: p.len(),
+                });
+            }
+            Ok(p.iter().zip(inputs).map(|(&u, d)| d.quantile(u.clamp(1e-15, 1.0 - 1e-15))).collect())
+        })
+        .collect()
+}
+
+/// Result of a propagation run: the output sample plus streaming moments.
+#[derive(Debug, Clone)]
+pub struct PropagationResult {
+    /// Model outputs, one per design point.
+    pub outputs: Vec<f64>,
+    /// Streaming statistics of the outputs.
+    pub stats: RunningStats,
+}
+
+impl PropagationResult {
+    fn from_outputs(outputs: Vec<f64>) -> Self {
+        let mut stats = RunningStats::new();
+        for &y in &outputs {
+            stats.push(y);
+        }
+        Self { outputs, stats }
+    }
+
+    /// Estimated mean of the model output.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Estimated variance of the model output.
+    pub fn variance(&self) -> f64 {
+        self.stats.variance()
+    }
+
+    /// Standard error of the mean estimate.
+    pub fn standard_error(&self) -> f64 {
+        self.stats.standard_error()
+    }
+
+    /// Estimated probability that the output exceeds a threshold — the
+    /// basic failure-probability query of safety analysis.
+    pub fn exceedance_probability(&self, threshold: f64) -> f64 {
+        self.outputs.iter().filter(|&&y| y > threshold).count() as f64
+            / self.outputs.len().max(1) as f64
+    }
+}
+
+/// Propagates independent input distributions through a model with the
+/// given design (serial).
+///
+/// # Errors
+///
+/// Propagates design-generation and dimension errors.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sysunc_prob::dist::{Continuous, Normal, Uniform};
+/// use sysunc_sampling::{propagate, LatinHypercubeDesign};
+///
+/// let a = Normal::new(0.0, 1.0)?;
+/// let b = Uniform::new(0.0, 2.0)?;
+/// let inputs: Vec<&dyn Continuous> = vec![&a, &b];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let res = propagate(&inputs, &LatinHypercubeDesign, &|x: &[f64]| x[0] + x[1], 2000, &mut rng)?;
+/// assert!((res.mean() - 1.0).abs() < 0.1); // E = 0 + 1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn propagate<M: Model>(
+    inputs: &[&dyn Continuous],
+    design: &dyn Design,
+    model: &M,
+    n: usize,
+    rng: &mut dyn RngCore,
+) -> Result<PropagationResult> {
+    let points = design.generate(n, inputs.len(), rng)?;
+    let xs = to_input_space(&points, inputs)?;
+    let outputs: Vec<f64> = xs.iter().map(|x| model.eval(x)).collect();
+    Ok(PropagationResult::from_outputs(outputs))
+}
+
+/// Parallel variant of [`propagate`] using crossbeam scoped threads.
+///
+/// The design is generated serially (cheap); model evaluations — the
+/// expensive part for simulation substrates — are chunked across
+/// `threads` workers.
+///
+/// # Errors
+///
+/// Propagates design-generation and dimension errors.
+pub fn propagate_parallel<M: Model>(
+    inputs: &[&dyn Continuous],
+    design: &dyn Design,
+    model: &M,
+    n: usize,
+    threads: usize,
+    rng: &mut dyn RngCore,
+) -> Result<PropagationResult> {
+    let threads = threads.max(1);
+    let points = design.generate(n, inputs.len(), rng)?;
+    let xs = to_input_space(&points, inputs)?;
+    let chunk = xs.len().div_ceil(threads);
+    let mut outputs = vec![0.0; xs.len()];
+    crossbeam::thread::scope(|scope| {
+        for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (x, y) in xs_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *y = model.eval(x);
+                }
+            });
+        }
+    })
+    .expect("propagation worker panicked");
+    Ok(PropagationResult::from_outputs(outputs))
+}
+
+/// Importance-sampling estimate of `E_f[h(X)]` using a proposal
+/// distribution `g`: `(1/n) Σ h(x_i) f(x_i)/g(x_i)` with `x_i ~ g`.
+///
+/// `target_ln_pdf` must be the log of a *normalized* density. Useful for
+/// rare-event (failure-probability) estimation where crude Monte Carlo
+/// wastes samples.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidDesign`] for `n == 0` or when every
+/// weight degenerates (the proposal does not cover the target's support).
+pub fn importance_estimate<F, H>(
+    target_ln_pdf: F,
+    proposal: &dyn Continuous,
+    h: H,
+    n: usize,
+    rng: &mut dyn RngCore,
+) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+    H: Fn(f64) -> f64,
+{
+    if n == 0 {
+        return Err(SamplingError::InvalidDesign("importance sampling needs n > 0".into()));
+    }
+    let mut num = 0.0;
+    let mut any_weight = false;
+    for _ in 0..n {
+        let x = proposal.sample(rng);
+        let lw = target_ln_pdf(x) - proposal.ln_pdf(x);
+        let w = lw.exp();
+        if w.is_finite() && w > 0.0 {
+            any_weight = true;
+            num += w * h(x);
+        }
+    }
+    if !any_weight {
+        return Err(SamplingError::InvalidDesign(
+            "importance weights vanished; proposal does not cover the target".into(),
+        ));
+    }
+    Ok(num / n as f64)
+}
+
+/// Convergence trace: running-mean estimates at geometrically spaced sample
+/// counts, for plotting accuracy-vs-cost curves (experiment E9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceTrace {
+    /// Sample counts at which the estimate was recorded.
+    pub ns: Vec<usize>,
+    /// Running mean estimate at each count.
+    pub estimates: Vec<f64>,
+}
+
+impl ConvergenceTrace {
+    /// Builds a trace from an output sequence, recording at each power of
+    /// two (and the final count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidDesign`] for empty outputs.
+    pub fn from_outputs(outputs: &[f64]) -> Result<Self> {
+        if outputs.is_empty() {
+            return Err(SamplingError::InvalidDesign("empty output sequence".into()));
+        }
+        let mut ns = Vec::new();
+        let mut estimates = Vec::new();
+        let mut acc = 0.0;
+        let mut next = 1usize;
+        for (i, &y) in outputs.iter().enumerate() {
+            acc += y;
+            if i + 1 == next || i + 1 == outputs.len() {
+                ns.push(i + 1);
+                estimates.push(acc / (i + 1) as f64);
+                next *= 2;
+            }
+        }
+        Ok(Self { ns, estimates })
+    }
+
+    /// Absolute errors against a reference value.
+    pub fn errors_against(&self, reference: f64) -> Vec<f64> {
+        self.estimates.iter().map(|e| (e - reference).abs()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{LatinHypercubeDesign, RandomDesign, SobolDesign};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sysunc_prob::dist::{Exponential, Normal, Uniform};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn propagate_linear_model_moments() {
+        // Y = 2 X1 + 3 X2, X1 ~ N(1, 2), X2 ~ U(0, 1).
+        let x1 = Normal::new(1.0, 2.0).unwrap();
+        let x2 = Uniform::new(0.0, 1.0).unwrap();
+        let inputs: Vec<&dyn Continuous> = vec![&x1, &x2];
+        let model = |x: &[f64]| 2.0 * x[0] + 3.0 * x[1];
+        let res = propagate(&inputs, &LatinHypercubeDesign, &model, 20_000, &mut rng()).unwrap();
+        // E[Y] = 2*1 + 3*0.5 = 3.5; Var[Y] = 4*4 + 9/12 = 16.75.
+        assert!((res.mean() - 3.5).abs() < 0.05, "mean {}", res.mean());
+        assert!((res.variance() - 16.75).abs() < 0.5, "var {}", res.variance());
+    }
+
+    #[test]
+    fn propagate_parallel_matches_serial() {
+        let x1 = Normal::new(0.0, 1.0).unwrap();
+        let inputs: Vec<&dyn Continuous> = vec![&x1];
+        let model = |x: &[f64]| x[0] * x[0];
+        // Same seed → same design → identical outputs.
+        let serial = propagate(&inputs, &SobolDesign::default(), &model, 4096, &mut rng()).unwrap();
+        let parallel =
+            propagate_parallel(&inputs, &SobolDesign::default(), &model, 4096, 4, &mut rng())
+                .unwrap();
+        assert_eq!(serial.outputs.len(), parallel.outputs.len());
+        for (a, b) in serial.outputs.iter().zip(&parallel.outputs) {
+            assert_eq!(a, b);
+        }
+        assert!((parallel.mean() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn exceedance_probability_matches_analytic() {
+        let x = Normal::new(0.0, 1.0).unwrap();
+        let inputs: Vec<&dyn Continuous> = vec![&x];
+        let res =
+            propagate(&inputs, &RandomDesign, &|x: &[f64]| x[0], 100_000, &mut rng()).unwrap();
+        // P(X > 1.645) ≈ 0.05.
+        assert!((res.exceedance_probability(1.645) - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn importance_sampling_beats_crude_mc_for_rare_events() {
+        // P(X > 4) for X ~ N(0,1) = 3.167e-5.
+        let target = Normal::new(0.0, 1.0).unwrap();
+        let shifted = Normal::new(4.0, 1.0).unwrap();
+        let truth = 3.167e-5;
+        let est = importance_estimate(
+            |x| target.ln_pdf(x),
+            &shifted,
+            |x| if x > 4.0 { 1.0 } else { 0.0 },
+            50_000,
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.2,
+            "IS estimate {est} should be within 20% of {truth}"
+        );
+        assert!(importance_estimate(|x| target.ln_pdf(x), &shifted, |_| 1.0, 0, &mut rng())
+            .is_err());
+    }
+
+    #[test]
+    fn to_input_space_maps_quantiles() {
+        let e = Exponential::new(1.0).unwrap();
+        let inputs: Vec<&dyn Continuous> = vec![&e];
+        let xs = to_input_space(&[vec![0.5]], &inputs).unwrap();
+        assert!((xs[0][0] - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(to_input_space(&[vec![0.5, 0.5]], &inputs).is_err());
+    }
+
+    #[test]
+    fn convergence_trace_error_shrinks() {
+        let x = Normal::new(0.0, 1.0).unwrap();
+        let inputs: Vec<&dyn Continuous> = vec![&x];
+        let res =
+            propagate(&inputs, &RandomDesign, &|x: &[f64]| x[0], 65_536, &mut rng()).unwrap();
+        let trace = ConvergenceTrace::from_outputs(&res.outputs).unwrap();
+        let errs = trace.errors_against(0.0);
+        // Error at the end must be far below the error near the start.
+        assert!(errs.last().unwrap() < &(errs[2].max(1e-4)));
+        assert!(ConvergenceTrace::from_outputs(&[]).is_err());
+    }
+}

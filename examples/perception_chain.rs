@@ -1,0 +1,104 @@
+//! The full perception-chain lifecycle (paper Figs. 3-4, Secs. IV-V):
+//! simulate the open-context world, measure the classifier's epistemic
+//! convergence, tolerate with redundant diverse fusion, remove with field
+//! observation, and forecast the residual ontological risk.
+//!
+//! Run with `cargo run --example perception_chain`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::perception::{
+    ClassifierModel, FieldCampaign, FusedVerdict, FusionSystem, ReleaseForecast, Truth,
+    WorldModel,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2020);
+    let world = WorldModel::paper_example()?;
+    let camera = ClassifierModel::paper_camera()?;
+
+    // ------------------------------------------------------------------
+    // Epistemic removal at design time: the empirical confusion matrix
+    // converges to the classifier's true behaviour (Sec. III-B).
+    // ------------------------------------------------------------------
+    println!("== Epistemic convergence of the confusion estimate ==");
+    for n in [100usize, 1_000, 10_000] {
+        let est = camera.empirical_confusion(n, &mut rng);
+        let err: f64 = est
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &p)| (p - camera.likelihood(i, j)).abs())
+                    .sum::<f64>()
+            })
+            .sum();
+        println!("  {n:>6} observations/class -> total L1 error {err:.4}");
+    }
+
+    // ------------------------------------------------------------------
+    // Tolerance: single camera vs redundant diverse camera+radar.
+    // ------------------------------------------------------------------
+    println!("\n== Tolerance: redundant diverse fusion ==");
+    let radar = ClassifierModel::new(
+        vec!["car".into(), "pedestrian".into()],
+        vec![vec![0.95, 0.0, 0.05], vec![0.0, 0.8, 0.2]],
+        vec![0.05, 0.05, 0.9],
+    )?;
+    let fusion = FusionSystem::new(vec![camera.clone(), radar], vec![0.6, 0.3, 0.1], vec![0.9, 0.9])?;
+    let trials = 50_000;
+    let mut single_hazard = 0u64;
+    let mut fused_hazard = 0u64;
+    let mut vote_unknown_on_novel = 0u64;
+    let mut novel_trials = 0u64;
+    for _ in 0..trials {
+        let truth = world.sample(&mut rng);
+        // Hazard: a pedestrian perceived as a car.
+        if truth == Truth::Known(1) {
+            if camera.classify(truth, &mut rng).label == 0 {
+                single_hazard += 1;
+            }
+            let labels = fusion.observe(truth, &mut rng);
+            if fusion.fuse_bayes(&labels)?.0 == FusedVerdict::Known(0) {
+                fused_hazard += 1;
+            }
+        }
+        if truth.is_novel() {
+            novel_trials += 1;
+            let labels = fusion.observe(truth, &mut rng);
+            if fusion.fuse_vote(&labels)? == FusedVerdict::Unknown {
+                vote_unknown_on_novel += 1;
+            }
+        }
+    }
+    println!("  pedestrian-as-car hazards: single camera {single_hazard}, Bayes fusion {fused_hazard}");
+    println!(
+        "  novel objects flagged unknown by agreement fusion: {:.1}%",
+        100.0 * vote_unknown_on_novel as f64 / novel_trials.max(1) as f64
+    );
+
+    // ------------------------------------------------------------------
+    // Removal in use + forecasting: field campaign and release decision.
+    // ------------------------------------------------------------------
+    println!("\n== Field observation and residual-risk forecast ==");
+    let mut campaign = FieldCampaign::new(2);
+    for exposure in [1_000usize, 9_000, 90_000] {
+        campaign.observe_world(&world, exposure, &mut rng);
+        let forecast = ReleaseForecast::from_campaign(&campaign);
+        println!(
+            "  after {:>6} encounters: {} distinct novel classes, residual novelty rate {:.5}",
+            campaign.encounters(),
+            campaign.distinct_novel(),
+            forecast.residual_novelty_rate
+        );
+    }
+    let forecast = ReleaseForecast::from_campaign(&campaign);
+    let target = 1e-3;
+    println!(
+        "  release at residual rate <= {target}: {} (need ~{} more encounters)",
+        forecast.ready_for_release(target),
+        forecast.encounters_to_target(target)?
+    );
+    Ok(())
+}

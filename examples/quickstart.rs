@@ -1,0 +1,60 @@
+//! Quickstart: the paper's taxonomy and Table I network in ten minutes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use sysunc::casestudy::{paper_bayes_net, paper_evidential_network, PERCEPTION_STATES};
+use sysunc::taxonomy::{method_catalog, recommend, UncertaintyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. The three types of uncertainty (paper Sec. III).
+    // ------------------------------------------------------------------
+    println!("== Types of uncertainty ==");
+    for kind in UncertaintyKind::ALL {
+        println!(
+            "  {kind:<12} known-unknown: {:<5} reducible by observation: {:<5} ({})",
+            kind.is_known_unknown(),
+            kind.reducible_by_observation(),
+            kind.discriminator()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. The Fig. 4 / Table I perception network, queried both ways.
+    // ------------------------------------------------------------------
+    println!("\n== Table I as a Bayesian network ==");
+    let bn = paper_bayes_net()?;
+    let marginal = bn.marginal("perception", &[])?;
+    for (state, p) in PERCEPTION_STATES.iter().zip(&marginal) {
+        println!("  P(perception = {state:<15}) = {p:.4}");
+    }
+    let post = bn.marginal("ground_truth", &[("perception", "none")])?;
+    println!(
+        "  P(ground truth | perception = none): car {:.4}, pedestrian {:.4}, unknown {:.4}",
+        post[0], post[1], post[2]
+    );
+
+    println!("\n== Table I as an evidential network (Bel/Pl bounds) ==");
+    let ev = paper_evidential_network()?;
+    let mass = ev.network.query(ev.perception, &[])?;
+    for name in ["car", "pedestrian", "none"] {
+        let set = ev.perception_frame.singleton(name)?;
+        println!(
+            "  {name:<12} Bel = {:.4}  Pl = {:.4}  (epistemic+ontological gap {:.4})",
+            mass.belief(set),
+            mass.plausibility(set),
+            mass.interval(set).width()
+        );
+    }
+    println!("  mass on Θ (ontological reserve) = {:.4}", mass.mass(ev.perception_frame.theta()));
+
+    // ------------------------------------------------------------------
+    // 3. Strategy derivation from the means taxonomy (Sec. IV, Fig. 3).
+    // ------------------------------------------------------------------
+    println!("\n== Method catalog ({} methods) ==", method_catalog().len());
+    println!("Recommended against ontological uncertainty:");
+    for m in recommend(UncertaintyKind::Ontological).iter().take(4) {
+        println!("  [{}] {} -> {}", m.means, m.name, m.implemented_by);
+    }
+    Ok(())
+}

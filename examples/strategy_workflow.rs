@@ -1,0 +1,111 @@
+//! The paper's end goal (Secs. I, VI): derive and track an *overall
+//! strategy* — identify uncertainty sources, classify them, assign means
+//! from the Fig. 3 catalog, quantify an uncertainty budget, and gate the
+//! release decision.
+//!
+//! Run with `cargo run --example strategy_workflow`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::budget::UncertaintyBudget;
+use sysunc::perception::{FieldCampaign, ReleaseForecast, WorldModel};
+use sysunc::prob::dist::{Beta, Continuous as _};
+use sysunc::register::{MitigationStatus, UncertaintyRegister};
+use sysunc::taxonomy::{Means, UncertaintyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Identify and classify uncertainty sources.
+    // ------------------------------------------------------------------
+    let mut register = UncertaintyRegister::new();
+    register.add(
+        "U1",
+        "perception/classifier",
+        "true confusion rates of the deployed classifier",
+        UncertaintyKind::Epistemic,
+    )?;
+    register.add(
+        "U2",
+        "environment",
+        "object mix encountered per drive (world priors)",
+        UncertaintyKind::Aleatory,
+    )?;
+    register.add(
+        "U3",
+        "environment",
+        "object classes absent from the perception model",
+        UncertaintyKind::Ontological,
+    )?;
+    register.add(
+        "U4",
+        "perception/sensors",
+        "common-cause degradation (weather) across camera and radar",
+        UncertaintyKind::Epistemic,
+    )?;
+
+    println!("== Open register with catalog recommendations ==");
+    for (id, recs) in register.recommendations() {
+        println!("  {id}: {}", recs.join(" | "));
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Assign means per the taxonomy and execute them (simulated).
+    // ------------------------------------------------------------------
+    register.assign("U1", Means::Removal)?; // design-time testing
+    register.assign("U2", Means::Tolerance)?; // diverse fusion
+    register.assign("U3", Means::Forecasting)?; // residual estimation + gate
+    register.assign("U4", Means::Prevention)?; // diverse technologies, no shared mode
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let world = WorldModel::paper_example()?;
+
+    // U1: removal by observation — Beta posterior on the hazard rate.
+    let posterior = Beta::new(1.0, 1.0)?.updated(9_641, 359); // 10k labeled frames
+    let epistemic_width = posterior.credible_width(0.95);
+    register.set_status("U1", MitigationStatus::Verified)?;
+
+    // U2: aleatory spread of the per-drive hazard count (binomial CV as a
+    // scalar); tolerated by architecture, accepted as is.
+    let aleatory_level = (posterior.mean() * (1.0 - posterior.mean())).sqrt();
+    register.set_status("U2", MitigationStatus::Verified)?;
+
+    // U3: forecasting via a field campaign.
+    let mut campaign = FieldCampaign::new(2);
+    campaign.observe_world(&world, 200_000, &mut rng);
+    let forecast = ReleaseForecast::from_campaign(&campaign);
+    register.set_status("U3", MitigationStatus::AcceptedResidual)?;
+
+    // U4: prevention by diversity — verified by the common-cause FTA
+    // (see exp_fta / E8); marked verified here.
+    register.set_status("U4", MitigationStatus::Verified)?;
+
+    // ------------------------------------------------------------------
+    // 3. Assemble the budget and gate the release.
+    // ------------------------------------------------------------------
+    let measured = UncertaintyBudget::new(
+        aleatory_level,
+        epistemic_width,
+        forecast.residual_novelty_rate,
+    )?;
+    let limits = UncertaintyBudget::new(0.2, 0.02, 0.005)?;
+    println!("\n== Uncertainty budget ==");
+    println!("  measured: {measured}");
+    println!("  limits:   {limits}");
+    println!("  dominant kind: {}", measured.dominant());
+    println!("  violations: {:?}", measured.violations(&limits));
+
+    println!("\n== Register ==");
+    println!("{}", register.to_markdown());
+    println!(
+        "release ready: register {} / budget {}",
+        register.release_ready(),
+        measured.acceptable(&limits)
+    );
+    if !measured.acceptable(&limits) {
+        println!(
+            "  -> forecast: ~{} further encounters to reach the ontological limit",
+            forecast.encounters_to_target(limits.level(UncertaintyKind::Ontological))?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Root integration-suite crate; see the workspace member crates for the library.
+pub use sysunc as core;

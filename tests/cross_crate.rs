@@ -1,0 +1,170 @@
+//! Integration tests spanning multiple workspace crates: each test wires
+//! at least two substrates together and checks a quantitative agreement.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::budget::UncertaintyBudget;
+use sysunc::evidence::Interval;
+use sysunc::fta::{fault_tree_to_bayes_net, quantify_with, FaultTree, GateKind};
+use sysunc::modeling::assess_adequacy;
+use sysunc::pce::{ChaosExpansion, PceInput};
+use sysunc::perception::{ClassifierModel, FieldCampaign, ReleaseForecast, Truth, WorldModel};
+use sysunc::prob::dist::{Continuous, Normal};
+use sysunc::prob::htest::ks_test_one_sample;
+use sysunc::sampling::{propagate, LatinHypercubeDesign};
+use sysunc::taxonomy::UncertaintyKind;
+
+#[test]
+fn pce_and_sampling_agree_on_nonlinear_model() {
+    // Same model, two independent propagation stacks.
+    let model = |x: &[f64]| (0.5 * x[0]).exp() + x[1] * x[1];
+    let pce_inputs =
+        [PceInput::Normal { mu: 0.0, sigma: 1.0 }, PceInput::Uniform { a: -1.0, b: 1.0 }];
+    let pce = ChaosExpansion::fit_projection(&pce_inputs, 8, model).expect("pce fits");
+
+    let n_dist = Normal::new(0.0, 1.0).expect("valid");
+    let u_dist = sysunc::prob::dist::Uniform::new(-1.0, 1.0).expect("valid");
+    let inputs: Vec<&dyn Continuous> = vec![&n_dist, &u_dist];
+    let mut rng = StdRng::seed_from_u64(5);
+    let mc =
+        propagate(&inputs, &LatinHypercubeDesign, &model, 200_000, &mut rng).expect("mc runs");
+
+    // Analytic: E = exp(1/8) + 1/3.
+    let truth = (0.125f64).exp() + 1.0 / 3.0;
+    assert!((pce.mean() - truth).abs() < 1e-6, "pce mean {}", pce.mean());
+    assert!((mc.mean() - truth).abs() < 5e-3, "mc mean {}", mc.mean());
+    assert!((pce.variance() - mc.variance()).abs() < 0.05 * mc.variance());
+}
+
+#[test]
+fn pce_surrogate_sample_matches_input_distribution() {
+    // Sampling the degree-1 surrogate of the identity model reproduces
+    // the input distribution (KS test, prob + pce + sampling crates).
+    let inputs = [PceInput::Normal { mu: 2.0, sigma: 0.5 }];
+    let pce = ChaosExpansion::fit_projection(&inputs, 3, |x| x[0]).expect("fits");
+    let germ = Normal::new(0.0, 1.0).expect("valid");
+    let mut rng = StdRng::seed_from_u64(17);
+    let sample: Vec<f64> =
+        (0..5_000).map(|_| pce.eval_germ(&[germ.sample(&mut rng)])).collect();
+    let target = Normal::new(2.0, 0.5).expect("valid");
+    let res = ks_test_one_sample(&sample, &target).expect("test runs");
+    assert!(!res.rejects_at(0.01), "surrogate sample should look like N(2, 0.5): p = {}", res.p_value);
+}
+
+#[test]
+fn fta_bn_and_interval_views_are_consistent() {
+    // One safety model, three analysis backends.
+    let mut ft = FaultTree::new();
+    let a = ft.add_basic_event("a", 0.02).expect("valid");
+    let b = ft.add_basic_event("b", 0.03).expect("valid");
+    let c = ft.add_basic_event("c", 0.001).expect("valid");
+    let g = ft.add_gate("ab", GateKind::And, vec![a, b]).expect("valid");
+    let top = ft.add_gate("top", GateKind::Or, vec![g, c]).expect("valid");
+    ft.set_top(top).expect("valid");
+
+    let exact = ft.top_probability_exact().expect("small tree");
+    // BN view agrees exactly.
+    let conv = fault_tree_to_bayes_net(&ft).expect("converts");
+    let p_bn = conv.network.marginal("top", &[]).expect("query")[1];
+    assert!((p_bn - exact).abs() < 1e-12);
+    // Interval view with degenerate intervals recovers the same number.
+    let degenerate: Vec<Interval> =
+        ft.basic_events().iter().map(|e| Interval::degenerate(e.probability)).collect();
+    let iv = quantify_with(&ft, &degenerate).expect("quantifies");
+    assert!((iv.midpoint() - exact).abs() < 1e-12);
+    // Widening the inputs must enclose the exact value.
+    let wide: Vec<Interval> = ft
+        .basic_events()
+        .iter()
+        .map(|e| Interval::new(e.probability * 0.5, e.probability * 2.0).expect("ordered"))
+        .collect();
+    let bounds = quantify_with(&ft, &wide).expect("quantifies");
+    assert!(bounds.contains(exact));
+}
+
+#[test]
+fn world_classifier_statistics_match_paper_bn() {
+    // Simulating the perception chain end-to-end reproduces the marginal
+    // output distribution predicted by the Fig. 4 Bayesian network (with
+    // the simulator's label conventions mapped onto Table I).
+    let world = WorldModel::paper_example().expect("builds");
+    let camera = ClassifierModel::paper_camera().expect("builds");
+    let mut rng = StdRng::seed_from_u64(23);
+    let n = 400_000;
+    let mut counts = [0u64; 3];
+    for truth in world.sample_n(n, &mut rng) {
+        counts[camera.classify(truth, &mut rng).label] += 1;
+    }
+    // Simulator P(car label) = 0.6*0.925 + 0.3*0.03 + 0.1*0.1 = 0.574;
+    // this equals the BN's P(car) + half the car_pedestrian state plus the
+    // novel row's car share.
+    let p_car = counts[0] as f64 / n as f64;
+    let expect_car = 0.6 * 0.925 + 0.3 * 0.03 + 0.1 * 0.1;
+    assert!((p_car - expect_car).abs() < 0.005, "{p_car} vs {expect_car}");
+    let p_none = counts[2] as f64 / n as f64;
+    let expect_none = 0.6 * 0.045 + 0.3 * 0.045 + 0.1 * 0.8;
+    assert!((p_none - expect_none).abs() < 0.005);
+}
+
+#[test]
+fn adequacy_assessment_flags_simulated_ontological_events() {
+    // modeling (core) + perception (substrate): a classifier that has no
+    // notion of novel objects shows impossible mass once the world sends
+    // them.
+    let world = WorldModel::paper_example().expect("builds");
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut system_states = Vec::new();
+    let mut model_predictions = Vec::new();
+    for truth in world.sample_n(5_000, &mut rng) {
+        // System state: 0 = car, 1 = pedestrian, 2 = novel.
+        let s = match truth {
+            Truth::Known(i) => i,
+            Truth::Novel(_) => 2,
+        };
+        // The naive model never predicts state 2.
+        let m = match truth {
+            Truth::Known(i) => i,
+            Truth::Novel(_) => 0,
+        };
+        system_states.push(s);
+        model_predictions.push(m);
+    }
+    let report = assess_adequacy(&system_states, &model_predictions, 3).expect("assesses");
+    assert!(report.impossible_mass > 0.05, "novel mass must be visible");
+    assert_eq!(report.dominant_kind(0.5), UncertaintyKind::Ontological);
+}
+
+#[test]
+fn budget_assembly_from_three_substrates() {
+    // Aleatory level from a PCE variance, epistemic from a Beta credible
+    // width, ontological from a Good-Turing forecast — assembled into the
+    // release gate.
+    let pce = ChaosExpansion::fit_projection(
+        &[PceInput::Uniform { a: -1.0, b: 1.0 }],
+        3,
+        |x| 0.1 * x[0],
+    )
+    .expect("fits");
+    let aleatory = pce.std_dev();
+
+    let posterior = sysunc::prob::dist::Beta::new(1.0, 1.0).expect("valid").updated(980, 20);
+    let epistemic = posterior.credible_width(0.95);
+
+    let world = WorldModel::paper_example().expect("builds");
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut campaign = FieldCampaign::new(2);
+    campaign.observe_world(&world, 200_000, &mut rng);
+    let ontological = ReleaseForecast::from_campaign(&campaign).residual_novelty_rate;
+
+    let measured = UncertaintyBudget::new(aleatory, epistemic, ontological).expect("valid");
+    let limits = UncertaintyBudget::new(0.1, 0.05, 0.005).expect("valid");
+    assert!(
+        measured.acceptable(&limits),
+        "budget {measured} should pass limits {limits}"
+    );
+    // Tightening the ontological limit below the achievable rate blocks
+    // release — the long-tail validation challenge in one assertion.
+    let strict = UncertaintyBudget::new(0.1, 0.05, 1e-7).expect("valid");
+    assert!(!measured.acceptable(&strict));
+    assert_eq!(measured.violations(&strict), vec![UncertaintyKind::Ontological]);
+}

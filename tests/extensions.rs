@@ -1,0 +1,153 @@
+//! Integration tests for the extension features: ranked-node CPTs,
+//! d-separation, MPE, common-cause groups, Murphy fusion, Kepler
+//! cross-validation, drift monitoring, variance reduction, and the
+//! uncertainty register workflow.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::bayesnet::{d_separated, most_probable_explanation, ranked_cpt, BayesNet};
+use sysunc::evidence::{combine_murphy, weight_of_conflict, Frame, MassFunction};
+use sysunc::fta::{install_common_cause_group, FaultTree, GateKind};
+use sysunc::orbital::{Integrator, KeplerOrbit, NBodySystem};
+use sysunc::perception::{ClassifierModel, DriftMonitor, Truth};
+use sysunc::prob::dist::{Continuous, Mixture, Normal, StudentT, TruncatedNormal};
+use sysunc::register::{MitigationStatus, UncertaintyRegister};
+use sysunc::sampling::propagate_antithetic;
+use sysunc::taxonomy::{Means, UncertaintyKind};
+use std::sync::Arc;
+
+#[test]
+fn ranked_nodes_build_a_perception_quality_model() {
+    // A 3-parent quality node would need 27 hand-made rows; ranked_cpt
+    // generates them, and d-separation + inference behave as expected.
+    let states = vec!["low", "med", "high"];
+    let mut bn = BayesNet::new();
+    let weather = bn.add_root("weather", states.clone(), vec![0.2, 0.5, 0.3]).expect("valid");
+    let sensor = bn.add_root("sensor", states.clone(), vec![0.1, 0.3, 0.6]).expect("valid");
+    let compute = bn.add_root("compute", states.clone(), vec![0.05, 0.15, 0.8]).expect("valid");
+    let cpt = ranked_cpt(&[3, 3, 3], &[2.0, 3.0, 1.0], 3, 0.15).expect("valid spec");
+    let quality = bn
+        .add_node("perception_quality", states, vec![weather, sensor, compute], cpt)
+        .expect("valid CPT");
+    // Roots are marginally independent...
+    assert!(d_separated(&bn, weather, sensor, &[]).expect("valid ids"));
+    // ...but conditioning on the child couples them (explaining away).
+    assert!(!d_separated(&bn, weather, sensor, &[quality]).expect("valid ids"));
+    // Better sensor shifts quality upward.
+    let hi = bn.marginal("perception_quality", &[("sensor", "high")]).expect("query");
+    let lo = bn.marginal("perception_quality", &[("sensor", "low")]).expect("query");
+    assert!(hi[2] > lo[2]);
+    // MPE of a low-quality observation blames the heaviest-weighted,
+    // most-plausible parent configuration.
+    let (assignment, p) =
+        most_probable_explanation(&bn, &[(quality, 0)]).expect("tractable");
+    assert!(p > 0.0);
+    assert!(assignment[sensor] <= 1, "low quality implicates a degraded sensor");
+}
+
+#[test]
+fn common_cause_group_integrates_with_cut_sets() {
+    let mut ft = FaultTree::new();
+    let group =
+        install_common_cause_group(&mut ft, "sensor", 3, 1e-3, 0.05).expect("valid spec");
+    let vote = ft
+        .add_gate("2oo3 fails", GateKind::KOfN(2), group.member_events)
+        .expect("valid");
+    ft.set_top(vote).expect("valid");
+    let p = ft.top_probability_exact().expect("small tree");
+    // Dominated by the common cause: ~ p*beta = 5e-5 plus pair terms.
+    assert!(p > 4.9e-5 && p < 8e-5, "got {p}");
+    let cuts = sysunc::fta::minimal_cut_sets(&ft).expect("small tree");
+    // The common-cause event alone is a minimal cut set.
+    let common_idx = match group.common_event {
+        sysunc::fta::NodeRef::Basic(i) => i,
+        _ => unreachable!("common event is basic"),
+    };
+    assert!(cuts.iter().any(|c| c.len() == 1 && c.contains(&common_idx)));
+}
+
+#[test]
+fn murphy_fusion_with_discounted_conflicting_sensors() {
+    let frame = Frame::new(vec!["car", "pedestrian", "unknown"]).expect("valid");
+    let cam = MassFunction::from_focal(&frame, vec![(0b001, 0.95), (0b111, 0.05)])
+        .expect("valid");
+    let radar = MassFunction::from_focal(&frame, vec![(0b010, 0.95), (0b111, 0.05)])
+        .expect("valid");
+    let w = weight_of_conflict(&cam, &radar).expect("same frame");
+    assert!(w > 1.0, "strong conflict: {w}");
+    let fused = combine_murphy(&[cam, radar]).expect("combines");
+    // Murphy keeps both hypotheses alive instead of collapsing.
+    assert!(fused.mass(0b001) > 0.3);
+    assert!(fused.mass(0b010) > 0.3);
+}
+
+#[test]
+fn kepler_validates_integrators_end_to_end() {
+    let mut sys = NBodySystem::two_planets(1.0, 0.6, 2.5).expect("valid");
+    let orbit = KeplerOrbit::from_system(&sys).expect("two bound point masses");
+    let dt = orbit.period() / 4_000.0;
+    Integrator::VelocityVerlet.propagate(&mut sys, dt, 4_000);
+    let (p1, p2) = orbit.positions_at(sys.time);
+    assert!(p1.distance(sys.bodies[0].position) < 1e-4);
+    assert!(p2.distance(sys.bodies[1].position) < 1e-4);
+}
+
+#[test]
+fn drift_monitor_flags_silent_degradation() {
+    let healthy = ClassifierModel::paper_camera().expect("builds");
+    let reference: Vec<f64> = (0..3).map(|l| healthy.likelihood(0, l)).collect();
+    let mut mon = DriftMonitor::new(reference, 400, 0.001).expect("valid spec");
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..400 {
+        mon.record(healthy.classify(Truth::Known(0), &mut rng).label);
+    }
+    assert!(!mon.drift_detected().expect("computes"));
+    // Silent degradation: labels now come from novel objects (domain
+    // shift) — mostly "none".
+    for _ in 0..400 {
+        mon.record(healthy.classify(Truth::Novel(1), &mut rng).label);
+    }
+    assert!(mon.drift_detected().expect("computes"));
+}
+
+#[test]
+fn new_distributions_propagate_through_sampling() {
+    // StudentT + TruncatedNormal + Mixture all flow through the antithetic
+    // propagator (trait-object plumbing across crates).
+    let t = StudentT::new(6.0, 0.0, 1.0).expect("valid");
+    let tn = TruncatedNormal::new(0.0, 1.0, -2.0, 2.0).expect("valid");
+    let mix = Mixture::new(vec![
+        (0.5, Arc::new(Normal::new(-1.0, 0.3).expect("valid")) as Arc<dyn Continuous>),
+        (0.5, Arc::new(Normal::new(1.0, 0.3).expect("valid"))),
+    ])
+    .expect("valid");
+    let inputs: Vec<&dyn Continuous> = vec![&t, &tn, &mix];
+    let mut rng = StdRng::seed_from_u64(21);
+    let res = propagate_antithetic(&inputs, &|x: &[f64]| x[0] + x[1] + x[2], 40_000, &mut rng)
+        .expect("propagates");
+    // All three inputs are symmetric about 0.
+    assert!(res.mean().abs() < 0.05, "mean {}", res.mean());
+}
+
+#[test]
+fn register_drives_the_full_release_workflow() {
+    let mut reg = UncertaintyRegister::new();
+    reg.add("A", "x", "aleatory source", UncertaintyKind::Aleatory).expect("valid");
+    reg.add("E", "y", "epistemic source", UncertaintyKind::Epistemic).expect("valid");
+    reg.add("O", "z", "ontological source", UncertaintyKind::Ontological).expect("valid");
+    // Every open entry gets catalog recommendations aligned with its kind.
+    for (id, recs) in reg.recommendations() {
+        assert!(!recs.is_empty(), "{id} must have recommendations");
+    }
+    reg.assign("A", Means::Tolerance).expect("known id");
+    reg.assign("E", Means::Removal).expect("known id");
+    reg.assign("O", Means::Forecasting).expect("known id");
+    reg.set_status("A", MitigationStatus::Verified).expect("assigned");
+    reg.set_status("E", MitigationStatus::Verified).expect("assigned");
+    assert!(!reg.release_ready());
+    reg.set_status("O", MitigationStatus::AcceptedResidual).expect("assigned");
+    assert!(reg.release_ready());
+    let md = reg.to_markdown();
+    assert!(md.contains("ontological"));
+    assert!(md.contains("forecasting"));
+}

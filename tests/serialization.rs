@@ -1,0 +1,81 @@
+//! Round-trip serialization of the model artifacts a team would persist:
+//! Bayesian networks, fault trees, mass functions, budgets and the
+//! uncertainty register.
+
+use sysunc::budget::UncertaintyBudget;
+use sysunc::casestudy::paper_bayes_net;
+use sysunc::evidence::{Frame, Interval, MassFunction};
+use sysunc::fta::{FaultTree, GateKind};
+use sysunc::register::{MitigationStatus, UncertaintyRegister};
+use sysunc::taxonomy::{Means, UncertaintyKind};
+
+#[test]
+fn bayes_net_round_trips_through_json() {
+    let bn = paper_bayes_net().expect("builds");
+    let json = serde_json::to_string(&bn).expect("serializes");
+    let back: sysunc::bayesnet::BayesNet = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(bn, back);
+    // The deserialized network answers queries identically.
+    let a = bn.marginal("ground_truth", &[("perception", "none")]).expect("query");
+    let b = back.marginal("ground_truth", &[("perception", "none")]).expect("query");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fault_tree_round_trips_through_json() {
+    let mut ft = FaultTree::new();
+    let a = ft.add_basic_event("a", 0.01).expect("valid");
+    let b = ft.add_basic_event("b", 0.02).expect("valid");
+    let g = ft.add_gate("g", GateKind::KOfN(1), vec![a, b]).expect("valid");
+    ft.set_top(g).expect("valid");
+    let json = serde_json::to_string_pretty(&ft).expect("serializes");
+    let back: FaultTree = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(ft, back);
+    assert_eq!(
+        ft.top_probability_exact().expect("small"),
+        back.top_probability_exact().expect("small")
+    );
+}
+
+#[test]
+fn mass_function_round_trips_through_json() {
+    let frame = Frame::new(vec!["car", "pedestrian", "unknown"]).expect("valid");
+    let m = MassFunction::from_focal(
+        &frame,
+        vec![
+            (frame.singleton("car").expect("in frame"), 0.6),
+            (frame.subset(&["car", "pedestrian"]).expect("in frame"), 0.3),
+            (frame.theta(), 0.1),
+        ],
+    )
+    .expect("valid");
+    let json = serde_json::to_string(&m).expect("serializes");
+    let back: MassFunction = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(m, back);
+    let car = frame.singleton("car").expect("in frame");
+    assert_eq!(m.belief(car), back.belief(car));
+    assert_eq!(m.plausibility(car), back.plausibility(car));
+}
+
+#[test]
+fn interval_budget_and_register_round_trip() {
+    let iv = Interval::new(0.25, 0.75).expect("ordered");
+    let iv2: Interval =
+        serde_json::from_str(&serde_json::to_string(&iv).expect("ser")).expect("de");
+    assert_eq!(iv, iv2);
+
+    let budget = UncertaintyBudget::new(0.1, 0.02, 0.001).expect("valid");
+    let b2: UncertaintyBudget =
+        serde_json::from_str(&serde_json::to_string(&budget).expect("ser")).expect("de");
+    assert_eq!(budget, b2);
+    assert_eq!(b2.dominant(), UncertaintyKind::Aleatory);
+
+    let mut reg = UncertaintyRegister::new();
+    reg.add("U1", "here", "thing", UncertaintyKind::Ontological).expect("valid");
+    reg.assign("U1", Means::Forecasting).expect("known");
+    reg.set_status("U1", MitigationStatus::AcceptedResidual).expect("assigned");
+    let r2: UncertaintyRegister =
+        serde_json::from_str(&serde_json::to_string(&reg).expect("ser")).expect("de");
+    assert_eq!(reg, r2);
+    assert!(r2.release_ready());
+}

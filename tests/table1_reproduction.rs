@@ -1,0 +1,107 @@
+//! Integration test: exact reproduction of the paper's Table I and the
+//! quantities it implies (experiment E1), cross-checked between the exact
+//! variable-elimination engine, likelihood-weighted sampling, the
+//! evidential network, and a hand-computed joint table.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sysunc::bayesnet::likelihood_weighting;
+use sysunc::casestudy::{
+    ground_truth_prior, paper_bayes_net, paper_evidential_network, table1_cpt,
+};
+use sysunc::prob::info::JointTable;
+
+#[test]
+fn table1_cpt_matches_paper_verbatim() {
+    let t = table1_cpt();
+    assert_eq!(t[0], [0.9, 0.005, 0.05, 0.045]);
+    assert_eq!(t[1], [0.005, 0.9, 0.05, 0.045]);
+    assert_eq!(t[2], [0.0, 0.0, 0.2, 0.7]);
+    assert_eq!(ground_truth_prior(), [0.6, 0.3, 0.1]);
+}
+
+#[test]
+fn perception_marginal_exact_values() {
+    let bn = paper_bayes_net().expect("paper network builds");
+    let m = bn.marginal("perception", &[]).expect("marginal query");
+    // Hand computation with the renormalized unknown row [0, 0, 2/9, 7/9]:
+    let expect = [
+        0.6 * 0.9 + 0.3 * 0.005,
+        0.6 * 0.005 + 0.3 * 0.9,
+        0.6 * 0.05 + 0.3 * 0.05 + 0.1 * (2.0 / 9.0),
+        0.6 * 0.045 + 0.3 * 0.045 + 0.1 * (7.0 / 9.0),
+    ];
+    for (got, want) in m.iter().zip(expect) {
+        assert!((got - want).abs() < 1e-14, "{got} vs {want}");
+    }
+    assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn posteriors_match_joint_table_bayes() {
+    // Cross-check variable elimination against the standalone joint-table
+    // implementation in sysunc-prob.
+    let bn = paper_bayes_net().expect("paper network builds");
+    let mut cpt: Vec<Vec<f64>> = table1_cpt().iter().map(|r| r.to_vec()).collect();
+    let s: f64 = cpt[2].iter().sum();
+    for v in &mut cpt[2] {
+        *v /= s;
+    }
+    let joint = JointTable::from_prior_and_conditional(&ground_truth_prior(), &cpt)
+        .expect("valid joint");
+    for (j, state) in ["car", "pedestrian", "car_pedestrian", "none"].iter().enumerate() {
+        let ve = bn.marginal("ground_truth", &[("perception", state)]).expect("query");
+        let jt = joint.posterior_x_given_y(j).expect("positive column");
+        for (a, b) in ve.iter().zip(&jt) {
+            assert!((a - b).abs() < 1e-12, "{state}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn likelihood_weighting_cross_checks_exact_engine() {
+    let bn = paper_bayes_net().expect("paper network builds");
+    let gt = bn.node_id("ground_truth").expect("node exists");
+    let perc = bn.node_id("perception").expect("node exists");
+    let none_state = bn.state_id(perc, "none").expect("state exists");
+    let exact = bn.marginal("ground_truth", &[("perception", "none")]).expect("query");
+    let mut rng = StdRng::seed_from_u64(314);
+    let approx = likelihood_weighting(&bn, gt, &[(perc, none_state)], 300_000, &mut rng)
+        .expect("sampler runs");
+    for (e, a) in exact.iter().zip(&approx) {
+        assert!((e - a).abs() < 0.01, "exact {e} vs sampled {a}");
+    }
+}
+
+#[test]
+fn evidential_reading_brackets_bayesian_reading() {
+    // For every perception singleton, the Bayesian probability (with the
+    // renormalized unknown row) must lie within [Bel, Pl] of the
+    // evidential reading whenever the evidential model assigns the
+    // leftover 0.1 to Θ.
+    let bn = paper_bayes_net().expect("builds");
+    let ev = paper_evidential_network().expect("builds");
+    let m_bn = bn.marginal("perception", &[]).expect("marginal");
+    let mass = ev.network.query(ev.perception, &[]).expect("query");
+    // Bayesian "car" probability vs evidential car bounds. (The Bayesian
+    // car_pedestrian state is split epistemic mass, so compare only the
+    // direct singletons.)
+    let car = ev.perception_frame.singleton("car").expect("in frame");
+    let ped = ev.perception_frame.singleton("pedestrian").expect("in frame");
+    assert!(mass.belief(car) <= m_bn[0] + 1e-12);
+    assert!(m_bn[0] <= mass.plausibility(car) + 1e-12);
+    assert!(mass.belief(ped) <= m_bn[1] + 1e-12);
+    assert!(m_bn[1] <= mass.plausibility(ped) + 1e-12);
+}
+
+#[test]
+fn unknown_dominates_none_output_diagnosis() {
+    // The paper's punchline for uncertainty removal: a "none" output is
+    // evidence of an unmodeled object.
+    let bn = paper_bayes_net().expect("builds");
+    let post = bn.marginal("ground_truth", &[("perception", "none")]).expect("query");
+    assert!(post[2] > 0.6, "unknown posterior {post:?}");
+    // And a confident label almost excludes the unknown.
+    let post_car = bn.marginal("ground_truth", &[("perception", "car")]).expect("query");
+    assert!(post_car[2] < 1e-10);
+}
