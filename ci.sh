@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the sysunc workspace. Everything runs --offline: the
+# workspace has zero external dependencies by policy (enforced by
+# sysunc-tidy's `manifest` rule), so no step may touch the network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "== static-analysis gate =="
+cargo run -q --offline -p sysunc-tidy

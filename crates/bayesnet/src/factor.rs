@@ -117,11 +117,11 @@ impl Factor {
         let mut values = vec![0.0; size];
         // Positions of self/other vars in the union scope.
         let self_pos: Vec<usize> =
-            self.vars.iter().map(|v| vars.iter().position(|u| u == v).expect("in union")).collect();
+            self.vars.iter().map(|v| vars.iter().position(|u| u == v).expect("in union")).collect(); // tidy: allow(panic)
         let other_pos: Vec<usize> = other
             .vars
             .iter()
-            .map(|v| vars.iter().position(|u| u == v).expect("in union"))
+            .map(|v| vars.iter().position(|u| u == v).expect("in union")) // tidy: allow(panic)
             .collect();
         let mut asg = vec![0usize; vars.len()];
         for (flat, value) in values.iter_mut().enumerate() {

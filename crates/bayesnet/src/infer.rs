@@ -4,7 +4,7 @@
 use crate::error::{BnError, Result};
 use crate::factor::Factor;
 use crate::network::BayesNet;
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 
 /// Exact inference by variable elimination with a min-fill/min-degree
 /// style greedy ordering.
@@ -50,6 +50,7 @@ impl<'a> VariableElimination<'a> {
     /// # Errors
     ///
     /// Factor-level errors on malformed networks.
+    /// Range: `[0, 1]` — a normalized probability of the evidence.
     pub fn evidence_probability(&self, evidence: &[(usize, usize)]) -> Result<f64> {
         Ok(self.run(&[], evidence)?.total())
     }
@@ -88,7 +89,7 @@ impl<'a> VariableElimination<'a> {
                     (i, scope.len())
                 })
                 .min_by_key(|&(_, size)| size)
-                .expect("hidden not empty");
+                .expect("hidden not empty"); // tidy: allow(panic)
             let var = hidden.swap_remove(pick_idx);
             let (with_var, without_var): (Vec<Factor>, Vec<Factor>) =
                 factors.into_iter().partition(|f| f.vars().contains(&var));
@@ -125,7 +126,7 @@ pub fn likelihood_weighting(
     n: usize,
     rng: &mut dyn RngCore,
 ) -> Result<Vec<f64>> {
-    use rand::Rng as _;
+    use sysunc_prob::rng::Rng as _;
     if query >= bn.len() {
         return Err(BnError::UnknownNode(format!("id {query}")));
     }
@@ -176,8 +177,8 @@ pub fn likelihood_weighting(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn sprinkler() -> BayesNet {
         let mut bn = BayesNet::new();

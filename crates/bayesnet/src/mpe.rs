@@ -31,6 +31,7 @@ use crate::network::BayesNet;
 /// assert!(p > 0.0);
 /// # Ok::<(), sysunc_bayesnet::BnError>(())
 /// ```
+/// Range: the returned joint probability lies in `[0, 1]`.
 pub fn most_probable_explanation(
     bn: &BayesNet,
     evidence: &[(usize, usize)],
@@ -73,7 +74,7 @@ pub fn most_probable_explanation(
                 row = row * bn.nodes()[parent].states.len() + assignment[parent];
             }
             p *= node.cpt[row][assignment[id]];
-            if p == 0.0 {
+            if p == 0.0 { // tidy: allow(float-eq)
                 break;
             }
         }
@@ -84,7 +85,7 @@ pub fn most_probable_explanation(
         let mut h = 0;
         loop {
             if h == hidden.len() {
-                let (a, p) = best.expect("at least one configuration visited");
+                let (a, p) = best.expect("at least one configuration visited"); // tidy: allow(panic)
                 if p <= 0.0 {
                     return Err(BnError::InconsistentEvidence);
                 }

@@ -3,10 +3,10 @@
 
 use crate::error::{BnError, Result};
 use crate::factor::Factor;
-use serde::{Deserialize, Serialize};
+use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
 
 /// A node of the network: name, state names, parents and CPT.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Node name (unique in the network).
     pub name: String,
@@ -41,7 +41,7 @@ pub struct Node {
 /// assert!((marginal[0] - 0.5415).abs() < 1e-12);
 /// # Ok::<(), sysunc_bayesnet::BnError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BayesNet {
     nodes: Vec<Node>,
 }
@@ -170,7 +170,7 @@ impl BayesNet {
         // CPT rows iterate last parent fastest — matching row-major order
         // with the node's own states innermost.
         let values: Vec<f64> = node.cpt.iter().flatten().copied().collect();
-        Factor::new(vars, card, values).expect("validated at construction")
+        Factor::new(vars, card, values).expect("validated at construction") // tidy: allow(panic)
     }
 
     /// Resolves `(node name, state name)` pairs to ids.
@@ -211,9 +211,54 @@ impl BayesNet {
     /// # Errors
     ///
     /// Propagates resolution and inference errors.
+    /// Range: `[0, 1]` — a normalized probability of the evidence.
     pub fn evidence_probability(&self, evidence: &[(&str, &str)]) -> Result<f64> {
         let ev = self.resolve_evidence(evidence)?;
         crate::infer::VariableElimination::new(self).evidence_probability(&ev)
+    }
+}
+
+impl ToJson for Node {
+    fn to_json(&self) -> Json {
+        let cpt: Vec<Json> = self
+            .cpt
+            .iter()
+            .map(|row| Json::Arr(row.iter().map(|&p| Json::Num(p)).collect()))
+            .collect();
+        obj([
+            ("name", self.name.to_json()),
+            ("states", self.states.to_json()),
+            ("parents", self.parents.to_json()),
+            ("cpt", Json::Arr(cpt)),
+        ])
+    }
+}
+
+impl ToJson for BayesNet {
+    fn to_json(&self) -> Json {
+        obj([("nodes", self.nodes.to_json())])
+    }
+}
+
+impl FromJson for BayesNet {
+    /// Rebuilds the network through [`BayesNet::add_node`], so every CPT is
+    /// re-validated (row counts, normalization, parent existence) on load.
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let nodes = v.get("nodes").and_then(Json::as_arr).ok_or_else(|| JsonError::missing("nodes"))?;
+        let mut bn = BayesNet::new();
+        for node in nodes {
+            let name: String = field(node, "name")?;
+            let states: Vec<String> = field(node, "states")?;
+            let parents: Vec<usize> = field(node, "parents")?;
+            let cpt_json = node.get("cpt").and_then(Json::as_arr).ok_or_else(|| JsonError::missing("cpt"))?;
+            let cpt = cpt_json
+                .iter()
+                .map(|row| Vec::<f64>::from_json(row))
+                .collect::<std::result::Result<Vec<Vec<f64>>, JsonError>>()?;
+            bn.add_node(name, states, parents, cpt)
+                .map_err(|e| JsonError::decode(e.to_string()))?;
+        }
+        Ok(bn)
     }
 }
 

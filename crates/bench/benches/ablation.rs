@@ -3,10 +3,11 @@
 //! Monte Carlo at equal evaluation budget, Sobol' burn-in skip, and p-box
 //! condensation caps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::Rng as _;
-use rand::SeedableRng;
+use sysunc_bench::timing::{BenchmarkId, Criterion};
+use sysunc_bench::{criterion_group, criterion_main};
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::Rng as _;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::evidence::DsStructure;
 use sysunc::prob::dist::{Categorical, Continuous, Normal};
 use sysunc::sampling::{propagate, propagate_antithetic, Design, RandomDesign, SobolDesign};

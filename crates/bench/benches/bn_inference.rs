@@ -1,7 +1,8 @@
-//! Criterion benchmark: variable-elimination inference cost vs network
+//! Benchmark: variable-elimination inference cost vs network
 //! shape (chain, naive-Bayes star, and the paper's Table I network).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysunc_bench::timing::{BenchmarkId, Criterion};
+use sysunc_bench::{criterion_group, criterion_main};
 use sysunc::bayesnet::{BayesNet, VariableElimination};
 use sysunc::casestudy::paper_bayes_net;
 

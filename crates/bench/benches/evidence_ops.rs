@@ -1,7 +1,8 @@
-//! Criterion benchmark: Dempster–Shafer operations vs frame size and
+//! Benchmark: Dempster–Shafer operations vs frame size and
 //! focal-element count, and p-box arithmetic vs discretization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysunc_bench::timing::{BenchmarkId, Criterion};
+use sysunc_bench::{criterion_group, criterion_main};
 use sysunc::evidence::{DsStructure, Frame, Interval, MassFunction};
 use sysunc::prob::dist::Normal;
 

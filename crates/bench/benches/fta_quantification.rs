@@ -1,10 +1,11 @@
-//! Criterion benchmark: fault tree analysis cost — MOCUS cut sets, exact
+//! Benchmark: fault tree analysis cost — MOCUS cut sets, exact
 //! enumeration, structure-recursive quantification (crisp / interval /
 //! fuzzy), and dynamic-tree Monte Carlo.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_bench::timing::{BenchmarkId, Criterion};
+use sysunc_bench::{criterion_group, criterion_main};
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use std::sync::Arc;
 use sysunc::evidence::{FuzzyNumber, Interval};
 use sysunc::fta::{

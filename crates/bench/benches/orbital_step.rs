@@ -1,9 +1,10 @@
-//! Criterion benchmark: N-body integration step cost vs body count,
+//! Benchmark: N-body integration step cost vs body count,
 //! mascon fidelity and integrator order; occupancy-grid ingestion rate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_bench::timing::{BenchmarkId, Criterion};
+use sysunc_bench::{criterion_group, criterion_main};
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::orbital::{
     Body, Integrator, NBodySystem, ObservationChannel, OccupancyGrid, Vec2,
 };

@@ -1,9 +1,10 @@
-//! Criterion benchmark: polynomial-chaos construction cost vs dimension
+//! Benchmark: polynomial-chaos construction cost vs dimension
 //! and degree, projection vs regression vs sparse projection.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_bench::timing::{BenchmarkId, Criterion};
+use sysunc_bench::{criterion_group, criterion_main};
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::pce::{ChaosExpansion, PceInput};
 
 fn model(x: &[f64]) -> f64 {

@@ -1,9 +1,10 @@
-//! Criterion benchmark: design generation and propagation throughput for
+//! Benchmark: design generation and propagation throughput for
 //! each sampling engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_bench::timing::{BenchmarkId, Criterion};
+use sysunc_bench::{criterion_group, criterion_main};
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::prob::dist::{Continuous, Normal};
 use sysunc::sampling::{
     propagate, propagate_parallel, Design, HaltonDesign, LatinHypercubeDesign, RandomDesign,

@@ -5,8 +5,8 @@
 //! (b) statistical refinement — the Beta-posterior credible width on a
 //! classification probability shrinks with every observation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::orbital::{Body, Integrator, NBodySystem, Vec2};
 use sysunc::perception::{ClassifierModel, Truth};
 use sysunc::prob::dist::{Beta, Continuous as _};

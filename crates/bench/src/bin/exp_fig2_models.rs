@@ -4,8 +4,8 @@
 //! total-variation convergence of its epistemic error, which should decay
 //! like N^(-1/2).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::orbital::{Integrator, NBodySystem, ObservationChannel, OccupancyGrid, Vec2};
 use sysunc_bench::{header, section};
 

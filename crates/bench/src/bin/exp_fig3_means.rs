@@ -13,8 +13,8 @@
 //! - **ontological risk**: rate of *novel* objects confidently accepted
 //!   as a known class — the unknown-unknown getting through.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::perception::{
     ClassifierModel, FieldCampaign, FusedVerdict, FusionSystem, ReleaseForecast, Truth,
     WorldModel,

@@ -5,8 +5,8 @@
 //! heavy-tail ceiling: each order of magnitude of target rate costs about
 //! an order of magnitude of exposure.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use std::collections::HashSet;
 use sysunc::perception::{FieldCampaign, ReleaseForecast, Truth, WorldModel};
 use sysunc_bench::{header, section};

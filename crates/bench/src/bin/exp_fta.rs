@@ -3,8 +3,8 @@
 //! measures, interval/fuzzy (Tanaka) extensions, and dynamic gates.
 
 use std::sync::Arc;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::evidence::{FuzzyNumber, Interval};
 use sysunc::fta::{
     esary_proschan, importance, minimal_cut_sets, quantify_with, rare_event_approximation,

@@ -6,8 +6,8 @@
 //! and (d) return to baseline only after *reformulation* to a 3-body
 //! model.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::orbital::{Integrator, NBodySystem, ObservationChannel, SurpriseMonitor};
 use sysunc_bench::{header, section};
 

@@ -3,8 +3,8 @@
 //! two canonical benchmarks: the smooth Ishigami function and a
 //! discontinuous step function where spectral methods lose their edge.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::pce::{ChaosExpansion, PceInput};
 use sysunc::prob::dist::{Continuous, Uniform};
 use sysunc::sampling::{propagate, Design, LatinHypercubeDesign, RandomDesign, SobolDesign};

@@ -2,8 +2,8 @@
 //! probability table, the implied marginals, and all diagnostic
 //! posteriors, cross-checked by likelihood-weighted sampling.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::bayesnet::likelihood_weighting;
 use sysunc::casestudy::{
     ground_truth_prior, paper_bayes_net, table1_cpt, GROUND_TRUTH_STATES, PERCEPTION_STATES,

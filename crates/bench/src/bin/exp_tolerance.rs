@@ -4,8 +4,8 @@
 //! blind spot, redundancy stops helping — which the paper's
 //! "common parent nodes" analysis is designed to reveal.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::perception::{
     ClassifierModel, FusedVerdict, FusionSystem, RejectingClassifier, Truth, Verdict, WorldModel,
 };

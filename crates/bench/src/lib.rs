@@ -3,6 +3,10 @@
 //! Each experiment binary (`src/bin/exp_*.rs`) regenerates one
 //! table/figure-equivalent of the paper (see EXPERIMENTS.md at the
 //! workspace root); the helpers here keep their output format uniform.
+//! The [`timing`] module is the in-tree benchmarking harness used by the
+//! `benches/` targets in place of an external framework.
+
+pub mod timing;
 
 /// Prints an experiment header.
 pub fn header(id: &str, title: &str) {
@@ -26,7 +30,7 @@ pub fn row(label: &str, values: &[(&str, f64)]) {
 }
 
 /// Formats a probability vector.
-pub fn prob_vec(v: &[f64]) -> String {
+pub fn prob_vec(v: &[f64]) -> String { // tidy: allow(prob-contract)
     let parts: Vec<String> = v.iter().map(|p| format!("{p:.4}")).collect();
     format!("[{}]", parts.join(", "))
 }

@@ -4,7 +4,7 @@
 
 use crate::error::{Result, SysuncError};
 use crate::taxonomy::UncertaintyKind;
-use serde::{Deserialize, Serialize};
+use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A quantified uncertainty budget for one system or component.
@@ -27,7 +27,7 @@ use std::fmt;
 /// assert_eq!(budget.dominant(), UncertaintyKind::Aleatory);
 /// # Ok::<(), sysunc::SysuncError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UncertaintyBudget {
     aleatory: f64,
     epistemic: f64,
@@ -70,9 +70,9 @@ impl UncertaintyBudget {
             .max_by(|a, b| {
                 self.level(*a)
                     .partial_cmp(&self.level(*b))
-                    .expect("levels are finite")
+                    .expect("levels are finite") // tidy: allow(panic)
             })
-            .expect("three kinds")
+            .expect("three kinds") // tidy: allow(panic)
     }
 
     /// Checks the budget against per-kind acceptance thresholds; returns
@@ -111,6 +111,27 @@ impl fmt::Display for UncertaintyBudget {
             "aleatory={:.4} epistemic={:.4} ontological={:.4}",
             self.aleatory, self.epistemic, self.ontological
         )
+    }
+}
+
+impl ToJson for UncertaintyBudget {
+    fn to_json(&self) -> Json {
+        obj([
+            ("aleatory", Json::Num(self.aleatory)),
+            ("epistemic", Json::Num(self.epistemic)),
+            ("ontological", Json::Num(self.ontological)),
+        ])
+    }
+}
+
+impl FromJson for UncertaintyBudget {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        UncertaintyBudget::new(
+            field(v, "aleatory")?,
+            field(v, "epistemic")?,
+            field(v, "ontological")?,
+        )
+        .map_err(|e| JsonError::decode(e.to_string()))
     }
 }
 

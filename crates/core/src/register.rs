@@ -6,11 +6,11 @@
 
 use crate::error::{Result, SysuncError};
 use crate::taxonomy::{recommend, Means, UncertaintyKind};
-use serde::{Deserialize, Serialize};
+use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Mitigation status of one registered uncertainty source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MitigationStatus {
     /// Identified but not yet addressed.
     Open,
@@ -34,7 +34,7 @@ impl fmt::Display for MitigationStatus {
 }
 
 /// One registered uncertainty source.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegisterEntry {
     /// Short identifier (unique in the register).
     pub id: String,
@@ -67,7 +67,7 @@ pub struct RegisterEntry {
 /// assert!(reg.release_ready());
 /// # Ok::<(), sysunc::SysuncError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UncertaintyRegister {
     entries: Vec<RegisterEntry>,
 }
@@ -215,6 +215,78 @@ impl UncertaintyRegister {
             ));
         }
         out
+    }
+}
+
+impl ToJson for MitigationStatus {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for MitigationStatus {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        match v.as_str() {
+            Some("open") => Ok(MitigationStatus::Open),
+            Some("assigned") => Ok(MitigationStatus::Assigned),
+            Some("verified") => Ok(MitigationStatus::Verified),
+            Some("accepted-residual") => Ok(MitigationStatus::AcceptedResidual),
+            _ => Err(JsonError::decode("expected a mitigation status name")),
+        }
+    }
+}
+
+impl ToJson for RegisterEntry {
+    fn to_json(&self) -> Json {
+        obj([
+            ("id", self.id.to_json()),
+            ("location", self.location.to_json()),
+            ("description", self.description.to_json()),
+            ("kind", self.kind.to_json()),
+            ("assigned_means", self.assigned_means.to_json()),
+            ("status", self.status.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RegisterEntry {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Ok(RegisterEntry {
+            id: field(v, "id")?,
+            location: field(v, "location")?,
+            description: field(v, "description")?,
+            kind: field(v, "kind")?,
+            assigned_means: field(v, "assigned_means")?,
+            status: field(v, "status")?,
+        })
+    }
+}
+
+impl ToJson for UncertaintyRegister {
+    fn to_json(&self) -> Json {
+        obj([("entries", self.entries.to_json())])
+    }
+}
+
+impl FromJson for UncertaintyRegister {
+    /// Rebuilds the register through its validating lifecycle methods, so
+    /// loaded entries obey the same invariants as freshly created ones
+    /// (unique non-empty ids, status transitions gated on assignment).
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let entries: Vec<RegisterEntry> = field(v, "entries")?;
+        let mut reg = UncertaintyRegister::new();
+        for e in entries {
+            reg.add(e.id.clone(), e.location, e.description, e.kind)
+                .map_err(|err| JsonError::decode(err.to_string()))?;
+            if let Some(means) = e.assigned_means {
+                reg.assign(&e.id, means).map_err(|err| JsonError::decode(err.to_string()))?;
+            }
+            if e.status != MitigationStatus::Assigned || e.assigned_means.is_none() {
+                reg.set_status(&e.id, e.status)
+                    .map_err(|err| JsonError::decode(err.to_string()))?;
+            }
+        }
+        Ok(reg)
     }
 }
 

@@ -1,11 +1,11 @@
 //! The paper's taxonomy: types of uncertainty (Sec. III) and means to cope
 //! with them (Sec. IV, Fig. 3), as first-class values.
 
-use serde::{Deserialize, Serialize};
+use sysunc_prob::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// The three types of uncertainty (paper Sec. III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum UncertaintyKind {
     /// Randomness of a process represented by a (chosen) probabilistic
     /// model; irreducible for that model choice (Sec. III-A).
@@ -58,7 +58,7 @@ impl fmt::Display for UncertaintyKind {
 
 /// The four means to cope with uncertainty (paper Sec. IV, mirroring
 /// Laprie's fault prevention/removal/tolerance/forecasting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Means {
     /// Avoid introducing uncertainty: simple architectures, restricted
     /// operational design domain, well-known elements.
@@ -230,6 +230,41 @@ pub fn recommend(kind: UncertaintyKind) -> Vec<Method> {
             .then_with(|| a.means.cmp(&b.means))
     });
     methods
+}
+
+impl ToJson for UncertaintyKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for UncertaintyKind {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        match v.as_str() {
+            Some("aleatory") => Ok(UncertaintyKind::Aleatory),
+            Some("epistemic") => Ok(UncertaintyKind::Epistemic),
+            Some("ontological") => Ok(UncertaintyKind::Ontological),
+            _ => Err(JsonError::decode("expected an uncertainty kind name")),
+        }
+    }
+}
+
+impl ToJson for Means {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Means {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        match v.as_str() {
+            Some("prevention") => Ok(Means::Prevention),
+            Some("removal") => Ok(Means::Removal),
+            Some("tolerance") => Ok(Means::Tolerance),
+            Some("forecasting") => Ok(Means::Forecasting),
+            _ => Err(JsonError::decode("expected a means name")),
+        }
+    }
 }
 
 #[cfg(test)]

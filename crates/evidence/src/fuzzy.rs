@@ -49,7 +49,7 @@ impl FuzzyNumber {
             let lo = a + alpha * (m - a);
             let hi = b - alpha * (b - m);
             // Guard against last-ulp inversion at alpha = 1.
-            Interval::new(lo.min(hi), hi.max(lo)).expect("ordered endpoints")
+            Interval::new(lo.min(hi), hi.max(lo)).expect("ordered endpoints") // tidy: allow(panic)
         })
     }
 
@@ -69,13 +69,13 @@ impl FuzzyNumber {
         Self::from_cut_fn(|alpha| {
             let lo = a + alpha * (m1 - a);
             let hi = b - alpha * (b - m2);
-            Interval::new(lo.min(hi), hi.max(lo)).expect("ordered endpoints")
+            Interval::new(lo.min(hi), hi.max(lo)).expect("ordered endpoints") // tidy: allow(panic)
         })
     }
 
     /// A crisp number as a degenerate fuzzy number.
     pub fn crisp(x: f64) -> Self {
-        Self::from_cut_fn(|_| Interval::degenerate(x)).expect("degenerate cuts are valid")
+        Self::from_cut_fn(|_| Interval::degenerate(x)).expect("degenerate cuts are valid") // tidy: allow(panic)
     }
 
     /// Builds from an α-cut function evaluated on the default level ladder.
@@ -101,7 +101,7 @@ impl FuzzyNumber {
                 }
                 cuts[i] = cuts[i]
                     .intersect(&cuts[i - 1])
-                    .expect("cuts overlap within tolerance");
+                    .expect("cuts overlap within tolerance"); // tidy: allow(panic)
             }
         }
         Ok(Self { levels, cuts })
@@ -128,7 +128,7 @@ impl FuzzyNumber {
 
     /// The core (α-cut at 1).
     pub fn core(&self) -> Interval {
-        *self.cuts.last().expect("non-empty ladder")
+        *self.cuts.last().expect("non-empty ladder") // tidy: allow(panic)
     }
 
     /// Membership degree of `x` (piecewise from the cut ladder).
@@ -165,6 +165,7 @@ impl FuzzyNumber {
     }
 
     /// `1 - self`, for fuzzy probabilities.
+    /// Range: every alpha-cut of the result lies in `[0, 1]`.
     pub fn complement_probability(&self) -> Self {
         Self {
             levels: self.levels.clone(),

@@ -4,7 +4,7 @@
 
 use crate::error::{EvidenceError, Result};
 use std::fmt;
-use serde::{Deserialize, Serialize};
+use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// A closed real interval `[lo, hi]`.
@@ -24,7 +24,7 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// assert_eq!(c.hi(), 2.0);
 /// # Ok::<(), sysunc_evidence::EvidenceError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     lo: f64,
     hi: f64,
@@ -108,6 +108,7 @@ impl Interval {
     }
 
     /// `1 - [lo, hi]` — the complement of a probability interval.
+    /// Range: both endpoints of the result lie in `[0, 1]`.
     pub fn complement_probability(&self) -> Interval {
         Interval { lo: 1.0 - self.hi, hi: 1.0 - self.lo }
     }
@@ -169,6 +170,19 @@ impl Neg for Interval {
 impl fmt::Display for Interval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl ToJson for Interval {
+    fn to_json(&self) -> Json {
+        obj([("lo", Json::Num(self.lo)), ("hi", Json::Num(self.hi))])
+    }
+}
+
+impl FromJson for Interval {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        Interval::new(field(v, "lo")?, field(v, "hi")?)
+            .map_err(|e| JsonError::decode(e.to_string()))
     }
 }
 

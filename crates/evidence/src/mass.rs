@@ -8,12 +8,12 @@
 
 use crate::error::{EvidenceError, Result};
 use crate::interval::Interval;
-use serde::{Deserialize, Serialize};
+use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// A frame of discernment: the (exhaustive, mutually exclusive) set of
 /// hypotheses. Limited to 64 elements so subsets are `u64` bitmasks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     names: Vec<String>,
 }
@@ -130,7 +130,7 @@ impl Frame {
 /// assert!((m.plausibility(car) - 1.0).abs() < 1e-12);
 /// # Ok::<(), sysunc_evidence::EvidenceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MassFunction {
     frame: Frame,
     /// Focal elements, keyed by subset bitmask. BTreeMap keeps iteration
@@ -185,7 +185,7 @@ impl MassFunction {
             if mass < 0.0 || !mass.is_finite() {
                 return Err(EvidenceError::InvalidMass(format!("negative mass {mass}")));
             }
-            if mass == 0.0 {
+            if mass == 0.0 { // tidy: allow(float-eq)
                 continue;
             }
             if set == 0 {
@@ -219,11 +219,13 @@ impl MassFunction {
     }
 
     /// Mass assigned to an exact subset (zero for non-focal subsets).
+    /// Range: `[0, 1]`; focal masses sum to one over the frame.
     pub fn mass(&self, set: u64) -> f64 {
         self.focal.get(&set).copied().unwrap_or(0.0)
     }
 
     /// Belief `Bel(A) = Σ_{B ⊆ A} m(B)` — the provable support for `A`.
+    /// Range: `[0, 1]`, with `Bel(A) <= Pl(A)`.
     pub fn belief(&self, set: u64) -> f64 {
         // `+ 0.0` normalizes the empty-sum negative zero.
         self.focal
@@ -236,6 +238,7 @@ impl MassFunction {
 
     /// Plausibility `Pl(A) = Σ_{B ∩ A ≠ ∅} m(B)` — the mass not
     /// contradicting `A`.
+    /// Range: `[0, 1]`, with `Pl(A) = 1 - Bel(not A)`.
     pub fn plausibility(&self, set: u64) -> f64 {
         self.focal
             .iter()
@@ -249,7 +252,7 @@ impl MassFunction {
     /// bound.
     pub fn interval(&self, set: u64) -> Interval {
         Interval::new(self.belief(set), self.plausibility(set))
-            .expect("Bel <= Pl by construction")
+            .expect("Bel <= Pl by construction") // tidy: allow(panic)
             .clamp_unit()
     }
 
@@ -374,6 +377,7 @@ impl MassFunction {
 
     /// Total mass on non-singleton focal elements — a scalar measure of the
     /// epistemic+ontological (non-Bayesian) content of the evidence.
+    /// Range: `[0, 1]` — the mass assigned to non-singleton sets.
     pub fn nonspecificity_mass(&self) -> f64 {
         self.focal
             .iter()
@@ -381,6 +385,54 @@ impl MassFunction {
             .map(|(_, &m)| m)
             .sum::<f64>()
             + 0.0
+    }
+}
+
+impl ToJson for Frame {
+    fn to_json(&self) -> Json {
+        obj([("names", self.names.to_json())])
+    }
+}
+
+impl FromJson for Frame {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let names: Vec<String> = field(v, "names")?;
+        Frame::new(names).map_err(|e| JsonError::decode(e.to_string()))
+    }
+}
+
+impl ToJson for MassFunction {
+    fn to_json(&self) -> Json {
+        let focal: Vec<Json> = self
+            .focal
+            .iter()
+            .map(|(&set, &m)| Json::Arr(vec![Json::U64(set), Json::Num(m)]))
+            .collect();
+        obj([("frame", self.frame.to_json()), ("focal", Json::Arr(focal))])
+    }
+}
+
+impl FromJson for MassFunction {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let frame: Frame = field(v, "frame")?;
+        let pairs = v
+            .get("focal")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::missing("focal"))?;
+        let focal = pairs
+            .iter()
+            .map(|pair| match pair.as_arr() {
+                Some([set, m]) => {
+                    let set = set
+                        .as_u64()
+                        .ok_or_else(|| JsonError::decode("focal set must be a u64 bitmask"))?;
+                    let m = m.as_f64().ok_or_else(|| JsonError::decode("focal mass must be a number"))?;
+                    Ok((set, m))
+                }
+                _ => Err(JsonError::decode("focal element must be a [set, mass] pair")),
+            })
+            .collect::<std::result::Result<Vec<(u64, f64)>, JsonError>>()?;
+        MassFunction::from_focal(&frame, focal).map_err(|e| JsonError::decode(e.to_string()))
     }
 }
 

@@ -83,7 +83,7 @@ impl DsStructure {
             .map(|i| {
                 let lo = dist.quantile(((i as f64) / n as f64).max(eps));
                 let hi = dist.quantile((((i + 1) as f64) / n as f64).min(1.0 - eps));
-                (Interval::new(lo, hi).expect("quantile is monotone"), mass)
+                (Interval::new(lo, hi).expect("quantile is monotone"), mass) // tidy: allow(panic)
             })
             .collect();
         Ok(Self { focal })
@@ -105,6 +105,7 @@ impl DsStructure {
     }
 
     /// Lower CDF (belief of `(-inf, x]`): mass of intervals entirely ≤ x.
+    /// Range: `[0, 1]`, monotone non-decreasing in `x`.
     pub fn cdf_lower(&self, x: f64) -> f64 {
         // `+ 0.0` normalizes the empty-sum negative zero.
         self.focal.iter().filter(|(i, _)| i.hi() <= x).map(|(_, m)| m).sum::<f64>() + 0.0
@@ -112,21 +113,23 @@ impl DsStructure {
 
     /// Upper CDF (plausibility of `(-inf, x]`): mass of intervals touching
     /// `(-inf, x]`.
+    /// Range: `[0, 1]`, monotone non-decreasing in `x`.
     pub fn cdf_upper(&self, x: f64) -> f64 {
         self.focal.iter().filter(|(i, _)| i.lo() <= x).map(|(_, m)| m).sum::<f64>() + 0.0
     }
 
     /// The `[lower, upper]` CDF bounds at `x` — the p-box envelope.
+    /// Range: both bounds lie in `[0, 1]` with lower <= upper.
     pub fn cdf_bounds(&self, x: f64) -> Interval {
         Interval::new(self.cdf_lower(x), self.cdf_upper(x))
-            .expect("lower CDF <= upper CDF")
+            .expect("lower CDF <= upper CDF") // tidy: allow(panic)
     }
 
     /// Bounds on the mean.
     pub fn mean_bounds(&self) -> Interval {
         let lo: f64 = self.focal.iter().map(|(i, m)| i.lo() * m).sum();
         let hi: f64 = self.focal.iter().map(|(i, m)| i.hi() * m).sum();
-        Interval::new(lo, hi).expect("lo <= hi by construction")
+        Interval::new(lo, hi).expect("lo <= hi by construction") // tidy: allow(panic)
     }
 
     /// Bounds on `P(X > threshold)` — the exceedance (failure) probability
@@ -196,7 +199,7 @@ impl DsStructure {
         }
         let mut sorted = self.focal.clone();
         sorted.sort_by(|a, b| {
-            a.0.midpoint().partial_cmp(&b.0.midpoint()).expect("finite midpoints")
+            a.0.midpoint().partial_cmp(&b.0.midpoint()).expect("finite midpoints") // tidy: allow(panic)
         });
         let per_group = sorted.len().div_ceil(max_focal.max(1));
         let mut focal = Vec::new();

@@ -3,7 +3,7 @@
 //! component failure timelines.
 
 use crate::error::{FtaError, Result};
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use std::sync::Arc;
 use sysunc_prob::dist::Continuous;
 use sysunc_prob::stats::RunningStats;
@@ -69,7 +69,7 @@ pub struct DynGate {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use rand::SeedableRng;
+/// use sysunc_prob::rng::SeedableRng;
 /// use sysunc_fta::{DynGateKind, DynamicFaultTree};
 /// use sysunc_prob::dist::Exponential;
 ///
@@ -78,7 +78,7 @@ pub struct DynGate {
 /// let b = dft.add_event("spare", Arc::new(Exponential::new(1.0)?));
 /// let top = dft.add_gate("spare pair", DynGateKind::ColdSpare, vec![a, b])?;
 /// dft.set_top(top)?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut rng = sysunc_prob::rng::StdRng::seed_from_u64(5);
 /// let u = dft.unreliability(1.0, 20_000, &mut rng)?;
 /// // Cold spare: T = T1 + T2 ~ Erlang(2): F(1) = 1 - 2e^{-1} ≈ 0.264.
 /// assert!((u.mean() - 0.2642).abs() < 0.02);
@@ -187,7 +187,7 @@ impl DynamicFaultTree {
                     DynGateKind::PriorityAnd => {
                         let ordered = input_times.windows(2).all(|w| w[0] <= w[1]);
                         if ordered {
-                            *input_times.last().expect("non-empty inputs")
+                            *input_times.last().expect("non-empty inputs") // tidy: allow(panic)
                         } else {
                             f64::INFINITY
                         }
@@ -273,8 +273,8 @@ impl DynamicFaultTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
     use sysunc_prob::dist::Exponential;
 
     fn rng() -> StdRng {

@@ -74,7 +74,7 @@ pub fn epistemic_importance(
     out.sort_by(|a, b| {
         b.width_reduction
             .partial_cmp(&a.width_reduction)
-            .expect("finite widths")
+            .expect("finite widths") // tidy: allow(panic)
     });
     Ok(out)
 }

@@ -1,10 +1,10 @@
 //! Static fault tree structure (paper Sec. V-A).
 
 use crate::error::{FtaError, Result};
-use serde::{Deserialize, Serialize};
+use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
 
 /// Reference to a node of the fault tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeRef {
     /// A basic event by index.
     Basic(usize),
@@ -13,7 +13,7 @@ pub enum NodeRef {
 }
 
 /// The boolean operator of a gate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GateKind {
     /// Output fails iff all inputs fail.
     And,
@@ -24,7 +24,7 @@ pub enum GateKind {
 }
 
 /// A basic event: a root cause with a failure probability.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicEvent {
     /// Event name.
     pub name: String,
@@ -33,7 +33,7 @@ pub struct BasicEvent {
 }
 
 /// A gate combining child nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gate {
     /// Gate name.
     pub name: String,
@@ -60,7 +60,7 @@ pub struct Gate {
 /// assert!((ft.top_probability_exact()? - 1e-4).abs() < 1e-12);
 /// # Ok::<(), sysunc_fta::FtaError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultTree {
     basic: Vec<BasicEvent>,
     gates: Vec<Gate>,
@@ -177,6 +177,7 @@ impl FaultTree {
     /// # Errors
     ///
     /// Returns [`FtaError::InvalidEvent`] for bad indices or probabilities.
+    /// Range: `probability` must lie in `[0, 1]` (rejected with `Err` otherwise).
     pub fn set_probability(&mut self, basic: usize, probability: f64) -> Result<()> {
         if basic >= self.basic.len() {
             return Err(FtaError::InvalidEvent(format!("no basic event {basic}")));
@@ -233,6 +234,7 @@ impl FaultTree {
     ///
     /// Returns [`FtaError::TooLarge`] beyond 24 basic events and
     /// [`FtaError::NoTopEvent`] when no top is set.
+    /// Range: `[0, 1]` — an exact top-event probability.
     pub fn top_probability_exact(&self) -> Result<f64> {
         let n = self.basic.len();
         if n > 24 {
@@ -290,6 +292,105 @@ impl FaultTree {
             }
         }
         Ok(true)
+    }
+}
+
+impl ToJson for NodeRef {
+    fn to_json(&self) -> Json {
+        match self {
+            NodeRef::Basic(i) => obj([("basic", i.to_json())]),
+            NodeRef::Gate(i) => obj([("gate", i.to_json())]),
+        }
+    }
+}
+
+impl FromJson for NodeRef {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        if let Some(i) = v.get("basic") {
+            return usize::from_json(i).map(NodeRef::Basic);
+        }
+        if let Some(i) = v.get("gate") {
+            return usize::from_json(i).map(NodeRef::Gate);
+        }
+        Err(JsonError::decode("node ref must be {\"basic\": i} or {\"gate\": i}"))
+    }
+}
+
+impl ToJson for GateKind {
+    fn to_json(&self) -> Json {
+        match self {
+            GateKind::And => Json::Str("and".into()),
+            GateKind::Or => Json::Str("or".into()),
+            GateKind::KOfN(k) => obj([("k_of_n", k.to_json())]),
+        }
+    }
+}
+
+impl FromJson for GateKind {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        match v.as_str() {
+            Some("and") => return Ok(GateKind::And),
+            Some("or") => return Ok(GateKind::Or),
+            Some(other) => return Err(JsonError::decode(format!("unknown gate kind '{other}'"))),
+            None => {}
+        }
+        if let Some(k) = v.get("k_of_n") {
+            return usize::from_json(k).map(GateKind::KOfN);
+        }
+        Err(JsonError::decode("gate kind must be \"and\", \"or\" or {\"k_of_n\": k}"))
+    }
+}
+
+impl ToJson for BasicEvent {
+    fn to_json(&self) -> Json {
+        obj([("name", self.name.to_json()), ("probability", Json::Num(self.probability))])
+    }
+}
+
+impl ToJson for Gate {
+    fn to_json(&self) -> Json {
+        obj([
+            ("name", self.name.to_json()),
+            ("kind", self.kind.to_json()),
+            ("inputs", self.inputs.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FaultTree {
+    fn to_json(&self) -> Json {
+        obj([
+            ("basic", self.basic.to_json()),
+            ("gates", self.gates.to_json()),
+            ("top", self.top.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultTree {
+    /// Rebuilds the tree through the validating constructors, so malformed
+    /// or adversarial JSON cannot produce a structurally invalid tree.
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let mut ft = FaultTree::new();
+        let basic = v.get("basic").and_then(Json::as_arr).ok_or_else(|| JsonError::missing("basic"))?;
+        for b in basic {
+            let name: String = field(b, "name")?;
+            let probability: f64 = field(b, "probability")?;
+            ft.add_basic_event(name, probability)
+                .map_err(|e| JsonError::decode(e.to_string()))?;
+        }
+        let gates = v.get("gates").and_then(Json::as_arr).ok_or_else(|| JsonError::missing("gates"))?;
+        for g in gates {
+            let name: String = field(g, "name")?;
+            let kind: GateKind = field(g, "kind")?;
+            let inputs: Vec<NodeRef> = field(g, "inputs")?;
+            ft.add_gate(name, kind, inputs).map_err(|e| JsonError::decode(e.to_string()))?;
+        }
+        let top: Option<NodeRef> = field(v, "top")?;
+        if let Some(top) = top {
+            ft.set_top(top).map_err(|e| JsonError::decode(e.to_string()))?;
+        }
+        Ok(ft)
     }
 }
 

@@ -4,7 +4,7 @@
 
 use crate::error::{OrbitalError, Result};
 use crate::vec2::Vec2;
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use sysunc_prob::dist::{Continuous, Normal};
 
 /// A noisy position sensor: isotropic Gaussian noise on true positions.
@@ -105,6 +105,7 @@ impl OccupancyGrid {
     }
 
     /// Estimated probability of finding the observed body in a cell.
+    /// Range: each entry lies in `[0, 1]` and the entries sum to one.
     pub fn probabilities(&self) -> Vec<f64> {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
@@ -113,6 +114,7 @@ impl OccupancyGrid {
     }
 
     /// Estimated probability of the cell containing `p` (zero outside).
+    /// Range: `[0, 1]` — a cell of the normalized occupancy distribution.
     pub fn probability_at(&self, p: Vec2) -> f64 {
         match self.cell(p) {
             Some(c) if self.total > 0 => self.counts[c] as f64 / self.total as f64,
@@ -205,8 +207,8 @@ impl SurpriseMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)

@@ -45,7 +45,7 @@ impl Body {
     /// # Errors
     ///
     /// Returns [`OrbitalError::InvalidBody`] for non-positive mass.
-    pub fn point_mass<S: Into<String>>(
+    pub fn point_mass<S: Into<String>>( // tidy: allow(prob-contract)
         name: S,
         mass: f64,
         position: Vec2,
@@ -108,7 +108,7 @@ impl Body {
     }
 
     /// Whether the body is an ideal point mass.
-    pub fn is_point_mass(&self) -> bool {
+    pub fn is_point_mass(&self) -> bool { // tidy: allow(prob-contract)
         self.mascons.is_empty()
     }
 }

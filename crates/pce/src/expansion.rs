@@ -5,7 +5,7 @@ use crate::error::{PceError, Result};
 use crate::input::PceInput;
 use crate::multiindex::{total_degree_set, MultiIndex};
 use crate::quadrature::{sparse_grid, tensor_grid};
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use sysunc_algebra::{lstsq, Matrix, PolyFamily};
 use sysunc_sampling::{Design, LatinHypercubeDesign};
 
@@ -226,7 +226,7 @@ impl ChaosExpansion {
     pub fn sobol_first(&self, i: usize) -> f64 {
         assert!(i < self.inputs.len(), "sobol_first: input index out of range");
         let var = self.variance();
-        if var == 0.0 {
+        if var == 0.0 { // tidy: allow(float-eq)
             return 0.0;
         }
         self.indices
@@ -249,7 +249,7 @@ impl ChaosExpansion {
     pub fn sobol_total(&self, i: usize) -> f64 {
         assert!(i < self.inputs.len(), "sobol_total: input index out of range");
         let var = self.variance();
-        if var == 0.0 {
+        if var == 0.0 { // tidy: allow(float-eq)
             return 0.0;
         }
         self.indices
@@ -265,8 +265,8 @@ impl ChaosExpansion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)

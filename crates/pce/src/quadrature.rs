@@ -111,7 +111,7 @@ pub fn sparse_grid(families: &[PolyFamily], level: usize) -> Result<Grid> {
             let rules: Vec<_> = families
                 .iter()
                 .zip(k)
-                .map(|(f, &ki)| f.gauss_rule(ki).expect("ki >= 1"))
+                .map(|(f, &ki)| f.gauss_rule(ki).expect("ki >= 1")) // tidy: allow(panic)
                 .collect();
             // Tensor over this component grid.
             let mut idx = vec![0usize; d];

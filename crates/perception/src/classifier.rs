@@ -8,7 +8,7 @@
 
 use crate::error::{PerceptionError, Result};
 use crate::world::Truth;
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use sysunc_prob::dist::{Beta, Categorical, Continuous as _};
 
 /// A classifier output.
@@ -85,8 +85,8 @@ impl ClassifierModel {
             labels,
             rows,
             novel_row,
-            correct_score: Beta::new(8.0, 2.0).expect("fixed valid parameters"),
-            wrong_score: Beta::new(2.0, 4.0).expect("fixed valid parameters"),
+            correct_score: Beta::new(8.0, 2.0).expect("fixed valid parameters"), // tidy: allow(panic)
+            wrong_score: Beta::new(2.0, 4.0).expect("fixed valid parameters"), // tidy: allow(panic)
         })
     }
 
@@ -225,8 +225,8 @@ impl RejectingClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(77)

@@ -107,8 +107,8 @@ mod tests {
     use super::*;
     use crate::classifier::ClassifierModel;
     use crate::world::Truth;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     #[test]
     fn validation() {

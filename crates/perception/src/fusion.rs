@@ -5,7 +5,7 @@
 use crate::classifier::ClassifierModel;
 use crate::error::{PerceptionError, Result};
 use crate::world::Truth;
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use sysunc_evidence::{Frame, MassFunction};
 
 /// The fused verdict over known classes plus an explicit `unknown`.
@@ -122,8 +122,8 @@ impl FusionSystem {
         let (best, _) = post
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite posteriors"))
-            .expect("non-empty");
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite posteriors")) // tidy: allow(panic)
+            .expect("non-empty"); // tidy: allow(panic)
         let verdict = if best < k { FusedVerdict::Known(best) } else { FusedVerdict::Unknown };
         Ok((verdict, post))
     }
@@ -168,8 +168,8 @@ impl FusionSystem {
         let (best, _) = bet
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite pignistic"))
-            .expect("non-empty frame");
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite pignistic")) // tidy: allow(panic)
+            .expect("non-empty frame"); // tidy: allow(panic)
         let verdict = if best < k { FusedVerdict::Known(best) } else { FusedVerdict::Unknown };
         Ok((verdict, combined))
     }
@@ -192,7 +192,7 @@ impl FusionSystem {
         for &l in labels {
             counts[l.min(k)] += 1;
         }
-        let max = *counts.iter().max().expect("non-empty");
+        let max = *counts.iter().max().expect("non-empty"); // tidy: allow(panic)
         let winners: Vec<usize> =
             counts.iter().enumerate().filter(|(_, &c)| c == max).map(|(i, _)| i).collect();
         if winners.len() != 1 || winners[0] == k {
@@ -206,8 +206,8 @@ impl FusionSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(2025)

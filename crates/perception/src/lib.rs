@@ -20,12 +20,12 @@
 //!   forecasting for the release decision.
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use sysunc_prob::rng::SeedableRng;
 //! use sysunc_perception::{ClassifierModel, WorldModel};
 //!
 //! let world = WorldModel::paper_example()?;
 //! let camera = ClassifierModel::paper_camera()?;
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let mut rng = sysunc_prob::rng::StdRng::seed_from_u64(3);
 //! let truth = world.sample(&mut rng);
 //! let output = camera.classify(truth, &mut rng);
 //! assert!(output.label < camera.labels().len());

@@ -10,7 +10,7 @@
 
 use crate::error::{PerceptionError, Result};
 use crate::world::{Truth, WorldModel};
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use std::collections::HashMap;
 
 /// A running field-observation campaign: counts every encountered class
@@ -89,6 +89,7 @@ impl FieldCampaign {
     /// This is the paper's "residual ontological uncertainty" made
     /// quantitative: the forecast of how much of the world remains outside
     /// everything observed so far.
+    /// Range: `[0, 1]` — a probability mass estimate.
     pub fn good_turing_missing_mass(&self) -> f64 {
         if self.encounters == 0 {
             return 1.0;
@@ -112,6 +113,7 @@ impl FieldCampaign {
     /// Posterior (Laplace-smoothed) estimate of the probability of a
     /// *known* class, from field counts — epistemic refinement of the
     /// world priors.
+    /// Range: `[0, 1]` — a smoothed class probability.
     pub fn known_probability_estimate(&self, class: usize) -> f64 {
         let total = self.encounters as f64 + self.known_counts.len() as f64 + 1.0;
         (self.known_counts.get(class).copied().unwrap_or(0) as f64 + 1.0) / total
@@ -167,8 +169,8 @@ impl ReleaseForecast {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(33)

@@ -9,7 +9,7 @@
 //! of the paper's references \[30\]\[31\].
 
 use crate::error::{PerceptionError, Result};
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use sysunc_prob::dist::Categorical;
 
 /// Ground truth of one encounter.
@@ -38,7 +38,7 @@ impl Truth {
 /// P(unknown) = 0.1`, with the unknown mass spread over a long tail.
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use sysunc_prob::rng::SeedableRng;
 /// use sysunc_perception::WorldModel;
 /// let world = WorldModel::new(
 ///     vec!["car".into(), "pedestrian".into()],
@@ -47,7 +47,7 @@ impl Truth {
 ///     1_000,    // latent novel classes
 ///     1.1,      // Zipf exponent
 /// )?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = sysunc_prob::rng::StdRng::seed_from_u64(1);
 /// let t = world.sample(&mut rng);
 /// let _ = t.is_novel();
 /// # Ok::<(), sysunc_perception::PerceptionError>(())
@@ -135,17 +135,20 @@ impl WorldModel {
     }
 
     /// Absolute probabilities of the known classes.
+    /// Range: each entry lies in `[0, 1]`; together with the novel mass they sum to one.
     pub fn known_probs(&self) -> &[f64] {
         &self.known_probs
     }
 
     /// Total probability of encountering something novel.
+    /// Range: `[0, 1]` — the probability mass held by unmodeled classes.
     pub fn novel_mass(&self) -> f64 {
         self.novel_mass
     }
 
     /// True probability of one specific novel class (for validating
     /// missing-mass estimators).
+    /// Range: `[0, 1]` — one tail share of the novel mass.
     pub fn novel_class_probability(&self, tail_index: usize) -> f64 {
         use sysunc_prob::dist::Discrete as _;
         self.novel_mass * self.tail.pmf(tail_index as u64)
@@ -170,8 +173,8 @@ impl WorldModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(11)

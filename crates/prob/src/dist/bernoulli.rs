@@ -2,7 +2,7 @@
 
 use super::Discrete;
 use crate::error::{ProbError, Result};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Bernoulli distribution: `P(X = 1) = p`.
 ///
@@ -42,7 +42,7 @@ impl Bernoulli {
 
     /// Draws a boolean sample directly.
     pub fn sample_bool(&self, rng: &mut dyn RngCore) -> bool {
-        use rand::Rng as _;
+        use crate::rng::Rng as _;
         rng.random::<f64>() < self.p
     }
 }

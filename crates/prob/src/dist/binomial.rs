@@ -3,7 +3,7 @@
 use super::Discrete;
 use crate::error::{ProbError, Result};
 use crate::special::{ln_choose, reg_inc_beta};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Binomial distribution: number of successes in `n` independent Bernoulli
 /// trials with success probability `p`.
@@ -58,10 +58,10 @@ impl Discrete for Binomial {
         if k > self.n {
             return f64::NEG_INFINITY;
         }
-        if self.p == 0.0 {
+        if self.p == 0.0 { // tidy: allow(float-eq)
             return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
         }
-        if self.p == 1.0 {
+        if self.p == 1.0 { // tidy: allow(float-eq)
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
         ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
@@ -70,9 +70,9 @@ impl Discrete for Binomial {
     fn cdf(&self, k: u64) -> f64 {
         if k >= self.n {
             1.0
-        } else if self.p == 0.0 {
+        } else if self.p == 0.0 { // tidy: allow(float-eq)
             1.0
-        } else if self.p == 1.0 {
+        } else if self.p == 1.0 { // tidy: allow(float-eq)
             0.0
         } else {
             // P(X <= k) = I_{1-p}(n - k, k + 1)
@@ -116,7 +116,7 @@ impl Discrete for Binomial {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> u64 {
-        use rand::Rng as _;
+        use crate::rng::Rng as _;
         if self.n <= 64 {
             // Direct simulation of the trials.
             (0..self.n).filter(|_| rng.random::<f64>() < self.p).count() as u64

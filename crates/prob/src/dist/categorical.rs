@@ -2,7 +2,7 @@
 
 use super::Discrete;
 use crate::error::{ProbError, Result};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Categorical distribution over outcomes `0..k` with given probabilities.
 ///
@@ -131,13 +131,14 @@ impl Categorical {
     }
 
     /// The (normalized) probability vector.
+    /// Range: each entry lies in `[0, 1]` and the entries sum to one.
     pub fn probs(&self) -> &[f64] {
         &self.probs
     }
 
     /// Draws an index sample with the alias method.
     pub fn sample_index(&self, rng: &mut dyn RngCore) -> usize {
-        use rand::Rng as _;
+        use crate::rng::Rng as _;
         let k = self.probs.len();
         let i = (rng.random::<f64>() * k as f64) as usize % k;
         if rng.random::<f64>() < self.prob_table[i] {

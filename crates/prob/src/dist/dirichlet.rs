@@ -3,7 +3,7 @@
 use super::{Categorical, Continuous, Gamma};
 use crate::error::{ProbError, Result};
 use crate::special::{digamma, ln_gamma};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Dirichlet distribution over probability vectors of dimension `k`.
 ///
@@ -105,8 +105,8 @@ impl Dirichlet {
         let mut acc = ln_gamma(a0);
         for (&a, &xi) in self.alpha.iter().zip(x) {
             acc -= ln_gamma(a);
-            if a != 1.0 {
-                if xi == 0.0 {
+            if a != 1.0 { // tidy: allow(float-eq)
+                if xi == 0.0 { // tidy: allow(float-eq)
                     return if a > 1.0 { f64::NEG_INFINITY } else { f64::INFINITY };
                 }
                 acc += (a - 1.0) * xi.ln();
@@ -120,7 +120,7 @@ impl Dirichlet {
         let gs: Vec<f64> = self
             .alpha
             .iter()
-            .map(|&a| Gamma::new(a, 1.0).expect("validated").sample(rng))
+            .map(|&a| Gamma::new(a, 1.0).expect("validated").sample(rng)) // tidy: allow(panic)
             .collect();
         let total: f64 = gs.iter().sum();
         gs.iter().map(|g| g / total).collect()
@@ -133,7 +133,7 @@ impl Dirichlet {
     /// Never panics for constructed values; the sampled vector always
     /// normalizes.
     pub fn sample_categorical(&self, rng: &mut dyn RngCore) -> Categorical {
-        Categorical::new(self.sample(rng)).expect("sampled simplex point is valid")
+        Categorical::new(self.sample(rng)).expect("sampled simplex point is valid") // tidy: allow(panic)
     }
 
     /// Bayesian update with observed category counts (conjugacy).

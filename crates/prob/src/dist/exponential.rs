@@ -2,7 +2,7 @@
 
 use super::{uniform_open01, Continuous, Support};
 use crate::error::{ProbError, Result};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Exponential distribution with rate `lambda` (mean `1/lambda`).
 ///

@@ -3,7 +3,7 @@
 use super::{uniform_open01, Continuous, Normal, Support};
 use crate::error::{ProbError, Result};
 use crate::special::{inv_reg_lower_gamma, ln_gamma, reg_lower_gamma};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Gamma distribution with shape `k` and *rate* `beta` (mean `k / beta`).
 ///
@@ -96,10 +96,10 @@ impl Continuous for Gamma {
     }
 
     fn ln_pdf(&self, x: f64) -> f64 {
-        if x < 0.0 || (x == 0.0 && self.shape < 1.0) {
+        if x < 0.0 || (x == 0.0 && self.shape < 1.0) { // tidy: allow(float-eq)
             f64::NEG_INFINITY
-        } else if x == 0.0 {
-            if self.shape == 1.0 {
+        } else if x == 0.0 { // tidy: allow(float-eq)
+            if self.shape == 1.0 { // tidy: allow(float-eq)
                 self.rate.ln()
             } else {
                 f64::NEG_INFINITY

@@ -2,7 +2,7 @@
 
 use super::{Continuous, Normal, Support};
 use crate::error::Result;
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Log-normal distribution: `X = exp(Y)` where `Y ~ N(mu, sigma^2)`.
 ///

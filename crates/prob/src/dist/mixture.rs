@@ -2,7 +2,7 @@
 
 use super::{Categorical, Continuous, Support};
 use crate::error::{ProbError, Result};
-use rand::RngCore;
+use crate::rng::RngCore;
 use std::sync::Arc;
 
 /// A finite mixture `Σ w_i F_i` of continuous components.

@@ -46,7 +46,7 @@ pub use truncated::TruncatedNormal;
 pub use uniform::Uniform;
 pub use weibull::Weibull;
 
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Support (domain) of a univariate continuous distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,7 +181,7 @@ pub trait Discrete: std::fmt::Debug + Send + Sync {
 /// Draws a uniform variate in the *open* interval `(0, 1)`, suitable for
 /// inverse-transform sampling (avoids infinities at the endpoints).
 pub(crate) fn uniform_open01(rng: &mut dyn RngCore) -> f64 {
-    use rand::Rng as _;
+    use crate::rng::Rng as _;
     loop {
         let u: f64 = rng.random();
         if u > 0.0 && u < 1.0 {
@@ -194,8 +194,8 @@ pub(crate) fn uniform_open01(rng: &mut dyn RngCore) -> f64 {
 pub(crate) mod testutil {
     //! Shared helpers for distribution unit tests.
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     /// Deterministic RNG for reproducible tests.
     pub fn rng(seed: u64) -> StdRng {

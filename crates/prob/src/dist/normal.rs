@@ -5,7 +5,7 @@ use crate::error::{ProbError, Result};
 use crate::special::{
     inverse_standard_normal_cdf, standard_normal_cdf, LN_SQRT_2PI,
 };
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Normal distribution `N(mu, sigma^2)` parameterized by mean and *standard
 /// deviation*.
@@ -90,7 +90,7 @@ impl Continuous for Normal {
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         // Marsaglia polar method: exact, no trig, two uniforms per pair.
-        use rand::Rng as _;
+        use crate::rng::Rng as _;
         loop {
             let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
             let v: f64 = rng.random::<f64>() * 2.0 - 1.0;

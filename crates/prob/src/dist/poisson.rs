@@ -3,7 +3,7 @@
 use super::Discrete;
 use crate::error::{ProbError, Result};
 use crate::special::{ln_factorial, reg_upper_gamma};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Poisson distribution with mean `lambda`.
 ///
@@ -48,7 +48,7 @@ impl Poisson {
 
     /// Knuth's multiplication sampler; valid for moderate `lambda`.
     fn sample_knuth(lambda: f64, rng: &mut dyn RngCore) -> u64 {
-        use rand::Rng as _;
+        use crate::rng::Rng as _;
         let limit = (-lambda).exp();
         let mut k = 0u64;
         let mut prod: f64 = rng.random();
@@ -76,7 +76,7 @@ impl Discrete for Poisson {
 
     fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "Poisson::quantile: p in [0,1], got {q}");
-        if q == 1.0 {
+        if q == 1.0 { // tidy: allow(float-eq)
             return u64::MAX;
         }
         // Start near mean, then linear scan (few steps in practice).

@@ -2,7 +2,7 @@
 
 use super::{Continuous, Support};
 use crate::error::{ProbError, Result};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Triangular distribution on `[a, b]` with mode `c`.
 ///
@@ -110,7 +110,7 @@ impl Continuous for Triangular {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        use rand::Rng as _;
+        use crate::rng::Rng as _;
         self.quantile(rng.random::<f64>())
     }
 }

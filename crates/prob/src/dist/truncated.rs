@@ -2,7 +2,7 @@
 
 use super::{Continuous, Normal, Support};
 use crate::error::{ProbError, Result};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// A normal distribution truncated to `[a, b]`.
 ///
@@ -98,10 +98,10 @@ impl Continuous for TruncatedNormal {
 
     fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "TruncatedNormal::quantile: p in [0,1], got {p}");
-        if p == 0.0 {
+        if p == 0.0 { // tidy: allow(float-eq)
             return self.a;
         }
-        if p == 1.0 {
+        if p == 1.0 { // tidy: allow(float-eq)
             return self.b;
         }
         self.base

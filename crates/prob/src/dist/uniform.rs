@@ -2,7 +2,7 @@
 
 use super::{Continuous, Support};
 use crate::error::{ProbError, Result};
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Uniform distribution on the interval `[a, b]`.
 ///
@@ -91,7 +91,7 @@ impl Continuous for Uniform {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        use rand::Rng as _;
+        use crate::rng::Rng as _;
         self.a + rng.random::<f64>() * (self.b - self.a)
     }
 }

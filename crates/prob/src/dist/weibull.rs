@@ -3,7 +3,7 @@
 use super::{uniform_open01, Continuous, Support};
 use crate::error::{ProbError, Result};
 use crate::special::ln_gamma;
-use rand::RngCore;
+use crate::rng::RngCore;
 
 /// Weibull distribution with shape `k` and scale `lambda`.
 ///

@@ -38,7 +38,7 @@ impl Ecdf {
         if sample.iter().any(|x| x.is_nan()) {
             return Err(ProbError::InvalidParameter("sample contains NaN".into()));
         }
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN"));
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN")); // tidy: allow(panic)
         Ok(Self { sorted: sample })
     }
 
@@ -53,6 +53,7 @@ impl Ecdf {
     }
 
     /// Empirical CDF value `#{x_i <= x} / n`.
+    /// Range: `[0, 1]`, a step function jumping `1/n` at each sample.
     pub fn cdf(&self, x: f64) -> f64 {
         let k = self.sorted.partition_point(|&v| v <= x);
         k as f64 / self.sorted.len() as f64
@@ -66,7 +67,7 @@ impl Ecdf {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "Ecdf::quantile: p in [0,1], got {p}");
-        if p == 0.0 {
+        if p == 0.0 { // tidy: allow(float-eq)
             return self.sorted[0];
         }
         let k = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
@@ -176,6 +177,7 @@ impl Histogram {
     }
 
     /// Per-bin probability estimates (summing to 1 over in-range data).
+    /// Range: each entry lies in `[0, 1]` and the entries sum to one.
     pub fn probabilities(&self) -> Vec<f64> {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
@@ -213,6 +215,7 @@ impl Histogram {
 
     /// Total-variation distance against exact bin probabilities computed
     /// from a reference CDF.
+    /// Range: `[0, 1]` — a total-variation distance between CDFs.
     pub fn total_variation_to_cdf<F: Fn(f64) -> f64>(&self, reference_cdf: F) -> f64 {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
         let p = self.probabilities();
@@ -303,6 +306,7 @@ impl Kde {
     }
 
     /// Smoothed CDF estimate at `x` (mixture of normal CDFs).
+    /// Range: `[0, 1]`, monotone non-decreasing in `x`.
     pub fn cdf(&self, x: f64) -> f64 {
         let h = self.bandwidth;
         self.sample
@@ -317,8 +321,8 @@ impl Kde {
 mod tests {
     use super::*;
     use crate::dist::{Continuous, Normal};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn ecdf_basic() {

@@ -201,15 +201,15 @@ pub fn select_model(xs: &[f64]) -> Result<Vec<(FittedFamily, Box<dyn Continuous>
     if out.is_empty() {
         return Err(ProbError::EmptyData);
     }
-    out.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite AIC"));
+    out.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite AIC")); // tidy: allow(panic)
     Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(314)

@@ -136,8 +136,8 @@ pub fn chi_square_gof(
 mod tests {
     use super::*;
     use crate::dist::{Continuous, Normal, Uniform};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn kolmogorov_survival_endpoints() {

@@ -19,6 +19,12 @@
 //!   *removal* at design time, Sec. IV).
 //! - [`info`] — entropies, divergences and the paper's conditional-entropy
 //!   **surprise factor** that flags **ontological** events (Sec. III-C).
+//! - [`rng`] — the workspace's own deterministic pseudo-random generator
+//!   (xoshiro256++ behind `rand`-shaped traits); [`json`] — a hand-rolled
+//!   JSON tree/parser/emitter; [`propcheck`] — a tiny property-testing
+//!   harness. Together they make the workspace build with **zero external
+//!   dependencies** — self-containedness as an uncertainty-prevention
+//!   means (no epistemic uncertainty about dependency resolution).
 //!
 //! ## Quickstart
 //!
@@ -53,6 +59,9 @@ mod error;
 pub mod fit;
 pub mod htest;
 pub mod info;
+pub mod json;
+pub mod propcheck;
+pub mod rng;
 pub mod special;
 pub mod stats;
 

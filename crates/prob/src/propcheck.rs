@@ -1,0 +1,151 @@
+//! A tiny in-tree property-based testing harness, replacing the external
+//! `proptest` crate for this workspace's needs: run a closure over many
+//! randomly generated cases and report the failing case deterministically.
+//!
+//! No shrinking — cases are generated from a per-case seed, so a failure
+//! message like `case 17 (seed 0x5eed0011)` is already a minimal, exactly
+//! reproducible repro recipe.
+//!
+//! ```
+//! use sysunc_prob::propcheck;
+//! propcheck::run(32, |g| {
+//!     let x = g.f64_in(-10.0, 10.0);
+//!     assert!(x.abs() <= 10.0);
+//! });
+//! ```
+
+use crate::rng::{Rng as _, RngCore, SeedableRng, StdRng};
+
+/// Base seed for case generation; `case i` uses `BASE + i`.
+const BASE_SEED: u64 = 0x5EED_0000;
+
+/// Per-case value generator handed to the property closure.
+#[derive(Debug)]
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// Uniform `f64` in the half-open interval `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "f64_in requires lo < hi");
+        let u: f64 = self.rng.random();
+        lo + u * (hi - lo)
+    }
+
+    /// Uniform `usize` in the half-open range `lo..hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "usize_in requires lo < hi");
+        lo + (self.rng.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform `u64` in the half-open range `lo..hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "u64_in requires lo < hi");
+        lo + self.rng.next_u64() % (hi - lo)
+    }
+
+    /// A vector of `len` uniform draws from `[lo, hi)`.
+    pub fn vec_f64(&mut self, lo: f64, hi: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+
+    /// A normalized probability vector of length `len` (entries positive,
+    /// summing to 1), the workhorse input for distribution-valued
+    /// properties.
+    /// Range: each entry lies in `(0, 1]` and the entries sum to one.
+    pub fn prob_vec(&mut self, len: usize) -> Vec<f64> {
+        let raw = self.vec_f64(1e-6, 1.0, len);
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|x| x / total).collect()
+    }
+
+    /// Direct access to the underlying generator for custom draws.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Runs `property` over `cases` generated cases, panicking with the case
+/// number and seed on the first failure.
+///
+/// # Panics
+///
+/// Re-raises the property's panic, prefixed by a deterministic repro
+/// header (case index and seed).
+pub fn run<F: FnMut(&mut Gen)>(cases: u64, mut property: F) {
+    for case in 0..cases {
+        let seed = BASE_SEED + case;
+        let mut g = Gen { rng: StdRng::seed_from_u64(seed) };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut g)));
+        if let Err(payload) = outcome {
+            let detail = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            // tidy: allow(panic) — a failed property must fail the test.
+            panic!("property failed at case {case} (seed {seed:#x}): {detail}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_trivially_true_properties() {
+        run(16, |g| {
+            let x = g.f64_in(0.0, 1.0);
+            assert!((0.0..1.0).contains(&x));
+        });
+    }
+
+    #[test]
+    fn reports_failing_case_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            run(8, |g| {
+                let x = g.f64_in(0.0, 1.0);
+                assert!(x < 0.0, "x was {x}");
+            })
+        });
+        let payload = result.expect_err("property must fail"); // tidy: allow(panic)
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("case 0"), "got: {message}");
+        assert!(message.contains("seed"), "got: {message}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        run(4, |g| first.push(g.f64_in(0.0, 1.0)));
+        let mut second = Vec::new();
+        run(4, |g| second.push(g.f64_in(0.0, 1.0)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn prob_vec_normalizes() {
+        run(16, |g| {
+            let len = g.usize_in(1, 8);
+            let p = g.prob_vec(len);
+            assert_eq!(p.len(), len);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&x| x > 0.0));
+        });
+    }
+
+    #[test]
+    fn integer_ranges_are_respected() {
+        run(32, |g| {
+            let n = g.usize_in(4, 64);
+            assert!((4..64).contains(&n));
+            let u = g.u64_in(0, 1000);
+            assert!(u < 1000);
+        });
+    }
+}

@@ -1,0 +1,269 @@
+//! In-tree pseudo-random number generation — the workspace's only source
+//! of randomness, replacing the external `rand` crate so that offline
+//! self-containedness is a property of the code base itself (an
+//! uncertainty-*prevention* means in the paper's taxonomy: a toolchain
+//! that cannot fail dependency resolution has no epistemic uncertainty
+//! about whether it builds).
+//!
+//! The layout deliberately mirrors `rand`'s public surface
+//! ([`RngCore`], [`SeedableRng`], [`Rng`], [`rngs::StdRng`]) so call
+//! sites read identically to idiomatic Rust found elsewhere.
+//!
+//! The default generator is **xoshiro256++** (Blackman & Vigna), seeded
+//! through **SplitMix64** — a standard, well-tested combination with a
+//! 2^256-1 period, far beyond anything the experiment harness needs.
+//!
+//! ```
+//! use sysunc_prob::rng::{Rng as _, SeedableRng, StdRng};
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let u: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&u));
+//! ```
+
+/// A stream of pseudo-random bits.
+///
+/// Object-safe so heterogeneous code can take `&mut dyn RngCore`, exactly
+/// like the `rand` trait of the same name.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a seed, deterministically.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods for ergonomic sampling of primitive values.
+///
+/// Blanket-implemented for every [`RngCore`], including `&mut dyn RngCore`
+/// trait objects.
+pub trait Rng: RngCore {
+    /// Draws a value of a primitive type from its standard distribution
+    /// (uniform on `[0, 1)` for floats, uniform over all values for
+    /// integers, fair coin for `bool`).
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_random(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be drawn from an RNG's standard distribution.
+pub trait FromRandom {
+    /// Draws one value from `rng`.
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRandom for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl FromRandom for u64 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// SplitMix64: expands a 64-bit seed into a sequence of well-mixed words.
+///
+/// Used only for seeding; see Vigna, "Further scramblings of Marsaglia's
+/// xorshift generators".
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard generator: **xoshiro256++**.
+///
+/// Deterministic given its seed, `Send + Sync`-friendly (plain data), and
+/// fast (a handful of xor/shift/rotate ops per draw). Not cryptographic —
+/// fine for Monte Carlo, never for secrets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Builds a generator from four raw state words.
+    ///
+    /// At least one word must be non-zero; an all-zero state is replaced by
+    /// a fixed non-zero constant state to keep the generator well-defined.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            // The all-zero state is the one fixed point of the transition
+            // function; remap it to an arbitrary seeded state.
+            return Self::seed_from_u64(0xDEAD_BEEF);
+        }
+        Self { s }
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Named generators, mirroring `rand::rngs` so imports stay familiar.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_draws_lie_in_unit_interval_and_cover_it() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01, "min of 10k uniforms should be tiny, got {lo}");
+        assert!(hi > 0.99, "max of 10k uniforms should approach 1, got {hi}");
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        // Standard error is 1/sqrt(12 n) ~ 9e-4; allow five sigma.
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_trait_objects() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        let u: f64 = dynrng.random();
+        assert!((0.0..1.0).contains(&u));
+        assert!(dynrng.next_u32() as u64 <= u32::MAX as u64);
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} stayed zero");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_state_is_remapped() {
+        let mut rng = StdRng::from_state([0; 4]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn bool_draws_are_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues {trues}");
+    }
+}

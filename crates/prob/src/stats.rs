@@ -100,7 +100,7 @@ pub fn quantile(xs: &[f64], p: f64) -> Result<f64> {
         return Err(ProbError::InvalidParameter(format!("quantile level must be in [0,1], got {p}")));
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input")); // tidy: allow(panic)
     let h = (sorted.len() - 1) as f64 * p;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -144,7 +144,7 @@ pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Result<f64> {
     let c = covariance(xs, ys)?;
     let sx = std_dev(xs)?;
     let sy = std_dev(ys)?;
-    if sx == 0.0 || sy == 0.0 {
+    if sx == 0.0 || sy == 0.0 { // tidy: allow(float-eq)
         return Err(ProbError::InvalidParameter("correlation of constant sample".into()));
     }
     Ok(c / (sx * sy))
@@ -164,7 +164,7 @@ pub fn spearman_correlation(xs: &[f64], ys: &[f64]) -> Result<f64> {
 /// Mid-ranks (ties get the average rank).
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input")); // tidy: allow(panic)
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -6,8 +6,8 @@
 //! points through input distributions and the model.
 
 use crate::error::{Result, SamplingError};
-use rand::Rng as _;
-use rand::RngCore;
+use sysunc_prob::rng::Rng as _;
+use sysunc_prob::rng::RngCore;
 
 /// A generator of `n` points in the unit hypercube `[0, 1)^dim`.
 ///
@@ -292,8 +292,8 @@ impl Design for StratifiedDesign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(1234)

@@ -19,14 +19,14 @@
 //!   comparison experiment (E9 in EXPERIMENTS.md).
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use sysunc_prob::rng::SeedableRng;
 //! use sysunc_prob::dist::{Continuous, Uniform};
 //! use sysunc_sampling::{propagate, SobolDesign};
 //!
 //! // E[X1 * X2] for independent U(0,1): exact 0.25.
 //! let u = Uniform::standard();
 //! let inputs: Vec<&dyn Continuous> = vec![&u, &u];
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = sysunc_prob::rng::StdRng::seed_from_u64(1);
 //! let res = propagate(&inputs, &SobolDesign::default(),
 //!                     &|x: &[f64]| x[0] * x[1], 4096, &mut rng)?;
 //! assert!((res.mean() - 0.25).abs() < 1e-3);

@@ -3,7 +3,7 @@
 
 use crate::design::Design;
 use crate::error::{Result, SamplingError};
-use rand::RngCore;
+use sysunc_prob::rng::RngCore;
 use sysunc_prob::dist::Continuous;
 use sysunc_prob::stats::RunningStats;
 
@@ -82,6 +82,7 @@ impl PropagationResult {
 
     /// Estimated probability that the output exceeds a threshold — the
     /// basic failure-probability query of safety analysis.
+    /// Range: `[0, 1]` — an empirical exceedance frequency.
     pub fn exceedance_probability(&self, threshold: f64) -> f64 {
         self.outputs.iter().filter(|&&y| y > threshold).count() as f64
             / self.outputs.len().max(1) as f64
@@ -98,14 +99,14 @@ impl PropagationResult {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use sysunc_prob::rng::SeedableRng;
 /// use sysunc_prob::dist::{Continuous, Normal, Uniform};
 /// use sysunc_sampling::{propagate, LatinHypercubeDesign};
 ///
 /// let a = Normal::new(0.0, 1.0)?;
 /// let b = Uniform::new(0.0, 2.0)?;
 /// let inputs: Vec<&dyn Continuous> = vec![&a, &b];
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = sysunc_prob::rng::StdRng::seed_from_u64(7);
 /// let res = propagate(&inputs, &LatinHypercubeDesign, &|x: &[f64]| x[0] + x[1], 2000, &mut rng)?;
 /// assert!((res.mean() - 1.0).abs() < 0.1); // E = 0 + 1
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -123,7 +124,8 @@ pub fn propagate<M: Model>(
     Ok(PropagationResult::from_outputs(outputs))
 }
 
-/// Parallel variant of [`propagate`] using crossbeam scoped threads.
+/// Parallel variant of [`propagate`] using `std::thread::scope` (stable
+/// since Rust 1.63, making an external scoped-thread crate unnecessary).
 ///
 /// The design is generated serially (cheap); model evaluations — the
 /// expensive part for simulation substrates — are chunked across
@@ -145,16 +147,15 @@ pub fn propagate_parallel<M: Model>(
     let xs = to_input_space(&points, inputs)?;
     let chunk = xs.len().div_ceil(threads);
     let mut outputs = vec![0.0; xs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (x, y) in xs_chunk.iter().zip(out_chunk.iter_mut()) {
                     *y = model.eval(x);
                 }
             });
         }
-    })
-    .expect("propagation worker panicked");
+    });
     Ok(PropagationResult::from_outputs(outputs))
 }
 
@@ -248,8 +249,8 @@ impl ConvergenceTrace {
 mod tests {
     use super::*;
     use crate::design::{LatinHypercubeDesign, RandomDesign, SobolDesign};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
     use sysunc_prob::dist::{Exponential, Normal, Uniform};
 
     fn rng() -> StdRng {

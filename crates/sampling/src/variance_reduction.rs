@@ -3,8 +3,8 @@
 
 use crate::error::{Result, SamplingError};
 use crate::propagate::{Model, PropagationResult};
-use rand::Rng as _;
-use rand::RngCore;
+use sysunc_prob::rng::Rng as _;
+use sysunc_prob::rng::RngCore;
 use sysunc_prob::dist::Continuous;
 use sysunc_prob::stats::RunningStats;
 
@@ -22,13 +22,13 @@ use sysunc_prob::stats::RunningStats;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use sysunc_prob::rng::SeedableRng;
 /// use sysunc_prob::dist::{Continuous, Normal};
 /// use sysunc_sampling::propagate_antithetic;
 ///
 /// let x = Normal::new(0.0, 1.0)?;
 /// let inputs: Vec<&dyn Continuous> = vec![&x];
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = sysunc_prob::rng::StdRng::seed_from_u64(3);
 /// let res = propagate_antithetic(&inputs, &|x: &[f64]| x[0].exp(), 20_000, &mut rng)?;
 /// assert!((res.mean() - 0.5f64.exp()).abs() < 0.02);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -106,8 +106,8 @@ mod tests {
     use super::*;
     use crate::propagate::propagate;
     use crate::RandomDesign;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use sysunc_prob::rng::StdRng;
+    use sysunc_prob::rng::SeedableRng;
     use sysunc_prob::dist::Normal;
 
     fn rng(seed: u64) -> StdRng {
@@ -121,8 +121,9 @@ mod tests {
         let model = |v: &[f64]| v[0].exp();
         let truth = 0.5f64.exp();
         // Repeated small runs: antithetic errors should beat plain MC on
-        // the same evaluation budget.
-        let reps = 40;
+        // the same evaluation budget. Enough reps that the MSE comparison
+        // is statistically stable across RNG choices.
+        let reps = 200;
         let mut err_anti = 0.0;
         let mut err_plain = 0.0;
         for r in 0..reps {

@@ -1,0 +1,295 @@
+//! # sysunc-tidy — the workspace's static-analysis gate
+//!
+//! A dependency-free lint driver that walks the workspace and enforces
+//! the coding invariants the `sysunc` crates rely on. Each invariant is
+//! one [`Lint`] implementation over plain file text (line-oriented
+//! heuristics, not a full parser — deliberately simple enough to audit
+//! by eye, which is the point of a gate you must trust).
+//!
+//! In the paper's vocabulary this is an uncertainty-**prevention**
+//! means applied to our own toolchain: the rules remove whole classes
+//! of epistemic uncertainty about the code base (does it build offline?
+//! can library code abort the process? are probability contracts
+//! stated?) before they can occur, rather than detecting them later.
+//!
+//! ## Rules
+//!
+//! | rule            | invariant                                                        |
+//! |-----------------|------------------------------------------------------------------|
+//! | `manifest`      | every Cargo.toml dependency is a path (or workspace) dependency  |
+//! | `panic`         | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
+//! | `float-eq`      | no `==`/`!=` on float-typed expressions outside tests            |
+//! | `prob-contract` | public probability-named fns state a range contract              |
+//! | `error-impl`    | every `error.rs` enum implements `Display` and `Error`           |
+//! | `doc`           | public items in each crate's `lib.rs` carry doc comments         |
+//!
+//! A violating line can be acknowledged explicitly with the escape
+//! hatch comment `// tidy: allow(<rule>)` on the same or preceding
+//! line; allowed violations are counted and reported, never silent.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod rules;
+pub mod walk;
+
+/// What kind of file a [`SourceFile`] is, which decides the lints that
+/// apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A `Cargo.toml` manifest.
+    Manifest,
+    /// Rust code shipped in a library (`src/`, excluding `src/bin/`).
+    RustLibrary,
+    /// Rust code that only runs under the test/bench/example harnesses.
+    RustTest,
+}
+
+/// One file of the workspace, read into memory with its classification.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// Full file contents.
+    pub content: String,
+    /// Classification deciding which lints apply.
+    pub kind: FileKind,
+}
+
+impl SourceFile {
+    /// Builds an in-memory file, mainly for fixture tests.
+    pub fn new(path: impl Into<PathBuf>, content: impl Into<String>, kind: FileKind) -> Self {
+        Self { path: path.into(), content: content.into(), kind }
+    }
+
+    /// The file's lines, for line-oriented lint rules.
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.content.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+/// One finding: a rule violated at a specific file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired (a [`Lint::name`]).
+    pub rule: &'static str,
+    /// Human-readable description of the specific violation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// A single invariant checked over one file at a time.
+pub trait Lint {
+    /// Short rule identifier used in reports and `allow(...)` comments.
+    fn name(&self) -> &'static str;
+
+    /// Whether the rule applies to files of this kind at all.
+    fn applies(&self, kind: FileKind) -> bool;
+
+    /// Checks one file, appending any violations found.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>);
+}
+
+/// The outcome of a full workspace run: surviving violations plus the
+/// ones acknowledged via `// tidy: allow(<rule>)`.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that stand (nonzero exit).
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an explicit allow comment.
+    pub allowed: Vec<Violation>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the gate passes (no unacknowledged violations).
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Returns true when `line_no` (1-based) in `file` carries an
+/// `allow(<rule>)` acknowledgement on the same or the preceding line.
+fn is_allowed(file: &SourceFile, line_no: usize, rule: &str) -> bool {
+    let marker = format!("tidy: allow({rule})");
+    let lines: Vec<&str> = file.content.lines().collect();
+    let mut candidates = Vec::new();
+    if line_no >= 1 && line_no <= lines.len() {
+        candidates.push(lines[line_no - 1]);
+    }
+    if line_no >= 2 {
+        candidates.push(lines[line_no - 2]);
+    }
+    candidates.iter().any(|l| l.contains(&marker))
+}
+
+/// Runs every lint over every file, splitting findings into standing and
+/// explicitly allowed violations.
+pub fn check_files(files: &[SourceFile]) -> Report {
+    let lints = rules::all();
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for file in files {
+        let mut raw = Vec::new();
+        for lint in &lints {
+            if lint.applies(file.kind) {
+                lint.check(file, &mut raw);
+            }
+        }
+        for v in raw {
+            if is_allowed(file, v.line, v.rule) {
+                report.allowed.push(v);
+            } else {
+                report.violations.push(v);
+            }
+        }
+    }
+    report.violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report.allowed.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Walks the workspace at `root` and runs the full lint set.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = walk::collect(root)?;
+    Ok(check_files(&files))
+}
+
+/// Marks, per line, whether that line is inside a `#[cfg(test)]` module
+/// block. Used by rules that only police shipped library code.
+///
+/// Brace counting is textual (strings containing unbalanced braces can
+/// fool it); rules built on this are heuristics, with the `allow`
+/// escape hatch as the correction path.
+pub fn test_block_lines(content: &str) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut in_test = false;
+    let mut saw_open = false;
+    let mut depth: i64 = 0;
+    for line in content.lines() {
+        if !in_test && line.trim_start().starts_with("#[cfg(test)]") {
+            in_test = true;
+            saw_open = false;
+            depth = 0;
+        }
+        flags.push(in_test);
+        if in_test {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        saw_open = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if saw_open && depth <= 0 {
+                in_test = false;
+            }
+        }
+    }
+    flags
+}
+
+/// True for lines that are entirely comments (`//`, `///`, `//!`).
+pub fn is_comment_line(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysFires;
+    impl Lint for AlwaysFires {
+        fn name(&self) -> &'static str {
+            "panic"
+        }
+        fn applies(&self, kind: FileKind) -> bool {
+            kind == FileKind::RustLibrary
+        }
+        fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+            for (no, line) in file.lines() {
+                if line.contains("bad(") {
+                    out.push(Violation {
+                        file: file.path.clone(),
+                        line: no,
+                        rule: self.name(),
+                        message: "fixture".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let file = SourceFile::new(
+            "src/x.rs",
+            "let a = 1; // tidy: allow(panic)\n// tidy: allow(panic)\nlet b = 2;\nlet c = 3;\n",
+            FileKind::RustLibrary,
+        );
+        assert!(is_allowed(&file, 1, "panic"));
+        assert!(is_allowed(&file, 3, "panic"), "preceding-line allow applies");
+        assert!(!is_allowed(&file, 4, "panic"));
+        assert!(!is_allowed(&file, 1, "float-eq"), "allow is rule-specific");
+    }
+
+    #[test]
+    fn report_partitions_allowed_from_standing() {
+        let file = SourceFile::new(
+            "src/x.rs",
+            "bad(); // tidy: allow(panic)\nok();\nbad();\n",
+            FileKind::RustLibrary,
+        );
+        let lint = AlwaysFires;
+        let mut raw = Vec::new();
+        lint.check(&file, &mut raw);
+        let mut report = Report { files_scanned: 1, ..Report::default() };
+        for v in raw {
+            if is_allowed(&file, v.line, v.rule) {
+                report.allowed.push(v);
+            } else {
+                report.violations.push(v);
+            }
+        }
+        assert_eq!(report.allowed.len(), 1);
+        assert_eq!(report.violations.len(), 1);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn test_block_lines_tracks_cfg_test_modules() {
+        let src = "\
+pub fn shipped() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+pub fn also_shipped() {}
+";
+        let flags = test_block_lines(src);
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn violation_display_is_file_line_rule_message() {
+        let v = Violation {
+            file: PathBuf::from("crates/x/src/lib.rs"),
+            line: 7,
+            rule: "panic",
+            message: "found `.unwrap()`".into(),
+        };
+        assert_eq!(v.to_string(), "crates/x/src/lib.rs:7: panic: found `.unwrap()`");
+    }
+}

@@ -1,0 +1,71 @@
+//! `sysunc-tidy` — runs the workspace lint gate.
+//!
+//! Usage: `cargo run -p sysunc-tidy [-- <workspace-root>]`.
+//! Prints one `file:line: rule: message` per violation and exits
+//! nonzero when any stand. Explicitly allowed violations are counted
+//! and summarized so acknowledged exceptions stay visible.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sysunc_tidy::walk;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1).map(PathBuf::from) {
+        Some(p) => p,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("sysunc-tidy: cannot read current dir: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("sysunc-tidy: no workspace root found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = match sysunc_tidy::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sysunc-tidy: walk failed under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if !report.allowed.is_empty() {
+        let mut by_rule: Vec<(&str, usize)> = Vec::new();
+        for a in &report.allowed {
+            match by_rule.iter_mut().find(|(r, _)| *r == a.rule) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((a.rule, 1)),
+            }
+        }
+        let parts: Vec<String> =
+            by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        println!(
+            "sysunc-tidy: {} acknowledged exception(s) via `tidy: allow` ({})",
+            report.allowed.len(),
+            parts.join(", ")
+        );
+    }
+    println!(
+        "sysunc-tidy: scanned {} files, {} violation(s)",
+        report.files_scanned,
+        report.violations.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,143 @@
+//! Rule `doc`: public items declared in a crate's `lib.rs` must carry
+//! doc comments. The crate root is each crate's front door; an
+//! undocumented public item there is an API whose meaning the caller
+//! must guess — unnecessary epistemic uncertainty at the boundary.
+//!
+//! Scope is deliberately `lib.rs` only: submodule items surface through
+//! documented re-exports, and policing every file would mostly generate
+//! noise. `pub use` re-exports and `pub mod` declarations with inline
+//! docs elsewhere are exempt.
+
+use crate::{test_block_lines, FileKind, Lint, SourceFile, Violation};
+
+/// See the module docs.
+pub struct DocCoverage;
+
+/// Item keywords whose `pub` declarations require docs.
+const ITEM_KINDS: &[&str] =
+    &["fn", "struct", "enum", "trait", "const", "static", "type", "mod"];
+
+/// Extracts `(kind, name)` when the line declares a documentable public
+/// item.
+fn pub_item(line: &str) -> Option<(&'static str, String)> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("pub ")?.trim_start_matches("const ").trim_start_matches("unsafe ");
+    for kind in ITEM_KINDS {
+        if let Some(tail) = rest.strip_prefix(kind).and_then(|r| r.strip_prefix(' ')) {
+            let name: String = tail
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some((kind, name));
+            }
+        }
+    }
+    None
+}
+
+/// True when the contiguous doc/attribute block above `idx` contains a
+/// `///` doc line.
+fn has_doc_above(lines: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        let above = lines[i - 1].trim_start();
+        if above.starts_with("///") {
+            return true;
+        }
+        if above.starts_with("#[") || above.starts_with("#![") {
+            i -= 1;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+impl Lint for DocCoverage {
+    fn name(&self) -> &'static str {
+        "doc"
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::RustLibrary
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.path.file_name().map(|n| n != "lib.rs").unwrap_or(true) {
+            return;
+        }
+        let in_test = test_block_lines(&file.content);
+        let lines: Vec<&str> = file.content.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            let Some((kind, name)) = pub_item(line) else { continue };
+            // Module declarations are fine when the module file opens
+            // with `//!` docs; requiring `///` here would double-doc.
+            if kind == "mod" && line.trim_end().ends_with(';') {
+                continue;
+            }
+            if !has_doc_above(&lines, i) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: i + 1,
+                    rule: self.name(),
+                    message: format!("public {kind} `{name}` has no doc comment"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::new(path, src, FileKind::RustLibrary);
+        let mut out = Vec::new();
+        DocCoverage.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_public_items_fire() {
+        let bad = "\
+pub fn naked() {}
+pub struct Bare;
+pub enum Also { X }
+";
+        let out = run("crates/x/src/lib.rs", bad);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].message.contains("naked"));
+    }
+
+    #[test]
+    fn documented_items_pass_including_through_attributes() {
+        let good = "\
+/// Does the thing.
+pub fn covered() {}
+
+/// A type.
+#[derive(Debug)]
+pub struct T;
+";
+        assert!(run("crates/x/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn mod_declarations_and_pub_use_are_exempt() {
+        let src = "\
+pub mod dist;
+pub use error::ProbError;
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn only_lib_rs_is_in_scope() {
+        assert!(run("crates/x/src/other.rs", "pub fn naked() {}\n").is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Rule `error-impl`: every public enum declared in a file named
+//! `error.rs` must implement both `Display` and `std::error::Error`.
+//!
+//! Error types that cannot be displayed or boxed as `dyn Error` leak a
+//! half-finished failure vocabulary to callers; this rule keeps every
+//! crate's error enum a first-class citizen of Rust's error-handling
+//! ecosystem.
+
+use crate::{FileKind, Lint, SourceFile, Violation};
+
+/// See the module docs.
+pub struct ErrorImpl;
+
+/// Extracts the enum name from a `pub enum` line, if any.
+fn pub_enum_name(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix("pub enum ")?;
+    let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_').unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+impl Lint for ErrorImpl {
+    fn name(&self) -> &'static str {
+        "error-impl"
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::RustLibrary
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.path.file_name().map(|n| n != "error.rs").unwrap_or(true) {
+            return;
+        }
+        for (no, line) in file.lines() {
+            let Some(name) = pub_enum_name(line) else { continue };
+            let display = format!("Display for {name}");
+            let error = format!("Error for {name}");
+            if !file.content.contains(&display) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: no,
+                    rule: self.name(),
+                    message: format!("error enum `{name}` does not implement `Display`"),
+                });
+            }
+            if !file.content.contains(&error) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: no,
+                    rule: self.name(),
+                    message: format!("error enum `{name}` does not implement `std::error::Error`"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::new(path, src, FileKind::RustLibrary);
+        let mut out = Vec::new();
+        ErrorImpl.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn enum_with_both_impls_passes() {
+        let good = "\
+pub enum ProbError { Bad }
+impl std::fmt::Display for ProbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+impl std::error::Error for ProbError {}
+";
+        assert!(run("crates/x/src/error.rs", good).is_empty());
+    }
+
+    #[test]
+    fn missing_impls_fire_one_violation_each() {
+        let out = run("crates/x/src/error.rs", "pub enum ProbError { Bad }\n");
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("Display"));
+        assert!(out[1].message.contains("std::error::Error"));
+    }
+
+    #[test]
+    fn missing_only_error_impl_fires_once() {
+        let partial = "\
+pub enum E { X }
+impl core::fmt::Display for E {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result { Ok(()) }
+}
+";
+        let out = run("crates/x/src/error.rs", partial);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("std::error::Error"));
+    }
+
+    #[test]
+    fn files_not_named_error_rs_are_ignored() {
+        assert!(run("crates/x/src/lib.rs", "pub enum E { X }\n").is_empty());
+    }
+}

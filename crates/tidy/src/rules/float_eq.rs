@@ -1,0 +1,167 @@
+//! Rule `float-eq`: library code must not compare float-typed
+//! expressions with `==` or `!=`. Exact float equality silently encodes
+//! a zero-tolerance assumption; numerical code should compare against
+//! an explicit tolerance (or use `total_cmp` for ordering).
+//!
+//! Detection is textual and type-blind: a comparison is flagged when
+//! either adjacent operand *looks* float — a float literal (`0.5`,
+//! `1e-3` written with a dot), an `f64`/`f32` suffix, or an
+//! `f64::`/`f32::` associated constant. Comparisons of two bare
+//! identifiers are not flagged (no type information in a line-based
+//! lint), so the rule catches the common literal-comparison case, not
+//! every possible one. Intentional exact comparisons (e.g. checking a
+//! CDF saturates at exactly 0 or 1) take `// tidy: allow(float-eq)`.
+
+use crate::{is_comment_line, test_block_lines, FileKind, Lint, SourceFile, Violation};
+
+/// See the module docs.
+pub struct FloatEq;
+
+/// True when a token plausibly denotes a float value.
+fn looks_float(tok: &str) -> bool {
+    let bytes = tok.as_bytes();
+    for i in 1..bytes.len().saturating_sub(1) {
+        if bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit() {
+            return true;
+        }
+    }
+    // `1.` style literals and suffixed/associated forms.
+    (tok.len() >= 2 && tok.ends_with('.') && bytes[bytes.len() - 2].is_ascii_digit())
+        || tok.ends_with("f64")
+        || tok.ends_with("f32")
+        || tok.contains("f64::")
+        || tok.contains("f32::")
+}
+
+/// Extracts the operand token immediately left of byte index `at`.
+fn left_token(line: &str, at: usize) -> String {
+    let s = &line[..at];
+    let trimmed = s.trim_end();
+    let token: String = trimmed
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | ')' | '(' | '-'))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    token
+}
+
+/// Extracts the operand token immediately right of byte index `after`.
+fn right_token(line: &str, after: usize) -> String {
+    let s = line[after..].trim_start();
+    s.chars()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | '-'))
+        .collect()
+}
+
+/// True when byte index `at` sits inside a string literal, judged by
+/// quote parity on the line prefix (a heuristic, like the whole rule).
+fn inside_string(line: &str, at: usize) -> bool {
+    let mut quotes = 0usize;
+    let mut prev = '\0';
+    for (i, c) in line.char_indices() {
+        if i >= at {
+            break;
+        }
+        if c == '"' && prev != '\\' {
+            quotes += 1;
+        }
+        prev = c;
+    }
+    quotes % 2 == 1
+}
+
+impl Lint for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::RustLibrary
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let in_test = test_block_lines(&file.content);
+        for (no, line) in file.lines() {
+            if in_test[no - 1] || is_comment_line(line) {
+                continue;
+            }
+            for op in ["==", "!="] {
+                let mut from = 0;
+                while let Some(pos) = line[from..].find(op) {
+                    let at = from + pos;
+                    from = at + op.len();
+                    if inside_string(line, at) {
+                        continue;
+                    }
+                    // Skip `===`-like runs and pattern-arm `=>` never matches.
+                    let lhs = left_token(line, at);
+                    let rhs = right_token(line, at + op.len());
+                    if looks_float(&lhs) || looks_float(&rhs) {
+                        out.push(Violation {
+                            file: file.path.clone(),
+                            line: no,
+                            rule: self.name(),
+                            message: format!(
+                                "float compared with `{op}` (`{lhs} {op} {rhs}`); \
+                                 compare against a tolerance instead"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let file = SourceFile::new("crates/x/src/lib.rs", src, FileKind::RustLibrary);
+        let mut out = Vec::new();
+        FloatEq.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn literal_comparisons_fire() {
+        assert_eq!(run("fn f(x: f64) -> bool { x == 0.5 }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { 1.0 != x }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x == f64::INFINITY }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x == 1f64 }").len(), 1);
+    }
+
+    #[test]
+    fn integer_and_identifier_comparisons_pass() {
+        assert!(run("fn f(x: usize) -> bool { x == 5 }").is_empty());
+        assert!(run("fn f(a: T, b: T) -> bool { a == b }").is_empty());
+        assert!(run("fn f(s: &str) -> bool { s == \"0.5\" }").is_empty());
+    }
+
+    #[test]
+    fn tests_and_comments_are_exempt() {
+        let src = "\
+// exact: x == 0.5 is fine to mention
+#[cfg(test)]
+mod tests {
+    fn t(x: f64) -> bool { x == 0.5 }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn float_token_recognizer() {
+        assert!(looks_float("0.5"));
+        assert!(looks_float("-3.25"));
+        assert!(looks_float("f64::NAN"));
+        assert!(looks_float("1f64"));
+        assert!(!looks_float("x"));
+        assert!(!looks_float("5"));
+        assert!(!looks_float("len"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The lint rule set. Each submodule is one rule; [`all`] returns the
+//! full gate in the order findings should be investigated.
+
+mod doc;
+mod error_impl;
+mod float_eq;
+mod manifest;
+mod panic;
+mod prob_contract;
+
+pub use doc::DocCoverage;
+pub use error_impl::ErrorImpl;
+pub use float_eq::FloatEq;
+pub use manifest::ManifestHygiene;
+pub use panic::PanicFreedom;
+pub use prob_contract::ProbContract;
+
+use crate::Lint;
+
+/// Every rule the gate enforces.
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(ManifestHygiene),
+        Box::new(PanicFreedom),
+        Box::new(FloatEq),
+        Box::new(ProbContract),
+        Box::new(ErrorImpl),
+        Box::new(DocCoverage),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_unique_and_stable() {
+        let names: Vec<&str> = all().iter().map(|l| l.name()).collect();
+        assert_eq!(names, vec!["manifest", "panic", "float-eq", "prob-contract", "error-impl", "doc"]);
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,109 @@
+//! Rule `panic`: shipped library code must not contain the aborting
+//! constructs `.unwrap()`, `.expect(`, `panic!`, `todo!` or
+//! `unimplemented!`. Tests, benches, examples and binaries are exempt,
+//! as are `#[cfg(test)]` modules inside library files.
+//!
+//! Rationale: a library that can abort turns a recoverable modeling
+//! error into a process death — the caller loses the chance to treat
+//! the failure as (epistemic) information. Fallible paths must return
+//! `Result`. Where a panic is provably unreachable or intentional, the
+//! line takes `// tidy: allow(panic)` so the decision is visible.
+
+use crate::{is_comment_line, test_block_lines, FileKind, Lint, SourceFile, Violation};
+
+/// See the module docs.
+pub struct PanicFreedom;
+
+/// The forbidden constructs, as textual needles.
+const NEEDLES: &[&str] = &[
+    ".unwrap()",      // tidy: allow(panic)
+    ".expect(",       // tidy: allow(panic)
+    "panic!",         // tidy: allow(panic)
+    "todo!",          // tidy: allow(panic)
+    "unimplemented!", // tidy: allow(panic)
+];
+
+impl Lint for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::RustLibrary
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let in_test = test_block_lines(&file.content);
+        for (no, line) in file.lines() {
+            if in_test[no - 1] || is_comment_line(line) {
+                continue;
+            }
+            for needle in NEEDLES {
+                if line.contains(needle) {
+                    out.push(Violation {
+                        file: file.path.clone(),
+                        line: no,
+                        rule: self.name(),
+                        message: format!(
+                            "found `{}` in library code; return a Result or \
+                             acknowledge with `// tidy: allow(panic)`",
+                            needle.trim_matches(|c| c == '.' || c == '(')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let file = SourceFile::new("crates/x/src/lib.rs", src, FileKind::RustLibrary);
+        let mut out = Vec::new();
+        PanicFreedom.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn each_forbidden_construct_fires() {
+        let bad = "\
+fn a() { x.unwrap(); }
+fn b() { x.expect(\"msg\"); }
+fn c() { panic!(\"no\"); }
+fn d() { todo!() }
+fn e() { unimplemented!() }
+";
+        let out = run(bad);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.iter().map(|v| v.line).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_comments_are_exempt() {
+        let src = "\
+fn shipped() -> Option<()> { Some(()) }
+// a comment may say .unwrap() freely
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { shipped().unwrap(); }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_files_are_not_checked() {
+        let file =
+            SourceFile::new("tests/t.rs", "fn t() { x.unwrap(); }", FileKind::RustTest);
+        assert!(!PanicFreedom.applies(file.kind));
+    }
+
+    #[test]
+    fn expect_err_is_not_expect() {
+        assert!(run("fn a() { assert!(r.expect_err; ) }").is_empty());
+    }
+}

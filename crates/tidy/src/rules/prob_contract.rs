@@ -1,0 +1,182 @@
+//! Rule `prob-contract`: a public library function whose name says it
+//! deals in probability-like quantities (`prob`, `probability`,
+//! `belief`, `plausibility`, `mass`, `cdf`) must state its range
+//! contract — either a `debug_assert!` range check in the body or a
+//! `/// Range:` line in its doc comment.
+//!
+//! A probability that silently leaves `[0, 1]` is a wrong *model*
+//! masquerading as data; forcing the contract to be written down turns
+//! that latent epistemic uncertainty into a checked (or at least
+//! documented) invariant at the API boundary.
+
+use crate::{test_block_lines, FileKind, Lint, SourceFile, Violation};
+
+/// See the module docs.
+pub struct ProbContract;
+
+/// Name fragments that mark a function as probability-valued.
+const KEYWORDS: &[&str] = &["prob", "belief", "plausibility", "mass", "cdf"];
+
+/// Extracts the function name from a `pub fn` line, if any.
+fn pub_fn_name(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("pub fn ").or_else(|| t.strip_prefix("pub const fn "))?;
+    let end = rest.find(|c: char| c == '(' || c == '<' || c.is_whitespace())?;
+    Some(&rest[..end])
+}
+
+/// True when the contiguous doc/attribute block above `idx` (0-based)
+/// contains a `Range:` doc line.
+fn doc_block_has_range(lines: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        let above = lines[i - 1].trim_start();
+        if above.starts_with("///") || above.starts_with("#[") {
+            if above.starts_with("///") && above.contains("Range:") {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// True when the function body starting at `idx` contains a
+/// `debug_assert`. The body is delimited by brace matching from the
+/// first `{` at or after the signature line.
+fn body_has_debug_assert(lines: &[&str], idx: usize) -> bool {
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for line in lines.iter().skip(idx) {
+        if opened && line.contains("debug_assert") {
+            return true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if !opened && line.trim_end().ends_with(';') {
+            return false; // declaration without body (trait signature)
+        }
+        if opened {
+            if depth <= 0 {
+                // Single-line bodies are scanned here before returning.
+                return line.contains("debug_assert");
+            }
+            if line.contains("debug_assert") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+impl Lint for ProbContract {
+    fn name(&self) -> &'static str {
+        "prob-contract"
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::RustLibrary
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let in_test = test_block_lines(&file.content);
+        let lines: Vec<&str> = file.content.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            let Some(name) = pub_fn_name(line) else { continue };
+            let lower = name.to_lowercase();
+            if !KEYWORDS.iter().any(|k| lower.contains(k)) {
+                continue;
+            }
+            if doc_block_has_range(&lines, i) || body_has_debug_assert(&lines, i) {
+                continue;
+            }
+            out.push(Violation {
+                file: file.path.clone(),
+                line: i + 1,
+                rule: self.name(),
+                message: format!(
+                    "probability-valued `pub fn {name}` states no range contract; \
+                     add a `debug_assert!` range check or a `/// Range:` doc line"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let file = SourceFile::new("crates/x/src/lib.rs", src, FileKind::RustLibrary);
+        let mut out = Vec::new();
+        ProbContract.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_probability_fn_fires() {
+        let bad = "\
+pub fn failure_probability(&self) -> f64 {
+    self.p
+}
+";
+        let out = run(bad);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+        assert!(out[0].message.contains("failure_probability"));
+    }
+
+    #[test]
+    fn debug_assert_in_body_satisfies_the_contract() {
+        let good = "\
+pub fn belief(&self, set: u64) -> f64 {
+    let b = self.sum(set);
+    debug_assert!((0.0..=1.0).contains(&b));
+    b
+}
+";
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn range_doc_line_satisfies_the_contract() {
+        let good = "\
+/// Cumulative distribution at `x`.
+///
+/// Range: `[0, 1]`, monotone in `x`.
+pub fn cdf(&self, x: f64) -> f64 {
+    self.raw(x)
+}
+";
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn unrelated_and_private_fns_are_ignored() {
+        let src = "\
+pub fn mean(&self) -> f64 { self.m }
+fn mass_private(&self) -> f64 { self.m }
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn single_line_body_with_debug_assert_passes() {
+        let good = "pub fn prob(&self) -> f64 { debug_assert!(self.p <= 1.0); self.p }\n";
+        assert!(run(good).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Workspace file discovery: finds every `Cargo.toml` and `.rs` file
+//! under the root and classifies each into a [`FileKind`].
+
+use std::fs;
+use std::io;
+use std::path::{Component, Path, PathBuf};
+
+use crate::{FileKind, SourceFile};
+
+/// Directory names that are never part of the source tree.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Path components that mark Rust code as harness-only (tests, benches,
+/// examples and binaries are exempt from library-code rules).
+const TEST_COMPONENTS: &[&str] = &["tests", "benches", "examples", "bin"];
+
+/// Recursively collects the lintable files under `root`, with paths
+/// stored relative to it.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    visit(root, root, &mut files)?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            visit(root, &path, out)?;
+        } else if let Some(kind) = classify(root, &path) {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let content = fs::read_to_string(&path)?;
+            out.push(SourceFile { path: rel, content, kind });
+        }
+    }
+    Ok(())
+}
+
+/// Decides whether a path is lintable and, if so, what kind it is.
+pub fn classify(root: &Path, path: &Path) -> Option<FileKind> {
+    let name = path.file_name()?.to_string_lossy();
+    if name == "Cargo.toml" {
+        return Some(FileKind::Manifest);
+    }
+    if path.extension()?.to_string_lossy() != "rs" {
+        return None;
+    }
+    if name == "build.rs" {
+        return Some(FileKind::RustTest);
+    }
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let harness_only = rel.components().any(|c| match c {
+        Component::Normal(os) => TEST_COMPONENTS.contains(&os.to_string_lossy().as_ref()),
+        _ => false,
+    });
+    Some(if harness_only { FileKind::RustTest } else { FileKind::RustLibrary })
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_distinguishes_library_from_harness_code() {
+        let root = Path::new("/ws");
+        let lib = |p: &str| classify(root, &root.join(p));
+        assert_eq!(lib("crates/prob/src/lib.rs"), Some(FileKind::RustLibrary));
+        assert_eq!(lib("crates/prob/src/dist.rs"), Some(FileKind::RustLibrary));
+        assert_eq!(lib("crates/bench/src/bin/exp_x.rs"), Some(FileKind::RustTest));
+        assert_eq!(lib("crates/bench/benches/a.rs"), Some(FileKind::RustTest));
+        assert_eq!(lib("tests/properties.rs"), Some(FileKind::RustTest));
+        assert_eq!(lib("examples/demo.rs"), Some(FileKind::RustTest));
+        assert_eq!(lib("Cargo.toml"), Some(FileKind::Manifest));
+        assert_eq!(lib("README.md"), None);
+    }
+}

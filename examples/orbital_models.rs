@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --release --example orbital_models`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::orbital::{
     Body, Integrator, NBodySystem, ObservationChannel, OccupancyGrid, SurpriseMonitor, Vec2,
 };

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --example perception_chain`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::perception::{
     ClassifierModel, FieldCampaign, FusedVerdict, FusionSystem, ReleaseForecast, Truth,
     WorldModel,

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release --example propagation_methods`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::pce::{ChaosExpansion, PceInput};
 use sysunc::prob::dist::{Continuous, Uniform};
 use sysunc::sampling::{

@@ -5,8 +5,8 @@
 //! Run with `cargo run --example safety_analysis`.
 
 use std::sync::Arc;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::evidence::{FuzzyNumber, Interval};
 use sysunc::fta::{
     esary_proschan, fault_tree_to_bayes_net, importance, minimal_cut_sets, quantify_with,

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --example strategy_workflow`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::budget::UncertaintyBudget;
 use sysunc::perception::{FieldCampaign, ReleaseForecast, WorldModel};
 use sysunc::prob::dist::{Beta, Continuous as _};

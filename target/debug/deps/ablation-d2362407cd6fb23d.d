@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d2362407cd6fb23d.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d2362407cd6fb23d: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

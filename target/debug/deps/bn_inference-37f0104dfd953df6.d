@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bn_inference-37f0104dfd953df6.d: crates/bench/benches/bn_inference.rs
+
+/root/repo/target/debug/deps/bn_inference-37f0104dfd953df6: crates/bench/benches/bn_inference.rs
+
+crates/bench/benches/bn_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-0a253a57b8bcb49c.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-0a253a57b8bcb49c: tests/cross_crate.rs
+
+tests/cross_crate.rs:

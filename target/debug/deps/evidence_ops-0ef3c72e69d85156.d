@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evidence_ops-0ef3c72e69d85156.d: crates/bench/benches/evidence_ops.rs
+
+/root/repo/target/debug/deps/evidence_ops-0ef3c72e69d85156: crates/bench/benches/evidence_ops.rs
+
+crates/bench/benches/evidence_ops.rs:

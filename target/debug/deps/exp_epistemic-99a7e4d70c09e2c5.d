@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_epistemic-99a7e4d70c09e2c5.d: crates/bench/src/bin/exp_epistemic.rs
+
+/root/repo/target/debug/deps/exp_epistemic-99a7e4d70c09e2c5: crates/bench/src/bin/exp_epistemic.rs
+
+crates/bench/src/bin/exp_epistemic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_epistemic-aa96dca533c0ccbe.d: crates/bench/src/bin/exp_epistemic.rs
+
+/root/repo/target/debug/deps/exp_epistemic-aa96dca533c0ccbe: crates/bench/src/bin/exp_epistemic.rs
+
+crates/bench/src/bin/exp_epistemic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_evidential-06dd85fc6157da11.d: crates/bench/src/bin/exp_evidential.rs
+
+/root/repo/target/debug/deps/exp_evidential-06dd85fc6157da11: crates/bench/src/bin/exp_evidential.rs
+
+crates/bench/src/bin/exp_evidential.rs:

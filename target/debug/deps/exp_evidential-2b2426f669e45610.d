@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_evidential-2b2426f669e45610.d: crates/bench/src/bin/exp_evidential.rs
+
+/root/repo/target/debug/deps/exp_evidential-2b2426f669e45610: crates/bench/src/bin/exp_evidential.rs
+
+crates/bench/src/bin/exp_evidential.rs:

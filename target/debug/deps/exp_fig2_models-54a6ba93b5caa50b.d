@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_models-54a6ba93b5caa50b.d: crates/bench/src/bin/exp_fig2_models.rs
+
+/root/repo/target/debug/deps/exp_fig2_models-54a6ba93b5caa50b: crates/bench/src/bin/exp_fig2_models.rs
+
+crates/bench/src/bin/exp_fig2_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_models-7535f572ee53343e.d: crates/bench/src/bin/exp_fig2_models.rs
+
+/root/repo/target/debug/deps/exp_fig2_models-7535f572ee53343e: crates/bench/src/bin/exp_fig2_models.rs
+
+crates/bench/src/bin/exp_fig2_models.rs:

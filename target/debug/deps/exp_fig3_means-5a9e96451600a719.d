@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_means-5a9e96451600a719.d: crates/bench/src/bin/exp_fig3_means.rs
+
+/root/repo/target/debug/deps/exp_fig3_means-5a9e96451600a719: crates/bench/src/bin/exp_fig3_means.rs
+
+crates/bench/src/bin/exp_fig3_means.rs:

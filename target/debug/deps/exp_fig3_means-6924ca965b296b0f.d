@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_means-6924ca965b296b0f.d: crates/bench/src/bin/exp_fig3_means.rs
+
+/root/repo/target/debug/deps/exp_fig3_means-6924ca965b296b0f: crates/bench/src/bin/exp_fig3_means.rs
+
+crates/bench/src/bin/exp_fig3_means.rs:

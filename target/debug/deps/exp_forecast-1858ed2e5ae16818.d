@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_forecast-1858ed2e5ae16818.d: crates/bench/src/bin/exp_forecast.rs
+
+/root/repo/target/debug/deps/exp_forecast-1858ed2e5ae16818: crates/bench/src/bin/exp_forecast.rs
+
+crates/bench/src/bin/exp_forecast.rs:

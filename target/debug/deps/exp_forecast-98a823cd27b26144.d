@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_forecast-98a823cd27b26144.d: crates/bench/src/bin/exp_forecast.rs
+
+/root/repo/target/debug/deps/exp_forecast-98a823cd27b26144: crates/bench/src/bin/exp_forecast.rs
+
+crates/bench/src/bin/exp_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fta-95db1b07c758ebd5.d: crates/bench/src/bin/exp_fta.rs
+
+/root/repo/target/debug/deps/exp_fta-95db1b07c758ebd5: crates/bench/src/bin/exp_fta.rs
+
+crates/bench/src/bin/exp_fta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fta-f1a6c99b19564a43.d: crates/bench/src/bin/exp_fta.rs
+
+/root/repo/target/debug/deps/exp_fta-f1a6c99b19564a43: crates/bench/src/bin/exp_fta.rs
+
+crates/bench/src/bin/exp_fta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ontological-62851fe90bd02710.d: crates/bench/src/bin/exp_ontological.rs
+
+/root/repo/target/debug/deps/exp_ontological-62851fe90bd02710: crates/bench/src/bin/exp_ontological.rs
+
+crates/bench/src/bin/exp_ontological.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ontological-ee8f48e8a1790cb1.d: crates/bench/src/bin/exp_ontological.rs
+
+/root/repo/target/debug/deps/exp_ontological-ee8f48e8a1790cb1: crates/bench/src/bin/exp_ontological.rs
+
+crates/bench/src/bin/exp_ontological.rs:

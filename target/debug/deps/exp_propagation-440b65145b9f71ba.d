@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_propagation-440b65145b9f71ba.d: crates/bench/src/bin/exp_propagation.rs
+
+/root/repo/target/debug/deps/exp_propagation-440b65145b9f71ba: crates/bench/src/bin/exp_propagation.rs
+
+crates/bench/src/bin/exp_propagation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_propagation-994af0fc37fed15e.d: crates/bench/src/bin/exp_propagation.rs
+
+/root/repo/target/debug/deps/exp_propagation-994af0fc37fed15e: crates/bench/src/bin/exp_propagation.rs
+
+crates/bench/src/bin/exp_propagation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-84f983f44708880b.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-84f983f44708880b: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

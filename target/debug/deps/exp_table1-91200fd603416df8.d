@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-91200fd603416df8.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-91200fd603416df8: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_tolerance-7699b395e96f60b3.d: crates/bench/src/bin/exp_tolerance.rs
+
+/root/repo/target/debug/deps/exp_tolerance-7699b395e96f60b3: crates/bench/src/bin/exp_tolerance.rs
+
+crates/bench/src/bin/exp_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_tolerance-d8441bbeb2b87fc6.d: crates/bench/src/bin/exp_tolerance.rs
+
+/root/repo/target/debug/deps/exp_tolerance-d8441bbeb2b87fc6: crates/bench/src/bin/exp_tolerance.rs
+
+crates/bench/src/bin/exp_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e666095677fc99e9.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e666095677fc99e9: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fta_quantification-055ea39090a0be83.d: crates/bench/benches/fta_quantification.rs
+
+/root/repo/target/debug/deps/fta_quantification-055ea39090a0be83: crates/bench/benches/fta_quantification.rs
+
+crates/bench/benches/fta_quantification.rs:

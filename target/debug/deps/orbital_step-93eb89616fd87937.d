@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/orbital_step-93eb89616fd87937.d: crates/bench/benches/orbital_step.rs
+
+/root/repo/target/debug/deps/orbital_step-93eb89616fd87937: crates/bench/benches/orbital_step.rs
+
+crates/bench/benches/orbital_step.rs:

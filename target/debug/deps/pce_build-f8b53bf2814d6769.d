@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pce_build-f8b53bf2814d6769.d: crates/bench/benches/pce_build.rs
+
+/root/repo/target/debug/deps/pce_build-f8b53bf2814d6769: crates/bench/benches/pce_build.rs
+
+crates/bench/benches/pce_build.rs:

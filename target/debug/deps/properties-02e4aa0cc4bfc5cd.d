@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-02e4aa0cc4bfc5cd.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-02e4aa0cc4bfc5cd: tests/properties.rs
+
+tests/properties.rs:

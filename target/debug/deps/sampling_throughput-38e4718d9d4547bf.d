@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sampling_throughput-38e4718d9d4547bf.d: crates/bench/benches/sampling_throughput.rs
+
+/root/repo/target/debug/deps/sampling_throughput-38e4718d9d4547bf: crates/bench/benches/sampling_throughput.rs
+
+crates/bench/benches/sampling_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization-e7c4a0599658d284.d: tests/serialization.rs
+
+/root/repo/target/debug/deps/serialization-e7c4a0599658d284: tests/serialization.rs
+
+tests/serialization.rs:

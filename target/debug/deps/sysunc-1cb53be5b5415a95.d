@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sysunc-1cb53be5b5415a95.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/debug/deps/sysunc-1cb53be5b5415a95: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/error.rs:
+crates/core/src/modeling.rs:
+crates/core/src/register.rs:
+crates/core/src/taxonomy.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sysunc-84fa9bbec19f2755.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/debug/deps/libsysunc-84fa9bbec19f2755.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/debug/deps/libsysunc-84fa9bbec19f2755.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/error.rs:
+crates/core/src/modeling.rs:
+crates/core/src/register.rs:
+crates/core/src/taxonomy.rs:

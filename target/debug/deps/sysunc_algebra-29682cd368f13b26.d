@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sysunc_algebra-29682cd368f13b26.d: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+/root/repo/target/debug/deps/sysunc_algebra-29682cd368f13b26: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/decomp.rs:
+crates/algebra/src/eigen.rs:
+crates/algebra/src/error.rs:
+crates/algebra/src/matrix.rs:
+crates/algebra/src/orthopoly.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sysunc_algebra-8d2b70bd388e0f21.d: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+/root/repo/target/debug/deps/libsysunc_algebra-8d2b70bd388e0f21.rlib: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+/root/repo/target/debug/deps/libsysunc_algebra-8d2b70bd388e0f21.rmeta: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/decomp.rs:
+crates/algebra/src/eigen.rs:
+crates/algebra/src/error.rs:
+crates/algebra/src/matrix.rs:
+crates/algebra/src/orthopoly.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sysunc_bayesnet-03d8b787ccda495f.d: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+/root/repo/target/debug/deps/libsysunc_bayesnet-03d8b787ccda495f.rlib: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+/root/repo/target/debug/deps/libsysunc_bayesnet-03d8b787ccda495f.rmeta: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+crates/bayesnet/src/lib.rs:
+crates/bayesnet/src/error.rs:
+crates/bayesnet/src/evidential.rs:
+crates/bayesnet/src/factor.rs:
+crates/bayesnet/src/infer.rs:
+crates/bayesnet/src/learn.rs:
+crates/bayesnet/src/mpe.rs:
+crates/bayesnet/src/network.rs:
+crates/bayesnet/src/ranked.rs:
+crates/bayesnet/src/structure.rs:

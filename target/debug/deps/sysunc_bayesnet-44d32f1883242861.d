@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sysunc_bayesnet-44d32f1883242861.d: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+/root/repo/target/debug/deps/sysunc_bayesnet-44d32f1883242861: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+crates/bayesnet/src/lib.rs:
+crates/bayesnet/src/error.rs:
+crates/bayesnet/src/evidential.rs:
+crates/bayesnet/src/factor.rs:
+crates/bayesnet/src/infer.rs:
+crates/bayesnet/src/learn.rs:
+crates/bayesnet/src/mpe.rs:
+crates/bayesnet/src/network.rs:
+crates/bayesnet/src/ranked.rs:
+crates/bayesnet/src/structure.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sysunc_bench-3b06dc6878007b28.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/sysunc_bench-3b06dc6878007b28: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

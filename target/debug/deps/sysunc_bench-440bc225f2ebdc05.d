@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sysunc_bench-440bc225f2ebdc05.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libsysunc_bench-440bc225f2ebdc05.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libsysunc_bench-440bc225f2ebdc05.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

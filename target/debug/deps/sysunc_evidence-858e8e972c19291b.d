@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sysunc_evidence-858e8e972c19291b.d: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+/root/repo/target/debug/deps/libsysunc_evidence-858e8e972c19291b.rlib: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+/root/repo/target/debug/deps/libsysunc_evidence-858e8e972c19291b.rmeta: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+crates/evidence/src/lib.rs:
+crates/evidence/src/combination.rs:
+crates/evidence/src/error.rs:
+crates/evidence/src/fuzzy.rs:
+crates/evidence/src/interval.rs:
+crates/evidence/src/mass.rs:
+crates/evidence/src/pbox.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sysunc_fta-f59a130b6c0c4ed2.d: crates/fta/src/lib.rs crates/fta/src/common_cause.rs crates/fta/src/convert.rs crates/fta/src/epistemic_importance.rs crates/fta/src/cutset.rs crates/fta/src/dynamic.rs crates/fta/src/error.rs crates/fta/src/tree.rs crates/fta/src/uncertain.rs
+
+/root/repo/target/debug/deps/sysunc_fta-f59a130b6c0c4ed2: crates/fta/src/lib.rs crates/fta/src/common_cause.rs crates/fta/src/convert.rs crates/fta/src/epistemic_importance.rs crates/fta/src/cutset.rs crates/fta/src/dynamic.rs crates/fta/src/error.rs crates/fta/src/tree.rs crates/fta/src/uncertain.rs
+
+crates/fta/src/lib.rs:
+crates/fta/src/common_cause.rs:
+crates/fta/src/convert.rs:
+crates/fta/src/epistemic_importance.rs:
+crates/fta/src/cutset.rs:
+crates/fta/src/dynamic.rs:
+crates/fta/src/error.rs:
+crates/fta/src/tree.rs:
+crates/fta/src/uncertain.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sysunc_orbital-89707fe44879a78a.d: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+/root/repo/target/debug/deps/libsysunc_orbital-89707fe44879a78a.rlib: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+/root/repo/target/debug/deps/libsysunc_orbital-89707fe44879a78a.rmeta: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+crates/orbital/src/lib.rs:
+crates/orbital/src/error.rs:
+crates/orbital/src/integrator.rs:
+crates/orbital/src/kepler.rs:
+crates/orbital/src/observe.rs:
+crates/orbital/src/system.rs:
+crates/orbital/src/vec2.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sysunc_pce-3079bbb11a80b6c1.d: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+/root/repo/target/debug/deps/libsysunc_pce-3079bbb11a80b6c1.rlib: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+/root/repo/target/debug/deps/libsysunc_pce-3079bbb11a80b6c1.rmeta: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+crates/pce/src/lib.rs:
+crates/pce/src/error.rs:
+crates/pce/src/expansion.rs:
+crates/pce/src/input.rs:
+crates/pce/src/multiindex.rs:
+crates/pce/src/quadrature.rs:

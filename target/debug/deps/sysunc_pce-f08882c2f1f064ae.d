@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sysunc_pce-f08882c2f1f064ae.d: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+/root/repo/target/debug/deps/sysunc_pce-f08882c2f1f064ae: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+crates/pce/src/lib.rs:
+crates/pce/src/error.rs:
+crates/pce/src/expansion.rs:
+crates/pce/src/input.rs:
+crates/pce/src/multiindex.rs:
+crates/pce/src/quadrature.rs:

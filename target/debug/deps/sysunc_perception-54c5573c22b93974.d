@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sysunc_perception-54c5573c22b93974.d: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+/root/repo/target/debug/deps/libsysunc_perception-54c5573c22b93974.rlib: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+/root/repo/target/debug/deps/libsysunc_perception-54c5573c22b93974.rmeta: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+crates/perception/src/lib.rs:
+crates/perception/src/classifier.rs:
+crates/perception/src/drift.rs:
+crates/perception/src/error.rs:
+crates/perception/src/fusion.rs:
+crates/perception/src/monitor.rs:
+crates/perception/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sysunc_sampling-4052e3bef31690b4.d: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+/root/repo/target/debug/deps/libsysunc_sampling-4052e3bef31690b4.rlib: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+/root/repo/target/debug/deps/libsysunc_sampling-4052e3bef31690b4.rmeta: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/design.rs:
+crates/sampling/src/error.rs:
+crates/sampling/src/propagate.rs:
+crates/sampling/src/variance_reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sysunc_sampling-539487ed0c683770.d: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+/root/repo/target/debug/deps/sysunc_sampling-539487ed0c683770: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/design.rs:
+crates/sampling/src/error.rs:
+crates/sampling/src/propagate.rs:
+crates/sampling/src/variance_reduction.rs:

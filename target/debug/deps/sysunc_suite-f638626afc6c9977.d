@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysunc_suite-f638626afc6c9977.d: src/lib.rs
+
+/root/repo/target/debug/deps/sysunc_suite-f638626afc6c9977: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sysunc_suite-fcb94a0eadec5908.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsysunc_suite-fcb94a0eadec5908.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsysunc_suite-fcb94a0eadec5908.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysunc_tidy-1b58ec637d7e4b4d.d: crates/tidy/src/main.rs
+
+/root/repo/target/debug/deps/sysunc_tidy-1b58ec637d7e4b4d: crates/tidy/src/main.rs
+
+crates/tidy/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sysunc_tidy-6f0edb1483c18982.d: crates/tidy/src/lib.rs crates/tidy/src/rules/mod.rs crates/tidy/src/rules/doc.rs crates/tidy/src/rules/error_impl.rs crates/tidy/src/rules/float_eq.rs crates/tidy/src/rules/manifest.rs crates/tidy/src/rules/panic.rs crates/tidy/src/rules/prob_contract.rs crates/tidy/src/walk.rs
+
+/root/repo/target/debug/deps/libsysunc_tidy-6f0edb1483c18982.rlib: crates/tidy/src/lib.rs crates/tidy/src/rules/mod.rs crates/tidy/src/rules/doc.rs crates/tidy/src/rules/error_impl.rs crates/tidy/src/rules/float_eq.rs crates/tidy/src/rules/manifest.rs crates/tidy/src/rules/panic.rs crates/tidy/src/rules/prob_contract.rs crates/tidy/src/walk.rs
+
+/root/repo/target/debug/deps/libsysunc_tidy-6f0edb1483c18982.rmeta: crates/tidy/src/lib.rs crates/tidy/src/rules/mod.rs crates/tidy/src/rules/doc.rs crates/tidy/src/rules/error_impl.rs crates/tidy/src/rules/float_eq.rs crates/tidy/src/rules/manifest.rs crates/tidy/src/rules/panic.rs crates/tidy/src/rules/prob_contract.rs crates/tidy/src/walk.rs
+
+crates/tidy/src/lib.rs:
+crates/tidy/src/rules/mod.rs:
+crates/tidy/src/rules/doc.rs:
+crates/tidy/src/rules/error_impl.rs:
+crates/tidy/src/rules/float_eq.rs:
+crates/tidy/src/rules/manifest.rs:
+crates/tidy/src/rules/panic.rs:
+crates/tidy/src/rules/prob_contract.rs:
+crates/tidy/src/walk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysunc_tidy-bae273d2d92e1dd8.d: crates/tidy/src/main.rs
+
+/root/repo/target/debug/deps/sysunc_tidy-bae273d2d92e1dd8: crates/tidy/src/main.rs
+
+crates/tidy/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_reproduction-5efcdbc17c640022.d: tests/table1_reproduction.rs
+
+/root/repo/target/debug/deps/table1_reproduction-5efcdbc17c640022: tests/table1_reproduction.rs
+
+tests/table1_reproduction.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tidy_gate-258507ef8c5ddb74.d: tests/tidy_gate.rs
+
+/root/repo/target/debug/deps/tidy_gate-258507ef8c5ddb74: tests/tidy_gate.rs
+
+tests/tidy_gate.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/orbital_models-f9f1c4aedad3dabf.d: examples/orbital_models.rs
+
+/root/repo/target/debug/examples/orbital_models-f9f1c4aedad3dabf: examples/orbital_models.rs
+
+examples/orbital_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perception_chain-7f6dc7799ca39fcd.d: examples/perception_chain.rs
+
+/root/repo/target/debug/examples/perception_chain-7f6dc7799ca39fcd: examples/perception_chain.rs
+
+examples/perception_chain.rs:

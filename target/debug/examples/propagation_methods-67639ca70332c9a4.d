@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/propagation_methods-67639ca70332c9a4.d: examples/propagation_methods.rs
+
+/root/repo/target/debug/examples/propagation_methods-67639ca70332c9a4: examples/propagation_methods.rs
+
+examples/propagation_methods.rs:

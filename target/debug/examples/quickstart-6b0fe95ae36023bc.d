@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6b0fe95ae36023bc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6b0fe95ae36023bc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/safety_analysis-ab418833c3ccb07c.d: examples/safety_analysis.rs
+
+/root/repo/target/debug/examples/safety_analysis-ab418833c3ccb07c: examples/safety_analysis.rs
+
+examples/safety_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_workflow-d5fbc8593b3c95d3.d: examples/strategy_workflow.rs
+
+/root/repo/target/debug/examples/strategy_workflow-d5fbc8593b3c95d3: examples/strategy_workflow.rs
+
+examples/strategy_workflow.rs:

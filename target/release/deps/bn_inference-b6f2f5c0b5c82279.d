@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bn_inference-b6f2f5c0b5c82279.d: crates/bench/benches/bn_inference.rs
+
+/root/repo/target/release/deps/bn_inference-b6f2f5c0b5c82279: crates/bench/benches/bn_inference.rs
+
+crates/bench/benches/bn_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_epistemic-2201bd2c9e590af5.d: crates/bench/src/bin/exp_epistemic.rs
+
+/root/repo/target/release/deps/exp_epistemic-2201bd2c9e590af5: crates/bench/src/bin/exp_epistemic.rs
+
+crates/bench/src/bin/exp_epistemic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_evidential-a371275cd0aca330.d: crates/bench/src/bin/exp_evidential.rs
+
+/root/repo/target/release/deps/exp_evidential-a371275cd0aca330: crates/bench/src/bin/exp_evidential.rs
+
+crates/bench/src/bin/exp_evidential.rs:

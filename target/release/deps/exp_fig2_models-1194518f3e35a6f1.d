@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2_models-1194518f3e35a6f1.d: crates/bench/src/bin/exp_fig2_models.rs
+
+/root/repo/target/release/deps/exp_fig2_models-1194518f3e35a6f1: crates/bench/src/bin/exp_fig2_models.rs
+
+crates/bench/src/bin/exp_fig2_models.rs:

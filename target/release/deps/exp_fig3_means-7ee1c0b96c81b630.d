@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3_means-7ee1c0b96c81b630.d: crates/bench/src/bin/exp_fig3_means.rs
+
+/root/repo/target/release/deps/exp_fig3_means-7ee1c0b96c81b630: crates/bench/src/bin/exp_fig3_means.rs
+
+crates/bench/src/bin/exp_fig3_means.rs:

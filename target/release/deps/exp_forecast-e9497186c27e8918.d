@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_forecast-e9497186c27e8918.d: crates/bench/src/bin/exp_forecast.rs
+
+/root/repo/target/release/deps/exp_forecast-e9497186c27e8918: crates/bench/src/bin/exp_forecast.rs
+
+crates/bench/src/bin/exp_forecast.rs:

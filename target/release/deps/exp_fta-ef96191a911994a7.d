@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fta-ef96191a911994a7.d: crates/bench/src/bin/exp_fta.rs
+
+/root/repo/target/release/deps/exp_fta-ef96191a911994a7: crates/bench/src/bin/exp_fta.rs
+
+crates/bench/src/bin/exp_fta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ontological-17af5cbea8bdf039.d: crates/bench/src/bin/exp_ontological.rs
+
+/root/repo/target/release/deps/exp_ontological-17af5cbea8bdf039: crates/bench/src/bin/exp_ontological.rs
+
+crates/bench/src/bin/exp_ontological.rs:

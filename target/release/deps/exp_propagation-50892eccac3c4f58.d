@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_propagation-50892eccac3c4f58.d: crates/bench/src/bin/exp_propagation.rs
+
+/root/repo/target/release/deps/exp_propagation-50892eccac3c4f58: crates/bench/src/bin/exp_propagation.rs
+
+crates/bench/src/bin/exp_propagation.rs:

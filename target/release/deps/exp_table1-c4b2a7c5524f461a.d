@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-c4b2a7c5524f461a.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-c4b2a7c5524f461a: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

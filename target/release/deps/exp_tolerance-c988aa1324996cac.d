@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_tolerance-c988aa1324996cac.d: crates/bench/src/bin/exp_tolerance.rs
+
+/root/repo/target/release/deps/exp_tolerance-c988aa1324996cac: crates/bench/src/bin/exp_tolerance.rs
+
+crates/bench/src/bin/exp_tolerance.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sysunc-7b3e074357d176c0.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/release/deps/libsysunc-7b3e074357d176c0.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/release/deps/libsysunc-7b3e074357d176c0.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/error.rs:
+crates/core/src/modeling.rs:
+crates/core/src/register.rs:
+crates/core/src/taxonomy.rs:

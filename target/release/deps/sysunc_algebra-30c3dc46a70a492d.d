@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sysunc_algebra-30c3dc46a70a492d.d: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+/root/repo/target/release/deps/libsysunc_algebra-30c3dc46a70a492d.rlib: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+/root/repo/target/release/deps/libsysunc_algebra-30c3dc46a70a492d.rmeta: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/decomp.rs:
+crates/algebra/src/eigen.rs:
+crates/algebra/src/error.rs:
+crates/algebra/src/matrix.rs:
+crates/algebra/src/orthopoly.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sysunc_bayesnet-c88a4dc8c0d9e59e.d: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+/root/repo/target/release/deps/libsysunc_bayesnet-c88a4dc8c0d9e59e.rlib: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+/root/repo/target/release/deps/libsysunc_bayesnet-c88a4dc8c0d9e59e.rmeta: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+crates/bayesnet/src/lib.rs:
+crates/bayesnet/src/error.rs:
+crates/bayesnet/src/evidential.rs:
+crates/bayesnet/src/factor.rs:
+crates/bayesnet/src/infer.rs:
+crates/bayesnet/src/learn.rs:
+crates/bayesnet/src/mpe.rs:
+crates/bayesnet/src/network.rs:
+crates/bayesnet/src/ranked.rs:
+crates/bayesnet/src/structure.rs:

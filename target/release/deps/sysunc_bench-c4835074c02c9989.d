@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sysunc_bench-c4835074c02c9989.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libsysunc_bench-c4835074c02c9989.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libsysunc_bench-c4835074c02c9989.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

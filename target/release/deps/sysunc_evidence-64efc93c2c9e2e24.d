@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sysunc_evidence-64efc93c2c9e2e24.d: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+/root/repo/target/release/deps/libsysunc_evidence-64efc93c2c9e2e24.rlib: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+/root/repo/target/release/deps/libsysunc_evidence-64efc93c2c9e2e24.rmeta: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+crates/evidence/src/lib.rs:
+crates/evidence/src/combination.rs:
+crates/evidence/src/error.rs:
+crates/evidence/src/fuzzy.rs:
+crates/evidence/src/interval.rs:
+crates/evidence/src/mass.rs:
+crates/evidence/src/pbox.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sysunc_fta-ecaf34185aed852e.d: crates/fta/src/lib.rs crates/fta/src/common_cause.rs crates/fta/src/convert.rs crates/fta/src/epistemic_importance.rs crates/fta/src/cutset.rs crates/fta/src/dynamic.rs crates/fta/src/error.rs crates/fta/src/tree.rs crates/fta/src/uncertain.rs
+
+/root/repo/target/release/deps/libsysunc_fta-ecaf34185aed852e.rlib: crates/fta/src/lib.rs crates/fta/src/common_cause.rs crates/fta/src/convert.rs crates/fta/src/epistemic_importance.rs crates/fta/src/cutset.rs crates/fta/src/dynamic.rs crates/fta/src/error.rs crates/fta/src/tree.rs crates/fta/src/uncertain.rs
+
+/root/repo/target/release/deps/libsysunc_fta-ecaf34185aed852e.rmeta: crates/fta/src/lib.rs crates/fta/src/common_cause.rs crates/fta/src/convert.rs crates/fta/src/epistemic_importance.rs crates/fta/src/cutset.rs crates/fta/src/dynamic.rs crates/fta/src/error.rs crates/fta/src/tree.rs crates/fta/src/uncertain.rs
+
+crates/fta/src/lib.rs:
+crates/fta/src/common_cause.rs:
+crates/fta/src/convert.rs:
+crates/fta/src/epistemic_importance.rs:
+crates/fta/src/cutset.rs:
+crates/fta/src/dynamic.rs:
+crates/fta/src/error.rs:
+crates/fta/src/tree.rs:
+crates/fta/src/uncertain.rs:

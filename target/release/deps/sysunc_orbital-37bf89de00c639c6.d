@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sysunc_orbital-37bf89de00c639c6.d: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+/root/repo/target/release/deps/libsysunc_orbital-37bf89de00c639c6.rlib: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+/root/repo/target/release/deps/libsysunc_orbital-37bf89de00c639c6.rmeta: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+crates/orbital/src/lib.rs:
+crates/orbital/src/error.rs:
+crates/orbital/src/integrator.rs:
+crates/orbital/src/kepler.rs:
+crates/orbital/src/observe.rs:
+crates/orbital/src/system.rs:
+crates/orbital/src/vec2.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sysunc_pce-15ca05ef510d756c.d: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+/root/repo/target/release/deps/libsysunc_pce-15ca05ef510d756c.rlib: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+/root/repo/target/release/deps/libsysunc_pce-15ca05ef510d756c.rmeta: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+crates/pce/src/lib.rs:
+crates/pce/src/error.rs:
+crates/pce/src/expansion.rs:
+crates/pce/src/input.rs:
+crates/pce/src/multiindex.rs:
+crates/pce/src/quadrature.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sysunc_perception-63b4fef4bee4bbf9.d: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+/root/repo/target/release/deps/libsysunc_perception-63b4fef4bee4bbf9.rlib: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+/root/repo/target/release/deps/libsysunc_perception-63b4fef4bee4bbf9.rmeta: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+crates/perception/src/lib.rs:
+crates/perception/src/classifier.rs:
+crates/perception/src/drift.rs:
+crates/perception/src/error.rs:
+crates/perception/src/fusion.rs:
+crates/perception/src/monitor.rs:
+crates/perception/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sysunc_sampling-fc3432e105489125.d: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+/root/repo/target/release/deps/libsysunc_sampling-fc3432e105489125.rlib: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+/root/repo/target/release/deps/libsysunc_sampling-fc3432e105489125.rmeta: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/design.rs:
+crates/sampling/src/error.rs:
+crates/sampling/src/propagate.rs:
+crates/sampling/src/variance_reduction.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sysunc_suite-0ba71bc5e3d6ee11.d: src/lib.rs
+
+/root/repo/target/release/deps/libsysunc_suite-0ba71bc5e3d6ee11.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsysunc_suite-0ba71bc5e3d6ee11.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b47635caaab8ed15.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b47635caaab8ed15: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/safety_analysis-b9dfc3b43ad2484c.d: examples/safety_analysis.rs
+
+/root/repo/target/release/examples/safety_analysis-b9dfc3b43ad2484c: examples/safety_analysis.rs
+
+examples/safety_analysis.rs:

@@ -1,8 +1,8 @@
 //! Integration tests spanning multiple workspace crates: each test wires
 //! at least two substrates together and checks a quantitative agreement.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::budget::UncertaintyBudget;
 use sysunc::evidence::Interval;
 use sysunc::fta::{fault_tree_to_bayes_net, quantify_with, FaultTree, GateKind};

@@ -3,8 +3,8 @@
 //! cross-validation, drift monitoring, variance reduction, and the
 //! uncertainty register workflow.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::bayesnet::{d_separated, most_probable_explanation, ranked_cpt, BayesNet};
 use sysunc::evidence::{combine_murphy, weight_of_conflict, Frame, MassFunction};
 use sysunc::fta::{install_common_cause_group, FaultTree, GateKind};

@@ -1,105 +1,115 @@
-//! Property-based tests (proptest) on the core invariants of the
-//! uncertainty substrates.
+//! Property-based tests on the core invariants of the uncertainty
+//! substrates, driven by the in-tree `sysunc_prob::propcheck` harness
+//! (replacing the external `proptest` crate).
 
-use proptest::prelude::*;
 use sysunc::bayesnet::BayesNet;
 use sysunc::evidence::{DsStructure, Frame, FuzzyNumber, Interval, MassFunction};
 use sysunc::fta::{minimal_cut_sets, FaultTree, GateKind};
 use sysunc::prob::dist::{Continuous, LogNormal, Normal, Triangular, Uniform, Weibull};
 use sysunc::prob::info::{entropy, js_divergence, kl_divergence};
+use sysunc_prob::propcheck;
+use sysunc_prob::rng::{SeedableRng, StdRng};
 
-fn prob_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(1e-6..1.0f64, len).prop_map(|v| {
-        let s: f64 = v.iter().sum();
-        v.iter().map(|x| x / s).collect()
-    })
-}
+// ------------------------------------------------------------------
+// Distribution invariants (sysunc-prob).
+// ------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    // ------------------------------------------------------------------
-    // Distribution invariants (sysunc-prob).
-    // ------------------------------------------------------------------
-    #[test]
-    fn normal_cdf_monotone_and_quantile_inverse(
-        mu in -10.0..10.0f64,
-        sigma in 0.01..10.0f64,
-        p in 0.001..0.999f64,
-    ) {
+#[test]
+fn normal_cdf_monotone_and_quantile_inverse() {
+    propcheck::run(64, |g| {
+        let mu = g.f64_in(-10.0, 10.0);
+        let sigma = g.f64_in(0.01, 10.0);
+        let p = g.f64_in(0.001, 0.999);
         let d = Normal::new(mu, sigma).expect("valid");
         let x = d.quantile(p);
-        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
-        prop_assert!(d.cdf(x + sigma) >= d.cdf(x));
-        prop_assert!(d.pdf(x) >= 0.0);
-    }
+        assert!((d.cdf(x) - p).abs() < 1e-9);
+        assert!(d.cdf(x + sigma) >= d.cdf(x));
+        assert!(d.pdf(x) >= 0.0);
+    });
+}
 
-    #[test]
-    fn lognormal_and_weibull_support_nonnegative(
-        a in 0.1..3.0f64,
-        b in 0.1..3.0f64,
-        p in 0.001..0.999f64,
-    ) {
+#[test]
+fn lognormal_and_weibull_support_nonnegative() {
+    propcheck::run(64, |g| {
+        let a = g.f64_in(0.1, 3.0);
+        let b = g.f64_in(0.1, 3.0);
+        let p = g.f64_in(0.001, 0.999);
         let ln = LogNormal::new(a - 1.0, b).expect("valid");
         let wb = Weibull::new(a, b).expect("valid");
-        prop_assert!(ln.quantile(p) >= 0.0);
-        prop_assert!(wb.quantile(p) >= 0.0);
-        prop_assert!(ln.cdf(-1.0) == 0.0);
-        prop_assert!(wb.cdf(-1.0) == 0.0);
-    }
+        assert!(ln.quantile(p) >= 0.0);
+        assert!(wb.quantile(p) >= 0.0);
+        assert!(ln.cdf(-1.0) == 0.0);
+        assert!(wb.cdf(-1.0) == 0.0);
+    });
+}
 
-    #[test]
-    fn triangular_quantile_round_trip(
-        a in -5.0..0.0f64,
-        w1 in 0.01..5.0f64,
-        w2 in 0.01..5.0f64,
-        p in 0.001..0.999f64,
-    ) {
+#[test]
+fn triangular_quantile_round_trip() {
+    propcheck::run(64, |g| {
+        let a = g.f64_in(-5.0, 0.0);
+        let w1 = g.f64_in(0.01, 5.0);
+        let w2 = g.f64_in(0.01, 5.0);
+        let p = g.f64_in(0.001, 0.999);
         let d = Triangular::new(a, a + w1, a + w1 + w2).expect("valid");
         let x = d.quantile(p);
-        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
-        prop_assert!(x >= a && x <= a + w1 + w2);
-    }
+        assert!((d.cdf(x) - p).abs() < 1e-9);
+        assert!(x >= a && x <= a + w1 + w2);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Information theory invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn entropy_bounds_and_kl_nonnegative(p in prob_vec(5), q in prob_vec(5)) {
+// ------------------------------------------------------------------
+// Information theory invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn entropy_bounds_and_kl_nonnegative() {
+    propcheck::run(64, |g| {
+        let p = g.prob_vec(5);
+        let q = g.prob_vec(5);
         let h = entropy(&p);
-        prop_assert!(h >= -1e-12);
-        prop_assert!(h <= (5.0f64).ln() + 1e-12);
+        assert!(h >= -1e-12);
+        assert!(h <= (5.0f64).ln() + 1e-12);
         let d = kl_divergence(&p, &q).expect("same length");
-        prop_assert!(d >= -1e-12, "KL must be non-negative, got {d}");
+        assert!(d >= -1e-12, "KL must be non-negative, got {d}");
         let j = js_divergence(&p, &q).expect("same length");
-        prop_assert!(j >= -1e-12 && j <= std::f64::consts::LN_2 + 1e-9);
-    }
+        assert!(j >= -1e-12 && j <= std::f64::consts::LN_2 + 1e-9);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Interval arithmetic: containment soundness.
-    // ------------------------------------------------------------------
-    #[test]
-    fn interval_arithmetic_contains_pointwise_results(
-        a_lo in -10.0..10.0f64, a_w in 0.0..5.0f64,
-        b_lo in -10.0..10.0f64, b_w in 0.0..5.0f64,
-        ta in 0.0..1.0f64, tb in 0.0..1.0f64,
-    ) {
+// ------------------------------------------------------------------
+// Interval arithmetic: containment soundness.
+// ------------------------------------------------------------------
+
+#[test]
+fn interval_arithmetic_contains_pointwise_results() {
+    propcheck::run(64, |g| {
+        let a_lo = g.f64_in(-10.0, 10.0);
+        let a_w = g.f64_in(0.0, 5.0);
+        let b_lo = g.f64_in(-10.0, 10.0);
+        let b_w = g.f64_in(0.0, 5.0);
+        let ta = g.f64_in(0.0, 1.0);
+        let tb = g.f64_in(0.0, 1.0);
         let a = Interval::new(a_lo, a_lo + a_w).expect("ordered");
         let b = Interval::new(b_lo, b_lo + b_w).expect("ordered");
         let x = a_lo + ta * a_w;
         let y = b_lo + tb * b_w;
-        prop_assert!((a + b).contains(x + y));
-        prop_assert!((a - b).contains(x - y));
+        assert!((a + b).contains(x + y));
+        assert!((a - b).contains(x - y));
         // Multiplication with a small tolerance for rounding at corners.
         let m = a * b;
-        prop_assert!(x * y >= m.lo() - 1e-9 && x * y <= m.hi() + 1e-9);
-    }
+        assert!(x * y >= m.lo() - 1e-9 && x * y <= m.hi() + 1e-9);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Dempster-Shafer invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn mass_function_bel_pl_invariants(probs in prob_vec(4), ignorance in 0.0..0.9f64) {
+// ------------------------------------------------------------------
+// Dempster-Shafer invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn mass_function_bel_pl_invariants() {
+    propcheck::run(64, |g| {
+        let probs = g.prob_vec(4);
+        let ignorance = g.f64_in(0.0, 0.9);
         let frame = Frame::new(vec!["a", "b", "c", "d"]).expect("valid");
         // Mix a Bayesian core with mass on Theta.
         let mut focal: Vec<(u64, f64)> = probs
@@ -112,29 +122,31 @@ proptest! {
         for set in 1u64..16 {
             let bel = m.belief(set);
             let pl = m.plausibility(set);
-            prop_assert!(bel <= pl + 1e-12);
+            assert!(bel <= pl + 1e-12);
             let compl = !set & frame.theta();
-            prop_assert!((pl - (1.0 - m.belief(compl))).abs() < 1e-12);
+            assert!((pl - (1.0 - m.belief(compl))).abs() < 1e-12);
         }
         // Pignistic is a probability distribution.
         let bet = m.pignistic();
-        prop_assert!((bet.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((bet.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Dempster combination with the vacuous mass is the identity.
         let same = m.combine_dempster(&MassFunction::vacuous(&frame)).expect("no conflict");
         for set in 1u64..16 {
-            prop_assert!((same.mass(set) - m.mass(set)).abs() < 1e-12);
+            assert!((same.mass(set) - m.mass(set)).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // P-box invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn ds_structure_cdf_envelope_is_monotone_and_ordered(
-        centers in proptest::collection::vec(-5.0..5.0f64, 2..6),
-        width in 0.01..2.0f64,
-    ) {
-        let n = centers.len();
+// ------------------------------------------------------------------
+// P-box invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn ds_structure_cdf_envelope_is_monotone_and_ordered() {
+    propcheck::run(64, |g| {
+        let n = g.usize_in(2, 6);
+        let centers = g.vec_f64(-5.0, 5.0, n);
+        let width = g.f64_in(0.01, 2.0);
         let focal: Vec<(Interval, f64)> = centers
             .iter()
             .map(|&c| (Interval::new(c - width, c + width).expect("ordered"), 1.0 / n as f64))
@@ -145,24 +157,30 @@ proptest! {
         for i in -20..=20 {
             let x = i as f64 * 0.5;
             let b = ds.cdf_bounds(x);
-            prop_assert!(b.lo() <= b.hi() + 1e-12);
-            prop_assert!(b.lo() >= prev_lo - 1e-12, "lower CDF must be monotone");
-            prop_assert!(b.hi() >= prev_hi - 1e-12, "upper CDF must be monotone");
+            assert!(b.lo() <= b.hi() + 1e-12);
+            assert!(b.lo() >= prev_lo - 1e-12, "lower CDF must be monotone");
+            assert!(b.hi() >= prev_hi - 1e-12, "upper CDF must be monotone");
             prev_lo = b.lo();
             prev_hi = b.hi();
         }
         let mean = ds.mean_bounds();
-        prop_assert!(mean.width() <= 2.0 * width + 1e-9);
-    }
+        assert!(mean.width() <= 2.0 * width + 1e-9);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Fuzzy number invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn fuzzy_cuts_nest_under_arithmetic(
-        a in -3.0..0.0f64, m in 0.0..1.0f64, b in 1.0..4.0f64,
-        a2 in -3.0..0.0f64, m2 in 0.0..1.0f64, b2 in 1.0..4.0f64,
-    ) {
+// ------------------------------------------------------------------
+// Fuzzy number invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn fuzzy_cuts_nest_under_arithmetic() {
+    propcheck::run(64, |g| {
+        let a = g.f64_in(-3.0, 0.0);
+        let m = g.f64_in(0.0, 1.0);
+        let b = g.f64_in(1.0, 4.0);
+        let a2 = g.f64_in(-3.0, 0.0);
+        let m2 = g.f64_in(0.0, 1.0);
+        let b2 = g.f64_in(1.0, 4.0);
         let x = FuzzyNumber::triangular(a, m, b).expect("ordered");
         let y = FuzzyNumber::triangular(a2, m2, b2).expect("ordered");
         for op in [FuzzyNumber::add, FuzzyNumber::sub, FuzzyNumber::mul] {
@@ -170,21 +188,23 @@ proptest! {
             let mut prev = z.alpha_cut(0.0);
             for i in 1..=10 {
                 let cut = z.alpha_cut(i as f64 / 10.0);
-                prop_assert!(prev.lo() <= cut.lo() + 1e-9);
-                prop_assert!(cut.hi() <= prev.hi() + 1e-9);
+                assert!(prev.lo() <= cut.lo() + 1e-9);
+                assert!(cut.hi() <= prev.hi() + 1e-9);
                 prev = cut;
             }
         }
-    }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Bayesian network invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn bn_marginals_normalize_and_respect_priors(
-        prior in prob_vec(3),
-        row_seed in prob_vec(4),
-    ) {
+// ------------------------------------------------------------------
+// Bayesian network invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn bn_marginals_normalize_and_respect_priors() {
+    propcheck::run(64, |g| {
+        let prior = g.prob_vec(3);
+        let row_seed = g.prob_vec(4);
         let mut bn = BayesNet::new();
         let root = bn
             .add_root("root", vec!["a", "b", "c"], prior.clone())
@@ -200,27 +220,29 @@ proptest! {
         bn.add_node("leaf", vec!["w", "x", "y", "z"], vec![root], rows.clone())
             .expect("valid CPT");
         let m = bn.marginal("leaf", &[]).expect("query");
-        prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Law of total probability by hand.
         for j in 0..4 {
             let expect: f64 = (0..3).map(|i| prior[i] * rows[i][j]).sum();
-            prop_assert!((m[j] - expect).abs() < 1e-9);
+            assert!((m[j] - expect).abs() < 1e-9);
         }
         // Posterior of the root given any leaf state normalizes.
         for state in ["w", "x", "y", "z"] {
             let post = bn.marginal("root", &[("leaf", state)]).expect("query");
-            prop_assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Fault tree invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn cut_sets_are_minimal_and_sufficient(
-        p in proptest::collection::vec(0.01..0.5f64, 4),
-        k in 1usize..4,
-    ) {
+// ------------------------------------------------------------------
+// Fault tree invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn cut_sets_are_minimal_and_sufficient() {
+    propcheck::run(64, |g| {
+        let p = g.vec_f64(0.01, 0.5, 4);
+        let k = g.usize_in(1, 4);
         let mut ft = FaultTree::new();
         let events: Vec<_> = p
             .iter()
@@ -240,7 +262,7 @@ proptest! {
             for &i in cut {
                 failed[i] = true;
             }
-            prop_assert!(ft.structure_function(&failed).expect("valid state"));
+            assert!(ft.structure_function(&failed).expect("valid state"));
             // Minimality: removing any element deactivates the cut.
             for &i in cut {
                 failed[i] = false;
@@ -252,7 +274,7 @@ proptest! {
                 // directly instead:
                 let sub: std::collections::BTreeSet<usize> =
                     cut.iter().copied().filter(|&j| j != i).collect();
-                prop_assert!(
+                assert!(
                     !cuts.contains(&sub) || !still,
                     "subset of a minimal cut set must not be a cut set"
                 );
@@ -261,126 +283,147 @@ proptest! {
         // Probability bounds bracket the exact value.
         let exact = ft.top_probability_exact().expect("small tree");
         let rare = sysunc::fta::rare_event_approximation(&ft, &cuts);
-        prop_assert!(exact <= rare + 1e-9);
-    }
+        assert!(exact <= rare + 1e-9);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Sampling invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn lhs_projections_cover_all_strata(n in 4usize..64, dim in 1usize..5, seed in 0u64..1000) {
-        use rand::SeedableRng;
+// ------------------------------------------------------------------
+// Sampling invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn lhs_projections_cover_all_strata() {
+    propcheck::run(64, |g| {
         use sysunc::sampling::{Design, LatinHypercubeDesign};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.usize_in(4, 64);
+        let dim = g.usize_in(1, 5);
+        let seed = g.u64_in(0, 1000);
+        let mut rng = StdRng::seed_from_u64(seed);
         let pts = LatinHypercubeDesign.generate(n, dim, &mut rng).expect("valid");
         for j in 0..dim {
             let mut seen = vec![false; n];
             for p in &pts {
                 seen[((p[j] * n as f64) as usize).min(n - 1)] = true;
             }
-            prop_assert!(seen.iter().all(|&s| s));
+            assert!(seen.iter().all(|&s| s));
         }
-    }
-
-    #[test]
-    fn uniform_distribution_sampling_within_support(
-        a in -10.0..10.0f64,
-        w in 0.1..5.0f64,
-        seed in 0u64..100,
-    ) {
-        use rand::SeedableRng;
-        let d = Uniform::new(a, a + w).expect("valid");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        for x in d.sample_n(&mut rng, 100) {
-            prop_assert!(d.support().contains(x));
-        }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn uniform_distribution_sampling_within_support() {
+    propcheck::run(64, |g| {
+        let a = g.f64_in(-10.0, 10.0);
+        let w = g.f64_in(0.1, 5.0);
+        let seed = g.u64_in(0, 100);
+        let d = Uniform::new(a, a + w).expect("valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for x in d.sample_n(&mut rng, 100) {
+            assert!(d.support().contains(x));
+        }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Ranked-node CPT invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn ranked_cpt_rows_normalize_and_order(
-        parents in proptest::collection::vec(2usize..5, 1..4),
-        child_states in 2usize..6,
-        sigma in 0.05..2.0f64,
-    ) {
+// ------------------------------------------------------------------
+// Ranked-node CPT invariants.
+// ------------------------------------------------------------------
+
+#[test]
+fn ranked_cpt_rows_normalize_and_order() {
+    propcheck::run(32, |g| {
         use sysunc::bayesnet::ranked_cpt;
+        let n_parents = g.usize_in(1, 4);
+        let parents: Vec<usize> = (0..n_parents).map(|_| g.usize_in(2, 5)).collect();
+        let child_states = g.usize_in(2, 6);
+        let sigma = g.f64_in(0.05, 2.0);
         let weights = vec![1.0; parents.len()];
         let cpt = ranked_cpt(&parents, &weights, child_states, sigma).expect("valid spec");
         let rows: usize = parents.iter().product();
-        prop_assert_eq!(cpt.len(), rows);
+        assert_eq!(cpt.len(), rows);
         for row in &cpt {
-            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-            prop_assert!(row.iter().all(|&p| p >= 0.0));
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| p >= 0.0));
         }
         // The all-low and all-high parent rows are ordered in expected rank.
-        let rank = |row: &Vec<f64>| -> f64 {
-            row.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
-        };
-        prop_assert!(rank(&cpt[0]) <= rank(&cpt[rows - 1]) + 1e-9);
-    }
+        let rank =
+            |row: &Vec<f64>| -> f64 { row.iter().enumerate().map(|(i, &p)| i as f64 * p).sum() };
+        assert!(rank(&cpt[0]) <= rank(&cpt[rows - 1]) + 1e-9);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Distribution fitting: round trips on generated data.
-    // ------------------------------------------------------------------
-    #[test]
-    fn normal_fit_round_trip(mu in -5.0..5.0f64, sigma in 0.2..3.0f64, seed in 0u64..50) {
-        use rand::SeedableRng;
+// ------------------------------------------------------------------
+// Distribution fitting: round trips on generated data.
+// ------------------------------------------------------------------
+
+#[test]
+fn normal_fit_round_trip() {
+    propcheck::run(32, |g| {
         use sysunc::prob::fit::fit_normal;
+        let mu = g.f64_in(-5.0, 5.0);
+        let sigma = g.f64_in(0.2, 3.0);
+        let seed = g.u64_in(0, 50);
         let truth = Normal::new(mu, sigma).expect("valid");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         let xs = truth.sample_n(&mut rng, 4_000);
         let fit = fit_normal(&xs).expect("fits");
-        prop_assert!((fit.mu() - mu).abs() < 5.0 * sigma / (4000f64).sqrt() + 0.05);
-        prop_assert!((fit.sigma() - sigma).abs() < 0.2 * sigma);
-    }
+        assert!((fit.mu() - mu).abs() < 5.0 * sigma / (4000f64).sqrt() + 0.05);
+        assert!((fit.sigma() - sigma).abs() < 0.2 * sigma);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Murphy combination stays a valid mass function.
-    // ------------------------------------------------------------------
-    #[test]
-    fn murphy_combination_is_valid_mass(p in prob_vec(3), q in prob_vec(3)) {
+// ------------------------------------------------------------------
+// Murphy combination stays a valid mass function.
+// ------------------------------------------------------------------
+
+#[test]
+fn murphy_combination_is_valid_mass() {
+    propcheck::run(32, |g| {
         use sysunc::evidence::combine_murphy;
+        let p = g.prob_vec(3);
+        let q = g.prob_vec(3);
         let frame = Frame::new(vec!["a", "b", "c"]).expect("valid");
         let m1 = MassFunction::bayesian(&frame, &p).expect("valid");
         let m2 = MassFunction::bayesian(&frame, &q).expect("valid");
         let fused = combine_murphy(&[m1, m2]).expect("combines");
         let total: f64 = fused.focal_elements().map(|(_, m)| m).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         for set in 1u64..8 {
-            prop_assert!(fused.belief(set) <= fused.plausibility(set) + 1e-12);
+            assert!(fused.belief(set) <= fused.plausibility(set) + 1e-12);
         }
-    }
+    });
+}
 
-    // ------------------------------------------------------------------
-    // Common-cause installation conserves single-member probability.
-    // ------------------------------------------------------------------
-    #[test]
-    fn common_cause_member_probability(p in 1e-4..0.2f64, beta in 0.0..0.9f64, n in 2usize..5) {
+// ------------------------------------------------------------------
+// Common-cause installation conserves single-member probability.
+// ------------------------------------------------------------------
+
+#[test]
+fn common_cause_member_probability() {
+    propcheck::run(32, |g| {
         use sysunc::fta::install_common_cause_group;
+        let p = g.f64_in(1e-4, 0.2);
+        let beta = g.f64_in(0.0, 0.9);
+        let n = g.usize_in(2, 5);
         let mut ft = FaultTree::new();
         let group = install_common_cause_group(&mut ft, "g", n, p, beta).expect("valid");
         ft.set_top(group.member_events[0]).expect("valid");
         let member = ft.top_probability_exact().expect("small");
         // member = 1 - (1 - p(1-β))(1 - pβ) = p - p²β(1-β) ∈ [p - p²/4, p].
-        prop_assert!(member <= p + 1e-12);
-        prop_assert!(member >= p - p * p * 0.25 - 1e-12);
-    }
+        assert!(member <= p + 1e-12);
+        assert!(member >= p - p * p * 0.25 - 1e-12);
+    });
+}
 
-    // ------------------------------------------------------------------
-    // MPE probability is consistent with the joint.
-    // ------------------------------------------------------------------
-    #[test]
-    fn mpe_probability_bounded_by_evidence_probability(
-        prior in prob_vec(2),
-        row_seed in prob_vec(2),
-    ) {
+// ------------------------------------------------------------------
+// MPE probability is consistent with the joint.
+// ------------------------------------------------------------------
+
+#[test]
+fn mpe_probability_bounded_by_evidence_probability() {
+    propcheck::run(32, |g| {
         use sysunc::bayesnet::most_probable_explanation;
+        let prior = g.prob_vec(2);
+        let row_seed = g.prob_vec(2);
         let mut bn = BayesNet::new();
         let a = bn.add_root("a", vec!["0", "1"], prior).expect("valid");
         let mut r2 = row_seed.clone();
@@ -388,7 +431,7 @@ proptest! {
         bn.add_node("b", vec!["0", "1"], vec![a], vec![row_seed, r2]).expect("valid");
         let (assignment, p) = most_probable_explanation(&bn, &[(1, 0)]).expect("tractable");
         let p_evidence = bn.evidence_probability(&[("b", "0")]).expect("query");
-        prop_assert!(p <= p_evidence + 1e-12, "MPE joint cannot exceed P(e)");
-        prop_assert_eq!(assignment[1], 0, "evidence is respected");
-    }
+        assert!(p <= p_evidence + 1e-12, "MPE joint cannot exceed P(e)");
+        assert_eq!(assignment[1], 0, "evidence is respected");
+    });
 }

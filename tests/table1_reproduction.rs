@@ -3,8 +3,8 @@
 //! variable-elimination engine, likelihood-weighted sampling, the
 //! evidential network, and a hand-computed joint table.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sysunc_prob::rng::StdRng;
+use sysunc_prob::rng::SeedableRng;
 use sysunc::bayesnet::likelihood_weighting;
 use sysunc::casestudy::{
     ground_truth_prior, paper_bayes_net, paper_evidential_network, table1_cpt,

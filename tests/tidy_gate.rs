@@ -1,0 +1,35 @@
+//! Tier-1 gate: the workspace must pass its own static-analysis lint,
+//! `sysunc-tidy`, with zero standing violations. Runs the real binary
+//! the way CI does, so a regression in either the code base or the lint
+//! itself fails the ordinary test suite.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn workspace_passes_sysunc_tidy_with_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--offline", "-p", "sysunc-tidy", "--"])
+        .arg(root)
+        .current_dir(root)
+        .output()
+        .expect("sysunc-tidy should spawn");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "sysunc-tidy found violations:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("0 violation(s)"),
+        "expected a clean summary, got:\n{stdout}"
+    );
+    // The gate must actually have scanned the tree, not vacuously passed.
+    let scanned: usize = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("sysunc-tidy: scanned ")?.split(' ').next()?.parse().ok())
+        .expect("summary line present");
+    assert!(scanned > 100, "suspiciously few files scanned: {scanned}");
+}
