@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_epistemic-3a69d2073dcf7f22.d: crates/bench/src/bin/exp_epistemic.rs
+
+/root/repo/target/debug/deps/libexp_epistemic-3a69d2073dcf7f22.rmeta: crates/bench/src/bin/exp_epistemic.rs
+
+crates/bench/src/bin/exp_epistemic.rs:

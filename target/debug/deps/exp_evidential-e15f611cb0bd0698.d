@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_evidential-e15f611cb0bd0698.d: crates/bench/src/bin/exp_evidential.rs
+
+/root/repo/target/debug/deps/libexp_evidential-e15f611cb0bd0698.rmeta: crates/bench/src/bin/exp_evidential.rs
+
+crates/bench/src/bin/exp_evidential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2_models-aef126406510d4d7.d: crates/bench/src/bin/exp_fig2_models.rs
+
+/root/repo/target/debug/deps/libexp_fig2_models-aef126406510d4d7.rmeta: crates/bench/src/bin/exp_fig2_models.rs
+
+crates/bench/src/bin/exp_fig2_models.rs:

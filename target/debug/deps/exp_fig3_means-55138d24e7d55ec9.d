@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3_means-55138d24e7d55ec9.d: crates/bench/src/bin/exp_fig3_means.rs
+
+/root/repo/target/debug/deps/libexp_fig3_means-55138d24e7d55ec9.rmeta: crates/bench/src/bin/exp_fig3_means.rs
+
+crates/bench/src/bin/exp_fig3_means.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_forecast-351772874b1c1c09.d: crates/bench/src/bin/exp_forecast.rs
+
+/root/repo/target/debug/deps/libexp_forecast-351772874b1c1c09.rmeta: crates/bench/src/bin/exp_forecast.rs
+
+crates/bench/src/bin/exp_forecast.rs:

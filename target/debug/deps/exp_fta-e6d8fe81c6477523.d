@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fta-e6d8fe81c6477523.d: crates/bench/src/bin/exp_fta.rs
+
+/root/repo/target/debug/deps/libexp_fta-e6d8fe81c6477523.rmeta: crates/bench/src/bin/exp_fta.rs
+
+crates/bench/src/bin/exp_fta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ontological-73e580b278bd1292.d: crates/bench/src/bin/exp_ontological.rs
+
+/root/repo/target/debug/deps/libexp_ontological-73e580b278bd1292.rmeta: crates/bench/src/bin/exp_ontological.rs
+
+crates/bench/src/bin/exp_ontological.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_propagation-c1f4983aaa2e842f.d: crates/bench/src/bin/exp_propagation.rs
+
+/root/repo/target/debug/deps/libexp_propagation-c1f4983aaa2e842f.rmeta: crates/bench/src/bin/exp_propagation.rs
+
+crates/bench/src/bin/exp_propagation.rs:

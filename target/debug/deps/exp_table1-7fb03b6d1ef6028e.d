@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-7fb03b6d1ef6028e.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/libexp_table1-7fb03b6d1ef6028e.rmeta: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

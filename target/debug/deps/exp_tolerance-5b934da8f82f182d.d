@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_tolerance-5b934da8f82f182d.d: crates/bench/src/bin/exp_tolerance.rs
+
+/root/repo/target/debug/deps/libexp_tolerance-5b934da8f82f182d.rmeta: crates/bench/src/bin/exp_tolerance.rs
+
+crates/bench/src/bin/exp_tolerance.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sysunc-e0b226993fc51e0c.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/debug/deps/libsysunc-e0b226993fc51e0c.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/casestudy.rs crates/core/src/error.rs crates/core/src/modeling.rs crates/core/src/register.rs crates/core/src/taxonomy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/budget.rs:
+crates/core/src/casestudy.rs:
+crates/core/src/error.rs:
+crates/core/src/modeling.rs:
+crates/core/src/register.rs:
+crates/core/src/taxonomy.rs:

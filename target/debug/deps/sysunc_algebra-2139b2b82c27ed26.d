@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sysunc_algebra-2139b2b82c27ed26.d: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+/root/repo/target/debug/deps/libsysunc_algebra-2139b2b82c27ed26.rmeta: crates/algebra/src/lib.rs crates/algebra/src/decomp.rs crates/algebra/src/eigen.rs crates/algebra/src/error.rs crates/algebra/src/matrix.rs crates/algebra/src/orthopoly.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/decomp.rs:
+crates/algebra/src/eigen.rs:
+crates/algebra/src/error.rs:
+crates/algebra/src/matrix.rs:
+crates/algebra/src/orthopoly.rs:

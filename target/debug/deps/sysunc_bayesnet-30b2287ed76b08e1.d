@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sysunc_bayesnet-30b2287ed76b08e1.d: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+/root/repo/target/debug/deps/libsysunc_bayesnet-30b2287ed76b08e1.rmeta: crates/bayesnet/src/lib.rs crates/bayesnet/src/error.rs crates/bayesnet/src/evidential.rs crates/bayesnet/src/factor.rs crates/bayesnet/src/infer.rs crates/bayesnet/src/learn.rs crates/bayesnet/src/mpe.rs crates/bayesnet/src/network.rs crates/bayesnet/src/ranked.rs crates/bayesnet/src/structure.rs
+
+crates/bayesnet/src/lib.rs:
+crates/bayesnet/src/error.rs:
+crates/bayesnet/src/evidential.rs:
+crates/bayesnet/src/factor.rs:
+crates/bayesnet/src/infer.rs:
+crates/bayesnet/src/learn.rs:
+crates/bayesnet/src/mpe.rs:
+crates/bayesnet/src/network.rs:
+crates/bayesnet/src/ranked.rs:
+crates/bayesnet/src/structure.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sysunc_bench-26155938213419d4.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libsysunc_bench-26155938213419d4.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sysunc_evidence-c6707d7fcb593616.d: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+/root/repo/target/debug/deps/libsysunc_evidence-c6707d7fcb593616.rmeta: crates/evidence/src/lib.rs crates/evidence/src/combination.rs crates/evidence/src/error.rs crates/evidence/src/fuzzy.rs crates/evidence/src/interval.rs crates/evidence/src/mass.rs crates/evidence/src/pbox.rs
+
+crates/evidence/src/lib.rs:
+crates/evidence/src/combination.rs:
+crates/evidence/src/error.rs:
+crates/evidence/src/fuzzy.rs:
+crates/evidence/src/interval.rs:
+crates/evidence/src/mass.rs:
+crates/evidence/src/pbox.rs:

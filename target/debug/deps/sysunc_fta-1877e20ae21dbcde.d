@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sysunc_fta-1877e20ae21dbcde.d: crates/fta/src/lib.rs crates/fta/src/common_cause.rs crates/fta/src/convert.rs crates/fta/src/epistemic_importance.rs crates/fta/src/cutset.rs crates/fta/src/dynamic.rs crates/fta/src/error.rs crates/fta/src/tree.rs crates/fta/src/uncertain.rs
+
+/root/repo/target/debug/deps/libsysunc_fta-1877e20ae21dbcde.rmeta: crates/fta/src/lib.rs crates/fta/src/common_cause.rs crates/fta/src/convert.rs crates/fta/src/epistemic_importance.rs crates/fta/src/cutset.rs crates/fta/src/dynamic.rs crates/fta/src/error.rs crates/fta/src/tree.rs crates/fta/src/uncertain.rs
+
+crates/fta/src/lib.rs:
+crates/fta/src/common_cause.rs:
+crates/fta/src/convert.rs:
+crates/fta/src/epistemic_importance.rs:
+crates/fta/src/cutset.rs:
+crates/fta/src/dynamic.rs:
+crates/fta/src/error.rs:
+crates/fta/src/tree.rs:
+crates/fta/src/uncertain.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sysunc_orbital-cf0c5b41e19b2878.d: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+/root/repo/target/debug/deps/libsysunc_orbital-cf0c5b41e19b2878.rmeta: crates/orbital/src/lib.rs crates/orbital/src/error.rs crates/orbital/src/integrator.rs crates/orbital/src/kepler.rs crates/orbital/src/observe.rs crates/orbital/src/system.rs crates/orbital/src/vec2.rs
+
+crates/orbital/src/lib.rs:
+crates/orbital/src/error.rs:
+crates/orbital/src/integrator.rs:
+crates/orbital/src/kepler.rs:
+crates/orbital/src/observe.rs:
+crates/orbital/src/system.rs:
+crates/orbital/src/vec2.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sysunc_pce-0161a25b6604d2b4.d: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+/root/repo/target/debug/deps/libsysunc_pce-0161a25b6604d2b4.rmeta: crates/pce/src/lib.rs crates/pce/src/error.rs crates/pce/src/expansion.rs crates/pce/src/input.rs crates/pce/src/multiindex.rs crates/pce/src/quadrature.rs
+
+crates/pce/src/lib.rs:
+crates/pce/src/error.rs:
+crates/pce/src/expansion.rs:
+crates/pce/src/input.rs:
+crates/pce/src/multiindex.rs:
+crates/pce/src/quadrature.rs:

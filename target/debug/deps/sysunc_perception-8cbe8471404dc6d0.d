@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sysunc_perception-8cbe8471404dc6d0.d: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+/root/repo/target/debug/deps/libsysunc_perception-8cbe8471404dc6d0.rmeta: crates/perception/src/lib.rs crates/perception/src/classifier.rs crates/perception/src/drift.rs crates/perception/src/error.rs crates/perception/src/fusion.rs crates/perception/src/monitor.rs crates/perception/src/world.rs
+
+crates/perception/src/lib.rs:
+crates/perception/src/classifier.rs:
+crates/perception/src/drift.rs:
+crates/perception/src/error.rs:
+crates/perception/src/fusion.rs:
+crates/perception/src/monitor.rs:
+crates/perception/src/world.rs:

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/sysunc_prob-3cfe62f90a51a418.d: crates/prob/src/lib.rs crates/prob/src/dist/mod.rs crates/prob/src/dist/bernoulli.rs crates/prob/src/dist/beta.rs crates/prob/src/dist/binomial.rs crates/prob/src/dist/categorical.rs crates/prob/src/dist/dirichlet.rs crates/prob/src/dist/exponential.rs crates/prob/src/dist/gamma.rs crates/prob/src/dist/lognormal.rs crates/prob/src/dist/mixture.rs crates/prob/src/dist/normal.rs crates/prob/src/dist/poisson.rs crates/prob/src/dist/student_t.rs crates/prob/src/dist/triangular.rs crates/prob/src/dist/truncated.rs crates/prob/src/dist/uniform.rs crates/prob/src/dist/weibull.rs crates/prob/src/empirical.rs crates/prob/src/error.rs crates/prob/src/fit.rs crates/prob/src/htest.rs crates/prob/src/info.rs crates/prob/src/json.rs crates/prob/src/propcheck.rs crates/prob/src/rng.rs crates/prob/src/special.rs crates/prob/src/stats.rs
+
+/root/repo/target/debug/deps/libsysunc_prob-3cfe62f90a51a418.rmeta: crates/prob/src/lib.rs crates/prob/src/dist/mod.rs crates/prob/src/dist/bernoulli.rs crates/prob/src/dist/beta.rs crates/prob/src/dist/binomial.rs crates/prob/src/dist/categorical.rs crates/prob/src/dist/dirichlet.rs crates/prob/src/dist/exponential.rs crates/prob/src/dist/gamma.rs crates/prob/src/dist/lognormal.rs crates/prob/src/dist/mixture.rs crates/prob/src/dist/normal.rs crates/prob/src/dist/poisson.rs crates/prob/src/dist/student_t.rs crates/prob/src/dist/triangular.rs crates/prob/src/dist/truncated.rs crates/prob/src/dist/uniform.rs crates/prob/src/dist/weibull.rs crates/prob/src/empirical.rs crates/prob/src/error.rs crates/prob/src/fit.rs crates/prob/src/htest.rs crates/prob/src/info.rs crates/prob/src/json.rs crates/prob/src/propcheck.rs crates/prob/src/rng.rs crates/prob/src/special.rs crates/prob/src/stats.rs
+
+crates/prob/src/lib.rs:
+crates/prob/src/dist/mod.rs:
+crates/prob/src/dist/bernoulli.rs:
+crates/prob/src/dist/beta.rs:
+crates/prob/src/dist/binomial.rs:
+crates/prob/src/dist/categorical.rs:
+crates/prob/src/dist/dirichlet.rs:
+crates/prob/src/dist/exponential.rs:
+crates/prob/src/dist/gamma.rs:
+crates/prob/src/dist/lognormal.rs:
+crates/prob/src/dist/mixture.rs:
+crates/prob/src/dist/normal.rs:
+crates/prob/src/dist/poisson.rs:
+crates/prob/src/dist/student_t.rs:
+crates/prob/src/dist/triangular.rs:
+crates/prob/src/dist/truncated.rs:
+crates/prob/src/dist/uniform.rs:
+crates/prob/src/dist/weibull.rs:
+crates/prob/src/empirical.rs:
+crates/prob/src/error.rs:
+crates/prob/src/fit.rs:
+crates/prob/src/htest.rs:
+crates/prob/src/info.rs:
+crates/prob/src/json.rs:
+crates/prob/src/propcheck.rs:
+crates/prob/src/rng.rs:
+crates/prob/src/special.rs:
+crates/prob/src/stats.rs:

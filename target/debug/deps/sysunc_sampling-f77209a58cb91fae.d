@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sysunc_sampling-f77209a58cb91fae.d: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+/root/repo/target/debug/deps/libsysunc_sampling-f77209a58cb91fae.rmeta: crates/sampling/src/lib.rs crates/sampling/src/design.rs crates/sampling/src/error.rs crates/sampling/src/propagate.rs crates/sampling/src/variance_reduction.rs
+
+crates/sampling/src/lib.rs:
+crates/sampling/src/design.rs:
+crates/sampling/src/error.rs:
+crates/sampling/src/propagate.rs:
+crates/sampling/src/variance_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysunc_suite-5b2aec5f4ae8e7df.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsysunc_suite-5b2aec5f4ae8e7df.rmeta: src/lib.rs
+
+src/lib.rs:

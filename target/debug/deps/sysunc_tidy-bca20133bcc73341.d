@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysunc_tidy-bca20133bcc73341.d: crates/tidy/src/main.rs
+
+/root/repo/target/debug/deps/libsysunc_tidy-bca20133bcc73341.rmeta: crates/tidy/src/main.rs
+
+crates/tidy/src/main.rs:

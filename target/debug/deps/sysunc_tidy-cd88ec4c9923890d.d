@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sysunc_tidy-cd88ec4c9923890d.d: crates/tidy/src/lib.rs crates/tidy/src/rules/mod.rs crates/tidy/src/rules/doc.rs crates/tidy/src/rules/error_impl.rs crates/tidy/src/rules/float_eq.rs crates/tidy/src/rules/manifest.rs crates/tidy/src/rules/panic.rs crates/tidy/src/rules/prob_contract.rs crates/tidy/src/walk.rs
+
+/root/repo/target/debug/deps/libsysunc_tidy-cd88ec4c9923890d.rmeta: crates/tidy/src/lib.rs crates/tidy/src/rules/mod.rs crates/tidy/src/rules/doc.rs crates/tidy/src/rules/error_impl.rs crates/tidy/src/rules/float_eq.rs crates/tidy/src/rules/manifest.rs crates/tidy/src/rules/panic.rs crates/tidy/src/rules/prob_contract.rs crates/tidy/src/walk.rs
+
+crates/tidy/src/lib.rs:
+crates/tidy/src/rules/mod.rs:
+crates/tidy/src/rules/doc.rs:
+crates/tidy/src/rules/error_impl.rs:
+crates/tidy/src/rules/float_eq.rs:
+crates/tidy/src/rules/manifest.rs:
+crates/tidy/src/rules/panic.rs:
+crates/tidy/src/rules/prob_contract.rs:
+crates/tidy/src/walk.rs:
