@@ -13,3 +13,7 @@ cargo test -q --offline
 
 echo "== static-analysis gate =="
 cargo run -q --offline -p sysunc-tidy
+
+echo "== engine-layer examples (release) =="
+cargo run -q --release --offline --example propagation_methods
+cargo run -q --release --offline --example strategy_workflow

@@ -1,27 +1,169 @@
-//! Error types for the top-level `sysunc` crate.
+//! The workspace-unified error type.
+//!
+//! Every substrate crate keeps its own focused error enum (that is the
+//! right boundary for a library you can use stand-alone), but suite-level
+//! code that wires several substrates together — the [`crate::propagator`]
+//! engine layer, examples, integration tests — would otherwise juggle nine
+//! incompatible error types. [`Error`] wraps each of them behind one enum
+//! with `From` impls, so `?` composes across every layer of the toolkit.
 
 use std::fmt;
 
-/// Errors from the taxonomy, modeling-relation and case-study layers.
+/// The unified error of the `sysunc` toolkit: local failures of the
+/// taxonomy/modeling/case-study/propagator layers plus a wrapping variant
+/// per substrate crate.
 #[derive(Debug, Clone, PartialEq)]
-pub enum SysuncError {
+pub enum Error {
     /// An input slice or parameter was invalid.
     InvalidInput(String),
     /// Construction of the built-in paper case study failed (only possible
     /// if a substrate invariant is violated).
     CaseStudy(String),
+    /// A propagation engine cannot represent the request (e.g. a purely
+    /// epistemic interval input handed to a sampling engine).
+    Unsupported(String),
+    /// Probability substrate failure.
+    Prob(sysunc_prob::ProbError),
+    /// Linear-algebra substrate failure.
+    Algebra(sysunc_algebra::AlgebraError),
+    /// Sampling/design-of-experiment failure.
+    Sampling(sysunc_sampling::SamplingError),
+    /// Polynomial-chaos failure.
+    Pce(sysunc_pce::PceError),
+    /// Evidence-theory failure.
+    Evidence(sysunc_evidence::EvidenceError),
+    /// Bayesian-network failure.
+    BayesNet(sysunc_bayesnet::BnError),
+    /// Fault-tree failure.
+    Fta(sysunc_fta::FtaError),
+    /// Orbital-simulator failure.
+    Orbital(sysunc_orbital::OrbitalError),
+    /// Perception-chain failure.
+    Perception(sysunc_perception::PerceptionError),
 }
 
-impl fmt::Display for SysuncError {
+/// Backwards-compatible name from before the error unification; variant
+/// paths like `SysuncError::InvalidInput` keep working through the alias.
+pub type SysuncError = Error;
+
+impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SysuncError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
-            SysuncError::CaseStudy(msg) => write!(f, "case study construction failed: {msg}"),
+            Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Error::CaseStudy(msg) => write!(f, "case study construction failed: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported propagation request: {msg}"),
+            Error::Prob(e) => write!(f, "prob: {e}"),
+            Error::Algebra(e) => write!(f, "algebra: {e}"),
+            Error::Sampling(e) => write!(f, "sampling: {e}"),
+            Error::Pce(e) => write!(f, "pce: {e}"),
+            Error::Evidence(e) => write!(f, "evidence: {e}"),
+            Error::BayesNet(e) => write!(f, "bayesnet: {e}"),
+            Error::Fta(e) => write!(f, "fta: {e}"),
+            Error::Orbital(e) => write!(f, "orbital: {e}"),
+            Error::Perception(e) => write!(f, "perception: {e}"),
         }
     }
 }
 
-impl std::error::Error for SysuncError {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::InvalidInput(_) | Error::CaseStudy(_) | Error::Unsupported(_) => None,
+            Error::Prob(e) => Some(e),
+            Error::Algebra(e) => Some(e),
+            Error::Sampling(e) => Some(e),
+            Error::Pce(e) => Some(e),
+            Error::Evidence(e) => Some(e),
+            Error::BayesNet(e) => Some(e),
+            Error::Fta(e) => Some(e),
+            Error::Orbital(e) => Some(e),
+            Error::Perception(e) => Some(e),
+        }
+    }
+}
+
+impl From<sysunc_prob::ProbError> for Error {
+    fn from(e: sysunc_prob::ProbError) -> Self {
+        Error::Prob(e)
+    }
+}
+
+impl From<sysunc_algebra::AlgebraError> for Error {
+    fn from(e: sysunc_algebra::AlgebraError) -> Self {
+        Error::Algebra(e)
+    }
+}
+
+impl From<sysunc_sampling::SamplingError> for Error {
+    fn from(e: sysunc_sampling::SamplingError) -> Self {
+        Error::Sampling(e)
+    }
+}
+
+impl From<sysunc_pce::PceError> for Error {
+    fn from(e: sysunc_pce::PceError) -> Self {
+        Error::Pce(e)
+    }
+}
+
+impl From<sysunc_evidence::EvidenceError> for Error {
+    fn from(e: sysunc_evidence::EvidenceError) -> Self {
+        Error::Evidence(e)
+    }
+}
+
+impl From<sysunc_bayesnet::BnError> for Error {
+    fn from(e: sysunc_bayesnet::BnError) -> Self {
+        Error::BayesNet(e)
+    }
+}
+
+impl From<sysunc_fta::FtaError> for Error {
+    fn from(e: sysunc_fta::FtaError) -> Self {
+        Error::Fta(e)
+    }
+}
+
+impl From<sysunc_orbital::OrbitalError> for Error {
+    fn from(e: sysunc_orbital::OrbitalError) -> Self {
+        Error::Orbital(e)
+    }
+}
+
+impl From<sysunc_perception::PerceptionError> for Error {
+    fn from(e: sysunc_perception::PerceptionError) -> Self {
+        Error::Perception(e)
+    }
+}
 
 /// Convenience result alias for the `sysunc` crate.
-pub type Result<T> = std::result::Result<T, SysuncError>;
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_mark_composes_across_substrates() {
+        fn chain() -> Result<f64> {
+            let d = sysunc_prob::dist::Normal::new(0.0, 1.0)?;
+            let i = sysunc_evidence::Interval::new(0.0, 1.0)?;
+            Ok(sysunc_prob::dist::Continuous::mean(&d) + i.midpoint())
+        }
+        assert!((chain().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapped_errors_convert_display_and_source() {
+        let e: Error = sysunc_prob::dist::Normal::new(0.0, -1.0).unwrap_err().into();
+        assert!(matches!(e, Error::Prob(_)));
+        assert!(e.to_string().starts_with("prob: "));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: Error = sysunc_evidence::Interval::new(2.0, 1.0).unwrap_err().into();
+        assert!(matches!(e, Error::Evidence(_)));
+
+        let local = Error::Unsupported("interval input to a sampling engine".into());
+        assert!(std::error::Error::source(&local).is_none());
+    }
+}

@@ -14,6 +14,7 @@
 //! |---|---|---|
 //! | [`taxonomy`] | [`taxonomy::UncertaintyKind`], [`taxonomy::Means`], the classified method catalog and strategy recommendation | Secs. III-IV, Fig. 3 |
 //! | [`modeling`] | the modeling relation, adequacy assessment and the conditional-entropy surprise factor | Sec. II-A, Fig. 2, Sec. III-C |
+//! | [`propagator`] | the unified propagation engine layer: one [`Propagator`] trait over Monte Carlo, LHS, Sobol', spectral and evidential engines, plus the parallel batch driver | Secs. III-IV |
 //! | [`casestudy`] | Fig. 4 / Table I verbatim, in Bayesian and evidential form | Sec. V |
 //! | [`budget`] | quantified per-kind uncertainty budgets and the release gate | Secs. IV, VI |
 //!
@@ -44,10 +45,16 @@ pub mod budget;
 pub mod casestudy;
 mod error;
 pub mod modeling;
+pub mod propagator;
 pub mod register;
 pub mod taxonomy;
 
-pub use error::{Result, SysuncError};
+pub use error::{Error, Result, SysuncError};
+pub use propagator::{
+    run_all, run_batch, run_batch_serial, standard_engines, BatchJob, EvidentialEngine,
+    LatinHypercubeEngine, Model, MonteCarloEngine, PropagationReport, PropagationRequest,
+    Propagator, SobolEngine, SpectralEngine, UncertainInput,
+};
 
 pub use sysunc_algebra as algebra;
 pub use sysunc_bayesnet as bayesnet;

@@ -1,0 +1,775 @@
+//! The unified propagation engine layer.
+//!
+//! The paper's central claim is that aleatory, epistemic and ontological
+//! uncertainty are facets of *one* modeling relation — yet a toolkit
+//! reproducing it naturally grows one propagation code path per
+//! mathematical machinery: Monte Carlo in `sampling`, spectral expansion
+//! in `pce`, belief/plausibility envelopes in `evidence`. This module
+//! puts the single abstraction back: every engine is a [`Propagator`]
+//! that consumes the same [`PropagationRequest`] (shared
+//! [`UncertainInput`] declarations plus a deterministic [`Model`]) and
+//! produces the same [`PropagationReport`] (mean/variance/quantile
+//! *intervals*, tagged with the taxonomy kind it propagated and the
+//! coping [`Means`] the engine realizes).
+//!
+//! Precise engines return degenerate intervals; the evidential engine
+//! returns genuinely wide ones — the report type makes the epistemic
+//! width a first-class output instead of an incompatible type.
+//!
+//! [`run_batch`] fans a batch of (engine, request) jobs across OS threads
+//! with `std::thread::scope`; because every engine derives all randomness
+//! from the request seed, the parallel driver is bit-identical to
+//! [`run_batch_serial`].
+
+use crate::error::{Error, Result};
+use crate::taxonomy::{Means, UncertaintyKind};
+use std::fmt;
+use sysunc_evidence::{DsStructure, Interval};
+use sysunc_pce::{ChaosExpansion, PceInput};
+use sysunc_prob::dist::{Beta, Continuous, Exponential, Normal, Uniform};
+use sysunc_prob::rng::{SeedableRng, StdRng};
+use sysunc_prob::stats;
+use sysunc_sampling::{
+    propagate as sample_propagate, Design, LatinHypercubeDesign, RandomDesign, SobolDesign,
+};
+
+pub use sysunc_sampling::Model;
+
+/// One uncertain input of a propagation problem, in engine-neutral form.
+///
+/// Every engine translates the declaration into its native
+/// representation: a [`Continuous`] distribution for sampling engines, a
+/// Wiener–Askey germ for the spectral engine, a Dempster–Shafer structure
+/// for the evidential engine. The [`UncertainInput::Interval`] variant is
+/// *purely epistemic* (known bounds, no distribution) and is only
+/// representable by the evidential engine; sampling and spectral engines
+/// reject it with [`Error::Unsupported`] rather than silently assuming a
+/// uniform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UncertainInput {
+    /// `X ~ N(mu, sigma²)` — aleatory.
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// `X ~ U(a, b)` — aleatory.
+    Uniform {
+        /// Lower bound.
+        a: f64,
+        /// Upper bound.
+        b: f64,
+    },
+    /// `X ~ Exp(rate)` — aleatory.
+    Exponential {
+        /// Rate parameter.
+        rate: f64,
+    },
+    /// `X ~ Beta(alpha, beta)` on `[0, 1]` — aleatory.
+    Beta {
+        /// First shape parameter.
+        alpha: f64,
+        /// Second shape parameter.
+        beta: f64,
+    },
+    /// `X ∈ [lo, hi]` with no distributional claim — epistemic.
+    Interval {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl UncertainInput {
+    /// The taxonomy kind this input declares.
+    pub fn kind(&self) -> UncertaintyKind {
+        match self {
+            UncertainInput::Interval { .. } => UncertaintyKind::Epistemic,
+            _ => UncertaintyKind::Aleatory,
+        }
+    }
+
+    /// Native form for sampling engines.
+    fn to_continuous(self) -> Result<Box<dyn Continuous>> {
+        match self {
+            UncertainInput::Normal { mu, sigma } => Ok(Box::new(Normal::new(mu, sigma)?)),
+            UncertainInput::Uniform { a, b } => Ok(Box::new(Uniform::new(a, b)?)),
+            UncertainInput::Exponential { rate } => Ok(Box::new(Exponential::new(rate)?)),
+            UncertainInput::Beta { alpha, beta } => Ok(Box::new(Beta::new(alpha, beta)?)),
+            UncertainInput::Interval { lo, hi } => Err(Error::Unsupported(format!(
+                "interval input [{lo}, {hi}] has no sampling distribution; \
+                 use the evidential engine"
+            ))),
+        }
+    }
+
+    /// Native form for the spectral (polynomial chaos) engine.
+    fn to_pce(self) -> Result<PceInput> {
+        match self {
+            UncertainInput::Normal { mu, sigma } => Ok(PceInput::Normal { mu, sigma }),
+            UncertainInput::Uniform { a, b } => Ok(PceInput::Uniform { a, b }),
+            UncertainInput::Exponential { rate } => Ok(PceInput::Exponential { rate }),
+            UncertainInput::Beta { alpha, beta } => Ok(PceInput::Beta { alpha, beta }),
+            UncertainInput::Interval { lo, hi } => Err(Error::Unsupported(format!(
+                "interval input [{lo}, {hi}] has no polynomial-chaos germ; \
+                 use the evidential engine"
+            ))),
+        }
+    }
+
+    /// Native form for the evidential engine: distributions are outer-
+    /// discretized into `cells` equal-mass focal intervals, intervals are
+    /// taken as-is (a single focal element of mass 1).
+    fn to_ds(self, cells: usize) -> Result<DsStructure> {
+        match self {
+            UncertainInput::Interval { lo, hi } => {
+                Ok(DsStructure::from_interval(sysunc_evidence::Interval::new(lo, hi)?))
+            }
+            other => {
+                let dist = other.to_continuous()?;
+                Ok(DsStructure::from_distribution(dist.as_ref(), cells)?)
+            }
+        }
+    }
+}
+
+/// A complete propagation problem: what to push through which model, at
+/// what cost, reproducibly.
+#[derive(Clone)]
+pub struct PropagationRequest<'m> {
+    /// Input declarations, one per model dimension.
+    pub inputs: Vec<UncertainInput>,
+    /// The deterministic model `y = f(x)` (paper Fig. 2, model A).
+    pub model: &'m dyn Model,
+    /// Evaluation budget for budget-driven engines (sample count for
+    /// sampling engines, focal-product cap for the evidential engine).
+    /// Grid-driven engines may spend less and report what they used.
+    pub budget: usize,
+    /// Seed from which every engine derives all of its randomness — the
+    /// reproducibility contract that makes parallel batch execution
+    /// bit-identical to serial.
+    pub seed: u64,
+    /// Quantile levels to report, each in `(0, 1)`.
+    pub quantile_levels: Vec<f64>,
+    /// Optional exceedance query: report bounds on `P(Y > threshold)`.
+    pub threshold: Option<f64>,
+}
+
+impl<'m> PropagationRequest<'m> {
+    /// Builds a request with defaults: budget 4096, seed 2020 (the
+    /// paper's year), quantiles 5% / 50% / 95%, no threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for empty inputs.
+    pub fn new(inputs: Vec<UncertainInput>, model: &'m dyn Model) -> Result<Self> {
+        if inputs.is_empty() {
+            return Err(Error::InvalidInput("propagation needs at least one input".into()));
+        }
+        Ok(Self {
+            inputs,
+            model,
+            budget: 4096,
+            seed: 2020,
+            quantile_levels: vec![0.05, 0.5, 0.95],
+            threshold: None,
+        })
+    }
+
+    /// Sets the evaluation budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget.max(1);
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the reported quantile levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for levels outside `(0, 1)`.
+    pub fn with_quantile_levels(mut self, levels: Vec<f64>) -> Result<Self> {
+        if levels.iter().any(|p| !(*p > 0.0 && *p < 1.0)) {
+            return Err(Error::InvalidInput(format!(
+                "quantile levels must lie in (0, 1), got {levels:?}"
+            )));
+        }
+        self.quantile_levels = levels;
+        Ok(self)
+    }
+
+    /// Adds an exceedance query `P(Y > threshold)`.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// The dominant taxonomy kind of the declared inputs: epistemic as
+    /// soon as one input is a pure interval, aleatory otherwise.
+    pub fn dominant_kind(&self) -> UncertaintyKind {
+        if self.inputs.iter().any(|i| i.kind() == UncertaintyKind::Epistemic) {
+            UncertaintyKind::Epistemic
+        } else {
+            UncertaintyKind::Aleatory
+        }
+    }
+}
+
+impl fmt::Debug for PropagationRequest<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PropagationRequest")
+            .field("inputs", &self.inputs)
+            .field("budget", &self.budget)
+            .field("seed", &self.seed)
+            .field("quantile_levels", &self.quantile_levels)
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The unified result of one engine run.
+///
+/// All statistics are [`Interval`]s: precise engines return degenerate
+/// (zero-width) intervals, the evidential engine returns the true
+/// belief/plausibility envelope. Downstream code that only wants a number
+/// calls the `*_estimate` midpoint accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropagationReport {
+    /// Name of the engine that produced the report.
+    pub engine: &'static str,
+    /// The coping means (paper Sec. IV) the engine realizes.
+    pub means: Means,
+    /// Dominant taxonomy kind of the propagated inputs.
+    pub kind: UncertaintyKind,
+    /// Bounds on the output mean.
+    pub mean: Interval,
+    /// Bounds on the output variance (pignistic point value for the
+    /// evidential engine, see [`DsStructure::variance_pignistic`]).
+    pub variance: Interval,
+    /// `(level, bounds)` per requested quantile level.
+    pub quantiles: Vec<(f64, Interval)>,
+    /// Bounds on `P(Y > threshold)` when the request asked for it.
+    /// Range: both endpoints in `[0, 1]`.
+    pub exceedance: Option<Interval>,
+    /// Model evaluations actually spent.
+    pub evaluations: usize,
+}
+
+impl PropagationReport {
+    /// Point estimate of the mean (interval midpoint).
+    pub fn mean_estimate(&self) -> f64 {
+        self.mean.midpoint()
+    }
+
+    /// Point estimate of the variance (interval midpoint).
+    pub fn variance_estimate(&self) -> f64 {
+        self.variance.midpoint()
+    }
+
+    /// Point estimate of the standard deviation.
+    pub fn std_dev_estimate(&self) -> f64 {
+        self.variance_estimate().max(0.0).sqrt()
+    }
+
+    /// Width of the epistemic envelope on the mean — zero for precise
+    /// engines, positive for interval-valued ones.
+    pub fn epistemic_width(&self) -> f64 {
+        self.mean.width()
+    }
+}
+
+impl fmt::Display for PropagationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let iv = |i: &Interval| {
+            if i.width() < 1e-12 {
+                format!("{:.5}", i.midpoint())
+            } else {
+                format!("[{:.5}, {:.5}]", i.lo(), i.hi())
+            }
+        };
+        write!(
+            f,
+            "{:<16} kind={:<10} means={:<11} mean={} var={} evals={}",
+            self.engine,
+            self.kind.to_string(),
+            self.means.to_string(),
+            iv(&self.mean),
+            iv(&self.variance),
+            self.evaluations
+        )?;
+        if let Some(e) = &self.exceedance {
+            write!(f, " p_exceed={}", iv(e))?;
+        }
+        Ok(())
+    }
+}
+
+/// A propagation engine: one uniform interface over Monte Carlo, Latin
+/// hypercube, quasi-Monte Carlo, spectral and evidential propagation.
+///
+/// Implementations must be deterministic given `request.seed` — that is
+/// what makes [`run_batch`] bit-identical to [`run_batch_serial`].
+pub trait Propagator: Sync {
+    /// Stable engine identifier (used in reports and tables).
+    fn name(&self) -> &'static str;
+
+    /// The coping means (paper Sec. IV) this engine realizes.
+    fn means(&self) -> Means;
+
+    /// Runs the engine on one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] when the engine cannot represent an
+    /// input declaration, and propagates substrate failures.
+    fn propagate(&self, request: &PropagationRequest<'_>) -> Result<PropagationReport>;
+}
+
+/// Shared implementation for the three design-of-experiment engines.
+fn sampling_report(
+    engine: &'static str,
+    means: Means,
+    design: &dyn Design,
+    request: &PropagationRequest<'_>,
+) -> Result<PropagationReport> {
+    let dists: Vec<Box<dyn Continuous>> = request
+        .inputs
+        .iter()
+        .map(|i| i.to_continuous())
+        .collect::<Result<_>>()?;
+    let refs: Vec<&dyn Continuous> = dists.iter().map(Box::as_ref).collect();
+    let model = request.model;
+    let f = |x: &[f64]| model.eval(x);
+    let mut rng = StdRng::seed_from_u64(request.seed);
+    let res = sample_propagate(&refs, design, &f, request.budget, &mut rng)?;
+    let quantiles = request
+        .quantile_levels
+        .iter()
+        .map(|&p| Ok((p, Interval::degenerate(res.quantile(p)?))))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(PropagationReport {
+        engine,
+        means,
+        kind: request.dominant_kind(),
+        mean: Interval::degenerate(res.mean()),
+        variance: Interval::degenerate(res.variance()),
+        quantiles,
+        exceedance: request
+            .threshold
+            .map(|t| Interval::degenerate(res.exceedance_probability(t))),
+        evaluations: res.outputs.len(),
+    })
+}
+
+/// Crude Monte Carlo propagation (uncertainty removal by brute-force
+/// design of experiment).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonteCarloEngine;
+
+impl Propagator for MonteCarloEngine {
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+
+    fn means(&self) -> Means {
+        Means::Removal
+    }
+
+    fn propagate(&self, request: &PropagationRequest<'_>) -> Result<PropagationReport> {
+        sampling_report(self.name(), self.means(), &RandomDesign, request)
+    }
+}
+
+/// Latin-hypercube propagation (stratified design of experiment).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatinHypercubeEngine;
+
+impl Propagator for LatinHypercubeEngine {
+    fn name(&self) -> &'static str {
+        "latin-hypercube"
+    }
+
+    fn means(&self) -> Means {
+        Means::Removal
+    }
+
+    fn propagate(&self, request: &PropagationRequest<'_>) -> Result<PropagationReport> {
+        sampling_report(self.name(), self.means(), &LatinHypercubeDesign, request)
+    }
+}
+
+/// Sobol' quasi-Monte Carlo propagation (low-discrepancy design).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SobolEngine;
+
+impl Propagator for SobolEngine {
+    fn name(&self) -> &'static str {
+        "sobol-qmc"
+    }
+
+    fn means(&self) -> Means {
+        Means::Removal
+    }
+
+    fn propagate(&self, request: &PropagationRequest<'_>) -> Result<PropagationReport> {
+        sampling_report(self.name(), self.means(), &SobolDesign::default(), request)
+    }
+}
+
+/// Spectral propagation by polynomial chaos projection: fits a surrogate
+/// on a tensor Gauss grid, reads mean and variance off the coefficients
+/// (uncertainty *forecasting*), and samples the cheap surrogate for
+/// quantiles and exceedance.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralEngine {
+    /// Total polynomial degree of the expansion.
+    pub degree: usize,
+}
+
+impl SpectralEngine {
+    /// Engine with the given expansion degree (clamped to at least 1).
+    pub fn new(degree: usize) -> Self {
+        Self { degree: degree.max(1) }
+    }
+}
+
+impl Default for SpectralEngine {
+    fn default() -> Self {
+        Self::new(5)
+    }
+}
+
+impl Propagator for SpectralEngine {
+    fn name(&self) -> &'static str {
+        "pce-spectral"
+    }
+
+    fn means(&self) -> Means {
+        Means::Forecasting
+    }
+
+    fn propagate(&self, request: &PropagationRequest<'_>) -> Result<PropagationReport> {
+        let inputs: Vec<PceInput> =
+            request.inputs.iter().map(|i| i.to_pce()).collect::<Result<_>>()?;
+        let model = request.model;
+        let pce = ChaosExpansion::fit_projection(&inputs, self.degree, |x| model.eval(x))?;
+        // Quantiles/exceedance via LHS samples of the surrogate — cheap
+        // (no model calls) and deterministic under the request seed.
+        let n = request.budget.max(1024);
+        let mut rng = StdRng::seed_from_u64(request.seed);
+        let points = LatinHypercubeDesign
+            .generate(n, inputs.len(), &mut rng)
+            .map_err(Error::Sampling)?;
+        let outputs: Vec<f64> = points.iter().map(|u| pce.eval_u(u)).collect();
+        let quantiles = request
+            .quantile_levels
+            .iter()
+            .map(|&p| {
+                let q = stats::quantile(&outputs, p)?;
+                Ok((p, Interval::degenerate(q)))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let exceedance = request.threshold.map(|t| {
+            let freq = outputs.iter().filter(|&&y| y > t).count() as f64
+                / outputs.len().max(1) as f64;
+            Interval::degenerate(freq)
+        });
+        Ok(PropagationReport {
+            engine: self.name(),
+            means: self.means(),
+            kind: request.dominant_kind(),
+            mean: Interval::degenerate(pce.mean()),
+            variance: Interval::degenerate(pce.variance()),
+            quantiles,
+            exceedance,
+            evaluations: pce.evaluations(),
+        })
+    }
+}
+
+/// Evidential propagation through Dempster–Shafer structures: every
+/// statistic comes back as a guaranteed belief/plausibility envelope —
+/// the engine that *tolerates* epistemic uncertainty instead of averaging
+/// it away, and the only one accepting [`UncertainInput::Interval`].
+#[derive(Debug, Clone, Copy)]
+pub struct EvidentialEngine {
+    /// Focal cells per discretized distribution input.
+    pub cells: usize,
+}
+
+impl EvidentialEngine {
+    /// Engine with the given discretization resolution (at least 2).
+    pub fn new(cells: usize) -> Self {
+        Self { cells: cells.max(2) }
+    }
+}
+
+impl Default for EvidentialEngine {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+impl Propagator for EvidentialEngine {
+    fn name(&self) -> &'static str {
+        "evidential"
+    }
+
+    fn means(&self) -> Means {
+        Means::Tolerance
+    }
+
+    fn propagate(&self, request: &PropagationRequest<'_>) -> Result<PropagationReport> {
+        let ds: Vec<DsStructure> = request
+            .inputs
+            .iter()
+            .map(|i| i.to_ds(self.cells))
+            .collect::<Result<_>>()?;
+        let model = request.model;
+        let (out, evaluations) =
+            sysunc_evidence::propagate_model(&ds, |x| model.eval(x), request.budget)?;
+        let quantiles = request
+            .quantile_levels
+            .iter()
+            .map(|&p| Ok((p, out.quantile_bounds(p)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PropagationReport {
+            engine: self.name(),
+            means: self.means(),
+            kind: request.dominant_kind(),
+            mean: out.mean_bounds(),
+            variance: Interval::degenerate(out.variance_pignistic()),
+            quantiles,
+            exceedance: request.threshold.map(|t| out.exceedance_bounds(t)),
+            evaluations,
+        })
+    }
+}
+
+/// The four standard engines of the suite, boxed for batch driving: MC,
+/// LHS, spectral PCE and evidential.
+pub fn standard_engines() -> Vec<Box<dyn Propagator>> {
+    vec![
+        Box::new(MonteCarloEngine),
+        Box::new(LatinHypercubeEngine),
+        Box::new(SpectralEngine::default()),
+        Box::new(EvidentialEngine::default()),
+    ]
+}
+
+/// One unit of batch work: an engine paired with the request it runs.
+pub type BatchJob<'a, 'm> = (&'a dyn Propagator, &'a PropagationRequest<'m>);
+
+/// Runs a batch of jobs sequentially, preserving order.
+pub fn run_batch_serial(jobs: &[BatchJob<'_, '_>]) -> Vec<Result<PropagationReport>> {
+    jobs.iter().map(|(engine, request)| engine.propagate(request)).collect()
+}
+
+/// Runs a batch of jobs across `threads` scoped OS threads, preserving
+/// order. Every engine derives its randomness from the request seed, so
+/// the results are bit-identical to [`run_batch_serial`].
+pub fn run_batch(jobs: &[BatchJob<'_, '_>], threads: usize) -> Vec<Result<PropagationReport>> {
+    let threads = threads.max(1);
+    let mut results: Vec<Option<Result<PropagationReport>>> =
+        jobs.iter().map(|_| None).collect();
+    let chunk = jobs.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (job_chunk, slot_chunk) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for ((engine, request), slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(engine.propagate(request));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| match r {
+            Some(res) => res,
+            None => Err(Error::InvalidInput("batch worker dropped a job".into())),
+        })
+        .collect()
+}
+
+/// Convenience: runs one request across every given engine in parallel.
+pub fn run_all(
+    engines: &[Box<dyn Propagator>],
+    request: &PropagationRequest<'_>,
+    threads: usize,
+) -> Vec<Result<PropagationReport>> {
+    let jobs: Vec<BatchJob<'_, '_>> =
+        engines.iter().map(|e| (e.as_ref(), request)).collect();
+    run_batch(&jobs, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_request(model: &dyn Model) -> PropagationRequest<'_> {
+        PropagationRequest::new(
+            vec![
+                UncertainInput::Normal { mu: 1.0, sigma: 2.0 },
+                UncertainInput::Uniform { a: 0.0, b: 1.0 },
+            ],
+            model,
+        )
+        .unwrap()
+        .with_budget(20_000)
+        .with_seed(7)
+    }
+
+    #[test]
+    fn engines_agree_on_linear_model() {
+        // Y = 2 X1 + 3 X2: E = 3.5, Var = 16.75.
+        let model = |x: &[f64]| 2.0 * x[0] + 3.0 * x[1];
+        let req = linear_request(&model);
+        for engine in standard_engines() {
+            let rep = engine.propagate(&req).unwrap();
+            assert!(
+                rep.mean.contains(3.5) || (rep.mean_estimate() - 3.5).abs() < 0.06,
+                "{}: mean {:?}",
+                rep.engine,
+                rep.mean
+            );
+            if rep.engine == "evidential" {
+                // Outer discretization is conservative: the pignistic
+                // variance adds cell-width spread on top of the true
+                // variance, so it bounds truth from above.
+                assert!(
+                    rep.variance_estimate() >= 16.75 && rep.variance_estimate() < 40.0,
+                    "{}: var {}",
+                    rep.engine,
+                    rep.variance_estimate()
+                );
+            } else {
+                assert!(
+                    (rep.variance_estimate() - 16.75).abs() < 0.9,
+                    "{}: var {}",
+                    rep.engine,
+                    rep.variance_estimate()
+                );
+            }
+            assert_eq!(rep.kind, UncertaintyKind::Aleatory);
+            assert!(rep.evaluations > 0);
+        }
+    }
+
+    #[test]
+    fn interval_inputs_are_evidential_only() {
+        let model = |x: &[f64]| x[0];
+        let req = PropagationRequest::new(
+            vec![UncertainInput::Interval { lo: 1.0, hi: 3.0 }],
+            &model,
+        )
+        .unwrap();
+        assert!(matches!(
+            MonteCarloEngine.propagate(&req),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            SpectralEngine::default().propagate(&req),
+            Err(Error::Unsupported(_))
+        ));
+        let rep = EvidentialEngine::default().propagate(&req).unwrap();
+        assert_eq!(rep.kind, UncertaintyKind::Epistemic);
+        assert!((rep.mean.lo() - 1.0).abs() < 1e-9 && (rep.mean.hi() - 3.0).abs() < 1e-9);
+        assert!(rep.epistemic_width() > 1.0);
+    }
+
+    #[test]
+    fn evidential_envelope_encloses_sampling_estimates() {
+        let model = |x: &[f64]| x[0] + x[1];
+        let req = PropagationRequest::new(
+            vec![
+                UncertainInput::Uniform { a: 0.0, b: 1.0 },
+                UncertainInput::Interval { lo: 0.0, hi: 0.5 },
+            ],
+            &model,
+        )
+        .unwrap();
+        let rep = EvidentialEngine::default().propagate(&req).unwrap();
+        // True mean range: 0.5 + [0, 0.5].
+        assert!(rep.mean.lo() <= 0.51 && rep.mean.hi() >= 0.99, "{:?}", rep.mean);
+    }
+
+    #[test]
+    fn exceedance_and_quantiles_are_reported() {
+        let model = |x: &[f64]| x[0];
+        let req = PropagationRequest::new(
+            vec![UncertainInput::Normal { mu: 0.0, sigma: 1.0 }],
+            &model,
+        )
+        .unwrap()
+        .with_budget(50_000)
+        .with_threshold(1.645);
+        for engine in standard_engines() {
+            let rep = engine.propagate(&req).unwrap();
+            let e = rep.exceedance.expect("threshold was requested");
+            assert!(
+                e.lo() <= 0.08 && e.hi() >= 0.02,
+                "{}: exceedance {e:?}",
+                rep.engine
+            );
+            let median = rep.quantiles.iter().find(|(p, _)| (*p - 0.5).abs() < 1e-12);
+            let (_, m) = median.expect("median requested by default");
+            assert!(m.lo() <= 0.1 && m.hi() >= -0.1, "{}: median {m:?}", rep.engine);
+        }
+    }
+
+    #[test]
+    fn request_validation() {
+        let model = |x: &[f64]| x[0];
+        assert!(matches!(
+            PropagationRequest::new(vec![], &model),
+            Err(Error::InvalidInput(_))
+        ));
+        let req =
+            PropagationRequest::new(vec![UncertainInput::Normal { mu: 0.0, sigma: 1.0 }], &model)
+                .unwrap();
+        assert!(req.with_quantile_levels(vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn parallel_batch_identical_to_serial() {
+        let m1 = |x: &[f64]| x[0] * x[0];
+        let m2 = |x: &[f64]| (0.5 * x[0]).exp() + x[1];
+        let r1 = PropagationRequest::new(
+            vec![UncertainInput::Normal { mu: 0.0, sigma: 1.0 }],
+            &m1,
+        )
+        .unwrap()
+        .with_seed(11);
+        let r2 = PropagationRequest::new(
+            vec![
+                UncertainInput::Normal { mu: 0.0, sigma: 1.0 },
+                UncertainInput::Uniform { a: -1.0, b: 1.0 },
+            ],
+            &m2,
+        )
+        .unwrap()
+        .with_seed(13)
+        .with_threshold(1.0);
+        let engines = standard_engines();
+        let mut jobs: Vec<BatchJob<'_, '_>> = Vec::new();
+        for e in &engines {
+            jobs.push((e.as_ref(), &r1));
+            jobs.push((e.as_ref(), &r2));
+        }
+        let serial = run_batch_serial(&jobs);
+        for threads in [1, 2, 4, 7] {
+            let parallel = run_batch(&jobs, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+}

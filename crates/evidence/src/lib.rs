@@ -45,4 +45,4 @@ pub use error::{EvidenceError, Result};
 pub use fuzzy::FuzzyNumber;
 pub use interval::Interval;
 pub use mass::{Frame, MassFunction};
-pub use pbox::DsStructure;
+pub use pbox::{propagate_model, DsStructure};

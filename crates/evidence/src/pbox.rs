@@ -139,6 +139,49 @@ impl DsStructure {
         self.cdf_bounds(threshold).complement_probability().clamp_unit()
     }
 
+    /// Bounds on the `p`-quantile: the generalized inverses of the upper
+    /// CDF (lower bound) and the lower CDF (upper bound).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvidenceError::InvalidMass`] for `p` outside `[0, 1]`.
+    pub fn quantile_bounds(&self, p: f64) -> Result<Interval> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(EvidenceError::InvalidMass(format!(
+                "quantile level must be in [0, 1], got {p}"
+            )));
+        }
+        // cdf_upper steps up at lo endpoints, cdf_lower at hi endpoints;
+        // the inverses are cumulative-mass scans over each sorted endpoint
+        // list. cdf_upper >= cdf_lower pointwise, so its inverse is <=.
+        let scan = |endpoints: &mut Vec<(f64, f64)>| -> f64 {
+            endpoints.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut acc = 0.0;
+            for &(x, m) in endpoints.iter() {
+                acc += m;
+                if acc >= p - 1e-12 {
+                    return x;
+                }
+            }
+            endpoints.last().map(|&(x, _)| x).unwrap_or(f64::NAN)
+        };
+        let mut los: Vec<(f64, f64)> = self.focal.iter().map(|(i, m)| (i.lo(), *m)).collect();
+        let mut his: Vec<(f64, f64)> = self.focal.iter().map(|(i, m)| (i.hi(), *m)).collect();
+        Interval::new(scan(&mut los), scan(&mut his))
+    }
+
+    /// Variance of the pignistic (midpoint) approximation — the point
+    /// summary used when a downstream consumer needs a single number for
+    /// the spread of a DS structure. The epistemic width lives in
+    /// [`DsStructure::mean_bounds`], not here.
+    pub fn variance_pignistic(&self) -> f64 {
+        let mean: f64 = self.focal.iter().map(|(i, m)| i.midpoint() * m).sum();
+        self.focal
+            .iter()
+            .map(|(i, m)| m * (i.midpoint() - mean) * (i.midpoint() - mean))
+            .sum()
+    }
+
     /// Binary operation under independence: the Cartesian product of focal
     /// elements with interval arithmetic on each pair.
     ///
@@ -212,6 +255,92 @@ impl DsStructure {
             focal.push((hull, mass));
         }
         DsStructure { focal }
+    }
+}
+
+/// Propagates independent DS-structure inputs through a black-box scalar
+/// model `y = f(x)`, returning the output structure and the number of
+/// model evaluations spent.
+///
+/// For each combination of focal elements (one interval per input) the
+/// output interval is estimated by evaluating the model at the `2^dim`
+/// box corners plus the midpoint — exact for componentwise-monotone
+/// models, a sampling approximation otherwise. Inputs are condensed first
+/// so the focal product stays within `max_focal` combinations.
+///
+/// # Errors
+///
+/// Returns [`EvidenceError::InvalidMass`] for empty input or more than 12
+/// dimensions (the corner count is exponential in the dimension).
+pub fn propagate_model<F: Fn(&[f64]) -> f64>(
+    inputs: &[DsStructure],
+    model: F,
+    max_focal: usize,
+) -> Result<(DsStructure, usize)> {
+    if inputs.is_empty() {
+        return Err(EvidenceError::InvalidMass("no DS inputs to propagate".into()));
+    }
+    let dim = inputs.len();
+    if dim > 12 {
+        return Err(EvidenceError::InvalidMass(format!(
+            "corner propagation supports at most 12 dimensions, got {dim}"
+        )));
+    }
+    // Condense each input to the dim-th root of the budget so the
+    // Cartesian product holds roughly max_focal combinations.
+    let cap = max_focal.max(1) as f64;
+    let per_input = cap.powf(1.0 / dim as f64).floor().max(2.0) as usize;
+    let condensed: Vec<DsStructure> = inputs.iter().map(|d| d.condensed(per_input)).collect();
+    let sizes: Vec<usize> = condensed.iter().map(DsStructure::len).collect();
+
+    let mut evaluations = 0usize;
+    let mut focal = Vec::new();
+    let mut idx = vec![0usize; dim];
+    loop {
+        let mut mass = 1.0;
+        let cells: Vec<Interval> = idx
+            .iter()
+            .zip(&condensed)
+            .map(|(&i, d)| {
+                let (iv, m) = d.focal_elements()[i];
+                mass *= m;
+                iv
+            })
+            .collect();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut x = vec![0.0; dim];
+        for corner in 0..(1usize << dim) {
+            for (d2, cell) in cells.iter().enumerate() {
+                x[d2] = if (corner >> d2) & 1 == 1 { cell.hi() } else { cell.lo() };
+            }
+            let y = model(&x);
+            evaluations += 1;
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        for (d2, cell) in cells.iter().enumerate() {
+            x[d2] = cell.midpoint();
+        }
+        let y = model(&x);
+        evaluations += 1;
+        lo = lo.min(y);
+        hi = hi.max(y);
+        focal.push((Interval::new(lo, hi)?, mass));
+
+        // Odometer increment over the focal product.
+        let mut d2 = 0;
+        loop {
+            idx[d2] += 1;
+            if idx[d2] < sizes[d2] {
+                break;
+            }
+            idx[d2] = 0;
+            d2 += 1;
+            if d2 == dim {
+                return Ok((DsStructure::new(focal)?, evaluations));
+            }
+        }
     }
 }
 
@@ -320,6 +449,58 @@ mod tests {
                 b.hi()
             );
         }
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_and_order() {
+        let ds = DsStructure::new(vec![(iv(0.0, 1.0), 0.5), (iv(2.0, 3.0), 0.5)]).unwrap();
+        let q = ds.quantile_bounds(0.5).unwrap();
+        assert!((q.lo() - 0.0).abs() < 1e-12);
+        assert!((q.hi() - 1.0).abs() < 1e-12);
+        let q9 = ds.quantile_bounds(0.9).unwrap();
+        assert!((q9.lo() - 2.0).abs() < 1e-12);
+        assert!((q9.hi() - 3.0).abs() < 1e-12);
+        assert!(ds.quantile_bounds(1.5).is_err());
+        // Discretized normal: quantile bounds must bracket the true quantile.
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let fine = DsStructure::from_distribution(&n, 200).unwrap();
+        for p in [0.05, 0.5, 0.95] {
+            let b = fine.quantile_bounds(p).unwrap();
+            let truth = n.quantile(p);
+            assert!(b.lo() <= truth + 1e-6 && truth <= b.hi() + 1e-6, "p={p}: {b:?} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn variance_pignistic_matches_discrete_case() {
+        // Point focal elements: pignistic variance = ordinary variance.
+        let ds = DsStructure::new(vec![
+            (Interval::degenerate(0.0), 0.5),
+            (Interval::degenerate(2.0), 0.5),
+        ])
+        .unwrap();
+        assert!((ds.variance_pignistic() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagate_model_encloses_monotone_truth() {
+        // f(x, y) = x + 2y over known-interval inputs: exact enclosure.
+        let a = DsStructure::from_interval(iv(0.0, 1.0));
+        let b = DsStructure::new(vec![(iv(0.0, 1.0), 0.5), (iv(1.0, 2.0), 0.5)]).unwrap();
+        let (out, evals) =
+            propagate_model(&[a, b.clone()], |x| x[0] + 2.0 * x[1], 256).unwrap();
+        let m = out.mean_bounds();
+        // E bounds: x in [0,1]; 2y in [2*0.5*(0+1), 2*0.5*(1+2)] = [1, 3].
+        assert!((m.lo() - 1.0).abs() < 1e-12, "{m:?}");
+        assert!((m.hi() - 4.0).abs() < 1e-12, "{m:?}");
+        assert!(evals > 0);
+        // Agreement with the dedicated interval arithmetic path.
+        let direct = DsStructure::from_interval(iv(0.0, 1.0))
+            .add(&b.mul(&DsStructure::from_interval(iv(2.0, 2.0))).unwrap())
+            .unwrap();
+        assert!((direct.mean_bounds().lo() - m.lo()).abs() < 1e-12);
+        assert!((direct.mean_bounds().hi() - m.hi()).abs() < 1e-12);
+        assert!(propagate_model(&[], |_| 0.0, 16).is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 mod error;
 mod integrator;
 mod kepler;
+mod model;
 mod observe;
 mod system;
 mod vec2;
@@ -41,6 +42,7 @@ mod vec2;
 pub use error::{OrbitalError, Result};
 pub use integrator::Integrator;
 pub use kepler::KeplerOrbit;
+pub use model::{TwoBodyEnergyModel, TwoBodyPeriodModel};
 pub use observe::{ObservationChannel, OccupancyGrid, SurpriseMonitor};
 pub use system::{Body, Mascon, NBodySystem};
 pub use vec2::Vec2;

@@ -179,6 +179,29 @@ impl ChaosExpansion {
         self.inputs.len()
     }
 
+    /// The input specifications the expansion was fitted over.
+    pub fn inputs(&self) -> &[PceInput] {
+        &self.inputs
+    }
+
+    /// Evaluates the surrogate at a unit-hypercube point: each coordinate
+    /// `u_i ∈ (0, 1)` is mapped through the germ quantile of input `i`.
+    /// This is the bridge that lets any design-of-experiment engine (LHS,
+    /// Sobol', ...) sample the fitted surrogate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len()` differs from the input dimension.
+    pub fn eval_u(&self, u: &[f64]) -> f64 {
+        assert_eq!(u.len(), self.inputs.len(), "eval_u: dimension mismatch");
+        let germ: Vec<f64> = u
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&ui, inp)| inp.germ_quantile(ui.clamp(1e-12, 1.0 - 1e-12)))
+            .collect();
+        self.eval_germ(&germ)
+    }
+
     /// Evaluates the surrogate at a germ point.
     ///
     /// # Panics
@@ -327,6 +350,21 @@ mod tests {
             assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         }
         assert!(ChaosExpansion::fit_regression(&inputs, 2, 3, &mut rng(), model).is_err());
+    }
+
+    #[test]
+    fn eval_u_matches_eval_germ_through_quantiles() {
+        let inputs = [
+            PceInput::Normal { mu: 1.0, sigma: 0.5 },
+            PceInput::Uniform { a: 0.0, b: 4.0 },
+        ];
+        let pce =
+            ChaosExpansion::fit_projection(&inputs, 2, |x| x[0] * x[1] + x[0]).unwrap();
+        for &(u0, u1) in &[(0.1, 0.9), (0.5, 0.5), (0.73, 0.21)] {
+            let germ = [inputs[0].germ_quantile(u0), inputs[1].germ_quantile(u1)];
+            assert!((pce.eval_u(&[u0, u1]) - pce.eval_germ(&germ)).abs() < 1e-12);
+        }
+        assert_eq!(pce.inputs().len(), 2);
     }
 
     #[test]

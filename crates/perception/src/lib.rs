@@ -36,6 +36,7 @@ mod classifier;
 mod drift;
 mod error;
 mod fusion;
+mod model;
 mod monitor;
 mod world;
 
@@ -43,5 +44,6 @@ pub use classifier::{ClassifierModel, Output, RejectingClassifier, Verdict};
 pub use drift::DriftMonitor;
 pub use error::{PerceptionError, Result};
 pub use fusion::{FusedVerdict, FusionSystem};
+pub use model::MissedHazardModel;
 pub use monitor::{FieldCampaign, ReleaseForecast};
 pub use world::{Truth, WorldModel};

@@ -1,0 +1,89 @@
+//! Model-function adapters: perception-chain risk exposed as a
+//! deterministic model `y = f(x)` pluggable into any propagation engine
+//! that consumes the [`Model`] trait (the suite's unified `Propagator`
+//! layer).
+
+use crate::classifier::ClassifierModel;
+use crate::error::Result;
+use sysunc_sampling::Model;
+
+/// Analytic missed-hazard rate of a classifier under world-mix
+/// uncertainty.
+///
+/// Input vector `x = [p_pedestrian, p_novel]` (each clamped to `[0, 1]`):
+/// the uncertain share of pedestrians and of novel objects in the world.
+/// The output is the probability that a safety-relevant object is not
+/// recognized as what it is — a true pedestrian labeled anything but
+/// `pedestrian`, plus a novel object labeled as a *known* class (the
+/// ontological hazard of Table I's unknown row):
+///
+/// `y = p_ped · (1 − L(ped, ped)) + p_novel · (1 − L(novel, none))`
+///
+/// Deterministic: computed from the confusion-matrix likelihoods, not by
+/// simulation, so every propagation engine sees the same function.
+#[derive(Debug, Clone)]
+pub struct MissedHazardModel {
+    classifier: ClassifierModel,
+    pedestrian_class: usize,
+}
+
+impl MissedHazardModel {
+    /// Wraps a classifier; `pedestrian_class` is the index of the
+    /// safety-critical known class.
+    pub fn new(classifier: ClassifierModel, pedestrian_class: usize) -> Self {
+        let pedestrian_class = pedestrian_class.min(classifier.known_len().saturating_sub(1));
+        Self { classifier, pedestrian_class }
+    }
+
+    /// The paper's Table I camera with `pedestrian` as the critical class.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; mirrors
+    /// [`ClassifierModel::paper_camera`].
+    pub fn paper_camera() -> Result<Self> {
+        Ok(Self::new(ClassifierModel::paper_camera()?, 1))
+    }
+
+    /// The wrapped classifier.
+    pub fn classifier(&self) -> &ClassifierModel {
+        &self.classifier
+    }
+}
+
+impl Model for MissedHazardModel {
+    fn eval(&self, x: &[f64]) -> f64 {
+        let p_ped = x.first().copied().unwrap_or(0.0).clamp(0.0, 1.0);
+        let p_novel = x.get(1).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+        let ped = self.pedestrian_class;
+        let miss_ped = 1.0 - self.classifier.likelihood(ped, ped);
+        let novel_as_known =
+            1.0 - self.classifier.novel_likelihood(self.classifier.none_label());
+        p_ped * miss_ped + p_novel * novel_as_known
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_camera_rates_match_table_one() {
+        let m = MissedHazardModel::paper_camera().unwrap();
+        // Table I: P(ped -> ped) = 0.925, novel -> none = 0.8.
+        let y = m.eval(&[1.0, 0.0]);
+        assert!((y - 0.075).abs() < 1e-12, "miss_ped: {y}");
+        let y = m.eval(&[0.0, 1.0]);
+        assert!((y - 0.2).abs() < 1e-12, "novel_as_known: {y}");
+        // Paper world mix: 0.3 pedestrians, 0.1 novel.
+        let y = m.eval(&[0.3, 0.1]);
+        assert!((y - (0.3 * 0.075 + 0.1 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inputs_are_clamped_and_missing_dims_default_to_zero() {
+        let m = MissedHazardModel::paper_camera().unwrap();
+        assert!((m.eval(&[2.0, -1.0]) - m.eval(&[1.0, 0.0])).abs() < 1e-12);
+        assert!(m.eval(&[]) < 1e-12);
+    }
+}

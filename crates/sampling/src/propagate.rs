@@ -87,6 +87,17 @@ impl PropagationResult {
         self.outputs.iter().filter(|&&y| y > threshold).count() as f64
             / self.outputs.len().max(1) as f64
     }
+
+    /// Empirical `p`-quantile of the output sample (linear interpolation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidDesign`] for empty outputs or a
+    /// level outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        sysunc_prob::stats::quantile(&self.outputs, p)
+            .map_err(|e| SamplingError::InvalidDesign(e.to_string()))
+    }
 }
 
 /// Propagates independent input distributions through a model with the

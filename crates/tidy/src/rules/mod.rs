@@ -7,6 +7,7 @@ mod float_eq;
 mod manifest;
 mod panic;
 mod prob_contract;
+mod suite_error;
 
 pub use doc::DocCoverage;
 pub use error_impl::ErrorImpl;
@@ -14,6 +15,7 @@ pub use float_eq::FloatEq;
 pub use manifest::ManifestHygiene;
 pub use panic::PanicFreedom;
 pub use prob_contract::ProbContract;
+pub use suite_error::SuiteError;
 
 use crate::Lint;
 
@@ -26,6 +28,7 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(ProbContract),
         Box::new(ErrorImpl),
         Box::new(DocCoverage),
+        Box::new(SuiteError),
     ]
 }
 
@@ -36,7 +39,10 @@ mod tests {
     #[test]
     fn rule_names_are_unique_and_stable() {
         let names: Vec<&str> = all().iter().map(|l| l.name()).collect();
-        assert_eq!(names, vec!["manifest", "panic", "float-eq", "prob-contract", "error-impl", "doc"]);
+        assert_eq!(
+            names,
+            vec!["manifest", "panic", "float-eq", "prob-contract", "error-impl", "doc", "suite-error"]
+        );
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

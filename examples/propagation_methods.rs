@@ -1,23 +1,20 @@
-//! Uncertainty propagation method comparison (uncertainty removal by
-//! design of experiment, paper Sec. IV): crude Monte Carlo vs Latin
-//! hypercube vs Sobol' QMC vs polynomial chaos on the Ishigami function.
+//! Uncertainty propagation through the unified engine layer: one
+//! [`sysunc::PropagationRequest`] pushed through every standard
+//! [`sysunc::Propagator`] — crude Monte Carlo, Latin hypercube, spectral
+//! polynomial chaos and evidential (Dempster–Shafer) propagation — each
+//! tagged with the coping means it realizes from the paper's Sec. IV
+//! catalog (removal / forecasting / tolerance).
 //!
 //! Run with `cargo run --release --example propagation_methods`.
 
-use sysunc_prob::rng::StdRng;
-use sysunc_prob::rng::SeedableRng;
-use sysunc::pce::{ChaosExpansion, PceInput};
-use sysunc::prob::dist::{Continuous, Uniform};
-use sysunc::sampling::{
-    propagate, Design, LatinHypercubeDesign, RandomDesign, SobolDesign,
-};
+use sysunc::{run_all, standard_engines, PropagationRequest, UncertainInput};
 
 /// Ishigami test function with the standard a = 7, b = 0.1.
 fn ishigami(x: &[f64]) -> f64 {
     x[0].sin() + 7.0 * x[1].sin().powi(2) + 0.1 * x[2].powi(4) * x[0].sin()
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> sysunc::Result<()> {
     let pi = std::f64::consts::PI;
     // Analytic moments of Ishigami over U(-π, π)³.
     let mean_true = 3.5;
@@ -29,43 +26,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("Ishigami: true mean {mean_true:.4}, true variance {var_true:.4}\n");
 
-    println!("{:<16} {:>8} {:>12} {:>12}", "method", "evals", "mean err", "var err");
-    let u = Uniform::new(-pi, pi)?;
-    let inputs: Vec<&dyn Continuous> = vec![&u, &u, &u];
-    let designs: Vec<(&str, Box<dyn Design>)> = vec![
-        ("monte-carlo", Box::new(RandomDesign)),
-        ("latin-hypercube", Box::new(LatinHypercubeDesign)),
-        ("sobol-qmc", Box::new(SobolDesign::default())),
-    ];
-    for n in [256usize, 1_024, 4_096] {
-        for (name, design) in &designs {
-            let mut rng = StdRng::seed_from_u64(1);
-            let res = propagate(&inputs, design.as_ref(), &ishigami, n, &mut rng)?;
+    // One request, every engine: the whole point of the engine layer.
+    let model = |x: &[f64]| ishigami(x);
+    let request = PropagationRequest::new(
+        vec![UncertainInput::Uniform { a: -pi, b: pi }; 3],
+        &model,
+    )?
+    .with_budget(4096)
+    .with_seed(1)
+    .with_threshold(9.0);
+
+    let engines = standard_engines();
+    println!("== All engines, one request (parallel batch driver) ==");
+    for report in run_all(&engines, &request, engines.len()) {
+        let rep = report?;
+        println!("{rep}");
+        println!(
+            "{:16} mean err {:.5}  var err {:+.5}  q05..q95 {:.3}..{:.3}",
+            "",
+            (rep.mean_estimate() - mean_true).abs(),
+            rep.variance_estimate() - var_true,
+            rep.quantiles.first().map(|(_, q)| q.midpoint()).unwrap_or(f64::NAN),
+            rep.quantiles.last().map(|(_, q)| q.midpoint()).unwrap_or(f64::NAN),
+        );
+    }
+
+    // Budget scaling for the design-of-experiment engines.
+    println!("\n== Mean error vs budget (removal by design of experiment) ==");
+    println!("{:<16} {:>8} {:>12} {:>12}", "engine", "evals", "mean err", "var err");
+    for budget in [256usize, 1_024, 4_096] {
+        let scaled = request.clone().with_budget(budget);
+        for report in run_all(&engines, &scaled, engines.len()) {
+            let rep = report?;
+            if rep.engine == "evidential" {
+                continue; // budget means focal combos there, not samples
+            }
             println!(
                 "{:<16} {:>8} {:>12.5} {:>12.5}",
-                name,
-                n,
-                (res.mean() - mean_true).abs(),
-                (res.variance() - var_true).abs()
+                rep.engine,
+                rep.evaluations,
+                (rep.mean_estimate() - mean_true).abs(),
+                (rep.variance_estimate() - var_true).abs()
             );
         }
         println!();
     }
 
-    // Polynomial chaos: spectral accuracy on the same budget scale.
-    let pce_inputs = [PceInput::Uniform { a: -pi, b: pi }; 3];
-    for degree in [4usize, 7, 10] {
-        let pce = ChaosExpansion::fit_projection(&pce_inputs, degree, ishigami)?;
-        println!(
-            "{:<16} {:>8} {:>12.5} {:>12.5}   S1={:.3} S2={:.3} ST3={:.3}",
-            format!("pce-degree-{degree}"),
-            pce.evaluations(),
-            (pce.mean() - mean_true).abs(),
-            (pce.variance() - var_true).abs(),
-            pce.sobol_first(0),
-            pce.sobol_first(1),
-            pce.sobol_total(2),
-        );
+    // The epistemic case no sampling engine can express: replace the
+    // third input by a pure interval. Only the evidential engine accepts
+    // it; the others refuse instead of inventing a distribution.
+    println!("== Epistemic third input: x3 in [-π, π] with no distribution ==");
+    let epistemic = PropagationRequest::new(
+        vec![
+            UncertainInput::Uniform { a: -pi, b: pi },
+            UncertainInput::Uniform { a: -pi, b: pi },
+            UncertainInput::Interval { lo: -pi, hi: pi },
+        ],
+        &model,
+    )?
+    .with_budget(4096)
+    .with_seed(1);
+    for (engine, report) in engines.iter().zip(run_all(&engines, &epistemic, engines.len())) {
+        match report {
+            Ok(rep) => println!(
+                "{:<16} mean envelope [{:.4}, {:.4}] (width {:.4})",
+                rep.engine,
+                rep.mean.lo(),
+                rep.mean.hi(),
+                rep.epistemic_width()
+            ),
+            Err(e) => println!("{:<16} refused: {e}", engine.name()),
+        }
     }
     Ok(())
 }

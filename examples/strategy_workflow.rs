@@ -1,19 +1,22 @@
 //! The paper's end goal (Secs. I, VI): derive and track an *overall
 //! strategy* — identify uncertainty sources, classify them, assign means
-//! from the Fig. 3 catalog, quantify an uncertainty budget, and gate the
-//! release decision.
+//! from the Fig. 3 catalog, quantify an uncertainty budget through the
+//! unified propagation-engine layer, and gate the release decision.
 //!
-//! Run with `cargo run --example strategy_workflow`.
+//! Run with `cargo run --release --example strategy_workflow`.
 
 use sysunc_prob::rng::StdRng;
 use sysunc_prob::rng::SeedableRng;
 use sysunc::budget::UncertaintyBudget;
-use sysunc::perception::{FieldCampaign, ReleaseForecast, WorldModel};
-use sysunc::prob::dist::{Beta, Continuous as _};
+use sysunc::perception::{FieldCampaign, MissedHazardModel, ReleaseForecast, WorldModel};
+use sysunc::prob::dist::Beta;
 use sysunc::register::{MitigationStatus, UncertaintyRegister};
 use sysunc::taxonomy::{Means, UncertaintyKind};
+use sysunc::{
+    EvidentialEngine, MonteCarloEngine, Propagator, PropagationRequest, UncertainInput,
+};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> sysunc::Result<()> {
     // ------------------------------------------------------------------
     // 1. Identify and classify uncertainty sources.
     // ------------------------------------------------------------------
@@ -49,27 +52,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ------------------------------------------------------------------
-    // 2. Assign means per the taxonomy and execute them (simulated).
+    // 2. Assign means per the taxonomy and execute them: the quantitative
+    //    steps run through the unified Propagator engine layer, pushing
+    //    the missed-hazard model of the Table I camera through the engine
+    //    matching each assigned means.
     // ------------------------------------------------------------------
     register.assign("U1", Means::Removal)?; // design-time testing
     register.assign("U2", Means::Tolerance)?; // diverse fusion
     register.assign("U3", Means::Forecasting)?; // residual estimation + gate
     register.assign("U4", Means::Prevention)?; // diverse technologies, no shared mode
 
-    let mut rng = StdRng::seed_from_u64(1);
-    let world = WorldModel::paper_example()?;
+    let hazard = MissedHazardModel::paper_camera()?;
 
-    // U1: removal by observation — Beta posterior on the hazard rate.
-    let posterior = Beta::new(1.0, 1.0)?.updated(9_641, 359); // 10k labeled frames
-    let epistemic_width = posterior.credible_width(0.95);
-    register.set_status("U1", MitigationStatus::Verified)?;
-
-    // U2: aleatory spread of the per-drive hazard count (binomial CV as a
-    // scalar); tolerated by architecture, accepted as is.
-    let aleatory_level = (posterior.mean() * (1.0 - posterior.mean())).sqrt();
+    // U2: aleatory world-mix spread. The per-drive pedestrian and novel
+    // shares fluctuate around the paper's priors (0.3, 0.1); Monte Carlo
+    // (removal engine) propagates that spread through the missed-hazard
+    // model.
+    let aleatory_request = PropagationRequest::new(
+        vec![
+            UncertainInput::Beta { alpha: 30.0, beta: 70.0 },
+            UncertainInput::Beta { alpha: 10.0, beta: 90.0 },
+        ],
+        &hazard,
+    )?
+    .with_budget(20_000)
+    .with_seed(2020);
+    let aleatory_report = MonteCarloEngine.propagate(&aleatory_request)?;
+    println!("\n== U2 aleatory propagation ==\n{aleatory_report}");
+    let aleatory_level = aleatory_report.std_dev_estimate();
     register.set_status("U2", MitigationStatus::Verified)?;
 
+    // U1: epistemic bounds. Field observation (10k labeled frames) pins
+    // the pedestrian share; the novel share stays a pure interval —
+    // only the evidential (tolerance) engine accepts that declaration
+    // and returns a guaranteed envelope instead of a fake average.
+    let posterior = Beta::new(1.0, 1.0)?.updated(9_641, 359); // 10k labeled frames
+    let epistemic_request = PropagationRequest::new(
+        vec![
+            UncertainInput::Beta { alpha: posterior.alpha(), beta: posterior.beta() },
+            UncertainInput::Interval { lo: 0.05, hi: 0.15 },
+        ],
+        &hazard,
+    )?
+    .with_budget(2_048)
+    .with_seed(2020);
+    let epistemic_report = EvidentialEngine::default().propagate(&epistemic_request)?;
+    println!("\n== U1 epistemic envelope ==\n{epistemic_report}");
+    let epistemic_width = epistemic_report.epistemic_width();
+    register.set_status("U1", MitigationStatus::Verified)?;
+
     // U3: forecasting via a field campaign.
+    let mut rng = StdRng::seed_from_u64(1);
+    let world = WorldModel::paper_example()?;
     let mut campaign = FieldCampaign::new(2);
     campaign.observe_world(&world, 200_000, &mut rng);
     let forecast = ReleaseForecast::from_campaign(&campaign);
@@ -87,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         epistemic_width,
         forecast.residual_novelty_rate,
     )?;
-    let limits = UncertaintyBudget::new(0.2, 0.02, 0.005)?;
+    let limits = UncertaintyBudget::new(0.2, 0.05, 0.005)?;
     println!("\n== Uncertainty budget ==");
     println!("  measured: {measured}");
     println!("  limits:   {limits}");

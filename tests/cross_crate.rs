@@ -12,7 +12,12 @@ use sysunc::perception::{ClassifierModel, FieldCampaign, ReleaseForecast, Truth,
 use sysunc::prob::dist::{Continuous, Normal};
 use sysunc::prob::htest::ks_test_one_sample;
 use sysunc::sampling::{propagate, LatinHypercubeDesign};
-use sysunc::taxonomy::UncertaintyKind;
+use sysunc::taxonomy::{Means, UncertaintyKind};
+use sysunc::{
+    run_batch, run_batch_serial, standard_engines, BatchJob, EvidentialEngine,
+    LatinHypercubeEngine, MonteCarloEngine, Propagator, PropagationRequest, SpectralEngine,
+    UncertainInput,
+};
 
 #[test]
 fn pce_and_sampling_agree_on_nonlinear_model() {
@@ -167,4 +172,169 @@ fn budget_assembly_from_three_substrates() {
     let strict = UncertaintyBudget::new(0.1, 0.05, 1e-7).expect("valid");
     assert!(!measured.acceptable(&strict));
     assert_eq!(measured.violations(&strict), vec![UncertaintyKind::Ontological]);
+}
+
+#[test]
+fn engines_cross_validate_on_linear_model() {
+    // The cross-engine equivalence contract: Monte Carlo, Latin hypercube
+    // and spectral PCE — three unrelated propagation stacks behind one
+    // trait — must agree on the moments of a linear model. Seeded, so the
+    // tolerances are deterministic.
+    // Y = 1 + 2 X1 - 0.5 X2, X1 ~ N(0.5, 1), X2 ~ U(-1, 1):
+    // E = 1 + 2*0.5 - 0 = 2, Var = 4*1 + 0.25/3.
+    let model = |x: &[f64]| 1.0 + 2.0 * x[0] - 0.5 * x[1];
+    let request = PropagationRequest::new(
+        vec![
+            UncertainInput::Normal { mu: 0.5, sigma: 1.0 },
+            UncertainInput::Uniform { a: -1.0, b: 1.0 },
+        ],
+        &model,
+    )
+    .expect("valid request")
+    .with_budget(50_000)
+    .with_seed(42);
+    let mean_true = 2.0;
+    let var_true = 4.0 + 0.25 / 3.0;
+    let engines: Vec<Box<dyn Propagator>> = vec![
+        Box::new(MonteCarloEngine),
+        Box::new(LatinHypercubeEngine),
+        Box::new(SpectralEngine::default()),
+    ];
+    let mut means = Vec::new();
+    for engine in &engines {
+        let rep = engine.propagate(&request).expect("propagates");
+        assert!(
+            (rep.mean_estimate() - mean_true).abs() < 0.05,
+            "{}: mean {}",
+            rep.engine,
+            rep.mean_estimate()
+        );
+        assert!(
+            (rep.variance_estimate() - var_true).abs() < 0.1,
+            "{}: var {}",
+            rep.engine,
+            rep.variance_estimate()
+        );
+        assert_eq!(rep.kind, UncertaintyKind::Aleatory);
+        means.push(rep.mean_estimate());
+    }
+    // Pairwise agreement between the engines themselves.
+    for w in means.windows(2) {
+        assert!((w[0] - w[1]).abs() < 0.1, "engines disagree: {means:?}");
+    }
+}
+
+#[test]
+fn parallel_batch_driver_matches_serial_execution() {
+    // Acceptance criterion of the engine layer: the scoped-thread batch
+    // driver is bit-identical to sequential execution on fixed seeds.
+    let m1 = |x: &[f64]| x[0].sin() + x[1];
+    let m2 = |x: &[f64]| x[0] * x[0];
+    let r1 = PropagationRequest::new(
+        vec![
+            UncertainInput::Uniform { a: 0.0, b: 1.0 },
+            UncertainInput::Normal { mu: 0.0, sigma: 0.5 },
+        ],
+        &m1,
+    )
+    .expect("valid")
+    .with_seed(7)
+    .with_budget(4_096)
+    .with_threshold(0.8);
+    let r2 = PropagationRequest::new(
+        vec![UncertainInput::Exponential { rate: 2.0 }],
+        &m2,
+    )
+    .expect("valid")
+    .with_seed(9);
+    let engines = standard_engines();
+    let mut jobs: Vec<BatchJob<'_, '_>> = Vec::new();
+    for e in &engines {
+        jobs.push((e.as_ref(), &r1));
+        jobs.push((e.as_ref(), &r2));
+    }
+    let serial = run_batch_serial(&jobs);
+    let parallel = run_batch(&jobs, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        match (s, p) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            _ => panic!("serial and parallel disagree on success"),
+        }
+    }
+}
+
+#[test]
+fn perception_adapter_propagates_through_engines() {
+    // perception (case-study substrate) + core engine layer: the Table I
+    // missed-hazard model under world-mix uncertainty. With the novel
+    // share a pure interval, the evidential envelope must bracket the
+    // analytic rate; with both shares point-like Betas, Monte Carlo must
+    // recover it.
+    let hazard = sysunc::perception::MissedHazardModel::paper_camera().expect("builds");
+    // Analytic at the paper mix (0.3, 0.1): 0.3*0.075 + 0.1*0.2 = 0.0425.
+    let analytic = 0.3 * 0.075 + 0.1 * 0.2;
+
+    let mc_request = PropagationRequest::new(
+        vec![
+            UncertainInput::Beta { alpha: 300.0, beta: 700.0 },
+            UncertainInput::Beta { alpha: 100.0, beta: 900.0 },
+        ],
+        &hazard,
+    )
+    .expect("valid")
+    .with_budget(20_000)
+    .with_seed(2020);
+    let mc = MonteCarloEngine.propagate(&mc_request).expect("propagates");
+    assert!((mc.mean_estimate() - analytic).abs() < 2e-3, "mc mean {}", mc.mean_estimate());
+    assert_eq!(mc.means, Means::Removal);
+
+    let ev_request = PropagationRequest::new(
+        vec![
+            UncertainInput::Beta { alpha: 300.0, beta: 700.0 },
+            UncertainInput::Interval { lo: 0.05, hi: 0.15 },
+        ],
+        &hazard,
+    )
+    .expect("valid")
+    .with_budget(2_048)
+    .with_seed(2020);
+    let ev = EvidentialEngine::default().propagate(&ev_request).expect("propagates");
+    assert_eq!(ev.means, Means::Tolerance);
+    assert_eq!(ev.kind, UncertaintyKind::Epistemic);
+    assert!(ev.mean.contains(analytic), "envelope {:?} vs {analytic}", ev.mean);
+    assert!(ev.epistemic_width() > 0.015, "interval input must widen the mean");
+}
+
+#[test]
+fn orbital_adapter_agrees_between_sampling_and_spectral() {
+    // orbital (case-study substrate) + core engine layer: Kepler period
+    // of a two-body system under mass and distance uncertainty, Monte
+    // Carlo vs spectral PCE.
+    let period = sysunc::orbital::TwoBodyPeriodModel;
+    let request = PropagationRequest::new(
+        vec![
+            UncertainInput::Normal { mu: 1.0, sigma: 0.02 },
+            UncertainInput::Normal { mu: 3.0e-6, sigma: 1.0e-7 },
+            UncertainInput::Normal { mu: 1.0, sigma: 0.01 },
+        ],
+        &period,
+    )
+    .expect("valid")
+    .with_budget(30_000)
+    .with_seed(11);
+    let mc = MonteCarloEngine.propagate(&request).expect("mc");
+    let pce = SpectralEngine::new(3).propagate(&request).expect("pce");
+    assert!(
+        (mc.mean_estimate() - pce.mean_estimate()).abs() < 0.01 * mc.mean_estimate().abs(),
+        "mc {} vs pce {}",
+        mc.mean_estimate(),
+        pce.mean_estimate()
+    );
+    let ratio = pce.std_dev_estimate() / mc.std_dev_estimate();
+    assert!((0.9..1.1).contains(&ratio), "std-dev ratio {ratio}");
+    // Spectral projection spends a fixed Gauss grid, far below the
+    // sampling budget — the forecasting economy the paper argues for.
+    assert!(pce.evaluations < mc.evaluations);
 }
