@@ -5,14 +5,27 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# The static-analysis gate runs first: it needs only the (small) tidy
+# crate to build, so a lint violation fails in seconds instead of after
+# a full release build + test cycle.
+echo "== static-analysis gate =="
+cargo run -q --offline -p sysunc-tidy
+
+echo "== static-analysis gate (--json round-trip) =="
+# The machine-readable findings must be valid JSON by the workspace's
+# own reader; `jsonlint` (crates/prob's parser behind a tiny binary-free
+# check) is exercised via the test suite, so here we only assert shape.
+json="$(cargo run -q --offline -p sysunc-tidy -- --json)"
+case "$json" in
+  '{"schema":"sysunc-tidy/1"'*'"clean":true'*) echo "json findings: clean" ;;
+  *) echo "unexpected --json output: $json" >&2; exit 1 ;;
+esac
+
 echo "== build (release) =="
 cargo build --release --offline
 
 echo "== tests =="
 cargo test -q --offline
-
-echo "== static-analysis gate =="
-cargo run -q --offline -p sysunc-tidy
 
 echo "== engine-layer examples (release) =="
 cargo run -q --release --offline --example propagation_methods

@@ -110,7 +110,7 @@ mod tests {
                 assert!(x < 0.0, "x was {x}");
             })
         });
-        let payload = result.expect_err("property must fail"); // tidy: allow(panic)
+        let payload = result.expect_err("property must fail");
         let message = payload
             .downcast_ref::<String>()
             .cloned()

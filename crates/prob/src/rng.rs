@@ -145,7 +145,10 @@ impl StdRng {
     pub fn from_state(s: [u64; 4]) -> Self {
         if s == [0; 4] {
             // The all-zero state is the one fixed point of the transition
-            // function; remap it to an arbitrary seeded state.
+            // function; remap it to an arbitrary seeded state. The constant
+            // is deliberate — any caller-supplied seed already avoids this
+            // branch, so reproducibility is unaffected.
+            // tidy: allow(seed-discipline)
             return Self::seed_from_u64(0xDEAD_BEEF);
         }
         Self { s }

@@ -1,0 +1,226 @@
+//! A navigation cursor over a lexed token stream.
+//!
+//! Rules express their patterns as short token walks ("`pub` then `fn`
+//! then a name", "`.` then `unwrap` then `(`"), so the cursor's job is
+//! to make those walks readable: peeking with comments skipped,
+//! matching identifier/punctuation text, and exact brace matching for
+//! body extents. It never allocates; everything is an index into the
+//! token slice owned by the [`crate::SourceFile`].
+
+use crate::lexer::{Token, TokenKind};
+
+/// A read cursor over `tokens`, with `src` on hand to resolve text.
+#[derive(Clone, Copy)]
+pub struct Cursor<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of the stream.
+    pub fn new(src: &'a str, tokens: &'a [Token]) -> Self {
+        Self { src, tokens, pos: 0 }
+    }
+
+    /// Current index into the token slice.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Jumps to an absolute token index.
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos.min(self.tokens.len());
+    }
+
+    /// The token at the cursor, if any (comments included).
+    pub fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// The text of the token at the cursor.
+    pub fn peek_text(&self) -> Option<&'a str> {
+        self.peek().map(|t| t.text(self.src))
+    }
+
+    /// Advances one token (comments included) and returns it.
+    pub fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    /// Skips any comment tokens at the cursor.
+    pub fn skip_comments(&mut self) {
+        while self.peek().map(Token::is_comment).unwrap_or(false) {
+            self.pos += 1;
+        }
+    }
+
+    /// The next non-comment token at or after the cursor, without
+    /// moving.
+    pub fn peek_significant(&self) -> Option<&'a Token> {
+        self.tokens[self.pos..].iter().find(|t| !t.is_comment())
+    }
+
+    /// Advances past comments, returns the first significant token and
+    /// steps over it.
+    pub fn bump_significant(&mut self) -> Option<&'a Token> {
+        self.skip_comments();
+        self.bump()
+    }
+
+    /// True when the token at the cursor is an identifier with exactly
+    /// this text.
+    pub fn at_ident(&self, text: &str) -> bool {
+        self.peek()
+            .map(|t| t.kind == TokenKind::Ident && t.text(self.src) == text)
+            .unwrap_or(false)
+    }
+
+    /// True when the token at the cursor is punctuation with exactly
+    /// this text.
+    pub fn at_punct(&self, text: &str) -> bool {
+        self.peek()
+            .map(|t| t.kind == TokenKind::Punct && t.text(self.src) == text)
+            .unwrap_or(false)
+    }
+
+    /// Consumes an identifier with this exact text; returns whether it
+    /// was there (comments before it are skipped either way).
+    pub fn eat_ident(&mut self, text: &str) -> bool {
+        self.skip_comments();
+        if self.at_ident(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes punctuation with this exact text; returns whether it
+    /// was there (comments before it are skipped either way).
+    pub fn eat_punct(&mut self, text: &str) -> bool {
+        self.skip_comments();
+        if self.at_punct(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes any identifier and returns its text.
+    pub fn eat_any_ident(&mut self) -> Option<&'a str> {
+        self.skip_comments();
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                self.pos += 1;
+                Some(t.text(self.src))
+            }
+            _ => None,
+        }
+    }
+
+    /// From the cursor, advances to just past the matching `close` for
+    /// the next `open` punctuation (exact: strings and comments are
+    /// opaque tokens). Returns the index one past the closing token, or
+    /// `None` if the stream ends first.
+    ///
+    /// The cursor must be at or before the opening token; anything
+    /// before it is skipped without affecting the depth count.
+    pub fn skip_balanced(&mut self, open: &str, close: &str) -> Option<usize> {
+        // Find the opening token first.
+        while let Some(t) = self.peek() {
+            if t.kind == TokenKind::Punct && t.text(self.src) == open {
+                break;
+            }
+            self.pos += 1;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            let text = t.text(self.src);
+            if text == open {
+                depth += 1;
+            } else if text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(self.pos);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cursor(src: &str) -> (Vec<Token>, String) {
+        (lex(src), src.to_string())
+    }
+
+    #[test]
+    fn eat_and_peek_walk_a_signature() {
+        let src = "pub fn f(x: u32) {}";
+        let toks = lex(src);
+        let mut c = Cursor::new(src, &toks);
+        assert!(c.eat_ident("pub"));
+        assert!(c.eat_ident("fn"));
+        assert_eq!(c.eat_any_ident(), Some("f"));
+        assert!(c.at_punct("("));
+    }
+
+    #[test]
+    fn significant_navigation_skips_comments() {
+        let src = "a /* mid */ b // tail\nc";
+        let toks = lex(src);
+        let mut c = Cursor::new(src, &toks);
+        assert_eq!(c.bump_significant().map(|t| t.text(src)), Some("a"));
+        assert_eq!(c.peek_significant().map(|t| t.text(src)), Some("b"));
+        assert_eq!(c.bump_significant().map(|t| t.text(src)), Some("b"));
+        assert_eq!(c.bump_significant().map(|t| t.text(src)), Some("c"));
+        assert!(c.bump_significant().is_none());
+    }
+
+    #[test]
+    fn skip_balanced_is_exact_across_strings_and_comments() {
+        // The `}` inside the string and the `{` inside the comment must
+        // not perturb the depth count.
+        let src = "fn f() { let s = \"}}}\"; /* { */ inner(); } after";
+        let toks = lex(src);
+        let mut c = Cursor::new(src, &toks);
+        let end = c.skip_balanced("{", "}").expect("balanced");
+        assert_eq!(toks[end].text(src), "after");
+    }
+
+    #[test]
+    fn skip_balanced_handles_nesting_and_eof() {
+        let src = "{ a { b } c } d";
+        let toks = lex(src);
+        let mut c = Cursor::new(src, &toks);
+        let end = c.skip_balanced("{", "}").expect("balanced");
+        assert_eq!(toks[end].text(src), "d");
+
+        let src2 = "{ never closed";
+        let toks2 = lex(src2);
+        let mut c2 = Cursor::new(src2, &toks2);
+        assert!(c2.skip_balanced("{", "}").is_none());
+    }
+
+    #[test]
+    fn cursor_is_cheap_to_fork() {
+        let (toks, src) = cursor("a b c");
+        let mut c = Cursor::new(&src, &toks);
+        c.bump();
+        let fork = c; // Copy
+        let mut c2 = fork;
+        assert_eq!(c2.bump().map(|t| t.text(&src)), Some("b"));
+        assert_eq!(c.pos(), 1, "fork does not advance the original");
+    }
+}

@@ -1,37 +1,63 @@
 //! # sysunc-tidy — the workspace's static-analysis gate
 //!
 //! A dependency-free lint driver that walks the workspace and enforces
-//! the coding invariants the `sysunc` crates rely on. Each invariant is
-//! one [`Lint`] implementation over plain file text (line-oriented
-//! heuristics, not a full parser — deliberately simple enough to audit
-//! by eye, which is the point of a gate you must trust).
+//! the coding invariants the `sysunc` crates rely on. Rules operate on
+//! a real token stream from the in-tree Rust [`lexer`] (comments,
+//! string literals and numeric literals are tokens, not text), so the
+//! textual false-positive classes of a line-regex gate — a `.unwrap()`
+//! quoted in a string, a `==` mentioned in a doc comment, braces inside
+//! literals — cannot fire. A [`symbols`] pass additionally builds a
+//! workspace-level table of public items, enabling rules that reason
+//! across files.
 //!
 //! In the paper's vocabulary this is an uncertainty-**prevention**
 //! means applied to our own toolchain: the rules remove whole classes
 //! of epistemic uncertainty about the code base (does it build offline?
 //! can library code abort the process? are probability contracts
-//! stated?) before they can occur, rather than detecting them later.
+//! stated? is the public API actually reachable?) before they can
+//! occur, rather than detecting them later. Moving from line heuristics
+//! to tokens removes the gate's *own* epistemic uncertainty about its
+//! verdicts.
 //!
 //! ## Rules
 //!
-//! | rule            | invariant                                                        |
-//! |-----------------|------------------------------------------------------------------|
-//! | `manifest`      | every Cargo.toml dependency is a path (or workspace) dependency  |
-//! | `panic`         | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
-//! | `float-eq`      | no `==`/`!=` on float-typed expressions outside tests            |
-//! | `prob-contract` | public probability-named fns state a range contract              |
-//! | `error-impl`    | every `error.rs` enum implements `Display` and `Error`           |
-//! | `doc`           | public items in each crate's `lib.rs` carry doc comments         |
+//! | rule              | invariant                                                              |
+//! |-------------------|------------------------------------------------------------------------|
+//! | `manifest`        | every Cargo.toml dependency is a path (or workspace) dependency        |
+//! | `panic`           | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
+//! | `float-eq`        | no `==`/`!=` on float-typed expressions outside tests                  |
+//! | `prob-contract`   | public probability-named fns state a range contract                    |
+//! | `error-impl`      | every `error.rs` enum implements `Display` and `Error`                 |
+//! | `doc`             | public items in each crate's `lib.rs` carry doc comments               |
+//! | `suite-error`     | integration-suite code uses `sysunc::Error`, not per-crate enums       |
+//! | `seed-discipline` | library code never builds an RNG from a hardcoded seed                 |
+//! | `unused-allow`    | every `tidy: allow(...)` comment suppresses a live finding             |
+//! | `pub-reexport`    | every public item is reachable from its crate root (and the facade)    |
 //!
 //! A violating line can be acknowledged explicitly with the escape
 //! hatch comment `// tidy: allow(<rule>)` on the same or preceding
-//! line; allowed violations are counted and reported, never silent.
+//! line; allowed violations are counted and reported, never silent —
+//! and an allow comment that stops suppressing anything is itself a
+//! violation (`unused-allow`).
+//!
+//! Checking is parallel across files on [`std::thread::scope`]; the
+//! report is deterministic (byte-identical to a serial run). See
+//! [`report`] for the `--json` findings schema and the `tidy.baseline`
+//! ratchet format.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod cursor;
+pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod symbols;
 pub mod walk;
+
+use cursor::Cursor;
+use lexer::{Token, TokenKind};
 
 /// What kind of file a [`SourceFile`] is, which decides the lints that
 /// apply to it.
@@ -45,7 +71,18 @@ pub enum FileKind {
     RustTest,
 }
 
-/// One file of the workspace, read into memory with its classification.
+/// One `tidy: allow(<rule>)` acknowledgement comment, precomputed at
+/// file load so suppression checks never rescan text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+}
+
+/// One file of the workspace, read into memory with its classification,
+/// token stream, and per-line derived facts (all computed once).
 #[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Path relative to the workspace root.
@@ -54,17 +91,60 @@ pub struct SourceFile {
     pub content: String,
     /// Classification deciding which lints apply.
     pub kind: FileKind,
+    tokens: Vec<Token>,
+    test_lines: Vec<bool>,
+    allows: Vec<AllowMarker>,
 }
 
 impl SourceFile {
-    /// Builds an in-memory file, mainly for fixture tests.
+    /// Builds an in-memory file, lexing Rust sources eagerly (manifests
+    /// get an empty token stream).
     pub fn new(path: impl Into<PathBuf>, content: impl Into<String>, kind: FileKind) -> Self {
-        Self { path: path.into(), content: content.into(), kind }
+        let content = content.into();
+        let tokens = match kind {
+            FileKind::Manifest => Vec::new(),
+            _ => lexer::lex(&content),
+        };
+        let test_lines = test_lines_from(&content, &tokens);
+        let allows = allow_markers(&content, &tokens);
+        Self { path: path.into(), content, kind, tokens, test_lines, allows }
     }
 
-    /// The file's lines, for line-oriented lint rules.
+    /// The file's lines, for line-oriented lint rules (manifests).
     pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
         self.content.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+
+    /// The lexed token stream (empty for manifests).
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// A [`Cursor`] at the start of the token stream.
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor::new(&self.content, &self.tokens)
+    }
+
+    /// The text of one of this file's tokens.
+    pub fn text(&self, token: &Token) -> &str {
+        token.text(&self.content)
+    }
+
+    /// Per-line flags marking `#[cfg(test)]` item extents (1-based line
+    /// `n` is `test_lines()[n - 1]`). Exact: brace matching runs over
+    /// tokens, so braces in strings or comments cannot fool it.
+    pub fn test_lines(&self) -> &[bool] {
+        &self.test_lines
+    }
+
+    /// True when 1-based `line` is inside a `#[cfg(test)]` item.
+    pub fn in_test_block(&self, line: usize) -> bool {
+        self.test_lines.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// The file's `tidy: allow` acknowledgement comments.
+    pub fn allows(&self) -> &[AllowMarker] {
+        &self.allows
     }
 }
 
@@ -88,9 +168,13 @@ impl fmt::Display for Violation {
 }
 
 /// A single invariant checked over one file at a time.
-pub trait Lint {
+pub trait Lint: Sync {
     /// Short rule identifier used in reports and `allow(...)` comments.
     fn name(&self) -> &'static str;
+
+    /// A paragraph explaining the invariant and its rationale, shown by
+    /// `sysunc-tidy --explain <rule>`.
+    fn explain(&self) -> &'static str;
 
     /// Whether the rule applies to files of this kind at all.
     fn applies(&self, kind: FileKind) -> bool;
@@ -99,14 +183,31 @@ pub trait Lint {
     fn check(&self, file: &SourceFile, out: &mut Vec<Violation>);
 }
 
+/// An invariant checked over the whole workspace at once, with the
+/// [`symbols::Workspace`] table in hand. Workspace rules run after the
+/// per-file rules, single-threaded.
+pub trait WorkspaceLint {
+    /// Short rule identifier used in reports and `allow(...)` comments.
+    fn name(&self) -> &'static str;
+
+    /// A paragraph explaining the invariant, for `--explain`.
+    fn explain(&self) -> &'static str;
+
+    /// Checks the workspace, appending any violations found.
+    fn check(&self, ws: &symbols::Workspace<'_>, out: &mut Vec<Violation>);
+}
+
 /// The outcome of a full workspace run: surviving violations plus the
-/// ones acknowledged via `// tidy: allow(<rule>)`.
-#[derive(Debug, Default)]
+/// ones acknowledged via `// tidy: allow(<rule>)` or ratcheted in the
+/// baseline file.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Report {
     /// Violations that stand (nonzero exit).
     pub violations: Vec<Violation>,
     /// Violations suppressed by an explicit allow comment.
     pub allowed: Vec<Violation>,
+    /// Violations suppressed by the baseline ratchet file.
+    pub baselined: Vec<Violation>,
     /// How many files were scanned.
     pub files_scanned: usize,
 }
@@ -120,41 +221,150 @@ impl Report {
 
 /// Returns true when `line_no` (1-based) in `file` carries an
 /// `allow(<rule>)` acknowledgement on the same or the preceding line.
-fn is_allowed(file: &SourceFile, line_no: usize, rule: &str) -> bool {
-    let marker = format!("tidy: allow({rule})");
-    let lines: Vec<&str> = file.content.lines().collect();
-    let mut candidates = Vec::new();
-    if line_no >= 1 && line_no <= lines.len() {
-        candidates.push(lines[line_no - 1]);
-    }
-    if line_no >= 2 {
-        candidates.push(lines[line_no - 2]);
-    }
-    candidates.iter().any(|l| l.contains(&marker))
+///
+/// Markers are precomputed per file, so this is a scan over the file's
+/// (few) allow comments, not over its text.
+pub fn is_allowed(file: &SourceFile, line_no: usize, rule: &str) -> bool {
+    file.allows
+        .iter()
+        .any(|m| m.rule == rule && (m.line == line_no || m.line + 1 == line_no))
 }
 
-/// Runs every lint over every file, splitting findings into standing and
-/// explicitly allowed violations.
-pub fn check_files(files: &[SourceFile]) -> Report {
-    let lints = rules::all();
-    let mut report = Report { files_scanned: files.len(), ..Report::default() };
-    for file in files {
-        let mut raw = Vec::new();
-        for lint in &lints {
-            if lint.applies(file.kind) {
-                lint.check(file, &mut raw);
-            }
+/// Parses `tidy: allow(...)` markers from the token stream: only plain
+/// `//` line comments count — doc comments (`///`, `//!`) mentioning
+/// the marker in prose do not create suppressions, and neither do
+/// string literals.
+fn allow_markers(src: &str, tokens: &[Token]) -> Vec<AllowMarker> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
         }
-        for v in raw {
-            if is_allowed(file, v.line, v.rule) {
-                report.allowed.push(v);
-            } else {
-                report.violations.push(v);
+        let text = t.text(src);
+        let body = &text[2..]; // strip `//`
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comment: prose, not a suppression
+        }
+        // A comment can carry several allow groups (e.g. a marker plus
+        // its own `allow(unused-allow)` acknowledgement).
+        let mut tail = body;
+        while let Some(at) = tail.find("tidy:") {
+            tail = tail[at + "tidy:".len()..].trim_start();
+            let Some(rest) = tail.strip_prefix("allow(") else { continue };
+            tail = rest;
+            let Some(inner) = rest.split(')').next() else { continue };
+            for rule in inner.split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    out.push(AllowMarker { line: t.line, rule: rule.to_string() });
+                }
             }
         }
     }
-    report.violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    report.allowed.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Runs every per-file lint over one file.
+fn check_one(file: &SourceFile, lints: &[Box<dyn Lint>]) -> Vec<Violation> {
+    let mut raw = Vec::new();
+    for lint in lints {
+        if lint.applies(file.kind) {
+            lint.check(file, &mut raw);
+        }
+    }
+    raw
+}
+
+/// Runs every lint over every file — per-file rules in parallel on
+/// [`std::thread::scope`], then the workspace rules — splitting
+/// findings into standing and explicitly allowed violations. The result
+/// is deterministic and identical to [`check_files_serial`].
+pub fn check_files(files: &[SourceFile]) -> Report {
+    run_lints(files, true)
+}
+
+/// Serial variant of [`check_files`], for comparison and debugging.
+pub fn check_files_serial(files: &[SourceFile]) -> Report {
+    run_lints(files, false)
+}
+
+fn run_lints(files: &[SourceFile], parallel: bool) -> Report {
+    let lints = rules::all();
+    // Per-file pass. Results are collected per chunk in file order, so
+    // the merged vector never depends on thread scheduling.
+    let mut raw: Vec<Violation> = if parallel && files.len() > 1 {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let chunk = files.len().div_ceil(workers.min(files.len()));
+        std::thread::scope(|s| {
+            let lints = &lints;
+            let handles: Vec<_> = files
+                .chunks(chunk)
+                .map(|fs| {
+                    s.spawn(move || {
+                        fs.iter().flat_map(|f| check_one(f, lints)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    } else {
+        files.iter().flat_map(|f| check_one(f, &lints)).collect()
+    };
+
+    // Workspace pass: rules that need the cross-file symbol table.
+    let ws = symbols::Workspace::build(files);
+    for rule in rules::workspace() {
+        rule.check(&ws, &mut raw);
+    }
+
+    // Partition by allow markers, tracking which markers earned keep.
+    let index: HashMap<&Path, usize> =
+        files.iter().enumerate().map(|(i, f)| (f.path.as_path(), i)).collect();
+    let mut used: Vec<Vec<bool>> = files.iter().map(|f| vec![false; f.allows.len()]).collect();
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for v in raw {
+        match index.get(v.file.as_path()) {
+            Some(&fi) => {
+                let file = &files[fi];
+                let mut suppressed = false;
+                for (mi, m) in file.allows.iter().enumerate() {
+                    if m.rule == v.rule && (m.line == v.line || m.line + 1 == v.line) {
+                        used[fi][mi] = true;
+                        suppressed = true;
+                    }
+                }
+                if suppressed {
+                    report.allowed.push(v);
+                } else {
+                    report.violations.push(v);
+                }
+            }
+            // A violation pointing at a path outside the scanned set
+            // (should not happen) always stands.
+            None => report.violations.push(v),
+        }
+    }
+
+    // Suppression-rot pass: allow comments that suppressed nothing are
+    // themselves findings (and can, one level deep, be acknowledged
+    // with `tidy: allow(unused-allow)`).
+    for v in rules::unused_allow_pass(files, &used) {
+        let fi = index[v.file.as_path()];
+        if is_allowed(&files[fi], v.line, v.rule) {
+            report.allowed.push(v);
+        } else {
+            report.violations.push(v);
+        }
+    }
+
+    report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.allowed.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     report
 }
 
@@ -164,44 +374,96 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
     Ok(check_files(&files))
 }
 
-/// Marks, per line, whether that line is inside a `#[cfg(test)]` module
-/// block. Used by rules that only police shipped library code.
+/// Marks, per line, whether that line is inside a `#[cfg(test)]` item
+/// (attribute line through closing brace, inclusive). Used by rules
+/// that only police shipped library code.
 ///
-/// Brace counting is textual (strings containing unbalanced braces can
-/// fool it); rules built on this are heuristics, with the `allow`
-/// escape hatch as the correction path.
+/// Exact: the extent comes from token-level brace matching, so braces
+/// inside strings or comments cannot fool it.
 pub fn test_block_lines(content: &str) -> Vec<bool> {
-    let mut flags = Vec::new();
-    let mut in_test = false;
-    let mut saw_open = false;
-    let mut depth: i64 = 0;
-    for line in content.lines() {
-        if !in_test && line.trim_start().starts_with("#[cfg(test)]") {
-            in_test = true;
-            saw_open = false;
-            depth = 0;
+    let tokens = lexer::lex(content);
+    test_lines_from(content, &tokens)
+}
+
+fn test_lines_from(content: &str, tokens: &[Token]) -> Vec<bool> {
+    let n_lines = content.lines().count();
+    let mut flags = vec![false; n_lines];
+    let mark = |flags: &mut Vec<bool>, from: usize, to: usize| {
+        for line in from..=to.min(n_lines) {
+            if line >= 1 {
+                flags[line - 1] = true;
+            }
         }
-        flags.push(in_test);
-        if in_test {
-            for c in line.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        saw_open = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
+    };
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some(attr_end) = cfg_test_attr(content, tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let attr_line = tokens[i].line;
+        // Find the end of the annotated item: the matching close brace
+        // of its first `{`, or a terminating `;` (e.g. `mod tests;`).
+        let mut c = Cursor::new(content, tokens);
+        c.seek(attr_end);
+        let mut item_end = None;
+        while let Some(t) = c.peek() {
+            if t.kind == TokenKind::Punct {
+                let text = t.text(content);
+                if text == "{" {
+                    item_end = c.skip_balanced("{", "}");
+                    break;
+                }
+                if text == ";" {
+                    item_end = Some(c.pos() + 1);
+                    break;
                 }
             }
-            if saw_open && depth <= 0 {
-                in_test = false;
+            c.bump();
+        }
+        match item_end {
+            Some(end) => {
+                mark(&mut flags, attr_line, tokens[end - 1].line);
+                i = end;
+            }
+            None => {
+                // Unterminated item: everything to EOF is test code.
+                mark(&mut flags, attr_line, n_lines);
+                break;
             }
         }
     }
     flags
 }
 
+/// If `tokens[i..]` starts a `#[cfg(test)]`-style attribute (any `cfg`
+/// attribute whose arguments mention the `test` ident), returns the
+/// index one past its closing `]`.
+fn cfg_test_attr(src: &str, tokens: &[Token], i: usize) -> Option<usize> {
+    let mut c = Cursor::new(src, tokens);
+    c.seek(i);
+    if !c.eat_punct("#") {
+        return None;
+    }
+    if !c.at_punct("[") {
+        return None;
+    }
+    let open = c.pos();
+    let end = c.skip_balanced("[", "]")?;
+    let mut inner = Cursor::new(src, tokens);
+    inner.seek(open + 1);
+    if !inner.eat_ident("cfg") {
+        return None;
+    }
+    let mentions_test = tokens[inner.pos()..end]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text(src) == "test");
+    mentions_test.then_some(end)
+}
+
 /// True for lines that are entirely comments (`//`, `///`, `//!`).
+/// Retained for line-oriented checks over non-Rust files; Rust rules
+/// consume the token stream instead.
 pub fn is_comment_line(line: &str) -> bool {
     line.trim_start().starts_with("//")
 }
@@ -214,6 +476,9 @@ mod tests {
     impl Lint for AlwaysFires {
         fn name(&self) -> &'static str {
             "panic"
+        }
+        fn explain(&self) -> &'static str {
+            "fixture"
         }
         fn applies(&self, kind: FileKind) -> bool {
             kind == FileKind::RustLibrary
@@ -243,6 +508,32 @@ mod tests {
         assert!(is_allowed(&file, 3, "panic"), "preceding-line allow applies");
         assert!(!is_allowed(&file, 4, "panic"));
         assert!(!is_allowed(&file, 1, "float-eq"), "allow is rule-specific");
+    }
+
+    #[test]
+    fn allow_markers_ignore_doc_comments_and_strings() {
+        let file = SourceFile::new(
+            "src/x.rs",
+            "/// prose: `// tidy: allow(panic)` is the escape hatch\n\
+             //! also prose: // tidy: allow(panic)\n\
+             let s = \"// tidy: allow(panic)\";\n\
+             let ok = 1; // tidy: allow(float-eq) — justified\n",
+            FileKind::RustLibrary,
+        );
+        assert_eq!(file.allows().len(), 1);
+        assert_eq!(file.allows()[0], AllowMarker { line: 4, rule: "float-eq".into() });
+    }
+
+    #[test]
+    fn allow_markers_support_rule_lists() {
+        let file = SourceFile::new(
+            "src/x.rs",
+            "x(); // tidy: allow(panic, float-eq)\n",
+            FileKind::RustLibrary,
+        );
+        assert!(is_allowed(&file, 1, "panic"));
+        assert!(is_allowed(&file, 1, "float-eq"));
+        assert!(!is_allowed(&file, 1, "doc"));
     }
 
     #[test]
@@ -280,6 +571,53 @@ pub fn also_shipped() {}
 ";
         let flags = test_block_lines(src);
         assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braces_in_strings_and_comments_do_not_fool_test_extents() {
+        let src = "\
+pub fn shipped() {}
+#[cfg(test)]
+mod tests {
+    // a stray { in a comment
+    const S: &str = \"}}}\";
+    fn helper() {}
+}
+pub fn also_shipped() {}
+";
+        let flags = test_block_lines(src);
+        assert_eq!(flags, vec![false, true, true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_attribute_variants_are_recognized() {
+        let src = "\
+#[cfg(all(test, feature = \"slow\"))]
+mod tests {
+    fn t() {}
+}
+fn shipped() {}
+";
+        let flags = test_block_lines(src);
+        assert_eq!(flags, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn parallel_and_serial_reports_are_identical() {
+        let files: Vec<SourceFile> = (0..16)
+            .map(|i| {
+                SourceFile::new(
+                    format!("crates/x/src/f{i}.rs"),
+                    "pub fn f(x: f64) -> bool { q.unwrap(); x == 0.5 }\n\
+                     fn g() {} // tidy: allow(doc)\n",
+                    FileKind::RustLibrary,
+                )
+            })
+            .collect();
+        let par = check_files(&files);
+        let ser = check_files_serial(&files);
+        assert_eq!(par, ser);
+        assert!(!par.violations.is_empty(), "fixture should produce findings");
     }
 
     #[test]

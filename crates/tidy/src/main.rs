@@ -1,17 +1,93 @@
 //! `sysunc-tidy` — runs the workspace lint gate.
 //!
-//! Usage: `cargo run -p sysunc-tidy [-- <workspace-root>]`.
+//! ```text
+//! cargo run -p sysunc-tidy -- [OPTIONS] [workspace-root]
+//!
+//!   --json               emit the sysunc-tidy/1 JSON findings object
+//!   --serial             check files serially (default: parallel)
+//!   --baseline <path>    apply a ratchet file (default: <root>/tidy.baseline
+//!                        when it exists)
+//!   --explain <rule>     print what a rule enforces and why, then exit
+//! ```
+//!
 //! Prints one `file:line: rule: message` per violation and exits
 //! nonzero when any stand. Explicitly allowed violations are counted
-//! and summarized so acknowledged exceptions stay visible.
+//! and summarized so acknowledged exceptions stay visible; baselined
+//! violations likewise. See `sysunc_tidy::report` for the JSON schema
+//! and the baseline format.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sysunc_tidy::walk;
+use sysunc_tidy::report::{to_json, Baseline};
+use sysunc_tidy::{rules, walk};
+
+/// Parsed command line.
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    serial: bool,
+    baseline: Option<PathBuf>,
+    explain: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        serial: false,
+        baseline: None,
+        explain: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--serial" => opts.serial = true,
+            "--baseline" => {
+                let path = args.next().ok_or("--baseline needs a path argument")?;
+                opts.baseline = Some(PathBuf::from(path));
+            }
+            "--explain" => {
+                let rule = args.next().ok_or("--explain needs a rule name")?;
+                opts.explain = Some(rule);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path if opts.root.is_none() => opts.root = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    Ok(opts)
+}
 
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1).map(PathBuf::from) {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sysunc-tidy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(rule) = &opts.explain {
+        return match rules::explain(rule) {
+            Some(text) => {
+                println!("{rule}\n\n{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "sysunc-tidy: unknown rule `{rule}`; known rules: {}",
+                    rules::rule_names().join(", ")
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = match opts.root.clone() {
         Some(p) => p,
         None => {
             let cwd = match std::env::current_dir() {
@@ -31,13 +107,47 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match sysunc_tidy::check_workspace(&root) {
-        Ok(r) => r,
+    let files = match walk::collect(&root) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("sysunc-tidy: walk failed under {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    let mut report = if opts.serial {
+        sysunc_tidy::check_files_serial(&files)
+    } else {
+        sysunc_tidy::check_files(&files)
+    };
+
+    // Apply the ratchet: an explicit --baseline path must exist; the
+    // default <root>/tidy.baseline applies only when present.
+    let baseline_path = opts.baseline.clone().or_else(|| {
+        let default = root.join("tidy.baseline");
+        default.exists().then_some(default)
+    });
+    let mut stale = Vec::new();
+    if let Some(path) = &baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sysunc-tidy: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => stale = b.apply(&mut report),
+            Err(e) => {
+                eprintln!("sysunc-tidy: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.json {
+        println!("{}", to_json(&report));
+        return if report.clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
 
     for v in &report.violations {
         println!("{v}");
@@ -56,6 +166,18 @@ fn main() -> ExitCode {
             "sysunc-tidy: {} acknowledged exception(s) via `tidy: allow` ({})",
             report.allowed.len(),
             parts.join(", ")
+        );
+    }
+    if !report.baselined.is_empty() {
+        println!(
+            "sysunc-tidy: {} baselined finding(s) absorbed by the ratchet",
+            report.baselined.len()
+        );
+    }
+    for s in &stale {
+        println!(
+            "sysunc-tidy: stale baseline entry {}\t{}\t{} (only {} fired; ratchet down)",
+            s.entry.file, s.entry.rule, s.entry.count, s.actual
         );
     }
     println!(

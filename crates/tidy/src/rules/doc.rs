@@ -5,58 +5,88 @@
 //!
 //! Scope is deliberately `lib.rs` only: submodule items surface through
 //! documented re-exports, and policing every file would mostly generate
-//! noise. `pub use` re-exports and `pub mod` declarations with inline
-//! docs elsewhere are exempt.
+//! noise. `pub use` re-exports and `pub mod x;` declarations are exempt
+//! (the module file opens with its own `//!` docs).
 
-use crate::{test_block_lines, FileKind, Lint, SourceFile, Violation};
+use crate::lexer::TokenKind;
+use crate::rules::doc_comments_above;
+use crate::{FileKind, Lint, SourceFile, Violation};
 
 /// See the module docs.
 pub struct DocCoverage;
 
 /// Item keywords whose `pub` declarations require docs.
 const ITEM_KINDS: &[&str] =
-    &["fn", "struct", "enum", "trait", "const", "static", "type", "mod"];
+    &["fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union"];
 
-/// Extracts `(kind, name)` when the line declares a documentable public
-/// item.
-fn pub_item(line: &str) -> Option<(&'static str, String)> {
-    let t = line.trim_start();
-    let rest = t.strip_prefix("pub ")?.trim_start_matches("const ").trim_start_matches("unsafe ");
-    for kind in ITEM_KINDS {
-        if let Some(tail) = rest.strip_prefix(kind).and_then(|r| r.strip_prefix(' ')) {
-            let name: String = tail
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                return Some((kind, name));
+/// If the tokens at `i` start a documentable `pub <kind> <name>`
+/// declaration, returns `(kind, name, inline_mod)`.
+fn pub_item_at(file: &SourceFile, i: usize) -> Option<(&'static str, String, bool)> {
+    let mut c = file.cursor();
+    c.seek(i);
+    if !c.eat_ident("pub") {
+        return None;
+    }
+    c.skip_comments();
+    if c.at_punct("(") {
+        // Restricted visibility is not public API; no doc required.
+        return None;
+    }
+    let kind = loop {
+        let word = c.eat_any_ident()?;
+        match word {
+            "unsafe" | "async" | "default" => continue,
+            "extern" => {
+                c.skip_comments();
+                if matches!(c.peek().map(|t| t.kind), Some(TokenKind::Str | TokenKind::RawStr)) {
+                    c.bump();
+                }
+                continue;
             }
+            "const" => {
+                c.skip_comments();
+                if c.at_ident("fn") {
+                    c.bump();
+                    break "fn";
+                }
+                break "const";
+            }
+            "static" => {
+                c.skip_comments();
+                if c.at_ident("mut") {
+                    c.bump();
+                }
+                break "static";
+            }
+            w => break ITEM_KINDS.iter().find(|k| **k == w).copied()?,
         }
+    };
+    let name = c.eat_any_ident()?;
+    // `pub mod x;` is exempt (the module file carries `//!` docs);
+    // `pub mod x { … }` declares items here and needs docs here.
+    let inline_mod = kind == "mod" && {
+        c.skip_comments();
+        !c.at_punct(";")
+    };
+    if kind == "mod" && !inline_mod {
+        return None;
     }
-    None
-}
-
-/// True when the contiguous doc/attribute block above `idx` contains a
-/// `///` doc line.
-fn has_doc_above(lines: &[&str], idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        let above = lines[i - 1].trim_start();
-        if above.starts_with("///") {
-            return true;
-        }
-        if above.starts_with("#[") || above.starts_with("#![") {
-            i -= 1;
-        } else {
-            return false;
-        }
-    }
-    false
+    Some((kind, name.to_string(), inline_mod))
 }
 
 impl Lint for DocCoverage {
     fn name(&self) -> &'static str {
         "doc"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Public items declared in a crate's `lib.rs` must carry `///` doc \
+         comments. The crate root is the crate's front door; an undocumented \
+         public item there is an API whose meaning the caller must guess — \
+         unnecessary epistemic uncertainty at the boundary. Scope is lib.rs \
+         only: submodule items surface through documented re-exports, `pub \
+         use` is exempt, and `pub mod x;` is exempt because the module file \
+         opens with its own `//!` docs."
     }
 
     fn applies(&self, kind: FileKind) -> bool {
@@ -67,22 +97,18 @@ impl Lint for DocCoverage {
         if file.path.file_name().map(|n| n != "lib.rs").unwrap_or(true) {
             return;
         }
-        let in_test = test_block_lines(&file.content);
-        let lines: Vec<&str> = file.content.lines().collect();
-        for (i, line) in lines.iter().enumerate() {
-            if in_test[i] {
+        for (i, t) in file.tokens().iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || file.text(t) != "pub"
+                || file.in_test_block(t.line)
+            {
                 continue;
             }
-            let Some((kind, name)) = pub_item(line) else { continue };
-            // Module declarations are fine when the module file opens
-            // with `//!` docs; requiring `///` here would double-doc.
-            if kind == "mod" && line.trim_end().ends_with(';') {
-                continue;
-            }
-            if !has_doc_above(&lines, i) {
+            let Some((kind, name, _)) = pub_item_at(file, i) else { continue };
+            if doc_comments_above(file, i).is_empty() {
                 out.push(Violation {
                     file: file.path.clone(),
-                    line: i + 1,
+                    line: t.line,
                     rule: self.name(),
                     message: format!("public {kind} `{name}` has no doc comment"),
                 });
@@ -134,6 +160,23 @@ pub mod dist;
 pub use error::ProbError;
 ";
         assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a_doc_comment_mentioning_pub_fn_is_not_a_declaration() {
+        // Former textual false-positive class: declarations quoted in
+        // prose or strings are tokens of a different kind.
+        let src = "\
+//! Module docs show `pub fn naked()` as an example.
+const SNIPPET: &str = \"pub struct Bare;\";
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn module_docs_do_not_count_as_item_docs() {
+        let src = "//! Crate docs.\npub fn naked() {}\n";
+        assert_eq!(run("crates/x/src/lib.rs", src).len(), 1);
     }
 
     #[test]

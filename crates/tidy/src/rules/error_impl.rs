@@ -6,21 +6,61 @@
 //! crate's error enum a first-class citizen of Rust's error-handling
 //! ecosystem.
 
+use crate::lexer::TokenKind;
 use crate::{FileKind, Lint, SourceFile, Violation};
 
 /// See the module docs.
 pub struct ErrorImpl;
 
-/// Extracts the enum name from a `pub enum` line, if any.
-fn pub_enum_name(line: &str) -> Option<&str> {
-    let rest = line.trim_start().strip_prefix("pub enum ")?;
-    let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_').unwrap_or(rest.len());
-    (end > 0).then(|| &rest[..end])
+/// Collects `(name, line)` for every `pub enum` declared in the file.
+fn pub_enums(file: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, t) in file.tokens().iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.text(t) != "pub" || file.in_test_block(t.line) {
+            continue;
+        }
+        let mut c = file.cursor();
+        c.seek(i + 1);
+        if !c.eat_ident("enum") {
+            continue;
+        }
+        if let Some(name) = c.eat_any_ident() {
+            out.push((name.to_string(), t.line));
+        }
+    }
+    out
+}
+
+/// True when the file contains `impl … <trait_leaf> for <name>` — i.e.
+/// an identifier token `trait_leaf` followed by `for` followed by
+/// `name` (path prefixes like `std::fmt::` are separate tokens and
+/// don't disturb the triple).
+fn has_impl_for(file: &SourceFile, trait_leaf: &str, name: &str) -> bool {
+    let tokens = file.tokens();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.text(t) != trait_leaf {
+            continue;
+        }
+        let mut c = file.cursor();
+        c.seek(i + 1);
+        if c.eat_ident("for") && c.eat_ident(name) {
+            return true;
+        }
+    }
+    false
 }
 
 impl Lint for ErrorImpl {
     fn name(&self) -> &'static str {
         "error-impl"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Every public enum declared in a file named `error.rs` must implement \
+         both `Display` and `std::error::Error`. An error type that cannot be \
+         displayed or boxed as `dyn Error` leaks a half-finished failure \
+         vocabulary to callers; this keeps every crate's error enum a \
+         first-class citizen of Rust's error-handling ecosystem."
     }
 
     fn applies(&self, kind: FileKind) -> bool {
@@ -31,22 +71,19 @@ impl Lint for ErrorImpl {
         if file.path.file_name().map(|n| n != "error.rs").unwrap_or(true) {
             return;
         }
-        for (no, line) in file.lines() {
-            let Some(name) = pub_enum_name(line) else { continue };
-            let display = format!("Display for {name}");
-            let error = format!("Error for {name}");
-            if !file.content.contains(&display) {
+        for (name, line) in pub_enums(file) {
+            if !has_impl_for(file, "Display", &name) {
                 out.push(Violation {
                     file: file.path.clone(),
-                    line: no,
+                    line,
                     rule: self.name(),
                     message: format!("error enum `{name}` does not implement `Display`"),
                 });
             }
-            if !file.content.contains(&error) {
+            if !has_impl_for(file, "Error", &name) {
                 out.push(Violation {
                     file: file.path.clone(),
-                    line: no,
+                    line,
                     rule: self.name(),
                     message: format!("error enum `{name}` does not implement `std::error::Error`"),
                 });
@@ -97,6 +134,14 @@ impl core::fmt::Display for E {
         let out = run("crates/x/src/error.rs", partial);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("std::error::Error"));
+    }
+
+    #[test]
+    fn impls_mentioned_in_comments_do_not_satisfy() {
+        // A comment saying "Display for E" is prose, not an impl.
+        let src = "pub enum E { X }\n// impl Display for E lives elsewhere\n\
+                   // impl Error for E lives elsewhere\n";
+        assert_eq!(run("crates/x/src/error.rs", src).len(), 2);
     }
 
     #[test]

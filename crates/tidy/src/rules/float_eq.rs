@@ -3,74 +3,62 @@
 //! a zero-tolerance assumption; numerical code should compare against
 //! an explicit tolerance (or use `total_cmp` for ordering).
 //!
-//! Detection is textual and type-blind: a comparison is flagged when
-//! either adjacent operand *looks* float — a float literal (`0.5`,
-//! `1e-3` written with a dot), an `f64`/`f32` suffix, or an
-//! `f64::`/`f32::` associated constant. Comparisons of two bare
-//! identifiers are not flagged (no type information in a line-based
-//! lint), so the rule catches the common literal-comparison case, not
-//! every possible one. Intentional exact comparisons (e.g. checking a
-//! CDF saturates at exactly 0 or 1) take `// tidy: allow(float-eq)`.
+//! Detection is token-based but type-blind: a comparison is flagged
+//! when either adjacent operand *is* float-shaped — a float literal
+//! token (`0.5`, `1e-3`, `1f64`) or an `f64::`/`f32::` associated
+//! constant. Comparisons of two bare identifiers are not flagged (no
+//! type inference in a lexical lint), so the rule catches the common
+//! literal-comparison case, not every possible one. A `==` inside a
+//! string literal or a comment is not a comparison and cannot fire.
+//! Intentional exact comparisons (e.g. checking a CDF saturates at
+//! exactly 0 or 1) take `// tidy: allow(float-eq)`.
 
-use crate::{is_comment_line, test_block_lines, FileKind, Lint, SourceFile, Violation};
+use crate::lexer::{Token, TokenKind};
+use crate::{FileKind, Lint, SourceFile, Violation};
 
 /// See the module docs.
 pub struct FloatEq;
 
-/// True when a token plausibly denotes a float value.
-fn looks_float(tok: &str) -> bool {
-    let bytes = tok.as_bytes();
-    for i in 1..bytes.len().saturating_sub(1) {
-        if bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit() {
-            return true;
+/// True when the operand whose *last* significant token sits at `i`
+/// (scanning left from the operator) is float-shaped.
+fn left_is_float(file: &SourceFile, i: usize) -> bool {
+    let sig: Vec<&Token> =
+        file.tokens()[..i].iter().rev().filter(|t| !t.is_comment()).take(3).collect();
+    match sig.first() {
+        Some(t) if t.kind == TokenKind::Float => true,
+        // `f64::CONST` / `f32::CONST`: ident preceded by `::` preceded
+        // by the float type name.
+        Some(t) if t.kind == TokenKind::Ident => matches!(
+            (sig.get(1), sig.get(2)),
+            (Some(colons), Some(ty))
+                if colons.kind == TokenKind::Punct
+                    && file.text(colons) == "::"
+                    && ty.kind == TokenKind::Ident
+                    && matches!(file.text(ty), "f64" | "f32")
+        ),
+        _ => false,
+    }
+}
+
+/// True when the operand starting at token index `i` (scanning right
+/// from the operator) is float-shaped. A leading unary `-` is skipped.
+fn right_is_float(file: &SourceFile, i: usize) -> bool {
+    let mut sig = file.tokens()[i..].iter().filter(|t| !t.is_comment());
+    let Some(mut first) = sig.next() else { return false };
+    if first.kind == TokenKind::Punct && file.text(first) == "-" {
+        match sig.next() {
+            Some(t) => first = t,
+            None => return false,
         }
     }
-    // `1.` style literals and suffixed/associated forms.
-    (tok.len() >= 2 && tok.ends_with('.') && bytes[bytes.len() - 2].is_ascii_digit())
-        || tok.ends_with("f64")
-        || tok.ends_with("f32")
-        || tok.contains("f64::")
-        || tok.contains("f32::")
-}
-
-/// Extracts the operand token immediately left of byte index `at`.
-fn left_token(line: &str, at: usize) -> String {
-    let s = &line[..at];
-    let trimmed = s.trim_end();
-    let token: String = trimmed
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | ')' | '(' | '-'))
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect();
-    token
-}
-
-/// Extracts the operand token immediately right of byte index `after`.
-fn right_token(line: &str, after: usize) -> String {
-    let s = line[after..].trim_start();
-    s.chars()
-        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | '-'))
-        .collect()
-}
-
-/// True when byte index `at` sits inside a string literal, judged by
-/// quote parity on the line prefix (a heuristic, like the whole rule).
-fn inside_string(line: &str, at: usize) -> bool {
-    let mut quotes = 0usize;
-    let mut prev = '\0';
-    for (i, c) in line.char_indices() {
-        if i >= at {
-            break;
-        }
-        if c == '"' && prev != '\\' {
-            quotes += 1;
-        }
-        prev = c;
+    match first.kind {
+        TokenKind::Float => true,
+        TokenKind::Ident if matches!(file.text(first), "f64" | "f32") => sig
+            .next()
+            .map(|t| t.kind == TokenKind::Punct && file.text(t) == "::")
+            .unwrap_or(false),
+        _ => false,
     }
-    quotes % 2 == 1
 }
 
 impl Lint for FloatEq {
@@ -78,39 +66,38 @@ impl Lint for FloatEq {
         "float-eq"
     }
 
+    fn explain(&self) -> &'static str {
+        "Float-typed expressions must not be compared with `==` or `!=` in \
+         library code: exact float equality silently encodes a zero-tolerance \
+         assumption that numerical error will violate. Compare against an \
+         explicit tolerance, or use `total_cmp` for ordering. The check fires \
+         when either operand is a float literal or an `f64::`/`f32::` \
+         constant; intentional exact comparisons (saturation checks, IEEE \
+         special cases) take `// tidy: allow(float-eq)` with a justification."
+    }
+
     fn applies(&self, kind: FileKind) -> bool {
         kind == FileKind::RustLibrary
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
-        let in_test = test_block_lines(&file.content);
-        for (no, line) in file.lines() {
-            if in_test[no - 1] || is_comment_line(line) {
+        for (i, t) in file.tokens().iter().enumerate() {
+            if t.kind != TokenKind::Punct || file.in_test_block(t.line) {
                 continue;
             }
-            for op in ["==", "!="] {
-                let mut from = 0;
-                while let Some(pos) = line[from..].find(op) {
-                    let at = from + pos;
-                    from = at + op.len();
-                    if inside_string(line, at) {
-                        continue;
-                    }
-                    // Skip `===`-like runs and pattern-arm `=>` never matches.
-                    let lhs = left_token(line, at);
-                    let rhs = right_token(line, at + op.len());
-                    if looks_float(&lhs) || looks_float(&rhs) {
-                        out.push(Violation {
-                            file: file.path.clone(),
-                            line: no,
-                            rule: self.name(),
-                            message: format!(
-                                "float compared with `{op}` (`{lhs} {op} {rhs}`); \
-                                 compare against a tolerance instead"
-                            ),
-                        });
-                    }
-                }
+            let op = file.text(t);
+            if op != "==" && op != "!=" {
+                continue;
+            }
+            if left_is_float(file, i) || right_is_float(file, i + 1) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: format!(
+                        "float compared with `{op}`; compare against a tolerance instead"
+                    ),
+                });
             }
         }
     }
@@ -133,6 +120,8 @@ mod tests {
         assert_eq!(run("fn f(x: f64) -> bool { 1.0 != x }").len(), 1);
         assert_eq!(run("fn f(x: f64) -> bool { x == f64::INFINITY }").len(), 1);
         assert_eq!(run("fn f(x: f64) -> bool { x == 1f64 }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x == -0.5 }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x == 1e-3 }").len(), 1);
     }
 
     #[test]
@@ -140,6 +129,15 @@ mod tests {
         assert!(run("fn f(x: usize) -> bool { x == 5 }").is_empty());
         assert!(run("fn f(a: T, b: T) -> bool { a == b }").is_empty());
         assert!(run("fn f(s: &str) -> bool { s == \"0.5\" }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_doc_comments_mentioning_eq_pass() {
+        // Former textual false-positive classes: `==` in prose or data.
+        assert!(run("/// Checks whether `x == 0.5` holds approximately.\nfn f() {}\n")
+            .is_empty());
+        assert!(run("const RULE: &str = \"never write x == 0.5\";\n").is_empty());
+        assert!(run("fn f() { /* x == 1.0 would be wrong */ }\n").is_empty());
     }
 
     #[test]
@@ -155,13 +153,7 @@ mod tests {
     }
 
     #[test]
-    fn float_token_recognizer() {
-        assert!(looks_float("0.5"));
-        assert!(looks_float("-3.25"));
-        assert!(looks_float("f64::NAN"));
-        assert!(looks_float("1f64"));
-        assert!(!looks_float("x"));
-        assert!(!looks_float("5"));
-        assert!(!looks_float("len"));
+    fn multiline_comparisons_fire() {
+        assert_eq!(run("fn f(x: f64) -> bool {\n    x\n        == 0.5\n}\n").len(), 1);
     }
 }

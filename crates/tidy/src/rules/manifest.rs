@@ -46,6 +46,16 @@ impl Lint for ManifestHygiene {
         "manifest"
     }
 
+    fn explain(&self) -> &'static str {
+        "Every dependency in every Cargo.toml must be a path dependency \
+         (directly, or via `workspace = true` resolving to a path entry in \
+         `[workspace.dependencies]`). This is the build-side half of the \
+         zero-external-deps policy: a registry or git dependency \
+         reintroduces network resolution — and with it epistemic uncertainty \
+         about whether the workspace builds — so the gate rejects any \
+         manifest entry that is not path-shaped. Vendor code in-tree instead."
+    }
+
     fn applies(&self, kind: FileKind) -> bool {
         kind == FileKind::Manifest
     }

@@ -1,5 +1,6 @@
 //! The lint rule set. Each submodule is one rule; [`all`] returns the
-//! full gate in the order findings should be investigated.
+//! per-file gate in the order findings should be investigated, and
+//! [`workspace`] the cross-file rules that need the symbol table.
 
 mod doc;
 mod error_impl;
@@ -7,7 +8,10 @@ mod float_eq;
 mod manifest;
 mod panic;
 mod prob_contract;
+mod pub_reexport;
+mod seed_discipline;
 mod suite_error;
+mod unused_allow;
 
 pub use doc::DocCoverage;
 pub use error_impl::ErrorImpl;
@@ -15,11 +19,15 @@ pub use float_eq::FloatEq;
 pub use manifest::ManifestHygiene;
 pub use panic::PanicFreedom;
 pub use prob_contract::ProbContract;
+pub use pub_reexport::PubReexport;
+pub use seed_discipline::SeedDiscipline;
 pub use suite_error::SuiteError;
+pub use unused_allow::{unused_allow_pass, UNUSED_ALLOW_EXPLAIN, UNUSED_ALLOW_NAME};
 
-use crate::Lint;
+use crate::lexer::TokenKind;
+use crate::{Lint, SourceFile, WorkspaceLint};
 
-/// Every rule the gate enforces.
+/// Every per-file rule the gate enforces.
 pub fn all() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(ManifestHygiene),
@@ -29,7 +37,80 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(ErrorImpl),
         Box::new(DocCoverage),
         Box::new(SuiteError),
+        Box::new(SeedDiscipline),
     ]
+}
+
+/// The cross-file rules, run once over the whole workspace.
+pub fn workspace() -> Vec<Box<dyn WorkspaceLint>> {
+    vec![Box::new(PubReexport)]
+}
+
+/// Every rule name the gate knows, in report order. `allow(...)`
+/// comments naming anything else are flagged by `unused-allow`.
+pub fn rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all().iter().map(|l| l.name()).collect();
+    names.extend(workspace().iter().map(|l| l.name()));
+    names.push(UNUSED_ALLOW_NAME);
+    names
+}
+
+/// The `--explain` text for a rule, if the name is known.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    if rule == UNUSED_ALLOW_NAME {
+        return Some(UNUSED_ALLOW_EXPLAIN);
+    }
+    all()
+        .iter()
+        .find(|l| l.name() == rule)
+        .map(|l| l.explain())
+        .or_else(|| workspace().iter().find(|l| l.name() == rule).map(|l| l.explain()))
+}
+
+/// The `///` / `/**` doc comments in the contiguous doc-and-attribute
+/// block directly above token `idx`, walking backwards over attributes
+/// (`#[...]`) and plain comments. Module docs (`//!`) do not count as
+/// item docs.
+pub(crate) fn doc_comments_above<'a>(file: &'a SourceFile, mut i: usize) -> Vec<&'a str> {
+    let tokens = file.tokens();
+    let mut out = Vec::new();
+    while i > 0 {
+        let t = &tokens[i - 1];
+        if t.is_comment() {
+            let text = file.text(t);
+            if text.starts_with("///") || text.starts_with("/**") {
+                out.push(text);
+            }
+            i -= 1;
+            continue;
+        }
+        // Walk backwards over one attribute: `#` `[` … `]`.
+        if t.kind == TokenKind::Punct && file.text(t) == "]" {
+            let mut depth = 1i64;
+            let mut j = i - 1;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                let u = &tokens[j];
+                if u.kind == TokenKind::Punct {
+                    match file.text(u) {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            if depth == 0
+                && j > 0
+                && tokens[j - 1].kind == TokenKind::Punct
+                && file.text(&tokens[j - 1]) == "#"
+            {
+                i = j - 1;
+                continue;
+            }
+        }
+        break;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -38,14 +119,55 @@ mod tests {
 
     #[test]
     fn rule_names_are_unique_and_stable() {
-        let names: Vec<&str> = all().iter().map(|l| l.name()).collect();
+        let names = rule_names();
         assert_eq!(
             names,
-            vec!["manifest", "panic", "float-eq", "prob-contract", "error-impl", "doc", "suite-error"]
+            vec![
+                "manifest",
+                "panic",
+                "float-eq",
+                "prob-contract",
+                "error-impl",
+                "doc",
+                "suite-error",
+                "seed-discipline",
+                "pub-reexport",
+                "unused-allow",
+            ]
         );
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn every_rule_has_a_nonempty_explanation() {
+        for name in rule_names() {
+            let text = explain(name).expect("known rule");
+            assert!(text.len() > 40, "explanation for `{name}` is too thin");
+        }
+        assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn doc_comments_above_walks_attributes_and_skips_module_docs() {
+        use crate::FileKind;
+        let file = crate::SourceFile::new(
+            "crates/x/src/lib.rs",
+            "//! module docs\n\
+             /// item docs\n\
+             #[derive(Debug)]\n\
+             // plain note\n\
+             pub struct S;\n",
+            FileKind::RustLibrary,
+        );
+        let pub_idx = file
+            .tokens()
+            .iter()
+            .position(|t| file.text(t) == "pub")
+            .expect("pub token");
+        let docs = doc_comments_above(&file, pub_idx);
+        assert_eq!(docs, vec!["/// item docs"], "module docs and plain comments excluded");
     }
 }

@@ -8,24 +8,32 @@
 //! the failure as (epistemic) information. Fallible paths must return
 //! `Result`. Where a panic is provably unreachable or intentional, the
 //! line takes `// tidy: allow(panic)` so the decision is visible.
+//!
+//! Detection is token-based: an `unwrap` mentioned in a string literal
+//! or a comment is a string or a comment, not a call, and cannot fire.
 
-use crate::{is_comment_line, test_block_lines, FileKind, Lint, SourceFile, Violation};
+use crate::lexer::TokenKind;
+use crate::{FileKind, Lint, SourceFile, Violation};
 
 /// See the module docs.
 pub struct PanicFreedom;
 
-/// The forbidden constructs, as textual needles.
-const NEEDLES: &[&str] = &[
-    ".unwrap()",      // tidy: allow(panic)
-    ".expect(",       // tidy: allow(panic)
-    "panic!",         // tidy: allow(panic)
-    "todo!",          // tidy: allow(panic)
-    "unimplemented!", // tidy: allow(panic)
-];
+/// Macros that abort unconditionally when reached.
+const ABORT_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 
 impl Lint for PanicFreedom {
     fn name(&self) -> &'static str {
         "panic"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Library code must not contain `.unwrap()`, `.expect(...)`, `panic!`, \
+         `todo!` or `unimplemented!`. An aborting construct turns a recoverable \
+         modeling error into process death, taking away the caller's chance to \
+         treat the failure as information; fallible paths return `Result`. \
+         Tests, benches, examples, binaries and `#[cfg(test)]` modules are \
+         exempt. A provably unreachable panic is acknowledged with \
+         `// tidy: allow(panic)` so the decision stays visible."
     }
 
     fn applies(&self, kind: FileKind) -> bool {
@@ -33,27 +41,55 @@ impl Lint for PanicFreedom {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
-        let in_test = test_block_lines(&file.content);
-        for (no, line) in file.lines() {
-            if in_test[no - 1] || is_comment_line(line) {
+        let tokens = file.tokens();
+        let mut fire = |line: usize, what: &str| {
+            out.push(Violation {
+                file: file.path.clone(),
+                line,
+                rule: self.name(),
+                message: format!(
+                    "found `{what}` in library code; return a Result or \
+                     acknowledge with `// tidy: allow(panic)`"
+                ),
+            });
+        };
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.in_test_block(t.line) {
                 continue;
             }
-            for needle in NEEDLES {
-                if line.contains(needle) {
-                    out.push(Violation {
-                        file: file.path.clone(),
-                        line: no,
-                        rule: self.name(),
-                        message: format!(
-                            "found `{}` in library code; return a Result or \
-                             acknowledge with `// tidy: allow(panic)`",
-                            needle.trim_matches(|c| c == '.' || c == '(')
-                        ),
-                    });
+            let text = file.text(t);
+            let mut c = file.cursor();
+            c.seek(i + 1);
+            match text {
+                // `.unwrap()` — the method call, with no arguments.
+                "unwrap"
+                    if prev_is_dot(file, i)
+                        && c.eat_punct("(")
+                        && c.eat_punct(")") =>
+                {
+                    fire(t.line, "unwrap")
                 }
+                // `.expect(` — the method call (not `expect_err` etc.,
+                // which is a different identifier token).
+                "expect" if prev_is_dot(file, i) && c.eat_punct("(") => fire(t.line, "expect"),
+                m if ABORT_MACROS.contains(&m) && c.eat_punct("!") => {
+                    fire(t.line, &format!("{m}!"))
+                }
+                _ => {}
             }
         }
     }
+}
+
+/// True when the significant token before index `i` is a `.` (so the
+/// identifier at `i` is a method name, not a free function).
+fn prev_is_dot(file: &SourceFile, i: usize) -> bool {
+    file.tokens()[..i]
+        .iter()
+        .rev()
+        .find(|t| !t.is_comment())
+        .map(|t| t.kind == TokenKind::Punct && file.text(t) == ".")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -96,6 +132,18 @@ mod tests {
     }
 
     #[test]
+    fn strings_mentioning_panics_do_not_fire() {
+        // The textual gate's false-positive class: forbidden constructs
+        // quoted inside string literals are data, not code.
+        let src = "\
+const HELP: &str = \"call .unwrap() at your peril\";
+const DOCS: &str = \"panic! and todo! are forbidden\";
+fn f() -> String { format!(\"x.expect(msg)\") }
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
     fn test_files_are_not_checked() {
         let file =
             SourceFile::new("tests/t.rs", "fn t() { x.unwrap(); }", FileKind::RustTest);
@@ -104,6 +152,19 @@ mod tests {
 
     #[test]
     fn expect_err_is_not_expect() {
-        assert!(run("fn a() { assert!(r.expect_err; ) }").is_empty());
+        assert!(run("fn a() { let e = r.expect_err(\"want error\"); }").is_empty());
+    }
+
+    #[test]
+    fn free_functions_named_unwrap_do_not_fire() {
+        // Only the method-call form `.unwrap()` aborts; a local helper
+        // named `unwrap` (or a path call) is not the forbidden construct.
+        assert!(run("fn unwrap() {}\nfn g() { unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn multiline_calls_still_fire() {
+        let src = "fn a() { x\n    .unwrap\n    (\n    ); }\n";
+        assert_eq!(run(src).len(), 1);
     }
 }

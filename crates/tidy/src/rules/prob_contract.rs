@@ -9,7 +9,9 @@
 //! that latent epistemic uncertainty into a checked (or at least
 //! documented) invariant at the API boundary.
 
-use crate::{test_block_lines, FileKind, Lint, SourceFile, Violation};
+use crate::lexer::TokenKind;
+use crate::rules::doc_comments_above;
+use crate::{FileKind, Lint, SourceFile, Violation};
 
 /// See the module docs.
 pub struct ProbContract;
@@ -17,66 +19,66 @@ pub struct ProbContract;
 /// Name fragments that mark a function as probability-valued.
 const KEYWORDS: &[&str] = &["prob", "belief", "plausibility", "mass", "cdf"];
 
-/// Extracts the function name from a `pub fn` line, if any.
-fn pub_fn_name(line: &str) -> Option<&str> {
-    let t = line.trim_start();
-    let rest = t.strip_prefix("pub fn ").or_else(|| t.strip_prefix("pub const fn "))?;
-    let end = rest.find(|c: char| c == '(' || c == '<' || c.is_whitespace())?;
-    Some(&rest[..end])
-}
-
-/// True when the contiguous doc/attribute block above `idx` (0-based)
-/// contains a `Range:` doc line.
-fn doc_block_has_range(lines: &[&str], idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        let above = lines[i - 1].trim_start();
-        if above.starts_with("///") || above.starts_with("#[") {
-            if above.starts_with("///") && above.contains("Range:") {
-                return true;
-            }
-            i -= 1;
-        } else {
-            break;
-        }
+/// If the tokens at `i` start a `pub fn` signature (modifiers allowed),
+/// returns the function name and the token index just past it.
+fn pub_fn_at(file: &SourceFile, i: usize) -> Option<(String, usize)> {
+    let mut c = file.cursor();
+    c.seek(i);
+    if !c.eat_ident("pub") {
+        return None;
     }
-    false
-}
-
-/// True when the function body starting at `idx` contains a
-/// `debug_assert`. The body is delimited by brace matching from the
-/// first `{` at or after the signature line.
-fn body_has_debug_assert(lines: &[&str], idx: usize) -> bool {
-    let mut depth: i64 = 0;
-    let mut opened = false;
-    for line in lines.iter().skip(idx) {
-        if opened && line.contains("debug_assert") {
-            return true;
-        }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    opened = true;
+    c.skip_comments();
+    if c.at_punct("(") {
+        // Restricted visibility is not public API.
+        return None;
+    }
+    loop {
+        match c.eat_any_ident()? {
+            "const" | "unsafe" | "async" => continue,
+            "extern" => {
+                c.skip_comments();
+                if matches!(c.peek().map(|t| t.kind), Some(TokenKind::Str | TokenKind::RawStr)) {
+                    c.bump();
                 }
-                '}' => depth -= 1,
-                _ => {}
+                continue;
             }
-        }
-        if !opened && line.trim_end().ends_with(';') {
-            return false; // declaration without body (trait signature)
-        }
-        if opened {
-            if depth <= 0 {
-                // Single-line bodies are scanned here before returning.
-                return line.contains("debug_assert");
-            }
-            if line.contains("debug_assert") {
-                return true;
-            }
+            "fn" => break,
+            _ => return None,
         }
     }
-    false
+    let name = c.eat_any_ident()?;
+    Some((name.to_string(), c.pos()))
+}
+
+/// True when the function body after the signature (first `{` before
+/// any `;`) contains a `debug_assert` family call. A bodyless trait
+/// signature has no body to check and passes.
+fn body_has_debug_assert(file: &SourceFile, after_name: usize) -> bool {
+    let tokens = file.tokens();
+    let mut c = file.cursor();
+    c.seek(after_name);
+    let open = loop {
+        match c.peek() {
+            Some(t) if t.kind == TokenKind::Punct => {
+                let text = file.text(t);
+                if text == "{" {
+                    break c.pos();
+                }
+                if text == ";" {
+                    return true; // no body: nothing to violate
+                }
+                c.bump();
+            }
+            Some(_) => {
+                c.bump();
+            }
+            None => return false,
+        }
+    };
+    let end = c.skip_balanced("{", "}").unwrap_or(tokens.len());
+    tokens[open..end].iter().any(|t| {
+        t.kind == TokenKind::Ident && file.text(t).starts_with("debug_assert")
+    })
 }
 
 impl Lint for ProbContract {
@@ -84,28 +86,42 @@ impl Lint for ProbContract {
         "prob-contract"
     }
 
+    fn explain(&self) -> &'static str {
+        "A public function whose name marks it probability-valued (`prob`, \
+         `belief`, `plausibility`, `mass`, `cdf`) must state its range \
+         contract: either a `debug_assert!` range check in the body or a \
+         `/// Range:` line in its docs. A probability that silently leaves \
+         [0, 1] is a wrong model masquerading as data; writing the contract \
+         down turns latent epistemic uncertainty into a checked (or at least \
+         documented) invariant at the API boundary."
+    }
+
     fn applies(&self, kind: FileKind) -> bool {
         kind == FileKind::RustLibrary
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
-        let in_test = test_block_lines(&file.content);
-        let lines: Vec<&str> = file.content.lines().collect();
-        for (i, line) in lines.iter().enumerate() {
-            if in_test[i] {
+        let tokens = file.tokens();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || file.text(t) != "pub"
+                || file.in_test_block(t.line)
+            {
                 continue;
             }
-            let Some(name) = pub_fn_name(line) else { continue };
+            let Some((name, after)) = pub_fn_at(file, i) else { continue };
             let lower = name.to_lowercase();
             if !KEYWORDS.iter().any(|k| lower.contains(k)) {
                 continue;
             }
-            if doc_block_has_range(&lines, i) || body_has_debug_assert(&lines, i) {
+            let documented =
+                doc_comments_above(file, i).iter().any(|d| d.contains("Range:"));
+            if documented || body_has_debug_assert(file, after) {
                 continue;
             }
             out.push(Violation {
                 file: file.path.clone(),
-                line: i + 1,
+                line: t.line,
                 rule: self.name(),
                 message: format!(
                     "probability-valued `pub fn {name}` states no range contract; \
@@ -166,6 +182,16 @@ pub fn cdf(&self, x: f64) -> f64 {
     }
 
     #[test]
+    fn range_doc_survives_interleaved_attributes() {
+        let good = "\
+/// Range: `[0, 1]`.
+#[inline]
+pub fn prob(&self) -> f64 { self.p }
+";
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
     fn unrelated_and_private_fns_are_ignored() {
         let src = "\
 pub fn mean(&self) -> f64 { self.m }
@@ -178,5 +204,12 @@ fn mass_private(&self) -> f64 { self.m }
     fn single_line_body_with_debug_assert_passes() {
         let good = "pub fn prob(&self) -> f64 { debug_assert!(self.p <= 1.0); self.p }\n";
         assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn a_string_mentioning_pub_fn_cdf_does_not_fire() {
+        // The signature lives in a string literal: one token, not code.
+        let src = "const SNIPPET: &str = \"pub fn cdf(&self) -> f64 { self.raw() }\";\n";
+        assert!(run(src).is_empty());
     }
 }

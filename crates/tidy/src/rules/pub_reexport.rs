@@ -1,0 +1,205 @@
+//! Rule `pub-reexport`: every public item of a substrate crate must be
+//! reachable from its crate root — and every substrate crate must be
+//! re-exported from the `sysunc::` facade.
+//!
+//! A `pub` item inside a privately-declared module (`mod x;` without
+//! `pub`, and no `pub use` pulling the name up) is dead public API:
+//! visible in the source, promised by the keyword, unreachable by any
+//! caller. That gap between what the code *says* it exports and what it
+//! *actually* exports is exactly the kind of self-inflicted epistemic
+//! uncertainty the gate exists to remove. The check is cross-file by
+//! nature (the item lives in one file, the `mod`/`pub use` declarations
+//! in another), so it runs on the [`crate::symbols::Workspace`] table.
+//!
+//! Reachability is over-approximated on purpose — a name re-exported
+//! from *any* module counts, and a glob (`pub use m::*`) covers the
+//! whole module — so the rule never accuses reachable code; it only
+//! misses exotic dead API. Toolchain crates (`tidy`, `bench`) are not
+//! part of the modeling surface and are exempt from the facade check.
+
+use crate::symbols::Workspace;
+use crate::{Violation, WorkspaceLint};
+
+/// See the module docs.
+pub struct PubReexport;
+
+/// Crates that are workspace tooling, not modeling substrate: they are
+/// not re-exported from the facade by design.
+const FACADE_EXEMPT: &[&str] = &["core", "tidy", "bench"];
+
+/// The facade crate's directory name.
+const FACADE: &str = "core";
+
+impl WorkspaceLint for PubReexport {
+    fn name(&self) -> &'static str {
+        "pub-reexport"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Every public item of a substrate crate must be reachable from its \
+         crate root: through a chain of `pub mod` declarations, a `pub use` \
+         re-export of its name, or a glob re-export of its module. A `pub` \
+         item in a privately-declared module is dead public API — promised \
+         by the keyword, unreachable by any caller — a gap between what the \
+         code says it exports and what it actually exports. Additionally, \
+         every substrate crate must be re-exported from the `sysunc::` \
+         facade so one `use sysunc::…` reaches the whole workspace. \
+         Deliberately internal items take `// tidy: allow(pub-reexport)`."
+    }
+
+    fn check(&self, ws: &Workspace<'_>, out: &mut Vec<Violation>) {
+        for krate in &ws.crates {
+            let reexported = krate.reexported_names();
+            let globbed = krate.glob_modules();
+            for module in &krate.modules {
+                if module.path.is_empty() {
+                    continue; // root items are reachable by definition
+                }
+                if krate.is_module_public(&module.path) {
+                    continue; // reachable by full path
+                }
+                if module.path.last().map(|s| globbed.contains(s.as_str())).unwrap_or(false) {
+                    continue; // a glob re-export covers the module
+                }
+                let file = &ws.files[module.file_idx];
+                for item in &module.items {
+                    if reexported.contains(item.name.as_str()) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        file: file.path.clone(),
+                        line: item.line,
+                        rule: self.name(),
+                        message: format!(
+                            "public {} `{}` in private module `{}` of crate `{}` is \
+                             unreachable from the crate root; re-export it, make \
+                             the module `pub`, or drop the `pub`",
+                            item.kind,
+                            item.name,
+                            module.path.join("::"),
+                            krate.name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Facade coverage: every substrate crate surfaces as a
+        // `pub use sysunc_<name> …` somewhere in the facade crate.
+        let Some(facade) = ws.crate_named(FACADE) else { return };
+        for krate in &ws.crates {
+            if FACADE_EXEMPT.contains(&krate.name.as_str()) {
+                continue;
+            }
+            let package = format!("sysunc_{}", krate.name.replace('-', "_"));
+            let covered = facade.modules.iter().flat_map(|m| m.reexports.iter()).any(|r| {
+                r.path.first().map(|s| s == &package).unwrap_or(false)
+            });
+            if !covered {
+                let file = &ws.files[facade
+                    .root()
+                    .map(|m| m.file_idx)
+                    .unwrap_or(facade.modules[0].file_idx)];
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: 1,
+                    rule: self.name(),
+                    message: format!(
+                        "substrate crate `{}` is not re-exported from the \
+                         `sysunc` facade; add `pub use {package} as {};`",
+                        krate.name,
+                        krate.name.replace('-', "_")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Workspace;
+    use crate::{FileKind, SourceFile};
+
+    fn run(specs: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = specs
+            .iter()
+            .map(|(p, s)| SourceFile::new(*p, *s, FileKind::RustLibrary))
+            .collect();
+        let ws = Workspace::build(&files);
+        let mut out = Vec::new();
+        PubReexport.check(&ws, &mut out);
+        out
+    }
+
+    /// A facade fixture covering crate `x`, so only the finding under
+    /// test appears.
+    const FACADE_LIB: (&str, &str) = ("crates/core/src/lib.rs", "pub use sysunc_x as x;\n");
+
+    #[test]
+    fn item_in_private_module_without_reexport_fires() {
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "mod hidden;\n"),
+            ("crates/x/src/hidden.rs", "pub fn lost() {}\n"),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "pub-reexport");
+        assert!(out[0].message.contains("lost"));
+        assert!(out[0].file.ends_with("hidden.rs"));
+    }
+
+    #[test]
+    fn pub_mod_chain_reaches_the_item() {
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "pub mod open;\n"),
+            ("crates/x/src/open.rs", "pub fn found() {}\n"),
+        ]);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn name_reexport_reaches_the_item() {
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "mod hidden;\npub use hidden::Rescued;\n"),
+            ("crates/x/src/hidden.rs", "pub struct Rescued;\n"),
+        ]);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn glob_reexport_reaches_the_whole_module() {
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "mod hidden;\npub use hidden::*;\n"),
+            ("crates/x/src/hidden.rs", "pub fn a() {}\npub fn b() {}\n"),
+        ]);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn missing_facade_reexport_fires_on_the_facade() {
+        let out = run(&[
+            ("crates/core/src/lib.rs", "pub use sysunc_x as x;\n"),
+            ("crates/x/src/lib.rs", "pub fn f() {}\n"),
+            ("crates/y/src/lib.rs", "pub fn g() {}\n"),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`y`"));
+        assert!(out[0].file.ends_with("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn toolchain_crates_are_exempt_from_the_facade_check() {
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "pub fn f() {}\n"),
+            ("crates/tidy/src/lib.rs", "pub fn lint() {}\n"),
+            ("crates/bench/src/lib.rs", "pub fn measure() {}\n"),
+        ]);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Rule `seed-discipline`: library code must not construct an RNG from
+//! a hardcoded seed or from an ambient entropy source. Seeds flow in as
+//! explicit parameters.
+//!
+//! Reproducibility is part of this workspace's epistemic contract: a
+//! Monte Carlo estimate whose seed is baked into library code cannot be
+//! varied by the caller (so convergence cannot be probed), and one
+//! drawn from OS entropy cannot be replayed at all — the run stops
+//! being evidence. Tests and binaries pick their own seeds freely.
+
+use crate::lexer::TokenKind;
+use crate::{FileKind, Lint, SourceFile, Violation};
+
+/// See the module docs.
+pub struct SeedDiscipline;
+
+/// RNG constructors that take a seed value as their first argument.
+const SEEDED: &[&str] = &["seed_from_u64", "from_seed"];
+
+/// RNG constructors that read ambient entropy (never reproducible).
+const ENTROPY: &[&str] = &["from_entropy", "from_os_rng", "thread_rng"];
+
+/// True when the significant token before index `i` is the `fn`
+/// keyword — i.e. the identifier at `i` is being *defined*, not called.
+fn is_definition(file: &SourceFile, i: usize) -> bool {
+    file.tokens()[..i]
+        .iter()
+        .rev()
+        .find(|t| !t.is_comment())
+        .map(|t| t.kind == TokenKind::Ident && file.text(t) == "fn")
+        .unwrap_or(false)
+}
+
+impl Lint for SeedDiscipline {
+    fn name(&self) -> &'static str {
+        "seed-discipline"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Library code must not construct an RNG from a hardcoded seed \
+         (`seed_from_u64(0xDEAD_BEEF)`) or an ambient entropy source \
+         (`from_entropy`, `thread_rng`). Reproducibility is part of the \
+         epistemic contract: a Monte Carlo estimate whose seed is baked in \
+         cannot be varied to probe convergence, and one drawn from OS entropy \
+         cannot be replayed — the run stops being evidence. Take the seed as \
+         an explicit parameter; tests and binaries pick seeds freely. A \
+         deliberate constant (e.g. remapping a degenerate all-zero state) \
+         takes `// tidy: allow(seed-discipline)` with its justification."
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::RustLibrary
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        for (i, t) in file.tokens().iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.in_test_block(t.line) {
+                continue;
+            }
+            let text = file.text(t);
+            let seeded = SEEDED.contains(&text);
+            let entropy = ENTROPY.contains(&text);
+            if (!seeded && !entropy) || is_definition(file, i) {
+                continue;
+            }
+            let mut c = file.cursor();
+            c.seek(i + 1);
+            if !c.eat_punct("(") {
+                continue; // a mention, not a call
+            }
+            if entropy {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: format!(
+                        "`{text}` draws ambient entropy in library code; runs \
+                         become unreplayable — take a seed parameter instead"
+                    ),
+                });
+                continue;
+            }
+            // Seeded constructor: hardcoded if the first argument opens
+            // with a literal (number, or a literal array like `[0; 4]`).
+            c.skip_comments();
+            let hardcoded = match c.peek() {
+                Some(a) if matches!(a.kind, TokenKind::Int | TokenKind::Float) => true,
+                Some(a) if a.kind == TokenKind::Punct && file.text(a) == "[" => true,
+                _ => false,
+            };
+            if hardcoded {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: format!(
+                        "`{text}` called with a hardcoded seed in library code; \
+                         take the seed as a parameter so callers control \
+                         reproducibility"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let file = SourceFile::new("crates/x/src/rng.rs", src, FileKind::RustLibrary);
+        let mut out = Vec::new();
+        SeedDiscipline.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn hardcoded_seed_fires() {
+        let out = run("fn init() -> Rng { Rng::seed_from_u64(0xDEAD_BEEF) }\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("hardcoded seed"));
+        assert_eq!(run("fn init() -> Rng { Rng::from_seed([0u8; 32]) }\n").len(), 1);
+    }
+
+    #[test]
+    fn seed_flowing_from_a_parameter_passes() {
+        assert!(run("pub fn new(seed: u64) -> Rng { Rng::seed_from_u64(seed) }\n").is_empty());
+        assert!(run("fn f(s: u64) -> Rng { Rng::seed_from_u64(s ^ GOLDEN) }\n").is_empty());
+    }
+
+    #[test]
+    fn entropy_sources_fire_unconditionally() {
+        let out = run("fn init() -> Rng { Rng::from_entropy() }\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unreplayable"));
+        assert_eq!(run("fn init() -> Rng { thread_rng() }\n").len(), 1);
+    }
+
+    #[test]
+    fn the_constructor_definition_itself_is_exempt() {
+        let src = "\
+impl Rng {
+    pub fn seed_from_u64(seed: u64) -> Self { Self { s: seed } }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn tests_comments_and_strings_are_exempt() {
+        let src = "\
+// seed_from_u64(7) is fine to discuss
+const DOC: &str = \"seed_from_u64(7)\";
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = Rng::seed_from_u64(42); }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_files_are_not_checked() {
+        assert!(!SeedDiscipline.applies(FileKind::RustTest));
+    }
+}

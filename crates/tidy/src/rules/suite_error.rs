@@ -8,7 +8,8 @@
 //! Substrate crates under `crates/` keep using their own enums — that is
 //! the correct boundary for stand-alone libraries and out of scope here.
 
-use crate::{is_comment_line, FileKind, Lint, SourceFile, Violation};
+use crate::lexer::TokenKind;
+use crate::{FileKind, Lint, SourceFile, Violation};
 
 /// See the module docs.
 pub struct SuiteError;
@@ -26,27 +27,19 @@ const FORBIDDEN: &[&str] = &[
     "PerceptionError",
 ];
 
-/// True when `line[at..]` starts an occurrence that is a whole
-/// identifier (not a substring of a longer name).
-fn is_word_at(line: &str, at: usize, needle: &str) -> bool {
-    let before_ok = at == 0
-        || !line[..at]
-            .chars()
-            .next_back()
-            .map(|c| c.is_alphanumeric() || c == '_')
-            .unwrap_or(false);
-    let after = at + needle.len();
-    let after_ok = line[after..]
-        .chars()
-        .next()
-        .map(|c| !c.is_alphanumeric() && c != '_')
-        .unwrap_or(true);
-    before_ok && after_ok
-}
-
 impl Lint for SuiteError {
     fn name(&self) -> &'static str {
         "suite-error"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Integration-suite code (everything outside `crates/`) must not name \
+         per-crate error enums like `SamplingError` or `ProbError`. The suite \
+         wires substrate crates together, and the point of the unified \
+         `sysunc::Error` is that cross-crate code composes with one error \
+         type; a per-crate enum leaking into a suite signature re-fragments \
+         the API the engine layer unified. Substrate crates keep their own \
+         enums — that boundary is correct and out of scope."
     }
 
     fn applies(&self, kind: FileKind) -> bool {
@@ -58,27 +51,23 @@ impl Lint for SuiteError {
         if file.path.components().next().map(|c| c.as_os_str() == "crates").unwrap_or(false) {
             return;
         }
-        for (no, line) in file.lines() {
-            if is_comment_line(line) {
+        for t in file.tokens() {
+            // Identifier tokens only: a name quoted in a string or
+            // mentioned in a comment is prose, not a use of the type.
+            if t.kind != TokenKind::Ident {
                 continue;
             }
-            for needle in FORBIDDEN {
-                let mut from = 0;
-                while let Some(pos) = line[from..].find(needle) {
-                    let at = from + pos;
-                    from = at + needle.len();
-                    if is_word_at(line, at, needle) {
-                        out.push(Violation {
-                            file: file.path.clone(),
-                            line: no,
-                            rule: self.name(),
-                            message: format!(
-                                "suite code names per-crate error `{needle}`; \
-                                 use the unified `sysunc::Error` instead"
-                            ),
-                        });
-                    }
-                }
+            let text = file.text(t);
+            if FORBIDDEN.contains(&text) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: format!(
+                        "suite code names per-crate error `{text}`; \
+                         use the unified `sysunc::Error` instead"
+                    ),
+                });
             }
         }
     }
@@ -117,5 +106,11 @@ mod tests {
         assert!(run("tests/t.rs", FileKind::RustTest, "// mentions SamplingError in prose\n")
             .is_empty());
         assert!(run("tests/t.rs", FileKind::RustTest, "struct MyPceErrorLike;\n").is_empty());
+    }
+
+    #[test]
+    fn names_in_string_literals_pass() {
+        let src = "fn f() { log(\"got a ProbError from the substrate\"); }\n";
+        assert!(run("tests/t.rs", FileKind::RustTest, src).is_empty());
     }
 }

@@ -1,0 +1,112 @@
+//! Rule `unused-allow`: every `// tidy: allow(<rule>)` comment must
+//! suppress a live finding, and must name a rule the gate knows.
+//!
+//! Allow comments are deliberate, visible debt: "this violation is
+//! understood and accepted". When the underlying code improves (or a
+//! rule gets smarter) and the finding disappears, the comment turns
+//! into *suppression rot* — a standing claim that a violation exists
+//! where none does, and a landmine that silently swallows the next real
+//! finding introduced nearby. This rule runs after all others, over the
+//! markers the partitioning pass recorded as used, and flags the rest.
+//!
+//! One level of meta-acknowledgement is supported: a marker can itself
+//! be kept alive with `// tidy: allow(unused-allow)` (e.g. for fixture
+//! data), and `allow(unused-allow)` markers are never flagged.
+
+use crate::{rules, SourceFile, Violation};
+
+/// Rule name, used by the driver and `--explain`.
+pub const UNUSED_ALLOW_NAME: &str = "unused-allow";
+
+/// `--explain` text.
+pub const UNUSED_ALLOW_EXPLAIN: &str =
+    "Every `// tidy: allow(<rule>)` comment must suppress a live finding and \
+     name a rule the gate knows. An allow whose finding has disappeared is \
+     suppression rot: a standing claim that a violation exists where none \
+     does, and a landmine that silently swallows the next real finding \
+     introduced nearby. Remove stale allows; if a marker must stay (fixture \
+     data), acknowledge it with `// tidy: allow(unused-allow)`.";
+
+/// The suppression-rot pass. `used[file_idx][marker_idx]` says whether
+/// the partitioning pass saw that marker suppress at least one finding.
+pub fn unused_allow_pass(files: &[SourceFile], used: &[Vec<bool>]) -> Vec<Violation> {
+    let known = rules::rule_names();
+    let mut out = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (mi, marker) in file.allows().iter().enumerate() {
+            if marker.rule == UNUSED_ALLOW_NAME {
+                continue; // the meta-acknowledgement itself is never rot
+            }
+            if !known.contains(&marker.rule.as_str()) {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: marker.line,
+                    rule: UNUSED_ALLOW_NAME,
+                    message: format!(
+                        "allow names unknown rule `{}`; known rules: {}",
+                        marker.rule,
+                        known.join(", ")
+                    ),
+                });
+            } else if !used[fi][mi] {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: marker.line,
+                    rule: UNUSED_ALLOW_NAME,
+                    message: format!(
+                        "`tidy: allow({})` suppresses nothing; remove the stale \
+                         marker (suppression rot)",
+                        marker.rule
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_files, FileKind};
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/m.rs", src, FileKind::RustLibrary)
+    }
+
+    #[test]
+    fn a_live_allow_is_not_flagged() {
+        // `.unwrap()` fires `panic`; the marker suppresses it, so the
+        // marker is used and no unused-allow finding appears.
+        let files = vec![file("fn f() { x.unwrap(); } // tidy: allow(panic)\n")];
+        let report = check_files(&files);
+        assert!(report.violations.is_empty(), "got: {:?}", report.violations);
+        assert_eq!(report.allowed.len(), 1);
+    }
+
+    #[test]
+    fn a_stale_allow_is_flagged() {
+        let files = vec![file("fn f() {} // tidy: allow(panic)\n")];
+        let report = check_files(&files);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "unused-allow");
+        assert!(report.violations[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn an_unknown_rule_name_is_flagged() {
+        let files = vec![file("fn f() {} // tidy: allow(no-such-rule)\n")];
+        let report = check_files(&files);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn the_meta_acknowledgement_suppresses_one_level() {
+        let files =
+            vec![file("fn f() {} // tidy: allow(panic) // tidy: allow(unused-allow)\n")];
+        let report = check_files(&files);
+        assert!(report.violations.is_empty(), "got: {:?}", report.violations);
+        assert_eq!(report.allowed.len(), 1, "the rot finding moves to allowed");
+    }
+}

@@ -37,7 +37,7 @@ fn visit(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
         } else if let Some(kind) = classify(root, &path) {
             let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
             let content = fs::read_to_string(&path)?;
-            out.push(SourceFile { path: rel, content, kind });
+            out.push(SourceFile::new(rel, content, kind));
         }
     }
     Ok(())
