@@ -21,6 +21,12 @@ case "$json" in
   *) echo "unexpected --json output: $json" >&2; exit 1 ;;
 esac
 
+echo "== lint-suppression trend record =="
+# Fold the findings into one sysunc-bench-trend/1 line so allowed/
+# baselined exception counts per rule stay visible over time.
+printf '%s' "$json" | cargo run -q --offline -p sysunc-bench --bin tidy_trend -- \
+  --out BENCH_tidy_trend.json
+
 echo "== build (release) =="
 cargo build --release --offline
 
@@ -30,3 +36,15 @@ cargo test -q --offline
 echo "== engine-layer examples (release) =="
 cargo run -q --release --offline --example propagation_methods
 cargo run -q --release --offline --example strategy_workflow
+
+echo "== serve smoke (ephemeral port, in-tree client) =="
+# Boots the propagation server, propagates through every engine,
+# scrapes /metrics, and shuts down gracefully — nonzero exit on any
+# mismatch between served traffic and the metrics account.
+cargo run -q --release --offline --example serve_smoke
+
+echo "== serve load benchmark =="
+# Self-hosted loadgen run; writes throughput and latency percentiles
+# to BENCH_serve.json for the bench trajectory.
+cargo run -q --release --offline -p sysunc-bench --bin loadgen -- \
+  --clients 8 --requests 25 --budget 2048

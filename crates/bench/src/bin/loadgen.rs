@@ -1,0 +1,130 @@
+//! Self-hosting load generator for the propagation server.
+//!
+//! ```text
+//! loadgen [--clients N] [--requests N] [--engine NAME] [--model NAME]
+//!         [--budget N] [--addr HOST:PORT] [--out FILE]
+//! ```
+//!
+//! Without `--addr` the benchmark starts its own server on an
+//! ephemeral loopback port, drives it, and shuts it down gracefully.
+//! The summary (throughput, p50/p99 latency) is printed and written to
+//! `--out` (default `BENCH_serve.json`).
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use sysunc::ModelRegistry;
+use sysunc_bench::loadgen::{run, LoadgenConfig};
+use sysunc_serve::{Server, ServerConfig};
+
+struct Args {
+    config: LoadgenConfig,
+    addr: Option<SocketAddr>,
+    out: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        config: LoadgenConfig::default(),
+        addr: None,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => {
+                parsed.config.clients =
+                    value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--requests" => {
+                parsed.config.requests_per_client =
+                    value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?
+            }
+            "--engine" => parsed.config.engine = value("--engine")?,
+            "--model" => parsed.config.model = value("--model")?,
+            "--budget" => {
+                parsed.config.budget =
+                    value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--addr" => {
+                parsed.addr =
+                    Some(value("--addr")?.parse().map_err(|e| format!("--addr: {e}"))?)
+            }
+            "--out" => parsed.out = value("--out")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Self-host unless pointed at an external server.
+    let (addr, server) = match args.addr {
+        Some(addr) => (addr, None),
+        None => {
+            let registry = match ModelRegistry::standard() {
+                Ok(registry) => registry,
+                Err(e) => {
+                    eprintln!("loadgen: cannot build the model registry: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = ServerConfig {
+                workers: args.config.clients.max(2),
+                queue_capacity: args.config.clients.max(2) * 4,
+                ..ServerConfig::default()
+            };
+            match Server::start(config, registry) {
+                Ok(server) => (server.addr(), Some(server)),
+                Err(e) => {
+                    eprintln!("loadgen: cannot start server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let outcome = run(addr, &args.config);
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let result = match outcome {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("loadgen: run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match result.to_json(&args.config) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("loadgen: cannot render summary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loadgen: {} ok / {} failed, {:.1} req/s, p50 {} us, p99 {} us",
+        result.ok,
+        result.failed,
+        result.throughput_rps(),
+        result.percentile_micros(50.0),
+        result.percentile_micros(99.0)
+    );
+    if let Err(e) = std::fs::write(&args.out, summary + "\n") {
+        eprintln!("loadgen: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("loadgen: wrote {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,79 @@
+//! Appends one lint-suppression trend record to the bench trajectory.
+//!
+//! ```text
+//! sysunc-tidy --json | tidy_trend [--out FILE]
+//! ```
+//!
+//! Reads a `sysunc-tidy/1` findings document from stdin (or `--in
+//! FILE`), folds it into a `sysunc-bench-trend/1` record with per-rule
+//! allowed/baselined exception counts, and appends it as one JSON line
+//! to `--out` (default `BENCH_tidy_trend.json`) — printing it to
+//! stdout as well.
+
+use std::io::Read;
+use std::process::ExitCode;
+use sysunc::prob::json::parse;
+use sysunc_bench::trend::trend_record;
+
+fn main() -> ExitCode {
+    let mut input_path: Option<String> = None;
+    let mut out_path = String::from("BENCH_tidy_trend.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--in", Some(v)) => input_path = Some(v.clone()),
+            ("--out", Some(v)) => out_path = v.clone(),
+            (other, _) => {
+                eprintln!("tidy_trend: bad or incomplete flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let text = match input_path {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("tidy_trend: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut buffer = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buffer) {
+                eprintln!("tidy_trend: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buffer
+        }
+    };
+
+    let report = match parse(&text) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("tidy_trend: input is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let record = match trend_record(&report) {
+        Ok(record) => record,
+        Err(e) => {
+            eprintln!("tidy_trend: input is not a sysunc-tidy/1 document: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{record}");
+    let mut appended = std::fs::read_to_string(&out_path).unwrap_or_default();
+    if !appended.is_empty() && !appended.ends_with('\n') {
+        appended.push('\n');
+    }
+    appended.push_str(&record);
+    appended.push('\n');
+    if let Err(e) = std::fs::write(&out_path, appended) {
+        eprintln!("tidy_trend: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

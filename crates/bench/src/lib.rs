@@ -6,7 +6,9 @@
 //! The [`timing`] module is the in-tree benchmarking harness used by the
 //! `benches/` targets in place of an external framework.
 
+pub mod loadgen;
 pub mod timing;
+pub mod trend;
 
 /// Prints an experiment header.
 pub fn header(id: &str, title: &str) {

@@ -1,0 +1,262 @@
+//! Loopback load generator for the propagation server.
+//!
+//! Drives `POST /v1/propagate` from N concurrent client threads over
+//! keep-alive connections, collects per-request wall-clock latencies,
+//! and renders a machine-readable summary (`BENCH_serve.json`) with
+//! throughput and latency percentiles — the serving-layer entry in the
+//! bench trajectory.
+
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use sysunc::prob::json::writer::JsonWriter;
+use sysunc::prob::json::JsonError;
+use sysunc::{UncertainInput, WireRequest};
+use sysunc_serve::{HttpClient, ServeError};
+
+/// Shape of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client threads, each with its own connection.
+    pub clients: usize,
+    /// Requests each client issues sequentially.
+    pub requests_per_client: usize,
+    /// Engine name sent in every request.
+    pub engine: String,
+    /// Registered model name sent in every request.
+    pub model: String,
+    /// Evaluation budget per request.
+    pub budget: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            requests_per_client: 25,
+            engine: "monte-carlo".into(),
+            model: "sum".into(),
+            budget: 2048,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The wire request client `c` sends as its `i`-th call. Seeds are
+    /// distinct per call so the server does real, varied work.
+    pub fn request(&self, client: usize, call: usize) -> WireRequest {
+        let mut wire = WireRequest::new(
+            self.engine.clone(),
+            self.model.clone(),
+            vec![
+                UncertainInput::Normal { mu: 1.0, sigma: 0.5 },
+                UncertainInput::Uniform { a: 0.0, b: 2.0 },
+            ],
+        );
+        wire.budget = self.budget;
+        wire.seed = (client as u64) * 1_000_003 + call as u64 + 1;
+        wire
+    }
+}
+
+/// Outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenResult {
+    /// Requests attempted.
+    pub requests: u64,
+    /// Requests answered `200` with a decodable report.
+    pub ok: u64,
+    /// Everything else (transport errors, non-200 statuses).
+    pub failed: u64,
+    /// Wall-clock span of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latencies in microseconds, sorted ascending.
+    pub latencies_micros: Vec<u64>,
+}
+
+impl LoadgenResult {
+    /// Completed requests per second over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ok as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank percentile of the recorded latencies; `0` when no
+    /// request completed. `p` is in `[0, 100]`.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        if self.latencies_micros.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.latencies_micros.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.latencies_micros.len()) - 1;
+        self.latencies_micros[idx]
+    }
+
+    /// Renders the `sysunc-bench-serve/1` JSON summary document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JsonError`] from the strict writer (unreachable
+    /// for finite inputs, but surfaced rather than hidden).
+    pub fn to_json(&self, config: &LoadgenConfig) -> Result<String, JsonError> {
+        let mean = if self.latencies_micros.is_empty() {
+            0.0
+        } else {
+            let sum: u64 = self.latencies_micros.iter().sum();
+            sum as f64 / self.latencies_micros.len() as f64
+        };
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string("sysunc-bench-serve/1");
+        w.key("engine").string(&config.engine);
+        w.key("model").string(&config.model);
+        w.key("budget").u64(config.budget as u64);
+        w.key("clients").u64(config.clients as u64);
+        w.key("requests").u64(self.requests);
+        w.key("ok").u64(self.ok);
+        w.key("failed").u64(self.failed);
+        w.key("elapsed_micros")
+            .u64(self.elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        w.key("throughput_rps").f64(self.throughput_rps());
+        w.key("latency_micros").begin_object();
+        w.key("min").u64(self.latencies_micros.first().copied().unwrap_or(0));
+        w.key("p50").u64(self.percentile_micros(50.0));
+        w.key("p90").u64(self.percentile_micros(90.0));
+        w.key("p99").u64(self.percentile_micros(99.0));
+        w.key("max").u64(self.latencies_micros.last().copied().unwrap_or(0));
+        w.key("mean").f64(mean);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Runs the load against a server at `addr`.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] when no client could even connect; partial
+/// per-request failures are counted in the result instead.
+pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenResult, ServeError> {
+    let (tx, rx) = mpsc::channel::<(u64, u64, Vec<u64>)>();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..config.clients.max(1) {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut ok = 0u64;
+                let mut failed = 0u64;
+                let mut latencies = Vec::with_capacity(config.requests_per_client);
+                let mut conn = HttpClient::connect(addr);
+                for call in 0..config.requests_per_client {
+                    let Ok(c) = conn.as_mut() else {
+                        failed += 1;
+                        continue;
+                    };
+                    let wire = config.request(client, call);
+                    let t0 = Instant::now();
+                    match c.propagate(&wire) {
+                        Ok(_) => {
+                            ok += 1;
+                            latencies.push(
+                                t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                            );
+                        }
+                        Err(_) => {
+                            failed += 1;
+                            // The connection may be poisoned; reconnect.
+                            conn = HttpClient::connect(addr);
+                        }
+                    }
+                }
+                let _ = tx.send((ok, failed, latencies));
+            });
+        }
+    });
+    drop(tx);
+    let mut result = LoadgenResult {
+        requests: (config.clients.max(1) * config.requests_per_client) as u64,
+        ok: 0,
+        failed: 0,
+        elapsed: Duration::ZERO,
+        latencies_micros: Vec::new(),
+    };
+    for (ok, failed, latencies) in rx {
+        result.ok += ok;
+        result.failed += failed;
+        result.latencies_micros.extend(latencies);
+    }
+    result.elapsed = started.elapsed();
+    result.latencies_micros.sort_unstable();
+    if result.ok == 0 {
+        return Err(ServeError::Io("no request succeeded".into()));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_data() {
+        let r = LoadgenResult {
+            requests: 4,
+            ok: 4,
+            failed: 0,
+            elapsed: Duration::from_secs(2),
+            latencies_micros: vec![10, 20, 30, 40],
+        };
+        assert_eq!(r.percentile_micros(50.0), 20);
+        assert_eq!(r.percentile_micros(99.0), 40);
+        assert_eq!(r.percentile_micros(0.0), 10);
+        assert!((r.throughput_rps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_results_do_not_divide_by_zero() {
+        let r = LoadgenResult {
+            requests: 0,
+            ok: 0,
+            failed: 0,
+            elapsed: Duration::ZERO,
+            latencies_micros: vec![],
+        };
+        assert_eq!(r.percentile_micros(50.0), 0);
+        assert_eq!(r.throughput_rps(), 0.0);
+        let text = r.to_json(&LoadgenConfig::default()).expect("renders");
+        assert!(text.contains("\"schema\":\"sysunc-bench-serve/1\""));
+    }
+
+    #[test]
+    fn summary_json_is_parseable_and_complete() {
+        let r = LoadgenResult {
+            requests: 3,
+            ok: 2,
+            failed: 1,
+            elapsed: Duration::from_millis(10),
+            latencies_micros: vec![100, 300],
+        };
+        let text = r.to_json(&LoadgenConfig::default()).expect("renders");
+        let v = sysunc::prob::json::parse(&text).expect("parses");
+        assert_eq!(v.get("ok").and_then(|j| j.as_u64()), Some(2));
+        let lat = v.get("latency_micros").expect("nested");
+        assert_eq!(lat.get("p50").and_then(|j| j.as_u64()), Some(100));
+        assert_eq!(lat.get("p99").and_then(|j| j.as_u64()), Some(300));
+        assert!(v.get("throughput_rps").and_then(|j| j.as_f64()).is_some());
+    }
+
+    #[test]
+    fn config_requests_vary_by_seed_but_share_the_problem() {
+        let c = LoadgenConfig::default();
+        let a = c.request(0, 0);
+        let b = c.request(1, 0);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.inputs, b.inputs);
+        assert_eq!(a.engine, b.engine);
+    }
+}

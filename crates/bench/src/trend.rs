@@ -1,0 +1,146 @@
+//! Lint-suppression trend records from `sysunc-tidy --json`.
+//!
+//! Every `// tidy: allow(rule)` comment and every baseline budget is
+//! acknowledged epistemic debt. This module folds a `sysunc-tidy/1`
+//! findings document into a compact per-rule trend record
+//! (`sysunc-bench-trend/1`) that the bench trajectory appends over
+//! time, making suppression creep visible: the counts should only
+//! ratchet down, and a rising line is a review flag.
+
+use std::collections::BTreeMap;
+use sysunc::prob::json::writer::JsonWriter;
+use sysunc::prob::json::{Json, JsonError};
+
+/// Counts the entries of one findings list (`allowed`, `baselined`, …)
+/// per rule, sorted by rule name.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when `key` is missing or not an array of
+/// finding objects.
+pub fn count_by_rule(report: &Json, key: &str) -> Result<Vec<(String, u64)>, JsonError> {
+    let list = report
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError::decode(format!("report lacks a '{key}' array")))?;
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for item in list {
+        let rule = item
+            .get("rule")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::decode(format!("'{key}' entry lacks a rule")))?;
+        *counts.entry(rule.to_string()).or_insert(0) += 1;
+    }
+    Ok(counts.into_iter().collect())
+}
+
+/// Renders one `sysunc-bench-trend/1` record (a single JSON line) from
+/// a parsed `sysunc-tidy/1` findings document.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the document does not have the
+/// `sysunc-tidy/1` shape.
+pub fn trend_record(report: &Json) -> Result<String, JsonError> {
+    let schema = report.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "sysunc-tidy/1" {
+        return Err(JsonError::decode(format!(
+            "expected a sysunc-tidy/1 document, got schema '{schema}'"
+        )));
+    }
+    let files_scanned = report
+        .get("files_scanned")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| JsonError::decode("report lacks files_scanned"))?;
+    let clean = report
+        .get("clean")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| JsonError::decode("report lacks clean"))?;
+    let allowed = count_by_rule(report, "allowed")?;
+    let baselined = count_by_rule(report, "baselined")?;
+    let violations = report
+        .get("violations")
+        .and_then(Json::as_arr)
+        .map(|a| a.len() as u64)
+        .ok_or_else(|| JsonError::decode("report lacks violations"))?;
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("sysunc-bench-trend/1");
+    w.key("files_scanned").u64(files_scanned);
+    w.key("clean").bool(clean);
+    w.key("violations").u64(violations);
+    let total = |counts: &[(String, u64)]| counts.iter().map(|(_, n)| n).sum::<u64>();
+    w.key("allowed_total").u64(total(&allowed));
+    w.key("allowed_by_rule").begin_object();
+    for (rule, n) in &allowed {
+        w.key(rule).u64(*n);
+    }
+    w.end_object();
+    w.key("baselined_total").u64(total(&baselined));
+    w.key("baselined_by_rule").begin_object();
+    for (rule, n) in &baselined {
+        w.key(rule).u64(*n);
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysunc::prob::json::parse;
+
+    const SAMPLE: &str = r#"{
+        "schema": "sysunc-tidy/1",
+        "files_scanned": 12,
+        "clean": true,
+        "violations": [],
+        "allowed": [
+            {"file": "a.rs", "line": 1, "rule": "panic", "message": "m"},
+            {"file": "b.rs", "line": 2, "rule": "panic", "message": "m"},
+            {"file": "c.rs", "line": 3, "rule": "seed-discipline", "message": "m"}
+        ],
+        "baselined": [
+            {"file": "d.rs", "line": 4, "rule": "doc", "message": "m"}
+        ]
+    }"#;
+
+    #[test]
+    fn counts_group_and_sort_by_rule() {
+        let report = parse(SAMPLE).expect("parses");
+        let counts = count_by_rule(&report, "allowed").expect("counts");
+        assert_eq!(
+            counts,
+            vec![("panic".to_string(), 2), ("seed-discipline".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn trend_record_summarizes_the_findings_document() {
+        let report = parse(SAMPLE).expect("parses");
+        let record = trend_record(&report).expect("renders");
+        let v = parse(&record).expect("record parses back");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("sysunc-bench-trend/1")
+        );
+        assert_eq!(v.get("allowed_total").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("baselined_total").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            v.get("allowed_by_rule").and_then(|j| j.get("panic")).and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(v.get("violations").and_then(Json::as_u64), Some(0));
+        assert_eq!(v.get("clean").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn foreign_documents_are_rejected() {
+        let report = parse(r#"{"schema":"other/9"}"#).expect("parses");
+        assert!(trend_record(&report).is_err());
+        let report = parse(r#"{"schema":"sysunc-tidy/1"}"#).expect("parses");
+        assert!(trend_record(&report).is_err(), "missing members must error");
+    }
+}

@@ -48,6 +48,7 @@ pub mod modeling;
 pub mod propagator;
 pub mod register;
 pub mod taxonomy;
+pub mod wire;
 
 pub use error::{Error, Result, SysuncError};
 pub use propagator::{
@@ -55,6 +56,7 @@ pub use propagator::{
     LatinHypercubeEngine, Model, MonteCarloEngine, PropagationReport, PropagationRequest,
     Propagator, SobolEngine, SpectralEngine, UncertainInput,
 };
+pub use wire::{engine_by_name, ModelRegistry, WireRequest, ENGINE_NAMES};
 
 pub use sysunc_algebra as algebra;
 pub use sysunc_bayesnet as bayesnet;

@@ -1,0 +1,572 @@
+//! The wire schema of the propagation service: JSON forms of
+//! [`PropagationRequest`]/[`PropagationReport`] plus name-based engine
+//! and model registries.
+//!
+//! An in-process [`PropagationRequest`] borrows its model as `&dyn
+//! Model` — nothing a byte stream can carry. The wire form
+//! ([`WireRequest`]) instead *names* a model registered in a
+//! [`ModelRegistry`] and an engine from the fixed engine catalog, and
+//! the serving layer resolves both names back to the in-process types.
+//! This mirrors the machine-readable uncertainty-analysis interfaces of
+//! the SysML-v2 modeling line of work: an analysis request is data, the
+//! executable model stays on the server.
+//!
+//! Everything here round-trips through the in-tree
+//! [`sysunc_prob::json`] reader/writer; floats use the shortest
+//! round-tripping representation, so a decoded report is bit-identical
+//! to the report the engine produced.
+
+use crate::error::{Error, Result};
+use crate::propagator::{
+    EvidentialEngine, LatinHypercubeEngine, Model, MonteCarloEngine, PropagationReport,
+    PropagationRequest, Propagator, SobolEngine, SpectralEngine, UncertainInput,
+};
+use sysunc_evidence::Interval;
+use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
+
+/// The stable names of the engine catalog, in report order.
+pub const ENGINE_NAMES: &[&str] =
+    &["monte-carlo", "latin-hypercube", "sobol-qmc", "pce-spectral", "evidential"];
+
+/// Constructs the engine with the given catalog name (default
+/// configuration), or `None` for unknown names.
+pub fn engine_by_name(name: &str) -> Option<Box<dyn Propagator + Send + Sync>> {
+    match name {
+        "monte-carlo" => Some(Box::new(MonteCarloEngine)),
+        "latin-hypercube" => Some(Box::new(LatinHypercubeEngine)),
+        "sobol-qmc" => Some(Box::new(SobolEngine)),
+        "pce-spectral" => Some(Box::new(SpectralEngine::default())),
+        "evidential" => Some(Box::new(EvidentialEngine::default())),
+        _ => None,
+    }
+}
+
+/// Interns an engine name against the catalog, recovering the
+/// `&'static str` identity a [`PropagationReport`] carries.
+fn intern_engine_name(name: &str) -> Option<&'static str> {
+    ENGINE_NAMES.iter().find(|n| **n == name).copied()
+}
+
+/// A named catalog of deterministic models the serving layer can run.
+///
+/// Models are registered once at startup and looked up by name per
+/// request; the registry is immutable while shared, so it can sit
+/// behind an `Arc` across worker threads without locking.
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: Vec<(String, Box<dyn Model + Send + Sync>)>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a model under a unique non-empty name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for empty or duplicate names.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        model: Box<dyn Model + Send + Sync>,
+    ) -> Result<()> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(Error::InvalidInput("model name must be non-empty".into()));
+        }
+        if self.get(&name).is_some() {
+            return Err(Error::InvalidInput(format!("duplicate model name '{name}'")));
+        }
+        self.entries.push((name, model));
+        Ok(())
+    }
+
+    /// The model registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&(dyn Model + Send + Sync)> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m.as_ref())
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The standard model catalog served out of the box: closed-form
+    /// toy models plus the paper-derived orbital and perception
+    /// adapters.
+    ///
+    /// | name | inputs | output |
+    /// |---|---|---|
+    /// | `sum` | any | `Σ xᵢ` |
+    /// | `linear-2x3y` | 2 | `2 x₀ + 3 x₁` |
+    /// | `product` | any | `Π xᵢ` |
+    /// | `orbital-period` | `[m1, m2, d]` | circular two-body period |
+    /// | `orbital-energy` | `[m1, m2, d]` | total mechanical energy |
+    /// | `missed-hazard` | `[p_ped, p_novel]` | missed-hazard rate of the Table I camera |
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures of the paper case-study models
+    /// (impossible for the built-in constants).
+    pub fn standard() -> Result<Self> {
+        let mut reg = Self::new();
+        reg.register("sum", Box::new(|x: &[f64]| x.iter().sum::<f64>()))?;
+        reg.register("linear-2x3y", Box::new(|x: &[f64]| {
+            2.0 * x.first().copied().unwrap_or(0.0) + 3.0 * x.get(1).copied().unwrap_or(0.0)
+        }))?;
+        reg.register("product", Box::new(|x: &[f64]| x.iter().product::<f64>()))?;
+        reg.register("orbital-period", Box::new(sysunc_orbital::TwoBodyPeriodModel))?;
+        reg.register("orbital-energy", Box::new(sysunc_orbital::TwoBodyEnergyModel))?;
+        reg.register(
+            "missed-hazard",
+            Box::new(sysunc_perception::MissedHazardModel::paper_camera()?),
+        )?;
+        Ok(reg)
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry").field("names", &self.names()).finish()
+    }
+}
+
+/// The serializable form of a propagation problem: engine and model by
+/// name, everything else by value. Defaults mirror
+/// [`PropagationRequest::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Engine catalog name (see [`ENGINE_NAMES`]).
+    pub engine: String,
+    /// Registered model name (see [`ModelRegistry`]).
+    pub model: String,
+    /// Input declarations, one per model dimension.
+    pub inputs: Vec<UncertainInput>,
+    /// Evaluation budget.
+    pub budget: usize,
+    /// Seed all engine randomness derives from.
+    pub seed: u64,
+    /// Quantile levels to report, each in `(0, 1)`.
+    pub quantile_levels: Vec<f64>,
+    /// Optional exceedance query `P(Y > threshold)`.
+    pub threshold: Option<f64>,
+}
+
+impl WireRequest {
+    /// A request with the same defaults as [`PropagationRequest::new`]:
+    /// budget 4096, seed 2020, quantiles 5% / 50% / 95%, no threshold.
+    pub fn new(
+        engine: impl Into<String>,
+        model: impl Into<String>,
+        inputs: Vec<UncertainInput>,
+    ) -> Self {
+        Self {
+            engine: engine.into(),
+            model: model.into(),
+            inputs,
+            budget: 4096,
+            seed: 2020,
+            quantile_levels: vec![0.05, 0.5, 0.95],
+            threshold: None,
+        }
+    }
+
+    /// Constructs the named engine from the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for names outside [`ENGINE_NAMES`].
+    pub fn resolve_engine(&self) -> Result<Box<dyn Propagator + Send + Sync>> {
+        engine_by_name(&self.engine).ok_or_else(|| {
+            Error::Unsupported(format!(
+                "unknown engine '{}'; known engines: {}",
+                self.engine,
+                ENGINE_NAMES.join(", ")
+            ))
+        })
+    }
+
+    /// Binds the request to a resolved model reference, producing the
+    /// in-process [`PropagationRequest`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when inputs are empty or the
+    /// quantile levels leave `(0, 1)`.
+    pub fn to_request<'m>(&self, model: &'m dyn Model) -> Result<PropagationRequest<'m>> {
+        PropagationRequest::new(self.inputs.clone(), model)?
+            .with_budget(self.budget)
+            .with_seed(self.seed)
+            .with_quantile_levels(self.quantile_levels.clone())
+            .map(|r| match self.threshold {
+                Some(t) => r.with_threshold(t),
+                None => r,
+            })
+    }
+}
+
+impl ToJson for WireRequest {
+    fn to_json(&self) -> Json {
+        obj([
+            ("engine", self.engine.to_json()),
+            ("model", self.model.to_json()),
+            ("inputs", self.inputs.to_json()),
+            ("budget", self.budget.to_json()),
+            ("seed", self.seed.to_json()),
+            ("quantile_levels", self.quantile_levels.to_json()),
+            ("threshold", self.threshold.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WireRequest {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let defaults = WireRequest::new("", "", Vec::new());
+        let opt = |key: &str| v.get(key).filter(|j| !j.is_null());
+        Ok(WireRequest {
+            engine: field(v, "engine")?,
+            model: field(v, "model")?,
+            inputs: field(v, "inputs")?,
+            budget: match opt("budget") {
+                Some(j) => usize::from_json(j)?,
+                None => defaults.budget,
+            },
+            seed: match opt("seed") {
+                Some(j) => u64::from_json(j)?,
+                None => defaults.seed,
+            },
+            quantile_levels: match opt("quantile_levels") {
+                Some(j) => Vec::from_json(j)?,
+                None => defaults.quantile_levels,
+            },
+            threshold: match v.get("threshold") {
+                Some(j) => Option::from_json(j)?,
+                None => None,
+            },
+        })
+    }
+}
+
+impl ToJson for UncertainInput {
+    fn to_json(&self) -> Json {
+        match *self {
+            UncertainInput::Normal { mu, sigma } => obj([
+                ("dist", Json::Str("normal".into())),
+                ("mu", mu.to_json()),
+                ("sigma", sigma.to_json()),
+            ]),
+            UncertainInput::Uniform { a, b } => obj([
+                ("dist", Json::Str("uniform".into())),
+                ("a", a.to_json()),
+                ("b", b.to_json()),
+            ]),
+            UncertainInput::Exponential { rate } => {
+                obj([("dist", Json::Str("exponential".into())), ("rate", rate.to_json())])
+            }
+            UncertainInput::Beta { alpha, beta } => obj([
+                ("dist", Json::Str("beta".into())),
+                ("alpha", alpha.to_json()),
+                ("beta", beta.to_json()),
+            ]),
+            UncertainInput::Interval { lo, hi } => obj([
+                ("dist", Json::Str("interval".into())),
+                ("lo", lo.to_json()),
+                ("hi", hi.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for UncertainInput {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let tag: String = field(v, "dist")?;
+        let input = match tag.as_str() {
+            "normal" => {
+                UncertainInput::Normal { mu: field(v, "mu")?, sigma: field(v, "sigma")? }
+            }
+            "uniform" => UncertainInput::Uniform { a: field(v, "a")?, b: field(v, "b")? },
+            "exponential" => UncertainInput::Exponential { rate: field(v, "rate")? },
+            "beta" => {
+                UncertainInput::Beta { alpha: field(v, "alpha")?, beta: field(v, "beta")? }
+            }
+            "interval" => UncertainInput::Interval { lo: field(v, "lo")?, hi: field(v, "hi")? },
+            other => {
+                return Err(JsonError::decode(format!(
+                    "unknown input dist '{other}' (expected normal | uniform | \
+                     exponential | beta | interval)"
+                )))
+            }
+        };
+        for (name, x) in input_params(&input) {
+            if !x.is_finite() {
+                return Err(JsonError::decode(format!(
+                    "input parameter '{name}' must be finite"
+                )));
+            }
+        }
+        Ok(input)
+    }
+}
+
+/// The numeric parameters of an input declaration, for validation.
+fn input_params(input: &UncertainInput) -> Vec<(&'static str, f64)> {
+    match *input {
+        UncertainInput::Normal { mu, sigma } => vec![("mu", mu), ("sigma", sigma)],
+        UncertainInput::Uniform { a, b } => vec![("a", a), ("b", b)],
+        UncertainInput::Exponential { rate } => vec![("rate", rate)],
+        UncertainInput::Beta { alpha, beta } => vec![("alpha", alpha), ("beta", beta)],
+        UncertainInput::Interval { lo, hi } => vec![("lo", lo), ("hi", hi)],
+    }
+}
+
+/// The JSON form of an [`Interval`]: `{"lo": …, "hi": …}`.
+pub fn interval_to_json(iv: &Interval) -> Json {
+    obj([("lo", iv.lo().to_json()), ("hi", iv.hi().to_json())])
+}
+
+/// Decodes `{"lo": …, "hi": …}` back into a validated [`Interval`].
+///
+/// # Errors
+///
+/// Returns [`JsonError::Decode`] for missing members or an invalid
+/// (`lo > hi`, NaN) interval.
+pub fn interval_from_json(v: &Json) -> std::result::Result<Interval, JsonError> {
+    let lo: f64 = field(v, "lo")?;
+    let hi: f64 = field(v, "hi")?;
+    Interval::new(lo, hi).map_err(|e| JsonError::decode(e.to_string()))
+}
+
+impl ToJson for PropagationReport {
+    fn to_json(&self) -> Json {
+        let quantiles: Vec<Json> = self
+            .quantiles
+            .iter()
+            .map(|(p, iv)| obj([("level", p.to_json()), ("bounds", interval_to_json(iv))]))
+            .collect();
+        obj([
+            ("engine", self.engine.to_json()),
+            ("means", self.means.to_json()),
+            ("kind", self.kind.to_json()),
+            ("mean", interval_to_json(&self.mean)),
+            ("variance", interval_to_json(&self.variance)),
+            ("quantiles", Json::Arr(quantiles)),
+            (
+                "exceedance",
+                match &self.exceedance {
+                    Some(iv) => interval_to_json(iv),
+                    None => Json::Null,
+                },
+            ),
+            ("evaluations", self.evaluations.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PropagationReport {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        let engine: String = field(v, "engine")?;
+        let engine = intern_engine_name(&engine).ok_or_else(|| {
+            JsonError::decode(format!("unknown engine '{engine}' in report"))
+        })?;
+        let quantiles = v
+            .get("quantiles")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::missing("quantiles"))?
+            .iter()
+            .map(|q| {
+                let level: f64 = field(q, "level")?;
+                let bounds = q.get("bounds").ok_or_else(|| JsonError::missing("bounds"))?;
+                Ok((level, interval_from_json(bounds)?))
+            })
+            .collect::<std::result::Result<Vec<_>, JsonError>>()?;
+        let exceedance = match v.get("exceedance") {
+            Some(j) if !j.is_null() => Some(interval_from_json(j)?),
+            _ => None,
+        };
+        Ok(PropagationReport {
+            engine,
+            means: field(v, "means")?,
+            kind: field(v, "kind")?,
+            mean: interval_from_json(
+                v.get("mean").ok_or_else(|| JsonError::missing("mean"))?,
+            )?,
+            variance: interval_from_json(
+                v.get("variance").ok_or_else(|| JsonError::missing("variance"))?,
+            )?,
+            quantiles,
+            exceedance,
+            evaluations: field(v, "evaluations")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysunc_prob::json;
+
+    fn sample_wire_request() -> WireRequest {
+        let mut req = WireRequest::new(
+            "monte-carlo",
+            "linear-2x3y",
+            vec![
+                UncertainInput::Normal { mu: 1.0, sigma: 2.0 },
+                UncertainInput::Uniform { a: 0.0, b: 1.0 },
+            ],
+        );
+        req.budget = 2000;
+        req.seed = 7;
+        req.threshold = Some(3.5);
+        req
+    }
+
+    #[test]
+    fn wire_request_round_trips() {
+        let req = sample_wire_request();
+        let text = json::to_string(&req);
+        let back: WireRequest = json::from_str(&text).expect("decodes");
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn wire_request_defaults_apply_when_members_are_absent() {
+        let text = r#"{"engine":"evidential","model":"sum",
+                       "inputs":[{"dist":"interval","lo":0.0,"hi":1.0}]}"#;
+        let req: WireRequest = json::from_str(text).expect("decodes");
+        assert_eq!(req.budget, 4096);
+        assert_eq!(req.seed, 2020);
+        assert_eq!(req.quantile_levels, vec![0.05, 0.5, 0.95]);
+        assert_eq!(req.threshold, None);
+    }
+
+    #[test]
+    fn every_input_variant_round_trips() {
+        let inputs = vec![
+            UncertainInput::Normal { mu: -1.5, sigma: 0.25 },
+            UncertainInput::Uniform { a: 0.0, b: 2.0 },
+            UncertainInput::Exponential { rate: 3.0 },
+            UncertainInput::Beta { alpha: 2.0, beta: 5.0 },
+            UncertainInput::Interval { lo: -0.5, hi: 0.5 },
+        ];
+        let text = json::to_string(&inputs);
+        let back: Vec<UncertainInput> = json::from_str(&text).expect("decodes");
+        assert_eq!(inputs, back);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(json::from_str::<UncertainInput>(r#"{"dist":"cauchy","x0":0.0}"#).is_err());
+        assert!(json::from_str::<UncertainInput>(r#"{"mu":0.0,"sigma":1.0}"#).is_err());
+        // Non-finite parameters cannot appear in valid JSON (no NaN
+        // literal), but `null`-degraded floats decode as missing.
+        assert!(
+            json::from_str::<UncertainInput>(r#"{"dist":"normal","mu":null,"sigma":1.0}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn engine_catalog_resolves_every_name_and_rejects_others() {
+        for name in ENGINE_NAMES {
+            let engine = engine_by_name(name).expect("catalog name");
+            assert_eq!(engine.name(), *name);
+        }
+        assert!(engine_by_name("simulated-annealing").is_none());
+        let mut req = sample_wire_request();
+        assert_eq!(req.resolve_engine().expect("known").name(), "monte-carlo");
+        req.engine = "nope".into();
+        assert!(matches!(req.resolve_engine(), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn standard_registry_serves_the_documented_catalog() {
+        let reg = ModelRegistry::standard().expect("builds");
+        for name in
+            ["sum", "linear-2x3y", "product", "orbital-period", "orbital-energy", "missed-hazard"]
+        {
+            assert!(reg.get(name).is_some(), "missing model '{name}'");
+        }
+        assert_eq!(reg.len(), 6);
+        let linear = reg.get("linear-2x3y").expect("registered");
+        assert_eq!(linear.eval(&[1.0, 1.0]), 5.0);
+        assert!(reg.get("unknown").is_none());
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_empty_names() {
+        let mut reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("m", Box::new(|x: &[f64]| x[0])).expect("first");
+        assert!(reg.register("m", Box::new(|x: &[f64]| x[0])).is_err());
+        assert!(reg.register("", Box::new(|x: &[f64]| x[0])).is_err());
+        assert_eq!(reg.names(), vec!["m"]);
+    }
+
+    #[test]
+    fn wire_request_binds_to_the_in_process_request() {
+        let wire = sample_wire_request();
+        let reg = ModelRegistry::standard().expect("builds");
+        let model = reg.get(&wire.model).expect("registered");
+        let req = wire.to_request(model).expect("valid");
+        assert_eq!(req.budget, 2000);
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.threshold, Some(3.5));
+        let engine = wire.resolve_engine().expect("known");
+        let report = engine.propagate(&req).expect("runs");
+        assert!((report.mean_estimate() - 3.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn report_round_trips_bit_identically_for_every_engine() {
+        let reg = ModelRegistry::standard().expect("builds");
+        let model = reg.get("linear-2x3y").expect("registered");
+        for engine_name in ENGINE_NAMES {
+            let mut wire = sample_wire_request();
+            wire.engine = (*engine_name).into();
+            wire.budget = 600;
+            let req = wire.to_request(model).expect("valid");
+            let engine = wire.resolve_engine().expect("known");
+            let report = engine.propagate(&req).expect("runs");
+            let text = json::to_string(&report);
+            let back: PropagationReport = json::from_str(&text).expect("decodes");
+            assert_eq!(report, back, "{engine_name} report must round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn report_decode_rejects_foreign_engines_and_bad_intervals() {
+        let reg = ModelRegistry::standard().expect("builds");
+        let model = reg.get("sum").expect("registered");
+        let wire = WireRequest::new(
+            "monte-carlo",
+            "sum",
+            vec![UncertainInput::Uniform { a: 0.0, b: 1.0 }],
+        );
+        let req = wire.to_request(model).expect("valid");
+        let report = wire.resolve_engine().expect("known").propagate(&req).expect("runs");
+        let mut doc = json::parse(&json::to_string(&report)).expect("parses");
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "engine" {
+                    *v = Json::Str("other".into());
+                }
+            }
+        }
+        assert!(json::from_str::<PropagationReport>(&doc.emit()).is_err());
+        assert!(interval_from_json(&json::parse(r#"{"lo":2.0,"hi":1.0}"#).expect("parses"))
+            .is_err());
+    }
+}

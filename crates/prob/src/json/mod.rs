@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+pub mod writer;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

@@ -1,0 +1,346 @@
+//! A streaming JSON writer: emits a document incrementally without
+//! building a [`super::Json`] tree first.
+//!
+//! The tree emitter in the parent module is the right tool for values
+//! that already live as [`super::Json`]; this writer is for code that
+//! *produces* a document — metrics expositions, benchmark records, wire
+//! responses — where allocating an intermediate tree per request is
+//! waste. It differs from the tree emitter in one deliberate way: it is
+//! **strict about non-finite floats**. The tree emitter follows the
+//! `serde_json` convention of degrading NaN/∞ to `null`; a wire
+//! protocol must not silently turn a number into a different type, so
+//! here a non-finite float poisons the document and [`JsonWriter::finish`]
+//! fails.
+//!
+//! Structural correctness (balanced containers, keys only inside
+//! objects, exactly one top-level value) is tracked as the document is
+//! written; any misuse is reported by `finish` rather than panicking,
+//! keeping the writer usable from panic-free library code.
+//!
+//! ```
+//! use sysunc_prob::json::writer::JsonWriter;
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.key("throughput").f64(1250.5);
+//! w.key("tags").begin_array();
+//! w.string("serve");
+//! w.end_array();
+//! w.end_object();
+//! assert_eq!(w.finish()?, r#"{"throughput":1250.5,"tags":["serve"]}"#);
+//! # Ok::<(), sysunc_prob::json::JsonError>(())
+//! ```
+
+use super::{emit_f64, emit_string, JsonError};
+
+/// What container the writer is currently inside, and whether a comma
+/// is needed before the next element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Frame {
+    /// Inside `[...]`; the flag marks "an element was already written".
+    Array(bool),
+    /// Inside `{...}`; the flag marks "a member was already written",
+    /// the second flag marks "a key is pending its value".
+    Object(bool, bool),
+}
+
+/// An incremental JSON emitter with strictness guarantees the tree
+/// emitter does not make (see the module docs).
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<Frame>,
+    /// First structural or numeric error; poisons the document.
+    error: Option<String>,
+    /// Whether a complete top-level value has been written.
+    root_done: bool,
+}
+
+impl JsonWriter {
+    /// A writer with an empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn poison(&mut self, msg: &str) {
+        if self.error.is_none() {
+            self.error = Some(msg.to_string());
+        }
+    }
+
+    /// Prepares the buffer for a new value: writes the separating comma
+    /// and validates position. Returns false when the write must not
+    /// happen (document poisoned).
+    fn pre_value(&mut self) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        match self.stack.last_mut() {
+            None => {
+                if self.root_done {
+                    self.poison("more than one top-level value");
+                    return false;
+                }
+            }
+            Some(Frame::Array(seen)) => {
+                if *seen {
+                    self.out.push(',');
+                }
+                *seen = true;
+            }
+            Some(Frame::Object(_, pending)) => {
+                if !*pending {
+                    self.poison("object value written without a key");
+                    return false;
+                }
+                *pending = false;
+            }
+        }
+        true
+    }
+
+    fn post_value(&mut self) {
+        if self.stack.is_empty() {
+            self.root_done = true;
+        }
+    }
+
+    /// Writes an object member key. Must be inside an object, and every
+    /// key must be followed by exactly one value.
+    pub fn key(&mut self, name: &str) -> &mut Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.stack.last_mut() {
+            Some(Frame::Object(seen, pending)) => {
+                if *pending {
+                    self.poison("two keys in a row without a value");
+                    return self;
+                }
+                if *seen {
+                    self.out.push(',');
+                }
+                *seen = true;
+                *pending = true;
+                emit_string(&mut self.out, name);
+                self.out.push(':');
+            }
+            _ => self.poison("key outside an object"),
+        }
+        self
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        if self.pre_value() {
+            self.out.push('{');
+            self.stack.push(Frame::Object(false, false));
+        }
+        self
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) -> &mut Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.stack.pop() {
+            Some(Frame::Object(_, false)) => {
+                self.out.push('}');
+                self.post_value();
+            }
+            Some(Frame::Object(_, true)) => self.poison("object closed with a dangling key"),
+            _ => self.poison("end_object outside an object"),
+        }
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        if self.pre_value() {
+            self.out.push('[');
+            self.stack.push(Frame::Array(false));
+        }
+        self
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) -> &mut Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.stack.pop() {
+            Some(Frame::Array(_)) => {
+                self.out.push(']');
+                self.post_value();
+            }
+            _ => self.poison("end_array outside an array"),
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        if self.pre_value() {
+            emit_string(&mut self.out, s);
+            self.post_value();
+        }
+        self
+    }
+
+    /// Writes a float value. A non-finite float poisons the document —
+    /// wire documents must not degrade numbers to `null`.
+    pub fn f64(&mut self, x: f64) -> &mut Self {
+        if !x.is_finite() {
+            self.poison("non-finite float in strict JSON document");
+            return self;
+        }
+        if self.pre_value() {
+            self.out.push_str(&emit_f64(x));
+            self.post_value();
+        }
+        self
+    }
+
+    /// Writes an unsigned integer value (lossless for u64).
+    pub fn u64(&mut self, n: u64) -> &mut Self {
+        if self.pre_value() {
+            self.out.push_str(&n.to_string());
+            self.post_value();
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, b: bool) -> &mut Self {
+        if self.pre_value() {
+            self.out.push_str(if b { "true" } else { "false" });
+            self.post_value();
+        }
+        self
+    }
+
+    /// Writes a `null` value.
+    pub fn null(&mut self) -> &mut Self {
+        if self.pre_value() {
+            self.out.push_str("null");
+            self.post_value();
+        }
+        self
+    }
+
+    /// Finishes the document and returns the JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError::Decode`] when the document was poisoned by a
+    /// structural misuse or a non-finite float, when containers are
+    /// still open, or when nothing was written.
+    pub fn finish(self) -> Result<String, JsonError> {
+        if let Some(msg) = self.error {
+            return Err(JsonError::decode(msg));
+        }
+        if !self.stack.is_empty() {
+            return Err(JsonError::decode(format!(
+                "{} container(s) left open",
+                self.stack.len()
+            )));
+        }
+        if !self.root_done {
+            return Err(JsonError::decode("empty document"));
+        }
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    #[test]
+    fn object_with_all_scalar_kinds_parses_back() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("f").f64(0.1);
+        w.key("n").u64(u64::MAX);
+        w.key("b").bool(true);
+        w.key("s").string("quote\" tab\t");
+        w.key("z").null();
+        w.end_object();
+        let text = w.finish().expect("well-formed");
+        let v = parse(&text).expect("parses");
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("quote\" tab\t"));
+        assert!(v.get("z").map(Json::is_null).unwrap_or(false));
+    }
+
+    #[test]
+    fn nested_arrays_and_objects_round_trip() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.begin_object();
+        w.key("xs").begin_array();
+        w.f64(1.0).f64(2.5);
+        w.end_array();
+        w.end_object();
+        w.u64(7);
+        w.end_array();
+        let text = w.finish().expect("well-formed");
+        assert_eq!(text, r#"[{"xs":[1.0,2.5]},7]"#);
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn non_finite_floats_poison_the_document() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut w = JsonWriter::new();
+            w.begin_array();
+            w.f64(bad);
+            w.end_array();
+            let err = w.finish().expect_err("strict writer rejects non-finite");
+            assert!(err.to_string().contains("non-finite"), "{err}");
+        }
+    }
+
+    #[test]
+    fn structural_misuse_is_an_error_not_a_panic() {
+        // Unbalanced container.
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        assert!(w.finish().is_err());
+        // Value without a key inside an object.
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.u64(1);
+        assert!(w.finish().is_err());
+        // Dangling key.
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.end_object();
+        assert!(w.finish().is_err());
+        // Key at the top level.
+        let mut w = JsonWriter::new();
+        w.key("a");
+        assert!(w.finish().is_err());
+        // Two top-level values.
+        let mut w = JsonWriter::new();
+        w.u64(1).u64(2);
+        assert!(w.finish().is_err());
+        // Nothing at all.
+        assert!(JsonWriter::new().finish().is_err());
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a\"b").u64(1);
+        w.end_object();
+        let text = w.finish().expect("well-formed");
+        let v = parse(&text).expect("parses");
+        assert_eq!(v.get("a\"b").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Standalone propagation server.
+//!
+//! ```text
+//! sysunc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
+//! ```
+//!
+//! Binds (port 0 = ephemeral), prints `listening on <addr>` to stdout,
+//! and serves until stdin reaches EOF — the supervisor-friendly,
+//! signal-free shutdown convention: closing the pipe asks the server
+//! to drain and exit 0.
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Duration;
+use sysunc::ModelRegistry;
+use sysunc_serve::{Server, ServerConfig};
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--timeout-ms" => {
+                config.request_timeout = Duration::from_millis(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("sysunc-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match ModelRegistry::standard() {
+        Ok(registry) => registry,
+        Err(e) => {
+            eprintln!("sysunc-serve: cannot build the model registry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(config, registry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sysunc-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Serve until stdin closes.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    eprintln!("sysunc-serve: stdin closed, draining");
+    server.shutdown();
+    ExitCode::SUCCESS
+}

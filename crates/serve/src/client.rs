@@ -1,0 +1,123 @@
+//! A small blocking HTTP/1.1 client for the propagation API — used by
+//! the integration tests, the `loadgen` benchmark driver, and the CI
+//! smoke test, so the server is exercised end to end without external
+//! tooling.
+//!
+//! One [`HttpClient`] owns one keep-alive connection; issue requests
+//! sequentially and reuse it for the next. Typed helpers wrap the
+//! JSON encode/decode of the propagate route.
+
+use crate::error::{Result, ServeError};
+use crate::http::{HttpConn, Limits, Response};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use sysunc::prob::json;
+use sysunc::{PropagationReport, WireRequest};
+
+/// A blocking keep-alive HTTP client for one server connection.
+#[derive(Debug)]
+pub struct HttpClient {
+    conn: HttpConn<TcpStream>,
+    limits: Limits,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// Connects to the server with a 10 s response timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures as [`ServeError::Io`].
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit per-response timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures as [`ServeError::Io`].
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { conn: HttpConn::new(stream), limits: Limits::default(), timeout })
+    }
+
+    /// Sends one request and reads the response off the same
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] when the response misses the client
+    /// timeout; otherwise the read/write failure.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> Result<Response> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: sysunc\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.conn.stream_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let deadline = Instant::now() + self.timeout;
+        self.conn
+            .read_response(&self.limits, &mut || Instant::now() >= deadline)
+    }
+
+    /// `GET` a route.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::request`].
+    pub fn get(&mut self, target: &str) -> Result<Response> {
+        self.request("GET", target, None)
+    }
+
+    /// Runs a [`WireRequest`] through `POST /v1/propagate` and decodes
+    /// the report.
+    ///
+    /// # Errors
+    ///
+    /// Non-200 statuses surface as [`ServeError::Protocol`] carrying
+    /// the status and the server's error body; transport failures as
+    /// in [`HttpClient::request`].
+    pub fn propagate(&mut self, wire: &WireRequest) -> Result<PropagationReport> {
+        let body = json::to_string(wire);
+        let response = self.request("POST", "/v1/propagate", Some(&body))?;
+        if response.status != 200 {
+            return Err(ServeError::Protocol(format!(
+                "propagate returned {}: {}",
+                response.status,
+                response.body_text()
+            )));
+        }
+        json::from_str(&response.body_text())
+            .map_err(|e| ServeError::Protocol(format!("undecodable report: {e}")))
+    }
+
+    /// Scrapes `GET /metrics` as text.
+    ///
+    /// # Errors
+    ///
+    /// Non-200 statuses and transport failures as in
+    /// [`HttpClient::propagate`].
+    pub fn scrape_metrics(&mut self) -> Result<String> {
+        let response = self.get("/metrics")?;
+        if response.status != 200 {
+            return Err(ServeError::Protocol(format!(
+                "metrics returned {}",
+                response.status
+            )));
+        }
+        Ok(response.body_text())
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type of the serving layer.
+
+use std::fmt;
+
+/// Errors raised while speaking HTTP or operating the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying socket operation failed; the payload is the
+    /// rendered `std::io::Error`.
+    Io(String),
+    /// The peer sent bytes that are not valid HTTP/1.1.
+    Protocol(String),
+    /// A message head or body exceeded the configured size limit.
+    TooLarge {
+        /// Which part overflowed (`"head"` or `"body"`).
+        part: &'static str,
+        /// The configured ceiling in bytes.
+        limit: usize,
+    },
+    /// The connection closed in the middle of a message.
+    Closed,
+    /// A request missed its deadline.
+    Timeout,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "socket error: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "malformed HTTP message: {msg}"),
+            ServeError::TooLarge { part, limit } => {
+                write!(f, "message {part} exceeds the {limit}-byte limit")
+            }
+            ServeError::Closed => write!(f, "connection closed mid-message"),
+            ServeError::Timeout => write!(f, "request deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias for the serving crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,50 @@
+//! `sysunc-serve`: a zero-dependency HTTP/1.1 server exposing the
+//! sysunc Propagator engine layer as a JSON API.
+//!
+//! Gansch & Adee treat uncertainty coping as an *operational*
+//! activity: removal, tolerance and forecasting happen while the
+//! system runs, not only on the drawing board. This crate makes the
+//! engine layer operational — a running service other systems query
+//! over a machine-readable wire protocol (`sysunc::wire`), in the
+//! spirit of the SysML-v2 line of work where an uncertainty analysis
+//! request is data.
+//!
+//! Everything is `std`: `TcpListener` + a fixed worker pool on
+//! `std::thread` with a bounded queue (backpressure → `503` +
+//! `Retry-After`), per-request deadlines (`408`), keep-alive, atomic
+//! metrics behind `GET /metrics`, and graceful drain on shutdown. See
+//! `PROTOCOL.md` for the full route and schema reference.
+//!
+//! ```no_run
+//! use sysunc_serve::{Server, ServerConfig, HttpClient};
+//! use sysunc::{ModelRegistry, WireRequest, UncertainInput};
+//!
+//! let server = Server::start(ServerConfig::default(), ModelRegistry::standard()?)?;
+//! let mut client = HttpClient::connect(server.addr())?;
+//! let report = client.propagate(&WireRequest::new(
+//!     "monte-carlo",
+//!     "sum",
+//!     vec![UncertainInput::Normal { mu: 0.0, sigma: 1.0 }],
+//! ))?;
+//! assert_eq!(report.engine, "monte-carlo");
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+pub mod shutdown;
+
+pub use client::HttpClient;
+pub use error::{Result, ServeError};
+pub use http::{Limits, Request, Response};
+pub use metrics::ServerMetrics;
+pub use pool::WorkerPool;
+pub use router::{CancelModel, CancelToken, Route};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use shutdown::ShutdownSignal;

@@ -1,0 +1,415 @@
+//! Lock-free server metrics: atomic counters and fixed-bucket latency
+//! histograms per route and per engine, rendered as a Prometheus-style
+//! text exposition for `GET /metrics`.
+//!
+//! The registry is built once with a fixed key set (the route table
+//! and the engine catalog), so recording never allocates, never locks,
+//! and can be shared across worker and connection threads behind an
+//! `Arc` with plain `&self` methods.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use sysunc::ENGINE_NAMES;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bucket bounds of every latency histogram, in microseconds.
+/// An implicit `+Inf` bucket follows the last bound.
+pub const LATENCY_BUCKETS_MICROS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// A fixed-bucket latency histogram over [`LATENCY_BUCKETS_MICROS`].
+#[derive(Debug)]
+pub struct Histogram {
+    /// One slot per bound plus the `+Inf` overflow slot; each holds
+    /// the count of observations `<=` its bound (non-cumulative).
+    slots: Vec<AtomicU64>,
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let slots = (0..=LATENCY_BUCKETS_MICROS.len())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Self { slots, sum_micros: AtomicU64::new(0), count: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation.
+    pub fn observe(&self, elapsed: Duration) {
+        self.observe_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one latency observation given in microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        let slot = LATENCY_BUCKETS_MICROS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(LATENCY_BUCKETS_MICROS.len());
+        self.slots[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative counts per bound (Prometheus `le` semantics); the
+    /// final entry is the `+Inf` bucket and equals [`Histogram::count`].
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.slots
+            .iter()
+            .map(|s| {
+                total += s.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+}
+
+/// The route labels metrics are keyed by. Unknown targets all fall
+/// into `"other"` so an attacker cannot grow the registry.
+pub const ROUTE_LABELS: &[&str] =
+    &["/v1/propagate", "/v1/engines", "/v1/models", "/metrics", "other"];
+
+/// The status codes the server emits, one counter slot each per route.
+pub const STATUS_CODES: &[u16] = &[200, 400, 404, 405, 408, 413, 500, 503];
+
+/// Per-route request statistics.
+#[derive(Debug)]
+struct RouteStats {
+    /// Parallel to [`STATUS_CODES`].
+    by_status: Vec<Counter>,
+    latency: Histogram,
+}
+
+impl RouteStats {
+    fn new() -> Self {
+        Self {
+            by_status: STATUS_CODES.iter().map(|_| Counter::new()).collect(),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// Per-engine propagation statistics.
+#[derive(Debug)]
+struct EngineStats {
+    runs: Counter,
+    latency: Histogram,
+}
+
+/// The server-wide metrics registry backing `GET /metrics`.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    connections_opened: Counter,
+    connections_closed: Counter,
+    protocol_errors: Counter,
+    /// Parallel to [`ROUTE_LABELS`].
+    routes: Vec<RouteStats>,
+    /// Parallel to [`ENGINE_NAMES`].
+    engines: Vec<EngineStats>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self {
+            connections_opened: Counter::new(),
+            connections_closed: Counter::new(),
+            protocol_errors: Counter::new(),
+            routes: ROUTE_LABELS.iter().map(|_| RouteStats::new()).collect(),
+            engines: ENGINE_NAMES
+                .iter()
+                .map(|_| EngineStats { runs: Counter::new(), latency: Histogram::new() })
+                .collect(),
+        }
+    }
+}
+
+/// Folds an arbitrary request target into a stable route label.
+pub fn route_label(target: &str) -> &'static str {
+    let path = target.split('?').next().unwrap_or(target);
+    ROUTE_LABELS
+        .iter()
+        .find(|r| **r == path)
+        .copied()
+        .unwrap_or("other")
+}
+
+impl ServerMetrics {
+    /// An empty registry covering every route and engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections_opened.incr();
+    }
+
+    /// Records a closed connection.
+    pub fn connection_closed(&self) {
+        self.connections_closed.incr();
+    }
+
+    /// Records a connection dropped for unparseable HTTP.
+    pub fn protocol_error(&self) {
+        self.protocol_errors.incr();
+    }
+
+    /// Records one served request: route label (see [`route_label`]),
+    /// response status, and wall-clock latency.
+    pub fn record_request(&self, route: &str, status: u16, elapsed: Duration) {
+        if let Some(stats) = route_index(route).map(|i| &self.routes[i]) {
+            if let Some(si) = STATUS_CODES.iter().position(|s| *s == status) {
+                stats.by_status[si].incr();
+            }
+            stats.latency.observe(elapsed);
+        }
+    }
+
+    /// Records one engine propagation run.
+    pub fn record_engine(&self, engine: &str, elapsed: Duration) {
+        if let Some(i) = ENGINE_NAMES.iter().position(|e| *e == engine) {
+            self.engines[i].runs.incr();
+            self.engines[i].latency.observe(elapsed);
+        }
+    }
+
+    /// Requests served on `route` with `status` so far.
+    pub fn status_count(&self, route: &str, status: u16) -> u64 {
+        route_index(route)
+            .zip(STATUS_CODES.iter().position(|s| *s == status))
+            .map(|(r, s)| self.routes[r].by_status[s].get())
+            .unwrap_or(0)
+    }
+
+    /// Total requests served on `route` (any status).
+    pub fn route_count(&self, route: &str) -> u64 {
+        route_index(route)
+            .map(|r| self.routes[r].latency.count())
+            .unwrap_or(0)
+    }
+
+    /// Propagation runs recorded for `engine`.
+    pub fn engine_count(&self, engine: &str) -> u64 {
+        ENGINE_NAMES
+            .iter()
+            .position(|e| *e == engine)
+            .map(|i| self.engines[i].runs.get())
+            .unwrap_or(0)
+    }
+
+    /// Renders the Prometheus-style text exposition. Zero-valued
+    /// per-status counters are omitted; histogram series are always
+    /// emitted in full.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            &mut out,
+            "sysunc_connections_opened_total",
+            "TCP connections accepted.",
+            self.connections_opened.get(),
+        );
+        gauge(
+            &mut out,
+            "sysunc_connections_closed_total",
+            "TCP connections closed.",
+            self.connections_closed.get(),
+        );
+        gauge(
+            &mut out,
+            "sysunc_protocol_errors_total",
+            "Connections dropped for malformed HTTP.",
+            self.protocol_errors.get(),
+        );
+
+        out.push_str(
+            "# HELP sysunc_http_requests_total Requests served, by route and status.\n\
+             # TYPE sysunc_http_requests_total counter\n",
+        );
+        for (r, stats) in self.routes.iter().enumerate() {
+            for (s, counter) in stats.by_status.iter().enumerate() {
+                let n = counter.get();
+                if n > 0 {
+                    out.push_str(&format!(
+                        "sysunc_http_requests_total{{route=\"{}\",status=\"{}\"}} {}\n",
+                        ROUTE_LABELS[r], STATUS_CODES[s], n
+                    ));
+                }
+            }
+        }
+
+        out.push_str(
+            "# HELP sysunc_http_request_duration_micros Request latency, by route.\n\
+             # TYPE sysunc_http_request_duration_micros histogram\n",
+        );
+        for (r, stats) in self.routes.iter().enumerate() {
+            render_histogram(
+                &mut out,
+                "sysunc_http_request_duration_micros",
+                "route",
+                ROUTE_LABELS[r],
+                &stats.latency,
+            );
+        }
+
+        out.push_str(
+            "# HELP sysunc_engine_runs_total Propagation runs, by engine.\n\
+             # TYPE sysunc_engine_runs_total counter\n",
+        );
+        for (i, stats) in self.engines.iter().enumerate() {
+            let n = stats.runs.get();
+            if n > 0 {
+                out.push_str(&format!(
+                    "sysunc_engine_runs_total{{engine=\"{}\"}} {}\n",
+                    ENGINE_NAMES[i], n
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP sysunc_engine_run_duration_micros Propagation latency, by engine.\n\
+             # TYPE sysunc_engine_run_duration_micros histogram\n",
+        );
+        for (i, stats) in self.engines.iter().enumerate() {
+            render_histogram(
+                &mut out,
+                "sysunc_engine_run_duration_micros",
+                "engine",
+                ENGINE_NAMES[i],
+                &stats.latency,
+            );
+        }
+        out
+    }
+}
+
+fn route_index(route: &str) -> Option<usize> {
+    ROUTE_LABELS.iter().position(|r| *r == route)
+}
+
+fn render_histogram(out: &mut String, name: &str, label: &str, key: &str, h: &Histogram) {
+    let cumulative = h.cumulative();
+    for (i, bound) in LATENCY_BUCKETS_MICROS.iter().enumerate() {
+        out.push_str(&format!(
+            "{name}_bucket{{{label}=\"{key}\",le=\"{bound}\"}} {}\n",
+            cumulative[i]
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{label}=\"{key}\",le=\"+Inf\"}} {}\n",
+        cumulative[LATENCY_BUCKETS_MICROS.len()]
+    ));
+    out.push_str(&format!("{name}_sum{{{label}=\"{key}\"}} {}\n", h.sum_micros()));
+    out.push_str(&format!("{name}_count{{{label}=\"{key}\"}} {}\n", h.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded() {
+        let h = Histogram::new();
+        h.observe_micros(50); // <= 100
+        h.observe_micros(100); // <= 100 (boundary inclusive)
+        h.observe_micros(700); // <= 1000
+        h.observe_micros(10_000_000); // +Inf
+        let c = h.cumulative();
+        assert_eq!(c[0], 2);
+        assert_eq!(c[3], 3); // le=1000
+        assert_eq!(c[LATENCY_BUCKETS_MICROS.len()], 4);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_micros(), 50 + 100 + 700 + 10_000_000);
+    }
+
+    #[test]
+    fn route_labels_fold_unknown_targets_to_other() {
+        assert_eq!(route_label("/v1/propagate"), "/v1/propagate");
+        assert_eq!(route_label("/metrics?x=1"), "/metrics");
+        assert_eq!(route_label("/admin/secret"), "other");
+    }
+
+    #[test]
+    fn recording_is_visible_through_accessors_and_exposition() {
+        let m = ServerMetrics::new();
+        m.connection_opened();
+        m.record_request("/v1/propagate", 200, Duration::from_micros(400));
+        m.record_request("/v1/propagate", 503, Duration::from_micros(20));
+        m.record_request("other", 404, Duration::from_micros(10));
+        m.record_engine("monte-carlo", Duration::from_millis(2));
+        assert_eq!(m.status_count("/v1/propagate", 200), 1);
+        assert_eq!(m.status_count("/v1/propagate", 503), 1);
+        assert_eq!(m.route_count("/v1/propagate"), 2);
+        assert_eq!(m.engine_count("monte-carlo"), 1);
+        let text = m.render_text();
+        assert!(text.contains(
+            "sysunc_http_requests_total{route=\"/v1/propagate\",status=\"200\"} 1"
+        ));
+        assert!(text.contains(
+            "sysunc_http_requests_total{route=\"/v1/propagate\",status=\"503\"} 1"
+        ));
+        assert!(text.contains("sysunc_engine_runs_total{engine=\"monte-carlo\"} 1"));
+        assert!(text
+            .contains("sysunc_http_request_duration_micros_count{route=\"/v1/propagate\"} 2"));
+        assert!(text.contains("le=\"+Inf\""));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().map(|v| v.parse::<u64>());
+            assert!(matches!(value, Some(Ok(_))), "bad exposition line: {line}");
+            assert!(parts.next().is_some(), "bad exposition line: {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_statuses_and_engines_are_ignored_not_panicking() {
+        let m = ServerMetrics::new();
+        m.record_request("/v1/engines", 999, Duration::from_micros(5));
+        m.record_engine("not-an-engine", Duration::from_micros(5));
+        assert_eq!(m.status_count("/v1/engines", 999), 0);
+        assert_eq!(m.route_count("/v1/engines"), 1); // latency still recorded
+        assert_eq!(m.engine_count("not-an-engine"), 0);
+    }
+}

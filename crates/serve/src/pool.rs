@@ -1,0 +1,214 @@
+//! A fixed-size worker pool with a bounded job queue.
+//!
+//! The queue bound is the server's backpressure valve: when every
+//! worker is busy and the queue is full, [`WorkerPool::try_submit`]
+//! refuses the job immediately — the caller answers `503` with
+//! `Retry-After` instead of letting latency grow without bound.
+//!
+//! Shutdown is graceful by construction: workers drain everything that
+//! was accepted into the queue before exiting, so an accepted request
+//! is never silently dropped.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A unit of work the pool executes.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutting_down: AtomicBool,
+    capacity: usize,
+    panics: AtomicU64,
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock — a
+/// panicking job must not take the whole pool down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fixed-size `std::thread` worker pool with a bounded queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &lock(&self.workers).len())
+            .field("capacity", &self.shared.capacity)
+            .field("queued", &self.queue_len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Starts `workers` threads sharing a queue of at most
+    /// `queue_capacity` waiting jobs. Both are clamped to at least 1.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            capacity: queue_capacity.max(1),
+            panics: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sysunc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()
+            .unwrap_or_default();
+        Self { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Offers a job to the pool without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the queue is at capacity or the pool
+    /// is shutting down — the caller decides how to refuse the work.
+    pub fn try_submit(&self, job: Job) -> std::result::Result<(), Job> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        let mut queue = lock(&self.shared.queue);
+        if queue.len() >= self.shared.capacity {
+            return Err(job);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn queue_len(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
+    /// Number of jobs that panicked (and were contained).
+    pub fn panic_count(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting work, lets the workers drain every queued job,
+    /// and joins them. Idempotent: a second call is a no-op.
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        let handles: Vec<_> = lock(&self.workers).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            Some(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_shutdown_drains_the_queue() {
+        let pool = WorkerPool::new(2, 64);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .expect("queue has room");
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn a_full_queue_refuses_jobs_and_returns_them() {
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Occupy the single worker until released.
+        pool.try_submit(Box::new(move || {
+            let _ = block_rx.recv_timeout(Duration::from_secs(5));
+        }))
+        .ok()
+        .expect("worker slot");
+        // Give the worker a moment to pick the job up, then fill the queue.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.try_submit(Box::new(|| {})).ok().expect("queue slot");
+        let refused = pool.try_submit(Box::new(|| {}));
+        assert!(refused.is_err(), "third job must be refused");
+        // The refused job is handed back intact and still callable.
+        if let Err(job) = refused {
+            job();
+        }
+        block_tx.send(()).expect("release worker");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_begin_are_refused() {
+        let pool = WorkerPool::new(1, 4);
+        pool.shared.shutting_down.store(true, Ordering::SeqCst);
+        assert!(pool.try_submit(Box::new(|| {})).is_err());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_is_contained_and_counted() {
+        let pool = WorkerPool::new(1, 4);
+        pool.try_submit(Box::new(|| panic!("job exploded")))
+            .ok()
+            .expect("queue slot");
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        pool.try_submit(Box::new(move || {
+            done2.fetch_add(1, Ordering::SeqCst);
+        }))
+        .ok()
+        .expect("queue slot");
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker survived the panic");
+    }
+}

@@ -1,0 +1,374 @@
+//! Route classification and response construction for the propagation
+//! API, plus the deadline/cancellation machinery a worker uses to
+//! abort oversized sample budgets.
+//!
+//! The route table is fixed:
+//!
+//! | method | path | handler |
+//! |---|---|---|
+//! | `POST` | `/v1/propagate` | run a [`WireRequest`] on the worker pool |
+//! | `GET` | `/v1/engines` | engine catalog |
+//! | `GET` | `/v1/models` | registered model names |
+//! | `GET` | `/metrics` | text exposition of [`ServerMetrics`] |
+//!
+//! Cancellation is cooperative: [`CancelModel`] wraps the registered
+//! model and checks its [`CancelToken`] on every evaluation, returning
+//! `NaN` once cancelled or past the deadline. Engines then finish
+//! almost immediately (their statistics fail interval validation), the
+//! worker observes the expired token, and the request is answered with
+//! `408` instead of burning the rest of its budget.
+
+use crate::error::ServeError;
+use crate::http::Response;
+use crate::metrics::ServerMetrics;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use sysunc::prob::json::{self, writer::JsonWriter};
+use sysunc::{Error as SysuncError, Model, ModelRegistry, WireRequest, ENGINE_NAMES};
+
+/// Where a request landed in the route table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/propagate`.
+    Propagate,
+    /// `GET /v1/engines`.
+    Engines,
+    /// `GET /v1/models`.
+    Models,
+    /// `GET /metrics`.
+    Metrics,
+    /// A known path with the wrong method.
+    MethodNotAllowed,
+    /// An unknown path.
+    NotFound,
+}
+
+/// Classifies a request line against the route table. Query strings
+/// are ignored for matching.
+pub fn route(method: &str, target: &str) -> Route {
+    let path = target.split('?').next().unwrap_or(target);
+    match (method, path) {
+        ("POST", "/v1/propagate") => Route::Propagate,
+        ("GET", "/v1/engines") => Route::Engines,
+        ("GET", "/v1/models") => Route::Models,
+        ("GET", "/metrics") => Route::Metrics,
+        (_, "/v1/propagate" | "/v1/engines" | "/v1/models" | "/metrics") => {
+            Route::MethodNotAllowed
+        }
+        _ => Route::NotFound,
+    }
+}
+
+/// A shared cancel flag plus a hard deadline.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+    deadline: Instant,
+}
+
+impl CancelToken {
+    /// A token that expires at `deadline` (or earlier, when cancelled).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self { cancelled: Arc::new(AtomicBool::new(false)), deadline }
+    }
+
+    /// Cancels the token from any thread.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token was cancelled or its deadline passed.
+    pub fn expired(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst) || Instant::now() >= self.deadline
+    }
+}
+
+/// A [`Model`] adapter that aborts evaluation once its token expires,
+/// returning `NaN` so engine statistics fail fast instead of running
+/// out the remaining budget.
+pub struct CancelModel<'m> {
+    inner: &'m dyn Model,
+    token: CancelToken,
+}
+
+impl<'m> CancelModel<'m> {
+    /// Wraps `inner` under the given token.
+    pub fn new(inner: &'m dyn Model, token: CancelToken) -> Self {
+        Self { inner, token }
+    }
+}
+
+impl Model for CancelModel<'_> {
+    fn eval(&self, x: &[f64]) -> f64 {
+        if self.token.expired() {
+            f64::NAN
+        } else {
+            self.inner.eval(x)
+        }
+    }
+}
+
+/// Builds the JSON error body `{"error": …, "status": …}`.
+pub fn error_response(status: u16, message: &str) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("error").string(message);
+    w.key("status").u64(u64::from(status));
+    w.end_object();
+    let body = w.finish().unwrap_or_else(|_| String::from("{}"));
+    Response::new(status).with_json(body)
+}
+
+/// `GET /v1/engines`: the fixed engine catalog.
+pub fn engines_response() -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("engines").begin_array();
+    for name in ENGINE_NAMES {
+        w.string(name);
+    }
+    w.end_array();
+    w.end_object();
+    Response::new(200).with_json(w.finish().unwrap_or_else(|_| String::from("{}")))
+}
+
+/// `GET /v1/models`: the names registered in the model registry.
+pub fn models_response(registry: &ModelRegistry) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("models").begin_array();
+    for name in registry.names() {
+        w.string(name);
+    }
+    w.end_array();
+    w.end_object();
+    Response::new(200).with_json(w.finish().unwrap_or_else(|_| String::from("{}")))
+}
+
+/// `GET /metrics`: the Prometheus-style text exposition.
+pub fn metrics_response(metrics: &ServerMetrics) -> Response {
+    Response::new(200).with_text(metrics.render_text())
+}
+
+/// Decodes and pre-validates a propagate body on the connection
+/// thread, so malformed requests are refused without occupying a
+/// worker slot.
+///
+/// # Errors
+///
+/// Returns the ready-to-send error response (status 400) when the
+/// body is not a valid [`WireRequest`] or names an unknown engine or
+/// model.
+pub fn decode_propagate_body(
+    registry: &ModelRegistry,
+    body: &[u8],
+) -> std::result::Result<WireRequest, Box<Response>> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Box::new(error_response(400, "request body is not UTF-8")))?;
+    let wire: WireRequest = json::from_str(text)
+        .map_err(|e| Box::new(error_response(400, &format!("invalid request: {e}"))))?;
+    if let Err(e) = wire.resolve_engine() {
+        return Err(Box::new(error_response(400, &e.to_string())));
+    }
+    if registry.get(&wire.model).is_none() {
+        return Err(Box::new(error_response(
+            400,
+            &format!(
+                "unknown model '{}'; known models: {}",
+                wire.model,
+                registry.names().join(", ")
+            ),
+        )));
+    }
+    Ok(wire)
+}
+
+/// Runs one pre-validated propagation (the worker-side job body) and
+/// renders the response: `200` with the report, `408` when the token
+/// expired mid-run, `400` for invalid problem setups, `500` for
+/// internal engine failures.
+pub fn propagate_response(
+    registry: &ModelRegistry,
+    wire: &WireRequest,
+    token: &CancelToken,
+    metrics: &ServerMetrics,
+) -> Response {
+    if token.expired() {
+        return error_response(408, "request deadline exceeded before execution");
+    }
+    let Some(model) = registry.get(&wire.model) else {
+        return error_response(400, &format!("unknown model '{}'", wire.model));
+    };
+    let engine = match wire.resolve_engine() {
+        Ok(engine) => engine,
+        Err(e) => return error_response(400, &e.to_string()),
+    };
+    let guarded = CancelModel::new(model, token.clone());
+    let request = match wire.to_request(&guarded) {
+        Ok(request) => request,
+        Err(e) => return error_response(400, &e.to_string()),
+    };
+    let started = Instant::now();
+    let outcome = engine.propagate(&request);
+    if token.expired() {
+        return error_response(408, "request deadline exceeded during execution");
+    }
+    match outcome {
+        Ok(report) => {
+            metrics.record_engine(report.engine, started.elapsed());
+            Response::new(200).with_json(json::to_string(&report))
+        }
+        Err(SysuncError::InvalidInput(msg)) => {
+            error_response(400, &format!("invalid input: {msg}"))
+        }
+        Err(SysuncError::Unsupported(msg)) => {
+            error_response(400, &format!("unsupported propagation request: {msg}"))
+        }
+        Err(e) => error_response(500, &format!("propagation failed: {e}")),
+    }
+}
+
+/// Maps a fatal read-side error onto the response that should be
+/// attempted before closing the connection (`None` when the peer is
+/// already gone and writing is pointless).
+pub fn read_error_response(e: &ServeError) -> Option<Response> {
+    match e {
+        ServeError::Protocol(msg) => Some(error_response(400, msg)),
+        ServeError::TooLarge { part, limit } => Some(error_response(
+            413,
+            &format!("message {part} exceeds the {limit}-byte limit"),
+        )),
+        ServeError::Io(_) | ServeError::Closed | ServeError::Timeout => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use sysunc::UncertainInput;
+
+    fn wire(engine: &str, model: &str) -> WireRequest {
+        WireRequest::new(
+            engine,
+            model,
+            vec![UncertainInput::Uniform { a: 0.0, b: 1.0 }],
+        )
+    }
+
+    fn far_future() -> Instant {
+        Instant::now() + Duration::from_secs(3600)
+    }
+
+    #[test]
+    fn route_table_matches_methods_and_paths() {
+        assert_eq!(route("POST", "/v1/propagate"), Route::Propagate);
+        assert_eq!(route("GET", "/v1/engines"), Route::Engines);
+        assert_eq!(route("GET", "/v1/models"), Route::Models);
+        assert_eq!(route("GET", "/metrics?verbose=1"), Route::Metrics);
+        assert_eq!(route("GET", "/v1/propagate"), Route::MethodNotAllowed);
+        assert_eq!(route("DELETE", "/metrics"), Route::MethodNotAllowed);
+        assert_eq!(route("GET", "/nope"), Route::NotFound);
+    }
+
+    #[test]
+    fn discovery_responses_list_the_catalogs() {
+        let registry = ModelRegistry::standard().expect("builds");
+        let engines = engines_response();
+        assert_eq!(engines.status, 200);
+        let v = json::parse(&engines.body_text()).expect("json");
+        let listed = v.get("engines").and_then(|j| j.as_arr()).expect("array");
+        assert_eq!(listed.len(), ENGINE_NAMES.len());
+        let models = models_response(&registry);
+        assert!(models.body_text().contains("\"orbital-period\""));
+    }
+
+    #[test]
+    fn decode_rejects_bad_bodies_with_400_and_accepts_good_ones() {
+        let registry = ModelRegistry::standard().expect("builds");
+        for bad in [
+            &b"\xff\xfe"[..],
+            b"not json",
+            b"{\"engine\":\"monte-carlo\"}",
+            br#"{"engine":"warp","model":"sum","inputs":[{"dist":"uniform","a":0.0,"b":1.0}]}"#,
+            br#"{"engine":"monte-carlo","model":"warp","inputs":[{"dist":"uniform","a":0.0,"b":1.0}]}"#,
+        ] {
+            let resp = *decode_propagate_body(&registry, bad).expect_err("must refuse");
+            assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(bad));
+        }
+        let good = json::to_string(&wire("monte-carlo", "sum"));
+        let decoded =
+            decode_propagate_body(&registry, good.as_bytes()).expect("valid body");
+        assert_eq!(decoded.model, "sum");
+    }
+
+    #[test]
+    fn propagate_matches_the_in_process_engine_bit_for_bit() {
+        let registry = ModelRegistry::standard().expect("builds");
+        let metrics = ServerMetrics::new();
+        let wire = wire("latin-hypercube", "sum");
+        let token = CancelToken::with_deadline(far_future());
+        let resp = propagate_response(&registry, &wire, &token, &metrics);
+        assert_eq!(resp.status, 200);
+        let served: sysunc::PropagationReport =
+            json::from_str(&resp.body_text()).expect("report json");
+        let model = registry.get("sum").expect("registered");
+        let direct = wire
+            .resolve_engine()
+            .expect("known")
+            .propagate(&wire.to_request(model).expect("valid"))
+            .expect("runs");
+        assert_eq!(served, direct);
+        assert_eq!(metrics.engine_count("latin-hypercube"), 1);
+    }
+
+    #[test]
+    fn an_expired_token_yields_408_not_a_report() {
+        let registry = ModelRegistry::standard().expect("builds");
+        let metrics = ServerMetrics::new();
+        let mut w = wire("monte-carlo", "sum");
+        w.budget = 200_000;
+        let token = CancelToken::with_deadline(far_future());
+        token.cancel();
+        let resp = propagate_response(&registry, &w, &token, &metrics);
+        assert_eq!(resp.status, 408);
+        assert_eq!(metrics.engine_count("monte-carlo"), 0);
+    }
+
+    #[test]
+    fn cancel_model_turns_evaluations_into_nan() {
+        let inner = |x: &[f64]| x[0] * 2.0;
+        let token = CancelToken::with_deadline(far_future());
+        let guarded = CancelModel::new(&inner, token.clone());
+        assert_eq!(guarded.eval(&[3.0]), 6.0);
+        token.cancel();
+        assert!(guarded.eval(&[3.0]).is_nan());
+    }
+
+    #[test]
+    fn read_errors_map_to_write_attempts_only_when_useful() {
+        assert_eq!(
+            read_error_response(&ServeError::Protocol("x".into())).map(|r| r.status),
+            Some(400)
+        );
+        assert_eq!(
+            read_error_response(&ServeError::TooLarge { part: "body", limit: 9 })
+                .map(|r| r.status),
+            Some(413)
+        );
+        assert!(read_error_response(&ServeError::Closed).is_none());
+        assert!(read_error_response(&ServeError::Timeout).is_none());
+    }
+
+    #[test]
+    fn invalid_problem_setups_are_400_not_500() {
+        let registry = ModelRegistry::standard().expect("builds");
+        let metrics = ServerMetrics::new();
+        let mut w = wire("monte-carlo", "sum");
+        w.quantile_levels = vec![1.5];
+        let token = CancelToken::with_deadline(far_future());
+        let resp = propagate_response(&registry, &w, &token, &metrics);
+        assert_eq!(resp.status, 400);
+    }
+}

@@ -1,0 +1,268 @@
+//! The server proper: listener, acceptor thread, per-connection
+//! threads, and the propagate path through the worker pool.
+//!
+//! Threading model:
+//!
+//! - One **acceptor** thread owns the `TcpListener` and spawns a
+//!   thread per connection.
+//! - **Connection** threads parse HTTP, serve the cheap discovery
+//!   routes inline, and hand `POST /v1/propagate` jobs to the shared
+//!   [`WorkerPool`], waiting on a channel with the request deadline.
+//! - **Worker** threads run the actual propagations.
+//!
+//! Backpressure: when the pool queue is full, the connection thread
+//! answers `503` with `Retry-After` immediately. Deadlines: when the
+//! worker misses the request deadline the connection thread answers
+//! `408` and cancels the in-flight job's [`CancelToken`], turning the
+//! rest of its budget into fast no-ops. Shutdown: the
+//! [`ShutdownSignal`] stops the acceptor, connection read loops notice
+//! via their polling timeout and finish their current request, and the
+//! pool drains every accepted job before the handle's `shutdown`
+//! returns.
+
+use crate::error::{Result, ServeError};
+use crate::http::{HttpConn, Limits, Request, Response};
+use crate::metrics::{route_label, ServerMetrics};
+use crate::pool::WorkerPool;
+use crate::router::{
+    decode_propagate_body, engines_response, error_response, metrics_response,
+    models_response, propagate_response, read_error_response, route, CancelToken, Route,
+};
+use crate::shutdown::ShutdownSignal;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use sysunc::ModelRegistry;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing propagations.
+    pub workers: usize,
+    /// Propagate jobs allowed to wait in the queue before `503`.
+    pub queue_capacity: usize,
+    /// Deadline per propagate request before `408`.
+    pub request_timeout: Duration,
+    /// Socket read poll interval; bounds shutdown latency.
+    pub poll_interval: Duration,
+    /// HTTP message size limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(25),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind an `Arc`.
+struct Ctx {
+    registry: ModelRegistry,
+    metrics: Arc<ServerMetrics>,
+    pool: WorkerPool,
+    signal: ShutdownSignal,
+    config: ServerConfig,
+}
+
+/// The propagation server. Construct with [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the acceptor and worker threads, and returns a
+    /// handle. The server runs until [`ServerHandle::shutdown`] (or
+    /// the handle's drop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures as [`ServeError::Io`].
+    pub fn start(config: ServerConfig, registry: ModelRegistry) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::new());
+        let signal = ShutdownSignal::new();
+        let ctx = Arc::new(Ctx {
+            registry,
+            metrics: Arc::clone(&metrics),
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            signal: signal.clone(),
+            config,
+        });
+        let acceptor_ctx = Arc::clone(&ctx);
+        let acceptor = std::thread::Builder::new()
+            .name("sysunc-serve-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, &acceptor_ctx))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(ServerHandle { addr, metrics, signal, acceptor: Some(acceptor) })
+    }
+}
+
+/// A running server: its address, metrics, and shutdown control.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    signal: ShutdownSignal,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics registry backing `GET /metrics`.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.signal.trigger_and_wake(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Gracefully stops the server: no new connections, in-flight
+    /// requests drain, workers and connection threads join.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if ctx.signal.is_triggered() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        ctx.metrics.connection_opened();
+        connections.retain(|h| !h.is_finished());
+        let conn_ctx = Arc::clone(ctx);
+        let spawned = std::thread::Builder::new()
+            .name("sysunc-serve-conn".into())
+            .spawn(move || handle_connection(stream, &conn_ctx));
+        match spawned {
+            Ok(handle) => connections.push(handle),
+            Err(_) => ctx.metrics.connection_closed(),
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    ctx.pool.shutdown();
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Arc<Ctx>) {
+    let _ = stream.set_read_timeout(Some(ctx.config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut conn = HttpConn::new(stream);
+    loop {
+        let mut should_abort = || ctx.signal.is_triggered();
+        match conn.read_request(&ctx.config.limits, &mut should_abort) {
+            Ok(Some(request)) => {
+                let started = Instant::now();
+                let response = handle_request(&request, ctx);
+                let keep_alive = request.wants_keep_alive() && !ctx.signal.is_triggered();
+                let status = response.status;
+                let wrote = response.write_to(conn.stream_mut(), keep_alive).is_ok();
+                ctx.metrics.record_request(
+                    route_label(&request.target),
+                    status,
+                    started.elapsed(),
+                );
+                if !keep_alive || !wrote {
+                    break;
+                }
+            }
+            // Peer hung up between requests.
+            Ok(None) => break,
+            // Shutdown while idle or mid-read.
+            Err(ServeError::Timeout) => break,
+            Err(e) => {
+                ctx.metrics.protocol_error();
+                if let Some(response) = read_error_response(&e) {
+                    let status = response.status;
+                    let _ = response.write_to(conn.stream_mut(), false);
+                    ctx.metrics.record_request("other", status, Duration::ZERO);
+                }
+                break;
+            }
+        }
+    }
+    ctx.metrics.connection_closed();
+}
+
+fn handle_request(request: &Request, ctx: &Arc<Ctx>) -> Response {
+    match route(&request.method, &request.target) {
+        Route::Propagate => propagate_via_pool(request, ctx),
+        Route::Engines => engines_response(),
+        Route::Models => models_response(&ctx.registry),
+        Route::Metrics => metrics_response(&ctx.metrics),
+        Route::MethodNotAllowed => {
+            let allow = if route_label(&request.target) == "/v1/propagate" {
+                "POST"
+            } else {
+                "GET"
+            };
+            error_response(405, &format!("method {} not allowed here", request.method))
+                .with_header("Allow", allow)
+        }
+        Route::NotFound => {
+            error_response(404, &format!("no route for '{}'", request.target))
+        }
+    }
+}
+
+/// The full propagate path: decode on this thread, execute on the
+/// pool, enforce backpressure and the deadline.
+fn propagate_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
+    let wire = match decode_propagate_body(&ctx.registry, &request.body) {
+        Ok(wire) => wire,
+        Err(response) => return *response,
+    };
+    let deadline = Instant::now() + ctx.config.request_timeout;
+    let token = CancelToken::with_deadline(deadline);
+    let (tx, rx) = mpsc::channel();
+    let job_ctx = Arc::clone(ctx);
+    let job_token = token.clone();
+    let submitted = ctx.pool.try_submit(Box::new(move || {
+        let response =
+            propagate_response(&job_ctx.registry, &wire, &job_token, &job_ctx.metrics);
+        let _ = tx.send(response);
+    }));
+    if submitted.is_err() {
+        return error_response(503, "server is at capacity; retry shortly")
+            .with_header("Retry-After", "1");
+    }
+    let budget = deadline.saturating_duration_since(Instant::now());
+    match rx.recv_timeout(budget) {
+        Ok(response) => response,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            token.cancel();
+            error_response(408, "request deadline exceeded")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            error_response(500, "propagation worker failed")
+        }
+    }
+}

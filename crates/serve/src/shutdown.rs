@@ -1,0 +1,73 @@
+//! The graceful-shutdown signal.
+//!
+//! `std` offers no portable signal handling, so the server uses a
+//! software signal: a shared atomic flag every blocking loop polls.
+//! Connection reads poll it through their short `read_timeout`; the
+//! blocking `accept` is woken by a loopback self-connect — the
+//! zero-dependency stand-in for the classic self-pipe trick.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cloneable one-way shutdown latch.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownSignal {
+    triggered: Arc<AtomicBool>,
+}
+
+impl ShutdownSignal {
+    /// A signal in the not-triggered state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches the signal. Irreversible.
+    pub fn trigger(&self) {
+        self.triggered.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the signal has been triggered.
+    pub fn is_triggered(&self) -> bool {
+        self.triggered.load(Ordering::SeqCst)
+    }
+
+    /// Triggers the signal and wakes a listener blocked in `accept`
+    /// on `addr` by connecting to it and immediately hanging up.
+    pub fn trigger_and_wake(&self, addr: SocketAddr) {
+        self.trigger();
+        if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            drop(stream);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_latch() {
+        let a = ShutdownSignal::new();
+        let b = a.clone();
+        assert!(!b.is_triggered());
+        a.trigger();
+        assert!(b.is_triggered());
+    }
+
+    #[test]
+    fn waking_a_listener_unblocks_accept() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let signal = ShutdownSignal::new();
+        let signal2 = signal.clone();
+        let acceptor = std::thread::spawn(move || {
+            // Blocks until the wake connection arrives.
+            let _ = listener.accept();
+            signal2.is_triggered()
+        });
+        signal.trigger_and_wake(addr);
+        assert!(acceptor.join().expect("joins"), "accept woke after trigger");
+    }
+}

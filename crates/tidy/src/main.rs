@@ -7,6 +7,9 @@
 //!   --serial             check files serially (default: parallel)
 //!   --baseline <path>    apply a ratchet file (default: <root>/tidy.baseline
 //!                        when it exists)
+//!   --write-baseline     regenerate the baseline from the standing
+//!                        findings (to --baseline or <root>/tidy.baseline)
+//!                        instead of gating, then exit
 //!   --explain <rule>     print what a rule enforces and why, then exit
 //! ```
 //!
@@ -28,6 +31,7 @@ struct Options {
     json: bool,
     serial: bool,
     baseline: Option<PathBuf>,
+    write_baseline: bool,
     explain: Option<String>,
 }
 
@@ -37,6 +41,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         serial: false,
         baseline: None,
+        write_baseline: false,
         explain: None,
     };
     let mut args = std::env::args().skip(1);
@@ -48,6 +53,7 @@ fn parse_args() -> Result<Options, String> {
                 let path = args.next().ok_or("--baseline needs a path argument")?;
                 opts.baseline = Some(PathBuf::from(path));
             }
+            "--write-baseline" => opts.write_baseline = true,
             "--explain" => {
                 let rule = args.next().ok_or("--explain needs a rule name")?;
                 opts.explain = Some(rule);
@@ -119,6 +125,25 @@ fn main() -> ExitCode {
     } else {
         sysunc_tidy::check_files(&files)
     };
+
+    // --write-baseline regenerates the ratchet from the pre-ratchet
+    // findings: the freshly written file absorbs exactly what stands
+    // today, so the very next gate run is clean with zero stale
+    // entries (the round-trip the report tests pin down).
+    if opts.write_baseline {
+        let path = opts.baseline.clone().unwrap_or_else(|| root.join("tidy.baseline"));
+        let baseline = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&path, baseline.render()) {
+            eprintln!("sysunc-tidy: cannot write baseline {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "sysunc-tidy: wrote {} budgeting {} standing finding(s)",
+            path.display(),
+            report.violations.len()
+        );
+        return ExitCode::SUCCESS;
+    }
 
     // Apply the ratchet: an explicit --baseline path must exist; the
     // default <root>/tidy.baseline applies only when present.

@@ -122,6 +122,40 @@ pub struct StaleEntry {
 }
 
 impl Baseline {
+    /// Builds the baseline that budgets exactly the standing
+    /// violations of `report`, one entry per (file, rule) pair, sorted
+    /// — the generator behind `sysunc-tidy --write-baseline`. Applying
+    /// the result to the same report absorbs every violation with no
+    /// stale entries.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts: std::collections::BTreeMap<(String, String), usize> =
+            std::collections::BTreeMap::new();
+        for v in &report.violations {
+            let key = (v.file.display().to_string(), v.rule.to_string());
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((file, rule), count)| BaselineEntry { file, rule, count })
+                .collect(),
+        }
+    }
+
+    /// Renders the tab-separated file format [`Baseline::parse`]
+    /// reads, with a header explaining the ratchet contract.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# sysunc-tidy baseline — generated by `sysunc-tidy --write-baseline`.\n\
+             # Budgets standing findings per file/rule (file<TAB>rule<TAB>count);\n\
+             # counts must only ratchet down. Regenerate instead of hand-editing.\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!("{}\t{}\t{}\n", e.file, e.rule, e.count));
+        }
+        out
+    }
+
     /// Parses the tab-separated baseline format. Blank lines and `#`
     /// comments are ignored; malformed lines are errors (a baseline
     /// that silently drops entries would un-ratchet the gate).
@@ -266,6 +300,42 @@ mod tests {
         assert_eq!(stale.len(), 1, "the b.rs budget went unused");
         assert_eq!(stale[0].entry.file, "b.rs");
         assert_eq!(stale[0].actual, 0);
+    }
+
+    #[test]
+    fn write_then_check_round_trips_clean() {
+        // The --write-baseline contract: generating a baseline from a
+        // dirty report and applying it to the same findings absorbs
+        // everything, with no stale entries left over.
+        let mk_report = || Report {
+            violations: vec![
+                v("crates/x/src/lib.rs", 1, "panic", "one"),
+                v("crates/x/src/lib.rs", 5, "panic", "two"),
+                v("crates/y/src/a.rs", 2, "doc", "three"),
+            ],
+            ..Report::default()
+        };
+        let baseline = Baseline::from_report(&mk_report());
+        let text = baseline.render();
+        assert!(text.starts_with('#'), "rendered baseline carries its header");
+        assert!(text.contains("crates/x/src/lib.rs\tpanic\t2\n"));
+        assert!(text.contains("crates/y/src/a.rs\tdoc\t1\n"));
+        let reparsed = Baseline::parse(&text).expect("rendered baseline parses");
+        assert_eq!(reparsed, baseline, "render/parse round-trip is exact");
+        let mut report = mk_report();
+        let stale = reparsed.apply(&mut report);
+        assert!(report.violations.is_empty(), "all findings absorbed");
+        assert_eq!(report.baselined.len(), 3);
+        assert!(stale.is_empty(), "a freshly written baseline is never stale");
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn from_report_of_a_clean_report_is_empty() {
+        let baseline = Baseline::from_report(&Report::default());
+        assert!(baseline.is_empty());
+        let reparsed = Baseline::parse(&baseline.render()).expect("parses");
+        assert!(reparsed.is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub use manifest::ManifestHygiene;
 pub use panic::PanicFreedom;
 pub use prob_contract::ProbContract;
 pub use pub_reexport::PubReexport;
-pub use seed_discipline::SeedDiscipline;
+pub use seed_discipline::{SeedDiscipline, SeedDisciplineDrift, ENTROPY, SEEDED};
 pub use suite_error::SuiteError;
 pub use unused_allow::{unused_allow_pass, UNUSED_ALLOW_EXPLAIN, UNUSED_ALLOW_NAME};
 
@@ -43,7 +43,7 @@ pub fn all() -> Vec<Box<dyn Lint>> {
 
 /// The cross-file rules, run once over the whole workspace.
 pub fn workspace() -> Vec<Box<dyn WorkspaceLint>> {
-    vec![Box::new(PubReexport)]
+    vec![Box::new(PubReexport), Box::new(SeedDisciplineDrift)]
 }
 
 /// Every rule name the gate knows, in report order. `allow(...)`
@@ -132,6 +132,7 @@ mod tests {
                 "suite-error",
                 "seed-discipline",
                 "pub-reexport",
+                "seed-discipline-drift",
                 "unused-allow",
             ]
         );

@@ -7,18 +7,28 @@
 //! varied by the caller (so convergence cannot be probed), and one
 //! drawn from OS entropy cannot be replayed at all — the run stops
 //! being evidence. Tests and binaries pick their own seeds freely.
+//!
+//! The companion workspace rule `seed-discipline-drift` keeps the
+//! [`SEEDED`]/[`ENTROPY`] lists honest: it token-scans what
+//! `sysunc_prob::rng` *actually* defines and fails the gate when a
+//! state-injecting constructor exists that neither list covers — the
+//! failure mode where the rng module grows a new constructor and this
+//! rule silently stops seeing it.
 
 use crate::lexer::TokenKind;
-use crate::{FileKind, Lint, SourceFile, Violation};
+use crate::symbols::Workspace;
+use crate::{FileKind, Lint, SourceFile, Violation, WorkspaceLint};
 
 /// See the module docs.
 pub struct SeedDiscipline;
 
-/// RNG constructors that take a seed value as their first argument.
-const SEEDED: &[&str] = &["seed_from_u64", "from_seed"];
+/// RNG constructors that take seed/state material as their first
+/// argument. Public so the drift guard (and tests) can assert coverage.
+pub const SEEDED: &[&str] = &["seed_from_u64", "from_seed", "from_state"];
 
 /// RNG constructors that read ambient entropy (never reproducible).
-const ENTROPY: &[&str] = &["from_entropy", "from_os_rng", "thread_rng"];
+/// Public so the drift guard (and tests) can assert coverage.
+pub const ENTROPY: &[&str] = &["from_entropy", "from_os_rng", "thread_rng"];
 
 /// True when the significant token before index `i` is the `fn`
 /// keyword — i.e. the identifier at `i` is being *defined*, not called.
@@ -104,6 +114,119 @@ impl Lint for SeedDiscipline {
     }
 }
 
+/// Workspace rule `seed-discipline-drift` — see the module docs.
+pub struct SeedDisciplineDrift;
+
+/// The crate and module the constructor lists describe.
+const RNG_CRATE: &str = "prob";
+const RNG_MODULE: &str = "rng";
+
+/// True when `name` looks like a constructor that injects RNG
+/// seed/state material or draws it from the environment. Deliberately
+/// a naming heuristic: the rng module's constructors are named for
+/// what they consume (`seed_from_u64`, `from_state`, `from_entropy`),
+/// and a tripwire on those names is what keeps the lists from rotting.
+fn is_state_injecting(name: &str) -> bool {
+    name.contains("seed") || name.contains("entropy") || name.contains("state")
+}
+
+/// True when the `fn` whose keyword sits at token index `fn_idx`
+/// declares `-> Self` before its body (or `;` for a trait method) —
+/// the shape of a constructor as opposed to an accessor or mutator.
+fn returns_self(file: &SourceFile, fn_idx: usize) -> bool {
+    let tokens = file.tokens();
+    let mut saw_arrow = false;
+    for t in &tokens[fn_idx..] {
+        if t.is_comment() {
+            continue;
+        }
+        let text = file.text(t);
+        if t.kind == TokenKind::Punct && (text == "{" || text == ";") {
+            return false;
+        }
+        if saw_arrow {
+            return t.kind == TokenKind::Ident && text == "Self";
+        }
+        if t.kind == TokenKind::Punct && text == "->" {
+            saw_arrow = true;
+        }
+    }
+    false
+}
+
+impl WorkspaceLint for SeedDisciplineDrift {
+    fn name(&self) -> &'static str {
+        "seed-discipline-drift"
+    }
+
+    fn explain(&self) -> &'static str {
+        "The `seed-discipline` rule recognizes RNG constructors by name \
+         (the SEEDED/ENTROPY lists). This guard token-scans what \
+         `sysunc_prob::rng` actually defines and fails when a \
+         state-injecting constructor — a non-test `fn` returning `Self` \
+         whose name mentions seed, state, or entropy — is covered by \
+         neither list. Without it, adding a constructor to the rng module \
+         silently blinds the seed gate: callers could hardcode seeds \
+         through the new name and nothing would fire. Fix by adding the \
+         constructor to the appropriate list (and a test), not by \
+         renaming it to dodge the scan."
+    }
+
+    fn check(&self, ws: &Workspace<'_>, out: &mut Vec<Violation>) {
+        let Some(prob) = ws.crate_named(RNG_CRATE) else {
+            return; // fixture workspaces without the rng crate have nothing to guard
+        };
+        let Some(module) = prob.module(&[RNG_MODULE.to_string()]) else {
+            let file_idx =
+                prob.root().map(|m| m.file_idx).unwrap_or(prob.modules[0].file_idx);
+            out.push(Violation {
+                file: ws.files[file_idx].path.clone(),
+                line: 1,
+                rule: self.name(),
+                message: format!(
+                    "crate `{RNG_CRATE}` no longer has a `{RNG_MODULE}` module; the \
+                     seed-discipline SEEDED/ENTROPY lists describe constructors \
+                     that cannot be located, so the lists cannot be verified"
+                ),
+            });
+            return;
+        };
+        let file = &ws.files[module.file_idx];
+        let tokens = file.tokens();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || file.text(t) != "fn"
+                || file.in_test_block(t.line)
+            {
+                continue;
+            }
+            let Some(name_tok) = tokens[i + 1..].iter().find(|u| !u.is_comment()) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = file.text(name_tok);
+            if !is_state_injecting(name) || !returns_self(file, i) {
+                continue;
+            }
+            if SEEDED.contains(&name) || ENTROPY.contains(&name) {
+                continue;
+            }
+            out.push(Violation {
+                file: file.path.clone(),
+                line: name_tok.line,
+                rule: self.name(),
+                message: format!(
+                    "rng constructor `{name}` is covered by neither the SEEDED nor \
+                     the ENTROPY list of the seed-discipline rule; hardcoded seeds \
+                     passed through it would go unseen — add it to the right list"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +286,96 @@ mod tests {
     #[test]
     fn test_files_are_not_checked() {
         assert!(!SeedDiscipline.applies(FileKind::RustTest));
+    }
+
+    fn run_drift(rng_src: &str) -> Vec<Violation> {
+        let files = vec![
+            SourceFile::new(
+                "crates/prob/src/lib.rs",
+                "pub mod rng;\n",
+                FileKind::RustLibrary,
+            ),
+            SourceFile::new("crates/prob/src/rng.rs", rng_src, FileKind::RustLibrary),
+        ];
+        let ws = Workspace::build(&files);
+        let mut out = Vec::new();
+        SeedDisciplineDrift.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn covered_constructors_pass_the_drift_guard() {
+        let src = "\
+impl Rng {
+    pub fn seed_from_u64(seed: u64) -> Self { Self { s: seed } }
+    pub fn from_state(s: [u64; 4]) -> Self { Self { s } }
+    pub fn from_entropy() -> Self { Self { s: 0 } }
+    pub fn next_u64(&mut self) -> u64 { 0 }
+}
+";
+        assert!(run_drift(src).is_empty());
+    }
+
+    #[test]
+    fn an_uncovered_state_injecting_constructor_fires() {
+        let src = "\
+impl Rng {
+    pub fn seed_from_u64(seed: u64) -> Self { Self { s: seed } }
+    pub fn from_seed_words(words: &[u64]) -> Self { Self { s: words[0] } }
+}
+";
+        let out = run_drift(src);
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert_eq!(out[0].rule, "seed-discipline-drift");
+        assert!(out[0].message.contains("from_seed_words"));
+        assert!(out[0].file.ends_with("rng.rs"));
+    }
+
+    #[test]
+    fn trait_declarations_count_as_constructors_too() {
+        // `fn seed128(...) -> Self;` in a trait is still a surface
+        // callers can hardcode seeds through on any implementor.
+        let out = run_drift("pub trait Seeder { fn seed128(s: u128) -> Self; }\n");
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert!(out[0].message.contains("seed128"));
+    }
+
+    #[test]
+    fn non_constructors_and_test_code_do_not_trip_the_guard() {
+        let src = "\
+impl Rng {
+    fn advance_state(&mut self) -> u64 { 0 }
+    pub fn state(&self) -> [u64; 4] { self.s }
+}
+#[cfg(test)]
+mod tests {
+    fn from_seed_words(w: &[u64]) -> Rng { Rng { s: w[0] } }
+}
+";
+        assert!(run_drift(src).is_empty());
+    }
+
+    #[test]
+    fn a_missing_rng_module_is_itself_a_finding() {
+        let files = vec![SourceFile::new(
+            "crates/prob/src/lib.rs",
+            "pub fn p() {}\n",
+            FileKind::RustLibrary,
+        )];
+        let ws = Workspace::build(&files);
+        let mut out = Vec::new();
+        SeedDisciplineDrift.check(&ws, &mut out);
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert!(out[0].message.contains("cannot be verified"));
+    }
+
+    #[test]
+    fn the_lists_match_the_real_rng_module() {
+        // The in-tree source of truth: scanning the actual
+        // crates/prob/src/rng.rs with the drift guard must be clean.
+        // (The gate runs this over the workspace too; this keeps the
+        // invariant visible from the unit suite.)
+        let src = include_str!("../../../prob/src/rng.rs");
+        assert!(run_drift(src).is_empty(), "SEEDED/ENTROPY lists have drifted");
     }
 }

@@ -1,0 +1,90 @@
+//! Serving smoke test: boot the propagation server on an ephemeral
+//! port, drive every route through the in-tree HTTP client, and shut
+//! down gracefully. This is the end-to-end path CI exercises (see
+//! `ci.sh`), with no external tooling — client and server are both
+//! in-tree.
+//!
+//! Run with `cargo run --example serve_smoke`.
+
+use sysunc::prob::json::{self, Json};
+use sysunc::{ModelRegistry, UncertainInput, WireRequest};
+use sysunc_serve::{HttpClient, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Boot: standard model catalog, ephemeral loopback port.
+    // ------------------------------------------------------------------
+    let server = Server::start(ServerConfig::default(), ModelRegistry::standard()?)?;
+    let addr = server.addr();
+    println!("== serving on {addr} ==");
+
+    // ------------------------------------------------------------------
+    // 2. Discovery: what can this server run?
+    // ------------------------------------------------------------------
+    let mut client = HttpClient::connect(addr)?;
+    let engines = client.get("/v1/engines")?;
+    let models = client.get("/v1/models")?;
+    println!("engines: {}", engines.body_text());
+    println!("models:  {}", models.body_text());
+
+    // ------------------------------------------------------------------
+    // 3. Propagate: one request per engine, same model and seed.
+    // ------------------------------------------------------------------
+    let engine_doc = json::parse(&engines.body_text())?;
+    let names: Vec<String> = engine_doc
+        .get("engines")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(|e| e.as_str().map(String::from)).collect())
+        .unwrap_or_default();
+    println!("\n== POST /v1/propagate (model linear-2x3y, seed 2020) ==");
+    for name in &names {
+        let mut wire = WireRequest::new(
+            name.clone(),
+            "linear-2x3y",
+            vec![
+                UncertainInput::Normal { mu: 1.0, sigma: 0.5 },
+                UncertainInput::Uniform { a: 0.0, b: 2.0 },
+            ],
+        );
+        wire.budget = 2048;
+        let report = client.propagate(&wire)?;
+        println!(
+            "  {name:<16} mean=[{:.4}, {:.4}]  evals={}",
+            report.mean.lo(),
+            report.mean.hi(),
+            report.evaluations
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Observe: the metrics scrape reflects the traffic just served.
+    // ------------------------------------------------------------------
+    let metrics = client.scrape_metrics()?;
+    println!("\n== GET /metrics (excerpt) ==");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("sysunc_http_requests_total")
+            || l.starts_with("sysunc_engine_runs_total")
+    }) {
+        println!("  {line}");
+    }
+    let served: u64 = names.len() as u64;
+    let ok_propagates = metrics
+        .lines()
+        .find(|l| l.contains("route=\"/v1/propagate\",status=\"200\""))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    if ok_propagates != served {
+        return Err(format!(
+            "metrics disagree with traffic: served {served}, counted {ok_propagates}"
+        )
+        .into());
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Graceful shutdown: drains in-flight work, joins every thread.
+    // ------------------------------------------------------------------
+    server.shutdown();
+    println!("\nshutdown complete; {served} propagations served and accounted for");
+    Ok(())
+}

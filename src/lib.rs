@@ -1,2 +1,3 @@
 //! Root integration-suite crate; see the workspace member crates for the library.
 pub use sysunc as core;
+pub use sysunc_serve as serve;

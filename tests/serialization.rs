@@ -103,3 +103,91 @@ fn malformed_artifacts_are_rejected_not_trusted() {
     // Plain JSON syntax errors surface as errors, not panics.
     assert!(json::from_str::<Interval>("{\"lo\": ").is_err());
 }
+
+#[test]
+fn escaped_strings_round_trip_exactly() {
+    // Every escape class the grammar knows: the two-character escapes,
+    // a \u BMP scalar, and a surrogate pair for an astral code point.
+    let parsed = json::parse(r#""q\" b\\ s\/ n\n t\t r\r b\b f\f eé g😀""#)
+        .expect("parses");
+    let text = parsed.as_str().expect("is a string");
+    assert_eq!(text, "q\" b\\ s/ n\n t\t r\r b\u{8} f\u{c} e\u{e9} g\u{1F600}");
+    // Emitting and reparsing lands on the same string (the emitter may
+    // pick different-but-equivalent escapes).
+    let again = json::parse(&parsed.emit()).expect("reparses");
+    assert_eq!(parsed, again);
+
+    // Broken escapes are rejected, not guessed at.
+    assert!(json::parse(r#""\x""#).is_err(), "unknown escape");
+    assert!(json::parse(r#""\u12""#).is_err(), "truncated hex");
+    assert!(json::parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+    assert!(json::parse("\"raw\ncontrol\"").is_err(), "unescaped control char");
+}
+
+#[test]
+fn nesting_depth_is_bounded_not_stack_fatal() {
+    // The parser guards recursion with a fixed depth cap (128): a
+    // document at the cap parses, one past it is an error — never a
+    // stack overflow.
+    let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+    assert!(json::parse(&deep(128)).is_ok(), "at the cap parses");
+    assert!(json::parse(&deep(129)).is_err(), "past the cap is a clean error");
+    let objs =
+        |n: usize| format!("{}1{}", "{\"k\":".repeat(n), "}".repeat(n));
+    assert!(json::parse(&objs(128)).is_ok());
+    assert!(json::parse(&objs(129)).is_err());
+}
+
+#[test]
+fn duplicate_keys_resolve_to_the_first_binding() {
+    // Member order is preserved and `get` finds the first match, so
+    // duplicate keys are deterministic (first wins) rather than
+    // silently last-wins or an error — pinned here so a parser change
+    // cannot flip decode behavior unnoticed.
+    let v = json::parse(r#"{"a": 1, "a": 2, "b": 3}"#).expect("parses");
+    assert_eq!(v.get("a").and_then(json::Json::as_u64), Some(1));
+    assert_eq!(v.get("b").and_then(json::Json::as_u64), Some(3));
+}
+
+#[test]
+fn non_finite_numbers_are_rejected_on_both_paths() {
+    // JSON has no NaN/Infinity literals; the parser refuses them…
+    for bad in ["NaN", "Infinity", "-Infinity", "[1, NaN]", r#"{"x": Infinity}"#] {
+        assert!(json::parse(bad).is_err(), "`{bad}` must not parse");
+    }
+    // …and the strict wire writer refuses to *produce* them, rather
+    // than degrading to null like the tree emitter.
+    let mut w = json::writer::JsonWriter::new();
+    w.begin_array().f64(f64::NAN).end_array();
+    assert!(w.finish().is_err(), "strict writer rejects NaN");
+    let mut w = json::writer::JsonWriter::new();
+    w.begin_array().f64(f64::INFINITY).end_array();
+    assert!(w.finish().is_err(), "strict writer rejects Infinity");
+}
+
+#[test]
+fn propagation_reports_round_trip_bit_identically_for_every_engine() {
+    // The serving wire format must not perturb results: for every
+    // registered engine, serialize the report the engine produced and
+    // decode it back — equality is exact (f64 emission uses the
+    // shortest round-tripping representation), including the optional
+    // exceedance interval and every quantile bound.
+    use sysunc::{engine_by_name, PropagationReport, PropagationRequest, UncertainInput, ENGINE_NAMES};
+    let model = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+    for name in ENGINE_NAMES {
+        let engine = engine_by_name(name).expect("registered engine");
+        let inputs = vec![
+            UncertainInput::Normal { mu: 1.0, sigma: 0.5 },
+            UncertainInput::Uniform { a: 0.0, b: 2.0 },
+        ];
+        let request = PropagationRequest::new(inputs, &model)
+            .expect("valid request")
+            .with_budget(512)
+            .with_seed(2020)
+            .with_threshold(2.5);
+        let report = engine.propagate(&request).expect("propagates");
+        let text = json::to_string(&report);
+        let back: PropagationReport = json::from_str(&text).expect("decodes");
+        assert_eq!(report, back, "wire round-trip differs for `{name}`");
+    }
+}

@@ -1,0 +1,303 @@
+//! End-to-end tests of the propagation server: wire fidelity under
+//! concurrency, backpressure (`503`), deadlines (`408`), graceful
+//! shutdown, and the loadgen summary format — all over real TCP
+//! connections against an ephemeral-port server.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sysunc::prob::json::{self, Json};
+use sysunc::{engine_by_name, ModelRegistry, UncertainInput, WireRequest, ENGINE_NAMES};
+use sysunc_serve::{HttpClient, Server, ServerConfig};
+
+fn standard_inputs() -> Vec<UncertainInput> {
+    vec![
+        UncertainInput::Normal { mu: 1.0, sigma: 0.5 },
+        UncertainInput::Uniform { a: 0.0, b: 2.0 },
+    ]
+}
+
+/// The acceptance bar for the serving layer: at least 8 concurrent
+/// client threads, each comparing every report byte the server returns
+/// against the same propagation run directly in-process. Serving must
+/// not perturb results — not by a ULP.
+#[test]
+fn concurrent_clients_get_bit_identical_reports() {
+    let server = Server::start(
+        ServerConfig { workers: 4, ..ServerConfig::default() },
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let local = ModelRegistry::standard().expect("registry builds");
+                let mut client = HttpClient::connect(addr).expect("connects");
+                for call in 0..3 {
+                    let engine_name = ENGINE_NAMES[(t + call) % ENGINE_NAMES.len()];
+                    let mut wire =
+                        WireRequest::new(engine_name, "linear-2x3y", standard_inputs());
+                    wire.budget = 512;
+                    wire.seed = (t as u64) * 1000 + call as u64;
+                    wire.threshold = Some(2.5);
+                    let served = client.propagate(&wire).expect("server propagates");
+
+                    let model = local.get("linear-2x3y").expect("registered");
+                    let request = wire.to_request(model).expect("valid");
+                    let engine = wire.resolve_engine().expect("known engine");
+                    let direct = engine.propagate(&request).expect("runs in-process");
+                    assert_eq!(
+                        served, direct,
+                        "served report differs from in-process run \
+                         (engine {engine_name}, thread {t}, call {call})"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread succeeds");
+    }
+    server.shutdown();
+}
+
+/// A registry whose single model blocks until `release` flips,
+/// letting tests hold the worker pool at a known occupancy.
+fn blocking_registry(release: Arc<AtomicBool>) -> ModelRegistry {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "blocker",
+            Box::new(move |x: &[f64]| {
+                while !release.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                x.iter().sum::<f64>()
+            }),
+        )
+        .expect("registers");
+    registry
+}
+
+#[test]
+fn full_queue_answers_503_with_retry_after() {
+    let release = Arc::new(AtomicBool::new(false));
+    let server = Server::start(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            request_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+        blocking_registry(Arc::clone(&release)),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let wire = WireRequest::new("monte-carlo", "blocker", standard_inputs());
+    let body = json::to_string(&wire);
+
+    // Occupy the single worker, then the single queue slot.
+    let in_flight: Vec<_> = (0..2)
+        .map(|_| {
+            let wire = wire.clone();
+            let handle = std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connects");
+                client.propagate(&wire)
+            });
+            // Stagger so the first request reaches the worker before
+            // the second claims the queue slot.
+            std::thread::sleep(Duration::from_millis(150));
+            handle
+        })
+        .collect();
+
+    // Worker busy + queue full: the next request must be refused
+    // immediately with backpressure advice, not queued or dropped.
+    let mut client = HttpClient::connect(addr).expect("connects");
+    let refused = client
+        .request("POST", "/v1/propagate", Some(&body))
+        .expect("response arrives");
+    assert_eq!(refused.status, 503, "body: {}", refused.body_text());
+    assert_eq!(refused.header("Retry-After"), Some("1"));
+
+    // Releasing the blocker lets both accepted requests finish
+    // normally: 503 shed load without corrupting in-flight work.
+    release.store(true, Ordering::Release);
+    for handle in in_flight {
+        let report = handle.join().expect("joins").expect("accepted request completes");
+        assert_eq!(report.evaluations, wire.budget);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_answers_408() {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "slow",
+            Box::new(|x: &[f64]| {
+                std::thread::sleep(Duration::from_millis(2));
+                x.iter().sum::<f64>()
+            }),
+        )
+        .expect("registers");
+    let server = Server::start(
+        ServerConfig {
+            workers: 1,
+            request_timeout: Duration::from_millis(80),
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("server starts");
+
+    // 4096 evaluations at 2 ms each can never meet an 80 ms deadline.
+    let wire = WireRequest::new("monte-carlo", "slow", standard_inputs());
+    let mut client = HttpClient::connect(server.addr()).expect("connects");
+    let response = client
+        .request("POST", "/v1/propagate", Some(&json::to_string(&wire)))
+        .expect("response arrives");
+    assert_eq!(response.status, 408, "body: {}", response.body_text());
+
+    // The cancel token turns the abandoned job into fast no-ops: the
+    // same connection answers a cheap request promptly afterwards.
+    let engines = client.get("/v1/engines").expect("keep-alive survives");
+    assert_eq!(engines.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "gentle",
+            Box::new(|x: &[f64]| {
+                std::thread::sleep(Duration::from_millis(1));
+                x.iter().sum::<f64>()
+            }),
+        )
+        .expect("registers");
+    let server = Server::start(ServerConfig::default(), registry).expect("server starts");
+    let addr = server.addr();
+
+    // ~300 ms of work, comfortably in flight when shutdown triggers.
+    let mut wire = WireRequest::new("monte-carlo", "gentle", standard_inputs());
+    wire.budget = 300;
+    let worker = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).expect("connects");
+        client.propagate(&wire)
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+
+    // Shutdown returned only after the acceptor, connections and pool
+    // drained — so the in-flight request has a complete answer.
+    let report = worker.join().expect("joins").expect("in-flight request completes");
+    assert_eq!(report.evaluations, 300);
+
+    // And the listener really is gone.
+    assert!(
+        HttpClient::connect(addr).is_err()
+            || HttpClient::connect(addr)
+                .and_then(|mut c| c.get("/v1/engines"))
+                .is_err(),
+        "server still serving after shutdown"
+    );
+}
+
+#[test]
+fn loadgen_summary_is_well_formed_bench_json() {
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let config = sysunc_bench::loadgen::LoadgenConfig {
+        clients: 4,
+        requests_per_client: 5,
+        budget: 256,
+        ..sysunc_bench::loadgen::LoadgenConfig::default()
+    };
+    let result = sysunc_bench::loadgen::run(server.addr(), &config).expect("load runs");
+    server.shutdown();
+
+    assert_eq!(result.ok, 20, "every request succeeds");
+    assert_eq!(result.failed, 0);
+
+    let summary = result.to_json(&config).expect("renders");
+    let doc = json::parse(&summary).expect("summary is valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("sysunc-bench-serve/1"));
+    assert_eq!(doc.get("requests").and_then(Json::as_u64), Some(20));
+    let throughput = doc
+        .get("throughput_rps")
+        .and_then(Json::as_f64)
+        .expect("throughput present");
+    assert!(throughput > 0.0);
+    let latency = doc.get("latency_micros").expect("latency block");
+    for key in ["min", "p50", "p90", "p99", "max", "mean"] {
+        let v = latency.get(key).and_then(Json::as_f64).expect("latency field");
+        assert!(v >= 0.0, "{key} must be non-negative");
+    }
+    let p50 = latency.get("p50").and_then(Json::as_f64).expect("p50");
+    let p99 = latency.get("p99").and_then(Json::as_f64).expect("p99");
+    assert!(p50 <= p99, "percentiles must be ordered");
+}
+
+#[test]
+fn discovery_and_metrics_routes_reflect_served_traffic() {
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let mut client = HttpClient::connect(server.addr()).expect("connects");
+
+    let engines = client.get("/v1/engines").expect("engines route");
+    assert_eq!(engines.status, 200);
+    let doc = json::parse(&engines.body_text()).expect("engines JSON");
+    let listed = doc.get("engines").and_then(Json::as_arr).expect("array");
+    assert_eq!(listed.len(), ENGINE_NAMES.len());
+
+    let models = client.get("/v1/models").expect("models route");
+    let doc = json::parse(&models.body_text()).expect("models JSON");
+    let listed = doc.get("models").and_then(Json::as_arr).expect("array");
+    assert!(listed.iter().any(|m| m.as_str() == Some("linear-2x3y")));
+
+    let wire = WireRequest::new("sobol-qmc", "sum", standard_inputs());
+    client.propagate(&wire).expect("propagates");
+
+    let text = client.scrape_metrics().expect("metrics scrape");
+    assert!(text.contains("sysunc_http_requests_total{route=\"/v1/propagate\",status=\"200\"} 1"));
+    assert!(text.contains("sysunc_engine_runs_total{engine=\"sobol-qmc\"} 1"));
+    assert!(text.contains("sysunc_http_request_duration_micros_bucket"));
+
+    // Bad requests get typed JSON errors, not connection drops.
+    let bad = client
+        .request("POST", "/v1/propagate", Some("{\"engine\":\"nope\"}"))
+        .expect("response arrives");
+    assert_eq!(bad.status, 400);
+    let doc = json::parse(&bad.body_text()).expect("error JSON");
+    assert_eq!(doc.get("status").and_then(Json::as_u64), Some(400));
+    assert!(doc.get("error").and_then(Json::as_str).is_some());
+    server.shutdown();
+}
+
+/// The in-process propagation the wire path is compared against also
+/// matches `engine_by_name` resolution — guarding against the catalog
+/// and the registry drifting apart.
+#[test]
+fn engine_catalog_and_wire_resolution_agree() {
+    for name in ENGINE_NAMES {
+        let by_name = engine_by_name(name);
+        assert!(by_name.is_some(), "`{name}` missing from engine_by_name");
+        let wire = WireRequest::new(*name, "sum", standard_inputs());
+        assert!(wire.resolve_engine().is_ok(), "`{name}` not resolvable from wire");
+    }
+    assert!(engine_by_name("no-such-engine").is_none());
+}
