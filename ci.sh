@@ -43,8 +43,16 @@ echo "== serve smoke (ephemeral port, in-tree client) =="
 # mismatch between served traffic and the metrics account.
 cargo run -q --release --offline --example serve_smoke
 
-echo "== serve load benchmark =="
-# Self-hosted loadgen run; writes throughput and latency percentiles
-# to BENCH_serve.json for the bench trajectory.
+echo "== serve load benchmark (cold / cache-hot / batch) =="
+# Self-hosted loadgen suite: every mode runs against one server (cold
+# first, so the baseline sees an empty cache) and the per-mode
+# throughput and latency percentiles land in BENCH_serve.json.
 cargo run -q --release --offline -p sysunc-bench --bin loadgen -- \
-  --clients 8 --requests 25 --budget 2048
+  --clients 8 --requests 50 --budget 2048
+
+echo "== serve trend tripwire =="
+# Folds the suite into BENCH_serve_trend.json and fails on a >20%
+# per-mode throughput drop against the committed baseline, or on
+# cache-hot throughput below 5x cold (the cache must earn its keep).
+# On a machine without a baseline the run becomes the baseline.
+cargo run -q --release --offline -p sysunc-bench --bin serve_trend

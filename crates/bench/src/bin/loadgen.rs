@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! loadgen [--clients N] [--requests N] [--engine NAME] [--model NAME]
-//!         [--budget N] [--addr HOST:PORT] [--out FILE]
+//!         [--budget N] [--mode cold|cache-hot|batch|all]
+//!         [--batch-size N] [--hot-seeds N]
+//!         [--addr HOST:PORT] [--out FILE]
 //! ```
 //!
 //! Without `--addr` the benchmark starts its own server on an
 //! ephemeral loopback port, drives it, and shuts it down gracefully.
-//! The summary (throughput, p50/p99 latency) is printed and written to
-//! `--out` (default `BENCH_serve.json`).
+//! `--mode all` (the default) runs every mode sequentially against the
+//! same server — cold first, so the baseline sees an empty cache — and
+//! writes the `sysunc-bench-serve/2` suite document to `--out`
+//! (default `BENCH_serve.json`). A single `--mode` writes that mode's
+//! suite of one.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use sysunc::ModelRegistry;
-use sysunc_bench::loadgen::{run, LoadgenConfig};
+use sysunc_bench::loadgen::{run, suite_to_json, LoadMode, LoadgenConfig};
 use sysunc_serve::{Server, ServerConfig};
 
 struct Args {
     config: LoadgenConfig,
+    modes: Vec<LoadMode>,
     addr: Option<SocketAddr>,
     out: String,
 }
@@ -25,6 +31,7 @@ struct Args {
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
         config: LoadgenConfig::default(),
+        modes: LoadMode::ALL.to_vec(),
         addr: None,
         out: "BENCH_serve.json".into(),
     };
@@ -47,6 +54,25 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--budget" => {
                 parsed.config.budget =
                     value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--mode" => {
+                let name = value("--mode")?;
+                parsed.modes = match name.as_str() {
+                    "all" => LoadMode::ALL.to_vec(),
+                    other => vec![LoadMode::parse(other).ok_or_else(|| {
+                        format!("--mode: unknown mode '{other}' (cold|cache-hot|batch|all)")
+                    })?],
+                };
+            }
+            "--batch-size" => {
+                parsed.config.batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--batch-size: {e}"))?
+            }
+            "--hot-seeds" => {
+                parsed.config.hot_seeds = value("--hot-seeds")?
+                    .parse()
+                    .map_err(|e| format!("--hot-seeds: {e}"))?
             }
             "--addr" => {
                 parsed.addr =
@@ -95,32 +121,44 @@ fn main() -> ExitCode {
         }
     };
 
-    let outcome = run(addr, &args.config);
+    let mut entries = Vec::new();
+    let mut failure = None;
+    for &mode in &args.modes {
+        let config = args.config.with_mode(mode);
+        match run(addr, &config) {
+            Ok(result) => {
+                println!(
+                    "loadgen[{}]: {} ok / {} failed, {:.1} jobs/s, p50 {} us, p99 {} us",
+                    mode.name(),
+                    result.ok,
+                    result.failed,
+                    result.throughput_rps(),
+                    result.percentile_micros(50.0),
+                    result.percentile_micros(99.0)
+                );
+                entries.push((config, result));
+            }
+            Err(e) => {
+                failure = Some(format!("mode {} failed: {e}", mode.name()));
+                break;
+            }
+        }
+    }
     if let Some(server) = server {
         server.shutdown();
     }
-    let result = match outcome {
-        Ok(result) => result,
-        Err(e) => {
-            eprintln!("loadgen: run failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let summary = match result.to_json(&args.config) {
+    if let Some(msg) = failure {
+        eprintln!("loadgen: {msg}");
+        return ExitCode::FAILURE;
+    }
+
+    let summary = match suite_to_json(&entries) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("loadgen: cannot render summary: {e}");
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "loadgen: {} ok / {} failed, {:.1} req/s, p50 {} us, p99 {} us",
-        result.ok,
-        result.failed,
-        result.throughput_rps(),
-        result.percentile_micros(50.0),
-        result.percentile_micros(99.0)
-    );
     if let Err(e) = std::fs::write(&args.out, summary + "\n") {
         eprintln!("loadgen: cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

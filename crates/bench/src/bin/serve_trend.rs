@@ -1,0 +1,171 @@
+//! Folds a loadgen suite into the serve trend trajectory and trips on
+//! throughput regressions.
+//!
+//! ```text
+//! serve_trend [--in BENCH_serve.json] [--out BENCH_serve_trend.json]
+//!             [--baseline serve.baseline] [--write-baseline]
+//!             [--min-ratio 0.8] [--cache-speedup 5.0]
+//! ```
+//!
+//! Reads a `sysunc-bench-serve/2` suite document, appends one
+//! `sysunc-bench-serve-trend/1` record to `--out`, and compares the
+//! run against `--baseline`:
+//!
+//! - a mode whose throughput drops below `--min-ratio` (default 0.8,
+//!   i.e. a >20% regression) of the baseline fails the run;
+//! - cache-hot throughput below `--cache-speedup` (default 5.0) times
+//!   cold throughput fails the run — the response cache must earn its
+//!   keep.
+//!
+//! When the baseline file does not exist yet (first run on a machine),
+//! the current suite is written as the new baseline and the checks
+//! pass vacuously; `--write-baseline` forces that refresh.
+
+use std::process::ExitCode;
+use sysunc::prob::json::parse;
+use sysunc_bench::trend::{
+    cache_speedup_shortfall, serve_mode_summaries, serve_trend_record,
+    throughput_regressions,
+};
+
+struct Args {
+    input: String,
+    out: String,
+    baseline: String,
+    write_baseline: bool,
+    min_ratio: f64,
+    cache_speedup: f64,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        input: "BENCH_serve.json".into(),
+        out: "BENCH_serve_trend.json".into(),
+        baseline: "serve.baseline".into(),
+        write_baseline: false,
+        min_ratio: 0.8,
+        cache_speedup: 5.0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--in" => parsed.input = value("--in")?,
+            "--out" => parsed.out = value("--out")?,
+            "--baseline" => parsed.baseline = value("--baseline")?,
+            "--write-baseline" => parsed.write_baseline = true,
+            "--min-ratio" => {
+                parsed.min_ratio = value("--min-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--min-ratio: {e}"))?
+            }
+            "--cache-speedup" => {
+                parsed.cache_speedup = value("--cache-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--cache-speedup: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve_trend: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&args.input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("serve_trend: cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let suite = match parse(&text) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("serve_trend: {} is not valid JSON: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let summaries = match serve_mode_summaries(&suite) {
+        Ok(summaries) => summaries,
+        Err(e) => {
+            eprintln!("serve_trend: {} is not a serve suite: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let record = match serve_trend_record(&suite) {
+        Ok(record) => record,
+        Err(e) => {
+            eprintln!("serve_trend: cannot fold the suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{record}");
+    let mut appended = std::fs::read_to_string(&args.out).unwrap_or_default();
+    if !appended.is_empty() && !appended.ends_with('\n') {
+        appended.push('\n');
+    }
+    appended.push_str(&record);
+    appended.push('\n');
+    if let Err(e) = std::fs::write(&args.out, appended) {
+        eprintln!("serve_trend: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    // The cache-speedup invariant holds regardless of any baseline.
+    if let Some(msg) = cache_speedup_shortfall(&summaries, args.cache_speedup) {
+        eprintln!("serve_trend: FAIL: {msg}");
+        return ExitCode::FAILURE;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) if !args.write_baseline => Some(text),
+        _ => None,
+    };
+    match baseline_text {
+        Some(text) => {
+            let baseline = match parse(&text).ok().as_ref().map(serve_mode_summaries) {
+                Some(Ok(baseline)) => baseline,
+                _ => {
+                    eprintln!(
+                        "serve_trend: {} is not a serve suite; refresh it with \
+                         --write-baseline",
+                        args.baseline
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let findings = throughput_regressions(&summaries, &baseline, args.min_ratio);
+            if !findings.is_empty() {
+                for finding in &findings {
+                    eprintln!("serve_trend: FAIL: {finding}");
+                }
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "serve_trend: ok — {} mode(s) within {:.0}% of baseline",
+                summaries.len(),
+                args.min_ratio * 100.0
+            );
+        }
+        None => {
+            if let Err(e) = std::fs::write(&args.baseline, &text) {
+                eprintln!("serve_trend: cannot write baseline {}: {e}", args.baseline);
+                return ExitCode::FAILURE;
+            }
+            println!("serve_trend: wrote new baseline {}", args.baseline);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,10 +1,22 @@
 //! Loopback load generator for the propagation server.
 //!
-//! Drives `POST /v1/propagate` from N concurrent client threads over
+//! Drives the propagate routes from N concurrent client threads over
 //! keep-alive connections, collects per-request wall-clock latencies,
 //! and renders a machine-readable summary (`BENCH_serve.json`) with
 //! throughput and latency percentiles — the serving-layer entry in the
 //! bench trajectory.
+//!
+//! Three [`LoadMode`]s exercise the content-addressed pipeline:
+//!
+//! - `cold` — every request has a distinct seed, so every answer is
+//!   computed fresh (`X-Sysunc-Cache: miss`). The baseline.
+//! - `cache-hot` — requests cycle through a small set of seeds, so
+//!   after warm-up nearly every answer comes from the response cache.
+//! - `batch` — each HTTP call carries many jobs through
+//!   `POST /v1/propagate/batch`, amortising round-trips.
+//!
+//! The seed spaces of the three modes are disjoint, so runs sharing a
+//! server never contaminate each other's cache behaviour.
 
 use std::net::SocketAddr;
 use std::sync::mpsc;
@@ -14,12 +26,48 @@ use sysunc::prob::json::JsonError;
 use sysunc::{UncertainInput, WireRequest};
 use sysunc_serve::{HttpClient, ServeError};
 
+/// Which traffic shape a run drives at the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Distinct seed per request — every answer computed fresh.
+    Cold,
+    /// A small cycling seed set — answers come from the response cache.
+    CacheHot,
+    /// Many jobs per HTTP call through the batch route.
+    Batch,
+}
+
+impl LoadMode {
+    /// Every mode, in the order the suite runs them (cold first, so a
+    /// shared server starts with an empty cache for the baseline).
+    pub const ALL: [LoadMode; 3] = [LoadMode::Cold, LoadMode::CacheHot, LoadMode::Batch];
+
+    /// The stable wire/CLI name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadMode::Cold => "cold",
+            LoadMode::CacheHot => "cache-hot",
+            LoadMode::Batch => "batch",
+        }
+    }
+
+    /// Parses a CLI spelling; `None` for unknown names.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "cold" => Some(LoadMode::Cold),
+            "cache-hot" => Some(LoadMode::CacheHot),
+            "batch" => Some(LoadMode::Batch),
+            _ => None,
+        }
+    }
+}
+
 /// Shape of one load-generation run.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Concurrent client threads, each with its own connection.
     pub clients: usize,
-    /// Requests each client issues sequentially.
+    /// HTTP calls each client issues sequentially.
     pub requests_per_client: usize,
     /// Engine name sent in every request.
     pub engine: String,
@@ -27,6 +75,12 @@ pub struct LoadgenConfig {
     pub model: String,
     /// Evaluation budget per request.
     pub budget: usize,
+    /// Traffic shape to drive.
+    pub mode: LoadMode,
+    /// Jobs per HTTP call in [`LoadMode::Batch`].
+    pub batch_size: usize,
+    /// Distinct seeds cycled through in [`LoadMode::CacheHot`].
+    pub hot_seeds: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -37,14 +91,22 @@ impl Default for LoadgenConfig {
             engine: "monte-carlo".into(),
             model: "sum".into(),
             budget: 2048,
+            mode: LoadMode::Cold,
+            batch_size: 16,
+            hot_seeds: 4,
         }
     }
 }
 
 impl LoadgenConfig {
-    /// The wire request client `c` sends as its `i`-th call. Seeds are
-    /// distinct per call so the server does real, varied work.
-    pub fn request(&self, client: usize, call: usize) -> WireRequest {
+    /// A copy of this config retargeted at another mode — used by the
+    /// suite driver to run every mode under one parameter set.
+    pub fn with_mode(&self, mode: LoadMode) -> Self {
+        Self { mode, ..self.clone() }
+    }
+
+    /// The problem every request shares; only seeds vary.
+    fn base_request(&self) -> WireRequest {
         let mut wire = WireRequest::new(
             self.engine.clone(),
             self.model.clone(),
@@ -54,28 +116,66 @@ impl LoadgenConfig {
             ],
         );
         wire.budget = self.budget;
-        wire.seed = (client as u64) * 1_000_003 + call as u64 + 1;
         wire
+    }
+
+    /// The wire request client `c` sends as its `i`-th call. Cold
+    /// seeds are distinct per call so the server does real, varied
+    /// work; cache-hot seeds cycle through `hot_seeds` values in a
+    /// disjoint range so repeats hit the response cache.
+    pub fn request(&self, client: usize, call: usize) -> WireRequest {
+        let mut wire = self.base_request();
+        wire.seed = match self.mode {
+            LoadMode::CacheHot => 9_000_000 + call as u64 % self.hot_seeds.max(1),
+            LoadMode::Cold | LoadMode::Batch => {
+                (client as u64) * 1_000_003 + call as u64 + 1
+            }
+        };
+        wire
+    }
+
+    /// The jobs client `c` sends as its `i`-th batch call. Seeds live
+    /// in their own range (disjoint from cold and cache-hot) and are
+    /// distinct per job, so each batch is honest fresh work.
+    pub fn batch_jobs(&self, client: usize, call: usize) -> Vec<WireRequest> {
+        let size = self.batch_size.max(1);
+        (0..size)
+            .map(|job| {
+                let mut wire = self.base_request();
+                wire.seed = 100_000_000
+                    + (client as u64) * 1_000_003
+                    + (call * size + job) as u64;
+                wire
+            })
+            .collect()
+    }
+
+    /// Propagation jobs one HTTP call carries in this mode.
+    pub fn jobs_per_call(&self) -> usize {
+        match self.mode {
+            LoadMode::Batch => self.batch_size.max(1),
+            LoadMode::Cold | LoadMode::CacheHot => 1,
+        }
     }
 }
 
 /// Outcome of a load-generation run.
 #[derive(Debug, Clone)]
 pub struct LoadgenResult {
-    /// Requests attempted.
+    /// Propagation jobs attempted (HTTP calls × jobs per call).
     pub requests: u64,
-    /// Requests answered `200` with a decodable report.
+    /// Jobs answered `200` with a decodable report.
     pub ok: u64,
     /// Everything else (transport errors, non-200 statuses).
     pub failed: u64,
     /// Wall-clock span of the whole run.
     pub elapsed: Duration,
-    /// Per-request latencies in microseconds, sorted ascending.
+    /// Per-HTTP-call latencies in microseconds, sorted ascending.
     pub latencies_micros: Vec<u64>,
 }
 
 impl LoadgenResult {
-    /// Completed requests per second over the run.
+    /// Completed propagation jobs per second over the run.
     pub fn throughput_rps(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
@@ -96,7 +196,8 @@ impl LoadgenResult {
         self.latencies_micros[idx]
     }
 
-    /// Renders the `sysunc-bench-serve/1` JSON summary document.
+    /// Renders the `sysunc-bench-serve/1` JSON summary document for
+    /// one mode's run.
     ///
     /// # Errors
     ///
@@ -112,10 +213,12 @@ impl LoadgenResult {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema").string("sysunc-bench-serve/1");
+        w.key("mode").string(config.mode.name());
         w.key("engine").string(&config.engine);
         w.key("model").string(&config.model);
         w.key("budget").u64(config.budget as u64);
         w.key("clients").u64(config.clients as u64);
+        w.key("batch_size").u64(config.jobs_per_call() as u64);
         w.key("requests").u64(self.requests);
         w.key("ok").u64(self.ok);
         w.key("failed").u64(self.failed);
@@ -135,7 +238,32 @@ impl LoadgenResult {
     }
 }
 
-/// Runs the load against a server at `addr`.
+/// Renders the `sysunc-bench-serve/2` suite document: the per-mode
+/// `/1` summaries keyed by mode name under `"modes"`.
+///
+/// # Errors
+///
+/// Propagates [`JsonError`] from rendering any per-mode summary.
+pub fn suite_to_json(
+    entries: &[(LoadgenConfig, LoadgenResult)],
+) -> Result<String, JsonError> {
+    // Mode names are fixed identifiers, so the envelope is assembled
+    // directly around the already-rendered per-mode documents.
+    let mut out = String::from("{\"schema\":\"sysunc-bench-serve/2\",\"modes\":{");
+    for (i, (config, result)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(config.mode.name());
+        out.push_str("\":");
+        out.push_str(&result.to_json(config)?);
+    }
+    out.push_str("}}");
+    Ok(out)
+}
+
+/// Runs the load against a server at `addr` in the configured mode.
 ///
 /// # Errors
 ///
@@ -154,20 +282,29 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenResult, Se
                 let mut conn = HttpClient::connect(addr);
                 for call in 0..config.requests_per_client {
                     let Ok(c) = conn.as_mut() else {
-                        failed += 1;
+                        failed += config.jobs_per_call() as u64;
                         continue;
                     };
-                    let wire = config.request(client, call);
                     let t0 = Instant::now();
-                    match c.propagate(&wire) {
-                        Ok(_) => {
-                            ok += 1;
+                    let answered = match config.mode {
+                        LoadMode::Batch => {
+                            let jobs = config.batch_jobs(client, call);
+                            c.propagate_batch(&jobs).map(|o| o.reports.len() as u64)
+                        }
+                        LoadMode::Cold | LoadMode::CacheHot => {
+                            let wire = config.request(client, call);
+                            c.propagate(&wire).map(|_| 1)
+                        }
+                    };
+                    match answered {
+                        Ok(n) => {
+                            ok += n;
                             latencies.push(
                                 t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
                             );
                         }
                         Err(_) => {
-                            failed += 1;
+                            failed += config.jobs_per_call() as u64;
                             // The connection may be poisoned; reconnect.
                             conn = HttpClient::connect(addr);
                         }
@@ -179,7 +316,9 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> Result<LoadgenResult, Se
     });
     drop(tx);
     let mut result = LoadgenResult {
-        requests: (config.clients.max(1) * config.requests_per_client) as u64,
+        requests: (config.clients.max(1)
+            * config.requests_per_client
+            * config.jobs_per_call()) as u64,
         ok: 0,
         failed: 0,
         elapsed: Duration::ZERO,
@@ -230,6 +369,7 @@ mod tests {
         assert_eq!(r.throughput_rps(), 0.0);
         let text = r.to_json(&LoadgenConfig::default()).expect("renders");
         assert!(text.contains("\"schema\":\"sysunc-bench-serve/1\""));
+        assert!(text.contains("\"mode\":\"cold\""));
     }
 
     #[test]
@@ -244,6 +384,10 @@ mod tests {
         let text = r.to_json(&LoadgenConfig::default()).expect("renders");
         let v = sysunc::prob::json::parse(&text).expect("parses");
         assert_eq!(v.get("ok").and_then(|j| j.as_u64()), Some(2));
+        assert_eq!(
+            v.get("mode").and_then(|j| j.as_str().map(str::to_string)),
+            Some("cold".into())
+        );
         let lat = v.get("latency_micros").expect("nested");
         assert_eq!(lat.get("p50").and_then(|j| j.as_u64()), Some(100));
         assert_eq!(lat.get("p99").and_then(|j| j.as_u64()), Some(300));
@@ -258,5 +402,79 @@ mod tests {
         assert_ne!(a.seed, b.seed);
         assert_eq!(a.inputs, b.inputs);
         assert_eq!(a.engine, b.engine);
+    }
+
+    #[test]
+    fn mode_names_round_trip_through_parse() {
+        for mode in LoadMode::ALL {
+            assert_eq!(LoadMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(LoadMode::parse("warm"), None);
+    }
+
+    #[test]
+    fn cache_hot_seeds_cycle_within_a_small_disjoint_range() {
+        let c = LoadgenConfig {
+            mode: LoadMode::CacheHot,
+            hot_seeds: 4,
+            ..LoadgenConfig::default()
+        };
+        // Every client sends the same seed on the same call index, and
+        // the cycle length is hot_seeds.
+        assert_eq!(c.request(0, 0).seed, c.request(7, 0).seed);
+        assert_eq!(c.request(0, 1).seed, c.request(0, 5).seed);
+        assert_ne!(c.request(0, 0).seed, c.request(0, 1).seed);
+        // Disjoint from the cold range for the default client counts.
+        let cold = LoadgenConfig::default();
+        for client in 0..8 {
+            for call in 0..25 {
+                assert!(cold.request(client, call).seed < 9_000_000);
+            }
+        }
+        assert!(c.request(0, 0).seed >= 9_000_000);
+    }
+
+    #[test]
+    fn batch_jobs_are_distinct_within_and_across_calls() {
+        let c = LoadgenConfig {
+            mode: LoadMode::Batch,
+            batch_size: 4,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(c.jobs_per_call(), 4);
+        let first = c.batch_jobs(0, 0);
+        let second = c.batch_jobs(0, 1);
+        let mut seeds: Vec<u64> = first.iter().chain(&second).map(|w| w.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "every job seed is distinct");
+        assert!(seeds.iter().all(|&s| s >= 100_000_000), "disjoint seed range");
+    }
+
+    #[test]
+    fn suite_document_nests_one_summary_per_mode() {
+        let result = LoadgenResult {
+            requests: 1,
+            ok: 1,
+            failed: 0,
+            elapsed: Duration::from_millis(5),
+            latencies_micros: vec![42],
+        };
+        let base = LoadgenConfig::default();
+        let entries: Vec<_> = LoadMode::ALL
+            .iter()
+            .map(|&mode| (base.with_mode(mode), result.clone()))
+            .collect();
+        let text = suite_to_json(&entries).expect("renders");
+        let v = sysunc::prob::json::parse(&text).expect("parses");
+        assert_eq!(
+            v.get("schema").and_then(|j| j.as_str().map(str::to_string)),
+            Some("sysunc-bench-serve/2".into())
+        );
+        let modes = v.get("modes").expect("modes map");
+        for mode in LoadMode::ALL {
+            let doc = modes.get(mode.name()).expect("per-mode doc");
+            assert_eq!(doc.get("ok").and_then(|j| j.as_u64()), Some(1));
+        }
     }
 }

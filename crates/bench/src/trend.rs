@@ -1,11 +1,16 @@
-//! Lint-suppression trend records from `sysunc-tidy --json`.
+//! Trend records folded from the repo's machine-readable reports.
 //!
-//! Every `// tidy: allow(rule)` comment and every baseline budget is
-//! acknowledged epistemic debt. This module folds a `sysunc-tidy/1`
-//! findings document into a compact per-rule trend record
-//! (`sysunc-bench-trend/1`) that the bench trajectory appends over
-//! time, making suppression creep visible: the counts should only
-//! ratchet down, and a rising line is a review flag.
+//! Two trajectories live here:
+//!
+//! - **Lint suppressions** — every `// tidy: allow(rule)` comment and
+//!   every baseline budget is acknowledged epistemic debt. A
+//!   `sysunc-tidy/1` findings document folds into a per-rule record
+//!   (`sysunc-bench-trend/1`); the counts should only ratchet down,
+//!   and a rising line is a review flag.
+//! - **Serving throughput** — a `sysunc-bench-serve/2` loadgen suite
+//!   folds into a per-mode record (`sysunc-bench-serve-trend/1`), and
+//!   [`throughput_regressions`] / [`cache_speedup_shortfall`] are the
+//!   CI tripwire comparing a run against a committed baseline.
 
 use std::collections::BTreeMap;
 use sysunc::prob::json::writer::JsonWriter;
@@ -87,6 +92,145 @@ pub fn trend_record(report: &Json) -> Result<String, JsonError> {
     w.finish()
 }
 
+/// One mode's headline numbers pulled out of a `sysunc-bench-serve/2`
+/// suite document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeSummary {
+    /// The mode name (`cold`, `cache-hot`, `batch`).
+    pub mode: String,
+    /// Completed propagation jobs per second.
+    pub throughput_rps: f64,
+    /// Median per-HTTP-call latency in microseconds.
+    pub p50_micros: u64,
+    /// Tail per-HTTP-call latency in microseconds.
+    pub p99_micros: u64,
+    /// Jobs answered successfully.
+    pub ok: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+}
+
+/// Extracts the per-mode summaries from a `sysunc-bench-serve/2` suite
+/// document, in the document's mode order.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the document has the wrong schema or a
+/// mode entry lacks the expected members.
+pub fn serve_mode_summaries(suite: &Json) -> Result<Vec<ModeSummary>, JsonError> {
+    let schema = suite.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "sysunc-bench-serve/2" {
+        return Err(JsonError::decode(format!(
+            "expected a sysunc-bench-serve/2 document, got schema '{schema}'"
+        )));
+    }
+    let Some(Json::Obj(modes)) = suite.get("modes") else {
+        return Err(JsonError::decode("suite lacks a 'modes' object"));
+    };
+    let mut summaries = Vec::with_capacity(modes.len());
+    for (mode, doc) in modes {
+        let member = |key: &str| {
+            doc.get(key).ok_or_else(|| {
+                JsonError::decode(format!("mode '{mode}' lacks '{key}'"))
+            })
+        };
+        let latency = member("latency_micros")?;
+        let micros = |key: &str| {
+            latency.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                JsonError::decode(format!("mode '{mode}' lacks latency '{key}'"))
+            })
+        };
+        summaries.push(ModeSummary {
+            mode: mode.clone(),
+            throughput_rps: member("throughput_rps")?.as_f64().ok_or_else(|| {
+                JsonError::decode(format!("mode '{mode}' throughput is not a number"))
+            })?,
+            p50_micros: micros("p50")?,
+            p99_micros: micros("p99")?,
+            ok: member("ok")?.as_u64().unwrap_or(0),
+            failed: member("failed")?.as_u64().unwrap_or(0),
+        });
+    }
+    Ok(summaries)
+}
+
+/// Renders one `sysunc-bench-serve-trend/1` record (a single JSON
+/// line) from a parsed `sysunc-bench-serve/2` suite document: the
+/// per-mode throughput and latency headline, appended over time.
+///
+/// # Errors
+///
+/// As in [`serve_mode_summaries`], plus writer errors for non-finite
+/// throughputs.
+pub fn serve_trend_record(suite: &Json) -> Result<String, JsonError> {
+    let summaries = serve_mode_summaries(suite)?;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("sysunc-bench-serve-trend/1");
+    w.key("modes").begin_object();
+    for s in &summaries {
+        w.key(&s.mode).begin_object();
+        w.key("throughput_rps").f64(s.throughput_rps);
+        w.key("p50_micros").u64(s.p50_micros);
+        w.key("p99_micros").u64(s.p99_micros);
+        w.key("ok").u64(s.ok);
+        w.key("failed").u64(s.failed);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// Compares a run against a baseline: one message per mode whose
+/// throughput fell below `min_ratio` of the baseline's (or that
+/// disappeared entirely). Empty means no regression.
+pub fn throughput_regressions(
+    current: &[ModeSummary],
+    baseline: &[ModeSummary],
+    min_ratio: f64,
+) -> Vec<String> {
+    let mut findings = Vec::new();
+    for base in baseline {
+        match current.iter().find(|s| s.mode == base.mode) {
+            None => findings.push(format!("mode '{}' missing from this run", base.mode)),
+            Some(now) => {
+                let floor = base.throughput_rps * min_ratio;
+                if now.throughput_rps < floor {
+                    findings.push(format!(
+                        "mode '{}' throughput {:.1} jobs/s fell below {:.1} \
+                         ({:.0}% of baseline {:.1})",
+                        base.mode,
+                        now.throughput_rps,
+                        floor,
+                        min_ratio * 100.0,
+                        base.throughput_rps
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Checks the cache's value proposition: cache-hot throughput must be
+/// at least `min_ratio` times cold throughput. `None` when satisfied
+/// or when the run lacks either mode.
+pub fn cache_speedup_shortfall(current: &[ModeSummary], min_ratio: f64) -> Option<String> {
+    let cold = current.iter().find(|s| s.mode == "cold")?;
+    let hot = current.iter().find(|s| s.mode == "cache-hot")?;
+    if cold.throughput_rps > 0.0 && hot.throughput_rps < cold.throughput_rps * min_ratio {
+        return Some(format!(
+            "cache-hot throughput {:.1} jobs/s is only {:.1}x cold ({:.1} jobs/s); \
+             expected at least {min_ratio:.1}x",
+            hot.throughput_rps,
+            hot.throughput_rps / cold.throughput_rps,
+            cold.throughput_rps
+        ));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +286,79 @@ mod tests {
         assert!(trend_record(&report).is_err());
         let report = parse(r#"{"schema":"sysunc-tidy/1"}"#).expect("parses");
         assert!(trend_record(&report).is_err(), "missing members must error");
+    }
+
+    fn serve_suite(cold_rps: f64, hot_rps: f64) -> Json {
+        let doc = |rps: f64| {
+            format!(
+                r#"{{"schema":"sysunc-bench-serve/1","ok":10,"failed":0,
+                    "throughput_rps":{rps},
+                    "latency_micros":{{"p50":100,"p99":400}}}}"#
+            )
+        };
+        parse(&format!(
+            r#"{{"schema":"sysunc-bench-serve/2","modes":{{
+                "cold":{cold},"cache-hot":{hot}}}}}"#,
+            cold = doc(cold_rps),
+            hot = doc(hot_rps)
+        ))
+        .expect("suite parses")
+    }
+
+    #[test]
+    fn serve_summaries_and_trend_record_fold_the_suite() {
+        let suite = serve_suite(50.0, 500.0);
+        let summaries = serve_mode_summaries(&suite).expect("folds");
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].mode, "cold");
+        assert!((summaries[0].throughput_rps - 50.0).abs() < 1e-9);
+        assert_eq!(summaries[1].p99_micros, 400);
+
+        let record = serve_trend_record(&suite).expect("renders");
+        let v = parse(&record).expect("record parses back");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("sysunc-bench-serve-trend/1")
+        );
+        let hot = v.get("modes").and_then(|m| m.get("cache-hot")).expect("mode");
+        assert_eq!(hot.get("p50_micros").and_then(Json::as_u64), Some(100));
+        assert!(hot.get("throughput_rps").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn serve_fold_rejects_foreign_and_incomplete_documents() {
+        let foreign = parse(r#"{"schema":"sysunc-bench-serve/1"}"#).expect("parses");
+        assert!(serve_mode_summaries(&foreign).is_err());
+        let incomplete = parse(
+            r#"{"schema":"sysunc-bench-serve/2","modes":{"cold":{"ok":1}}}"#,
+        )
+        .expect("parses");
+        assert!(serve_mode_summaries(&incomplete).is_err());
+    }
+
+    #[test]
+    fn throughput_regressions_flag_drops_and_missing_modes() {
+        let baseline = serve_mode_summaries(&serve_suite(100.0, 800.0)).expect("folds");
+        let healthy = serve_mode_summaries(&serve_suite(90.0, 700.0)).expect("folds");
+        assert!(throughput_regressions(&healthy, &baseline, 0.8).is_empty());
+
+        let regressed = serve_mode_summaries(&serve_suite(50.0, 700.0)).expect("folds");
+        let findings = throughput_regressions(&regressed, &baseline, 0.8);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("'cold'"), "{findings:?}");
+
+        let findings = throughput_regressions(&healthy[..1], &baseline, 0.8);
+        assert!(findings.iter().any(|f| f.contains("missing")), "{findings:?}");
+    }
+
+    #[test]
+    fn cache_speedup_shortfall_enforces_the_hit_ratio() {
+        let fast = serve_mode_summaries(&serve_suite(50.0, 500.0)).expect("folds");
+        assert_eq!(cache_speedup_shortfall(&fast, 5.0), None);
+        let slow = serve_mode_summaries(&serve_suite(50.0, 100.0)).expect("folds");
+        let msg = cache_speedup_shortfall(&slow, 5.0).expect("shortfall");
+        assert!(msg.contains("cache-hot"), "{msg}");
+        // A run without both modes cannot be judged.
+        assert_eq!(cache_speedup_shortfall(&slow[..1], 5.0), None);
     }
 }

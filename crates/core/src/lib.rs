@@ -52,11 +52,13 @@ pub mod wire;
 
 pub use error::{Error, Result, SysuncError};
 pub use propagator::{
-    run_all, run_batch, run_batch_serial, standard_engines, BatchJob, EvidentialEngine,
-    LatinHypercubeEngine, Model, MonteCarloEngine, PropagationReport, PropagationRequest,
-    Propagator, SobolEngine, SpectralEngine, UncertainInput,
+    dedup_by_key, run_all, run_batch, run_batch_serial, standard_engines, BatchJob,
+    EvidentialEngine, LatinHypercubeEngine, Model, MonteCarloEngine, PropagationReport,
+    PropagationRequest, Propagator, SobolEngine, SpectralEngine, UncertainInput,
 };
-pub use wire::{engine_by_name, ModelRegistry, WireRequest, ENGINE_NAMES};
+pub use wire::{
+    engine_by_name, fnv1a64, CanonicalRequest, ModelRegistry, WireRequest, ENGINE_NAMES,
+};
 
 pub use sysunc_algebra as algebra;
 pub use sysunc_bayesnet as bayesnet;

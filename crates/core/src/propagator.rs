@@ -601,6 +601,32 @@ pub fn run_batch(jobs: &[BatchJob<'_, '_>], threads: usize) -> Vec<Result<Propag
         .collect()
 }
 
+/// Collapses a batch onto its distinct jobs before dispatch.
+///
+/// Given one key per job (for the serving layer: the canonical request
+/// bytes), returns `(uniques, assignment)` where `uniques` lists the
+/// index of the first occurrence of each distinct key in encounter
+/// order, and `assignment[i]` is the position in `uniques` whose result
+/// job `i` shares. Running only `uniques` and fanning results back out
+/// through `assignment` yields exactly the reports a full run would —
+/// engines are deterministic by request seed, so equal keys mean equal
+/// reports.
+pub fn dedup_by_key<K: Eq + std::hash::Hash>(keys: &[K]) -> (Vec<usize>, Vec<usize>) {
+    let mut first_seen: std::collections::HashMap<&K, usize> =
+        std::collections::HashMap::with_capacity(keys.len());
+    let mut uniques = Vec::new();
+    let mut assignment = Vec::with_capacity(keys.len());
+    for key in keys {
+        let next = uniques.len();
+        let slot = *first_seen.entry(key).or_insert(next);
+        if slot == next {
+            uniques.push(assignment.len());
+        }
+        assignment.push(slot);
+    }
+    (uniques, assignment)
+}
+
 /// Convenience: runs one request across every given engine in parallel.
 pub fn run_all(
     engines: &[Box<dyn Propagator>],
@@ -771,5 +797,31 @@ mod tests {
             let parallel = run_batch(&jobs, threads);
             assert_eq!(serial, parallel, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn dedup_by_key_groups_equal_keys_in_encounter_order() {
+        let keys = ["a", "b", "a", "c", "b", "a"];
+        let (uniques, assignment) = dedup_by_key(&keys);
+        assert_eq!(uniques, vec![0, 1, 3], "first occurrence of a, b, c");
+        assert_eq!(assignment, vec![0, 1, 0, 2, 1, 0]);
+        // Fanning the unique results back out reconstructs the batch.
+        let reconstructed: Vec<&str> =
+            assignment.iter().map(|&slot| keys[uniques[slot]]).collect();
+        assert_eq!(reconstructed, keys);
+    }
+
+    #[test]
+    fn dedup_by_key_handles_empty_and_all_distinct_batches() {
+        let empty: [&str; 0] = [];
+        assert_eq!(dedup_by_key(&empty), (vec![], vec![]));
+        let distinct = [10u64, 20, 30];
+        let (uniques, assignment) = dedup_by_key(&distinct);
+        assert_eq!(uniques, vec![0, 1, 2]);
+        assert_eq!(assignment, vec![0, 1, 2]);
+        let identical = ["x"; 5];
+        let (uniques, assignment) = dedup_by_key(&identical);
+        assert_eq!(uniques, vec![0]);
+        assert_eq!(assignment, vec![0; 5]);
     }
 }

@@ -22,6 +22,7 @@ use crate::propagator::{
     PropagationRequest, Propagator, SobolEngine, SpectralEngine, UncertainInput,
 };
 use sysunc_evidence::Interval;
+use sysunc_prob::json::writer::JsonWriter;
 use sysunc_prob::json::{field, obj, FromJson, Json, JsonError, ToJson};
 
 /// The stable names of the engine catalog, in report order.
@@ -258,6 +259,159 @@ impl FromJson for WireRequest {
             },
         })
     }
+}
+
+/// FNV-1a/64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a/64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a/64 hash of a byte string — the in-tree content hash the
+/// canonical request pipeline is keyed on. Stable across platforms and
+/// releases by construction (pure integer arithmetic, no per-process
+/// state), so cache keys and batch dedup agree between runs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A [`WireRequest`] reduced to one canonical byte form plus its
+/// content hash — the shared identity of the serving pipeline.
+///
+/// Two wire bodies that decode to the same propagation problem (same
+/// engine, model, inputs, budget, seed, quantile levels, threshold)
+/// produce the same canonical bytes regardless of member order, float
+/// spelling (`1.0` vs `1e0`), whitespace, or omitted-default members in
+/// the original JSON text. Normalization comes in three steps:
+///
+/// 1. **decode** — the body is parsed into a [`WireRequest`], which
+///    applies defaults and erases all textual variation;
+/// 2. **canonical emission** — the struct is re-emitted with members
+///    in a fixed sorted order and floats in the shortest
+///    round-tripping representation (the strict in-tree writer);
+/// 3. **hash** — FNV-1a/64 over the canonical bytes.
+///
+/// `quantile_levels` is *not* sorted or deduplicated: its order is
+/// observable in the report, so reordering would merge requests whose
+/// responses differ. The engine name is interned against
+/// [`ENGINE_NAMES`], so constructing a `CanonicalRequest` also proves
+/// the engine exists.
+///
+/// Consumers that cannot tolerate hash collisions (the response cache,
+/// intra-batch dedup) key on the full canonical bytes and use the hash
+/// only for shard/bucket placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalRequest {
+    engine: &'static str,
+    bytes: String,
+    hash: u64,
+}
+
+impl CanonicalRequest {
+    /// Canonicalizes a decoded [`WireRequest`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for engines outside
+    /// [`ENGINE_NAMES`] and [`Error::InvalidInput`] when a float member
+    /// is non-finite (unrepresentable in canonical JSON).
+    pub fn from_wire(wire: &WireRequest) -> Result<Self> {
+        let engine = intern_engine_name(&wire.engine).ok_or_else(|| {
+            Error::Unsupported(format!(
+                "unknown engine '{}'; known engines: {}",
+                wire.engine,
+                ENGINE_NAMES.join(", ")
+            ))
+        })?;
+        let bytes = canonical_bytes(engine, wire).map_err(|e| {
+            Error::InvalidInput(format!("request has no canonical form: {e}"))
+        })?;
+        let hash = fnv1a64(bytes.as_bytes());
+        Ok(Self { engine, bytes, hash })
+    }
+
+    /// The interned engine name (guaranteed to be in [`ENGINE_NAMES`]).
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+
+    /// The canonical JSON encoding the hash is computed over.
+    pub fn bytes(&self) -> &str {
+        &self.bytes
+    }
+
+    /// The FNV-1a/64 content hash of [`CanonicalRequest::bytes`].
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The content hash as 16 lowercase hex digits (for logs/headers).
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+/// Emits the canonical JSON encoding: object members in sorted order
+/// (`budget`, `engine`, `inputs`, `model`, `quantile_levels`, `seed`,
+/// `threshold` — the last omitted when `None`), each input with its
+/// variant members sorted alongside the `dist` tag, floats in the
+/// shortest round-tripping representation.
+fn canonical_bytes(
+    engine: &'static str,
+    wire: &WireRequest,
+) -> std::result::Result<String, JsonError> {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("budget").u64(wire.budget as u64);
+    w.key("engine").string(engine);
+    w.key("inputs").begin_array();
+    for input in &wire.inputs {
+        w.begin_object();
+        match *input {
+            UncertainInput::Beta { alpha, beta } => {
+                w.key("alpha").f64(alpha);
+                w.key("beta").f64(beta);
+                w.key("dist").string("beta");
+            }
+            UncertainInput::Exponential { rate } => {
+                w.key("dist").string("exponential");
+                w.key("rate").f64(rate);
+            }
+            UncertainInput::Interval { lo, hi } => {
+                w.key("dist").string("interval");
+                w.key("hi").f64(hi);
+                w.key("lo").f64(lo);
+            }
+            UncertainInput::Normal { mu, sigma } => {
+                w.key("dist").string("normal");
+                w.key("mu").f64(mu);
+                w.key("sigma").f64(sigma);
+            }
+            UncertainInput::Uniform { a, b } => {
+                w.key("a").f64(a);
+                w.key("b").f64(b);
+                w.key("dist").string("uniform");
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("model").string(&wire.model);
+    w.key("quantile_levels").begin_array();
+    for level in &wire.quantile_levels {
+        w.f64(*level);
+    }
+    w.end_array();
+    w.key("seed").u64(wire.seed);
+    if let Some(threshold) = wire.threshold {
+        w.key("threshold").f64(threshold);
+    }
+    w.end_object();
+    w.finish()
 }
 
 impl ToJson for UncertainInput {
@@ -544,6 +698,90 @@ mod tests {
             let back: PropagationReport = json::from_str(&text).expect("decodes");
             assert_eq!(report, back, "{engine_name} report must round-trip exactly");
         }
+    }
+
+    #[test]
+    fn fnv1a64_matches_the_published_test_vectors() {
+        // Offset basis and the classic reference vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn canonical_form_is_invariant_under_json_spelling() {
+        // Same propagation problem, four textual spellings: member
+        // order, float notation, whitespace, omitted defaults.
+        let texts = [
+            r#"{"engine":"monte-carlo","model":"sum",
+                "inputs":[{"dist":"normal","mu":1.0,"sigma":0.5}],
+                "budget":4096,"seed":2020,
+                "quantile_levels":[0.05,0.5,0.95],"threshold":null}"#,
+            r#"{"model":"sum","engine":"monte-carlo",
+                "inputs":[{"sigma":0.5,"mu":1.0,"dist":"normal"}]}"#,
+            r#"{"engine":"monte-carlo","model":"sum","seed":2020,
+                "inputs":[{"dist":"normal","mu":1e0,"sigma":5e-1}]}"#,
+            "{\"engine\":\"monte-carlo\",\"model\":\"sum\",\t\n \
+             \"inputs\":[{\"dist\":\"normal\",\"mu\":1.00,\"sigma\":0.50}]}",
+        ];
+        let canons: Vec<CanonicalRequest> = texts
+            .iter()
+            .map(|t| {
+                let wire: WireRequest = json::from_str(t).expect("decodes");
+                CanonicalRequest::from_wire(&wire).expect("canonicalizes")
+            })
+            .collect();
+        for c in &canons[1..] {
+            assert_eq!(c.bytes(), canons[0].bytes());
+            assert_eq!(c.content_hash(), canons[0].content_hash());
+        }
+        assert_eq!(canons[0].engine(), "monte-carlo");
+        assert_eq!(canons[0].hash_hex().len(), 16);
+        // The canonical encoding itself decodes back to the same
+        // request — canonicalization is a fixed point.
+        let back: WireRequest = json::from_str(canons[0].bytes()).expect("decodes");
+        let again = CanonicalRequest::from_wire(&back).expect("canonicalizes");
+        assert_eq!(again, canons[0]);
+    }
+
+    #[test]
+    fn distinct_problems_get_distinct_canonical_bytes() {
+        let base = sample_wire_request();
+        let canon = |w: &WireRequest| CanonicalRequest::from_wire(w).expect("canonical");
+        let reference = canon(&base);
+        let mut seed = base.clone();
+        seed.seed += 1;
+        assert_ne!(canon(&seed), reference);
+        let mut budget = base.clone();
+        budget.budget += 1;
+        assert_ne!(canon(&budget), reference);
+        let mut threshold = base.clone();
+        threshold.threshold = None;
+        assert_ne!(canon(&threshold), reference);
+        let mut engine = base.clone();
+        engine.engine = "evidential".into();
+        assert_ne!(canon(&engine), reference);
+        // Quantile order is observable in the report, so it must not
+        // be normalized away.
+        let mut levels = base.clone();
+        levels.quantile_levels = vec![0.95, 0.5, 0.05];
+        assert_ne!(canon(&levels), reference);
+    }
+
+    #[test]
+    fn canonicalization_rejects_unknown_engines_and_non_finite_floats() {
+        let mut wire = sample_wire_request();
+        wire.engine = "warp".into();
+        assert!(matches!(
+            CanonicalRequest::from_wire(&wire),
+            Err(Error::Unsupported(_))
+        ));
+        let mut wire = sample_wire_request();
+        wire.threshold = Some(f64::NAN);
+        assert!(matches!(
+            CanonicalRequest::from_wire(&wire),
+            Err(Error::InvalidInput(_))
+        ));
     }
 
     #[test]

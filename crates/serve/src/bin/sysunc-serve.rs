@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sysunc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
+//!              [--max-connections N] [--cache-capacity N] [--cache-shards N]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `listening on <addr>` to stdout,
@@ -40,6 +41,21 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                         .parse()
                         .map_err(|e| format!("--timeout-ms: {e}"))?,
                 )
+            }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?
+            }
+            "--cache-shards" => {
+                config.cache_shards = value("--cache-shards")?
+                    .parse()
+                    .map_err(|e| format!("--cache-shards: {e}"))?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }

@@ -12,8 +12,20 @@ use crate::http::{HttpConn, Limits, Response};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
-use sysunc::prob::json;
+use sysunc::prob::json::{self, FromJson};
 use sysunc::{PropagationReport, WireRequest};
+
+/// A decoded batch-propagate answer: the per-job reports in request
+/// order, plus the server's cache accounting for the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One report per submitted job, in submission order.
+    pub reports: Vec<PropagationReport>,
+    /// Distinct jobs the server answered from its response cache.
+    pub cache_hits: u64,
+    /// Distinct jobs the server had to run.
+    pub cache_misses: u64,
+}
 
 /// A blocking keep-alive HTTP client for one server connection.
 #[derive(Debug)]
@@ -104,6 +116,75 @@ impl HttpClient {
             .map_err(|e| ServeError::Protocol(format!("undecodable report: {e}")))
     }
 
+    /// Runs a [`WireRequest`] through `POST /v1/propagate` and returns
+    /// the report together with the server's `X-Sysunc-Cache` verdict
+    /// (`Some("hit")` / `Some("miss")`, `None` from servers without
+    /// the header).
+    ///
+    /// # Errors
+    ///
+    /// As in [`HttpClient::propagate`].
+    pub fn propagate_traced(
+        &mut self,
+        wire: &WireRequest,
+    ) -> Result<(PropagationReport, Option<String>)> {
+        let body = json::to_string(wire);
+        let response = self.request("POST", "/v1/propagate", Some(&body))?;
+        if response.status != 200 {
+            return Err(ServeError::Protocol(format!(
+                "propagate returned {}: {}",
+                response.status,
+                response.body_text()
+            )));
+        }
+        let verdict = response.header("X-Sysunc-Cache").map(str::to_string);
+        let report = json::from_str(&response.body_text())
+            .map_err(|e| ServeError::Protocol(format!("undecodable report: {e}")))?;
+        Ok((report, verdict))
+    }
+
+    /// Runs many jobs through `POST /v1/propagate/batch` in one
+    /// round-trip and decodes the report array plus the batch cache
+    /// header (`X-Sysunc-Cache: hits=H misses=M`).
+    ///
+    /// # Errors
+    ///
+    /// Non-200 statuses surface as [`ServeError::Protocol`] carrying
+    /// the status and the server's error body; transport failures as
+    /// in [`HttpClient::request`].
+    pub fn propagate_batch(&mut self, jobs: &[WireRequest]) -> Result<BatchOutcome> {
+        // Assemble `{"jobs":[…]}` from the per-job encodings — each
+        // element is exactly what `propagate` would send on its own.
+        let mut body = String::from("{\"jobs\":[");
+        for (i, job) in jobs.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json::to_string(job));
+        }
+        body.push_str("]}");
+        let response = self.request("POST", "/v1/propagate/batch", Some(&body))?;
+        if response.status != 200 {
+            return Err(ServeError::Protocol(format!(
+                "batch propagate returned {}: {}",
+                response.status,
+                response.body_text()
+            )));
+        }
+        let (cache_hits, cache_misses) =
+            parse_batch_cache_header(response.header("X-Sysunc-Cache").unwrap_or(""));
+        let doc = json::parse(&response.body_text())
+            .map_err(|e| ServeError::Protocol(format!("undecodable batch body: {e}")))?;
+        let reports = doc
+            .as_arr()
+            .ok_or_else(|| ServeError::Protocol("batch body is not an array".into()))?
+            .iter()
+            .map(PropagationReport::from_json)
+            .collect::<std::result::Result<Vec<_>, _>>()
+            .map_err(|e| ServeError::Protocol(format!("undecodable report: {e}")))?;
+        Ok(BatchOutcome { reports, cache_hits, cache_misses })
+    }
+
     /// Scrapes `GET /metrics` as text.
     ///
     /// # Errors
@@ -119,5 +200,34 @@ impl HttpClient {
             )));
         }
         Ok(response.body_text())
+    }
+}
+
+/// Parses the batch `X-Sysunc-Cache` header (`hits=H misses=M`);
+/// unknown shapes degrade to zeros rather than failing the response.
+fn parse_batch_cache_header(value: &str) -> (u64, u64) {
+    let mut hits = 0;
+    let mut misses = 0;
+    for part in value.split_whitespace() {
+        if let Some(n) = part.strip_prefix("hits=").and_then(|n| n.parse().ok()) {
+            hits = n;
+        } else if let Some(n) = part.strip_prefix("misses=").and_then(|n| n.parse().ok()) {
+            misses = n;
+        }
+    }
+    (hits, misses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_cache_header_parses_and_degrades_gracefully() {
+        assert_eq!(parse_batch_cache_header("hits=3 misses=2"), (3, 2));
+        assert_eq!(parse_batch_cache_header("misses=7"), (0, 7));
+        assert_eq!(parse_batch_cache_header(""), (0, 0));
+        assert_eq!(parse_batch_cache_header("hit"), (0, 0));
+        assert_eq!(parse_batch_cache_header("hits=x misses=1"), (0, 1));
     }
 }

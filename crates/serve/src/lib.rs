@@ -11,9 +11,15 @@
 //!
 //! Everything is `std`: `TcpListener` + a fixed worker pool on
 //! `std::thread` with a bounded queue (backpressure → `503` +
-//! `Retry-After`), per-request deadlines (`408`), keep-alive, atomic
-//! metrics behind `GET /metrics`, and graceful drain on shutdown. See
-//! `PROTOCOL.md` for the full route and schema reference.
+//! `Retry-After`), an accept-side connection cap (`503` before a
+//! request is even read), per-request deadlines (`408`), keep-alive,
+//! atomic metrics behind `GET /metrics`, and graceful drain on
+//! shutdown. The request path is **content-addressed**: every
+//! propagate body reduces to its `sysunc::CanonicalRequest`, a
+//! sharded LRU cache serves repeated requests bit-identically
+//! (`X-Sysunc-Cache: hit`), and `POST /v1/propagate/batch` runs many
+//! jobs per request with intra-batch dedup through `core::run_batch`.
+//! See `PROTOCOL.md` for the full route and schema reference.
 //!
 //! ```no_run
 //! use sysunc_serve::{Server, ServerConfig, HttpClient};
@@ -31,6 +37,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod error;
 pub mod http;
@@ -40,10 +47,14 @@ pub mod router;
 pub mod server;
 pub mod shutdown;
 
-pub use client::HttpClient;
+/// Content-addressed LRU cache of rendered responses.
+pub use cache::ResponseCache;
+pub use client::{BatchOutcome, HttpClient};
 pub use error::{Result, ServeError};
 pub use http::{Limits, Request, Response};
 pub use metrics::ServerMetrics;
+/// Accept-side connection cap (`503` beyond it) and its RAII permit.
+pub use pool::{ConnectionLimiter, ConnectionPermit};
 pub use pool::WorkerPool;
 pub use router::{CancelModel, CancelToken, Route};
 pub use server::{Server, ServerConfig, ServerHandle};

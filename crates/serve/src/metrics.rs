@@ -26,6 +26,11 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` in one atomic step.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -105,8 +110,14 @@ impl Histogram {
 
 /// The route labels metrics are keyed by. Unknown targets all fall
 /// into `"other"` so an attacker cannot grow the registry.
-pub const ROUTE_LABELS: &[&str] =
-    &["/v1/propagate", "/v1/engines", "/v1/models", "/metrics", "other"];
+pub const ROUTE_LABELS: &[&str] = &[
+    "/v1/propagate",
+    "/v1/propagate/batch",
+    "/v1/engines",
+    "/v1/models",
+    "/metrics",
+    "other",
+];
 
 /// The status codes the server emits, one counter slot each per route.
 pub const STATUS_CODES: &[u16] = &[200, 400, 404, 405, 408, 413, 500, 503];
@@ -140,7 +151,12 @@ struct EngineStats {
 pub struct ServerMetrics {
     connections_opened: Counter,
     connections_closed: Counter,
+    connections_rejected: Counter,
     protocol_errors: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    batch_jobs: Counter,
     /// Parallel to [`ROUTE_LABELS`].
     routes: Vec<RouteStats>,
     /// Parallel to [`ENGINE_NAMES`].
@@ -152,7 +168,12 @@ impl Default for ServerMetrics {
         Self {
             connections_opened: Counter::new(),
             connections_closed: Counter::new(),
+            connections_rejected: Counter::new(),
             protocol_errors: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            cache_evictions: Counter::new(),
+            batch_jobs: Counter::new(),
             routes: ROUTE_LABELS.iter().map(|_| RouteStats::new()).collect(),
             engines: ENGINE_NAMES
                 .iter()
@@ -188,9 +209,35 @@ impl ServerMetrics {
         self.connections_closed.incr();
     }
 
+    /// Records a connection refused at the accept-side cap (`503`
+    /// before any request is read).
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.incr();
+    }
+
     /// Records a connection dropped for unparseable HTTP.
     pub fn protocol_error(&self) {
         self.protocol_errors.incr();
+    }
+
+    /// Records one response-cache hit.
+    pub fn cache_hit(&self) {
+        self.cache_hits.incr();
+    }
+
+    /// Records one response-cache miss.
+    pub fn cache_miss(&self) {
+        self.cache_misses.incr();
+    }
+
+    /// Records `n` response-cache evictions.
+    pub fn cache_evicted(&self, n: u64) {
+        self.cache_evictions.add(n);
+    }
+
+    /// Records `n` jobs carried by batch-propagate requests.
+    pub fn batch_jobs(&self, n: u64) {
+        self.batch_jobs.add(n);
     }
 
     /// Records one served request: route label (see [`route_label`]),
@@ -227,6 +274,31 @@ impl ServerMetrics {
             .unwrap_or(0)
     }
 
+    /// Response-cache hits so far.
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Response-cache misses so far.
+    pub fn cache_miss_count(&self) -> u64 {
+        self.cache_misses.get()
+    }
+
+    /// Response-cache evictions so far.
+    pub fn cache_eviction_count(&self) -> u64 {
+        self.cache_evictions.get()
+    }
+
+    /// Connections refused at the accept-side cap so far.
+    pub fn connections_rejected_count(&self) -> u64 {
+        self.connections_rejected.get()
+    }
+
+    /// Jobs carried by batch-propagate requests so far.
+    pub fn batch_job_count(&self) -> u64 {
+        self.batch_jobs.get()
+    }
+
     /// Propagation runs recorded for `engine`.
     pub fn engine_count(&self, engine: &str) -> u64 {
         ENGINE_NAMES
@@ -260,9 +332,39 @@ impl ServerMetrics {
         );
         gauge(
             &mut out,
+            "sysunc_connections_rejected_total",
+            "Connections refused at the accept-side connection cap.",
+            self.connections_rejected.get(),
+        );
+        gauge(
+            &mut out,
             "sysunc_protocol_errors_total",
             "Connections dropped for malformed HTTP.",
             self.protocol_errors.get(),
+        );
+        gauge(
+            &mut out,
+            "sysunc_cache_hits_total",
+            "Responses served from the canonical-request cache.",
+            self.cache_hits.get(),
+        );
+        gauge(
+            &mut out,
+            "sysunc_cache_misses_total",
+            "Propagate lookups that missed the response cache.",
+            self.cache_misses.get(),
+        );
+        gauge(
+            &mut out,
+            "sysunc_cache_evictions_total",
+            "Entries evicted from the response cache at capacity.",
+            self.cache_evictions.get(),
+        );
+        gauge(
+            &mut out,
+            "sysunc_batch_jobs_total",
+            "Propagation jobs carried by batch requests.",
+            self.batch_jobs.get(),
         );
 
         out.push_str(
@@ -401,6 +503,33 @@ mod tests {
             assert!(matches!(value, Some(Ok(_))), "bad exposition line: {line}");
             assert!(parts.next().is_some(), "bad exposition line: {line}");
         }
+    }
+
+    #[test]
+    fn pipeline_counters_surface_in_accessors_and_exposition() {
+        let m = ServerMetrics::new();
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        m.cache_evicted(3);
+        m.connection_rejected();
+        m.batch_jobs(16);
+        m.record_request("/v1/propagate/batch", 200, Duration::from_micros(900));
+        assert_eq!(m.cache_hit_count(), 2);
+        assert_eq!(m.cache_miss_count(), 1);
+        assert_eq!(m.cache_eviction_count(), 3);
+        assert_eq!(m.connections_rejected_count(), 1);
+        assert_eq!(m.batch_job_count(), 16);
+        assert_eq!(m.status_count("/v1/propagate/batch", 200), 1);
+        let text = m.render_text();
+        assert!(text.contains("sysunc_cache_hits_total 2"));
+        assert!(text.contains("sysunc_cache_misses_total 1"));
+        assert!(text.contains("sysunc_cache_evictions_total 3"));
+        assert!(text.contains("sysunc_connections_rejected_total 1"));
+        assert!(text.contains("sysunc_batch_jobs_total 16"));
+        assert!(text.contains(
+            "sysunc_http_requests_total{route=\"/v1/propagate/batch\",status=\"200\"} 1"
+        ));
     }
 
     #[test]

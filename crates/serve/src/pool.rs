@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -113,6 +113,70 @@ impl WorkerPool {
     }
 }
 
+/// Accept-side backpressure: a hard cap on concurrently served
+/// connections.
+///
+/// The acceptor asks for a [`ConnectionPermit`] before spawning a
+/// connection thread; at the cap it gets `None` and answers `503 +
+/// Retry-After` inline instead of growing the thread count without
+/// bound. The permit is RAII — dropping it (normal exit or panic of
+/// the connection thread) releases the slot, so the count can never
+/// leak.
+#[derive(Debug)]
+pub struct ConnectionLimiter {
+    active: Arc<AtomicUsize>,
+    max: usize,
+}
+
+impl ConnectionLimiter {
+    /// A limiter admitting at most `max` concurrent connections
+    /// (clamped to at least 1).
+    pub fn new(max: usize) -> Self {
+        Self { active: Arc::new(AtomicUsize::new(0)), max: max.max(1) }
+    }
+
+    /// Claims a connection slot, or `None` at the cap.
+    pub fn try_acquire(&self) -> Option<ConnectionPermit> {
+        let mut current = self.active.load(Ordering::Relaxed);
+        loop {
+            if current >= self.max {
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(ConnectionPermit { active: Arc::clone(&self.active) }),
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Connections currently holding a permit.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// The configured cap.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+}
+
+/// An RAII claim on one connection slot; dropping it frees the slot.
+#[derive(Debug)]
+pub struct ConnectionPermit {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -193,6 +257,45 @@ mod tests {
         pool.shared.shutting_down.store(true, Ordering::SeqCst);
         assert!(pool.try_submit(Box::new(|| {})).is_err());
         pool.shutdown();
+    }
+
+    #[test]
+    fn connection_limiter_caps_and_releases_on_drop() {
+        let limiter = ConnectionLimiter::new(2);
+        let p1 = limiter.try_acquire().expect("first slot");
+        let _p2 = limiter.try_acquire().expect("second slot");
+        assert_eq!(limiter.active(), 2);
+        assert!(limiter.try_acquire().is_none(), "cap reached");
+        drop(p1);
+        assert_eq!(limiter.active(), 1);
+        assert!(limiter.try_acquire().is_some(), "slot reusable after drop");
+        assert_eq!(limiter.max(), 2);
+    }
+
+    #[test]
+    fn connection_limiter_is_race_free_under_contention() {
+        let limiter = Arc::new(ConnectionLimiter::new(3));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let limiter = Arc::clone(&limiter);
+                let admitted = Arc::clone(&admitted);
+                let peak = Arc::clone(&peak);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(permit) = limiter.try_acquire() {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            peak.fetch_max(limiter.active(), Ordering::Relaxed);
+                            drop(permit);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(admitted.load(Ordering::Relaxed) > 0);
+        assert!(peak.load(Ordering::Relaxed) <= 3, "cap never exceeded");
+        assert_eq!(limiter.active(), 0, "every permit released");
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! | method | path | handler |
 //! |---|---|---|
 //! | `POST` | `/v1/propagate` | run a [`WireRequest`] on the worker pool |
+//! | `POST` | `/v1/propagate/batch` | run many jobs through `run_batch`, deduplicated |
 //! | `GET` | `/v1/engines` | engine catalog |
 //! | `GET` | `/v1/models` | registered model names |
 //! | `GET` | `/metrics` | text exposition of [`ServerMetrics`] |
+//!
+//! Both propagate routes decode into the **canonical request**
+//! ([`CanonicalRequest`]): the content-addressed identity the response
+//! cache and intra-batch dedup are keyed on.
 //!
 //! Cancellation is cooperative: [`CancelModel`] wraps the registered
 //! model and checks its [`CancelToken`] on every evaluation, returning
@@ -24,14 +29,19 @@ use crate::metrics::ServerMetrics;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use sysunc::prob::json::{self, writer::JsonWriter};
-use sysunc::{Error as SysuncError, Model, ModelRegistry, WireRequest, ENGINE_NAMES};
+use sysunc::prob::json::{self, writer::JsonWriter, FromJson, Json};
+use sysunc::{
+    run_batch, BatchJob, CanonicalRequest, Error as SysuncError, Model, ModelRegistry,
+    PropagationReport, Propagator, WireRequest, ENGINE_NAMES,
+};
 
 /// Where a request landed in the route table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
     /// `POST /v1/propagate`.
     Propagate,
+    /// `POST /v1/propagate/batch`.
+    PropagateBatch,
     /// `GET /v1/engines`.
     Engines,
     /// `GET /v1/models`.
@@ -50,12 +60,14 @@ pub fn route(method: &str, target: &str) -> Route {
     let path = target.split('?').next().unwrap_or(target);
     match (method, path) {
         ("POST", "/v1/propagate") => Route::Propagate,
+        ("POST", "/v1/propagate/batch") => Route::PropagateBatch,
         ("GET", "/v1/engines") => Route::Engines,
         ("GET", "/v1/models") => Route::Models,
         ("GET", "/metrics") => Route::Metrics,
-        (_, "/v1/propagate" | "/v1/engines" | "/v1/models" | "/metrics") => {
-            Route::MethodNotAllowed
-        }
+        (
+            _,
+            "/v1/propagate" | "/v1/propagate/batch" | "/v1/engines" | "/v1/models" | "/metrics",
+        ) => Route::MethodNotAllowed,
         _ => Route::NotFound,
     }
 }
@@ -151,9 +163,34 @@ pub fn metrics_response(metrics: &ServerMetrics) -> Response {
     Response::new(200).with_text(metrics.render_text())
 }
 
+/// Validates engine and model names of a decoded wire request and
+/// derives its canonical identity; `context` prefixes error messages
+/// (e.g. `"job 3: "`) so batch failures name the offending job.
+fn canonicalize_wire(
+    registry: &ModelRegistry,
+    wire: &WireRequest,
+    context: &str,
+) -> std::result::Result<CanonicalRequest, Box<Response>> {
+    if registry.get(&wire.model).is_none() {
+        return Err(Box::new(error_response(
+            400,
+            &format!(
+                "{context}unknown model '{}'; known models: {}",
+                wire.model,
+                registry.names().join(", ")
+            ),
+        )));
+    }
+    // Canonicalization also validates the engine name (interning it
+    // against the catalog) and rejects non-finite float members.
+    CanonicalRequest::from_wire(wire)
+        .map_err(|e| Box::new(error_response(400, &format!("{context}{e}"))))
+}
+
 /// Decodes and pre-validates a propagate body on the connection
 /// thread, so malformed requests are refused without occupying a
-/// worker slot.
+/// worker slot. Returns the wire request together with its canonical
+/// identity (the response-cache key).
 ///
 /// # Errors
 ///
@@ -163,25 +200,51 @@ pub fn metrics_response(metrics: &ServerMetrics) -> Response {
 pub fn decode_propagate_body(
     registry: &ModelRegistry,
     body: &[u8],
-) -> std::result::Result<WireRequest, Box<Response>> {
+) -> std::result::Result<(WireRequest, CanonicalRequest), Box<Response>> {
     let text = std::str::from_utf8(body)
         .map_err(|_| Box::new(error_response(400, "request body is not UTF-8")))?;
     let wire: WireRequest = json::from_str(text)
         .map_err(|e| Box::new(error_response(400, &format!("invalid request: {e}"))))?;
-    if let Err(e) = wire.resolve_engine() {
-        return Err(Box::new(error_response(400, &e.to_string())));
+    let canonical = canonicalize_wire(registry, &wire, "")?;
+    Ok((wire, canonical))
+}
+
+/// Decodes and pre-validates a batch-propagate body
+/// (`{"jobs": [<wire request>, …]}`) on the connection thread. Every
+/// job is validated before any runs: one bad job refuses the whole
+/// batch, named by index.
+///
+/// # Errors
+///
+/// Returns the ready-to-send error response (status 400) for
+/// non-UTF-8 / non-JSON bodies, a missing or empty `jobs` array, or
+/// any individually invalid job.
+pub fn decode_batch_body(
+    registry: &ModelRegistry,
+    body: &[u8],
+) -> std::result::Result<Vec<(WireRequest, CanonicalRequest)>, Box<Response>> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Box::new(error_response(400, "request body is not UTF-8")))?;
+    let doc = json::parse(text)
+        .map_err(|e| Box::new(error_response(400, &format!("invalid request: {e}"))))?;
+    let jobs = doc
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Box::new(error_response(400, "body must carry a 'jobs' array")))?;
+    if jobs.is_empty() {
+        return Err(Box::new(error_response(400, "'jobs' must not be empty")));
     }
-    if registry.get(&wire.model).is_none() {
-        return Err(Box::new(error_response(
-            400,
-            &format!(
-                "unknown model '{}'; known models: {}",
-                wire.model,
-                registry.names().join(", ")
-            ),
-        )));
-    }
-    Ok(wire)
+    jobs.iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let context = format!("job {i}: ");
+            let wire = WireRequest::from_json(job).map_err(|e| {
+                Box::new(error_response(400, &format!("{context}invalid request: {e}")))
+            })?;
+            let canonical = canonicalize_wire(registry, &wire, &context)?;
+            Ok((wire, canonical))
+        })
+        .collect()
 }
 
 /// Runs one pre-validated propagation (the worker-side job body) and
@@ -229,6 +292,82 @@ pub fn propagate_response(
     }
 }
 
+/// A [`Propagator`] wrapper that feeds per-run engine metrics, so
+/// batch execution accounts runs exactly like single-request serving.
+struct RecordedEngine<'a> {
+    inner: Box<dyn Propagator + Send + Sync>,
+    metrics: &'a ServerMetrics,
+}
+
+impl Propagator for RecordedEngine<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn means(&self) -> sysunc::taxonomy::Means {
+        self.inner.means()
+    }
+
+    fn propagate(
+        &self,
+        request: &sysunc::PropagationRequest<'_>,
+    ) -> sysunc::Result<PropagationReport> {
+        let started = Instant::now();
+        let outcome = self.inner.propagate(request);
+        if let Ok(report) = &outcome {
+            self.metrics.record_engine(report.engine, started.elapsed());
+        }
+        outcome
+    }
+}
+
+/// Runs pre-validated wire jobs through [`run_batch`] under one cancel
+/// token, preserving order. Each model evaluation goes through a
+/// [`CancelModel`] guard, and each successful run is recorded in the
+/// engine metrics with its own latency — exactly like the
+/// single-request path, so the produced reports (and their JSON
+/// encodings) are bit-identical to per-request serving.
+///
+/// # Errors
+///
+/// Returns `(job_index, error)` when a job fails to *bind* (unknown
+/// engine/model, invalid quantiles) — the whole batch is refused
+/// before anything runs. Per-job *runtime* failures come back in the
+/// inner results.
+pub fn run_batch_jobs(
+    registry: &ModelRegistry,
+    wires: &[WireRequest],
+    token: &CancelToken,
+    metrics: &ServerMetrics,
+    threads: usize,
+) -> std::result::Result<
+    Vec<std::result::Result<PropagationReport, SysuncError>>,
+    (usize, SysuncError),
+> {
+    let mut engines: Vec<RecordedEngine<'_>> = Vec::with_capacity(wires.len());
+    let mut guards: Vec<CancelModel<'_>> = Vec::with_capacity(wires.len());
+    for (i, wire) in wires.iter().enumerate() {
+        engines.push(RecordedEngine {
+            inner: wire.resolve_engine().map_err(|e| (i, e))?,
+            metrics,
+        });
+        let model = registry.get(&wire.model).ok_or_else(|| {
+            (i, SysuncError::InvalidInput(format!("unknown model '{}'", wire.model)))
+        })?;
+        guards.push(CancelModel::new(model, token.clone()));
+    }
+    let mut requests = Vec::with_capacity(wires.len());
+    for (i, (wire, guard)) in wires.iter().zip(&guards).enumerate() {
+        requests.push(wire.to_request(guard).map_err(|e| (i, e))?);
+    }
+    let jobs: Vec<BatchJob<'_, '_>> = engines
+        .iter()
+        .map(|e| e as &dyn Propagator)
+        .zip(requests.iter())
+        .collect();
+    Ok(run_batch(&jobs, threads))
+}
+
 /// Maps a fatal read-side error onto the response that should be
 /// attempted before closing the connection (`None` when the peer is
 /// already gone and writing is pointless).
@@ -264,6 +403,8 @@ mod tests {
     #[test]
     fn route_table_matches_methods_and_paths() {
         assert_eq!(route("POST", "/v1/propagate"), Route::Propagate);
+        assert_eq!(route("POST", "/v1/propagate/batch"), Route::PropagateBatch);
+        assert_eq!(route("GET", "/v1/propagate/batch"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/v1/engines"), Route::Engines);
         assert_eq!(route("GET", "/v1/models"), Route::Models);
         assert_eq!(route("GET", "/metrics?verbose=1"), Route::Metrics);
@@ -298,9 +439,84 @@ mod tests {
             assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(bad));
         }
         let good = json::to_string(&wire("monte-carlo", "sum"));
-        let decoded =
+        let (decoded, canonical) =
             decode_propagate_body(&registry, good.as_bytes()).expect("valid body");
         assert_eq!(decoded.model, "sum");
+        assert_eq!(canonical.engine(), "monte-carlo");
+    }
+
+    #[test]
+    fn batch_decode_validates_every_job_and_names_the_bad_one() {
+        let registry = ModelRegistry::standard().expect("builds");
+        for (bad, needle) in [
+            (String::from("not json"), "invalid request"),
+            (String::from("{\"jobs\":[]}"), "must not be empty"),
+            (String::from("{\"reports\":[]}"), "'jobs' array"),
+            (
+                format!(
+                    "{{\"jobs\":[{},{}]}}",
+                    json::to_string(&wire("monte-carlo", "sum")),
+                    json::to_string(&wire("warp", "sum")),
+                ),
+                "job 1",
+            ),
+        ] {
+            let resp =
+                *decode_batch_body(&registry, bad.as_bytes()).expect_err("must refuse");
+            assert_eq!(resp.status, 400, "{bad}");
+            assert!(
+                resp.body_text().contains(needle),
+                "expected '{needle}' in: {}",
+                resp.body_text()
+            );
+        }
+        let good = format!(
+            "{{\"jobs\":[{},{}]}}",
+            json::to_string(&wire("monte-carlo", "sum")),
+            json::to_string(&wire("sobol-qmc", "product")),
+        );
+        let jobs = decode_batch_body(&registry, good.as_bytes()).expect("valid batch");
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].1.engine(), "sobol-qmc");
+    }
+
+    #[test]
+    fn batch_runs_are_bit_identical_to_single_request_serving() {
+        let registry = ModelRegistry::standard().expect("builds");
+        let metrics = ServerMetrics::new();
+        let wires = vec![wire("monte-carlo", "sum"), wire("latin-hypercube", "product")];
+        let token = CancelToken::with_deadline(far_future());
+        let results = run_batch_jobs(&registry, &wires, &token, &metrics, 2)
+            .expect("batch binds");
+        assert_eq!(results.len(), 2);
+        for (w, outcome) in wires.iter().zip(&results) {
+            let report = outcome.as_ref().expect("job runs");
+            let single = propagate_response(&registry, w, &token, &metrics);
+            assert_eq!(single.status, 200);
+            assert_eq!(
+                json::to_string(report),
+                single.body_text(),
+                "batch body must match the single-request bytes"
+            );
+        }
+        // Both paths recorded engine runs identically (1 batch + 1
+        // single run per engine).
+        assert_eq!(metrics.engine_count("monte-carlo"), 2);
+        assert_eq!(metrics.engine_count("latin-hypercube"), 2);
+    }
+
+    #[test]
+    fn batch_bind_failures_name_the_offending_job() {
+        let registry = ModelRegistry::standard().expect("builds");
+        let metrics = ServerMetrics::new();
+        let mut bad = wire("monte-carlo", "sum");
+        bad.quantile_levels = vec![1.5];
+        let wires = vec![wire("monte-carlo", "sum"), bad];
+        let token = CancelToken::with_deadline(far_future());
+        let err = run_batch_jobs(&registry, &wires, &token, &metrics, 2)
+            .expect_err("bad quantiles refuse the batch");
+        assert_eq!(err.0, 1, "second job is the offender");
+        assert_eq!(metrics.engine_count("monte-carlo"), 0, "nothing ran");
     }
 
     #[test]

@@ -4,11 +4,18 @@
 //! Threading model:
 //!
 //! - One **acceptor** thread owns the `TcpListener` and spawns a
-//!   thread per connection.
+//!   thread per connection — up to the hard connection cap
+//!   ([`ConnectionLimiter`]); beyond it the acceptor answers `503 +
+//!   Retry-After` inline and closes, so load cannot grow the thread
+//!   count without bound.
 //! - **Connection** threads parse HTTP, serve the cheap discovery
-//!   routes inline, and hand `POST /v1/propagate` jobs to the shared
+//!   routes inline, look repeated propagate requests up in the
+//!   content-addressed [`ResponseCache`] (a hit answers without
+//!   touching the pool), and hand cache misses to the shared
 //!   [`WorkerPool`], waiting on a channel with the request deadline.
-//! - **Worker** threads run the actual propagations.
+//! - **Worker** threads run the actual propagations; a batch request
+//!   occupies one worker slot and fans its deduplicated jobs across
+//!   `core::run_batch` scoped threads.
 //!
 //! Backpressure: when the pool queue is full, the connection thread
 //! answers `503` with `Retry-After` immediately. Deadlines: when the
@@ -20,21 +27,24 @@
 //! pool drains every accepted job before the handle's `shutdown`
 //! returns.
 
+use crate::cache::ResponseCache;
 use crate::error::{Result, ServeError};
 use crate::http::{HttpConn, Limits, Request, Response};
 use crate::metrics::{route_label, ServerMetrics};
-use crate::pool::WorkerPool;
+use crate::pool::{ConnectionLimiter, WorkerPool};
 use crate::router::{
-    decode_propagate_body, engines_response, error_response, metrics_response,
-    models_response, propagate_response, read_error_response, route, CancelToken, Route,
+    decode_batch_body, decode_propagate_body, engines_response, error_response,
+    metrics_response, models_response, propagate_response, read_error_response, route,
+    run_batch_jobs, CancelToken, Route,
 };
 use crate::shutdown::ShutdownSignal;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use sysunc::ModelRegistry;
+use sysunc::{dedup_by_key, Error as SysuncError, ModelRegistry};
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
@@ -51,6 +61,13 @@ pub struct ServerConfig {
     pub poll_interval: Duration,
     /// HTTP message size limits.
     pub limits: Limits,
+    /// Concurrent connections served before the acceptor answers
+    /// `503 + Retry-After` inline (accept-side backpressure).
+    pub max_connections: usize,
+    /// Response-cache entries across all shards; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Response-cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +79,9 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(25),
             limits: Limits::default(),
+            max_connections: 128,
+            cache_capacity: 1024,
+            cache_shards: 8,
         }
     }
 }
@@ -71,6 +91,7 @@ struct Ctx {
     registry: ModelRegistry,
     metrics: Arc<ServerMetrics>,
     pool: WorkerPool,
+    cache: ResponseCache,
     signal: ShutdownSignal,
     config: ServerConfig,
 }
@@ -96,6 +117,7 @@ impl Server {
             registry,
             metrics: Arc::clone(&metrics),
             pool: WorkerPool::new(config.workers, config.queue_capacity),
+            cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
             signal: signal.clone(),
             config,
         });
@@ -149,18 +171,32 @@ impl Drop for ServerHandle {
 }
 
 fn acceptor_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
+    let limiter = ConnectionLimiter::new(ctx.config.max_connections);
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if ctx.signal.is_triggered() {
             break;
         }
         let Ok(stream) = stream else { continue };
-        ctx.metrics.connection_opened();
         connections.retain(|h| !h.is_finished());
+        // Accept-side backpressure: at the connection cap the acceptor
+        // answers 503 inline and closes, instead of growing the
+        // thread-per-connection count without bound.
+        let Some(permit) = limiter.try_acquire() else {
+            ctx.metrics.connection_rejected();
+            reject_connection(stream);
+            continue;
+        };
+        ctx.metrics.connection_opened();
         let conn_ctx = Arc::clone(ctx);
         let spawned = std::thread::Builder::new()
             .name("sysunc-serve-conn".into())
-            .spawn(move || handle_connection(stream, &conn_ctx));
+            .spawn(move || {
+                // The permit rides with the thread; dropping it on any
+                // exit path (including panic) frees the slot.
+                let _permit = permit;
+                handle_connection(stream, &conn_ctx);
+            });
         match spawned {
             Ok(handle) => connections.push(handle),
             Err(_) => ctx.metrics.connection_closed(),
@@ -170,6 +206,18 @@ fn acceptor_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
         let _ = handle.join();
     }
     ctx.pool.shutdown();
+}
+
+/// Answers a connection refused at the cap: an immediate `503 +
+/// Retry-After` and close, bounded by a short write timeout so a slow
+/// peer cannot stall the acceptor.
+fn reject_connection(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let response = error_response(503, "server connection limit reached; retry shortly")
+        .with_header("Retry-After", "1");
+    let _ = response.write_to(&mut stream, false);
+    let _ = stream.flush();
 }
 
 fn handle_connection(stream: TcpStream, ctx: &Arc<Ctx>) {
@@ -215,11 +263,12 @@ fn handle_connection(stream: TcpStream, ctx: &Arc<Ctx>) {
 fn handle_request(request: &Request, ctx: &Arc<Ctx>) -> Response {
     match route(&request.method, &request.target) {
         Route::Propagate => propagate_via_pool(request, ctx),
+        Route::PropagateBatch => propagate_batch_via_pool(request, ctx),
         Route::Engines => engines_response(),
         Route::Models => models_response(&ctx.registry),
         Route::Metrics => metrics_response(&ctx.metrics),
         Route::MethodNotAllowed => {
-            let allow = if route_label(&request.target) == "/v1/propagate" {
+            let allow = if route_label(&request.target).starts_with("/v1/propagate") {
                 "POST"
             } else {
                 "GET"
@@ -233,13 +282,22 @@ fn handle_request(request: &Request, ctx: &Arc<Ctx>) -> Response {
     }
 }
 
-/// The full propagate path: decode on this thread, execute on the
-/// pool, enforce backpressure and the deadline.
+/// The full propagate path: decode and canonicalize on this thread,
+/// serve cache hits without touching the pool, otherwise execute on
+/// the pool, enforce backpressure and the deadline, and populate the
+/// cache from successful responses.
 fn propagate_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
-    let wire = match decode_propagate_body(&ctx.registry, &request.body) {
-        Ok(wire) => wire,
+    let (wire, canonical) = match decode_propagate_body(&ctx.registry, &request.body) {
+        Ok(decoded) => decoded,
         Err(response) => return *response,
     };
+    if let Some(body) = ctx.cache.get(canonical.content_hash(), canonical.bytes()) {
+        ctx.metrics.cache_hit();
+        return Response::new(200)
+            .with_json(body.as_str().to_string())
+            .with_header("X-Sysunc-Cache", "hit");
+    }
+    ctx.metrics.cache_miss();
     let deadline = Instant::now() + ctx.config.request_timeout;
     let token = CancelToken::with_deadline(deadline);
     let (tx, rx) = mpsc::channel();
@@ -256,7 +314,20 @@ fn propagate_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
     }
     let budget = deadline.saturating_duration_since(Instant::now());
     match rx.recv_timeout(budget) {
-        Ok(response) => response,
+        Ok(response) => {
+            // Only complete reports are cacheable: errors and timeouts
+            // are circumstantial, not a function of the request.
+            if response.status == 200 {
+                let body = String::from_utf8_lossy(&response.body).into_owned();
+                let evicted = ctx.cache.insert(
+                    canonical.content_hash(),
+                    canonical.bytes().to_string(),
+                    Arc::new(body),
+                );
+                ctx.metrics.cache_evicted(evicted);
+            }
+            response.with_header("X-Sysunc-Cache", "miss")
+        }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             token.cancel();
             error_response(408, "request deadline exceeded")
@@ -265,4 +336,142 @@ fn propagate_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
             error_response(500, "propagation worker failed")
         }
     }
+}
+
+/// The batch propagate path: decode all jobs on this thread, collapse
+/// them onto distinct canonical requests, serve what the cache
+/// already holds, run the rest as **one** pool job through
+/// `core::run_batch`, and assemble the report array in job order from
+/// the per-unique bodies — each body the exact bytes single-request
+/// serving produces.
+fn propagate_batch_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
+    let jobs = match decode_batch_body(&ctx.registry, &request.body) {
+        Ok(jobs) => jobs,
+        Err(response) => return *response,
+    };
+    ctx.metrics.batch_jobs(jobs.len() as u64);
+
+    // Identical canonical requests are the same job: run once, answer
+    // many times (engines are deterministic by seed).
+    let keys: Vec<&str> = jobs.iter().map(|(_, c)| c.bytes()).collect();
+    let (uniques, assignment) = dedup_by_key(&keys);
+
+    let mut bodies: Vec<Option<Arc<String>>> = uniques
+        .iter()
+        .map(|&j| {
+            let canonical = &jobs[j].1;
+            ctx.cache.get(canonical.content_hash(), canonical.bytes())
+        })
+        .collect();
+    let hits = bodies.iter().filter(|b| b.is_some()).count();
+    let misses = bodies.len() - hits;
+    for _ in 0..hits {
+        ctx.metrics.cache_hit();
+    }
+    for _ in 0..misses {
+        ctx.metrics.cache_miss();
+    }
+
+    if misses > 0 {
+        let missing: Vec<usize> =
+            (0..bodies.len()).filter(|&u| bodies[u].is_none()).collect();
+        let wires: Vec<_> = missing.iter().map(|&u| jobs[uniques[u]].0.clone()).collect();
+        let deadline = Instant::now() + ctx.config.request_timeout;
+        let token = CancelToken::with_deadline(deadline);
+        let (tx, rx) = mpsc::channel();
+        let job_ctx = Arc::clone(ctx);
+        let job_token = token.clone();
+        let threads = ctx.config.workers;
+        let submitted = ctx.pool.try_submit(Box::new(move || {
+            let results = run_batch_jobs(
+                &job_ctx.registry,
+                &wires,
+                &job_token,
+                &job_ctx.metrics,
+                threads,
+            );
+            let _ = tx.send(results);
+        }));
+        if submitted.is_err() {
+            return error_response(503, "server is at capacity; retry shortly")
+                .with_header("Retry-After", "1");
+        }
+        let budget = deadline.saturating_duration_since(Instant::now());
+        let results = match rx.recv_timeout(budget) {
+            Ok(results) => results,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                token.cancel();
+                return error_response(408, "request deadline exceeded");
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return error_response(500, "propagation worker failed");
+            }
+        };
+        let results = match results {
+            Ok(results) => results,
+            // A bind failure names the unique slot; translate back to
+            // the original job index for the caller.
+            Err((slot, e)) => {
+                let job = missing.get(slot).map(|&u| uniques[u]).unwrap_or(0);
+                return error_response(400, &format!("job {job}: {e}"));
+            }
+        };
+        if token.expired() {
+            return error_response(408, "request deadline exceeded during execution");
+        }
+        for (&u, outcome) in missing.iter().zip(results) {
+            let job = uniques[u];
+            match outcome {
+                Ok(report) => {
+                    let body = Arc::new(sysunc::prob::json::to_string(&report));
+                    let canonical = &jobs[job].1;
+                    let evicted = ctx.cache.insert(
+                        canonical.content_hash(),
+                        canonical.bytes().to_string(),
+                        Arc::clone(&body),
+                    );
+                    ctx.metrics.cache_evicted(evicted);
+                    bodies[u] = Some(body);
+                }
+                Err(SysuncError::InvalidInput(msg)) => {
+                    return error_response(400, &format!("job {job}: invalid input: {msg}"));
+                }
+                Err(SysuncError::Unsupported(msg)) => {
+                    return error_response(
+                        400,
+                        &format!("job {job}: unsupported propagation request: {msg}"),
+                    );
+                }
+                Err(e) => {
+                    return error_response(
+                        500,
+                        &format!("job {job}: propagation failed: {e}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Fan the unique bodies back out in job order. Bodies are the
+    // exact single-request encodings, so concatenation preserves
+    // bit-identity per element.
+    let mut out = String::with_capacity(bodies.iter().flatten().map(|b| b.len() + 1).sum());
+    out.push('[');
+    for (i, &slot) in assignment.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match &bodies[slot] {
+            Some(body) => out.push_str(body),
+            // Unreachable: every miss was either filled or returned
+            // an error above — but never panic in the serving path.
+            None => {
+                return error_response(500, "batch assembly lost a job body");
+            }
+        }
+    }
+    out.push(']');
+    Response::new(200)
+        .with_json(out)
+        .with_header("X-Sysunc-Cache", &format!("hits={hits} misses={misses}"))
 }

@@ -3,15 +3,20 @@
 //! a zero-tolerance assumption; numerical code should compare against
 //! an explicit tolerance (or use `total_cmp` for ordering).
 //!
-//! Detection is token-based but type-blind: a comparison is flagged
-//! when either adjacent operand *is* float-shaped — a float literal
-//! token (`0.5`, `1e-3`, `1f64`) or an `f64::`/`f32::` associated
-//! constant. Comparisons of two bare identifiers are not flagged (no
-//! type inference in a lexical lint), so the rule catches the common
-//! literal-comparison case, not every possible one. A `==` inside a
-//! string literal or a comment is not a comparison and cannot fire.
-//! Intentional exact comparisons (e.g. checking a CDF saturates at
-//! exactly 0 or 1) take `// tidy: allow(float-eq)`.
+//! Detection is token-based: a comparison is flagged when either
+//! adjacent operand *is* float-shaped — a float literal token (`0.5`,
+//! `1e-3`, `1f64`) or an `f64::`/`f32::` associated constant — or when
+//! it is a bare identifier that the enclosing function bound with an
+//! explicit float annotation (`let x: f64 = …`). The latter is the
+//! only type propagation the lint does: annotations are declared facts,
+//! so `a == b` on two annotated float locals is as certain a defect as
+//! `a == 0.5`. Anything needing real inference (field types, returns,
+//! unannotated lets) stays out of scope for a lexical lint. A `==`
+//! inside a string literal or a comment is not a comparison and cannot
+//! fire. Intentional exact comparisons (e.g. checking a CDF saturates
+//! at exactly 0 or 1) take `// tidy: allow(float-eq)`.
+
+use std::collections::HashMap;
 
 use crate::lexer::{Token, TokenKind};
 use crate::{FileKind, Lint, SourceFile, Violation};
@@ -61,6 +66,160 @@ fn right_is_float(file: &SourceFile, i: usize) -> bool {
     }
 }
 
+/// The bare identifier ending the left operand at `i`, if the operand
+/// is exactly one identifier (not a path segment, field or call).
+fn left_bare_ident<'f>(file: &'f SourceFile, i: usize) -> Option<&'f str> {
+    let mut sig = file.tokens()[..i].iter().rev().filter(|t| !t.is_comment());
+    let last = sig.next()?;
+    if last.kind != TokenKind::Ident {
+        return None;
+    }
+    if let Some(prev) = sig.next() {
+        if prev.kind == TokenKind::Punct && matches!(file.text(prev), "." | "::") {
+            return None;
+        }
+    }
+    Some(file.text(last))
+}
+
+/// The bare identifier opening the right operand at `i`, if the
+/// operand is exactly one identifier (optionally negated; not a path
+/// head, receiver, call or index).
+fn right_bare_ident<'f>(file: &'f SourceFile, i: usize) -> Option<&'f str> {
+    let mut sig = file.tokens()[i..].iter().filter(|t| !t.is_comment());
+    let mut first = sig.next()?;
+    if first.kind == TokenKind::Punct && file.text(first) == "-" {
+        first = sig.next()?;
+    }
+    if first.kind != TokenKind::Ident {
+        return None;
+    }
+    if let Some(next) = sig.next() {
+        if next.kind == TokenKind::Punct
+            && matches!(file.text(next), "." | "::" | "(" | "[")
+        {
+            return None;
+        }
+    }
+    Some(file.text(first))
+}
+
+/// One function body: its `{`/`}` token extent and the locals the
+/// function binds with an explicit `let name: f32|f64` annotation.
+struct FnBody {
+    open: usize,
+    close: usize,
+    float_lets: HashMap<String, &'static str>,
+}
+
+/// Advances past a balanced punctuation pair opening at `i`, returning
+/// the index of the matching closer (or the end of the file).
+fn matching_close(file: &SourceFile, i: usize, open: &str, close: &str) -> usize {
+    let tokens = file.tokens();
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < tokens.len() {
+        if tokens[j].kind == TokenKind::Punct {
+            let text = file.text(&tokens[j]);
+            if text == open {
+                depth += 1;
+            } else if text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Collects `let [mut] name: f32|f64` bindings (with `=` or `;` right
+/// after the type, so `Vec<f64>` and friends don't qualify) between
+/// token indices `open` and `close`.
+fn float_lets(file: &SourceFile, open: usize, close: usize) -> HashMap<String, &'static str> {
+    let sig: Vec<usize> = (open..close)
+        .filter(|&i| !file.tokens()[i].is_comment())
+        .collect();
+    let text = |slot: usize| file.text(&file.tokens()[sig[slot]]);
+    let kind = |slot: usize| file.tokens()[sig[slot]].kind;
+    let mut found = HashMap::new();
+    for s in 0..sig.len() {
+        if kind(s) != TokenKind::Ident || text(s) != "let" {
+            continue;
+        }
+        let mut n = s + 1;
+        if n < sig.len() && kind(n) == TokenKind::Ident && text(n) == "mut" {
+            n += 1;
+        }
+        if n + 3 >= sig.len() || kind(n) != TokenKind::Ident || text(n + 1) != ":" {
+            continue;
+        }
+        let name = text(n);
+        let ty = match (kind(n + 2) == TokenKind::Ident).then(|| text(n + 2)) {
+            Some("f64") => "f64",
+            Some("f32") => "f32",
+            _ => continue,
+        };
+        if matches!(text(n + 3), "=" | ";") {
+            found.insert(name.to_string(), ty);
+        }
+    }
+    found
+}
+
+/// Finds every `fn` body in the file (including nested ones) with its
+/// annotated float locals. Bodies are returned in source order, so the
+/// innermost body containing an index is the *last* match.
+fn function_bodies(file: &SourceFile) -> Vec<FnBody> {
+    let tokens = file.tokens();
+    let mut bodies = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || file.text(t) != "fn" {
+            i += 1;
+            continue;
+        }
+        // Parameter list: first `(` after the name/generics, balanced.
+        let mut j = i + 1;
+        while j < tokens.len()
+            && !(tokens[j].kind == TokenKind::Punct && file.text(&tokens[j]) == "(")
+        {
+            j += 1;
+        }
+        let params_end = matching_close(file, j, "(", ")");
+        // Body: the first `{` before any `;` (a bare `;` means a
+        // bodiless trait/extern signature).
+        let mut k = params_end + 1;
+        let mut open = None;
+        while k < tokens.len() {
+            if tokens[k].kind == TokenKind::Punct {
+                match file.text(&tokens[k]) {
+                    "{" => {
+                        open = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            i = k.max(i + 1);
+            continue;
+        };
+        let close = matching_close(file, open, "{", "}");
+        bodies.push(FnBody { open, close, float_lets: float_lets(file, open, close) });
+        // Keep scanning from just inside the body so nested functions
+        // get their own (innermost) entry.
+        i = open + 1;
+    }
+    bodies
+}
+
 impl Lint for FloatEq {
     fn name(&self) -> &'static str {
         "float-eq"
@@ -71,9 +230,11 @@ impl Lint for FloatEq {
          library code: exact float equality silently encodes a zero-tolerance \
          assumption that numerical error will violate. Compare against an \
          explicit tolerance, or use `total_cmp` for ordering. The check fires \
-         when either operand is a float literal or an `f64::`/`f32::` \
-         constant; intentional exact comparisons (saturation checks, IEEE \
-         special cases) take `// tidy: allow(float-eq)` with a justification."
+         when either operand is a float literal, an `f64::`/`f32::` constant, \
+         or a local the enclosing function bound with an explicit `let x: \
+         f32|f64` annotation; intentional exact comparisons (saturation \
+         checks, IEEE special cases) take `// tidy: allow(float-eq)` with a \
+         justification."
     }
 
     fn applies(&self, kind: FileKind) -> bool {
@@ -81,6 +242,12 @@ impl Lint for FloatEq {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let bodies = function_bodies(file);
+        // Innermost body containing token `i` — the last in source
+        // order, since nested bodies are pushed after their enclosers.
+        let innermost = |i: usize| {
+            bodies.iter().rev().find(|b| b.open < i && i < b.close)
+        };
         for (i, t) in file.tokens().iter().enumerate() {
             if t.kind != TokenKind::Punct || file.in_test_block(t.line) {
                 continue;
@@ -96,6 +263,27 @@ impl Lint for FloatEq {
                     rule: self.name(),
                     message: format!(
                         "float compared with `{op}`; compare against a tolerance instead"
+                    ),
+                });
+                continue;
+            }
+            // Type propagation from annotated lets: `a == b` where
+            // either side is a bare float-annotated local.
+            let Some(body) = innermost(i) else { continue };
+            let local = left_bare_ident(file, i)
+                .and_then(|name| body.float_lets.get_key_value(name))
+                .or_else(|| {
+                    right_bare_ident(file, i + 1)
+                        .and_then(|name| body.float_lets.get_key_value(name))
+                });
+            if let Some((name, ty)) = local {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    message: format!(
+                        "`{name}` is bound as `let {name}: {ty}` but compared with \
+                         `{op}`; compare against a tolerance instead"
                     ),
                 });
             }
@@ -155,5 +343,76 @@ mod tests {
     #[test]
     fn multiline_comparisons_fire() {
         assert_eq!(run("fn f(x: f64) -> bool {\n    x\n        == 0.5\n}\n").len(), 1);
+    }
+
+    #[test]
+    fn annotated_float_locals_fire_on_bare_comparison() {
+        let src = "\
+fn f() -> bool {
+    let a: f64 = compute();
+    let b: f64 = other();
+    a == b
+}
+";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("let a: f64"), "{}", out[0].message);
+
+        let negated = "fn f() -> bool {\n    let mut t: f32 = go();\n    x != -t\n}\n";
+        assert_eq!(run(negated).len(), 1);
+        // Uninitialized-then-assigned bindings still carry the type.
+        let deferred = "fn f() -> bool {\n    let z: f64;\n    z = g();\n    z == w\n}\n";
+        assert_eq!(run(deferred).len(), 1);
+    }
+
+    #[test]
+    fn annotation_propagation_needs_a_bare_float_scalar_local() {
+        // Unannotated let: no inference, no finding.
+        assert!(run("fn f() -> bool {\n    let a = g();\n    a == b\n}\n").is_empty());
+        // Annotated, but not a scalar float type.
+        assert!(run(
+            "fn f() -> bool {\n    let v: Vec<f64> = g();\n    v == w\n}\n"
+        )
+        .is_empty());
+        // Not a bare identifier: fields, paths, calls and indexing.
+        let src = "\
+fn f() -> bool {
+    let a: f64 = g();
+    s.a == t.a && E::a == x && a(1) == y && a[0] == z
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn annotations_do_not_leak_across_function_boundaries() {
+        let src = "\
+fn first() {
+    let a: f64 = g();
+}
+fn second(a: T, b: T) -> bool {
+    a == b
+}
+";
+        assert!(run(src).is_empty(), "`a` is float only inside `first`");
+
+        // A nested fn has its own scope; the outer binding is not
+        // visible inside it (nested fns cannot capture locals).
+        let nested = "\
+fn outer() -> bool {
+    let a: f64 = g();
+    fn inner(a: T, b: T) -> bool { a == b }
+    a == done()
+}
+";
+        let out = run(nested);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4, "only the outer comparison fires");
+    }
+
+    #[test]
+    fn literal_and_annotation_findings_do_not_double_report() {
+        let src = "fn f() -> bool {\n    let a: f64 = g();\n    a == 0.5\n}\n";
+        assert_eq!(run(src).len(), 1, "one finding per comparison");
     }
 }

@@ -57,17 +57,80 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ------------------------------------------------------------------
-    // 4. Observe: the metrics scrape reflects the traffic just served.
+    // 4. Cache: repeating a request verbatim is answered from the
+    //    content-addressed response cache, bit-identically.
+    // ------------------------------------------------------------------
+    println!("\n== response cache ==");
+    let mut repeat = WireRequest::new(
+        names.first().cloned().unwrap_or_else(|| "monte-carlo".into()),
+        "linear-2x3y",
+        vec![
+            UncertainInput::Normal { mu: 1.0, sigma: 0.5 },
+            UncertainInput::Uniform { a: 0.0, b: 2.0 },
+        ],
+    );
+    repeat.budget = 2048;
+    let (first_report, first_verdict) = client.propagate_traced(&repeat)?;
+    let (second_report, second_verdict) = client.propagate_traced(&repeat)?;
+    println!(
+        "  first: {}  repeat: {}",
+        first_verdict.as_deref().unwrap_or("?"),
+        second_verdict.as_deref().unwrap_or("?")
+    );
+    if second_verdict.as_deref() != Some("hit") {
+        return Err("repeated request did not hit the response cache".into());
+    }
+    if first_report != second_report {
+        return Err("cache hit differs from the computed report".into());
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Batch: many jobs per round-trip, deduped by canonical form.
+    // ------------------------------------------------------------------
+    let batch_jobs = vec![repeat.clone(), repeat.clone(), repeat.clone()];
+    let outcome = client.propagate_batch(&batch_jobs)?;
+    println!(
+        "== POST /v1/propagate/batch == {} jobs -> {} reports \
+         (cache: {} hit, {} miss)",
+        batch_jobs.len(),
+        outcome.reports.len(),
+        outcome.cache_hits,
+        outcome.cache_misses
+    );
+    if outcome.reports.len() != batch_jobs.len() {
+        return Err("batch must answer every submitted job".into());
+    }
+    if outcome.reports.iter().any(|r| *r != first_report) {
+        return Err("batch reports differ from single-request serving".into());
+    }
+
+    // ------------------------------------------------------------------
+    // 6. Observe: the metrics scrape reflects the traffic just served.
     // ------------------------------------------------------------------
     let metrics = client.scrape_metrics()?;
     println!("\n== GET /metrics (excerpt) ==");
     for line in metrics.lines().filter(|l| {
         l.starts_with("sysunc_http_requests_total")
             || l.starts_with("sysunc_engine_runs_total")
+            || l.starts_with("sysunc_cache_")
+            || l.starts_with("sysunc_batch_jobs_total")
+            || l.starts_with("sysunc_connections_rejected_total")
     }) {
         println!("  {line}");
     }
-    let served: u64 = names.len() as u64;
+    let gauge = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .find_map(|l| {
+                let mut parts = l.split_whitespace();
+                (parts.next() == Some(name)).then(|| parts.next())?
+            })
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(0)
+    };
+    // Per-engine sweep + the cache demo pair ride /v1/propagate.
+    let served: u64 = names.len() as u64 + 2;
     let ok_propagates = metrics
         .lines()
         .find(|l| l.contains("route=\"/v1/propagate\",status=\"200\""))
@@ -80,9 +143,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
+    // One single-request hit, plus the batch's one unique job (a hit).
+    if gauge("sysunc_cache_hits_total") < 2 {
+        return Err("cache hits missing from the exposition".into());
+    }
+    if gauge("sysunc_batch_jobs_total") != batch_jobs.len() as u64 {
+        return Err("batch job counter disagrees with traffic".into());
+    }
+    if gauge("sysunc_connections_rejected_total") != 0 {
+        return Err("no connection was ever rejected in this smoke".into());
+    }
 
     // ------------------------------------------------------------------
-    // 5. Graceful shutdown: drains in-flight work, joins every thread.
+    // 7. Graceful shutdown: drains in-flight work, joins every thread.
     // ------------------------------------------------------------------
     server.shutdown();
     println!("\nshutdown complete; {served} propagations served and accounted for");

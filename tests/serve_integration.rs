@@ -1,9 +1,12 @@
 //! End-to-end tests of the propagation server: wire fidelity under
-//! concurrency, backpressure (`503`), deadlines (`408`), graceful
-//! shutdown, and the loadgen summary format — all over real TCP
-//! connections against an ephemeral-port server.
+//! concurrency, the content-addressed response cache (bit-identical
+//! hits, LRU eviction), batch propagation with intra-batch dedup,
+//! backpressure (`503` from both the job queue and the accept-side
+//! connection cap), deadlines (`408`), graceful shutdown, and the
+//! loadgen summary format — all over real TCP connections against an
+//! ephemeral-port server.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -286,6 +289,283 @@ fn discovery_and_metrics_routes_reflect_served_traffic() {
     assert_eq!(doc.get("status").and_then(Json::as_u64), Some(400));
     assert!(doc.get("error").and_then(Json::as_str).is_some());
     server.shutdown();
+}
+
+/// First value of a non-comment exposition line whose metric name
+/// matches exactly.
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            let mut parts = l.split_whitespace();
+            (parts.next() == Some(name)).then(|| parts.next())?
+        })
+        .and_then(|v| v.parse().ok())
+}
+
+/// Cache hits must be *byte*-identical to recomputation — eight
+/// concurrent clients hammer one request and every response body is
+/// compared against the same propagation run directly in-process.
+#[test]
+fn cache_hits_are_bit_identical_under_concurrency() {
+    let server = Server::start(
+        ServerConfig { workers: 4, ..ServerConfig::default() },
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let mut wire = WireRequest::new("monte-carlo", "sum", standard_inputs());
+    wire.budget = 512;
+    wire.seed = 777;
+    let local = ModelRegistry::standard().expect("registry builds");
+    let model = local.get("sum").expect("registered");
+    let request = wire.to_request(model).expect("valid");
+    let direct = wire.resolve_engine().expect("known").propagate(&request).expect("runs");
+    let expected = json::to_string(&direct);
+    let body = json::to_string(&wire);
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let body = body.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connects");
+                for _ in 0..4 {
+                    let response = client
+                        .request("POST", "/v1/propagate", Some(&body))
+                        .expect("response arrives");
+                    assert_eq!(response.status, 200, "body: {}", response.body_text());
+                    let verdict = response.header("X-Sysunc-Cache").expect("cache header");
+                    assert!(
+                        verdict == "hit" || verdict == "miss",
+                        "unexpected verdict '{verdict}'"
+                    );
+                    assert_eq!(
+                        response.body_text(),
+                        expected,
+                        "cached response differs from in-process run ({verdict})"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread succeeds");
+    }
+
+    let mut client = HttpClient::connect(addr).expect("connects");
+    let text = client.scrape_metrics().expect("metrics scrape");
+    let hits = metric_value(&text, "sysunc_cache_hits_total").expect("hits gauge");
+    let misses = metric_value(&text, "sysunc_cache_misses_total").expect("misses gauge");
+    assert_eq!(hits + misses, 32, "every request was either a hit or a miss");
+    // Concurrent first requests may race to a miss each, but every
+    // client's later calls find the inserted entry.
+    assert!(hits >= 8, "expected mostly hits, got {hits} hits / {misses} misses");
+    server.shutdown();
+}
+
+/// With a two-entry single-shard cache, touching A keeps it resident
+/// while C evicts the least-recently-used B.
+#[test]
+fn cache_evicts_least_recently_used_at_capacity() {
+    let server = Server::start(
+        ServerConfig { cache_capacity: 2, cache_shards: 1, ..ServerConfig::default() },
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let mut client = HttpClient::connect(server.addr()).expect("connects");
+
+    let request_with_seed = |seed: u64| {
+        let mut wire = WireRequest::new("monte-carlo", "sum", standard_inputs());
+        wire.budget = 128;
+        wire.seed = seed;
+        wire
+    };
+    let verdict = |client: &mut HttpClient, seed: u64| {
+        let (_, verdict) = client
+            .propagate_traced(&request_with_seed(seed))
+            .expect("propagates");
+        verdict.expect("cache header present")
+    };
+
+    assert_eq!(verdict(&mut client, 1), "miss", "A enters the cache");
+    assert_eq!(verdict(&mut client, 2), "miss", "B enters the cache");
+    assert_eq!(verdict(&mut client, 1), "hit", "A refreshed");
+    assert_eq!(verdict(&mut client, 3), "miss", "C evicts the stale B");
+    assert_eq!(verdict(&mut client, 2), "miss", "B was evicted");
+    assert_eq!(verdict(&mut client, 3), "hit", "C survived B's reinsertion");
+
+    let text = client.scrape_metrics().expect("metrics scrape");
+    let evictions =
+        metric_value(&text, "sysunc_cache_evictions_total").expect("evictions gauge");
+    assert!(evictions >= 1, "eviction must be counted, got {evictions}");
+    server.shutdown();
+}
+
+/// N identical jobs in one batch run the engine once and still yield N
+/// identical reports — and the whole batch is served from cache on the
+/// second round-trip.
+#[test]
+fn batch_requests_dedup_identical_jobs_and_reuse_the_cache() {
+    let evals = Arc::new(AtomicUsize::new(0));
+    let registry_with_counter = |evals: Arc<AtomicUsize>| {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register(
+                "counted",
+                Box::new(move |x: &[f64]| {
+                    evals.fetch_add(1, Ordering::SeqCst);
+                    x.iter().sum::<f64>()
+                }),
+            )
+            .expect("registers");
+        registry
+    };
+    let server = Server::start(
+        ServerConfig::default(),
+        registry_with_counter(Arc::clone(&evals)),
+    )
+    .expect("server starts");
+    let mut client = HttpClient::connect(server.addr()).expect("connects");
+
+    let mut wire = WireRequest::new("monte-carlo", "counted", standard_inputs());
+    wire.budget = 64;
+    wire.seed = 4242;
+
+    // Reference: the model-evaluation cost and report of ONE run,
+    // measured against a sibling registry sharing the same counter.
+    let local = registry_with_counter(Arc::clone(&evals));
+    let model = local.get("counted").expect("registered");
+    let request = wire.to_request(model).expect("valid");
+    let direct = wire.resolve_engine().expect("known").propagate(&request).expect("runs");
+    let single_run_evals = evals.swap(0, Ordering::SeqCst);
+    assert!(single_run_evals > 0, "the engine must evaluate the model");
+
+    let jobs = vec![wire.clone(); 6];
+    let outcome = client.propagate_batch(&jobs).expect("batch runs");
+    assert_eq!(outcome.reports.len(), 6, "one report per submitted job");
+    assert_eq!(outcome.cache_hits, 0);
+    assert_eq!(outcome.cache_misses, 1, "six identical jobs are one unique job");
+    assert_eq!(
+        evals.load(Ordering::SeqCst),
+        single_run_evals,
+        "identical jobs must collapse to one engine run"
+    );
+    for report in &outcome.reports {
+        assert_eq!(
+            json::to_string(report),
+            json::to_string(&direct),
+            "batch report must be bit-identical to the in-process run"
+        );
+    }
+
+    // The same batch again: answered wholly from the response cache.
+    let again = client.propagate_batch(&jobs).expect("batch runs");
+    assert_eq!(again.cache_hits, 1);
+    assert_eq!(again.cache_misses, 0);
+    assert_eq!(again.reports, outcome.reports);
+    assert_eq!(
+        evals.load(Ordering::SeqCst),
+        single_run_evals,
+        "a fully cached batch runs no engine at all"
+    );
+
+    let text = client.scrape_metrics().expect("metrics scrape");
+    assert_eq!(metric_value(&text, "sysunc_batch_jobs_total"), Some(12));
+    server.shutdown();
+}
+
+/// Beyond `max_connections` concurrent connections the acceptor
+/// answers `503 + Retry-After` before reading a request; closing a
+/// connection frees the slot.
+#[test]
+fn connection_cap_rejects_excess_connections_with_503() {
+    let server = Server::start(
+        ServerConfig { max_connections: 2, ..ServerConfig::default() },
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Hold both slots with live keep-alive connections — a completed
+    // request on each proves the server really accepted them.
+    let mut first = HttpClient::connect(addr).expect("connects");
+    let mut second = HttpClient::connect(addr).expect("connects");
+    assert_eq!(first.get("/v1/engines").expect("served").status, 200);
+    assert_eq!(second.get("/v1/engines").expect("served").status, 200);
+
+    // The third connection is refused before its request is read.
+    let mut third = HttpClient::connect(addr).expect("TCP connects");
+    let refused = third.get("/v1/engines").expect("rejection arrives");
+    assert_eq!(refused.status, 503, "body: {}", refused.body_text());
+    assert_eq!(refused.header("Retry-After"), Some("1"));
+
+    // Freeing a slot readmits new connections (the acceptor notices
+    // the close asynchronously, so poll briefly).
+    drop(first);
+    drop(third);
+    let mut readmitted = None;
+    for _ in 0..100 {
+        if let Ok(mut client) = HttpClient::connect(addr) {
+            if let Ok(response) = client.get("/v1/engines") {
+                if response.status == 200 {
+                    readmitted = Some(client);
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut client = readmitted.expect("slot reusable after close");
+    let text = client.scrape_metrics().expect("metrics scrape");
+    let rejected =
+        metric_value(&text, "sysunc_connections_rejected_total").expect("gauge");
+    assert!(rejected >= 1, "rejection must be counted, got {rejected}");
+    server.shutdown();
+}
+
+/// The three loadgen modes all complete against one server, and the
+/// suite document nests one well-formed summary per mode.
+#[test]
+fn loadgen_modes_drive_cache_and_batch_paths() {
+    use sysunc_bench::loadgen::{suite_to_json, LoadMode, LoadgenConfig};
+
+    let server = Server::start(
+        ServerConfig::default(),
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let base = LoadgenConfig {
+        clients: 2,
+        requests_per_client: 4,
+        budget: 128,
+        batch_size: 3,
+        ..LoadgenConfig::default()
+    };
+    let mut entries = Vec::new();
+    for mode in LoadMode::ALL {
+        let config = base.with_mode(mode);
+        let result =
+            sysunc_bench::loadgen::run(server.addr(), &config).expect("mode runs");
+        assert_eq!(result.failed, 0, "mode {} had failures", mode.name());
+        assert_eq!(result.ok, (8 * config.jobs_per_call()) as u64);
+        entries.push((config, result));
+    }
+
+    let mut client = HttpClient::connect(server.addr()).expect("connects");
+    let text = client.scrape_metrics().expect("metrics scrape");
+    let hits = metric_value(&text, "sysunc_cache_hits_total").expect("hits gauge");
+    assert!(hits >= 1, "cache-hot traffic must produce hits");
+    assert_eq!(metric_value(&text, "sysunc_batch_jobs_total"), Some(24));
+    server.shutdown();
+
+    let doc = json::parse(&suite_to_json(&entries).expect("renders")).expect("parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("sysunc-bench-serve/2"));
+    for mode in LoadMode::ALL {
+        let nested = doc.get("modes").and_then(|m| m.get(mode.name())).expect("mode doc");
+        assert!(nested.get("throughput_rps").and_then(Json::as_f64).is_some());
+    }
 }
 
 /// The in-process propagation the wire path is compared against also
