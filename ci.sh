@@ -17,15 +17,17 @@ echo "== static-analysis gate (--json round-trip) =="
 # check) is exercised via the test suite, so here we only assert shape.
 json="$(cargo run -q --offline -p sysunc-tidy -- --json)"
 case "$json" in
-  '{"schema":"sysunc-tidy/1"'*'"clean":true'*) echo "json findings: clean" ;;
+  '{"schema":"sysunc-tidy/2"'*'"clean":true'*) echo "json findings: clean" ;;
   *) echo "unexpected --json output: $json" >&2; exit 1 ;;
 esac
 
 echo "== lint-suppression trend record =="
 # Fold the findings into one sysunc-bench-trend/1 line so allowed/
-# baselined exception counts per rule stay visible over time.
+# baselined exception counts per rule stay visible over time, and fail
+# when any rule's count rose against the last recorded line (the
+# exception ledger must only ratchet down).
 printf '%s' "$json" | cargo run -q --offline -p sysunc-bench --bin tidy_trend -- \
-  --out BENCH_tidy_trend.json
+  --out BENCH_tidy_trend.json --fail-on-regression
 
 echo "== build (release) =="
 cargo build --release --offline

@@ -1,30 +1,49 @@
 //! Appends one lint-suppression trend record to the bench trajectory.
 //!
 //! ```text
-//! sysunc-tidy --json | tidy_trend [--out FILE]
+//! sysunc-tidy --json | tidy_trend [--in FILE] [--out FILE] [--fail-on-regression]
 //! ```
 //!
-//! Reads a `sysunc-tidy/1` findings document from stdin (or `--in
-//! FILE`), folds it into a `sysunc-bench-trend/1` record with per-rule
-//! allowed/baselined exception counts, and appends it as one JSON line
-//! to `--out` (default `BENCH_tidy_trend.json`) — printing it to
-//! stdout as well.
+//! Reads a `sysunc-tidy/2` findings document from stdin (or `--in
+//! FILE`; the legacy `/1` schema is accepted too), folds it into a
+//! `sysunc-bench-trend/1` record with per-rule allowed/baselined
+//! exception counts, and appends it as one JSON line to `--out`
+//! (default `BENCH_tidy_trend.json`) — printing it to stdout as well.
+//!
+//! With `--fail-on-regression` the new record is compared against the
+//! last line already in the trajectory: any rule whose suppression
+//! count rose, or a rise in standing violations, exits nonzero after
+//! the record is appended (the trajectory records reality either way).
 
 use std::io::Read;
 use std::process::ExitCode;
 use sysunc::prob::json::parse;
-use sysunc_bench::trend::trend_record;
+use sysunc_bench::trend::{suppression_regressions, trend_record};
 
 fn main() -> ExitCode {
     let mut input_path: Option<String> = None;
     let mut out_path = String::from("BENCH_tidy_trend.json");
+    let mut fail_on_regression = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        match (flag.as_str(), it.next()) {
-            ("--in", Some(v)) => input_path = Some(v.clone()),
-            ("--out", Some(v)) => out_path = v.clone(),
-            (other, _) => {
+        match flag.as_str() {
+            "--in" => match it.next() {
+                Some(v) => input_path = Some(v.clone()),
+                None => {
+                    eprintln!("tidy_trend: --in needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = v.clone(),
+                None => {
+                    eprintln!("tidy_trend: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            other => {
                 eprintln!("tidy_trend: bad or incomplete flag '{other}'");
                 return ExitCode::FAILURE;
             }
@@ -59,13 +78,18 @@ fn main() -> ExitCode {
     let record = match trend_record(&report) {
         Ok(record) => record,
         Err(e) => {
-            eprintln!("tidy_trend: input is not a sysunc-tidy/1 document: {e}");
+            eprintln!("tidy_trend: input is not a sysunc-tidy findings document: {e}");
             return ExitCode::FAILURE;
         }
     };
 
+    // The previous record is the last non-empty line of the existing
+    // trajectory, read before this run appends to it.
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let previous = existing.lines().rev().find(|l| !l.trim().is_empty()).map(str::to_string);
+
     println!("{record}");
-    let mut appended = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let mut appended = existing;
     if !appended.is_empty() && !appended.ends_with('\n') {
         appended.push('\n');
     }
@@ -74,6 +98,33 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::write(&out_path, appended) {
         eprintln!("tidy_trend: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
+    }
+
+    if fail_on_regression {
+        if let Some(prev_line) = previous {
+            let prev = match parse(&prev_line) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("tidy_trend: last trajectory line is not valid JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let current = parse(&record).expect("own record is valid JSON");
+            match suppression_regressions(&current, &prev) {
+                Ok(findings) if findings.is_empty() => {}
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("tidy_trend: REGRESSION: {f}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("tidy_trend: cannot compare against last record: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        // No previous record: this run becomes the baseline.
     }
     ExitCode::SUCCESS
 }

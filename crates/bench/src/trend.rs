@@ -4,9 +4,11 @@
 //!
 //! - **Lint suppressions** — every `// tidy: allow(rule)` comment and
 //!   every baseline budget is acknowledged epistemic debt. A
-//!   `sysunc-tidy/1` findings document folds into a per-rule record
-//!   (`sysunc-bench-trend/1`); the counts should only ratchet down,
-//!   and a rising line is a review flag.
+//!   `sysunc-tidy/2` findings document (the older `/1` is still
+//!   accepted — it merely lacks the per-finding `resolution` field)
+//!   folds into a per-rule record (`sysunc-bench-trend/1`); the counts
+//!   should only ratchet down, and [`suppression_regressions`] is the
+//!   tripwire a rising line trips.
 //! - **Serving throughput** — a `sysunc-bench-serve/2` loadgen suite
 //!   folds into a per-mode record (`sysunc-bench-serve-trend/1`), and
 //!   [`throughput_regressions`] / [`cache_speedup_shortfall`] are the
@@ -40,17 +42,17 @@ pub fn count_by_rule(report: &Json, key: &str) -> Result<Vec<(String, u64)>, Jso
 }
 
 /// Renders one `sysunc-bench-trend/1` record (a single JSON line) from
-/// a parsed `sysunc-tidy/1` findings document.
+/// a parsed `sysunc-tidy/2` (or legacy `/1`) findings document.
 ///
 /// # Errors
 ///
 /// Returns [`JsonError`] when the document does not have the
-/// `sysunc-tidy/1` shape.
+/// `sysunc-tidy/1` or `/2` shape.
 pub fn trend_record(report: &Json) -> Result<String, JsonError> {
     let schema = report.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "sysunc-tidy/1" {
+    if schema != "sysunc-tidy/1" && schema != "sysunc-tidy/2" {
         return Err(JsonError::decode(format!(
-            "expected a sysunc-tidy/1 document, got schema '{schema}'"
+            "expected a sysunc-tidy/1 or /2 document, got schema '{schema}'"
         )));
     }
     let files_scanned = report
@@ -90,6 +92,72 @@ pub fn trend_record(report: &Json) -> Result<String, JsonError> {
     w.end_object();
     w.end_object();
     w.finish()
+}
+
+/// The per-rule suppression counts (allowed + baselined) of one
+/// `sysunc-bench-trend/1` record, summed across both ledgers.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the record has the wrong schema or lacks
+/// the per-rule count objects.
+pub fn suppressions_by_rule(record: &Json) -> Result<BTreeMap<String, u64>, JsonError> {
+    let schema = record.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "sysunc-bench-trend/1" {
+        return Err(JsonError::decode(format!(
+            "expected a sysunc-bench-trend/1 record, got schema '{schema}'"
+        )));
+    }
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for key in ["allowed_by_rule", "baselined_by_rule"] {
+        let Some(Json::Obj(by_rule)) = record.get(key) else {
+            return Err(JsonError::decode(format!("record lacks a '{key}' object")));
+        };
+        for (rule, n) in by_rule {
+            let n = n
+                .as_u64()
+                .ok_or_else(|| JsonError::decode(format!("'{key}' count for '{rule}' is not a count")))?;
+            *counts.entry(rule.clone()).or_insert(0) += n;
+        }
+    }
+    Ok(counts)
+}
+
+/// Compares a fresh trend record against the previous one: one message
+/// per rule whose suppression count (allowed + baselined) rose, plus
+/// one when the standing-violation total rose. Empty means the ratchet
+/// held. New rules start from an implicit zero, so the very first
+/// suppression of a new rule is itself a regression — by design: debt
+/// is taken on explicitly, not discovered later in the trajectory.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when either record does not have the
+/// `sysunc-bench-trend/1` shape.
+pub fn suppression_regressions(
+    current: &Json,
+    previous: &Json,
+) -> Result<Vec<String>, JsonError> {
+    let now = suppressions_by_rule(current)?;
+    let before = suppressions_by_rule(previous)?;
+    let mut findings = Vec::new();
+    for (rule, n) in &now {
+        let was = before.get(rule).copied().unwrap_or(0);
+        if *n > was {
+            findings.push(format!(
+                "rule '{rule}' suppressions rose {was} -> {n}; the exception \
+                 ledger must only ratchet down"
+            ));
+        }
+    }
+    let total = |r: &Json| r.get("violations").and_then(Json::as_u64).unwrap_or(0);
+    let (now_v, before_v) = (total(current), total(previous));
+    if now_v > before_v {
+        findings.push(format!(
+            "standing violations rose {before_v} -> {now_v}"
+        ));
+    }
+    Ok(findings)
 }
 
 /// One mode's headline numbers pulled out of a `sysunc-bench-serve/2`
@@ -237,17 +305,17 @@ mod tests {
     use sysunc::prob::json::parse;
 
     const SAMPLE: &str = r#"{
-        "schema": "sysunc-tidy/1",
+        "schema": "sysunc-tidy/2",
         "files_scanned": 12,
         "clean": true,
         "violations": [],
         "allowed": [
-            {"file": "a.rs", "line": 1, "rule": "panic", "message": "m"},
-            {"file": "b.rs", "line": 2, "rule": "panic", "message": "m"},
-            {"file": "c.rs", "line": 3, "rule": "seed-discipline", "message": "m"}
+            {"file": "a.rs", "line": 1, "rule": "panic", "resolution": "token", "message": "m"},
+            {"file": "b.rs", "line": 2, "rule": "panic", "resolution": "token", "message": "m"},
+            {"file": "c.rs", "line": 3, "rule": "seed-discipline", "resolution": "token", "message": "m"}
         ],
         "baselined": [
-            {"file": "d.rs", "line": 4, "rule": "doc", "message": "m"}
+            {"file": "d.rs", "line": 4, "rule": "doc", "resolution": "token", "message": "m"}
         ]
     }"#;
 
@@ -284,8 +352,47 @@ mod tests {
     fn foreign_documents_are_rejected() {
         let report = parse(r#"{"schema":"other/9"}"#).expect("parses");
         assert!(trend_record(&report).is_err());
-        let report = parse(r#"{"schema":"sysunc-tidy/1"}"#).expect("parses");
+        let report = parse(r#"{"schema":"sysunc-tidy/2"}"#).expect("parses");
         assert!(trend_record(&report).is_err(), "missing members must error");
+    }
+
+    #[test]
+    fn legacy_tidy_1_documents_still_fold() {
+        // Pre-resolution findings documents lack the `resolution`
+        // member; the fold never looked at it, so /1 keeps working.
+        let legacy = SAMPLE.replace("sysunc-tidy/2", "sysunc-tidy/1");
+        let report = parse(&legacy).expect("parses");
+        let record = trend_record(&report).expect("legacy schema accepted");
+        let v = parse(&record).expect("record parses back");
+        assert_eq!(v.get("allowed_total").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn suppression_regressions_trip_on_rising_counts_only() {
+        let record = |panic: u64, doc: u64, violations: u64| {
+            parse(&format!(
+                r#"{{"schema":"sysunc-bench-trend/1","files_scanned":12,
+                    "clean":true,"violations":{violations},
+                    "allowed_total":{panic},"allowed_by_rule":{{"panic":{panic}}},
+                    "baselined_total":{doc},"baselined_by_rule":{{"doc":{doc}}}}}"#
+            ))
+            .expect("record parses")
+        };
+        let base = record(2, 1, 0);
+        // Flat or falling counts hold the ratchet.
+        assert!(suppression_regressions(&record(2, 1, 0), &base).expect("folds").is_empty());
+        assert!(suppression_regressions(&record(1, 0, 0), &base).expect("folds").is_empty());
+        // A rising per-rule count trips, naming the rule.
+        let findings = suppression_regressions(&record(3, 1, 0), &base).expect("folds");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("'panic'"), "{findings:?}");
+        assert!(findings[0].contains("2 -> 3"), "{findings:?}");
+        // Rising standing violations trip too.
+        let findings = suppression_regressions(&record(2, 1, 4), &base).expect("folds");
+        assert!(findings.iter().any(|f| f.contains("violations rose 0 -> 4")), "{findings:?}");
+        // A record of the wrong schema is an error, not a silent pass.
+        let foreign = parse(r#"{"schema":"other/9"}"#).expect("parses");
+        assert!(suppression_regressions(&foreign, &base).is_err());
     }
 
     fn serve_suite(cold_rps: f64, hot_rps: f64) -> Json {

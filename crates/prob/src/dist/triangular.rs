@@ -65,10 +65,11 @@ impl Continuous for Triangular {
             0.0
         } else if x < c {
             2.0 * (x - a) / ((b - a) * (c - a))
-        } else if x == c {
-            2.0 / (b - a)
-        } else {
+        } else if x > c {
             2.0 * (b - x) / ((b - a) * (b - c))
+        } else {
+            // At the mode both ramps meet at the peak density.
+            2.0 / (b - a)
         }
     }
 

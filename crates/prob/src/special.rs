@@ -84,8 +84,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 pub fn gamma(x: f64) -> f64 {
     if x > 0.0 {
         ln_gamma(x).exp()
-    } else if x == x.floor() {
-        f64::NAN // poles
+    // Poles sit at exactly the nonpositive integers; the exact
+    // comparison is the definition, not an accident.
+    } else if x == x.floor() { // tidy: allow(float-eq)
+        f64::NAN
     } else {
         // Reflection: Γ(x) = π / (sin(πx) Γ(1-x))
         std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * ln_gamma(1.0 - x).exp())

@@ -67,6 +67,10 @@ pub struct Token {
     pub line: usize,
     /// 1-based byte column of the token's first byte.
     pub col: usize,
+    /// 1-based line of the token's last byte — equal to `line` except
+    /// for multi-line tokens (block comments, raw strings), whose full
+    /// extent the resolution layer needs for exact item spans.
+    pub end_line: usize,
 }
 
 impl Token {
@@ -114,7 +118,7 @@ impl<'a> Lexer<'a> {
             let (line, col) = (self.line, self.pos - self.line_start + 1);
             let kind = self.token_kind(b);
             debug_assert!(self.pos > start, "lexer must always make progress");
-            out.push(Token { kind, start, end: self.pos, line, col });
+            out.push(Token { kind, start, end: self.pos, line, col, end_line: self.line });
         }
         out
     }
@@ -549,6 +553,75 @@ mod tests {
         let toks2 = lex(src2);
         assert_eq!(toks2[2].text(src2), "b");
         assert_eq!(toks2[2].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes_lex_as_single_tokens() {
+        // Multi-`#` raw strings, including an inner quote followed by
+        // *fewer* hashes than the delimiter, stay one token.
+        let src = r####"let s = r###"a "# b "## c"###; tail"####;
+        let toks = kinds(src);
+        assert_eq!(toks[3], (TokenKind::RawStr, r####"r###"a "# b "## c"###"####));
+        assert_eq!(toks[5], (TokenKind::Ident, "tail"));
+        // Raw *byte* strings with multiple hashes likewise.
+        let src2 = r###"br##"x "# y"## z"###;
+        let toks2 = kinds(src2);
+        assert_eq!(toks2[0], (TokenKind::RawStr, r###"br##"x "# y"##"###));
+        assert_eq!(toks2[1], (TokenKind::Ident, "z"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_lex_with_exact_spans() {
+        let src = r#"let a = b"by\"tes"; let b = br"raw"; end"#;
+        let toks = lex(src);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::RawStr))
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].text(src), r#"b"by\"tes""#);
+        assert_eq!(strs[1].text(src), r#"br"raw""#);
+        assert_eq!(toks.last().map(|t| t.text(src)), Some("end"));
+    }
+
+    #[test]
+    fn nested_block_comments_inside_macro_bodies() {
+        let src = "m! { /* a /* b */ still */ x }";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "m"),
+                (TokenKind::Punct, "!"),
+                (TokenKind::Punct, "{"),
+                (TokenKind::BlockComment, "/* a /* b */ still */"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_literals_with_suffixed_exponents() {
+        assert_eq!(kinds("1e3f64")[0], (TokenKind::Float, "1e3f64"));
+        assert_eq!(kinds("2E5f32")[0], (TokenKind::Float, "2E5f32"));
+        assert_eq!(kinds("1.5e-3f64")[0], (TokenKind::Float, "1.5e-3f64"));
+        assert_eq!(kinds("7e2f32.ln()")[0], (TokenKind::Float, "7e2f32"));
+        // The suffix stays inside the literal: exactly one token plus
+        // whatever follows.
+        let toks = kinds("1e3f64 + x");
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn end_line_tracks_multiline_tokens() {
+        let src = "a /* x\ny */ b r#\"p\nq\nr\"# c";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].end_line), (1, 1), "single-line ident");
+        assert_eq!((toks[1].line, toks[1].end_line), (1, 2), "two-line block comment");
+        assert_eq!((toks[2].line, toks[2].end_line), (2, 2));
+        assert_eq!((toks[3].line, toks[3].end_line), (2, 4), "three-line raw string");
+        assert_eq!((toks[4].line, toks[4].end_line), (4, 4));
     }
 
     #[test]

@@ -6,9 +6,17 @@
 //! string literals and numeric literals are tokens, not text), so the
 //! textual false-positive classes of a line-regex gate — a `.unwrap()`
 //! quoted in a string, a `==` mentioned in a doc comment, braces inside
-//! literals — cannot fire. A [`symbols`] pass additionally builds a
-//! workspace-level table of public items, enabling rules that reason
-//! across files.
+//! literals — cannot fire. On top of the token stream, a semantic
+//! [`resolve`] layer parses each crate's real module tree (inline and
+//! file modules), builds a per-module item graph with `use`/`pub use`
+//! edges (aliases, `crate::`/`super::` prefixes, globs), and indexes
+//! per-function type annotations — so cross-file rules resolve paths
+//! against the actual tree instead of matching names. The [`symbols`]
+//! pass assembles those per-crate graphs into a workspace table;
+//! `sysunc-tidy --dump-modules` renders the resolved trees for
+//! inspection. Every finding records which layer produced it in its
+//! `resolution` field (`token`, `module-graph`, or `type-flow`) — the
+//! schema bump to `sysunc-tidy/2`.
 //!
 //! In the paper's vocabulary this is an uncertainty-**prevention**
 //! means applied to our own toolchain: the rules remove whole classes
@@ -21,18 +29,19 @@
 //!
 //! ## Rules
 //!
-//! | rule              | invariant                                                              |
-//! |-------------------|------------------------------------------------------------------------|
-//! | `manifest`        | every Cargo.toml dependency is a path (or workspace) dependency        |
-//! | `panic`           | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
-//! | `float-eq`        | no `==`/`!=` on float-typed expressions outside tests                  |
-//! | `prob-contract`   | public probability-named fns state a range contract                    |
-//! | `error-impl`      | every `error.rs` enum implements `Display` and `Error`                 |
-//! | `doc`             | public items in each crate's `lib.rs` carry doc comments               |
-//! | `suite-error`     | integration-suite code uses `sysunc::Error`, not per-crate enums       |
-//! | `seed-discipline` | library code never builds an RNG from a hardcoded seed                 |
-//! | `unused-allow`    | every `tidy: allow(...)` comment suppresses a live finding             |
-//! | `pub-reexport`    | every public item is reachable from its crate root (and the facade)    |
+//! | rule              | invariant                                                                |
+//! |-------------------|--------------------------------------------------------------------------|
+//! | `manifest`        | every Cargo.toml dependency is a path (or workspace) dependency          |
+//! | `panic`           | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code   |
+//! | `float-eq`        | no `==`/`!=` where either operand's type *flows* from a float annotation — a parameter, a called fn's return type, an explicit or inferred `let`, a struct field — resolved workspace-wide |
+//! | `prob-contract`   | public probability-named fns state a range contract                      |
+//! | `error-impl`      | every `error.rs` enum implements `Display` and `Error`                   |
+//! | `doc`             | public items in each crate's `lib.rs` carry doc comments                 |
+//! | `suite-error`     | integration-suite code uses `sysunc::Error`, not per-crate enums         |
+//! | `seed-discipline` | library code never builds an RNG from a hardcoded seed                   |
+//! | `lock-hygiene`    | no `.lock().unwrap()` outside tests, and no guard held across a known-blocking call (`sleep`, socket I/O, `recv`, `join`) |
+//! | `unused-allow`    | every `tidy: allow(...)` comment suppresses a live finding               |
+//! | `pub-reexport`    | every public item is root-reachable through a real `pub` chain — module tree resolved, glob re-exports expanded item-by-item — and every substrate crate surfaces in the facade |
 //!
 //! A violating line can be acknowledged explicitly with the escape
 //! hatch comment `// tidy: allow(<rule>)` on the same or preceding
@@ -52,6 +61,7 @@ use std::path::{Path, PathBuf};
 pub mod cursor;
 pub mod lexer;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod symbols;
 pub mod walk;
@@ -159,6 +169,11 @@ pub struct Violation {
     pub rule: &'static str,
     /// Human-readable description of the specific violation.
     pub message: String,
+    /// Which analysis layer produced the finding: `"token"` for plain
+    /// token-stream scans, `"module-graph"` for findings resolved over
+    /// the [`resolve::CrateGraph`] module tree, `"type-flow"` for
+    /// findings derived from the type-annotation dataflow.
+    pub resolution: &'static str,
 }
 
 impl fmt::Display for Violation {
@@ -490,6 +505,7 @@ mod tests {
                         file: file.path.clone(),
                         line: no,
                         rule: self.name(),
+                        resolution: "token",
                         message: "fixture".into(),
                     });
                 }
@@ -626,6 +642,7 @@ fn shipped() {}
             file: PathBuf::from("crates/x/src/lib.rs"),
             line: 7,
             rule: "panic",
+            resolution: "token",
             message: "found `.unwrap()`".into(),
         };
         assert_eq!(v.to_string(), "crates/x/src/lib.rs:7: panic: found `.unwrap()`");

@@ -3,14 +3,18 @@
 //! ```text
 //! cargo run -p sysunc-tidy -- [OPTIONS] [workspace-root]
 //!
-//!   --json               emit the sysunc-tidy/1 JSON findings object
+//!   --json               emit the sysunc-tidy/2 JSON findings object
 //!   --serial             check files serially (default: parallel)
 //!   --baseline <path>    apply a ratchet file (default: <root>/tidy.baseline
 //!                        when it exists)
 //!   --write-baseline     regenerate the baseline from the standing
 //!                        findings (to --baseline or <root>/tidy.baseline)
 //!                        instead of gating, then exit
-//!   --explain <rule>     print what a rule enforces and why, then exit
+//!   --explain [rule]     print what a rule enforces and why, then exit;
+//!                        with no rule, list every rule one per line
+//!                        (unknown rules exit 2)
+//!   --dump-modules       print the resolved module tree, item
+//!                        reachability and re-exports per crate, then exit
 //! ```
 //!
 //! Prints one `file:line: rule: message` per violation and exits
@@ -25,6 +29,14 @@ use std::process::ExitCode;
 use sysunc_tidy::report::{to_json, Baseline};
 use sysunc_tidy::{rules, walk};
 
+/// What `--explain` was asked to do.
+enum ExplainMode {
+    /// Bare `--explain`: list every rule with its one-line summary.
+    All,
+    /// `--explain <rule>`: print that rule's full explanation.
+    Rule(String),
+}
+
 /// Parsed command line.
 struct Options {
     root: Option<PathBuf>,
@@ -32,7 +44,8 @@ struct Options {
     serial: bool,
     baseline: Option<PathBuf>,
     write_baseline: bool,
-    explain: Option<String>,
+    explain: Option<ExplainMode>,
+    dump_modules: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -43,21 +56,35 @@ fn parse_args() -> Result<Options, String> {
         baseline: None,
         write_baseline: false,
         explain: None,
+        dump_modules: false,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
         match arg.as_str() {
             "--json" => opts.json = true,
             "--serial" => opts.serial = true,
             "--baseline" => {
-                let path = args.next().ok_or("--baseline needs a path argument")?;
+                let path = args.get(i).ok_or("--baseline needs a path argument")?;
                 opts.baseline = Some(PathBuf::from(path));
+                i += 1;
             }
             "--write-baseline" => opts.write_baseline = true,
             "--explain" => {
-                let rule = args.next().ok_or("--explain needs a rule name")?;
-                opts.explain = Some(rule);
+                // The rule name is optional: a following token that
+                // looks like a flag (or nothing at all) means "list
+                // every rule".
+                opts.explain = Some(match args.get(i) {
+                    Some(next) if !next.starts_with('-') => {
+                        i += 1;
+                        ExplainMode::Rule(next.clone())
+                    }
+                    _ => ExplainMode::All,
+                });
             }
+            "--dump-modules" => opts.dump_modules = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -66,6 +93,66 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Renders the resolved module trees behind `--dump-modules`: per
+/// crate, every module with its declaration status and namespace
+/// reachability, each public item with whether a root `pub` chain
+/// reaches it, and each `use` declaration.
+fn dump_modules(ws: &sysunc_tidy::symbols::Workspace<'_>) -> String {
+    let mut out = String::new();
+    for krate in &ws.crates {
+        out.push_str(&format!("crate {}\n", krate.name));
+        let mut order: Vec<usize> = (0..krate.modules().len()).collect();
+        order.sort_by(|&a, &b| krate.modules()[a].path.cmp(&krate.modules()[b].path));
+        for mi in order {
+            let m = &krate.modules()[mi];
+            let indent = "  ".repeat(m.path.len() + 1);
+            let label = if m.path.is_empty() { "(root)" } else { m.name.as_str() };
+            let status = if m.path.is_empty() {
+                "root"
+            } else if !m.declared {
+                "UNDECLARED"
+            } else if krate.reach.module_ns[mi] {
+                "reachable"
+            } else {
+                "private"
+            };
+            out.push_str(&format!(
+                "{indent}mod {label} [{status}] — {}\n",
+                ws.files[m.file_idx].path.display()
+            ));
+            for (ii, item) in m.items.iter().enumerate() {
+                if !item.vis.is_pub() {
+                    continue;
+                }
+                let mark = if krate.reach.items[mi][ii] { "+" } else { "-" };
+                out.push_str(&format!(
+                    "{indent}  {mark} pub {} {} (line {})\n",
+                    item.kind, item.name, item.line
+                ));
+            }
+            for u in &m.uses {
+                let vis = if u.vis.is_pub() { "pub use" } else { "use" };
+                let glob = if u.glob { "::*" } else { "" };
+                let alias = u.alias.as_deref().map(|a| format!(" as {a}")).unwrap_or_default();
+                out.push_str(&format!(
+                    "{indent}  {vis} {}{glob}{alias} (line {})\n",
+                    u.path.join("::"),
+                    u.line
+                ));
+            }
+        }
+        if !krate.reach.unresolved_names.is_empty() {
+            let mut names: Vec<&String> = krate.reach.unresolved_names.iter().collect();
+            names.sort();
+            out.push_str(&format!(
+                "  unresolved pub-use fallback names: {}\n",
+                names.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -77,19 +164,29 @@ fn main() -> ExitCode {
         }
     };
 
-    if let Some(rule) = &opts.explain {
-        return match rules::explain(rule) {
-            Some(text) => {
-                println!("{rule}\n\n{text}");
+    if let Some(mode) = &opts.explain {
+        return match mode {
+            ExplainMode::All => {
+                let sums = rules::summaries();
+                let width = sums.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+                for (name, line) in sums {
+                    println!("{name:width$}  {line}");
+                }
                 ExitCode::SUCCESS
             }
-            None => {
-                eprintln!(
-                    "sysunc-tidy: unknown rule `{rule}`; known rules: {}",
-                    rules::rule_names().join(", ")
-                );
-                ExitCode::FAILURE
-            }
+            ExplainMode::Rule(rule) => match rules::explain(rule) {
+                Some(text) => {
+                    println!("{rule}\n\n{text}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!(
+                        "sysunc-tidy: unknown rule `{rule}`; known rules: {}",
+                        rules::rule_names().join(", ")
+                    );
+                    ExitCode::from(2)
+                }
+            },
         };
     }
 
@@ -120,6 +217,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if opts.dump_modules {
+        let ws = sysunc_tidy::symbols::Workspace::build(&files);
+        print!("{}", dump_modules(&ws));
+        return ExitCode::SUCCESS;
+    }
+
     let mut report = if opts.serial {
         sysunc_tidy::check_files_serial(&files)
     } else {

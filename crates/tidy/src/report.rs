@@ -2,20 +2,28 @@
 //!
 //! ## JSON findings schema (`sysunc-tidy --json`)
 //!
-//! The gate emits one JSON object, schema id `sysunc-tidy/1`:
+//! The gate emits one JSON object, schema id `sysunc-tidy/2`:
 //!
 //! ```json
 //! {
-//!   "schema": "sysunc-tidy/1",
+//!   "schema": "sysunc-tidy/2",
 //!   "files_scanned": 139,
 //!   "clean": true,
 //!   "violations": [
-//!     {"file": "crates/x/src/lib.rs", "line": 7, "rule": "panic", "message": "…"}
+//!     {"file": "crates/x/src/lib.rs", "line": 7, "rule": "panic",
+//!      "resolution": "token", "message": "…"}
 //!   ],
 //!   "allowed":   [ …same shape… ],
 //!   "baselined": [ …same shape… ]
 //! }
 //! ```
+//!
+//! `resolution` records which analysis layer produced each finding —
+//! `"token"` (plain token-stream scan), `"module-graph"` (resolved
+//! over the module tree / item graph), or `"type-flow"` (derived from
+//! the type-annotation dataflow) — so downstream consumers can weigh
+//! provenance. Schema `/1` lacked the field; the id was bumped when it
+//! was added.
 //!
 //! `violations` are the findings that fail the gate; `allowed` were
 //! acknowledged with `tidy: allow` comments; `baselined` were absorbed
@@ -67,10 +75,12 @@ fn escape_json(s: &str) -> String {
 
 fn violation_json(v: &Violation) -> String {
     format!(
-        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"resolution\":\"{}\",\
+         \"message\":\"{}\"}}",
         escape_json(&v.file.display().to_string()),
         v.line,
         escape_json(v.rule),
+        escape_json(v.resolution),
         escape_json(&v.message)
     )
 }
@@ -80,10 +90,10 @@ fn violations_json(vs: &[Violation]) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// Renders a [`Report`] in the `sysunc-tidy/1` JSON findings format.
+/// Renders a [`Report`] in the `sysunc-tidy/2` JSON findings format.
 pub fn to_json(report: &Report) -> String {
     format!(
-        "{{\"schema\":\"sysunc-tidy/1\",\"files_scanned\":{},\"clean\":{},\
+        "{{\"schema\":\"sysunc-tidy/2\",\"files_scanned\":{},\"clean\":{},\
          \"violations\":{},\"allowed\":{},\"baselined\":{}}}",
         report.files_scanned,
         report.clean(),
@@ -243,7 +253,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn v(file: &str, line: usize, rule: &'static str, msg: &str) -> Violation {
-        Violation { file: PathBuf::from(file), line, rule, message: msg.into() }
+        Violation { file: PathBuf::from(file), line, rule, resolution: "token", message: msg.into() }
     }
 
     #[test]
@@ -255,7 +265,8 @@ mod tests {
             files_scanned: 2,
         };
         let json = to_json(&report);
-        assert!(json.starts_with("{\"schema\":\"sysunc-tidy/1\""));
+        assert!(json.starts_with("{\"schema\":\"sysunc-tidy/2\""));
+        assert!(json.contains("\"resolution\":\"token\""));
         assert!(json.contains("\"files_scanned\":2"));
         assert!(json.contains("\"clean\":false"));
         assert!(json.contains("\\\"quoted\\\""));

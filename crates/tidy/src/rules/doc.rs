@@ -110,6 +110,7 @@ impl Lint for DocCoverage {
                     file: file.path.clone(),
                     line: t.line,
                     rule: self.name(),
+                    resolution: "token",
                     message: format!("public {kind} `{name}` has no doc comment"),
                 });
             }

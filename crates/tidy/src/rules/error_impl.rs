@@ -77,6 +77,7 @@ impl Lint for ErrorImpl {
                     file: file.path.clone(),
                     line,
                     rule: self.name(),
+                    resolution: "token",
                     message: format!("error enum `{name}` does not implement `Display`"),
                 });
             }
@@ -85,6 +86,7 @@ impl Lint for ErrorImpl {
                     file: file.path.clone(),
                     line,
                     rule: self.name(),
+                    resolution: "token",
                     message: format!("error enum `{name}` does not implement `std::error::Error`"),
                 });
             }

@@ -3,23 +3,34 @@
 //! a zero-tolerance assumption; numerical code should compare against
 //! an explicit tolerance (or use `total_cmp` for ordering).
 //!
-//! Detection is token-based: a comparison is flagged when either
-//! adjacent operand *is* float-shaped — a float literal token (`0.5`,
-//! `1e-3`, `1f64`) or an `f64::`/`f32::` associated constant — or when
-//! it is a bare identifier that the enclosing function bound with an
-//! explicit float annotation (`let x: f64 = …`). The latter is the
-//! only type propagation the lint does: annotations are declared facts,
-//! so `a == b` on two annotated float locals is as certain a defect as
-//! `a == 0.5`. Anything needing real inference (field types, returns,
-//! unannotated lets) stays out of scope for a lexical lint. A `==`
-//! inside a string literal or a comment is not a comparison and cannot
-//! fire. Intentional exact comparisons (e.g. checking a CDF saturates
-//! at exactly 0 or 1) take `// tidy: allow(float-eq)`.
+//! Detection starts token-shaped — a float literal (`0.5`, `1e-3`,
+//! `1f64`) or an `f64::`/`f32::` associated constant adjacent to the
+//! operator — and then follows declared types through the
+//! [`crate::resolve`] signature index. A comparison is flagged when
+//! either operand's type **flows from an annotation**: an `f32`/`f64`
+//! parameter of the enclosing function, the return type of a called
+//! function anywhere in the workspace, an explicit `let x: f64`, an
+//! inferred let bound to a float literal or to a call whose return type
+//! is float, or a field access on a local whose struct type declares
+//! that field `f32`/`f64`. All of those are declared facts, not
+//! guesses, so `a == b` on two such operands is as certain a defect as
+//! `a == 0.5`. A `==` inside a string literal or a comment is not a
+//! comparison and cannot fire. Intentional exact comparisons (e.g.
+//! checking a CDF saturates at exactly 0 or 1) take
+//! `// tidy: allow(float-eq)`.
+//!
+//! Cross-file by nature (the called function's signature lives in
+//! another file), so it runs as a [`crate::WorkspaceLint`]. A function
+//! name defined with conflicting return types anywhere in the workspace
+//! is dropped from the call-flow index — equally for struct fields —
+//! so the propagation never guesses between candidates.
 
 use std::collections::HashMap;
 
 use crate::lexer::{Token, TokenKind};
-use crate::{FileKind, Lint, SourceFile, Violation};
+use crate::resolve::{self, FnInfo, TypeAnn};
+use crate::symbols::Workspace;
+use crate::{FileKind, SourceFile, Violation, WorkspaceLint};
 
 /// See the module docs.
 pub struct FloatEq;
@@ -104,123 +115,239 @@ fn right_bare_ident<'f>(file: &'f SourceFile, i: usize) -> Option<&'f str> {
     Some(file.text(first))
 }
 
-/// One function body: its `{`/`}` token extent and the locals the
-/// function binds with an explicit `let name: f32|f64` annotation.
-struct FnBody {
-    open: usize,
-    close: usize,
-    float_lets: HashMap<String, &'static str>,
-}
-
-/// Advances past a balanced punctuation pair opening at `i`, returning
-/// the index of the matching closer (or the end of the file).
-fn matching_close(file: &SourceFile, i: usize, open: &str, close: &str) -> usize {
+/// The called name when the left operand ending at `i` is a call:
+/// `…name(args)` — the name is the identifier before the matching `(`
+/// (so `x.mean()` and `stats::mean()` both yield `mean`).
+fn left_call_name<'f>(file: &'f SourceFile, i: usize) -> Option<&'f str> {
     let tokens = file.tokens();
-    let mut depth = 0usize;
-    let mut j = i;
-    while j < tokens.len() {
-        if tokens[j].kind == TokenKind::Punct {
-            let text = file.text(&tokens[j]);
-            if text == open {
-                depth += 1;
-            } else if text == close {
-                depth -= 1;
-                if depth == 0 {
-                    return j;
+    let last = tokens[..i].iter().rposition(|t| !t.is_comment())?;
+    if !(tokens[last].kind == TokenKind::Punct && file.text(&tokens[last]) == ")") {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut k = last;
+    loop {
+        if tokens[k].kind == TokenKind::Punct {
+            match file.text(&tokens[k]) {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
                 }
+                _ => {}
             }
         }
-        j += 1;
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
     }
-    j
+    let callee = tokens[..k].iter().rposition(|t| !t.is_comment())?;
+    (tokens[callee].kind == TokenKind::Ident).then(|| file.text(&tokens[callee]))
 }
 
-/// Collects `let [mut] name: f32|f64` bindings (with `=` or `;` right
-/// after the type, so `Vec<f64>` and friends don't qualify) between
-/// token indices `open` and `close`.
-fn float_lets(file: &SourceFile, open: usize, close: usize) -> HashMap<String, &'static str> {
-    let sig: Vec<usize> = (open..close)
-        .filter(|&i| !file.tokens()[i].is_comment())
-        .collect();
-    let text = |slot: usize| file.text(&file.tokens()[sig[slot]]);
-    let kind = |slot: usize| file.tokens()[sig[slot]].kind;
-    let mut found = HashMap::new();
-    for s in 0..sig.len() {
-        if kind(s) != TokenKind::Ident || text(s) != "let" {
-            continue;
-        }
-        let mut n = s + 1;
-        if n < sig.len() && kind(n) == TokenKind::Ident && text(n) == "mut" {
-            n += 1;
-        }
-        if n + 3 >= sig.len() || kind(n) != TokenKind::Ident || text(n + 1) != ":" {
-            continue;
-        }
-        let name = text(n);
-        let ty = match (kind(n + 2) == TokenKind::Ident).then(|| text(n + 2)) {
-            Some("f64") => "f64",
-            Some("f32") => "f32",
-            _ => continue,
-        };
-        if matches!(text(n + 3), "=" | ";") {
-            found.insert(name.to_string(), ty);
-        }
-    }
-    found
-}
-
-/// Finds every `fn` body in the file (including nested ones) with its
-/// annotated float locals. Bodies are returned in source order, so the
-/// innermost body containing an index is the *last* match.
-fn function_bodies(file: &SourceFile) -> Vec<FnBody> {
+/// The called name when the right operand starting at `i` is a call
+/// chain: `[-] seg(::seg|.seg)* (` — the name is the final segment.
+fn right_call_name<'f>(file: &'f SourceFile, i: usize) -> Option<&'f str> {
     let tokens = file.tokens();
-    let mut bodies = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
+    let mut sig = (i..tokens.len()).filter(|&k| !tokens[k].is_comment());
+    let mut k = sig.next()?;
+    if tokens[k].kind == TokenKind::Punct && file.text(&tokens[k]) == "-" {
+        k = sig.next()?;
+    }
+    if tokens[k].kind != TokenKind::Ident {
+        return None;
+    }
+    let mut name = file.text(&tokens[k]);
+    loop {
+        let n = sig.next()?;
+        if tokens[n].kind != TokenKind::Punct {
+            return None;
+        }
+        match file.text(&tokens[n]) {
+            "(" => return Some(name),
+            "::" | "." => {
+                let m = sig.next()?;
+                if tokens[m].kind != TokenKind::Ident {
+                    return None;
+                }
+                name = file.text(&tokens[m]);
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// `base.field` when the left operand ending at `i` is exactly a field
+/// access on a bare local.
+fn left_field<'f>(file: &'f SourceFile, i: usize) -> Option<(&'f str, &'f str)> {
+    let mut sig = file.tokens()[..i].iter().rev().filter(|t| !t.is_comment());
+    let field = sig.next()?;
+    let dot = sig.next()?;
+    let base = sig.next()?;
+    if field.kind != TokenKind::Ident
+        || dot.kind != TokenKind::Punct
+        || file.text(dot) != "."
+        || base.kind != TokenKind::Ident
+    {
+        return None;
+    }
+    if let Some(prev) = sig.next() {
+        if prev.kind == TokenKind::Punct
+            && matches!(file.text(prev), "." | "::" | ")" | "]")
+        {
+            return None; // chained access; the base is not a bare local
+        }
+    }
+    Some((file.text(base), file.text(field)))
+}
+
+/// `base.field` when the right operand starting at `i` is exactly a
+/// field access on a bare local (not a method call).
+fn right_field<'f>(file: &'f SourceFile, i: usize) -> Option<(&'f str, &'f str)> {
+    let mut sig = file.tokens()[i..].iter().filter(|t| !t.is_comment());
+    let mut base = sig.next()?;
+    if base.kind == TokenKind::Punct && file.text(base) == "-" {
+        base = sig.next()?;
+    }
+    let dot = sig.next()?;
+    let field = sig.next()?;
+    if base.kind != TokenKind::Ident
+        || dot.kind != TokenKind::Punct
+        || file.text(dot) != "."
+        || field.kind != TokenKind::Ident
+    {
+        return None;
+    }
+    if let Some(next) = sig.next() {
+        if next.kind == TokenKind::Punct && matches!(file.text(next), "(" | ".") {
+            return None; // method call or deeper chain
+        }
+    }
+    Some((file.text(base), file.text(field)))
+}
+
+/// How a local came to be float-typed, for the finding message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LocalTy {
+    /// `f32`/`f64` with the provenance phrase used in the message.
+    Float { ty: &'static str, how: &'static str },
+    /// A non-float named type (used to resolve field accesses).
+    Named(String),
+}
+
+/// The typed locals visible inside one function body: parameters first,
+/// then explicit `let name: T` annotations, then inferred lets (float
+/// literal or known-call initializers). Later bindings shadow earlier
+/// ones, matching scope order closely enough for a lint.
+fn local_types(
+    file: &SourceFile,
+    f: &FnInfo,
+    fn_returns: &HashMap<&str, TypeAnn>,
+) -> HashMap<String, LocalTy> {
+    let mut env: HashMap<String, LocalTy> = HashMap::new();
+    for p in &f.params {
+        match &p.ty {
+            TypeAnn::Float(ty) => {
+                env.insert(
+                    p.name.clone(),
+                    LocalTy::Float { ty, how: "parameter-typed" },
+                );
+            }
+            TypeAnn::Named(n) => {
+                env.insert(p.name.clone(), LocalTy::Named(n.clone()));
+            }
+            TypeAnn::Other => {}
+        }
+    }
+    let Some((open, close)) = f.body else { return env };
+    let tokens = file.tokens();
+    let mut i = open + 1;
+    while i < close {
         let t = &tokens[i];
-        if t.kind != TokenKind::Ident || file.text(t) != "fn" {
+        if !(t.kind == TokenKind::Ident && file.text(t) == "let") {
             i += 1;
             continue;
         }
-        // Parameter list: first `(` after the name/generics, balanced.
-        let mut j = i + 1;
-        while j < tokens.len()
-            && !(tokens[j].kind == TokenKind::Punct && file.text(&tokens[j]) == "(")
-        {
-            j += 1;
+        let mut sig = (i + 1..close).filter(|&k| !tokens[k].is_comment());
+        let Some(mut n) = sig.next() else { break };
+        if tokens[n].kind == TokenKind::Ident && file.text(&tokens[n]) == "mut" {
+            match sig.next() {
+                Some(k) => n = k,
+                None => break,
+            }
         }
-        let params_end = matching_close(file, j, "(", ")");
-        // Body: the first `{` before any `;` (a bare `;` means a
-        // bodiless trait/extern signature).
-        let mut k = params_end + 1;
-        let mut open = None;
-        while k < tokens.len() {
-            if tokens[k].kind == TokenKind::Punct {
-                match file.text(&tokens[k]) {
-                    "{" => {
-                        open = Some(k);
-                        break;
+        if tokens[n].kind != TokenKind::Ident {
+            i += 1;
+            continue; // destructuring pattern: out of scope
+        }
+        let name = file.text(&tokens[n]).to_string();
+        let Some(after) = sig.next() else { break };
+        if tokens[after].kind == TokenKind::Punct && file.text(&tokens[after]) == ":" {
+            // Explicit annotation is a declared fact.
+            let (ann, next) = resolve::type_annotation_at(file, after + 1);
+            match ann {
+                TypeAnn::Float(ty) => {
+                    env.insert(name, LocalTy::Float { ty, how: "let-annotated" });
+                }
+                TypeAnn::Named(tyname) => {
+                    env.insert(name, LocalTy::Named(tyname));
+                }
+                TypeAnn::Other => {}
+            }
+            i = next.max(i + 1);
+            continue;
+        }
+        if tokens[after].kind == TokenKind::Punct && file.text(&tokens[after]) == "=" {
+            // Inferred let: a float literal or a known call's result.
+            let mut sig2 = (after + 1..close).filter(|&k| !tokens[k].is_comment());
+            if let Some(mut e) = sig2.next() {
+                if tokens[e].kind == TokenKind::Punct && file.text(&tokens[e]) == "-" {
+                    e = match sig2.next() {
+                        Some(k) => k,
+                        None => break,
+                    };
+                }
+                if tokens[e].kind == TokenKind::Float {
+                    let ty = if file.text(&tokens[e]).ends_with("f32") { "f32" } else { "f64" };
+                    env.insert(name, LocalTy::Float { ty, how: "literal-inferred" });
+                } else if let Some(callee) = right_call_name(file, e) {
+                    match fn_returns.get(callee) {
+                        Some(TypeAnn::Float(ty)) => {
+                            env.insert(
+                                name,
+                                LocalTy::Float { ty, how: "call-result-inferred" },
+                            );
+                        }
+                        Some(TypeAnn::Named(tyname)) => {
+                            env.insert(name, LocalTy::Named(tyname.clone()));
+                        }
+                        _ => {}
                     }
-                    ";" => break,
-                    _ => {}
                 }
             }
-            k += 1;
         }
-        let Some(open) = open else {
-            i = k.max(i + 1);
-            continue;
-        };
-        let close = matching_close(file, open, "{", "}");
-        bodies.push(FnBody { open, close, float_lets: float_lets(file, open, close) });
-        // Keep scanning from just inside the body so nested functions
-        // get their own (innermost) entry.
-        i = open + 1;
+        i += 1;
     }
-    bodies
+    env
 }
 
-impl Lint for FloatEq {
+/// The float type of `base.field`, when `base` is a known local of a
+/// struct type whose declaration types that field `f32`/`f64`.
+fn field_float(
+    env: &HashMap<String, LocalTy>,
+    fields: &HashMap<String, HashMap<String, &'static str>>,
+    base: &str,
+    field: &str,
+) -> Option<(&'static str, String)> {
+    let LocalTy::Named(tyname) = env.get(base)? else { return None };
+    let ty = fields.get(tyname)?.get(field)?;
+    Some((ty, tyname.clone()))
+}
+
+impl WorkspaceLint for FloatEq {
     fn name(&self) -> &'static str {
         "float-eq"
     }
@@ -231,23 +358,90 @@ impl Lint for FloatEq {
          assumption that numerical error will violate. Compare against an \
          explicit tolerance, or use `total_cmp` for ordering. The check fires \
          when either operand is a float literal, an `f64::`/`f32::` constant, \
-         or a local the enclosing function bound with an explicit `let x: \
-         f32|f64` annotation; intentional exact comparisons (saturation \
-         checks, IEEE special cases) take `// tidy: allow(float-eq)` with a \
+         or an expression whose type flows from a declared annotation: an \
+         `f32`/`f64` parameter, the return type of a called function, an \
+         explicit or inferred `let` binding, or a float-typed struct field \
+         on a known local. Intentional exact comparisons (saturation checks, \
+         IEEE special cases) take `// tidy: allow(float-eq)` with a \
          justification."
     }
 
-    fn applies(&self, kind: FileKind) -> bool {
-        kind == FileKind::RustLibrary
-    }
+    fn check(&self, ws: &Workspace<'_>, out: &mut Vec<Violation>) {
+        // Workspace call-flow index: fn name -> return annotation.
+        // Names with conflicting definitions are poisoned (removed), so
+        // the flow never guesses between candidates.
+        let mut fn_returns: HashMap<&str, TypeAnn> = HashMap::new();
+        let mut poisoned: Vec<&str> = Vec::new();
+        let mut struct_fields: HashMap<String, HashMap<String, &'static str>> =
+            HashMap::new();
+        for (&idx, facts) in &ws.facts {
+            let file = &ws.files[idx];
+            for f in &facts.fns {
+                if file.in_test_block(f.line) {
+                    continue;
+                }
+                let name = f.name.as_str();
+                if poisoned.contains(&name) {
+                    continue;
+                }
+                match fn_returns.get(name) {
+                    None => {
+                        fn_returns.insert(name, f.ret.clone());
+                    }
+                    Some(prev) if *prev == f.ret => {}
+                    Some(_) => {
+                        fn_returns.remove(name);
+                        poisoned.push(name);
+                    }
+                }
+            }
+            for s in &facts.structs {
+                let entry: HashMap<String, &'static str> =
+                    s.float_fields.iter().cloned().collect();
+                match struct_fields.get_mut(&s.name) {
+                    None => {
+                        struct_fields.insert(s.name.clone(), entry);
+                    }
+                    Some(prev) => {
+                        // Same struct name declared twice: keep only the
+                        // fields both declarations agree on.
+                        prev.retain(|k, v| entry.get(k) == Some(v));
+                    }
+                }
+            }
+        }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
-        let bodies = function_bodies(file);
+        let mut indices: Vec<usize> = ws.facts.keys().copied().collect();
+        indices.sort_unstable();
+        for idx in indices {
+            let file = &ws.files[idx];
+            if file.kind != FileKind::RustLibrary {
+                continue;
+            }
+            self.check_file(file, &ws.facts[&idx], &fn_returns, &struct_fields, out);
+        }
+    }
+}
+
+impl FloatEq {
+    fn check_file(
+        &self,
+        file: &SourceFile,
+        facts: &resolve::FileFacts,
+        fn_returns: &HashMap<&str, TypeAnn>,
+        struct_fields: &HashMap<String, HashMap<String, &'static str>>,
+        out: &mut Vec<Violation>,
+    ) {
         // Innermost body containing token `i` — the last in source
-        // order, since nested bodies are pushed after their enclosers.
+        // order, since nested fns are indexed after their enclosers.
         let innermost = |i: usize| {
-            bodies.iter().rev().find(|b| b.open < i && i < b.close)
+            facts
+                .fns
+                .iter()
+                .rev()
+                .find(|f| f.body.map(|(o, c)| o < i && i < c).unwrap_or(false))
         };
+        let mut env_cache: HashMap<usize, HashMap<String, LocalTy>> = HashMap::new();
         for (i, t) in file.tokens().iter().enumerate() {
             if t.kind != TokenKind::Punct || file.in_test_block(t.line) {
                 continue;
@@ -261,29 +455,77 @@ impl Lint for FloatEq {
                     file: file.path.clone(),
                     line: t.line,
                     rule: self.name(),
+                    resolution: "token",
                     message: format!(
                         "float compared with `{op}`; compare against a tolerance instead"
                     ),
                 });
                 continue;
             }
-            // Type propagation from annotated lets: `a == b` where
-            // either side is a bare float-annotated local.
-            let Some(body) = innermost(i) else { continue };
+            let Some(f) = innermost(i) else { continue };
+            let env = env_cache
+                .entry(f.body.map(|(o, _)| o).unwrap_or(0))
+                .or_insert_with(|| local_types(file, f, fn_returns));
+            // Bare float-typed locals on either side. Each side is
+            // filtered to *float* locals before falling through, so a
+            // known non-float left operand never shadows a float right.
+            let float_local = |name: &str| match env.get_key_value(name) {
+                Some((n, LocalTy::Float { ty, how })) => Some((n, *ty, *how)),
+                _ => None,
+            };
             let local = left_bare_ident(file, i)
-                .and_then(|name| body.float_lets.get_key_value(name))
-                .or_else(|| {
-                    right_bare_ident(file, i + 1)
-                        .and_then(|name| body.float_lets.get_key_value(name))
-                });
-            if let Some((name, ty)) = local {
+                .and_then(&float_local)
+                .or_else(|| right_bare_ident(file, i + 1).and_then(&float_local));
+            if let Some((name, ty, how)) = local {
                 out.push(Violation {
                     file: file.path.clone(),
                     line: t.line,
                     rule: self.name(),
+                    resolution: "type-flow",
                     message: format!(
-                        "`{name}` is bound as `let {name}: {ty}` but compared with \
+                        "`{name}` is {ty} ({how}) but compared with `{op}`; \
+                         compare against a tolerance instead"
+                    ),
+                });
+                continue;
+            }
+            // A call whose return type is declared float.
+            let call = left_call_name(file, i)
+                .or_else(|| right_call_name(file, i + 1))
+                .filter(|name| matches!(fn_returns.get(name), Some(TypeAnn::Float(_))));
+            if let Some(callee) = call {
+                let Some(TypeAnn::Float(ty)) = fn_returns.get(callee) else { continue };
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    resolution: "type-flow",
+                    message: format!(
+                        "`{callee}()` returns {ty} but its result is compared with \
                          `{op}`; compare against a tolerance instead"
+                    ),
+                });
+                continue;
+            }
+            // A float-typed field on a known local.
+            let field = left_field(file, i)
+                .and_then(|(b, fld)| {
+                    field_float(env, struct_fields, b, fld).map(|r| (b, fld, r))
+                })
+                .or_else(|| {
+                    right_field(file, i + 1).and_then(|(b, fld)| {
+                        field_float(env, struct_fields, b, fld).map(|r| (b, fld, r))
+                    })
+                });
+            if let Some((base, fld, (ty, tyname))) = field {
+                out.push(Violation {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: self.name(),
+                    resolution: "type-flow",
+                    message: format!(
+                        "`{base}.{fld}` is the {ty} field of `{tyname}` but compared \
+                         with `{op}`; compare against a tolerance instead"
                     ),
                 });
             }
@@ -295,21 +537,29 @@ impl Lint for FloatEq {
 mod tests {
     use super::*;
 
-    fn run(src: &str) -> Vec<Violation> {
-        let file = SourceFile::new("crates/x/src/lib.rs", src, FileKind::RustLibrary);
+    fn run_files(specs: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = specs
+            .iter()
+            .map(|(p, s)| SourceFile::new(*p, *s, FileKind::RustLibrary))
+            .collect();
+        let ws = Workspace::build(&files);
         let mut out = Vec::new();
-        FloatEq.check(&file, &mut out);
+        FloatEq.check(&ws, &mut out);
         out
+    }
+
+    fn run(src: &str) -> Vec<Violation> {
+        run_files(&[("crates/x/src/lib.rs", src)])
     }
 
     #[test]
     fn literal_comparisons_fire() {
-        assert_eq!(run("fn f(x: f64) -> bool { x == 0.5 }").len(), 1);
-        assert_eq!(run("fn f(x: f64) -> bool { 1.0 != x }").len(), 1);
-        assert_eq!(run("fn f(x: f64) -> bool { x == f64::INFINITY }").len(), 1);
-        assert_eq!(run("fn f(x: f64) -> bool { x == 1f64 }").len(), 1);
-        assert_eq!(run("fn f(x: f64) -> bool { x == -0.5 }").len(), 1);
-        assert_eq!(run("fn f(x: f64) -> bool { x == 1e-3 }").len(), 1);
+        assert_eq!(run("fn f(x: T) -> bool { x == 0.5 }").len(), 1);
+        assert_eq!(run("fn f(x: T) -> bool { 1.0 != x }").len(), 1);
+        assert_eq!(run("fn f(x: T) -> bool { x == f64::INFINITY }").len(), 1);
+        assert_eq!(run("fn f(x: T) -> bool { x == 1f64 }").len(), 1);
+        assert_eq!(run("fn f(x: T) -> bool { x == -0.5 }").len(), 1);
+        assert_eq!(run("fn f(x: T) -> bool { x == 1e-3 }").len(), 1);
     }
 
     #[test]
@@ -342,7 +592,107 @@ mod tests {
 
     #[test]
     fn multiline_comparisons_fire() {
-        assert_eq!(run("fn f(x: f64) -> bool {\n    x\n        == 0.5\n}\n").len(), 1);
+        assert_eq!(run("fn f(x: T) -> bool {\n    x\n        == 0.5\n}\n").len(), 1);
+    }
+
+    #[test]
+    fn float_parameters_fire_on_bare_comparison() {
+        let out = run("fn close(a: f64, b: f64) -> bool { a == b }");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("parameter-typed"), "{}", out[0].message);
+        // Reference parameters count; non-float parameters do not.
+        assert_eq!(run("fn f(a: &f32, b: T) -> bool { b != a }").len(), 1);
+        assert!(run("fn f(a: &str, b: T) -> bool { a == b }").is_empty());
+    }
+
+    #[test]
+    fn known_call_results_fire_on_comparison() {
+        let src = "\
+fn mean(v: &[f64]) -> f64 { v[0] }
+fn check(v: &[f64], target: T) -> bool {
+    mean(v) == target
+}
+";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`mean()` returns f64"), "{}", out[0].message);
+        // Method-call and path-call shapes resolve to the same name.
+        let src2 = "\
+impl S {
+    fn mean(&self) -> f64 { 0.0 }
+}
+fn check(s: &S, t: T) -> bool { t != s.mean() }
+";
+        assert_eq!(run(src2).len(), 1);
+        // A call with a non-float (or unknown) return type passes.
+        assert!(run("fn len(v: &[T]) -> usize { v.len() }\nfn c(v: &[T]) -> bool { len(v) == 0 }\n")
+            .iter()
+            .all(|v| !v.message.contains("len")));
+    }
+
+    #[test]
+    fn call_flow_crosses_file_boundaries() {
+        let out = run_files(&[
+            (
+                "crates/x/src/lib.rs",
+                "mod stats;\nfn c(v: &[f64], t: T) -> bool { stats::mean(v) == t }\n",
+            ),
+            ("crates/x/src/stats.rs", "pub fn mean(v: &[f64]) -> f64 { v[0] }\n"),
+        ]);
+        let flagged: Vec<_> =
+            out.iter().filter(|v| v.message.contains("mean")).collect();
+        assert_eq!(flagged.len(), 1, "{out:?}");
+        assert!(flagged[0].file.ends_with("lib.rs"), "fires at the comparison site");
+    }
+
+    #[test]
+    fn conflicting_return_types_poison_the_call_flow() {
+        let src = "\
+mod a { pub fn value() -> f64 { 0.0 } }
+mod b { pub fn value() -> usize { 0 } }
+fn c(t: T) -> bool { a::value() == t }
+";
+        assert!(run(src).is_empty(), "ambiguous names must not be guessed");
+    }
+
+    #[test]
+    fn inferred_lets_fire_for_literals_and_known_calls() {
+        let literal = "fn f(t: T) -> bool {\n    let a = 0.5;\n    a == t\n}\n";
+        let out = run(literal);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("literal-inferred"), "{}", out[0].message);
+
+        let call = "\
+fn mean(v: &[f64]) -> f64 { v[0] }
+fn f(v: &[f64], t: T) -> bool {
+    let m = mean(v);
+    m == t
+}
+";
+        let out = run(call);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("call-result-inferred"), "{}", out[0].message);
+
+        // An unannotated let bound to an unknown call stays untyped.
+        assert!(run("fn f(t: T) -> bool {\n    let a = g();\n    a == t\n}\n").is_empty());
+    }
+
+    #[test]
+    fn float_struct_fields_fire_on_known_locals() {
+        let src = "\
+pub struct Reading { pub value: f64, pub label: L }
+fn f(r: Reading, t: T) -> bool {
+    r.value == t
+}
+fn g(r: Reading, t: T) -> bool {
+    t != r.label
+}
+";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`r.value` is the f64 field"), "{}", out[0].message);
+        // Unknown base locals never fire.
+        assert!(run("fn f(t: T) -> bool { s.value == t }").is_empty());
     }
 
     #[test]
@@ -356,29 +706,28 @@ fn f() -> bool {
 ";
         let out = run(src);
         assert_eq!(out.len(), 1, "{out:?}");
-        assert!(out[0].message.contains("let a: f64"), "{}", out[0].message);
+        assert!(out[0].message.contains("let-annotated"), "{}", out[0].message);
 
-        let negated = "fn f() -> bool {\n    let mut t: f32 = go();\n    x != -t\n}\n";
+        let negated = "fn f(x: T) -> bool {\n    let mut t: f32 = go();\n    x != -t\n}\n";
         assert_eq!(run(negated).len(), 1);
         // Uninitialized-then-assigned bindings still carry the type.
-        let deferred = "fn f() -> bool {\n    let z: f64;\n    z = g();\n    z == w\n}\n";
+        let deferred =
+            "fn f(w: T) -> bool {\n    let z: f64;\n    z = g();\n    z == w\n}\n";
         assert_eq!(run(deferred).len(), 1);
     }
 
     #[test]
     fn annotation_propagation_needs_a_bare_float_scalar_local() {
-        // Unannotated let: no inference, no finding.
-        assert!(run("fn f() -> bool {\n    let a = g();\n    a == b\n}\n").is_empty());
         // Annotated, but not a scalar float type.
         assert!(run(
-            "fn f() -> bool {\n    let v: Vec<f64> = g();\n    v == w\n}\n"
+            "fn f(w: T) -> bool {\n    let v: Vec<f64> = g();\n    v == w\n}\n"
         )
         .is_empty());
-        // Not a bare identifier: fields, paths, calls and indexing.
+        // Not a bare identifier: paths, calls and indexing.
         let src = "\
 fn f() -> bool {
     let a: f64 = g();
-    s.a == t.a && E::a == x && a(1) == y && a[0] == z
+    E::a == x && a(1) == y && a[0] == z
 }
 ";
         assert!(run(src).is_empty());

@@ -1,0 +1,470 @@
+//! Rule `lock-hygiene`: mutex/rwlock guards must be acquired with an
+//! explicit poisoning policy and must not stay live across blocking
+//! calls.
+//!
+//! Two findings, both about the same hazard class — a lock held in a
+//! state the author did not think about:
+//!
+//! 1. **Unwrapped acquisition.** `.lock().unwrap()` (and
+//!    `.read()`/`.write()` on an `RwLock`) turns a poisoned lock into a
+//!    library panic: one worker's panic cascades through every other
+//!    thread that touches the mutex. Library code must either recover
+//!    (`.unwrap_or_else(|e| e.into_inner())`, the workspace's `lock()`
+//!    helper idiom) or acknowledge the poisoning policy explicitly with
+//!    `// tidy: allow(lock-hygiene)`.
+//! 2. **Guard live across a blocking call.** A `let`-bound guard that
+//!    is still in scope when the function sleeps, joins a thread, does
+//!    socket I/O or blocks on a channel `recv` serializes every other
+//!    thread behind an operation of unbounded latency — the deadlock
+//!    shape the serve worker pool is designed around. Guards should be
+//!    dropped (scope end or `drop(guard)`) before blocking.
+//!
+//! `Condvar::wait` is deliberately **not** a blocking call here: it
+//! atomically releases the guard it consumes — holding a guard at a
+//! `wait` call is the correct condition-variable idiom, not a hazard.
+//!
+//! Detection is token-shaped over the lexed stream: acquisition is an
+//! empty-argument `.lock()`/`.read()`/`.write()` method call or a call
+//! whose final path segment is exactly `lock` (the free-helper idiom);
+//! buffer-taking `read(&mut buf)`/`write(&buf)` I/O calls do not match.
+//! Liveness runs from the binding statement to the end of its enclosing
+//! block, ended early by `drop(guard)`.
+
+use crate::lexer::TokenKind;
+use crate::{FileKind, Lint, SourceFile, Violation};
+
+/// See the module docs.
+pub struct LockHygiene;
+
+/// Callables of unbounded latency a guard must not be held across.
+/// `wait`/`wait_timeout` are excluded on purpose: `Condvar::wait`
+/// releases the guard it consumes.
+const BLOCKING: &[&str] = &[
+    "sleep",
+    "join",
+    "recv",
+    "recv_timeout",
+    "accept",
+    "connect",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+    "write_all",
+    "flush",
+];
+
+/// Guard-returning method names (empty-argument calls only, so
+/// buffer-taking `Read::read`/`Write::write` never match).
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// True when the ident at `i` is a guard-acquiring call: an
+/// empty-argument `.lock()`/`.read()`/`.write()` method, or any call
+/// whose final path segment is exactly `lock` (e.g. the workspace's
+/// poison-recovering `lock(&mutex)` helper, or `Mutex::lock(&m)`).
+fn is_guard_acquisition(file: &SourceFile, i: usize) -> bool {
+    let tokens = file.tokens();
+    let t = &tokens[i];
+    if t.kind != TokenKind::Ident {
+        return false;
+    }
+    let name = file.text(t);
+    let mut after = (i + 1..tokens.len()).filter(|&k| !tokens[k].is_comment());
+    let Some(open) = after.next() else { return false };
+    if !(tokens[open].kind == TokenKind::Punct && file.text(&tokens[open]) == "(") {
+        return false;
+    }
+    let method = tokens[..i]
+        .iter()
+        .rev()
+        .find(|u| !u.is_comment())
+        .map(|u| u.kind == TokenKind::Punct && file.text(u) == ".")
+        .unwrap_or(false);
+    if method {
+        // `.lock()` / `.read()` / `.write()` with no arguments.
+        GUARD_METHODS.contains(&name)
+            && after
+                .next()
+                .map(|c| tokens[c].kind == TokenKind::Punct && file.text(&tokens[c]) == ")")
+                .unwrap_or(false)
+    } else {
+        // Free or path call: only the exact name `lock` qualifies.
+        name == "lock"
+    }
+}
+
+/// If the tokens right after `i` are `. unwrap (`, returns the index of
+/// the `unwrap` ident.
+fn unwrap_after(file: &SourceFile, i: usize) -> Option<usize> {
+    let tokens = file.tokens();
+    let mut sig = (i..tokens.len()).filter(|&k| !tokens[k].is_comment());
+    let dot = sig.next()?;
+    if !(tokens[dot].kind == TokenKind::Punct && file.text(&tokens[dot]) == ".") {
+        return None;
+    }
+    let unwrap = sig.next()?;
+    if !(tokens[unwrap].kind == TokenKind::Ident && file.text(&tokens[unwrap]) == "unwrap") {
+        return None;
+    }
+    let open = sig.next()?;
+    (tokens[open].kind == TokenKind::Punct && file.text(&tokens[open]) == "(")
+        .then_some(unwrap)
+}
+
+/// The index one past the matching `)` of the `(` at `open`.
+fn close_paren(file: &SourceFile, open: usize) -> usize {
+    let tokens = file.tokens();
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].kind == TokenKind::Punct {
+            match file.text(&tokens[j]) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+impl Lint for LockHygiene {
+    fn name(&self) -> &'static str {
+        "lock-hygiene"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Mutex/RwLock guards need an explicit poisoning policy and bounded \
+         hold times. `.lock().unwrap()` (or `.read()`/`.write()` unwrapped) \
+         turns one thread's panic into a process-wide cascade through the \
+         poisoned lock — recover with `.unwrap_or_else(|e| e.into_inner())` \
+         (the workspace `lock()` helper) or acknowledge the policy with \
+         `// tidy: allow(lock-hygiene)`. A let-bound guard still live at a \
+         call to `sleep`, `join`, `recv`, or socket I/O serializes all other \
+         threads behind unbounded latency; drop the guard (scope end or \
+         `drop(guard)`) before blocking. `Condvar::wait` is exempt — it \
+         releases the guard it consumes, so holding one there is the \
+         correct idiom."
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::RustLibrary
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let tokens = file.tokens();
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident || file.in_test_block(t.line) {
+                continue;
+            }
+            // (1) Unwrapped acquisition: `.lock().unwrap()` and friends.
+            if is_guard_acquisition(file, i) {
+                let open = (i + 1..tokens.len())
+                    .find(|&k| !tokens[k].is_comment())
+                    .unwrap_or(i + 1);
+                let after_call = close_paren(file, open);
+                if unwrap_after(file, after_call).is_some() {
+                    let name = file.text(t);
+                    out.push(Violation {
+                        file: file.path.clone(),
+                        line: t.line,
+                        rule: self.name(),
+                        resolution: "token",
+                        message: format!(
+                            "`.{name}().unwrap()` panics on a poisoned lock, cascading \
+                             one thread's panic through every other; recover with \
+                             `.unwrap_or_else(|e| e.into_inner())` or acknowledge the \
+                             poisoning policy"
+                        ),
+                    });
+                }
+            }
+            // (2) Guard bindings live across blocking calls.
+            if file.text(t) == "let" {
+                self.check_guard_liveness(file, i, out);
+            }
+        }
+    }
+}
+
+impl LockHygiene {
+    /// For a `let` at token `i`: if it binds a guard (its initializer
+    /// acquires a lock), scan from the end of the statement to the end
+    /// of the enclosing block (or `drop(name)`) for blocking calls.
+    fn check_guard_liveness(&self, file: &SourceFile, i: usize, out: &mut Vec<Violation>) {
+        let tokens = file.tokens();
+        let mut sig = (i + 1..tokens.len()).filter(|&k| !tokens[k].is_comment());
+        let Some(mut n) = sig.next() else { return };
+        if tokens[n].kind == TokenKind::Ident && file.text(&tokens[n]) == "mut" {
+            match sig.next() {
+                Some(k) => n = k,
+                None => return,
+            }
+        }
+        if tokens[n].kind != TokenKind::Ident {
+            return; // destructuring patterns are out of scope
+        }
+        let name = file.text(&tokens[n]);
+        // Statement extent: to the `;` at relative depth 0.
+        let mut stmt_end = None;
+        let mut acquires = None;
+        let mut depth = 0i64;
+        let mut j = n + 1;
+        while j < tokens.len() {
+            let u = &tokens[j];
+            if u.kind == TokenKind::Punct {
+                match file.text(u) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break; // malformed; bail out
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        stmt_end = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if u.kind == TokenKind::Ident && is_guard_acquisition(file, j) {
+                acquires = Some(j);
+            }
+            j += 1;
+        }
+        let (Some(stmt_end), Some(acq)) = (stmt_end, acquires) else { return };
+        // The binding holds the guard only when the acquisition — plus
+        // result adapters that still yield it (`unwrap`,
+        // `unwrap_or_else`, `expect`) — is the *whole* initializer. A
+        // further method call (`lock(m).drain(..).collect()`) consumes
+        // the guard inside the statement; it dies at the semicolon.
+        let open = (acq + 1..tokens.len())
+            .find(|&k| !tokens[k].is_comment())
+            .unwrap_or(acq + 1);
+        let mut e = close_paren(file, open);
+        loop {
+            let mut sig = (e..tokens.len()).filter(|&k| !tokens[k].is_comment());
+            let (Some(dot), Some(method), Some(paren)) = (sig.next(), sig.next(), sig.next())
+            else {
+                break;
+            };
+            if tokens[dot].kind == TokenKind::Punct
+                && file.text(&tokens[dot]) == "."
+                && tokens[method].kind == TokenKind::Ident
+                && matches!(file.text(&tokens[method]), "unwrap" | "unwrap_or_else" | "expect")
+                && tokens[paren].kind == TokenKind::Punct
+                && file.text(&tokens[paren]) == "("
+            {
+                e = close_paren(file, paren);
+            } else {
+                break;
+            }
+        }
+        if (e..stmt_end).any(|k| !tokens[k].is_comment()) {
+            return; // the guard is consumed inside its own statement
+        }
+        // Liveness: from the statement end to the enclosing block's
+        // close, ended early by `drop(name)`.
+        let mut depth = 0i64;
+        let mut j = stmt_end + 1;
+        while j < tokens.len() {
+            let u = &tokens[j];
+            if u.kind == TokenKind::Punct {
+                match file.text(u) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return; // scope end drops the guard
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if u.kind == TokenKind::Ident && !file.in_test_block(u.line) {
+                let text = file.text(u);
+                if text == "drop" {
+                    // `drop(name)` releases early.
+                    let mut sig = (j + 1..tokens.len()).filter(|&k| !tokens[k].is_comment());
+                    if let (Some(open), Some(arg)) = (sig.next(), sig.next()) {
+                        if tokens[open].kind == TokenKind::Punct
+                            && file.text(&tokens[open]) == "("
+                            && tokens[arg].kind == TokenKind::Ident
+                            && file.text(&tokens[arg]) == name
+                        {
+                            return;
+                        }
+                    }
+                }
+                if BLOCKING.contains(&text) {
+                    // Must be a call, not a mention.
+                    let is_call = tokens[j + 1..]
+                        .iter()
+                        .find(|v| !v.is_comment())
+                        .map(|v| v.kind == TokenKind::Punct && file.text(v) == "(")
+                        .unwrap_or(false);
+                    if is_call {
+                        out.push(Violation {
+                            file: file.path.clone(),
+                            line: u.line,
+                            rule: self.name(),
+                            resolution: "token",
+                            message: format!(
+                                "guard `{name}` (acquired on line {}) is still live \
+                                 across this `{text}` call; other threads serialize \
+                                 behind unbounded latency — drop the guard first",
+                                tokens[i].line
+                            ),
+                        });
+                        return; // one finding per guard
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let file = SourceFile::new("crates/x/src/lib.rs", src, FileKind::RustLibrary);
+        let mut out = Vec::new();
+        LockHygiene.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrapped_lock_acquisition_fires() {
+        let out = run("fn f(m: &Mutex<T>) { let g = m.lock().unwrap(); }\n");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("poisoned lock"));
+        assert_eq!(run("fn f(l: &RwLock<T>) { let g = l.read().unwrap(); }\n").len(), 1);
+        assert_eq!(run("fn f(l: &RwLock<T>) { let g = l.write().unwrap(); }\n").len(), 1);
+    }
+
+    #[test]
+    fn poison_recovering_acquisition_passes() {
+        let src = "fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n\
+                   \x20   m.lock().unwrap_or_else(|e| e.into_inner())\n}\n";
+        assert!(run(src).is_empty(), "unwrap_or_else is the sanctioned idiom");
+    }
+
+    #[test]
+    fn io_read_write_calls_are_not_lock_acquisitions() {
+        // Buffer-taking `read`/`write` are socket/file I/O, not RwLock.
+        let src = "\
+fn f(s: &mut TcpStream, buf: &mut [u8]) {
+    let n = s.read(buf).unwrap_or(0);
+    s.write_all(buf).ok();
+    s.flush().ok();
+}
+";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t(m: &Mutex<T>) { let g = m.lock().unwrap(); }
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn guard_live_across_sleep_fires() {
+        let src = "\
+fn f(m: &Mutex<T>) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    std::thread::sleep(Duration::from_millis(5));
+    g.push(1);
+}
+";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`g`"));
+        assert!(out[0].message.contains("sleep"));
+        assert_eq!(out[0].line, 3, "reported at the blocking call");
+    }
+
+    #[test]
+    fn free_lock_helper_counts_as_acquisition() {
+        let src = "\
+fn f(m: &Mutex<T>, rx: &Receiver<T>) {
+    let g = lock(m);
+    let item = rx.recv().unwrap_or_default();
+    g.push(item);
+}
+";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("recv"));
+    }
+
+    #[test]
+    fn guard_dropped_before_blocking_passes() {
+        // Scope end releases the guard.
+        let scoped = "\
+fn f(m: &Mutex<T>) {
+    {
+        let g = lock(m);
+        g.push(1);
+    }
+    std::thread::sleep(D);
+}
+";
+        assert!(run(scoped).is_empty(), "got: {:?}", run(scoped));
+        // Explicit drop releases it too.
+        let dropped = "\
+fn f(m: &Mutex<T>, h: JoinHandle<()>) {
+    let g = lock(m);
+    g.push(1);
+    drop(g);
+    h.join().ok();
+}
+";
+        assert!(run(dropped).is_empty(), "got: {:?}", run(dropped));
+    }
+
+    #[test]
+    fn condvar_wait_with_a_held_guard_is_the_correct_idiom() {
+        let src = "\
+fn worker(m: &Mutex<State>, cv: &Condvar) {
+    let mut g = lock(m);
+    while g.queue.is_empty() {
+        g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+        assert!(run(src).is_empty(), "got: {:?}", run(src));
+    }
+
+    #[test]
+    fn statement_temporary_guards_do_not_bind_liveness() {
+        // The guard is a temporary inside one statement, dropped at the
+        // semicolon — the later join is safe.
+        let src = "\
+fn shutdown(m: &Mutex<Vec<JoinHandle<()>>>) {
+    let handles: Vec<JoinHandle<()>> = lock(m).drain(..).collect();
+    for h in handles {
+        h.join().ok();
+    }
+}
+";
+        let out = run(src);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+}

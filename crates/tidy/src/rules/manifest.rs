@@ -95,6 +95,7 @@ impl Lint for ManifestHygiene {
                         file: file.path.clone(),
                         line: no,
                         rule: self.name(),
+                        resolution: "token",
                         message: format!(
                             "dependency `{}` is not a path dependency \
                              (external crates are forbidden; vendor the code in-tree)",
@@ -118,6 +119,7 @@ impl ManifestHygiene {
             file: file.path.clone(),
             line,
             rule: self.name(),
+            resolution: "token",
             message: format!(
                 "dependency table `{name}` has no `path` key \
                  (external crates are forbidden; vendor the code in-tree)"

@@ -5,6 +5,7 @@
 mod doc;
 mod error_impl;
 mod float_eq;
+mod lock_hygiene;
 mod manifest;
 mod panic;
 mod prob_contract;
@@ -16,6 +17,7 @@ mod unused_allow;
 pub use doc::DocCoverage;
 pub use error_impl::ErrorImpl;
 pub use float_eq::FloatEq;
+pub use lock_hygiene::LockHygiene;
 pub use manifest::ManifestHygiene;
 pub use panic::PanicFreedom;
 pub use prob_contract::ProbContract;
@@ -32,18 +34,20 @@ pub fn all() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(ManifestHygiene),
         Box::new(PanicFreedom),
-        Box::new(FloatEq),
         Box::new(ProbContract),
         Box::new(ErrorImpl),
         Box::new(DocCoverage),
         Box::new(SuiteError),
         Box::new(SeedDiscipline),
+        Box::new(LockHygiene),
     ]
 }
 
 /// The cross-file rules, run once over the whole workspace.
+/// `float-eq` moved here when its type flow grew cross-file (the called
+/// function's return type lives in another file).
 pub fn workspace() -> Vec<Box<dyn WorkspaceLint>> {
-    vec![Box::new(PubReexport), Box::new(SeedDisciplineDrift)]
+    vec![Box::new(FloatEq), Box::new(PubReexport), Box::new(SeedDisciplineDrift)]
 }
 
 /// Every rule name the gate knows, in report order. `allow(...)`
@@ -65,6 +69,27 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         .find(|l| l.name() == rule)
         .map(|l| l.explain())
         .or_else(|| workspace().iter().find(|l| l.name() == rule).map(|l| l.explain()))
+}
+
+/// `(name, one-line summary)` for every rule, in report order — the
+/// body of a bare `--explain` listing. The summary is the explanation's
+/// first sentence: clipped at the first period that ends a word (a dot
+/// inside `Cargo.toml` or `` `.unwrap()` `` is not a sentence end).
+pub fn summaries() -> Vec<(&'static str, &'static str)> {
+    rule_names()
+        .into_iter()
+        .map(|name| {
+            let text = explain(name).unwrap_or_default();
+            let end = text
+                .char_indices()
+                .find(|&(i, c)| {
+                    c == '.' && text[i + 1..].chars().next().is_none_or(char::is_whitespace)
+                })
+                .map(|(i, _)| i + 1)
+                .unwrap_or(text.len());
+            (name, &text[..end])
+        })
+        .collect()
 }
 
 /// The `///` / `/**` doc comments in the contiguous doc-and-attribute
@@ -125,12 +150,13 @@ mod tests {
             vec![
                 "manifest",
                 "panic",
-                "float-eq",
                 "prob-contract",
                 "error-impl",
                 "doc",
                 "suite-error",
                 "seed-discipline",
+                "lock-hygiene",
+                "float-eq",
                 "pub-reexport",
                 "seed-discipline-drift",
                 "unused-allow",
@@ -149,6 +175,21 @@ mod tests {
             assert!(text.len() > 40, "explanation for `{name}` is too thin");
         }
         assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn summaries_cover_every_rule_with_one_line_each() {
+        let sums = summaries();
+        assert_eq!(
+            sums.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            rule_names(),
+            "summary listing order matches report order"
+        );
+        for (name, line) in sums {
+            assert!(!line.is_empty(), "summary for `{name}` is empty");
+            assert!(line.ends_with('.'), "summary for `{name}` is not a sentence");
+            assert!(!line.contains('\n'), "summary for `{name}` spans lines");
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl Lint for PanicFreedom {
                 file: file.path.clone(),
                 line,
                 rule: self.name(),
+                resolution: "token",
                 message: format!(
                     "found `{what}` in library code; return a Result or \
                      acknowledge with `// tidy: allow(panic)`"

@@ -1,21 +1,28 @@
 //! Rule `pub-reexport`: every public item of a substrate crate must be
-//! reachable from its crate root — and every substrate crate must be
-//! re-exported from the `sysunc::` facade.
+//! root-reachable — and every substrate crate must be re-exported from
+//! the `sysunc::` facade.
 //!
 //! A `pub` item inside a privately-declared module (`mod x;` without
-//! `pub`, and no `pub use` pulling the name up) is dead public API:
-//! visible in the source, promised by the keyword, unreachable by any
-//! caller. That gap between what the code *says* it exports and what it
-//! *actually* exports is exactly the kind of self-inflicted epistemic
-//! uncertainty the gate exists to remove. The check is cross-file by
-//! nature (the item lives in one file, the `mod`/`pub use` declarations
-//! in another), so it runs on the [`crate::symbols::Workspace`] table.
+//! `pub`, and no `pub use` chain pulling the name up) is dead public
+//! API: visible in the source, promised by the keyword, unreachable by
+//! any caller. That gap between what the code *says* it exports and
+//! what it *actually* exports is exactly the kind of self-inflicted
+//! epistemic uncertainty the gate exists to remove. The check is
+//! cross-file by nature, so it runs on the [`crate::symbols::Workspace`]
+//! table.
 //!
-//! Reachability is over-approximated on purpose — a name re-exported
-//! from *any* module counts, and a glob (`pub use m::*`) covers the
-//! whole module — so the rule never accuses reachable code; it only
-//! misses exotic dead API. Toolchain crates (`tidy`, `bench`) are not
-//! part of the modeling surface and are exempt from the facade check.
+//! Reachability is **exact**: [`crate::resolve::CrateGraph`] resolves
+//! `use` paths (aliases, `crate::`/`super::` prefixes, re-export
+//! chains) against the real module tree and expands glob re-exports
+//! item-by-item, so an item is public API iff a `pub` chain from the
+//! crate root reaches it. Earlier revisions name-matched re-exports
+//! from *any* module, which both missed dead `pub use` chains and
+//! flagged root-reachable glob re-exports. The one remaining
+//! concession: a `pub use` path the resolver cannot see (macro output,
+//! another crate) falls back to name-matching for that path only — a
+//! lint must never accuse reachable code. Toolchain crates (`tidy`,
+//! `bench`) are not part of the modeling surface and are exempt from
+//! the facade check.
 
 use crate::symbols::Workspace;
 use crate::{Violation, WorkspaceLint};
@@ -38,48 +45,58 @@ impl WorkspaceLint for PubReexport {
     }
 
     fn explain(&self) -> &'static str {
-        "Every public item of a substrate crate must be reachable from its \
-         crate root: through a chain of `pub mod` declarations, a `pub use` \
-         re-export of its name, or a glob re-export of its module. A `pub` \
-         item in a privately-declared module is dead public API — promised \
-         by the keyword, unreachable by any caller — a gap between what the \
-         code says it exports and what it actually exports. Additionally, \
-         every substrate crate must be re-exported from the `sysunc::` \
-         facade so one `use sysunc::…` reaches the whole workspace. \
-         Deliberately internal items take `// tidy: allow(pub-reexport)`."
+        "Every public item of a substrate crate must be root-reachable: a \
+         chain of `pub mod` declarations, `pub use` re-exports (aliases \
+         and multi-hop chains included), or glob re-exports — resolved \
+         against the real module tree, not matched by name — must connect \
+         the crate root to the item. A `pub` item in a privately-declared \
+         module is dead public API: promised by the keyword, unreachable \
+         by any caller — a gap between what the code says it exports and \
+         what it actually exports. Additionally, every substrate crate \
+         must be re-exported from the `sysunc::` facade so one \
+         `use sysunc::…` reaches the whole workspace. Deliberately \
+         internal items take `// tidy: allow(pub-reexport)`."
     }
 
     fn check(&self, ws: &Workspace<'_>, out: &mut Vec<Violation>) {
         for krate in &ws.crates {
-            let reexported = krate.reexported_names();
-            let globbed = krate.glob_modules();
-            for module in &krate.modules {
+            for (mi, module) in krate.modules().iter().enumerate() {
                 if module.path.is_empty() {
                     continue; // root items are reachable by definition
                 }
-                if krate.is_module_public(&module.path) {
-                    continue; // reachable by full path
-                }
-                if module.path.last().map(|s| globbed.contains(s.as_str())).unwrap_or(false) {
-                    continue; // a glob re-export covers the module
+                if krate.reach.module_ns[mi] {
+                    continue; // the whole namespace is publicly reachable
                 }
                 let file = &ws.files[module.file_idx];
-                for item in &module.items {
-                    if reexported.contains(item.name.as_str()) {
+                for (ii, item) in module.items.iter().enumerate() {
+                    if !item.vis.is_pub() {
                         continue;
                     }
+                    if krate.reach.items[mi][ii] {
+                        continue; // a pub use chain reaches this item
+                    }
+                    if krate.reach.unresolved_names.contains(&item.name) {
+                        continue; // conservative fallback for opaque paths
+                    }
+                    let via = if module.declared {
+                        format!("private module `{}`", module.path.join("::"))
+                    } else {
+                        format!(
+                            "undeclared module `{}` (no `mod` statement attaches \
+                             its file)",
+                            module.path.join("::")
+                        )
+                    };
                     out.push(Violation {
                         file: file.path.clone(),
                         line: item.line,
                         rule: self.name(),
+                        resolution: "module-graph",
                         message: format!(
-                            "public {} `{}` in private module `{}` of crate `{}` is \
+                            "public {} `{}` in {via} of crate `{}` is \
                              unreachable from the crate root; re-export it, make \
                              the module `pub`, or drop the `pub`",
-                            item.kind,
-                            item.name,
-                            module.path.join("::"),
-                            krate.name
+                            item.kind, item.name, krate.name
                         ),
                     });
                 }
@@ -94,18 +111,21 @@ impl WorkspaceLint for PubReexport {
                 continue;
             }
             let package = format!("sysunc_{}", krate.name.replace('-', "_"));
-            let covered = facade.modules.iter().flat_map(|m| m.reexports.iter()).any(|r| {
-                r.path.first().map(|s| s == &package).unwrap_or(false)
-            });
+            let covered = facade
+                .modules()
+                .iter()
+                .flat_map(|m| m.uses.iter())
+                .any(|u| u.vis.is_pub() && u.path.first().map(|s| s == &package).unwrap_or(false));
             if !covered {
                 let file = &ws.files[facade
                     .root()
                     .map(|m| m.file_idx)
-                    .unwrap_or(facade.modules[0].file_idx)];
+                    .unwrap_or_else(|| facade.modules()[0].file_idx)];
                 out.push(Violation {
                     file: file.path.clone(),
                     line: 1,
                     rule: self.name(),
+                    resolution: "module-graph",
                     message: format!(
                         "substrate crate `{}` is not re-exported from the \
                          `sysunc` facade; add `pub use {package} as {};`",
@@ -180,6 +200,96 @@ mod tests {
             ("crates/x/src/hidden.rs", "pub fn a() {}\npub fn b() {}\n"),
         ]);
         assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn dead_pub_use_chain_is_caught() {
+        // `hidden` re-exports `inner::Secret`, but nothing re-exports
+        // `hidden` itself: the chain never reaches the root, so both
+        // `Secret` and the sibling `Orphan` are dead public API. The
+        // old name table saw "Secret re-exported somewhere" and stayed
+        // silent — the knockout this rewrite exists to close.
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "mod hidden;\n"),
+            (
+                "crates/x/src/hidden.rs",
+                "mod inner;\npub use inner::Secret;\n",
+            ),
+            (
+                "crates/x/src/hidden/inner.rs",
+                "pub struct Secret;\npub struct Orphan;\n",
+            ),
+        ]);
+        let names: Vec<&str> = out
+            .iter()
+            .map(|v| {
+                if v.message.contains("Secret") {
+                    "Secret"
+                } else if v.message.contains("Orphan") {
+                    "Orphan"
+                } else {
+                    "?"
+                }
+            })
+            .collect();
+        assert!(names.contains(&"Secret"), "dead chain target caught, got: {out:?}");
+        assert!(names.contains(&"Orphan"), "dead chain sibling caught, got: {out:?}");
+    }
+
+    #[test]
+    fn module_reexport_makes_items_reachable() {
+        // `pub use hidden;` (a module re-export, no item name) makes
+        // every pub item of `hidden` reachable as `x::hidden::…`. The
+        // old name table flagged these — the false-positive class this
+        // rewrite removes.
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "mod hidden;\npub use hidden as shown;\n"),
+            ("crates/x/src/hidden.rs", "pub fn a() {}\npub fn b() {}\n"),
+        ]);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn aliased_glob_chain_is_root_reachable() {
+        // Root globs an *aliased* module path; the old table matched
+        // glob paths only by their last segment ("prelude"), so items
+        // in `grp::detail` were flagged despite being reachable.
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "mod grp;\npub use grp::prelude::*;\n"),
+            ("crates/x/src/grp.rs", "mod detail;\npub use detail as prelude;\n"),
+            ("crates/x/src/grp/detail.rs", "pub fn via_glob() {}\n"),
+        ]);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn unresolvable_pub_use_paths_never_accuse_matching_names() {
+        // A pub use through a path the resolver cannot see (pretend
+        // macro output) must suppress findings for items of that name.
+        let out = run(&[
+            FACADE_LIB,
+            (
+                "crates/x/src/lib.rs",
+                "mod hidden;\npub use generated_by_macro::Thing;\n",
+            ),
+            ("crates/x/src/hidden.rs", "pub struct Thing;\n"),
+        ]);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn undeclared_files_are_reported_as_such() {
+        let out = run(&[
+            FACADE_LIB,
+            ("crates/x/src/lib.rs", "pub fn f() {}\n"),
+            ("crates/x/src/floating.rs", "pub fn adrift() {}\n"),
+        ]);
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert!(out[0].message.contains("undeclared module"));
+        assert!(out[0].message.contains("adrift"));
     }
 
     #[test]

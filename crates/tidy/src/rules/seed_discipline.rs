@@ -83,6 +83,7 @@ impl Lint for SeedDiscipline {
                     file: file.path.clone(),
                     line: t.line,
                     rule: self.name(),
+                    resolution: "token",
                     message: format!(
                         "`{text}` draws ambient entropy in library code; runs \
                          become unreplayable — take a seed parameter instead"
@@ -103,6 +104,7 @@ impl Lint for SeedDiscipline {
                     file: file.path.clone(),
                     line: t.line,
                     rule: self.name(),
+                    resolution: "token",
                     message: format!(
                         "`{text}` called with a hardcoded seed in library code; \
                          take the seed as a parameter so callers control \
@@ -178,11 +180,12 @@ impl WorkspaceLint for SeedDisciplineDrift {
         };
         let Some(module) = prob.module(&[RNG_MODULE.to_string()]) else {
             let file_idx =
-                prob.root().map(|m| m.file_idx).unwrap_or(prob.modules[0].file_idx);
+                prob.root().map(|m| m.file_idx).unwrap_or_else(|| prob.modules()[0].file_idx);
             out.push(Violation {
                 file: ws.files[file_idx].path.clone(),
                 line: 1,
                 rule: self.name(),
+                resolution: "module-graph",
                 message: format!(
                     "crate `{RNG_CRATE}` no longer has a `{RNG_MODULE}` module; the \
                      seed-discipline SEEDED/ENTROPY lists describe constructors \
@@ -217,6 +220,7 @@ impl WorkspaceLint for SeedDisciplineDrift {
                 file: file.path.clone(),
                 line: name_tok.line,
                 rule: self.name(),
+                resolution: "module-graph",
                 message: format!(
                     "rng constructor `{name}` is covered by neither the SEEDED nor \
                      the ENTROPY list of the seed-discipline rule; hardcoded seeds \

@@ -42,6 +42,7 @@ pub fn unused_allow_pass(files: &[SourceFile], used: &[Vec<bool>]) -> Vec<Violat
                     file: file.path.clone(),
                     line: marker.line,
                     rule: UNUSED_ALLOW_NAME,
+                    resolution: "token",
                     message: format!(
                         "allow names unknown rule `{}`; known rules: {}",
                         marker.rule,
@@ -53,6 +54,7 @@ pub fn unused_allow_pass(files: &[SourceFile], used: &[Vec<bool>]) -> Vec<Violat
                     file: file.path.clone(),
                     line: marker.line,
                     rule: UNUSED_ALLOW_NAME,
+                    resolution: "token",
                     message: format!(
                         "`tidy: allow({})` suppresses nothing; remove the stale \
                          marker (suppression rot)",

@@ -1,5 +1,7 @@
-//! Workspace-level symbol table: the public items, module declarations
-//! and re-exports of every crate, built from all files at once.
+//! Workspace-level symbol table, built on the [`crate::resolve`]
+//! semantic layer: one assembled module graph per crate, its exact
+//! root-reachability set, and a per-file function/struct signature
+//! index.
 //!
 //! Per-file rules can only see one file; this pass is what lets the
 //! gate reason *across* files — most importantly, whether a `pub` item
@@ -7,114 +9,49 @@
 //! crate root (and therefore from the `sysunc::` facade), or is dead
 //! public API whose existence callers can never observe.
 //!
-//! The table is built from the token streams by shallow parsing: only
-//! brace-depth-0 declarations count (methods in `impl` blocks are not
-//! items), `#[cfg(test)]` extents are excluded, and `pub use` trees are
-//! walked for their source paths. Where module structure is ambiguous
-//! (inline modules, glob re-exports) the table over-approximates
-//! *reachability*, never violations — a lint must not accuse reachable
+//! Earlier revisions answered that question with a deliberately
+//! over-approximate name table ("is this name re-exported *anywhere*?").
+//! The table is now exact: [`crate::resolve::CrateGraph`] links every
+//! `mod` declaration to its file, resolves `use` paths (globs, aliases,
+//! `crate::`/`super::` prefixes, re-export chains) against the real
+//! tree, and [`crate::resolve::CrateGraph::root_reachable`] walks the
+//! `pub` edges from the root. Where resolution still fails (a path
+//! through a macro or an external crate), reachability degrades to
+//! name-matching for that path only — a lint must not accuse reachable
 //! code.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::path::Component;
 
-use crate::cursor::Cursor;
-use crate::lexer::TokenKind;
+use crate::resolve::{self, CrateGraph, FileFacts, Module, ReachSet};
 use crate::{FileKind, SourceFile};
 
-/// One `pub` item declared at the top level of a module file.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PubItem {
-    /// Item keyword: `fn`, `struct`, `enum`, `trait`, `const`,
-    /// `static`, `type`, `union`.
-    pub kind: &'static str,
-    /// The declared name.
-    pub name: String,
-    /// 1-based line of the `pub` keyword.
-    pub line: usize,
-}
-
-/// One `pub use` (or restricted-visibility `use`) re-export: the source
-/// path as written, one entry per leaf of the use tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Reexport {
-    /// Path segments, e.g. `["error", "ProbError"]` or `["sysunc_prob"]`.
-    pub path: Vec<String>,
-    /// True for `path::*`.
-    pub glob: bool,
-}
-
-/// The declarations of one module file.
-#[derive(Debug, Clone)]
-pub struct ModuleSymbols {
-    /// Index of the file in the workspace file list.
-    pub file_idx: usize,
-    /// Module path from the crate root; empty for `lib.rs`.
-    pub path: Vec<String>,
-    /// Top-level `pub` items (unrestricted visibility only).
-    pub items: Vec<PubItem>,
-    /// Submodules declared `pub mod` here.
-    pub pub_mods: Vec<String>,
-    /// Re-export leaves declared here.
-    pub reexports: Vec<Reexport>,
-}
-
-/// The symbol table of one crate under `crates/`.
+/// The symbol table of one crate under `crates/`: its module graph and
+/// the precomputed root-reachability of every item.
 #[derive(Debug, Clone)]
 pub struct CrateSymbols {
     /// Directory name under `crates/`.
     pub name: String,
-    /// One entry per module file.
-    pub modules: Vec<ModuleSymbols>,
+    /// The assembled module graph (index 0 is the crate root).
+    pub graph: CrateGraph,
+    /// Exact root-reachability over the graph's `pub` edges.
+    pub reach: ReachSet,
 }
 
 impl CrateSymbols {
     /// The crate-root module (`lib.rs`), if present.
-    pub fn root(&self) -> Option<&ModuleSymbols> {
-        self.modules.iter().find(|m| m.path.is_empty())
+    pub fn root(&self) -> Option<&Module> {
+        self.graph.modules.first()
     }
 
-    /// The module with exactly this path, if its file exists.
-    pub fn module(&self, path: &[String]) -> Option<&ModuleSymbols> {
-        self.modules.iter().find(|m| m.path == path)
+    /// The module with exactly this path, if present.
+    pub fn module(&self, path: &[String]) -> Option<&Module> {
+        self.graph.module(path)
     }
 
-    /// True when every segment of `path` is declared `pub mod` by its
-    /// parent module, so the module's items are reachable by full path.
-    pub fn is_module_public(&self, path: &[String]) -> bool {
-        if path.is_empty() {
-            return true;
-        }
-        for k in 0..path.len() {
-            let Some(parent) = self.module(&path[..k]) else { return false };
-            if !parent.pub_mods.contains(&path[k]) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// The last path segment of every non-glob re-export anywhere in
-    /// the crate (over-approximate: a name re-exported from any module
-    /// counts as reachable).
-    pub fn reexported_names(&self) -> HashSet<&str> {
-        self.modules
-            .iter()
-            .flat_map(|m| m.reexports.iter())
-            .filter(|r| !r.glob)
-            .filter_map(|r| r.path.last().map(String::as_str))
-            .collect()
-    }
-
-    /// Module names covered by a glob re-export (`pub use m::*`),
-    /// matched on the glob path's last segment.
-    pub fn glob_modules(&self) -> HashSet<&str> {
-        self.modules
-            .iter()
-            .flat_map(|m| m.reexports.iter())
-            .filter(|r| r.glob)
-            .filter_map(|r| r.path.last().map(String::as_str))
-            .collect()
+    /// All modules of the crate.
+    pub fn modules(&self) -> &[Module] {
+        &self.graph.modules
     }
 }
 
@@ -125,26 +62,42 @@ pub struct Workspace<'a> {
     pub files: &'a [SourceFile],
     /// Symbol tables for every crate under `crates/`.
     pub crates: Vec<CrateSymbols>,
+    /// Function/struct signature index per Rust library file, keyed by
+    /// index into [`Workspace::files`] (covers files outside `crates/`
+    /// too, e.g. the facade's `src/lib.rs`).
+    pub facts: HashMap<usize, FileFacts>,
 }
 
 impl<'a> Workspace<'a> {
-    /// Builds the symbol table for all `crates/*/src` library files.
+    /// Builds the symbol table for all `crates/*/src` library files and
+    /// the signature index for every Rust library file.
     pub fn build(files: &'a [SourceFile]) -> Self {
-        let mut crates: Vec<CrateSymbols> = Vec::new();
+        // Per-file parses, shared by graph assembly and the facts index.
+        let mut trees = HashMap::new();
+        let mut facts = HashMap::new();
+        // crate name -> [(file index, layout module path)]
+        let mut layouts: Vec<(String, Vec<(usize, Vec<String>)>)> = Vec::new();
         for (file_idx, file) in files.iter().enumerate() {
             if file.kind != FileKind::RustLibrary {
                 continue;
             }
+            facts.insert(file_idx, resolve::parse_facts(file));
             let Some((crate_name, module_path)) = crate_and_module(file) else { continue };
-            let (items, pub_mods, reexports) = parse_module(file);
-            let module =
-                ModuleSymbols { file_idx, path: module_path, items, pub_mods, reexports };
-            match crates.iter_mut().find(|c| c.name == crate_name) {
-                Some(c) => c.modules.push(module),
-                None => crates.push(CrateSymbols { name: crate_name, modules: vec![module] }),
+            trees.insert(file_idx, resolve::parse_scopes(file));
+            match layouts.iter_mut().find(|(n, _)| *n == crate_name) {
+                Some((_, fs)) => fs.push((file_idx, module_path)),
+                None => layouts.push((crate_name, vec![(file_idx, module_path)])),
             }
         }
-        Workspace { files, crates }
+        let crates = layouts
+            .iter()
+            .filter_map(|(name, fs)| {
+                let graph = CrateGraph::build(name, fs, &trees)?;
+                let reach = graph.root_reachable();
+                Some(CrateSymbols { name: name.clone(), graph, reach })
+            })
+            .collect();
+        Workspace { files, crates, facts }
     }
 
     /// The crate with this directory name, if present.
@@ -156,7 +109,7 @@ impl<'a> Workspace<'a> {
 /// Splits `crates/<name>/src/<rel>.rs` into the crate name and module
 /// path (`lib.rs` → `[]`, `a/mod.rs` → `["a"]`, `a/b.rs` → `["a","b"]`).
 /// Returns `None` for files outside `crates/*/src` and for binaries.
-fn crate_and_module(file: &SourceFile) -> Option<(String, Vec<String>)> {
+pub fn crate_and_module(file: &SourceFile) -> Option<(String, Vec<String>)> {
     let comps: Vec<&str> = file
         .path
         .components()
@@ -171,7 +124,7 @@ fn crate_and_module(file: &SourceFile) -> Option<(String, Vec<String>)> {
     let crate_name = comps[1].to_string();
     let rel = &comps[3..];
     let last = rel.last()?;
-    if *last == "main.rs" {
+    if *last == "main.rs" || rel.contains(&"bin") {
         return None; // binary root, not part of the library API
     }
     let mut path: Vec<String> = rel[..rel.len() - 1].iter().map(|s| s.to_string()).collect();
@@ -184,215 +137,10 @@ fn crate_and_module(file: &SourceFile) -> Option<(String, Vec<String>)> {
     Some((crate_name, path))
 }
 
-/// Item keywords that declare a named public symbol.
-const ITEM_KINDS: &[&str] =
-    &["fn", "struct", "enum", "trait", "const", "static", "type", "union"];
-
-/// Shallow-parses one file's top-level declarations.
-fn parse_module(file: &SourceFile) -> (Vec<PubItem>, Vec<String>, Vec<Reexport>) {
-    let mut items = Vec::new();
-    let mut pub_mods = Vec::new();
-    let mut reexports = Vec::new();
-    let src = &file.content;
-    let tokens = file.tokens();
-    let mut depth: i64 = 0;
-    let mut i = 0;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if t.is_comment() {
-            i += 1;
-            continue;
-        }
-        if t.kind == TokenKind::Punct {
-            match t.text(src) {
-                "{" => depth += 1,
-                "}" => depth -= 1,
-                _ => {}
-            }
-            i += 1;
-            continue;
-        }
-        if depth == 0
-            && t.kind == TokenKind::Ident
-            && t.text(src) == "pub"
-            && !file.in_test_block(t.line)
-        {
-            let mut c = file.cursor();
-            c.seek(i + 1);
-            let decl_line = t.line;
-            // Restricted visibility (`pub(crate)`, `pub(super)`, …)
-            // does not export; its declarations are recorded only where
-            // over-approximating reachability is safe.
-            let mut restricted = false;
-            c.skip_comments();
-            if c.at_punct("(") {
-                restricted = true;
-                if c.skip_balanced("(", ")").is_none() {
-                    break;
-                }
-            }
-            if let Some(next) = parse_decl(
-                file,
-                &mut c,
-                decl_line,
-                restricted,
-                &mut items,
-                &mut pub_mods,
-                &mut reexports,
-            ) {
-                i = next;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    (items, pub_mods, reexports)
-}
-
-/// Parses the declaration after a `pub` marker; returns the token index
-/// the outer scan should resume at (never inside a consumed use tree,
-/// so brace-depth tracking stays balanced).
-fn parse_decl(
-    file: &SourceFile,
-    c: &mut Cursor<'_>,
-    line: usize,
-    restricted: bool,
-    items: &mut Vec<PubItem>,
-    pub_mods: &mut Vec<String>,
-    reexports: &mut Vec<Reexport>,
-) -> Option<usize> {
-    // Modifiers before the item keyword.
-    let kind: &'static str = loop {
-        c.skip_comments();
-        let word = c.eat_any_ident()?;
-        match word {
-            "unsafe" | "async" | "default" => continue,
-            "extern" => {
-                // Optional ABI string.
-                c.skip_comments();
-                if matches!(
-                    c.peek().map(|t| t.kind),
-                    Some(TokenKind::Str | TokenKind::RawStr)
-                ) {
-                    c.bump();
-                }
-                continue;
-            }
-            "const" => {
-                // `pub const fn f` (modifier) vs `pub const N: T` (item).
-                c.skip_comments();
-                if c.at_ident("fn") {
-                    c.bump();
-                    break "fn";
-                }
-                break "const";
-            }
-            "static" => {
-                c.skip_comments();
-                if c.at_ident("mut") {
-                    c.bump();
-                }
-                break "static";
-            }
-            "mod" => {
-                let name = c.eat_any_ident()?;
-                if !restricted {
-                    pub_mods.push(name.to_string());
-                }
-                return Some(c.pos());
-            }
-            "use" => {
-                parse_use_tree(file, c, &mut Vec::new(), reexports);
-                return Some(c.pos());
-            }
-            w if ITEM_KINDS.contains(&w) => break ITEM_KINDS
-                .iter()
-                .find(|k| **k == w)
-                .copied()
-                .unwrap_or("fn"),
-            _ => return None, // not a declaration we model (e.g. `pub impl`? keep scanning)
-        }
-    };
-    let name = c.eat_any_ident()?;
-    if !restricted {
-        items.push(PubItem { kind, name: name.to_string(), line });
-    }
-    Some(c.pos())
-}
-
-/// Parses one use tree, pushing a [`Reexport`] per leaf. `prefix` is
-/// the path accumulated so far. Consumes through the terminating `;`
-/// (or the end of a `{…}` group leaf).
-fn parse_use_tree(
-    file: &SourceFile,
-    c: &mut Cursor<'_>,
-    prefix: &mut Vec<String>,
-    out: &mut Vec<Reexport>,
-) {
-    let mut path = prefix.clone();
-    loop {
-        c.skip_comments();
-        if c.at_punct("*") {
-            c.bump();
-            out.push(Reexport { path: path.clone(), glob: true });
-            break;
-        }
-        if c.at_punct("{") {
-            c.bump();
-            loop {
-                c.skip_comments();
-                if c.at_punct("}") {
-                    c.bump();
-                    break;
-                }
-                parse_use_tree(file, c, &mut path.clone(), out);
-                c.skip_comments();
-                if c.at_punct(",") {
-                    c.bump();
-                }
-                if c.peek().is_none() {
-                    break;
-                }
-            }
-            break;
-        }
-        let Some(seg) = c.eat_any_ident() else { break };
-        if seg == "as" {
-            // Alias: the source leaf is already on `path`; the alias
-            // name itself is irrelevant for source reachability.
-            c.eat_any_ident();
-            out.push(Reexport { path: path.clone(), glob: false });
-            path.clear(); // emitted
-            break;
-        }
-        // `self` leaf inside a group (`use a::{self, b}`) re-exports
-        // the path accumulated so far.
-        if seg == "self" && !path.is_empty() {
-            out.push(Reexport { path: path.clone(), glob: false });
-            path.clear();
-            break;
-        }
-        path.push(seg.to_string());
-        c.skip_comments();
-        if c.at_punct("::") {
-            c.bump();
-            continue;
-        }
-        // End of a simple path leaf.
-        out.push(Reexport { path: path.clone(), glob: false });
-        path.clear();
-        break;
-    }
-    // Consume a terminating `;` if we're at one (top-level tree only).
-    c.skip_comments();
-    if c.at_punct(";") {
-        c.bump();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resolve::Visibility;
     use crate::FileKind;
 
     fn ws_files(specs: &[(&str, &str)]) -> Vec<SourceFile> {
@@ -405,79 +153,61 @@ mod tests {
     #[test]
     fn module_paths_are_derived_from_file_layout() {
         let files = ws_files(&[
-            ("crates/x/src/lib.rs", "pub mod a;\nmod b;\n"),
+            ("crates/x/src/lib.rs", "pub mod a;\nmod b;\nmod c;\n"),
             ("crates/x/src/a.rs", "pub fn f() {}\n"),
             ("crates/x/src/b.rs", "pub fn g() {}\n"),
-            ("crates/x/src/c/mod.rs", "pub struct S;\n"),
+            ("crates/x/src/c/mod.rs", "pub mod d;\npub struct S;\n"),
             ("crates/x/src/c/d.rs", "pub enum E { X }\n"),
         ]);
         let ws = Workspace::build(&files);
         let x = ws.crate_named("x").expect("crate x");
-        assert_eq!(x.modules.len(), 5);
+        assert_eq!(x.modules().len(), 5);
         assert_eq!(x.module(&["a".into()]).expect("a").items[0].name, "f");
         assert_eq!(x.module(&["c".into()]).expect("c").items[0].name, "S");
         assert_eq!(
             x.module(&["c".into(), "d".into()]).expect("c::d").items[0].name,
             "E"
         );
-        assert!(x.is_module_public(&["a".into()]));
-        assert!(!x.is_module_public(&["b".into()]));
-        assert!(!x.is_module_public(&["c".into(), "d".into()]), "c is undeclared");
+        assert!(x.module(&["a".into()]).expect("a").vis.is_pub());
+        assert_eq!(x.module(&["b".into()]).expect("b").vis, Visibility::Private);
     }
 
     #[test]
-    fn top_level_items_only_and_test_blocks_excluded() {
-        let files = ws_files(&[(
-            "crates/x/src/m.rs",
-            "pub struct S;\n\
-             impl S {\n    pub fn method(&self) {}\n}\n\
-             pub(crate) fn internal() {}\n\
-             #[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n",
-        )]);
+    fn reachability_is_precomputed_per_crate() {
+        let files = ws_files(&[
+            ("crates/x/src/lib.rs", "pub mod open;\nmod hidden;\n"),
+            ("crates/x/src/open.rs", "pub fn shown() {}\n"),
+            ("crates/x/src/hidden.rs", "pub fn lost() {}\n"),
+        ]);
         let ws = Workspace::build(&files);
-        let m = &ws.crate_named("x").expect("x").modules[0];
-        let names: Vec<&str> = m.items.iter().map(|i| i.name.as_str()).collect();
-        assert_eq!(names, vec!["S"], "methods, restricted items and test helpers excluded");
+        let x = ws.crate_named("x").expect("x");
+        let open =
+            x.graph.modules.iter().position(|m| m.path == ["open".to_string()]).unwrap();
+        let hidden =
+            x.graph.modules.iter().position(|m| m.path == ["hidden".to_string()]).unwrap();
+        assert!(x.reach.items[open][0], "pub fn in pub module is reachable");
+        assert!(!x.reach.items[hidden][0], "pub fn in private module is not");
     }
 
     #[test]
-    fn use_trees_collect_leaves_groups_globs_and_aliases() {
-        let files = ws_files(&[(
-            "crates/x/src/lib.rs",
-            "pub use error::{XError, Result};\n\
-             pub use deep::nested::Item;\n\
-             pub use wild::*;\n\
-             pub use sysunc_prob as prob;\n",
-        )]);
+    fn facts_cover_library_files_inside_and_outside_crates() {
+        let files = vec![
+            SourceFile::new(
+                "src/lib.rs",
+                "pub fn facade(x: f64) -> f64 { x }\n",
+                FileKind::RustLibrary,
+            ),
+            SourceFile::new(
+                "crates/x/src/lib.rs",
+                "pub fn inner() {}\n",
+                FileKind::RustLibrary,
+            ),
+            SourceFile::new("tests/t.rs", "fn t() {}\n", FileKind::RustTest),
+        ];
         let ws = Workspace::build(&files);
-        let root = ws.crate_named("x").expect("x").root().expect("root");
-        let paths: Vec<(Vec<&str>, bool)> = root
-            .reexports
-            .iter()
-            .map(|r| (r.path.iter().map(String::as_str).collect(), r.glob))
-            .collect();
-        assert!(paths.contains(&(vec!["error", "XError"], false)));
-        assert!(paths.contains(&(vec!["error", "Result"], false)));
-        assert!(paths.contains(&(vec!["deep", "nested", "Item"], false)));
-        assert!(paths.contains(&(vec!["wild"], true)));
-        assert!(paths.contains(&(vec!["sysunc_prob"], false)));
-        let names = ws.crate_named("x").expect("x").reexported_names();
-        assert!(names.contains("XError"));
-        assert!(names.contains("Item"));
-        assert!(ws.crate_named("x").expect("x").glob_modules().contains("wild"));
-    }
-
-    #[test]
-    fn const_fn_and_const_item_are_distinguished() {
-        let files = ws_files(&[(
-            "crates/x/src/m.rs",
-            "pub const fn fast() {}\npub const LIMIT: usize = 3;\npub static mut G: u8 = 0;\n",
-        )]);
-        let ws = Workspace::build(&files);
-        let m = &ws.crate_named("x").expect("x").modules[0];
-        let kinds: Vec<(&str, &str)> =
-            m.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
-        assert_eq!(kinds, vec![("fn", "fast"), ("const", "LIMIT"), ("static", "G")]);
+        assert_eq!(ws.facts.len(), 2, "library files only");
+        assert_eq!(ws.facts[&0].fns[0].name, "facade");
+        assert_eq!(ws.facts[&1].fns[0].name, "inner");
     }
 
     #[test]

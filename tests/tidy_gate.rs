@@ -57,7 +57,7 @@ fn json_findings_parse_with_the_in_tree_reader() {
     let doc = json::parse(stdout.trim()).expect("findings must be valid JSON");
     assert_eq!(
         doc.get("schema").and_then(json::Json::as_str),
-        Some("sysunc-tidy/1"),
+        Some("sysunc-tidy/2"),
         "schema id missing or wrong"
     );
     assert_eq!(doc.get("clean").and_then(json::Json::as_bool), Some(true));
@@ -68,7 +68,8 @@ fn json_findings_parse_with_the_in_tree_reader() {
         doc.get("violations").and_then(json::Json::as_arr).map(<[json::Json]>::len),
         Some(0)
     );
-    // Allowed findings carry the full file/line/rule/message shape.
+    // Allowed findings carry the full file/line/rule/resolution/message
+    // shape; resolution is one of the three analysis layers.
     let allowed = doc.get("allowed").and_then(json::Json::as_arr).expect("allowed array");
     assert!(!allowed.is_empty(), "the tree has acknowledged exceptions");
     for finding in allowed {
@@ -76,7 +77,54 @@ fn json_findings_parse_with_the_in_tree_reader() {
         assert!(finding.get("line").and_then(json::Json::as_u64).is_some());
         assert!(finding.get("rule").and_then(json::Json::as_str).is_some());
         assert!(finding.get("message").and_then(json::Json::as_str).is_some());
+        let resolution = finding
+            .get("resolution")
+            .and_then(json::Json::as_str)
+            .expect("every finding carries its resolution provenance");
+        assert!(
+            matches!(resolution, "token" | "module-graph" | "type-flow"),
+            "unknown resolution layer `{resolution}`"
+        );
     }
+}
+
+#[test]
+fn bare_explain_lists_rules_and_unknown_rules_exit_two() {
+    // No workspace-root argument here: a bare `--explain` would take a
+    // following non-flag token as the rule name.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(&cargo)
+        .args(["run", "--quiet", "--offline", "-p", "sysunc-tidy", "--", "--explain"])
+        .current_dir(root())
+        .output()
+        .expect("sysunc-tidy should spawn");
+    assert!(output.status.success(), "bare --explain must exit 0");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for rule in ["panic", "float-eq", "pub-reexport", "lock-hygiene", "unused-allow"] {
+        assert!(
+            stdout.lines().any(|l| l.starts_with(rule)),
+            "listing lacks `{rule}`:\n{stdout}"
+        );
+    }
+
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--offline", "-p", "sysunc-tidy", "--", "--explain", "no-such"])
+        .current_dir(root())
+        .output()
+        .expect("sysunc-tidy should spawn");
+    assert_eq!(output.status.code(), Some(2), "unknown rule must exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+    assert!(stderr.contains("lock-hygiene"), "stderr lists the known rules: {stderr}");
+}
+
+#[test]
+fn dump_modules_renders_the_resolved_tree() {
+    let (ok, stdout, stderr) = run_tidy(&["--dump-modules"]);
+    assert!(ok, "--dump-modules failed:\n{stderr}");
+    assert!(stdout.contains("crate prob"), "lists the prob crate:\n{stdout}");
+    assert!(stdout.contains("mod (root) [root]"), "marks crate roots:\n{stdout}");
+    assert!(stdout.contains("pub use"), "shows re-export edges");
 }
 
 #[test]
@@ -113,6 +161,127 @@ fn pub_reexport_fires_when_a_real_reexport_is_knocked_out() {
         "expected `ProbError` to become unreachable, got: {hits:?}"
     );
     assert!(hits.iter().all(|v| v.file == Path::new("crates/prob/src/error.rs")));
+}
+
+#[test]
+fn dead_pub_use_chain_seeded_into_the_real_tree_is_caught() {
+    // Seed the real prob crate with a module whose only re-export chain
+    // stops short of the root: `seeded_dead` re-exports `inner::SeededSecret`,
+    // but `mod seeded_dead;` is private and nothing re-exports it
+    // upward. The pre-resolver rule name-matched re-exports from *any*
+    // module, saw "SeededSecret is re-exported somewhere", and stayed
+    // silent; root-reachability catches it.
+    let mut files = walk::collect(root()).expect("workspace walks");
+    let lib = files
+        .iter_mut()
+        .find(|f| f.path == Path::new("crates/prob/src/lib.rs"))
+        .expect("prob crate root present");
+    let seeded = format!("{}mod seeded_dead;\n", lib.content);
+    *lib = SourceFile::new(lib.path.clone(), seeded, FileKind::RustLibrary);
+    files.push(SourceFile::new(
+        "crates/prob/src/seeded_dead.rs",
+        "//! Seeded fixture.\nmod inner;\npub use inner::SeededSecret;\n",
+        FileKind::RustLibrary,
+    ));
+    files.push(SourceFile::new(
+        "crates/prob/src/seeded_dead/inner.rs",
+        "//! Seeded fixture.\n/// Never reachable.\npub struct SeededSecret;\n",
+        FileKind::RustLibrary,
+    ));
+    let report = check_files(&files);
+    let hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "pub-reexport" && v.message.contains("SeededSecret"))
+        .collect();
+    assert!(!hits.is_empty(), "dead pub use chain must be caught");
+    assert!(hits.iter().all(|v| v.resolution == "module-graph"));
+}
+
+#[test]
+fn root_reachable_glob_reexport_seeded_into_the_real_tree_stays_clean() {
+    // The inverse seeding: a private module whose items reach the root
+    // through a glob re-export. The pre-resolver rule matched glob
+    // paths only textually and flagged exactly this shape; the module
+    // graph proves reachability and stays silent.
+    let mut files = walk::collect(root()).expect("workspace walks");
+    let lib = files
+        .iter_mut()
+        .find(|f| f.path == Path::new("crates/prob/src/lib.rs"))
+        .expect("prob crate root present");
+    let seeded = format!("{}mod seeded_live;\npub use seeded_live::*;\n", lib.content);
+    *lib = SourceFile::new(lib.path.clone(), seeded, FileKind::RustLibrary);
+    files.push(SourceFile::new(
+        "crates/prob/src/seeded_live.rs",
+        "//! Seeded fixture.\n/// Reachable through the glob.\npub struct SeededGlob;\n",
+        FileKind::RustLibrary,
+    ));
+    let report = check_files(&files);
+    let hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.message.contains("SeededGlob") || v.message.contains("seeded_live"))
+        .collect();
+    assert!(hits.is_empty(), "glob-reachable items are not dead API, got: {hits:?}");
+}
+
+#[test]
+fn lock_hygiene_fires_on_a_seeded_fixture() {
+    let files = vec![SourceFile::new(
+        "crates/x/src/lib.rs",
+        "//! Fixture.\n\
+         use std::sync::Mutex;\n\
+         /// Unwraps the lock, then sleeps on it.\n\
+         pub fn bad(m: &Mutex<u32>) -> u32 {\n\
+             let g = m.lock().unwrap();\n\
+             std::thread::sleep(std::time::Duration::from_millis(1));\n\
+             *g\n\
+         }\n",
+        FileKind::RustLibrary,
+    )];
+    let report = check_files(&files);
+    let hits: Vec<_> =
+        report.violations.iter().filter(|v| v.rule == "lock-hygiene").collect();
+    assert_eq!(hits.len(), 2, "unwrap + guard-across-sleep, got: {hits:?}");
+    assert!(hits.iter().all(|v| v.resolution == "token"));
+    assert!(hits.iter().any(|v| v.message.contains("unwrap")), "{hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("still live across")), "{hits:?}");
+}
+
+#[test]
+fn float_eq_type_flow_fires_for_all_three_sources() {
+    // One fixture per flow source: a float parameter, a float-returning
+    // call (defined in a *different* file), and an inferred float let.
+    let files = vec![
+        SourceFile::new(
+            "crates/x/src/lib.rs",
+            "//! Fixture.\n\
+             pub mod measure;\n\
+             /// Parameter-typed flow.\n\
+             pub fn param(a: f64, b: f64) -> bool { a == b }\n\
+             /// Call-result flow; `reading` lives in measure.rs.\n\
+             pub fn call(t: u64) -> bool { measure::reading(t) == measure::reading(t + 1) }\n\
+             /// Inferred-let flow.\n\
+             pub fn local(flag: bool) -> bool {\n\
+                 let x = 0.5;\n\
+                 let y = if flag { x } else { x };\n\
+                 x == y\n\
+             }\n",
+            FileKind::RustLibrary,
+        ),
+        SourceFile::new(
+            "crates/x/src/measure.rs",
+            "//! Fixture.\n/// A reading.\npub fn reading(_t: u64) -> f64 { 0.0 }\n",
+            FileKind::RustLibrary,
+        ),
+    ];
+    let report = check_files(&files);
+    let hits: Vec<_> = report.violations.iter().filter(|v| v.rule == "float-eq").collect();
+    assert_eq!(hits.len(), 3, "one finding per flow source, got: {hits:?}");
+    assert!(hits.iter().all(|v| v.resolution == "type-flow"));
+    assert!(hits.iter().any(|v| v.message.contains("parameter-typed")), "{hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("reading")), "{hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("literal-inferred")), "{hits:?}");
 }
 
 #[test]
