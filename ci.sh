@@ -58,3 +58,18 @@ echo "== serve trend tripwire =="
 # cache-hot throughput below 5x cold (the cache must earn its keep).
 # On a machine without a baseline the run becomes the baseline.
 cargo run -q --release --offline -p sysunc-bench --bin serve_trend
+
+echo "== engine kernel benchmark (scalar vs chunked) =="
+# Times every sampling engine on both paper models through the scalar
+# reference path and the chunked struct-of-arrays driver; the per-row
+# throughputs and speedups land in BENCH_engine.json.
+cargo run -q --release --offline -p sysunc-bench --bin engine_bench
+
+echo "== engine trend tripwire =="
+# Folds the document into BENCH_engine_trend.json and fails when the
+# chunked path loses its >=2x speedup over scalar for Monte Carlo or
+# Latin hypercube, or when any engine/model row drops >20% against the
+# committed baseline. On a machine without a baseline the run becomes
+# the baseline.
+cargo run -q --release --offline -p sysunc-bench --bin engine_trend -- \
+  --fail-on-regression

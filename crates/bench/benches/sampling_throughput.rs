@@ -6,9 +6,9 @@ use sysunc_bench::{criterion_group, criterion_main};
 use sysunc_prob::rng::StdRng;
 use sysunc_prob::rng::SeedableRng;
 use sysunc::prob::dist::{Continuous, Normal};
+use sysunc::propagator::{propagate_chunked, ChunkOptions};
 use sysunc::sampling::{
-    propagate, propagate_parallel, Design, HaltonDesign, LatinHypercubeDesign, RandomDesign,
-    SobolDesign,
+    propagate, Design, HaltonDesign, LatinHypercubeDesign, RandomDesign, SobolDesign,
 };
 
 fn bench_designs(c: &mut Criterion) {
@@ -40,11 +40,18 @@ fn bench_designs(c: &mut Criterion) {
             propagate(&inputs, &LatinHypercubeDesign, &model, 16_384, &mut rng).expect("runs")
         });
     });
-    group.bench_function("parallel4_16k", |b| {
+    group.bench_function("chunked4_16k", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            propagate_parallel(&inputs, &LatinHypercubeDesign, &model, 16_384, 4, &mut rng)
-                .expect("runs")
+            propagate_chunked(
+                &inputs,
+                &LatinHypercubeDesign,
+                &model,
+                16_384,
+                ChunkOptions { width: 1024, threads: 4 },
+                &mut rng,
+            )
+            .expect("runs")
         });
     });
     group.finish();

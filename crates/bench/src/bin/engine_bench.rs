@@ -1,0 +1,256 @@
+//! Measures propagation throughput per engine × paper model, chunked
+//! vs scalar, and writes the machine-readable comparison.
+//!
+//! ```text
+//! engine_bench [--out BENCH_engine.json] [--budget 65536] [--reps 3]
+//!              [--seed 2020]
+//! ```
+//!
+//! The three design-of-experiment engines (`monte-carlo`,
+//! `latin-hypercube`, `sobol-qmc`) are timed twice on each paper model
+//! (`orbital-period` with uniform parameter spreads, `missed-hazard`
+//! with uniform world-mix shares): once through the scalar reference
+//! path (`sysunc::sampling::propagate`, one allocation and one virtual
+//! dispatch per sample) and once through the chunked struct-of-arrays
+//! driver (`sysunc::propagator::propagate_chunked`). The two paths
+//! produce bit-identical outputs (see `tests/engine_chunked.rs`), so
+//! the ratio is a pure kernel-efficiency number. The spectral and
+//! evidential engines have no scalar/chunked split; their rows carry
+//! the full-engine throughput with speedup 1.0 for trend continuity.
+//!
+//! Output: a `sysunc-bench-engine/1` JSON document. Each rep measures a
+//! full run and the best rep wins (noise floors, not averages, reflect
+//! kernel cost on a loaded machine).
+
+use std::process::ExitCode;
+use std::time::Instant;
+use sysunc::orbital::TwoBodyPeriodModel;
+use sysunc::perception::MissedHazardModel;
+use sysunc::prob::dist::{Continuous, Uniform};
+use sysunc::prob::json::writer::JsonWriter;
+use sysunc::prob::rng::{SeedableRng, StdRng};
+use sysunc::propagator::{propagate_chunked, ChunkOptions};
+use sysunc::sampling::{
+    propagate, Design, LatinHypercubeDesign, RandomDesign, SobolDesign,
+};
+use sysunc::{
+    EvidentialEngine, Model, PropagationRequest, Propagator, SpectralEngine, UncertainInput,
+};
+
+struct Args {
+    out: String,
+    budget: usize,
+    reps: usize,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed =
+        Args { out: "BENCH_engine.json".into(), budget: 65_536, reps: 3, seed: 2020 };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => parsed.out = value("--out")?,
+            "--budget" => {
+                parsed.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--reps" => {
+                parsed.reps =
+                    value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?
+            }
+            "--seed" => {
+                parsed.seed =
+                    value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    parsed.budget = parsed.budget.max(1);
+    parsed.reps = parsed.reps.max(1);
+    Ok(parsed)
+}
+
+/// One benchmark workload: a paper model plus matching uniform inputs
+/// (uniform marginals keep the inverse-CDF cheap, so the measured
+/// difference is the kernel structure, not special-function cost).
+struct Workload<'m> {
+    name: &'static str,
+    model: &'m dyn Model,
+    dists: Vec<Uniform>,
+    wire_inputs: Vec<UncertainInput>,
+}
+
+impl Workload<'_> {
+    fn refs(&self) -> Vec<&dyn Continuous> {
+        self.dists.iter().map(|d| d as &dyn Continuous).collect()
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Row {
+    engine: &'static str,
+    model: &'static str,
+    scalar_sps: f64,
+    chunked_sps: f64,
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("engine_bench: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let valid = |d: Result<Uniform, _>| d.expect("literal bounds are valid");
+    let period = TwoBodyPeriodModel;
+    let hazard = match MissedHazardModel::paper_camera() {
+        Ok(hazard) => hazard,
+        Err(e) => {
+            eprintln!("engine_bench: cannot build the paper camera: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workloads = [
+        Workload {
+            name: "orbital-period",
+            model: &period,
+            dists: vec![
+                valid(Uniform::new(0.8, 1.2)),
+                valid(Uniform::new(0.8, 1.2)),
+                valid(Uniform::new(0.9, 1.1)),
+            ],
+            wire_inputs: vec![
+                UncertainInput::Uniform { a: 0.8, b: 1.2 },
+                UncertainInput::Uniform { a: 0.8, b: 1.2 },
+                UncertainInput::Uniform { a: 0.9, b: 1.1 },
+            ],
+        },
+        Workload {
+            name: "missed-hazard",
+            model: &hazard,
+            dists: vec![valid(Uniform::new(0.0, 1.0)), valid(Uniform::new(0.0, 0.3))],
+            wire_inputs: vec![
+                UncertainInput::Uniform { a: 0.0, b: 1.0 },
+                UncertainInput::Uniform { a: 0.0, b: 0.3 },
+            ],
+        },
+    ];
+
+    let designs: [(&'static str, Box<dyn Design>); 3] = [
+        ("monte-carlo", Box::new(RandomDesign)),
+        ("latin-hypercube", Box::new(LatinHypercubeDesign)),
+        ("sobol-qmc", Box::new(SobolDesign::default())),
+    ];
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let refs = w.refs();
+        for (engine, design) in &designs {
+            // The scalar reference path is generic over a sized model;
+            // a closure shim keeps the per-sample virtual call it would
+            // pay for any real model behind the facade.
+            let shim = |x: &[f64]| w.model.eval(x);
+            let scalar = best_secs(args.reps, || {
+                let mut rng = StdRng::seed_from_u64(args.seed);
+                propagate(&refs, design.as_ref(), &shim, args.budget, &mut rng)
+                    .expect("scalar path runs");
+            });
+            let chunked = best_secs(args.reps, || {
+                let mut rng = StdRng::seed_from_u64(args.seed);
+                propagate_chunked(
+                    &refs,
+                    design.as_ref(),
+                    w.model,
+                    args.budget,
+                    ChunkOptions::auto(args.budget),
+                    &mut rng,
+                )
+                .expect("chunked path runs");
+            });
+            rows.push(Row {
+                engine,
+                model: w.name,
+                scalar_sps: args.budget as f64 / scalar.max(1e-12),
+                chunked_sps: args.budget as f64 / chunked.max(1e-12),
+            });
+        }
+
+        // Full-engine rows for the two non-sampling engines: no scalar/
+        // chunked split, recorded for trend continuity at speedup 1.0.
+        let engines: [(&'static str, Box<dyn Propagator>); 2] = [
+            ("pce-spectral", Box::new(SpectralEngine::default())),
+            ("evidential", Box::new(EvidentialEngine::default())),
+        ];
+        for (name, engine) in &engines {
+            let request = match PropagationRequest::new(w.wire_inputs.clone(), w.model) {
+                Ok(request) => request.with_budget(args.budget).with_seed(args.seed),
+                Err(e) => {
+                    eprintln!("engine_bench: cannot build a request for {}: {e}", w.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut evaluations = 0usize;
+            let secs = best_secs(args.reps, || {
+                let report = engine.propagate(&request).expect("engine runs");
+                evaluations = report.evaluations;
+            });
+            let sps = evaluations as f64 / secs.max(1e-12);
+            rows.push(Row { engine: name, model: w.name, scalar_sps: sps, chunked_sps: sps });
+        }
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("sysunc-bench-engine/1");
+    w.key("budget").u64(args.budget as u64);
+    w.key("reps").u64(args.reps as u64);
+    w.key("seed").u64(args.seed);
+    w.key("entries").begin_array();
+    for row in &rows {
+        let speedup = row.chunked_sps / row.scalar_sps.max(1e-12);
+        w.begin_object();
+        w.key("engine").string(row.engine);
+        w.key("model").string(row.model);
+        w.key("scalar_sps").f64(row.scalar_sps);
+        w.key("chunked_sps").f64(row.chunked_sps);
+        w.key("speedup").f64(speedup);
+        w.end_object();
+        println!(
+            "{:<16} {:<16} scalar {:>12.0} samples/s  chunked {:>12.0} samples/s  {:>5.2}x",
+            row.engine, row.model, row.scalar_sps, row.chunked_sps, speedup
+        );
+    }
+    w.end_array();
+    w.end_object();
+    let doc = match w.finish() {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("engine_bench: cannot render the document: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&args.out, doc + "\n") {
+        eprintln!("engine_bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("engine_bench: wrote {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,188 @@
+//! Folds an engine throughput document into the engine trend
+//! trajectory and trips on kernel regressions.
+//!
+//! ```text
+//! engine_trend [--in BENCH_engine.json] [--out BENCH_engine_trend.json]
+//!              [--baseline engine.baseline] [--write-baseline]
+//!              [--min-ratio 0.8] [--min-speedup 2.0]
+//!              [--fail-on-regression]
+//! ```
+//!
+//! Reads a `sysunc-bench-engine/1` document, appends one
+//! `sysunc-bench-engine-trend/1` record to `--out`, and checks two
+//! invariants:
+//!
+//! - the chunked struct-of-arrays path must hold at least
+//!   `--min-speedup` (default 2.0) over the scalar reference path for
+//!   the Monte Carlo and Latin hypercube engines on every paper model —
+//!   the headline claim of the batch-kernel restructuring;
+//! - no `engine/model` row may drop below `--min-ratio` (default 0.8,
+//!   i.e. a >20% regression) of the baseline's chunked throughput, and
+//!   no baseline row may disappear.
+//!
+//! Findings always print; the process exits non-zero only under
+//! `--fail-on-regression`, so ad-hoc runs on loaded machines stay
+//! informative without tripping. When the baseline file does not exist
+//! yet (first run on a machine), the current document is written as the
+//! new baseline and the ratio check passes vacuously;
+//! `--write-baseline` forces that refresh.
+
+use std::process::ExitCode;
+use sysunc::prob::json::parse;
+use sysunc_bench::trend::{
+    chunked_speedup_shortfall, engine_regressions, engine_summaries, engine_trend_record,
+};
+
+/// The engines whose chunked kernels must earn their keep. The QMC and
+/// analytic engines are trended (ratio check) but not held to the
+/// speedup floor here — Sobol comfortably exceeds it in practice, while
+/// the spectral and evidential rows have no scalar/chunked split.
+const SPEEDUP_ENGINES: [&str; 2] = ["monte-carlo", "latin-hypercube"];
+
+struct Args {
+    input: String,
+    out: String,
+    baseline: String,
+    write_baseline: bool,
+    min_ratio: f64,
+    min_speedup: f64,
+    fail_on_regression: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        input: "BENCH_engine.json".into(),
+        out: "BENCH_engine_trend.json".into(),
+        baseline: "engine.baseline".into(),
+        write_baseline: false,
+        min_ratio: 0.8,
+        min_speedup: 2.0,
+        fail_on_regression: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--in" => parsed.input = value("--in")?,
+            "--out" => parsed.out = value("--out")?,
+            "--baseline" => parsed.baseline = value("--baseline")?,
+            "--write-baseline" => parsed.write_baseline = true,
+            "--fail-on-regression" => parsed.fail_on_regression = true,
+            "--min-ratio" => {
+                parsed.min_ratio = value("--min-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--min-ratio: {e}"))?
+            }
+            "--min-speedup" => {
+                parsed.min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("engine_trend: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&args.input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("engine_trend: cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("engine_trend: {} is not valid JSON: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let summaries = match engine_summaries(&doc) {
+        Ok(summaries) => summaries,
+        Err(e) => {
+            eprintln!("engine_trend: {} is not an engine document: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let record = match engine_trend_record(&doc) {
+        Ok(record) => record,
+        Err(e) => {
+            eprintln!("engine_trend: cannot fold the document: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{record}");
+    let mut appended = std::fs::read_to_string(&args.out).unwrap_or_default();
+    if !appended.is_empty() && !appended.ends_with('\n') {
+        appended.push('\n');
+    }
+    appended.push_str(&record);
+    appended.push('\n');
+    if let Err(e) = std::fs::write(&args.out, appended) {
+        eprintln!("engine_trend: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    // The speedup floor holds regardless of any baseline.
+    let mut findings = chunked_speedup_shortfall(&summaries, &SPEEDUP_ENGINES, args.min_speedup);
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) if !args.write_baseline => Some(text),
+        _ => None,
+    };
+    match baseline_text {
+        Some(text) => {
+            let baseline = match parse(&text).ok().as_ref().map(engine_summaries) {
+                Some(Ok(baseline)) => baseline,
+                _ => {
+                    eprintln!(
+                        "engine_trend: {} is not an engine document; refresh it with \
+                         --write-baseline",
+                        args.baseline
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            findings.extend(engine_regressions(&summaries, &baseline, args.min_ratio));
+        }
+        None => {
+            if let Err(e) = std::fs::write(&args.baseline, &text) {
+                eprintln!("engine_trend: cannot write baseline {}: {e}", args.baseline);
+                return ExitCode::FAILURE;
+            }
+            println!("engine_trend: wrote new baseline {}", args.baseline);
+        }
+    }
+
+    if findings.is_empty() {
+        println!(
+            "engine_trend: ok — {} row(s), speedup floor {:.1}x held",
+            summaries.len(),
+            args.min_speedup
+        );
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        eprintln!("engine_trend: FAIL: {finding}");
+    }
+    if args.fail_on_regression {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("engine_trend: findings are advisory without --fail-on-regression");
+        ExitCode::SUCCESS
+    }
+}

@@ -122,11 +122,17 @@ impl LoadgenConfig {
     /// The wire request client `c` sends as its `i`-th call. Cold
     /// seeds are distinct per call so the server does real, varied
     /// work; cache-hot seeds cycle through `hot_seeds` values in a
-    /// disjoint range so repeats hit the response cache.
+    /// disjoint range so repeats hit the response cache. The cycle is
+    /// staggered by client: clients running in lockstep would otherwise
+    /// all request the same not-yet-cached key at once and every one of
+    /// them would miss (the cache does not coalesce in-flight
+    /// requests), which can leave a short hot run with zero hits.
     pub fn request(&self, client: usize, call: usize) -> WireRequest {
         let mut wire = self.base_request();
         wire.seed = match self.mode {
-            LoadMode::CacheHot => 9_000_000 + call as u64 % self.hot_seeds.max(1),
+            LoadMode::CacheHot => {
+                9_000_000 + (client as u64 + call as u64) % self.hot_seeds.max(1)
+            }
             LoadMode::Cold | LoadMode::Batch => {
                 (client as u64) * 1_000_003 + call as u64 + 1
             }
@@ -419,11 +425,13 @@ mod tests {
             hot_seeds: 4,
             ..LoadgenConfig::default()
         };
-        // Every client sends the same seed on the same call index, and
-        // the cycle length is hot_seeds.
-        assert_eq!(c.request(0, 0).seed, c.request(7, 0).seed);
+        // The cycle length is hot_seeds, staggered by client so that
+        // concurrent lockstep clients request different keys.
+        assert_eq!(c.request(0, 0).seed, c.request(4, 0).seed);
         assert_eq!(c.request(0, 1).seed, c.request(0, 5).seed);
+        assert_eq!(c.request(1, 0).seed, c.request(0, 1).seed);
         assert_ne!(c.request(0, 0).seed, c.request(0, 1).seed);
+        assert_ne!(c.request(0, 0).seed, c.request(1, 0).seed);
         // Disjoint from the cold range for the default client counts.
         let cold = LoadgenConfig::default();
         for client in 0..8 {

@@ -13,6 +13,12 @@
 //!   folds into a per-mode record (`sysunc-bench-serve-trend/1`), and
 //!   [`throughput_regressions`] / [`cache_speedup_shortfall`] are the
 //!   CI tripwire comparing a run against a committed baseline.
+//! - **Engine throughput** — a `sysunc-bench-engine/1` document (the
+//!   `engine_bench` binary: samples/sec per engine × model, chunked vs
+//!   scalar) folds into a `sysunc-bench-engine-trend/1` record;
+//!   [`engine_regressions`] compares chunked throughput against a
+//!   committed baseline and [`chunked_speedup_shortfall`] enforces that
+//!   the chunked kernels keep beating the scalar reference path.
 
 use std::collections::BTreeMap;
 use sysunc::prob::json::writer::JsonWriter;
@@ -299,6 +305,152 @@ pub fn cache_speedup_shortfall(current: &[ModeSummary], min_ratio: f64) -> Optio
     None
 }
 
+/// One engine × model row of a `sysunc-bench-engine/1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSummary {
+    /// The engine name (catalog name, e.g. `monte-carlo`).
+    pub engine: String,
+    /// The benchmark model (e.g. `orbital-period`).
+    pub model: String,
+    /// Scalar reference-path throughput in samples per second.
+    pub scalar_sps: f64,
+    /// Chunked-kernel throughput in samples per second.
+    pub chunked_sps: f64,
+    /// `chunked_sps / scalar_sps` (1.0 for engines without a distinct
+    /// chunked path).
+    pub speedup: f64,
+}
+
+impl EngineSummary {
+    /// The `engine/model` key rows are matched on across runs.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.engine, self.model)
+    }
+}
+
+/// Extracts the per-row summaries from a `sysunc-bench-engine/1`
+/// document, in document order.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when the document has the wrong schema or an
+/// entry lacks the expected members.
+pub fn engine_summaries(doc: &Json) -> Result<Vec<EngineSummary>, JsonError> {
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "sysunc-bench-engine/1" {
+        return Err(JsonError::decode(format!(
+            "expected a sysunc-bench-engine/1 document, got schema '{schema}'"
+        )));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError::decode("document lacks an 'entries' array"))?;
+    let mut summaries = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let text = |key: &str| {
+            entry.get(key).and_then(Json::as_str).map(str::to_string).ok_or_else(|| {
+                JsonError::decode(format!("entry {i} lacks '{key}'"))
+            })
+        };
+        let num = |key: &str| {
+            entry.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                JsonError::decode(format!("entry {i} lacks a numeric '{key}'"))
+            })
+        };
+        summaries.push(EngineSummary {
+            engine: text("engine")?,
+            model: text("model")?,
+            scalar_sps: num("scalar_sps")?,
+            chunked_sps: num("chunked_sps")?,
+            speedup: num("speedup")?,
+        });
+    }
+    Ok(summaries)
+}
+
+/// Renders one `sysunc-bench-engine-trend/1` record (a single JSON
+/// line) from a parsed `sysunc-bench-engine/1` document: throughput and
+/// speedup per `engine/model` key, appended over time.
+///
+/// # Errors
+///
+/// As in [`engine_summaries`], plus writer errors for non-finite
+/// throughputs.
+pub fn engine_trend_record(doc: &Json) -> Result<String, JsonError> {
+    let summaries = engine_summaries(doc)?;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("sysunc-bench-engine-trend/1");
+    w.key("entries").begin_object();
+    for s in &summaries {
+        w.key(&s.key()).begin_object();
+        w.key("scalar_sps").f64(s.scalar_sps);
+        w.key("chunked_sps").f64(s.chunked_sps);
+        w.key("speedup").f64(s.speedup);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// Compares a run against a baseline: one message per `engine/model`
+/// row whose chunked throughput fell below `min_ratio` of the
+/// baseline's (or that disappeared entirely). Empty means no
+/// regression.
+pub fn engine_regressions(
+    current: &[EngineSummary],
+    baseline: &[EngineSummary],
+    min_ratio: f64,
+) -> Vec<String> {
+    let mut findings = Vec::new();
+    for base in baseline {
+        match current.iter().find(|s| s.key() == base.key()) {
+            None => findings.push(format!("row '{}' missing from this run", base.key())),
+            Some(now) => {
+                let floor = base.chunked_sps * min_ratio;
+                if now.chunked_sps < floor {
+                    findings.push(format!(
+                        "row '{}' throughput {:.0} samples/s fell below {:.0} \
+                         ({:.0}% of baseline {:.0})",
+                        base.key(),
+                        now.chunked_sps,
+                        floor,
+                        min_ratio * 100.0,
+                        base.chunked_sps
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Checks the chunked kernels' value proposition: every row of the
+/// named engines must report at least `min_speedup` over the scalar
+/// path. Empty when satisfied (or when no named engine has rows).
+pub fn chunked_speedup_shortfall(
+    current: &[EngineSummary],
+    engines: &[&str],
+    min_speedup: f64,
+) -> Vec<String> {
+    current
+        .iter()
+        .filter(|s| engines.contains(&s.engine.as_str()) && s.speedup < min_speedup)
+        .map(|s| {
+            format!(
+                "row '{}' chunked speedup {:.2}x is below the required {min_speedup:.1}x \
+                 ({:.0} vs {:.0} samples/s)",
+                s.key(),
+                s.speedup,
+                s.chunked_sps,
+                s.scalar_sps
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +608,72 @@ mod tests {
 
         let findings = throughput_regressions(&healthy[..1], &baseline, 0.8);
         assert!(findings.iter().any(|f| f.contains("missing")), "{findings:?}");
+    }
+
+    fn engine_doc(mc_chunked: f64, mc_speedup: f64) -> Json {
+        parse(&format!(
+            r#"{{"schema":"sysunc-bench-engine/1","budget":65536,"entries":[
+                {{"engine":"monte-carlo","model":"orbital-period",
+                  "scalar_sps":1000000.0,"chunked_sps":{mc_chunked},"speedup":{mc_speedup}}},
+                {{"engine":"evidential","model":"orbital-period",
+                  "scalar_sps":50000.0,"chunked_sps":50000.0,"speedup":1.0}}]}}"#
+        ))
+        .expect("doc parses")
+    }
+
+    #[test]
+    fn engine_summaries_and_trend_record_fold_the_document() {
+        let doc = engine_doc(4_000_000.0, 4.0);
+        let summaries = engine_summaries(&doc).expect("folds");
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].key(), "monte-carlo/orbital-period");
+        assert!((summaries[0].speedup - 4.0).abs() < 1e-9);
+
+        let record = engine_trend_record(&doc).expect("renders");
+        let v = parse(&record).expect("record parses back");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("sysunc-bench-engine-trend/1")
+        );
+        let row = v
+            .get("entries")
+            .and_then(|e| e.get("monte-carlo/orbital-period"))
+            .expect("row");
+        assert_eq!(row.get("speedup").and_then(Json::as_f64), Some(4.0));
+
+        let foreign = parse(r#"{"schema":"other/9"}"#).expect("parses");
+        assert!(engine_summaries(&foreign).is_err());
+        let incomplete = parse(
+            r#"{"schema":"sysunc-bench-engine/1","entries":[{"engine":"monte-carlo"}]}"#,
+        )
+        .expect("parses");
+        assert!(engine_summaries(&incomplete).is_err());
+    }
+
+    #[test]
+    fn engine_regressions_flag_drops_and_missing_rows() {
+        let baseline = engine_summaries(&engine_doc(4_000_000.0, 4.0)).expect("folds");
+        let healthy = engine_summaries(&engine_doc(3_500_000.0, 3.5)).expect("folds");
+        assert!(engine_regressions(&healthy, &baseline, 0.8).is_empty());
+
+        let regressed = engine_summaries(&engine_doc(2_000_000.0, 2.0)).expect("folds");
+        let findings = engine_regressions(&regressed, &baseline, 0.8);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("monte-carlo/orbital-period"), "{findings:?}");
+
+        let findings = engine_regressions(&regressed[1..], &baseline, 0.8);
+        assert!(findings.iter().any(|f| f.contains("missing")), "{findings:?}");
+    }
+
+    #[test]
+    fn chunked_speedup_shortfall_enforces_the_floor_per_engine() {
+        let rows = engine_summaries(&engine_doc(4_000_000.0, 4.0)).expect("folds");
+        // The evidential row's 1.0x is fine: it is not a named engine.
+        assert!(chunked_speedup_shortfall(&rows, &["monte-carlo"], 2.0).is_empty());
+        let slow = engine_summaries(&engine_doc(1_500_000.0, 1.5)).expect("folds");
+        let findings = chunked_speedup_shortfall(&slow, &["monte-carlo"], 2.0);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("1.50x"), "{findings:?}");
     }
 
     #[test]

@@ -52,9 +52,10 @@ pub mod wire;
 
 pub use error::{Error, Result, SysuncError};
 pub use propagator::{
-    dedup_by_key, run_all, run_batch, run_batch_serial, standard_engines, BatchJob,
-    EvidentialEngine, LatinHypercubeEngine, Model, MonteCarloEngine, PropagationReport,
-    PropagationRequest, Propagator, SobolEngine, SpectralEngine, UncertainInput,
+    dedup_by_key, propagate_chunked, run_all, run_batch, run_batch_serial, standard_engines,
+    BatchJob, ChunkOptions, ChunkedRun, EvidentialEngine, LatinHypercubeEngine, Model,
+    MonteCarloEngine, PropagationReport, PropagationRequest, Propagator, SobolEngine,
+    SpectralEngine, UncertainInput, CHUNK_WIDTH,
 };
 pub use wire::{
     engine_by_name, fnv1a64, CanonicalRequest, ModelRegistry, WireRequest, ENGINE_NAMES,

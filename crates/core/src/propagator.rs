@@ -16,6 +16,15 @@
 //! returns genuinely wide ones — the report type makes the epistemic
 //! width a first-class output instead of an incompatible type.
 //!
+//! The hot path of the sampling engines is [`propagate_chunked`]: design
+//! generation, inverse-CDF transform and model evaluation all run over
+//! cache-aligned struct-of-arrays chunks ([`sysunc_sampling::SoaMatrix`])
+//! with one virtual dispatch per chunk instead of per sample, tiled
+//! across scoped OS threads. Outputs are bit-identical to the scalar
+//! reference path (`sysunc_sampling::propagate`) for any chunk width and
+//! thread count; only the fused mean/variance reduction is
+//! chunk-width-sensitive at the ulp level (see DESIGN.md).
+//!
 //! [`run_batch`] fans a batch of (engine, request) jobs across OS threads
 //! with `std::thread::scope`; because every engine derives all randomness
 //! from the request seed, the parallel driver is bit-identical to
@@ -27,10 +36,10 @@ use std::fmt;
 use sysunc_evidence::{DsStructure, Interval};
 use sysunc_pce::{ChaosExpansion, PceInput};
 use sysunc_prob::dist::{Beta, Continuous, Exponential, Normal, Uniform};
-use sysunc_prob::rng::{SeedableRng, StdRng};
-use sysunc_prob::stats;
+use sysunc_prob::rng::{RngCore, SeedableRng, StdRng};
+use sysunc_prob::stats::{RunningStats, SortedSample};
 use sysunc_sampling::{
-    propagate as sample_propagate, Design, LatinHypercubeDesign, RandomDesign, SobolDesign,
+    AlignedBuf, Design, LatinHypercubeDesign, RandomDesign, SoaMatrix, SobolDesign,
 };
 
 pub use sysunc_sampling::Model;
@@ -335,7 +344,201 @@ pub trait Propagator: Sync {
     fn propagate(&self, request: &PropagationRequest<'_>) -> Result<PropagationReport>;
 }
 
-/// Shared implementation for the three design-of-experiment engines.
+/// Default number of samples per chunk of the chunked driver: large
+/// enough to amortize the per-chunk virtual dispatch, small enough that a
+/// chunk's working set (inputs + outputs) stays cache-resident.
+pub const CHUNK_WIDTH: usize = 1024;
+
+/// Tuning knobs of [`propagate_chunked`]. Neither knob affects the
+/// outputs: chunk width and thread count only change *how* the same
+/// sample values are computed and reduced (see DESIGN.md, "Chunked
+/// struct-of-arrays kernels", for the exact determinism contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkOptions {
+    /// Samples per chunk (clamped to at least 1).
+    pub width: usize,
+    /// Worker threads tiling the chunks (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl Default for ChunkOptions {
+    fn default() -> Self {
+        Self { width: CHUNK_WIDTH, threads: 1 }
+    }
+}
+
+impl ChunkOptions {
+    /// Serial execution with the default chunk width.
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the thread pool for a budget: available parallelism (capped
+    /// at 8) when the run spans at least four chunks, serial otherwise —
+    /// tiny runs are dominated by thread startup.
+    pub fn auto(budget: usize) -> Self {
+        let threads = if budget >= 4 * CHUNK_WIDTH {
+            std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
+        } else {
+            1
+        };
+        Self { width: CHUNK_WIDTH, threads }
+    }
+}
+
+/// Result of a chunked propagation run: the output sample in a
+/// cache-aligned buffer plus the fused per-chunk moments.
+#[derive(Debug)]
+pub struct ChunkedRun {
+    outputs: AlignedBuf,
+    stats: RunningStats,
+}
+
+impl ChunkedRun {
+    /// Model outputs, one per design point, in design order.
+    pub fn outputs(&self) -> &[f64] {
+        self.outputs.as_slice()
+    }
+
+    /// The fused output moments (per-chunk accumulators merged in chunk
+    /// index order).
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// Estimated mean of the model output.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Estimated variance of the model output.
+    pub fn variance(&self) -> f64 {
+        self.stats.variance()
+    }
+
+    /// Estimated `P(Y > threshold)` — an exact count, bit-identical to
+    /// the scalar path. Range: `[0, 1]`.
+    pub fn exceedance_probability(&self, threshold: f64) -> f64 {
+        let outputs = self.outputs();
+        outputs.iter().filter(|&&y| y > threshold).count() as f64
+            / outputs.len().max(1) as f64
+    }
+
+    /// Sorts the outputs once for repeated quantile queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the outputs contain NaN (e.g. a model
+    /// sampled out of its domain).
+    pub fn sorted(&self) -> Result<SortedSample> {
+        Ok(SortedSample::from_slice(self.outputs())?)
+    }
+}
+
+/// Evaluates rows `lo..lo + out.len()` of the input matrix into `out`,
+/// accumulating the chunk's moments into `stats`.
+fn run_chunk(
+    x: &SoaMatrix,
+    model: &dyn Model,
+    lo: usize,
+    out: &mut [f64],
+    stats: &mut RunningStats,
+) {
+    let cols = x.chunk(lo, lo + out.len());
+    model.eval_batch(&cols, out);
+    for &y in out.iter() {
+        stats.push(y);
+    }
+}
+
+/// The unified chunked propagation driver: generates the design straight
+/// into a struct-of-arrays matrix, applies the inverse-CDF transform one
+/// *dimension* at a time ([`Continuous::quantile_fill`]), and evaluates
+/// the model one *chunk* at a time ([`Model::eval_batch`]), tiling chunks
+/// across scoped OS threads.
+///
+/// Every engine and the serving layer funnel through this function; the
+/// scalar `sysunc_sampling::propagate` remains as the reference
+/// implementation it is tested against.
+///
+/// Determinism: outputs, exceedance counts, min/max and sort-based
+/// quantiles are **bit-identical** to the scalar path for any chunk
+/// width and thread count (same design values, same RNG consumption
+/// order, same elementwise transforms). The fused mean/variance merge
+/// per-chunk accumulators in chunk index order, so they are independent
+/// of the thread count but may differ from the sequential push by a few
+/// ulps — the one documented tolerance-equivalence case.
+///
+/// # Errors
+///
+/// Propagates design-generation and dimension errors.
+pub fn propagate_chunked(
+    inputs: &[&dyn Continuous],
+    design: &dyn Design,
+    model: &dyn Model,
+    n: usize,
+    options: ChunkOptions,
+    rng: &mut dyn RngCore,
+) -> Result<ChunkedRun> {
+    let dim = inputs.len();
+    let mut u = SoaMatrix::zeroed(dim, n);
+    design.generate_into(n, dim, rng, &mut u)?;
+    // Inverse-CDF transform, one full column per input dimension: one
+    // virtual call per (dimension, run) instead of per (dimension,
+    // sample). The clamp matches `sysunc_sampling::to_input_space`.
+    let mut x = SoaMatrix::zeroed(dim, n);
+    for (j, d) in inputs.iter().enumerate() {
+        let uc = u.col_mut(j);
+        for v in uc.iter_mut() {
+            *v = v.clamp(1e-15, 1.0 - 1e-15);
+        }
+        d.quantile_fill(uc, x.col_mut(j));
+    }
+    drop(u);
+
+    let width = options.width.max(1);
+    let threads = options.threads.max(1);
+    let mut outputs = AlignedBuf::zeroed(n);
+    let n_chunks = n.div_ceil(width);
+    let mut chunk_stats: Vec<RunningStats> = (0..n_chunks).map(|_| RunningStats::new()).collect();
+    // One job per chunk: disjoint output slice + dedicated stats slot,
+    // so any tiling over threads reduces to the same merged result.
+    let mut jobs: Vec<(usize, &mut [f64], &mut RunningStats)> = outputs
+        .as_mut_slice()
+        .chunks_mut(width)
+        .zip(chunk_stats.iter_mut())
+        .enumerate()
+        .map(|(c, (out, stats))| (c * width, out, stats))
+        .collect();
+    let x_ref = &x;
+    if threads <= 1 || jobs.len() <= 1 {
+        for (lo, out, stats) in &mut jobs {
+            run_chunk(x_ref, model, *lo, out, stats);
+        }
+    } else {
+        let per = jobs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for group in jobs.chunks_mut(per) {
+                scope.spawn(move || {
+                    for (lo, out, stats) in group.iter_mut() {
+                        run_chunk(x_ref, model, *lo, out, stats);
+                    }
+                });
+            }
+        });
+    }
+    drop(jobs);
+
+    // Merge in chunk index order — independent of thread scheduling.
+    let mut stats = RunningStats::new();
+    for s in &chunk_stats {
+        stats.merge(s);
+    }
+    Ok(ChunkedRun { outputs, stats })
+}
+
+/// Shared implementation for the three design-of-experiment engines, on
+/// top of the chunked driver.
 fn sampling_report(
     engine: &'static str,
     means: Means,
@@ -348,26 +551,38 @@ fn sampling_report(
         .map(|i| i.to_continuous())
         .collect::<Result<_>>()?;
     let refs: Vec<&dyn Continuous> = dists.iter().map(Box::as_ref).collect();
-    let model = request.model;
-    let f = |x: &[f64]| model.eval(x);
     let mut rng = StdRng::seed_from_u64(request.seed);
-    let res = sample_propagate(&refs, design, &f, request.budget, &mut rng)?;
-    let quantiles = request
-        .quantile_levels
-        .iter()
-        .map(|&p| Ok((p, Interval::degenerate(res.quantile(p)?))))
-        .collect::<Result<Vec<_>>>()?;
+    let run = propagate_chunked(
+        &refs,
+        design,
+        request.model,
+        request.budget,
+        ChunkOptions::auto(request.budget),
+        &mut rng,
+    )?;
+    // Sort once, answer every level — but only when levels were asked
+    // for, so NaN outputs still yield a (quantile-free) report.
+    let quantiles = if request.quantile_levels.is_empty() {
+        Vec::new()
+    } else {
+        let sorted = run.sorted()?;
+        request
+            .quantile_levels
+            .iter()
+            .map(|&p| (p, Interval::degenerate(sorted.interpolated(p))))
+            .collect()
+    };
     Ok(PropagationReport {
         engine,
         means,
         kind: request.dominant_kind(),
-        mean: Interval::degenerate(res.mean()),
-        variance: Interval::degenerate(res.variance()),
+        mean: Interval::degenerate(run.mean()),
+        variance: Interval::degenerate(run.variance()),
         quantiles,
         exceedance: request
             .threshold
-            .map(|t| Interval::degenerate(res.exceedance_probability(t))),
-        evaluations: res.outputs.len(),
+            .map(|t| Interval::degenerate(run.exceedance_probability(t))),
+        evaluations: run.outputs().len(),
     })
 }
 
@@ -471,14 +686,18 @@ impl Propagator for SpectralEngine {
             .generate(n, inputs.len(), &mut rng)
             .map_err(Error::Sampling)?;
         let outputs: Vec<f64> = points.iter().map(|u| pce.eval_u(u)).collect();
-        let quantiles = request
-            .quantile_levels
-            .iter()
-            .map(|&p| {
-                let q = stats::quantile(&outputs, p)?;
-                Ok((p, Interval::degenerate(q)))
-            })
-            .collect::<Result<Vec<_>>>()?;
+        let quantiles = if request.quantile_levels.is_empty() {
+            Vec::new()
+        } else {
+            // One sort shared by every level (same routine as the
+            // sampling engines).
+            let sorted = SortedSample::from_slice(&outputs)?;
+            request
+                .quantile_levels
+                .iter()
+                .map(|&p| (p, Interval::degenerate(sorted.interpolated(p))))
+                .collect()
+        };
         let exceedance = request.threshold.map(|t| {
             let freq = outputs.iter().filter(|&&y| y > t).count() as f64
                 / outputs.len().max(1) as f64;
@@ -797,6 +1016,82 @@ mod tests {
             let parallel = run_batch(&jobs, threads);
             assert_eq!(serial, parallel, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn chunked_driver_outputs_bit_identical_to_scalar_path() {
+        let x1 = Normal::new(1.0, 2.0).unwrap();
+        let x2 = Uniform::new(0.0, 1.0).unwrap();
+        let refs: Vec<&dyn Continuous> = vec![&x1, &x2];
+        let model = |x: &[f64]| 2.0 * x[0] + 3.0 * x[1];
+        let designs: Vec<Box<dyn Design>> = vec![
+            Box::new(RandomDesign),
+            Box::new(LatinHypercubeDesign),
+            Box::new(SobolDesign::default()),
+        ];
+        for design in &designs {
+            for n in [1, 100, 1024, 2500] {
+                let mut rng = StdRng::seed_from_u64(5);
+                let scalar =
+                    sysunc_sampling::propagate(&refs, design.as_ref(), &model, n, &mut rng)
+                        .unwrap();
+                for (width, threads) in [(1, 1), (7, 1), (256, 3), (1024, 2), (4096, 4)] {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    let run = propagate_chunked(
+                        &refs,
+                        design.as_ref(),
+                        &model,
+                        n,
+                        ChunkOptions { width, threads },
+                        &mut rng,
+                    )
+                    .unwrap();
+                    assert_eq!(run.outputs().len(), n);
+                    for (i, (a, b)) in
+                        run.outputs().iter().zip(&scalar.outputs).enumerate()
+                    {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} n={n} width={width} threads={threads} sample {i}",
+                            design.name()
+                        );
+                    }
+                    // Fused moments: tolerance equivalence, not bit
+                    // equality (documented in DESIGN.md).
+                    assert!((run.mean() - scalar.mean()).abs() <= 1e-10);
+                    assert!((run.variance() - scalar.variance()).abs() <= 1e-8);
+                    // Counts and sorted quantiles: bit-identical.
+                    assert_eq!(
+                        run.exceedance_probability(3.5).to_bits(),
+                        scalar.exceedance_probability(3.5).to_bits()
+                    );
+                    assert_eq!(
+                        run.sorted().unwrap().interpolated(0.9).to_bits(),
+                        scalar.quantile(0.9).unwrap().to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_driver_rejects_nan_quantiles_but_reports_moments() {
+        let x1 = Uniform::new(0.0, 1.0).unwrap();
+        let refs: Vec<&dyn Continuous> = vec![&x1];
+        let nan_model = |_: &[f64]| f64::NAN;
+        let mut rng = StdRng::seed_from_u64(3);
+        let run = propagate_chunked(
+            &refs,
+            &RandomDesign,
+            &nan_model,
+            64,
+            ChunkOptions::serial(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(run.mean().is_nan());
+        assert!(run.sorted().is_err());
     }
 
     #[test]

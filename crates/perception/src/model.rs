@@ -61,6 +61,24 @@ impl Model for MissedHazardModel {
             1.0 - self.classifier.novel_likelihood(self.classifier.none_label());
         p_ped * miss_ped + p_novel * novel_as_known
     }
+
+    fn eval_batch(&self, columns: &[&[f64]], out: &mut [f64]) {
+        // The confusion-matrix likelihoods are constant across a batch:
+        // hoist them once, then the remaining clamp/multiply-add loop is
+        // pure vectorizable arithmetic. Same op order as `eval`, so
+        // results are bit-identical.
+        let ped = self.pedestrian_class;
+        let miss_ped = 1.0 - self.classifier.likelihood(ped, ped);
+        let novel_as_known =
+            1.0 - self.classifier.novel_likelihood(self.classifier.none_label());
+        let ped_col = columns.first().copied();
+        let novel_col = columns.get(1).copied();
+        for (i, y) in out.iter_mut().enumerate() {
+            let p_ped = ped_col.map_or(0.0, |c| c[i]).clamp(0.0, 1.0);
+            let p_novel = novel_col.map_or(0.0, |c| c[i]).clamp(0.0, 1.0);
+            *y = p_ped * miss_ped + p_novel * novel_as_known;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +103,26 @@ mod tests {
         let m = MissedHazardModel::paper_camera().unwrap();
         assert!((m.eval(&[2.0, -1.0]) - m.eval(&[1.0, 0.0])).abs() < 1e-12);
         assert!(m.eval(&[]) < 1e-12);
+    }
+
+    #[test]
+    fn eval_batch_bit_identical_to_scalar_eval() {
+        let m = MissedHazardModel::paper_camera().unwrap();
+        let n = 41;
+        let ped: Vec<f64> = (0..n).map(|i| -0.2 + 1.4 * i as f64 / n as f64).collect();
+        let novel: Vec<f64> = (0..n).map(|i| 1.2 - 1.4 * i as f64 / n as f64).collect();
+        let views: Vec<&[f64]> = vec![&ped, &novel];
+        let mut out = vec![0.0; n];
+        m.eval_batch(&views, &mut out);
+        for i in 0..n {
+            let y = m.eval(&[ped[i], novel[i]]);
+            assert_eq!(out[i].to_bits(), y.to_bits(), "sample {i}");
+        }
+        // Single-column batch mirrors the missing-dimension default.
+        let views1: Vec<&[f64]> = vec![&ped];
+        m.eval_batch(&views1, &mut out);
+        for i in 0..n {
+            assert_eq!(out[i].to_bits(), m.eval(&[ped[i]]).to_bits());
+        }
     }
 }

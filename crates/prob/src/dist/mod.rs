@@ -118,6 +118,27 @@ pub trait Continuous: std::fmt::Debug + Send + Sync {
     /// Implementations panic when `p` is outside `[0, 1]`.
     fn quantile(&self, p: f64) -> f64;
 
+    /// Fills `out[i] = quantile(ps[i])` for a whole chunk of
+    /// probabilities — one virtual dispatch per chunk instead of one per
+    /// element, the building block of the struct-of-arrays propagation
+    /// kernels.
+    ///
+    /// The default loops over [`Continuous::quantile`]; distributions
+    /// with closed-form inverse CDFs override it with straight-line
+    /// loops the autovectorizer can handle. Overrides must stay
+    /// bit-identical to elementwise `quantile` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ; implementations panic when
+    /// any `p` is outside `[0, 1]`.
+    fn quantile_fill(&self, ps: &[f64], out: &mut [f64]) {
+        assert_eq!(ps.len(), out.len(), "quantile_fill: slice lengths differ");
+        for (y, &p) in out.iter_mut().zip(ps) {
+            *y = self.quantile(p);
+        }
+    }
+
     /// Mean of the distribution.
     fn mean(&self) -> f64;
 
@@ -144,6 +165,15 @@ pub trait Continuous: std::fmt::Debug + Send + Sync {
     /// Draws `n` samples into a fresh vector.
     fn sample_n(&self, rng: &mut dyn RngCore, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws samples into a caller-provided slice — the chunked
+    /// counterpart of [`Continuous::sample_n`] for struct-of-arrays
+    /// buffers that must not reallocate per draw.
+    fn sample_fill(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        for y in out.iter_mut() {
+            *y = self.sample(rng);
+        }
     }
 }
 
@@ -239,6 +269,22 @@ pub(crate) mod testutil {
             (acc - expect).abs() < tol,
             "pdf does not integrate to cdf: got {acc}, expected {expect}"
         );
+    }
+
+    /// Checks that `quantile_fill` is bit-identical to elementwise
+    /// `quantile` calls (the chunked-kernel determinism contract) and
+    /// that `sample_fill` matches `sample_n` under the same seed.
+    pub fn check_fills_match_scalar<D: Continuous>(d: &D, seed: u64) {
+        let ps: Vec<f64> = (0..257).map(|i| (i as f64 + 0.5) / 257.0).collect();
+        let mut out = vec![0.0; ps.len()];
+        d.quantile_fill(&ps, &mut out);
+        for (&p, &y) in ps.iter().zip(&out) {
+            assert_eq!(y, d.quantile(p), "quantile_fill diverges at p={p}");
+        }
+        let expect = d.sample_n(&mut rng(seed), 64);
+        let mut got = vec![0.0; 64];
+        d.sample_fill(&mut rng(seed), &mut got);
+        assert_eq!(got, expect, "sample_fill diverges from sample_n");
     }
 
     /// Checks sample mean/variance against the analytic values.

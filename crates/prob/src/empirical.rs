@@ -8,8 +8,12 @@
 //! (Sec. III-B), which shrinks as observations accumulate.
 
 use crate::error::{ProbError, Result};
+use crate::stats::SortedSample;
 
 /// Empirical cumulative distribution function over a sample.
+///
+/// Sorting and order-statistic queries delegate to
+/// [`SortedSample`], the workspace's single sort-based quantile routine.
 ///
 /// # Examples
 ///
@@ -21,7 +25,7 @@ use crate::error::{ProbError, Result};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
-    sorted: Vec<f64>,
+    sample: SortedSample,
 }
 
 impl Ecdf {
@@ -31,59 +35,50 @@ impl Ecdf {
     ///
     /// Returns [`ProbError::EmptyData`] on empty input or
     /// [`ProbError::InvalidParameter`] if the sample contains NaN.
-    pub fn new(mut sample: Vec<f64>) -> Result<Self> {
-        if sample.is_empty() {
-            return Err(ProbError::EmptyData);
-        }
-        if sample.iter().any(|x| x.is_nan()) {
-            return Err(ProbError::InvalidParameter("sample contains NaN".into()));
-        }
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN")); // tidy: allow(panic)
-        Ok(Self { sorted: sample })
+    pub fn new(sample: Vec<f64>) -> Result<Self> {
+        Ok(Self { sample: SortedSample::from_vec(sample)? })
     }
 
     /// Number of observations.
     pub fn len(&self) -> usize {
-        self.sorted.len()
+        self.sample.len()
     }
 
     /// Whether the sample is empty (never true for constructed values).
     pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
+        self.sample.is_empty()
     }
 
     /// Empirical CDF value `#{x_i <= x} / n`.
     /// Range: `[0, 1]`, a step function jumping `1/n` at each sample.
     pub fn cdf(&self, x: f64) -> f64 {
-        let k = self.sorted.partition_point(|&v| v <= x);
-        k as f64 / self.sorted.len() as f64
+        let sorted = self.sample.sorted();
+        let k = sorted.partition_point(|&v| v <= x);
+        k as f64 / sorted.len() as f64
     }
 
     /// Empirical quantile (inverse ECDF): the smallest order statistic with
-    /// CDF at least `p`.
+    /// CDF at least `p` ([`SortedSample::lower`]).
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "Ecdf::quantile: p in [0,1], got {p}");
-        if p == 0.0 { // tidy: allow(float-eq)
-            return self.sorted[0];
-        }
-        let k = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
-        self.sorted[k - 1]
+        self.sample.lower(p)
     }
 
     /// Underlying sorted sample.
     pub fn sorted_values(&self) -> &[f64] {
-        &self.sorted
+        self.sample.sorted()
     }
 
     /// Kolmogorov–Smirnov distance `sup |F_n - F|` against a reference CDF.
     pub fn ks_distance<F: Fn(f64) -> f64>(&self, reference_cdf: F) -> f64 {
-        let n = self.sorted.len() as f64;
+        let sorted = self.sample.sorted();
+        let n = sorted.len() as f64;
         let mut d: f64 = 0.0;
-        for (i, &x) in self.sorted.iter().enumerate() {
+        for (i, &x) in sorted.iter().enumerate() {
             let f = reference_cdf(x);
             let upper = (i + 1) as f64 / n - f;
             let lower = f - i as f64 / n;

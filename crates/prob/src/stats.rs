@@ -85,26 +85,117 @@ pub fn excess_kurtosis(xs: &[f64]) -> Result<f64> {
         - 3.0 * (nf - 1.0) * (nf - 1.0) / ((nf - 2.0) * (nf - 3.0)))
 }
 
+/// A sample sorted once, answering arbitrarily many quantile queries
+/// without re-sorting — the single source of truth for every sort-based
+/// quantile in the workspace ([`quantile`], the ECDF inverse, and the
+/// propagation engines' per-level quantile loops all delegate here).
+///
+/// # Examples
+///
+/// ```
+/// use sysunc_prob::stats::SortedSample;
+/// let s = SortedSample::from_slice(&[4.0, 1.0, 3.0, 2.0])?;
+/// assert!((s.interpolated(0.5) - 2.5).abs() < 1e-15);
+/// assert!((s.lower(0.5) - 2.0).abs() < 1e-15);
+/// # Ok::<(), sysunc_prob::ProbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedSample {
+    sorted: Vec<f64>,
+}
+
+impl SortedSample {
+    /// Sorts a copy of the sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::EmptyData`] for empty input or
+    /// [`ProbError::InvalidParameter`] when the sample contains NaN.
+    pub fn from_slice(xs: &[f64]) -> Result<Self> {
+        Self::from_vec(xs.to_vec())
+    }
+
+    /// Sorts the sample in place, taking ownership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::EmptyData`] for empty input or
+    /// [`ProbError::InvalidParameter`] when the sample contains NaN.
+    pub fn from_vec(mut xs: Vec<f64>) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(ProbError::EmptyData);
+        }
+        if xs.iter().any(|x| x.is_nan()) {
+            return Err(ProbError::InvalidParameter("sample contains NaN".into()));
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN")); // tidy: allow(panic)
+        Ok(Self { sorted: xs })
+    }
+
+    /// Number of observations (always at least one).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for constructed values,
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted observations.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Interpolated quantile between order statistics (Hyndman–Fan
+    /// type 7, the R/NumPy default). `p` is clamped to `[0, 1]`.
+    pub fn interpolated(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p), "quantile level {p} outside [0,1]");
+        let h = (self.sorted.len() - 1) as f64 * p.clamp(0.0, 1.0);
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        self.sorted[lo] + (h - lo as f64) * (self.sorted[hi] - self.sorted[lo])
+    }
+
+    /// Smallest order statistic with empirical CDF at least `p`
+    /// (Hyndman–Fan type 1, the inverse-ECDF estimator). `p` is clamped
+    /// to `[0, 1]`.
+    pub fn lower(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p), "quantile level {p} outside [0,1]");
+        if p <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let k = ((p.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[k - 1]
+    }
+
+    /// Fraction of observations strictly above `threshold`, via binary
+    /// search on the sorted sample.
+    /// Range: `[0, 1]` — an empirical exceedance frequency.
+    pub fn exceedance(&self, threshold: f64) -> f64 {
+        let below_or_equal = self.sorted.partition_point(|&v| v <= threshold);
+        (self.sorted.len() - below_or_equal) as f64 / self.sorted.len() as f64
+    }
+}
+
 /// Empirical quantile with linear interpolation between order statistics
 /// (Hyndman–Fan type 7, the R/NumPy default).
+///
+/// One-shot convenience over [`SortedSample`]; sorts on every call, so
+/// batch callers querying several levels should build a [`SortedSample`]
+/// once instead.
 ///
 /// # Errors
 ///
 /// Returns [`ProbError::EmptyData`] for empty data or
-/// [`ProbError::InvalidParameter`] for `p` outside `[0, 1]`.
+/// [`ProbError::InvalidParameter`] for `p` outside `[0, 1]` or NaN data.
 pub fn quantile(xs: &[f64], p: f64) -> Result<f64> {
-    if xs.is_empty() {
-        return Err(ProbError::EmptyData);
-    }
     if !(0.0..=1.0).contains(&p) {
         return Err(ProbError::InvalidParameter(format!("quantile level must be in [0,1], got {p}")));
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input")); // tidy: allow(panic)
-    let h = (sorted.len() - 1) as f64 * p;
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
-    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+    Ok(SortedSample::from_slice(xs)?.interpolated(p))
 }
 
 /// Median (50% quantile).
@@ -295,6 +386,45 @@ mod tests {
         assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
         assert!(mean(&[]).is_err());
         assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn sorted_sample_agrees_with_one_shot_quantile() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = SortedSample::from_slice(&xs).unwrap();
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(s.interpolated(p), quantile(&xs, p).unwrap(), "p={p}");
+        }
+        assert_eq!(s.len(), xs.len());
+        assert!(!s.is_empty());
+        assert_eq!(s.sorted()[0], 1.0);
+        assert_eq!(*s.sorted().last().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn sorted_sample_lower_is_inverse_ecdf() {
+        let s = SortedSample::from_vec(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.lower(0.0), 1.0);
+        assert_eq!(s.lower(1.0 / 3.0), 1.0);
+        assert_eq!(s.lower(0.5), 2.0);
+        assert_eq!(s.lower(1.0), 3.0);
+    }
+
+    #[test]
+    fn sorted_sample_exceedance_matches_linear_count() {
+        let xs = [0.5, 1.5, 2.5, 3.5];
+        let s = SortedSample::from_slice(&xs).unwrap();
+        for t in [-1.0, 0.5, 1.0, 2.5, 9.0] {
+            let linear = xs.iter().filter(|&&y| y > t).count() as f64 / xs.len() as f64;
+            assert_eq!(s.exceedance(t), linear, "t={t}");
+        }
+    }
+
+    #[test]
+    fn sorted_sample_rejects_empty_and_nan() {
+        assert!(SortedSample::from_slice(&[]).is_err());
+        assert!(SortedSample::from_vec(vec![1.0, f64::NAN]).is_err());
+        assert!(quantile(&[1.0, f64::NAN], 0.5).is_err());
     }
 
     #[test]

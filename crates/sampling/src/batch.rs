@@ -1,0 +1,180 @@
+//! Struct-of-arrays batch buffers for the chunked propagation kernels.
+//!
+//! The scalar propagation path stores design points row-major
+//! (`Vec<Vec<f64>>`, one heap allocation per point); the chunked path
+//! stores them column-major in cache-aligned flat buffers so the
+//! per-dimension inverse-CDF fills and the per-model `eval_batch` loops
+//! run over contiguous `f64` slices the autovectorizer can lower to
+//! SIMD. See DESIGN.md ("Chunked struct-of-arrays kernels") for the
+//! layout and determinism contract.
+
+/// Cache-line size the buffers align to, in bytes.
+pub const CACHE_LINE: usize = 64;
+
+/// A heap `f64` buffer whose data starts on a 64-byte (cache-line)
+/// boundary, built without `unsafe`: the allocation is over-sized by up
+/// to seven elements and the aligned window inside it is located with
+/// `align_offset`.
+///
+/// The buffer has a fixed length; it never grows, so the aligned window
+/// is stable for the lifetime of the value.
+#[derive(Debug)]
+pub struct AlignedBuf {
+    raw: Vec<f64>,
+    offset: usize,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Allocates a zeroed buffer of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        let pad = CACHE_LINE / std::mem::size_of::<f64>() - 1;
+        let raw = vec![0.0; len + pad];
+        let misalign = raw.as_ptr().align_offset(CACHE_LINE);
+        // `align_offset` counts in elements; a `Vec<f64>` allocation is
+        // at least 8-byte aligned, so the window fits — fall back to the
+        // allocation start in the (theoretical) impossible case.
+        let offset = if misalign <= pad { misalign } else { 0 };
+        Self { raw, offset, len }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The aligned contents.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.raw[self.offset..self.offset + self.len]
+    }
+
+    /// The aligned contents, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.raw[self.offset..self.offset + self.len]
+    }
+}
+
+/// A struct-of-arrays matrix: `dim` cache-aligned columns of `n`
+/// elements each, where `col(j)[i]` is coordinate `j` of point `i`.
+///
+/// This is the storage the chunked drivers generate designs into and
+/// evaluate models from; a column slice is exactly the argument shape of
+/// `Continuous::quantile_fill` and `Model::eval_batch`.
+#[derive(Debug)]
+pub struct SoaMatrix {
+    cols: Vec<AlignedBuf>,
+    n: usize,
+}
+
+impl SoaMatrix {
+    /// Allocates a zeroed matrix of `dim` columns with `n` points each.
+    pub fn zeroed(dim: usize, n: usize) -> Self {
+        Self { cols: (0..dim).map(|_| AlignedBuf::zeroed(n)).collect(), n }
+    }
+
+    /// Number of points (rows).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of coordinates (columns).
+    pub fn dim(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column `j` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= dim`.
+    pub fn col(&self, j: usize) -> &[f64] {
+        self.cols[j].as_slice()
+    }
+
+    /// Column `j` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= dim`.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        self.cols[j].as_mut_slice()
+    }
+
+    /// Views of the half-open row range `lo..hi` across every column —
+    /// the borrowed struct-of-arrays chunk handed to `Model::eval_batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn chunk(&self, lo: usize, hi: usize) -> Vec<&[f64]> {
+        self.cols.iter().map(|c| &c.as_slice()[lo..hi]).collect()
+    }
+
+    /// Copies row-major points (`points[i][j]`) into the columns — the
+    /// transpose bridge from the scalar `Design::generate` layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the point count or any point's dimension disagrees
+    /// with the matrix shape.
+    pub fn fill_from_rows(&mut self, points: &[Vec<f64>]) {
+        assert_eq!(points.len(), self.n, "fill_from_rows: point count mismatch");
+        for (j, col) in self.cols.iter_mut().enumerate() {
+            let col = col.as_mut_slice();
+            for (i, p) in points.iter().enumerate() {
+                col[i] = p[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_buf_is_cache_aligned() {
+        for len in [0, 1, 7, 8, 63, 64, 1000] {
+            let b = AlignedBuf::zeroed(len);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.is_empty(), len == 0);
+            if len > 0 {
+                assert_eq!(
+                    b.as_slice().as_ptr() as usize % CACHE_LINE,
+                    0,
+                    "len {len} not cache-aligned"
+                );
+            }
+            assert!(b.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn aligned_buf_roundtrips_writes() {
+        let mut b = AlignedBuf::zeroed(10);
+        for (i, x) in b.as_mut_slice().iter_mut().enumerate() {
+            *x = i as f64;
+        }
+        assert_eq!(b.as_slice()[9], 9.0);
+        assert_eq!(b.as_slice().len(), 10);
+    }
+
+    #[test]
+    fn soa_matrix_transposes_rows() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let mut m = SoaMatrix::zeroed(2, 3);
+        m.fill_from_rows(&pts);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.col(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(m.col(1), &[2.0, 4.0, 6.0]);
+        let chunk = m.chunk(1, 3);
+        assert_eq!(chunk[0], &[3.0, 5.0]);
+        assert_eq!(chunk[1], &[4.0, 6.0]);
+    }
+}

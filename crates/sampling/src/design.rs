@@ -5,6 +5,7 @@
 //! *where* to probe a model; the [`crate::propagate`] helpers then push the
 //! points through input distributions and the model.
 
+use crate::batch::SoaMatrix;
 use crate::error::{Result, SamplingError};
 use sysunc_prob::rng::Rng as _;
 use sysunc_prob::rng::RngCore;
@@ -22,6 +23,35 @@ pub trait Design: std::fmt::Debug + Send + Sync {
     /// dimensions the design cannot support.
     fn generate(&self, n: usize, dim: usize, rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>>;
 
+    /// Fills a struct-of-arrays matrix with exactly the points
+    /// [`Design::generate`] would produce, consuming the RNG in the same
+    /// order — the allocation-free column-major entry point of the
+    /// chunked propagation drivers.
+    ///
+    /// The default generates row-major and transposes; designs override
+    /// it to write columns directly. Overrides must keep the generated
+    /// values (and the RNG consumption order) bit-identical to
+    /// `generate`, which is what lets the chunked drivers claim
+    /// bit-identity with the scalar path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Design::generate`], plus
+    /// [`SamplingError::DimensionMismatch`] when `out` is not shaped
+    /// `(dim, n)`.
+    fn generate_into(
+        &self,
+        n: usize,
+        dim: usize,
+        rng: &mut dyn RngCore,
+        out: &mut SoaMatrix,
+    ) -> Result<()> {
+        check_out_shape(n, dim, out)?;
+        let points = self.generate(n, dim, rng)?;
+        out.fill_from_rows(&points);
+        Ok(())
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -35,6 +65,17 @@ fn check_shape(n: usize, dim: usize) -> Result<()> {
     Ok(())
 }
 
+fn check_out_shape(n: usize, dim: usize, out: &SoaMatrix) -> Result<()> {
+    check_shape(n, dim)?;
+    if out.dim() != dim || out.n() != n {
+        return Err(SamplingError::DimensionMismatch {
+            expected: dim * n,
+            actual: out.dim() * out.n(),
+        });
+    }
+    Ok(())
+}
+
 /// Plain pseudo-random (crude Monte Carlo) design.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RandomDesign;
@@ -43,6 +84,24 @@ impl Design for RandomDesign {
     fn generate(&self, n: usize, dim: usize, rng: &mut dyn RngCore) -> Result<Vec<Vec<f64>>> {
         check_shape(n, dim)?;
         Ok((0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect())
+    }
+
+    fn generate_into(
+        &self,
+        n: usize,
+        dim: usize,
+        rng: &mut dyn RngCore,
+        out: &mut SoaMatrix,
+    ) -> Result<()> {
+        check_out_shape(n, dim, out)?;
+        // Point-major draw order scattered into columns: the same RNG
+        // consumption as `generate`, without the per-point allocations.
+        for i in 0..n {
+            for j in 0..dim {
+                out.col_mut(j)[i] = rng.random::<f64>();
+            }
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -71,6 +130,31 @@ impl Design for LatinHypercubeDesign {
             }
         }
         Ok(pts)
+    }
+
+    fn generate_into(
+        &self,
+        n: usize,
+        dim: usize,
+        rng: &mut dyn RngCore,
+        out: &mut SoaMatrix,
+    ) -> Result<()> {
+        check_out_shape(n, dim, out)?;
+        // `generate` is already column-major (one shuffled permutation
+        // per dimension, carried across dimensions); this writes the
+        // identical values straight into the columns.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for j in 0..dim {
+            for i in (1..n).rev() {
+                let k = (rng.random::<f64>() * (i + 1) as f64) as usize % (i + 1);
+                perm.swap(i, k);
+            }
+            let col = out.col_mut(j);
+            for (i, &stratum) in perm.iter().enumerate() {
+                col[i] = (stratum as f64 + rng.random::<f64>()) / n as f64;
+            }
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -127,6 +211,30 @@ impl Design for HaltonDesign {
                 (0..dim).map(|j| Self::radical_inverse(idx, PRIMES[j])).collect()
             })
             .collect())
+    }
+
+    fn generate_into(
+        &self,
+        n: usize,
+        dim: usize,
+        rng: &mut dyn RngCore,
+        out: &mut SoaMatrix,
+    ) -> Result<()> {
+        check_out_shape(n, dim, out)?;
+        if dim > PRIMES.len() {
+            return Err(SamplingError::InvalidDesign(format!(
+                "Halton supports up to {} dimensions, requested {dim}",
+                PRIMES.len()
+            )));
+        }
+        let _ = rng; // deterministic sequence: RNG unused, as in `generate`
+        for (j, &base) in PRIMES.iter().take(dim).enumerate() {
+            let col = out.col_mut(j);
+            for (i, y) in col.iter_mut().enumerate() {
+                *y = Self::radical_inverse((i + self.skip + 1) as u64, base);
+            }
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -245,6 +353,43 @@ impl Design for SobolDesign {
             }
         }
         Ok(out)
+    }
+
+    fn generate_into(
+        &self,
+        n: usize,
+        dim: usize,
+        rng: &mut dyn RngCore,
+        out: &mut SoaMatrix,
+    ) -> Result<()> {
+        check_out_shape(n, dim, out)?;
+        if dim > Self::MAX_DIM {
+            return Err(SamplingError::InvalidDesign(format!(
+                "Sobol supports up to {} dimensions, requested {dim}",
+                Self::MAX_DIM
+            )));
+        }
+        let _ = rng; // deterministic sequence: RNG unused, as in `generate`
+        let dirs: Vec<Vec<u64>> = (0..dim).map(SobolDesign::direction_numbers).collect();
+        let scale = 1.0 / (1u64 << SOBOL_BITS) as f64;
+        let mut state = vec![0u64; dim];
+        // Same Gray-code walk as `generate`, writing each point across the
+        // columns instead of allocating a row vector per point.
+        for i in 0..(self.skip + n) {
+            if i > 0 {
+                let c = (i as u64 - 1).trailing_ones() as usize;
+                for (j, st) in state.iter_mut().enumerate() {
+                    *st ^= dirs[j][c];
+                }
+            }
+            if i >= self.skip {
+                let row = i - self.skip;
+                for (j, &st) in state.iter().enumerate() {
+                    out.col_mut(j)[row] = st as f64 * scale;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -398,6 +543,56 @@ mod tests {
         assert!(SobolDesign::default().generate(8, 17, &mut rng()).is_err());
         let pts = SobolDesign::default().generate(8, 16, &mut rng()).unwrap();
         in_unit_cube(&pts);
+    }
+
+    #[test]
+    fn generate_into_bit_identical_to_generate() {
+        // Every design (overridden or default `generate_into`) must
+        // produce the transposed `generate` output bit-for-bit, from the
+        // same seed, and leave the RNG in the same state afterwards.
+        let designs: Vec<Box<dyn Design>> = vec![
+            Box::new(RandomDesign),
+            Box::new(LatinHypercubeDesign),
+            Box::new(HaltonDesign::default()),
+            Box::new(SobolDesign::default()),
+            Box::new(StratifiedDesign { strata_per_dim: 3 }),
+        ];
+        for d in designs {
+            for (n, dim) in [(1, 1), (37, 3), (64, 5)] {
+                let mut rng_rows = StdRng::seed_from_u64(99);
+                let pts = d.generate(n, dim, &mut rng_rows).unwrap();
+                let mut rng_cols = StdRng::seed_from_u64(99);
+                let mut m = SoaMatrix::zeroed(dim, n);
+                d.generate_into(n, dim, &mut rng_cols, &mut m).unwrap();
+                for j in 0..dim {
+                    for i in 0..n {
+                        assert_eq!(
+                            m.col(j)[i].to_bits(),
+                            pts[i][j].to_bits(),
+                            "{} point {i} dim {j} (n={n})",
+                            d.name()
+                        );
+                    }
+                }
+                // RNG consumption order identical → same next draw.
+                use sysunc_prob::rng::Rng as _;
+                assert_eq!(
+                    rng_rows.random::<f64>().to_bits(),
+                    rng_cols.random::<f64>().to_bits(),
+                    "{} leaves RNG in a different state",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generate_into_rejects_shape_mismatch() {
+        let mut m = SoaMatrix::zeroed(2, 8);
+        assert!(RandomDesign.generate_into(8, 3, &mut rng(), &mut m).is_err());
+        assert!(RandomDesign.generate_into(9, 2, &mut rng(), &mut m).is_err());
+        assert!(RandomDesign.generate_into(0, 2, &mut rng(), &mut m).is_err());
+        assert!(RandomDesign.generate_into(8, 2, &mut rng(), &mut m).is_ok());
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //!   Carlo) sequences, built from scratch (Gray-code Sobol' with embedded
 //!   primitive-polynomial direction numbers; radical-inverse Halton).
 //! - [`StratifiedDesign`] — grid stratification for low dimensions.
-//! - [`propagate`] / [`propagate_parallel`] — push input distributions
-//!   through a deterministic model and collect output statistics.
+//! - [`propagate`] — push input distributions through a deterministic
+//!   model and collect output statistics (the scalar reference path; the
+//!   production chunked driver lives in `sysunc-core`).
+//! - [`SoaMatrix`] / [`AlignedBuf`] — cache-aligned struct-of-arrays
+//!   buffers the chunked kernels generate designs into.
 //! - [`importance_estimate`] — rare-event estimation.
 //! - [`ConvergenceTrace`] — accuracy-vs-cost curves for the method
 //!   comparison experiment (E9 in EXPERIMENTS.md).
@@ -33,17 +36,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod batch;
 mod design;
 mod error;
 mod propagate;
 mod variance_reduction;
 
+pub use batch::{AlignedBuf, SoaMatrix, CACHE_LINE};
 pub use design::{
     Design, HaltonDesign, LatinHypercubeDesign, RandomDesign, SobolDesign, StratifiedDesign,
 };
 pub use error::{Result, SamplingError};
 pub use propagate::{
-    importance_estimate, propagate, propagate_parallel, to_input_space, ConvergenceTrace, Model,
-    PropagationResult,
+    importance_estimate, propagate, to_input_space, ConvergenceTrace, Model, PropagationResult,
 };
 pub use variance_reduction::{control_variate_estimate, propagate_antithetic};

@@ -1,5 +1,8 @@
-//! Pushing designs through input distributions and models — the core
-//! aleatory-uncertainty propagation loop, serial and parallel.
+//! Pushing designs through input distributions and models — the scalar
+//! reference implementation of the aleatory-uncertainty propagation
+//! loop. The production hot path is the chunked struct-of-arrays driver
+//! in the `sysunc` core crate (`propagate_chunked`), which is asserted
+//! bit-identical to [`propagate`] output-for-output.
 
 use crate::design::Design;
 use crate::error::{Result, SamplingError};
@@ -14,6 +17,31 @@ use sysunc_prob::stats::RunningStats;
 pub trait Model: Sync {
     /// Evaluates the model at one input point.
     fn eval(&self, x: &[f64]) -> f64;
+
+    /// Evaluates the model at a whole chunk of points given in
+    /// struct-of-arrays form: `columns[j][i]` is coordinate `j` of point
+    /// `i`, and `out[i]` receives `f(point_i)` — one virtual dispatch
+    /// per chunk instead of one per sample.
+    ///
+    /// The default gathers each point into a scratch row and calls
+    /// [`Model::eval`], which is correct for every model; substrate
+    /// models with elementwise closed forms override it with
+    /// straight-line column loops the autovectorizer can handle.
+    /// Overrides must stay bit-identical to elementwise `eval` calls —
+    /// that is what keeps the chunked engine drivers deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any column is shorter than `out`.
+    fn eval_batch(&self, columns: &[&[f64]], out: &mut [f64]) {
+        let mut x = vec![0.0; columns.len()];
+        for (i, y) in out.iter_mut().enumerate() {
+            for (xj, col) in x.iter_mut().zip(columns) {
+                *xj = col[i];
+            }
+            *y = self.eval(&x);
+        }
+    }
 }
 
 impl<F: Fn(&[f64]) -> f64 + Sync> Model for F {
@@ -135,41 +163,6 @@ pub fn propagate<M: Model>(
     Ok(PropagationResult::from_outputs(outputs))
 }
 
-/// Parallel variant of [`propagate`] using `std::thread::scope` (stable
-/// since Rust 1.63, making an external scoped-thread crate unnecessary).
-///
-/// The design is generated serially (cheap); model evaluations — the
-/// expensive part for simulation substrates — are chunked across
-/// `threads` workers.
-///
-/// # Errors
-///
-/// Propagates design-generation and dimension errors.
-pub fn propagate_parallel<M: Model>(
-    inputs: &[&dyn Continuous],
-    design: &dyn Design,
-    model: &M,
-    n: usize,
-    threads: usize,
-    rng: &mut dyn RngCore,
-) -> Result<PropagationResult> {
-    let threads = threads.max(1);
-    let points = design.generate(n, inputs.len(), rng)?;
-    let xs = to_input_space(&points, inputs)?;
-    let chunk = xs.len().div_ceil(threads);
-    let mut outputs = vec![0.0; xs.len()];
-    std::thread::scope(|scope| {
-        for (xs_chunk, out_chunk) in xs.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (x, y) in xs_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *y = model.eval(x);
-                }
-            });
-        }
-    });
-    Ok(PropagationResult::from_outputs(outputs))
-}
-
 /// Importance-sampling estimate of `E_f[h(X)]` using a proposal
 /// distribution `g`: `(1/n) Σ h(x_i) f(x_i)/g(x_i)` with `x_i ~ g`.
 ///
@@ -259,7 +252,7 @@ impl ConvergenceTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::design::{LatinHypercubeDesign, RandomDesign, SobolDesign};
+    use crate::design::{LatinHypercubeDesign, RandomDesign};
     use sysunc_prob::rng::StdRng;
     use sysunc_prob::rng::SeedableRng;
     use sysunc_prob::dist::{Exponential, Normal, Uniform};
@@ -282,20 +275,15 @@ mod tests {
     }
 
     #[test]
-    fn propagate_parallel_matches_serial() {
-        let x1 = Normal::new(0.0, 1.0).unwrap();
-        let inputs: Vec<&dyn Continuous> = vec![&x1];
-        let model = |x: &[f64]| x[0] * x[0];
-        // Same seed → same design → identical outputs.
-        let serial = propagate(&inputs, &SobolDesign::default(), &model, 4096, &mut rng()).unwrap();
-        let parallel =
-            propagate_parallel(&inputs, &SobolDesign::default(), &model, 4096, 4, &mut rng())
-                .unwrap();
-        assert_eq!(serial.outputs.len(), parallel.outputs.len());
-        for (a, b) in serial.outputs.iter().zip(&parallel.outputs) {
-            assert_eq!(a, b);
+    fn eval_batch_default_matches_elementwise_eval() {
+        let model = |x: &[f64]| (x[0] * x[1]).sin() + x[0];
+        let c0 = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let c1 = [1.0, -1.0, 2.0, -2.0, 0.0];
+        let mut out = [0.0; 5];
+        Model::eval_batch(&model, &[&c0, &c1], &mut out);
+        for i in 0..5 {
+            assert_eq!(out[i], model.eval(&[c0[i], c1[i]]), "index {i}");
         }
-        assert!((parallel.mean() - 1.0).abs() < 0.01);
     }
 
     #[test]

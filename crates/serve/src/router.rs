@@ -17,11 +17,12 @@
 //! cache and intra-batch dedup are keyed on.
 //!
 //! Cancellation is cooperative: [`CancelModel`] wraps the registered
-//! model and checks its [`CancelToken`] on every evaluation, returning
-//! `NaN` once cancelled or past the deadline. Engines then finish
-//! almost immediately (their statistics fail interval validation), the
-//! worker observes the expired token, and the request is answered with
-//! `408` instead of burning the rest of its budget.
+//! model and checks its [`CancelToken`] on every evaluation (every
+//! chunk on the batched path), returning `NaN` once cancelled or past
+//! the deadline. Engines then finish almost immediately (their quantile
+//! reduction rejects the NaN sample), the worker observes the expired
+//! token, and the request is answered with `408` instead of burning the
+//! rest of its budget.
 
 use crate::error::ServeError;
 use crate::http::Response;
@@ -117,6 +118,18 @@ impl Model for CancelModel<'_> {
             f64::NAN
         } else {
             self.inner.eval(x)
+        }
+    }
+
+    fn eval_batch(&self, columns: &[&[f64]], out: &mut [f64]) {
+        // One token check per chunk instead of per sample: cancellation
+        // stays cooperative at chunk granularity, and an uncancelled
+        // run forwards wholesale — keeping served outputs bit-identical
+        // to the unwrapped model's.
+        if self.token.expired() {
+            out.fill(f64::NAN);
+        } else {
+            self.inner.eval_batch(columns, out);
         }
     }
 }

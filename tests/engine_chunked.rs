@@ -1,0 +1,192 @@
+//! Determinism contract of the chunked struct-of-arrays driver
+//! (DESIGN.md, "Chunked struct-of-arrays kernels"): for any budget,
+//! chunk width and thread count — including tails that are not a
+//! multiple of the width — the chunked path must reproduce the scalar
+//! reference path bit-for-bit on outputs, exceedance counts and
+//! sort-based quantiles, and within a tight tolerance on the fused
+//! mean/variance. Every engine of the catalog must additionally be
+//! deterministic under its request seed across repeated and parallel
+//! batch runs.
+
+use sysunc::prob::dist::Continuous;
+use sysunc::prob::propcheck;
+use sysunc::prob::rng::{SeedableRng, StdRng};
+use sysunc::propagator::{propagate_chunked, ChunkOptions};
+use sysunc::sampling::{
+    propagate, Design, HaltonDesign, LatinHypercubeDesign, RandomDesign, SobolDesign,
+    StratifiedDesign,
+};
+use sysunc::{
+    run_batch, run_batch_serial, standard_engines, BatchJob, Model, PropagationRequest,
+    SobolEngine, UncertainInput,
+};
+
+fn designs() -> Vec<Box<dyn Design>> {
+    vec![
+        Box::new(RandomDesign),
+        Box::new(LatinHypercubeDesign),
+        Box::new(SobolDesign::default()),
+        Box::new(HaltonDesign::default()),
+        Box::new(StratifiedDesign { strata_per_dim: 3 }),
+    ]
+}
+
+struct CurvedModel;
+
+impl Model for CurvedModel {
+    fn eval(&self, x: &[f64]) -> f64 {
+        (x[0] * x[1]).sin() + x[2].exp().ln_1p()
+    }
+}
+
+#[test]
+fn chunked_outputs_bit_identical_to_scalar_for_every_design() {
+    // Arbitrary budgets and chunk widths, deliberately coprime so the
+    // final chunk is almost always a ragged tail.
+    propcheck::run(48, |g| {
+        let n = g.usize_in(1, 700);
+        let width = g.usize_in(1, 300);
+        let threads = g.usize_in(1, 5);
+        let seed = g.u64_in(0, 10_000);
+        let dists = sysunc::prob::dist::Uniform::new(0.2, 2.0).expect("valid");
+        let norm = sysunc::prob::dist::Normal::new(0.0, 1.0).expect("valid");
+        let expo = sysunc::prob::dist::Exponential::new(1.3).expect("valid");
+        let inputs: Vec<&dyn Continuous> = vec![&dists, &norm, &expo];
+        for design in designs() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scalar = propagate(&inputs, design.as_ref(), &CurvedModel, n, &mut rng)
+                .expect("scalar path runs");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run = propagate_chunked(
+                &inputs,
+                design.as_ref(),
+                &CurvedModel,
+                n,
+                ChunkOptions { width, threads },
+                &mut rng,
+            )
+            .expect("chunked path runs");
+            for (i, (a, b)) in run.outputs().iter().zip(&scalar.outputs).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} sample {i} diverges (n={n} width={width} threads={threads})",
+                    design.name()
+                );
+            }
+            assert_eq!(
+                run.exceedance_probability(0.8).to_bits(),
+                scalar.exceedance_probability(0.8).to_bits(),
+                "{} exceedance count",
+                design.name()
+            );
+            let sorted = run.sorted().expect("finite outputs");
+            for p in [0.05, 0.5, 0.95] {
+                assert_eq!(
+                    sorted.interpolated(p).to_bits(),
+                    scalar.quantile(p).expect("valid level").to_bits(),
+                    "{} quantile {p}",
+                    design.name()
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn fused_moments_match_sequential_within_tolerance() {
+    // The one documented non-bit-identical reduction: per-chunk
+    // accumulators merged in chunk order vs a sequential streaming
+    // push. Mathematically equal; floating-point-wise within ulps.
+    propcheck::run(48, |g| {
+        let n = g.usize_in(2, 3000);
+        let width = g.usize_in(1, 513);
+        let threads = g.usize_in(1, 6);
+        let seed = g.u64_in(0, 10_000);
+        let a = sysunc::prob::dist::Normal::new(1.0, 2.0).expect("valid");
+        let b = sysunc::prob::dist::Uniform::new(0.0, 1.0).expect("valid");
+        let inputs: Vec<&dyn Continuous> = vec![&a, &b];
+        let model = |x: &[f64]| 2.0 * x[0] + 3.0 * x[1];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scalar = propagate(&inputs, &LatinHypercubeDesign, &model, n, &mut rng)
+            .expect("scalar path runs");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = propagate_chunked(
+            &inputs,
+            &LatinHypercubeDesign,
+            &model,
+            n,
+            ChunkOptions { width, threads },
+            &mut rng,
+        )
+        .expect("chunked path runs");
+        let mean_scale = scalar.mean().abs().max(1.0);
+        let var_scale = scalar.variance().abs().max(1.0);
+        assert!(
+            (run.mean() - scalar.mean()).abs() <= 1e-10 * mean_scale,
+            "fused mean drifted: {} vs {} (n={n} width={width})",
+            run.mean(),
+            scalar.mean()
+        );
+        assert!(
+            (run.variance() - scalar.variance()).abs() <= 1e-9 * var_scale,
+            "fused variance drifted: {} vs {} (n={n} width={width})",
+            run.variance(),
+            scalar.variance()
+        );
+        // Thread count must not matter at all: same widths, different
+        // tiling, bit-identical moments.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let retiled = propagate_chunked(
+            &inputs,
+            &LatinHypercubeDesign,
+            &model,
+            n,
+            ChunkOptions { width, threads: threads % 6 + 1 },
+            &mut rng,
+        )
+        .expect("chunked path runs");
+        assert_eq!(run.mean().to_bits(), retiled.mean().to_bits());
+        assert_eq!(run.variance().to_bits(), retiled.variance().to_bits());
+    });
+}
+
+#[test]
+fn every_engine_is_deterministic_under_its_seed() {
+    // The full catalog (MC, LHS, Sobol, spectral, evidential): repeated
+    // runs and parallel batch runs of the same seeded request must
+    // produce equal reports — the property the serving layer's response
+    // cache and batch dedup rely on.
+    let model = CurvedModel;
+    let inputs = vec![
+        UncertainInput::Uniform { a: 0.2, b: 2.0 },
+        UncertainInput::Normal { mu: 0.0, sigma: 1.0 },
+        UncertainInput::Exponential { rate: 1.3 },
+    ];
+    for budget in [1, 100, 1024, 5000] {
+        let request = PropagationRequest::new(inputs.clone(), &model)
+            .expect("valid request")
+            .with_budget(budget)
+            .with_seed(77)
+            .with_threshold(1.0);
+        let mut engines = standard_engines();
+        engines.push(Box::new(SobolEngine));
+        assert_eq!(engines.len(), 5, "the full catalog");
+        let jobs: Vec<BatchJob<'_, '_>> =
+            engines.iter().map(|e| (e.as_ref(), &request)).collect();
+        let serial = run_batch_serial(&jobs);
+        for report in serial.iter().flatten() {
+            assert!(report.evaluations > 0);
+        }
+        for threads in [2, 5] {
+            let parallel = run_batch(&jobs, threads);
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(
+                    s.as_ref().expect("engine runs"),
+                    p.as_ref().expect("engine runs"),
+                    "budget {budget}, threads {threads}"
+                );
+            }
+        }
+    }
+}
