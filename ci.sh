@@ -17,7 +17,7 @@ echo "== static-analysis gate (--json round-trip) =="
 # check) is exercised via the test suite, so here we only assert shape.
 json="$(cargo run -q --offline -p sysunc-tidy -- --json)"
 case "$json" in
-  '{"schema":"sysunc-tidy/2"'*'"clean":true'*) echo "json findings: clean" ;;
+  '{"schema":"sysunc-tidy/3"'*'"clean":true'*) echo "json findings: clean" ;;
   *) echo "unexpected --json output: $json" >&2; exit 1 ;;
 esac
 

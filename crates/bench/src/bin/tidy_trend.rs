@@ -4,8 +4,8 @@
 //! sysunc-tidy --json | tidy_trend [--in FILE] [--out FILE] [--fail-on-regression]
 //! ```
 //!
-//! Reads a `sysunc-tidy/2` findings document from stdin (or `--in
-//! FILE`; the legacy `/1` schema is accepted too), folds it into a
+//! Reads a `sysunc-tidy/3` findings document from stdin (or `--in
+//! FILE`; the legacy `/1` and `/2` schemas are accepted too), folds it into a
 //! `sysunc-bench-trend/1` record with per-rule allowed/baselined
 //! exception counts, and appends it as one JSON line to `--out`
 //! (default `BENCH_tidy_trend.json`) — printing it to stdout as well.

@@ -4,9 +4,10 @@
 //!
 //! - **Lint suppressions** — every `// tidy: allow(rule)` comment and
 //!   every baseline budget is acknowledged epistemic debt. A
-//!   `sysunc-tidy/2` findings document (the older `/1` is still
-//!   accepted — it merely lacks the per-finding `resolution` field)
-//!   folds into a per-rule record (`sysunc-bench-trend/1`); the counts
+//!   `sysunc-tidy/3` findings document (the older `/1` and `/2` are
+//!   still accepted — `/1` merely lacks the per-finding `resolution`
+//!   field, `/2` the `cfg` resolution and the CFG-backed rules) folds
+//!   into a per-rule record (`sysunc-bench-trend/1`); the counts
 //!   should only ratchet down, and [`suppression_regressions`] is the
 //!   tripwire a rising line trips.
 //! - **Serving throughput** — a `sysunc-bench-serve/2` loadgen suite
@@ -48,17 +49,17 @@ pub fn count_by_rule(report: &Json, key: &str) -> Result<Vec<(String, u64)>, Jso
 }
 
 /// Renders one `sysunc-bench-trend/1` record (a single JSON line) from
-/// a parsed `sysunc-tidy/2` (or legacy `/1`) findings document.
+/// a parsed `sysunc-tidy/3` (or legacy `/1`, `/2`) findings document.
 ///
 /// # Errors
 ///
 /// Returns [`JsonError`] when the document does not have the
-/// `sysunc-tidy/1` or `/2` shape.
+/// `sysunc-tidy/1`, `/2` or `/3` shape.
 pub fn trend_record(report: &Json) -> Result<String, JsonError> {
     let schema = report.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "sysunc-tidy/1" && schema != "sysunc-tidy/2" {
+    if !matches!(schema, "sysunc-tidy/1" | "sysunc-tidy/2" | "sysunc-tidy/3") {
         return Err(JsonError::decode(format!(
-            "expected a sysunc-tidy/1 or /2 document, got schema '{schema}'"
+            "expected a sysunc-tidy/1, /2 or /3 document, got schema '{schema}'"
         )));
     }
     let files_scanned = report
@@ -457,7 +458,7 @@ mod tests {
     use sysunc::prob::json::parse;
 
     const SAMPLE: &str = r#"{
-        "schema": "sysunc-tidy/2",
+        "schema": "sysunc-tidy/3",
         "files_scanned": 12,
         "clean": true,
         "violations": [],
@@ -504,19 +505,22 @@ mod tests {
     fn foreign_documents_are_rejected() {
         let report = parse(r#"{"schema":"other/9"}"#).expect("parses");
         assert!(trend_record(&report).is_err());
-        let report = parse(r#"{"schema":"sysunc-tidy/2"}"#).expect("parses");
+        let report = parse(r#"{"schema":"sysunc-tidy/3"}"#).expect("parses");
         assert!(trend_record(&report).is_err(), "missing members must error");
     }
 
     #[test]
-    fn legacy_tidy_1_documents_still_fold() {
-        // Pre-resolution findings documents lack the `resolution`
-        // member; the fold never looked at it, so /1 keeps working.
-        let legacy = SAMPLE.replace("sysunc-tidy/2", "sysunc-tidy/1");
-        let report = parse(&legacy).expect("parses");
-        let record = trend_record(&report).expect("legacy schema accepted");
-        let v = parse(&record).expect("record parses back");
-        assert_eq!(v.get("allowed_total").and_then(Json::as_u64), Some(3));
+    fn legacy_tidy_documents_still_fold() {
+        // Pre-resolution /1 documents lack the `resolution` member and
+        // /2 documents lack the CFG-backed rules; the fold never looked
+        // at either, so both keep working.
+        for legacy_schema in ["sysunc-tidy/1", "sysunc-tidy/2"] {
+            let legacy = SAMPLE.replace("sysunc-tidy/3", legacy_schema);
+            let report = parse(&legacy).expect("parses");
+            let record = trend_record(&report).expect("legacy schema accepted");
+            let v = parse(&record).expect("record parses back");
+            assert_eq!(v.get("allowed_total").and_then(Json::as_u64), Some(3));
+        }
     }
 
     #[test]

@@ -98,10 +98,11 @@ impl ResponseCache {
         self.len() == 0
     }
 
-    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+    fn shard(&self, hash: u64) -> Option<&Mutex<Shard>> {
         // Shard count is a power of two, so the mask keeps every
-        // hash bit that matters for placement.
-        &self.shards[(hash as usize) & (self.shards.len() - 1)]
+        // hash bit that matters for placement (and the masked index
+        // is always in bounds; `get` still never panics if it isn't).
+        self.shards.get((hash as usize) & (self.shards.len().wrapping_sub(1)))
     }
 
     /// Looks up the response cached for `key` (its content hash picks
@@ -110,7 +111,7 @@ impl ResponseCache {
         if self.shard_capacity == 0 {
             return None;
         }
-        let mut shard = lock(self.shard(hash));
+        let mut shard = lock(self.shard(hash)?);
         let tick = shard.tick();
         let entry = shard.entries.get_mut(key)?;
         entry.last_used = tick;
@@ -125,7 +126,10 @@ impl ResponseCache {
         if self.shard_capacity == 0 {
             return 0;
         }
-        let mut shard = lock(self.shard(hash));
+        let Some(shard) = self.shard(hash) else {
+            return 0;
+        };
+        let mut shard = lock(shard);
         let tick = shard.tick();
         let mut evicted = 0;
         if !shard.entries.contains_key(&key) && shard.entries.len() >= self.shard_capacity {

@@ -79,7 +79,9 @@ impl Histogram {
             .iter()
             .position(|&bound| micros <= bound)
             .unwrap_or(LATENCY_BUCKETS_MICROS.len());
-        self.slots[slot].fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.slots.get(slot) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
@@ -243,9 +245,13 @@ impl ServerMetrics {
     /// Records one served request: route label (see [`route_label`]),
     /// response status, and wall-clock latency.
     pub fn record_request(&self, route: &str, status: u16, elapsed: Duration) {
-        if let Some(stats) = route_index(route).map(|i| &self.routes[i]) {
-            if let Some(si) = STATUS_CODES.iter().position(|s| *s == status) {
-                stats.by_status[si].incr();
+        if let Some(stats) = route_index(route).and_then(|i| self.routes.get(i)) {
+            if let Some(counter) = STATUS_CODES
+                .iter()
+                .position(|s| *s == status)
+                .and_then(|si| stats.by_status.get(si))
+            {
+                counter.incr();
             }
             stats.latency.observe(elapsed);
         }
@@ -253,24 +259,31 @@ impl ServerMetrics {
 
     /// Records one engine propagation run.
     pub fn record_engine(&self, engine: &str, elapsed: Duration) {
-        if let Some(i) = ENGINE_NAMES.iter().position(|e| *e == engine) {
-            self.engines[i].runs.incr();
-            self.engines[i].latency.observe(elapsed);
+        if let Some(stats) = ENGINE_NAMES
+            .iter()
+            .position(|e| *e == engine)
+            .and_then(|i| self.engines.get(i))
+        {
+            stats.runs.incr();
+            stats.latency.observe(elapsed);
         }
     }
 
     /// Requests served on `route` with `status` so far.
     pub fn status_count(&self, route: &str, status: u16) -> u64 {
         route_index(route)
+            .and_then(|r| self.routes.get(r))
             .zip(STATUS_CODES.iter().position(|s| *s == status))
-            .map(|(r, s)| self.routes[r].by_status[s].get())
+            .and_then(|(stats, s)| stats.by_status.get(s))
+            .map(|counter| counter.get())
             .unwrap_or(0)
     }
 
     /// Total requests served on `route` (any status).
     pub fn route_count(&self, route: &str) -> u64 {
         route_index(route)
-            .map(|r| self.routes[r].latency.count())
+            .and_then(|r| self.routes.get(r))
+            .map(|stats| stats.latency.count())
             .unwrap_or(0)
     }
 
@@ -304,7 +317,8 @@ impl ServerMetrics {
         ENGINE_NAMES
             .iter()
             .position(|e| *e == engine)
-            .map(|i| self.engines[i].runs.get())
+            .and_then(|i| self.engines.get(i))
+            .map(|stats| stats.runs.get())
             .unwrap_or(0)
     }
 
@@ -371,13 +385,12 @@ impl ServerMetrics {
             "# HELP sysunc_http_requests_total Requests served, by route and status.\n\
              # TYPE sysunc_http_requests_total counter\n",
         );
-        for (r, stats) in self.routes.iter().enumerate() {
-            for (s, counter) in stats.by_status.iter().enumerate() {
+        for (label, stats) in ROUTE_LABELS.iter().zip(self.routes.iter()) {
+            for (status, counter) in STATUS_CODES.iter().zip(stats.by_status.iter()) {
                 let n = counter.get();
                 if n > 0 {
                     out.push_str(&format!(
-                        "sysunc_http_requests_total{{route=\"{}\",status=\"{}\"}} {}\n",
-                        ROUTE_LABELS[r], STATUS_CODES[s], n
+                        "sysunc_http_requests_total{{route=\"{label}\",status=\"{status}\"}} {n}\n"
                     ));
                 }
             }
@@ -387,12 +400,12 @@ impl ServerMetrics {
             "# HELP sysunc_http_request_duration_micros Request latency, by route.\n\
              # TYPE sysunc_http_request_duration_micros histogram\n",
         );
-        for (r, stats) in self.routes.iter().enumerate() {
+        for (label, stats) in ROUTE_LABELS.iter().zip(self.routes.iter()) {
             render_histogram(
                 &mut out,
                 "sysunc_http_request_duration_micros",
                 "route",
-                ROUTE_LABELS[r],
+                label,
                 &stats.latency,
             );
         }
@@ -401,25 +414,22 @@ impl ServerMetrics {
             "# HELP sysunc_engine_runs_total Propagation runs, by engine.\n\
              # TYPE sysunc_engine_runs_total counter\n",
         );
-        for (i, stats) in self.engines.iter().enumerate() {
+        for (name, stats) in ENGINE_NAMES.iter().zip(self.engines.iter()) {
             let n = stats.runs.get();
             if n > 0 {
-                out.push_str(&format!(
-                    "sysunc_engine_runs_total{{engine=\"{}\"}} {}\n",
-                    ENGINE_NAMES[i], n
-                ));
+                out.push_str(&format!("sysunc_engine_runs_total{{engine=\"{name}\"}} {n}\n"));
             }
         }
         out.push_str(
             "# HELP sysunc_engine_run_duration_micros Propagation latency, by engine.\n\
              # TYPE sysunc_engine_run_duration_micros histogram\n",
         );
-        for (i, stats) in self.engines.iter().enumerate() {
+        for (name, stats) in ENGINE_NAMES.iter().zip(self.engines.iter()) {
             render_histogram(
                 &mut out,
                 "sysunc_engine_run_duration_micros",
                 "engine",
-                ENGINE_NAMES[i],
+                name,
                 &stats.latency,
             );
         }
@@ -433,16 +443,12 @@ fn route_index(route: &str) -> Option<usize> {
 
 fn render_histogram(out: &mut String, name: &str, label: &str, key: &str, h: &Histogram) {
     let cumulative = h.cumulative();
-    for (i, bound) in LATENCY_BUCKETS_MICROS.iter().enumerate() {
-        out.push_str(&format!(
-            "{name}_bucket{{{label}=\"{key}\",le=\"{bound}\"}} {}\n",
-            cumulative[i]
-        ));
+    for (bound, n) in LATENCY_BUCKETS_MICROS.iter().zip(cumulative.iter()) {
+        out.push_str(&format!("{name}_bucket{{{label}=\"{key}\",le=\"{bound}\"}} {n}\n"));
     }
-    out.push_str(&format!(
-        "{name}_bucket{{{label}=\"{key}\",le=\"+Inf\"}} {}\n",
-        cumulative[LATENCY_BUCKETS_MICROS.len()]
-    ));
+    // The final cumulative entry is the `+Inf` bucket (== count).
+    let total = cumulative.last().copied().unwrap_or(0);
+    out.push_str(&format!("{name}_bucket{{{label}=\"{key}\",le=\"+Inf\"}} {total}\n"));
     out.push_str(&format!("{name}_sum{{{label}=\"{key}\"}} {}\n", h.sum_micros()));
     out.push_str(&format!("{name}_count{{{label}=\"{key}\"}} {}\n", h.count()));
 }

@@ -359,8 +359,9 @@ fn propagate_batch_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
     let mut bodies: Vec<Option<Arc<String>>> = uniques
         .iter()
         .map(|&j| {
-            let canonical = &jobs[j].1;
-            ctx.cache.get(canonical.content_hash(), canonical.bytes())
+            jobs.get(j).and_then(|(_, canonical)| {
+                ctx.cache.get(canonical.content_hash(), canonical.bytes())
+            })
         })
         .collect();
     let hits = bodies.iter().filter(|b| b.is_some()).count();
@@ -373,9 +374,21 @@ fn propagate_batch_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
     }
 
     if misses > 0 {
-        let missing: Vec<usize> =
-            (0..bodies.len()).filter(|&u| bodies[u].is_none()).collect();
-        let wires: Vec<_> = missing.iter().map(|&u| jobs[uniques[u]].0.clone()).collect();
+        let missing: Vec<usize> = bodies
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_none())
+            .map(|(u, _)| u)
+            .collect();
+        let wires: Vec<_> = missing
+            .iter()
+            .filter_map(|&u| uniques.get(u))
+            .filter_map(|&j| jobs.get(j))
+            .map(|(wire, _)| wire.clone())
+            .collect();
+        if wires.len() != missing.len() {
+            return error_response(500, "batch bookkeeping lost a unique slot");
+        }
         let deadline = Instant::now() + ctx.config.request_timeout;
         let token = CancelToken::with_deadline(deadline);
         let (tx, rx) = mpsc::channel();
@@ -412,7 +425,8 @@ fn propagate_batch_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
             // A bind failure names the unique slot; translate back to
             // the original job index for the caller.
             Err((slot, e)) => {
-                let job = missing.get(slot).map(|&u| uniques[u]).unwrap_or(0);
+                let job =
+                    missing.get(slot).and_then(|&u| uniques.get(u)).copied().unwrap_or(0);
                 return error_response(400, &format!("job {job}: {e}"));
             }
         };
@@ -420,18 +434,28 @@ fn propagate_batch_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
             return error_response(408, "request deadline exceeded during execution");
         }
         for (&u, outcome) in missing.iter().zip(results) {
-            let job = uniques[u];
+            let job = match uniques.get(u) {
+                Some(&j) => j,
+                None => return error_response(500, "batch bookkeeping lost a unique slot"),
+            };
             match outcome {
                 Ok(report) => {
                     let body = Arc::new(sysunc::prob::json::to_string(&report));
-                    let canonical = &jobs[job].1;
+                    let canonical = match jobs.get(job) {
+                        Some((_, c)) => c,
+                        None => {
+                            return error_response(500, "batch bookkeeping lost a job");
+                        }
+                    };
                     let evicted = ctx.cache.insert(
                         canonical.content_hash(),
                         canonical.bytes().to_string(),
                         Arc::clone(&body),
                     );
                     ctx.metrics.cache_evicted(evicted);
-                    bodies[u] = Some(body);
+                    if let Some(slot) = bodies.get_mut(u) {
+                        *slot = Some(body);
+                    }
                 }
                 Err(SysuncError::InvalidInput(msg)) => {
                     return error_response(400, &format!("job {job}: invalid input: {msg}"));
@@ -461,7 +485,7 @@ fn propagate_batch_via_pool(request: &Request, ctx: &Arc<Ctx>) -> Response {
         if i > 0 {
             out.push(',');
         }
-        match &bodies[slot] {
+        match bodies.get(slot).and_then(|b| b.as_deref()) {
             Some(body) => out.push_str(body),
             // Unreachable: every miss was either filled or returned
             // an error above — but never panic in the serving path.

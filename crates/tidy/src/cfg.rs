@@ -1,0 +1,993 @@
+//! Per-function control-flow graphs over the token stream, plus a
+//! small forward-dataflow framework (gen/kill bitsets iterated to
+//! fixpoint) that rules instantiate.
+//!
+//! [`build`] turns one function body (a token extent from
+//! [`crate::resolve::FnInfo`]) into basic blocks: straight-line token
+//! segments connected by edges for `if`/`else`, `match` arms,
+//! `loop`/`while`/`for` (with back edges and labeled
+//! `break`/`continue`), `let … else`, `return`, and the `?` operator
+//! (an edge to the dedicated exit block). Unreachable blocks are
+//! pruned during construction, so every block of a finished [`Cfg`]
+//! is reachable from the entry — the invariant the propcheck suite
+//! exercises.
+//!
+//! Soundness limits, by design ("never accuse" bias): braced closure
+//! bodies and nested `fn` items are opaque — their tokens belong to no
+//! block, since they run on another schedule; expression-bodied
+//! closures are scanned inline; a `break` to an unknown label (or a
+//! labeled block) degrades to an edge to the exit, which only ever
+//! *shortens* paths and therefore under-approximates liveness.
+//!
+//! The paper's frame applies to our own toolchain here: the previous
+//! statement-linear liveness scan left epistemic uncertainty about
+//! which paths actually carry a lock guard; an explicit CFG discharges
+//! it instead of over-approximating around it.
+
+use crate::lexer::TokenKind;
+use crate::resolve::matching_close;
+use crate::SourceFile;
+
+/// One basic block: straight-line token segments in evaluation order,
+/// plus successor edges.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Token index segments `[start, end)`, in evaluation order. A
+    /// block may hold several discontiguous segments when opaque
+    /// regions (closure bodies, nested `fn` items) are cut out.
+    pub ranges: Vec<(usize, usize)>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// The control-flow graph of one function body. Block 0 is the entry;
+/// every block is reachable from it.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// The dedicated exit block (`return`/`?`/fallthrough target), or
+    /// `None` when no path reaches the function's end (e.g. a bare
+    /// `loop` with no `break`).
+    pub exit: Option<usize>,
+}
+
+impl Cfg {
+    /// Token indices of block `b`, in evaluation order.
+    pub fn tokens_of(&self, b: usize) -> impl Iterator<Item = usize> + '_ {
+        self.blocks[b].ranges.iter().flat_map(|&(s, e)| s..e)
+    }
+
+    /// The block whose segments contain token index `i`, if any.
+    pub fn block_of(&self, i: usize) -> Option<usize> {
+        self.blocks
+            .iter()
+            .position(|b| b.ranges.iter().any(|&(s, e)| s <= i && i < e))
+    }
+}
+
+/// A dense bitset over dataflow facts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set sized for `bits` facts.
+    pub fn new(bits: usize) -> Self {
+        Self { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    /// Adds fact `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes fact `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// True when fact `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .map(|w| w & (1 << (i % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Removes every fact in `other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Adds every fact in `other`; true when the set grew.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut grew = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let before = *w;
+            *w |= o;
+            grew |= *w != before;
+        }
+        grew
+    }
+
+    /// The facts in the set, ascending.
+    pub fn ones(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut w = *w;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Forward gen/kill dataflow to fixpoint:
+/// `out[b] = (in[b] − kill[b]) ∪ gen[b]`, `in[b] = ⋃ out[pred]`, entry
+/// starts empty. Returns the `in` set of every block.
+pub fn forward(cfg: &Cfg, gen: &[BitSet], kill: &[BitSet]) -> Vec<BitSet> {
+    let n = cfg.blocks.len();
+    let bits = gen.first().map(|g| g.words.len() * 64).unwrap_or(0);
+    let mut ins: Vec<BitSet> = (0..n).map(|_| BitSet::new(bits)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            let mut out = ins[b].clone();
+            out.subtract(&kill[b]);
+            out.union_with(&gen[b]);
+            for &s in &cfg.blocks[b].succs {
+                if ins[s].union_with(&out) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    ins
+}
+
+/// Builds the CFG for one function body; `body` is the token extent
+/// `(open_brace, close_brace)` from [`crate::resolve::FnInfo::body`].
+pub fn build(file: &SourceFile, body: (usize, usize)) -> Cfg {
+    let mut b = Builder { file, blocks: Vec::new(), exit: 0, loops: Vec::new() };
+    let entry = b.new_block();
+    b.exit = b.new_block();
+    let (open, close) = body;
+    let fall = b.walk((open + 1, close.min(file.tokens().len())), entry);
+    let exit = b.exit;
+    b.edge(fall, exit);
+    b.finish(entry)
+}
+
+/// One entry of the loop stack: where `continue` and `break` go.
+struct LoopCtx {
+    label: Option<String>,
+    continue_to: usize,
+    break_to: usize,
+}
+
+struct Builder<'a> {
+    file: &'a SourceFile,
+    blocks: Vec<Block>,
+    exit: usize,
+    loops: Vec<LoopCtx>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push_range(&mut self, b: usize, s: usize, e: usize) {
+        if s < e {
+            self.blocks[b].ranges.push((s, e));
+        }
+    }
+
+    fn text_at(&self, i: usize) -> &str {
+        self.file.text(&self.file.tokens()[i])
+    }
+
+    /// First significant token index at or after `i`, below `limit`.
+    fn sig_at(&self, mut i: usize, limit: usize) -> Option<usize> {
+        let tokens = self.file.tokens();
+        while i < limit.min(tokens.len()) {
+            if !tokens[i].is_comment() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Walks a statement-sequence token range, appending straight-line
+    /// segments to `cur` and splitting blocks at control flow. Returns
+    /// the block that falls through past the range's end (possibly an
+    /// unreachable continuation block — pruning washes those out).
+    fn walk(&mut self, range: (usize, usize), mut cur: usize) -> usize {
+        let tokens = self.file.tokens();
+        let (start, end) = range;
+        let mut seg = start;
+        let mut i = start;
+        while i < end {
+            let t = &tokens[i];
+            if t.is_comment() {
+                i += 1;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                match self.file.text(t) {
+                    "if" => {
+                        self.push_range(cur, seg, i);
+                        let (join, next) = self.handle_if(cur, i, end);
+                        cur = join;
+                        seg = next;
+                        i = next;
+                    }
+                    "match" => {
+                        self.push_range(cur, seg, i);
+                        let (join, next) = self.handle_match(cur, i, end);
+                        cur = join;
+                        seg = next;
+                        i = next;
+                    }
+                    "while" | "loop" => {
+                        self.push_range(cur, seg, i);
+                        let (after, next) = self.handle_loop(cur, i, end);
+                        cur = after;
+                        seg = next;
+                        i = next;
+                    }
+                    "for" => {
+                        // `for<'a> fn(...)` in a type is not a loop.
+                        let hrtb = self
+                            .sig_at(i + 1, end)
+                            .map(|j| self.text_at(j) == "<")
+                            .unwrap_or(false);
+                        if hrtb {
+                            i += 1;
+                        } else {
+                            self.push_range(cur, seg, i);
+                            let (after, next) = self.handle_loop(cur, i, end);
+                            cur = after;
+                            seg = next;
+                            i = next;
+                        }
+                    }
+                    "else" => {
+                        // A bare `else` here is `let … else { … }`; the
+                        // diverging block is conditional, the binding
+                        // falls through.
+                        let open = self.sig_at(i + 1, end).filter(|&j| self.text_at(j) == "{");
+                        if let Some(open) = open {
+                            let close = matching_close(self.file, open, "{", "}");
+                            self.push_range(cur, seg, i);
+                            let else_entry = self.new_block();
+                            self.edge(cur, else_entry);
+                            let else_exit = self.walk((open + 1, close), else_entry);
+                            let cont = self.new_block();
+                            self.edge(cur, cont);
+                            self.edge(else_exit, cont);
+                            cur = cont;
+                            seg = close + 1;
+                            i = close + 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    "return" => {
+                        let stop = self.stmt_end(i + 1, end);
+                        self.push_range(cur, seg, stop);
+                        let exit = self.exit;
+                        self.edge(cur, exit);
+                        cur = self.new_block();
+                        seg = stop;
+                        i = stop;
+                    }
+                    kw @ ("break" | "continue") => {
+                        let is_break = kw == "break";
+                        let label = self
+                            .sig_at(i + 1, end)
+                            .filter(|&j| tokens[j].kind == TokenKind::Lifetime)
+                            .map(|j| self.text_at(j).to_string());
+                        let stop = self.stmt_end(i + 1, end);
+                        self.push_range(cur, seg, stop);
+                        let target = self.loop_target(is_break, label.as_deref());
+                        self.edge(cur, target);
+                        cur = self.new_block();
+                        seg = stop;
+                        i = stop;
+                    }
+                    "fn" => {
+                        // A nested fn item gets its own CFG; its body
+                        // is opaque here.
+                        self.push_range(cur, seg, i);
+                        let next = self.skip_fn_item(i, end);
+                        seg = next;
+                        i = next;
+                    }
+                    _ => i += 1,
+                }
+            } else if t.kind == TokenKind::Punct {
+                match self.file.text(t) {
+                    "?" => {
+                        self.push_range(cur, seg, i + 1);
+                        let exit = self.exit;
+                        self.edge(cur, exit);
+                        let next = self.new_block();
+                        self.edge(cur, next);
+                        cur = next;
+                        seg = i + 1;
+                        i += 1;
+                    }
+                    p @ ("|" | "||") if self.closure_position(i) => {
+                        let params_end = if p == "||" {
+                            i
+                        } else {
+                            self.closure_params_end(i + 1, end)
+                        };
+                        let body = self.sig_at(params_end + 1, end);
+                        match body {
+                            Some(b) if self.text_at(b) == "{" => {
+                                // Braced closure body: opaque.
+                                let close = matching_close(self.file, b, "{", "}");
+                                self.push_range(cur, seg, i);
+                                seg = close + 1;
+                                i = close + 1;
+                            }
+                            _ => i = params_end + 1,
+                        }
+                    }
+                    _ => i += 1,
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.push_range(cur, seg, end);
+        cur
+    }
+
+    /// `if [let …] cond { … } [else if …]* [else { … }]` from the `if`
+    /// keyword at `kw`. Returns the join block and the next index.
+    fn handle_if(&mut self, cur: usize, kw: usize, limit: usize) -> (usize, usize) {
+        let is_let = self
+            .sig_at(kw + 1, limit)
+            .map(|j| self.text_at(j) == "let")
+            .unwrap_or(false);
+        let pattern = if is_let { Some("=") } else { None };
+        let Some(body_open) = self.find_block_open(kw + 1, limit, pattern) else {
+            return (cur, kw + 1);
+        };
+        self.push_range(cur, kw, body_open);
+        let body_close = matching_close(self.file, body_open, "{", "}");
+        let then_entry = self.new_block();
+        self.edge(cur, then_entry);
+        let then_exit = self.walk((body_open + 1, body_close), then_entry);
+
+        let mut next = body_close + 1;
+        let mut else_exit = None;
+        let mut has_else = false;
+        if let Some(e) = self.sig_at(body_close + 1, limit).filter(|&j| self.text_at(j) == "else")
+        {
+            if let Some(after) = self.sig_at(e + 1, limit) {
+                if self.text_at(after) == "if" {
+                    has_else = true;
+                    let else_entry = self.new_block();
+                    self.edge(cur, else_entry);
+                    let (inner_join, inner_next) = self.handle_if(else_entry, after, limit);
+                    else_exit = Some(inner_join);
+                    next = inner_next;
+                } else if self.text_at(after) == "{" {
+                    has_else = true;
+                    let close = matching_close(self.file, after, "{", "}");
+                    let else_entry = self.new_block();
+                    self.edge(cur, else_entry);
+                    else_exit = Some(self.walk((after + 1, close), else_entry));
+                    next = close + 1;
+                }
+            }
+        }
+        let join = self.new_block();
+        self.edge(then_exit, join);
+        if let Some(ee) = else_exit {
+            self.edge(ee, join);
+        }
+        if !has_else {
+            self.edge(cur, join);
+        }
+        (join, next)
+    }
+
+    /// `match head { pat => body, … }` from the `match` keyword at
+    /// `kw`. Returns the join block and the next index.
+    fn handle_match(&mut self, cur: usize, kw: usize, limit: usize) -> (usize, usize) {
+        let tokens = self.file.tokens();
+        let Some(head_open) = self.find_block_open(kw + 1, limit, None) else {
+            return (cur, kw + 1);
+        };
+        self.push_range(cur, kw, head_open);
+        let head_close = matching_close(self.file, head_open, "{", "}");
+        let join = self.new_block();
+        let mut any_arm = false;
+        let mut i = head_open + 1;
+        while i < head_close {
+            // Pattern (and guard) up to `=>` at depth 0.
+            let mut depth = 0i64;
+            let mut arrow = None;
+            let mut j = i;
+            while j < head_close {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Punct {
+                    match self.file.text(t) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=>" if depth == 0 => {
+                            arrow = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let Some(body_start) = self.sig_at(arrow + 1, head_close) else { break };
+            let arm_entry = self.new_block();
+            self.edge(cur, arm_entry);
+            any_arm = true;
+            let (body_range, after) = if self.text_at(body_start) == "{" {
+                let close = matching_close(self.file, body_start, "{", "}");
+                ((body_start + 1, close), close + 1)
+            } else {
+                // Expression arm: up to `,` at depth 0 or the match's
+                // closing brace.
+                let mut depth = 0i64;
+                let mut k = body_start;
+                while k < head_close {
+                    let t = &tokens[k];
+                    if t.kind == TokenKind::Punct {
+                        match self.file.text(t) {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "," if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                ((body_start, k), k)
+            };
+            let arm_exit = self.walk(body_range, arm_entry);
+            self.edge(arm_exit, join);
+            i = after;
+            if let Some(c) = self.sig_at(i, head_close).filter(|&c| self.text_at(c) == ",") {
+                i = c + 1;
+            }
+        }
+        if !any_arm {
+            self.edge(cur, join);
+        }
+        (join, head_close + 1)
+    }
+
+    /// `loop`/`while [let]`/`for … in` from the keyword at `kw`.
+    /// Returns the loop-exit block and the next index.
+    fn handle_loop(&mut self, cur: usize, kw: usize, limit: usize) -> (usize, usize) {
+        let kind = self.text_at(kw).to_string();
+        let label = self.label_before(kw);
+        let pattern = match kind.as_str() {
+            "for" => Some("in"),
+            "while"
+                if self
+                    .sig_at(kw + 1, limit)
+                    .map(|j| self.text_at(j) == "let")
+                    .unwrap_or(false) =>
+            {
+                Some("=")
+            }
+            _ => None,
+        };
+        let Some(body_open) = self.find_block_open(kw + 1, limit, pattern) else {
+            return (cur, kw + 1);
+        };
+        let body_close = matching_close(self.file, body_open, "{", "}");
+        let header = self.new_block();
+        self.edge(cur, header);
+        self.push_range(header, kw, body_open);
+        let exit_blk = self.new_block();
+        if kind != "loop" {
+            // `loop` has no condition edge out; only `break` leaves.
+            self.edge(header, exit_blk);
+        }
+        let body_entry = self.new_block();
+        self.edge(header, body_entry);
+        self.loops.push(LoopCtx { label, continue_to: header, break_to: exit_blk });
+        let body_exit = self.walk((body_open + 1, body_close), body_entry);
+        self.loops.pop();
+        self.edge(body_exit, header);
+        (exit_blk, body_close + 1)
+    }
+
+    /// The `'label` of a `'label: loop`-style statement, when present.
+    fn label_before(&self, kw: usize) -> Option<String> {
+        let tokens = self.file.tokens();
+        let colon = tokens[..kw].iter().rposition(|t| !t.is_comment())?;
+        if !(tokens[colon].kind == TokenKind::Punct && self.file.text(&tokens[colon]) == ":") {
+            return None;
+        }
+        let label = tokens[..colon].iter().rposition(|t| !t.is_comment())?;
+        (tokens[label].kind == TokenKind::Lifetime)
+            .then(|| self.file.text(&tokens[label]).to_string())
+    }
+
+    /// Where a `break`/`continue` goes. Unknown labels and statements
+    /// outside any loop degrade to the exit block — paths only get
+    /// shorter, so liveness is under-approximated, never inflated.
+    fn loop_target(&self, is_break: bool, label: Option<&str>) -> usize {
+        let ctx = match label {
+            Some(l) => self.loops.iter().rev().find(|c| c.label.as_deref() == Some(l)),
+            None => self.loops.last(),
+        };
+        match ctx {
+            Some(c) if is_break => c.break_to,
+            Some(c) => c.continue_to,
+            None => self.exit,
+        }
+    }
+
+    /// Finds the `{` opening a construct's body, skipping the head
+    /// expression: balanced parens/brackets, nested braced expressions
+    /// inside them, and — when `pattern` is set — everything up to the
+    /// top-level `=` (`if let`, `while let`) or `in` (`for`), so
+    /// struct-pattern braces are not mistaken for the body.
+    fn find_block_open(
+        &self,
+        mut i: usize,
+        limit: usize,
+        mut pattern: Option<&str>,
+    ) -> Option<usize> {
+        let tokens = self.file.tokens();
+        let mut pdepth = 0i64;
+        while i < limit {
+            let t = &tokens[i];
+            if t.is_comment() {
+                i += 1;
+                continue;
+            }
+            match t.kind {
+                TokenKind::Punct => match self.file.text(t) {
+                    "(" | "[" => pdepth += 1,
+                    ")" | "]" => pdepth -= 1,
+                    "=" if pdepth == 0 && pattern == Some("=") => pattern = None,
+                    "{" => {
+                        if pdepth == 0 && pattern.is_none() {
+                            return Some(i);
+                        }
+                        i = matching_close(self.file, i, "{", "}") + 1;
+                        continue;
+                    }
+                    ";" if pdepth == 0 => return None,
+                    _ => {}
+                },
+                TokenKind::Ident
+                    if pdepth == 0
+                        && pattern == Some("in")
+                        && self.file.text(t) == "in" =>
+                {
+                    pattern = None;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// One past the end of a `return`/`break`/`continue` statement
+    /// starting after its keyword: through the `;` at depth 0, or up
+    /// to a delimiter closing the enclosing region.
+    fn stmt_end(&self, mut i: usize, limit: usize) -> usize {
+        let tokens = self.file.tokens();
+        let mut depth = 0i64;
+        while i < limit {
+            let t = &tokens[i];
+            if t.kind == TokenKind::Punct {
+                match self.file.text(t) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            return i;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => return i + 1,
+                    "," if depth == 0 => return i,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        limit
+    }
+
+    /// Skips a nested `fn` item starting at its keyword, returning the
+    /// index one past its body (or its `;` for bodiless signatures).
+    fn skip_fn_item(&self, kw: usize, limit: usize) -> usize {
+        let tokens = self.file.tokens();
+        let mut i = kw + 1;
+        while i < limit {
+            if tokens[i].kind == TokenKind::Punct {
+                match self.file.text(&tokens[i]) {
+                    "{" => return matching_close(self.file, i, "{", "}") + 1,
+                    ";" => return i + 1,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        limit
+    }
+
+    /// True when the `|`/`||` at `i` starts a closure (expression
+    /// position) rather than a binary or-operation.
+    fn closure_position(&self, i: usize) -> bool {
+        let tokens = self.file.tokens();
+        let Some(p) = tokens[..i].iter().rposition(|t| !t.is_comment()) else {
+            return true;
+        };
+        let t = &tokens[p];
+        match t.kind {
+            TokenKind::Punct => matches!(
+                self.file.text(t),
+                "(" | "," | "=" | "{" | ";" | "=>" | ":" | "[" | "&" | "&&"
+            ),
+            TokenKind::Ident => {
+                matches!(self.file.text(t), "return" | "else" | "move" | "in")
+            }
+            _ => false,
+        }
+    }
+
+    /// The closing `|` of a closure's parameter list, scanning from
+    /// just after the opening `|`.
+    fn closure_params_end(&self, mut i: usize, limit: usize) -> usize {
+        let tokens = self.file.tokens();
+        let mut depth = 0i64;
+        while i < limit {
+            let t = &tokens[i];
+            if t.kind == TokenKind::Punct {
+                match self.file.text(t) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "|" if depth == 0 => return i,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        limit.saturating_sub(1)
+    }
+
+    /// Prunes unreachable blocks and remaps indices, keeping the
+    /// entry at index 0.
+    fn finish(mut self, entry: usize) -> Cfg {
+        let n = self.blocks.len();
+        let mut keep = vec![false; n];
+        let mut stack = vec![entry];
+        keep[entry] = true;
+        while let Some(b) = stack.pop() {
+            for s in self.blocks[b].succs.clone() {
+                if !keep[s] {
+                    keep[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        let mut remap = vec![usize::MAX; n];
+        let mut blocks = Vec::new();
+        for i in 0..n {
+            if keep[i] {
+                remap[i] = blocks.len();
+                blocks.push(std::mem::take(&mut self.blocks[i]));
+            }
+        }
+        for b in &mut blocks {
+            b.succs = b.succs.iter().map(|&s| remap[s]).collect();
+        }
+        let exit = keep[self.exit].then(|| remap[self.exit]);
+        Cfg { blocks, exit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileKind;
+
+    fn cfg_of(body: &str) -> (crate::SourceFile, Cfg) {
+        let src = format!("fn f() {{\n{body}\n}}\n");
+        let f = crate::SourceFile::new("crates/x/src/lib.rs", &src, FileKind::RustLibrary);
+        let facts = crate::resolve::parse_facts(&f);
+        let body = facts.fns[0].body.expect("fn has a body");
+        let cfg = build(&f, body);
+        (f, cfg)
+    }
+
+    fn token_texts(f: &crate::SourceFile, cfg: &Cfg, b: usize) -> Vec<String> {
+        cfg.tokens_of(b).map(|i| f.text(&f.tokens()[i]).to_string()).collect()
+    }
+
+    fn assert_invariants(cfg: &Cfg) {
+        for b in &cfg.blocks {
+            for &s in &b.succs {
+                assert!(s < cfg.blocks.len(), "dangling edge");
+            }
+        }
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &cfg.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unreachable block survived pruning");
+        if let Some(e) = cfg.exit {
+            assert!(cfg.blocks[e].succs.is_empty(), "exit has successors");
+        }
+    }
+
+    #[test]
+    fn straight_line_code_is_one_block_plus_exit() {
+        let (_, cfg) = cfg_of("let a = 1;\nlet b = a + 2;\nuse_it(b);");
+        assert_invariants(&cfg);
+        assert_eq!(cfg.blocks.len(), 2, "entry + exit");
+        assert_eq!(cfg.blocks[0].succs, vec![cfg.exit.expect("exit reachable")]);
+    }
+
+    #[test]
+    fn if_else_forms_a_diamond() {
+        let (_, cfg) = cfg_of("pre();\nif c {\n    a();\n} else {\n    b();\n}\npost();");
+        assert_invariants(&cfg);
+        // entry(cond), then, else, join, exit.
+        assert_eq!(cfg.blocks.len(), 5);
+        assert_eq!(cfg.blocks[0].succs.len(), 2, "cond branches two ways");
+        let join = cfg
+            .blocks
+            .iter()
+            .position(|b| b.succs == vec![cfg.exit.expect("exit")])
+            .expect("join block");
+        for &s in &cfg.blocks[0].succs {
+            assert_eq!(cfg.blocks[s].succs, vec![join], "both arms meet at the join");
+        }
+    }
+
+    #[test]
+    fn if_without_else_falls_through_directly() {
+        let (_, cfg) = cfg_of("if c {\n    a();\n}\npost();");
+        assert_invariants(&cfg);
+        // entry → {then, join}; then → join; join → exit.
+        assert_eq!(cfg.blocks.len(), 4);
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+    }
+
+    #[test]
+    fn early_return_edges_to_exit_and_prunes_nothing_reachable() {
+        let (f, cfg) = cfg_of("if c {\n    return 1;\n}\ntail();");
+        assert_invariants(&cfg);
+        let exit = cfg.exit.expect("exit");
+        // The then-block's live path ends at the exit, not the join.
+        let then = cfg
+            .blocks
+            .iter()
+            .position(|b| b.succs == vec![exit] && b.ranges.iter().any(|&(s, e)| s < e))
+            .expect("return block");
+        assert!(
+            token_texts(&f, &cfg, then).contains(&"return".to_string()),
+            "the returning block holds the return tokens"
+        );
+        // tail() is still reachable via the fallthrough edge.
+        let texts: Vec<String> =
+            (0..cfg.blocks.len()).flat_map(|b| token_texts(&f, &cfg, b)).collect();
+        assert!(texts.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn all_paths_returning_leaves_no_fallthrough() {
+        let (_, cfg) = cfg_of("if c {\n    return 1;\n} else {\n    return 2;\n}");
+        assert_invariants(&cfg);
+        // Join and trailing blocks are unreachable and pruned: entry,
+        // two return arms, exit.
+        assert_eq!(cfg.blocks.len(), 4);
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_break_exits() {
+        let (f, cfg) = cfg_of("loop {\n    step();\n    if done {\n        break;\n    }\n}\ntail();");
+        assert_invariants(&cfg);
+        let exit = cfg.exit.expect("exit");
+        // Some block carries a back edge (a successor with a smaller
+        // index that is not the exit).
+        assert!(
+            cfg.blocks
+                .iter()
+                .enumerate()
+                .any(|(i, b)| b.succs.iter().any(|&s| s < i && s != exit)),
+            "loop body edges back to the header"
+        );
+        let texts: Vec<String> =
+            (0..cfg.blocks.len()).flat_map(|b| token_texts(&f, &cfg, b)).collect();
+        assert!(texts.contains(&"tail".to_string()), "break reaches the code after the loop");
+    }
+
+    #[test]
+    fn bare_infinite_loop_has_no_exit() {
+        let (_, cfg) = cfg_of("loop {\n    step();\n}");
+        assert_invariants(&cfg);
+        assert_eq!(cfg.exit, None, "no path reaches the function end");
+    }
+
+    #[test]
+    fn while_condition_is_reevaluated_via_the_header() {
+        let (f, cfg) = cfg_of("while more() {\n    work();\n}\ntail();");
+        assert_invariants(&cfg);
+        let header = cfg
+            .blocks
+            .iter()
+            .position(|b| {
+                b.ranges
+                    .iter()
+                    .any(|&(s, e)| (s..e).any(|i| f.text(&f.tokens()[i]) == "more"))
+            })
+            .expect("header holds the condition");
+        assert_eq!(cfg.blocks[header].succs.len(), 2, "header branches to body and exit");
+    }
+
+    #[test]
+    fn question_mark_edges_to_exit_mid_statement() {
+        let (_, cfg) = cfg_of("let v = fallible()?;\nuse_it(v);");
+        assert_invariants(&cfg);
+        let exit = cfg.exit.expect("exit");
+        assert!(
+            cfg.blocks[0].succs.contains(&exit),
+            "`?` adds an early-exit edge from the entry block"
+        );
+        assert_eq!(cfg.blocks[0].succs.len(), 2, "and a fallthrough edge");
+    }
+
+    #[test]
+    fn match_arms_fan_out_and_rejoin() {
+        let (_, cfg) = cfg_of(
+            "match v {\n    A => a(),\n    B(x) => {\n        b(x);\n    }\n    _ => return,\n}\ntail();",
+        );
+        assert_invariants(&cfg);
+        assert_eq!(cfg.blocks[0].succs.len(), 3, "one edge per arm");
+        let exit = cfg.exit.expect("exit");
+        assert!(
+            cfg.blocks.iter().any(|b| b.succs == vec![exit] && !b.ranges.is_empty())
+                || cfg.blocks.iter().any(|b| b.succs.contains(&exit)),
+            "the returning arm reaches the exit"
+        );
+    }
+
+    #[test]
+    fn braced_closure_bodies_are_opaque() {
+        let (f, cfg) = cfg_of("items.iter().map(|x| {\n    if x.bad() {\n        return early;\n    }\n    x.fix()\n});\ntail();");
+        assert_invariants(&cfg);
+        let texts: Vec<String> =
+            (0..cfg.blocks.len()).flat_map(|b| token_texts(&f, &cfg, b)).collect();
+        assert!(
+            !texts.contains(&"early".to_string()),
+            "closure body tokens belong to no block of the enclosing fn"
+        );
+        assert_eq!(cfg.blocks.len(), 2, "the closure's `if` splits nothing out here");
+    }
+
+    #[test]
+    fn let_else_falls_through_past_the_diverging_block() {
+        let (f, cfg) = cfg_of("let Some(x) = opt else {\n    return;\n};\nuse_it(x);");
+        assert_invariants(&cfg);
+        let texts: Vec<String> =
+            (0..cfg.blocks.len()).flat_map(|b| token_texts(&f, &cfg, b)).collect();
+        assert!(texts.contains(&"use_it".to_string()), "the binding path continues");
+    }
+
+    #[test]
+    fn labeled_break_targets_the_outer_loop() {
+        let (f, cfg) = cfg_of(
+            "'outer: loop {\n    loop {\n        if c {\n            break 'outer;\n        }\n        inner();\n    }\n}\ntail();",
+        );
+        assert_invariants(&cfg);
+        let texts: Vec<String> =
+            (0..cfg.blocks.len()).flat_map(|b| token_texts(&f, &cfg, b)).collect();
+        assert!(
+            texts.contains(&"tail".to_string()),
+            "break 'outer reaches the code after the outer loop"
+        );
+    }
+
+    #[test]
+    fn nested_fn_items_are_opaque() {
+        let (f, cfg) = cfg_of("fn helper() {\n    if q {\n        r();\n    }\n}\nhelper();");
+        assert_invariants(&cfg);
+        assert_eq!(cfg.blocks.len(), 2, "the nested fn's control flow is not ours");
+        let texts = token_texts(&f, &cfg, 0);
+        assert!(texts.contains(&"helper".to_string()), "the call site remains");
+        assert!(!texts.contains(&"r".to_string()), "the nested body does not");
+    }
+
+    #[test]
+    fn forward_dataflow_reaches_fixpoint_on_a_diamond() {
+        let (_, cfg) = cfg_of("if c {\n    a();\n} else {\n    b();\n}\npost();");
+        // One fact, genned in the then-arm (block index of entry's
+        // first successor), killed in the else-arm.
+        let then = cfg.blocks[0].succs[0];
+        let els = cfg.blocks[0].succs[1];
+        let mut gen = vec![BitSet::new(1); cfg.blocks.len()];
+        let mut kill = vec![BitSet::new(1); cfg.blocks.len()];
+        gen[then].insert(0);
+        kill[els].insert(0);
+        let ins = forward(&cfg, &gen, &kill);
+        let join = cfg.blocks[then].succs[0];
+        assert!(ins[join].contains(0), "the fact may reach the join (via then)");
+        assert!(!ins[then].contains(0), "nothing reaches the arms' entry");
+    }
+
+    #[test]
+    fn forward_dataflow_propagates_around_loops() {
+        let (f, cfg) = cfg_of("let g = acquire();\nloop {\n    step();\n}");
+        // Fact genned in the entry block; it must reach the loop body
+        // through the header's back edge cycle.
+        let mut gen = vec![BitSet::new(1); cfg.blocks.len()];
+        let kill = vec![BitSet::new(1); cfg.blocks.len()];
+        gen[0].insert(0);
+        let ins = forward(&cfg, &gen, &kill);
+        let body = cfg
+            .blocks
+            .iter()
+            .position(|b| {
+                b.ranges
+                    .iter()
+                    .any(|&(s, e)| (s..e).any(|i| f.text(&f.tokens()[i]) == "step"))
+            })
+            .expect("loop body block");
+        assert!(ins[body].contains(0), "the fact is live into the loop body");
+    }
+
+    #[test]
+    fn bitset_ops_cover_the_word_boundary() {
+        let mut a = BitSet::new(130);
+        a.insert(0);
+        a.insert(64);
+        a.insert(129);
+        assert_eq!(a.ones(), vec![0, 64, 129]);
+        let mut b = BitSet::new(130);
+        b.insert(64);
+        assert!(a.contains(64));
+        a.subtract(&b);
+        assert!(!a.contains(64));
+        assert_eq!(a.ones(), vec![0, 129]);
+        assert!(b.union_with(&a), "grew");
+        assert!(!b.union_with(&a), "already contains it");
+        a.remove(0);
+        assert_eq!(a.ones(), vec![129]);
+    }
+}

@@ -14,9 +14,14 @@
 //! against the actual tree instead of matching names. The [`symbols`]
 //! pass assembles those per-crate graphs into a workspace table;
 //! `sysunc-tidy --dump-modules` renders the resolved trees for
-//! inspection. Every finding records which layer produced it in its
-//! `resolution` field (`token`, `module-graph`, or `type-flow`) — the
-//! schema bump to `sysunc-tidy/2`.
+//! inspection. A [`cfg`] layer builds per-function control-flow
+//! graphs from the token stream and runs gen/kill dataflow over them;
+//! the [`calls`] layer resolves call edges (free fns, `Type::` paths,
+//! method calls through declared receiver types) so workspace rules
+//! can propagate CFG facts across functions. `sysunc-tidy --dump-cfg`
+//! renders the block graphs. Every finding records which layer
+//! produced it in its `resolution` field (`token`, `module-graph`,
+//! `type-flow`, or `cfg`) — the schema is `sysunc-tidy/3`.
 //!
 //! In the paper's vocabulary this is an uncertainty-**prevention**
 //! means applied to our own toolchain: the rules remove whole classes
@@ -39,7 +44,9 @@
 //! | `doc`             | public items in each crate's `lib.rs` carry doc comments                 |
 //! | `suite-error`     | integration-suite code uses `sysunc::Error`, not per-crate enums         |
 //! | `seed-discipline` | library code never builds an RNG from a hardcoded seed                   |
-//! | `lock-hygiene`    | no `.lock().unwrap()` outside tests, and no guard held across a known-blocking call (`sleep`, socket I/O, `recv`, `join`) |
+//! | `lock-hygiene`    | no `.lock().unwrap()` outside tests, and no guard *live on any CFG path* across a known-blocking call (`sleep`, socket I/O, `recv`, `join`) — guards dropped, moved, or returned before the call don't count |
+//! | `lock-order-cycle`| per-function lock-acquisition orderings, propagated through resolved call edges, form no cycle within a crate |
+//! | `panic-path`      | no `unwrap`/`expect`/`panic!`-family macro/element indexing reachable from the serve crate's request-handling entry points, walking real call edges |
 //! | `unused-allow`    | every `tidy: allow(...)` comment suppresses a live finding               |
 //! | `pub-reexport`    | every public item is root-reachable through a real `pub` chain — module tree resolved, glob re-exports expanded item-by-item — and every substrate crate surfaces in the facade |
 //!
@@ -58,6 +65,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod calls;
+pub mod cfg;
 pub mod cursor;
 pub mod lexer;
 pub mod report;
@@ -172,7 +181,9 @@ pub struct Violation {
     /// Which analysis layer produced the finding: `"token"` for plain
     /// token-stream scans, `"module-graph"` for findings resolved over
     /// the [`resolve::CrateGraph`] module tree, `"type-flow"` for
-    /// findings derived from the type-annotation dataflow.
+    /// findings derived from the type-annotation dataflow, `"cfg"` for
+    /// findings from control-flow-graph dataflow (lock liveness,
+    /// lock-order cycles, panic reachability over call edges).
     pub resolution: &'static str,
 }
 

@@ -2,11 +2,11 @@
 //!
 //! ## JSON findings schema (`sysunc-tidy --json`)
 //!
-//! The gate emits one JSON object, schema id `sysunc-tidy/2`:
+//! The gate emits one JSON object, schema id `sysunc-tidy/3`:
 //!
 //! ```json
 //! {
-//!   "schema": "sysunc-tidy/2",
+//!   "schema": "sysunc-tidy/3",
 //!   "files_scanned": 139,
 //!   "clean": true,
 //!   "violations": [
@@ -20,10 +20,12 @@
 //!
 //! `resolution` records which analysis layer produced each finding —
 //! `"token"` (plain token-stream scan), `"module-graph"` (resolved
-//! over the module tree / item graph), or `"type-flow"` (derived from
-//! the type-annotation dataflow) — so downstream consumers can weigh
-//! provenance. Schema `/1` lacked the field; the id was bumped when it
-//! was added.
+//! over the module tree / item graph), `"type-flow"` (derived from
+//! the type-annotation dataflow), or `"cfg"` (control-flow-graph
+//! dataflow: lock liveness, lock-order cycles, panic reachability) —
+//! so downstream consumers can weigh provenance. Schema `/1` lacked
+//! the field; `/2` added it; `/3` added the `cfg` value and the
+//! `lock-order-cycle` / `panic-path` rules.
 //!
 //! `violations` are the findings that fail the gate; `allowed` were
 //! acknowledged with `tidy: allow` comments; `baselined` were absorbed
@@ -90,10 +92,10 @@ fn violations_json(vs: &[Violation]) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// Renders a [`Report`] in the `sysunc-tidy/2` JSON findings format.
+/// Renders a [`Report`] in the `sysunc-tidy/3` JSON findings format.
 pub fn to_json(report: &Report) -> String {
     format!(
-        "{{\"schema\":\"sysunc-tidy/2\",\"files_scanned\":{},\"clean\":{},\
+        "{{\"schema\":\"sysunc-tidy/3\",\"files_scanned\":{},\"clean\":{},\
          \"violations\":{},\"allowed\":{},\"baselined\":{}}}",
         report.files_scanned,
         report.clean(),
@@ -265,7 +267,7 @@ mod tests {
             files_scanned: 2,
         };
         let json = to_json(&report);
-        assert!(json.starts_with("{\"schema\":\"sysunc-tidy/2\""));
+        assert!(json.starts_with("{\"schema\":\"sysunc-tidy/3\""));
         assert!(json.contains("\"resolution\":\"token\""));
         assert!(json.contains("\"files_scanned\":2"));
         assert!(json.contains("\"clean\":false"));

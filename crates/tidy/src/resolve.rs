@@ -181,6 +181,10 @@ pub struct FnInfo {
     /// Token extent of the body: indices of the `{` and its matching
     /// `}`; `None` for bodiless trait/extern signatures.
     pub body: Option<(usize, usize)>,
+    /// The `Self` type of the enclosing `impl` block (last path
+    /// segment), or `None` for free functions. `impl Trait for Type`
+    /// records `Type`, the implementing side.
+    pub self_ty: Option<String>,
 }
 
 /// One `struct` with named fields, keeping the float-typed ones.
@@ -190,6 +194,10 @@ pub struct StructInfo {
     pub name: String,
     /// Named fields annotated `f32`/`f64`, with the float type.
     pub float_fields: Vec<(String, &'static str)>,
+    /// Every named field with a simple named type annotation (last
+    /// path segment): receiver-type method resolution follows field
+    /// accesses (`self.pool.try_submit(..)`) through these.
+    pub named_fields: Vec<(String, String)>,
 }
 
 /// The signature index of one file: every function and struct, any
@@ -488,7 +496,7 @@ fn parse_macro_rules(
 
 /// Index of the token matching the next `open` at or after `i`
 /// (clamped to `tokens.len()` when unbalanced).
-fn matching_close(file: &SourceFile, i: usize, open: &str, close: &str) -> usize {
+pub(crate) fn matching_close(file: &SourceFile, i: usize, open: &str, close: &str) -> usize {
     let tokens = file.tokens();
     let mut depth = 0usize;
     let mut j = i;
@@ -637,9 +645,12 @@ fn parse_use_tree(
 
 /// Extracts every `fn` signature+body extent and every named-field
 /// `struct` from the file, at any nesting depth, in source order.
+/// Functions inside an `impl` block additionally record the block's
+/// `Self` type, so methods can be looked up by `(type, name)`.
 pub fn parse_facts(file: &SourceFile) -> FileFacts {
     let src = &file.content;
     let tokens = file.tokens();
+    let impls = impl_extents(file);
     let mut facts = FileFacts::default();
     let mut i = 0;
     while i < tokens.len() {
@@ -657,7 +668,14 @@ pub fn parse_facts(file: &SourceFile) -> FileFacts {
                     Some(f) => f.body.map(|(open, _)| open + 1).unwrap_or(next),
                     None => next,
                 };
-                if let Some(f) = info {
+                if let Some(mut f) = info {
+                    // The innermost enclosing impl block (extents are
+                    // in source order, so the last containing wins).
+                    f.self_ty = impls
+                        .iter()
+                        .filter(|(open, close, _)| (*open..=*close).contains(&i))
+                        .last()
+                        .and_then(|(_, _, ty)| ty.clone());
                     facts.fns.push(f);
                 }
                 i = resume.max(i + 1);
@@ -675,6 +693,108 @@ pub fn parse_facts(file: &SourceFile) -> FileFacts {
     facts
 }
 
+/// Every `impl` block in the file: `(body_open, body_close, self_ty)`
+/// with token indices of the braces and the implementing type's last
+/// path segment (`None` for shapes the type model cannot name).
+fn impl_extents(file: &SourceFile) -> Vec<(usize, usize, Option<String>)> {
+    let src = &file.content;
+    let tokens = file.tokens();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident && t.text(src) == "impl" {
+            // `impl Trait` in *type* position follows a sigil (`:`,
+            // `->`, `(`, `+`, `=`, `,`, `<`, `&`); an impl *block*'s
+            // keyword starts an item.
+            let item_pos = tokens[..i]
+                .iter()
+                .rfind(|u| !u.is_comment())
+                .map(|u| {
+                    !(u.kind == TokenKind::Punct
+                        && matches!(
+                            file.text(u),
+                            ":" | "->" | "(" | "+" | "=" | "," | "<" | "&"
+                        ))
+                })
+                .unwrap_or(true);
+            if item_pos {
+                // The body opens at the first `{` of the header (impl
+                // headers cannot contain braces before the body).
+                let mut j = i + 1;
+                let mut open = None;
+                while j < tokens.len() {
+                    if tokens[j].kind == TokenKind::Punct {
+                        match file.text(&tokens[j]) {
+                            "{" => {
+                                open = Some(j);
+                                break;
+                            }
+                            ";" => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    let close = matching_close(file, open, "{", "}");
+                    out.push((open, close, impl_self_ty(file, i, open)));
+                    // Resume inside the body so nested impls are found.
+                    i = open + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The implementing type of an `impl` header spanning tokens
+/// `(kw, body_open)`: the type after the last trait-position `for`
+/// (HRTB `for<'a>` excluded), or the type right after the impl
+/// generics for inherent impls.
+fn impl_self_ty(file: &SourceFile, kw: usize, body_open: usize) -> Option<String> {
+    let src = &file.content;
+    let tokens = file.tokens();
+    let mut c = Cursor::new(src, tokens);
+    c.seek(kw + 1);
+    c.skip_comments();
+    if c.at_punct("<") {
+        skip_generics(file, &mut c);
+    }
+    let mut start = c.pos();
+    let mut j = start;
+    while j < body_open {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Ident {
+            match t.text(src) {
+                // A `where` clause ends the type head.
+                "where" => break,
+                "for" => {
+                    let hrtb = tokens[j + 1..body_open]
+                        .iter()
+                        .find(|u| !u.is_comment())
+                        .map(|u| u.kind == TokenKind::Punct && file.text(u) == "<")
+                        .unwrap_or(false);
+                    if !hrtb {
+                        start = j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let mut c = Cursor::new(src, tokens);
+    c.seek(start);
+    match parse_type(file, &mut c) {
+        TypeAnn::Named(name) if name != "dyn" => Some(name),
+        TypeAnn::Float(f) => Some(f.to_string()),
+        _ => None,
+    }
+}
+
 /// Parses the type annotation starting at token index `i`, returning
 /// the annotation and the index one past its extent. Exposed for rules
 /// that scan `let name: Type` bindings inside bodies.
@@ -688,6 +808,32 @@ pub fn type_annotation_at(file: &SourceFile, i: usize) -> (TypeAnn, usize) {
 /// Parses a type annotation at the cursor, consuming it up to (not
 /// including) a top-level `,`, `)`, `{`, `;` or `=`.
 fn parse_type(file: &SourceFile, c: &mut Cursor<'_>) -> TypeAnn {
+    let ann = parse_type_head(file, c);
+    // Consume any trailing tokens of a type we do not model, stopping
+    // at a top-level delimiter.
+    let mut depth = 0i64;
+    while let Some(t) = c.peek() {
+        if t.kind == TokenKind::Punct {
+            match file.text(t) {
+                "(" | "[" => depth += 1,
+                ")" | "]" if depth > 0 => depth -= 1,
+                "," | ")" | "]" | "{" | ";" | "=" if depth == 0 => break,
+                "<" => {
+                    skip_generics(file, c);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        c.bump();
+    }
+    ann
+}
+
+/// Parses the head of a type annotation — sigils, the path, and one
+/// generic-argument list — without the trailing top-level consumption,
+/// so it can recurse inside `Arc<…>`-style transparent wrappers.
+fn parse_type_head(file: &SourceFile, c: &mut Cursor<'_>) -> TypeAnn {
     let src = &file.content;
     c.skip_comments();
     // Strip reference sigils and lifetimes.
@@ -721,36 +867,31 @@ fn parse_type(file: &SourceFile, c: &mut Cursor<'_>) -> TypeAnn {
                 }
                 break;
             }
+            let transparent = matches!(last.as_str(), "Arc" | "Rc" | "Box");
             ann = match last.as_str() {
                 "f32" => TypeAnn::Float("f32"),
                 "f64" => TypeAnn::Float("f64"),
                 _ => TypeAnn::Named(last),
             };
-            // Generic arguments demote to a plain named head type
-            // (`Vec<f64>` is not a float).
             c.skip_comments();
             if c.at_punct("<") {
-                skip_generics(file, c);
-            }
-        }
-    }
-    // Consume any trailing tokens of a type we do not model, stopping
-    // at a top-level delimiter.
-    let mut depth = 0i64;
-    while let Some(t) = c.peek() {
-        if t.kind == TokenKind::Punct {
-            match file.text(t) {
-                "(" | "[" => depth += 1,
-                ")" | "]" if depth > 0 => depth -= 1,
-                "," | ")" | "]" | "{" | ";" | "=" if depth == 0 => break,
-                "<" => {
+                if transparent {
+                    // Deref-transparent smart pointers: the annotation
+                    // flows through to the pointee (`Arc<T>` compares,
+                    // calls, and locks as a `T`). The pointee is read
+                    // with a forked cursor; the whole argument list is
+                    // then skipped balanced (`>>` counts double).
+                    let mut inner = *c;
+                    inner.bump();
+                    ann = parse_type_head(file, &mut inner);
                     skip_generics(file, c);
-                    continue;
+                } else {
+                    // Other generic arguments demote to a plain named
+                    // head type (`Vec<f64>` is not a float).
+                    skip_generics(file, c);
                 }
-                _ => {}
             }
         }
-        c.bump();
     }
     ann
 }
@@ -903,7 +1044,7 @@ fn parse_fn(file: &SourceFile, i: usize) -> (Option<FnInfo>, usize) {
         j += 1;
     }
     let end = body.map(|(_, close)| close + 1).unwrap_or(j + 1);
-    (Some(FnInfo { name, line, params, ret, body }), end)
+    (Some(FnInfo { name, line, params, ret, body, self_ty: None }), end)
 }
 
 /// Parses one `struct` whose keyword sits at token `i`, recording its
@@ -926,18 +1067,19 @@ fn parse_struct(file: &SourceFile, i: usize) -> (Option<StructInfo>, usize) {
         if tokens[j].kind == TokenKind::Punct {
             match file.text(&tokens[j]) {
                 "{" => break,
-                ";" | "(" => return (Some(StructInfo { name, float_fields: Vec::new() }), j),
+                ";" | "(" => return (Some(StructInfo { name, float_fields: Vec::new(), named_fields: Vec::new() }), j),
                 _ => {}
             }
         }
         j += 1;
     }
     if j >= tokens.len() {
-        return (Some(StructInfo { name, float_fields: Vec::new() }), j);
+        return (Some(StructInfo { name, float_fields: Vec::new(), named_fields: Vec::new() }), j);
     }
     let open = j;
     let close = matching_close(file, open, "{", "}");
     let mut float_fields = Vec::new();
+    let mut named_fields = Vec::new();
     let mut f = Cursor::new(src, tokens);
     f.seek(open + 1);
     while f.pos() < close {
@@ -968,12 +1110,17 @@ fn parse_struct(file: &SourceFile, i: usize) -> (Option<StructInfo>, usize) {
         if !f.eat_punct(":") {
             continue;
         }
-        if let TypeAnn::Float(ty) = parse_type(file, &mut f) {
-            float_fields.push((field, ty));
+        match parse_type(file, &mut f) {
+            TypeAnn::Float(ty) => {
+                float_fields.push((field.clone(), ty));
+                named_fields.push((field, ty.to_string()));
+            }
+            TypeAnn::Named(ty) => named_fields.push((field, ty)),
+            TypeAnn::Other => {}
         }
         f.eat_punct(",");
     }
-    (Some(StructInfo { name, float_fields }), close + 1)
+    (Some(StructInfo { name, float_fields, named_fields }), close + 1)
 }
 
 // ---------------------------------------------------------------------
@@ -1664,5 +1811,48 @@ mod tests {
         assert_eq!(names, vec!["mean", "outer", "inner"], "source order, any depth");
         assert_eq!(facts.fns[0].ret, TypeAnn::Float("f64"));
         assert_eq!(facts.fns[2].params[0].ty, TypeAnn::Float("f32"));
+    }
+
+    #[test]
+    fn facts_record_the_impl_self_type() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "impl WorkerPool {\n    pub fn try_submit(&self) -> bool { true }\n}\n\
+             impl fmt::Display for PoolError {\n    fn fmt(&self) -> Result { ok() }\n}\n\
+             impl<T> Shard<T> {\n    fn get(&self) -> u32 { 0 }\n}\n\
+             fn free() {}\n",
+        );
+        let facts = parse_facts(&f);
+        let tys: Vec<Option<&str>> =
+            facts.fns.iter().map(|f| f.self_ty.as_deref()).collect();
+        assert_eq!(
+            tys,
+            vec![Some("WorkerPool"), Some("PoolError"), Some("Shard"), None],
+            "inherent and trait impls both record the implementing type"
+        );
+    }
+
+    #[test]
+    fn smart_pointers_are_deref_transparent_in_annotations() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn run(ctx: &Arc<ServerContext>, pool: Rc<Vec<u8>>, raw: Vec<f64>) {}\n\
+             pub struct Holder { ctx: Arc<ServerContext>, cache: ResponseCache }\n",
+        );
+        let facts = parse_facts(&f);
+        assert_eq!(
+            facts.fns[0].params[0].ty,
+            TypeAnn::Named("ServerContext".into()),
+            "Arc<T> flows through to T"
+        );
+        assert_eq!(facts.fns[0].params[1].ty, TypeAnn::Named("Vec".into()));
+        assert_eq!(facts.fns[0].params[2].ty, TypeAnn::Named("Vec".into()));
+        assert_eq!(
+            facts.structs[0].named_fields,
+            vec![
+                ("ctx".to_string(), "ServerContext".to_string()),
+                ("cache".to_string(), "ResponseCache".to_string()),
+            ]
+        );
     }
 }

@@ -11,26 +11,41 @@
 //!    thread that touches the mutex. Library code must either recover
 //!    (`.unwrap_or_else(|e| e.into_inner())`, the workspace's `lock()`
 //!    helper idiom) or acknowledge the poisoning policy explicitly with
-//!    `// tidy: allow(lock-hygiene)`.
+//!    `// tidy: allow(lock-hygiene)`. This finding is token-shaped
+//!    (`resolution: token`).
 //! 2. **Guard live across a blocking call.** A `let`-bound guard that
-//!    is still in scope when the function sleeps, joins a thread, does
+//!    is still live when the function sleeps, joins a thread, does
 //!    socket I/O or blocks on a channel `recv` serializes every other
 //!    thread behind an operation of unbounded latency — the deadlock
-//!    shape the serve worker pool is designed around. Guards should be
-//!    dropped (scope end or `drop(guard)`) before blocking.
+//!    shape the serve worker pool is designed around. Liveness runs as
+//!    real dataflow over the function's [`crate::cfg`] control-flow
+//!    graph (`resolution: cfg`): a guard counts as held at a blocking
+//!    call only if some path actually carries it there. An early
+//!    `return` between acquisition and the call, a move into another
+//!    function, `drop(guard)`, a reassignment, or the end of the
+//!    binding's scope all end liveness on that path.
 //!
 //! `Condvar::wait` is deliberately **not** a blocking call here: it
 //! atomically releases the guard it consumes — holding a guard at a
 //! `wait` call is the correct condition-variable idiom, not a hazard.
+//! Closure bodies are outside the enclosing function's CFG (they run
+//! on another schedule), so guards acquired or used inside closures
+//! are never charged to the enclosing function.
 //!
-//! Detection is token-shaped over the lexed stream: acquisition is an
+//! Acquisition is token-shaped over the lexed stream: an
 //! empty-argument `.lock()`/`.read()`/`.write()` method call or a call
 //! whose final path segment is exactly `lock` (the free-helper idiom);
 //! buffer-taking `read(&mut buf)`/`write(&buf)` I/O calls do not match.
-//! Liveness runs from the binding statement to the end of its enclosing
-//! block, ended early by `drop(guard)`.
+//! Kills over-approximate (any bare mention that could be a move ends
+//! liveness), so the rule under-approximates "held" — it can miss a
+//! hazard, but it does not accuse a guard that a path already
+//! released.
 
+use std::collections::HashSet;
+
+use crate::cfg::{self, BitSet, Cfg};
 use crate::lexer::TokenKind;
+use crate::resolve;
 use crate::{FileKind, Lint, SourceFile, Violation};
 
 /// See the module docs.
@@ -39,7 +54,7 @@ pub struct LockHygiene;
 /// Callables of unbounded latency a guard must not be held across.
 /// `wait`/`wait_timeout` are excluded on purpose: `Condvar::wait`
 /// releases the guard it consumes.
-const BLOCKING: &[&str] = &[
+pub(crate) const BLOCKING: &[&str] = &[
     "sleep",
     "join",
     "recv",
@@ -61,7 +76,7 @@ const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
 /// empty-argument `.lock()`/`.read()`/`.write()` method, or any call
 /// whose final path segment is exactly `lock` (e.g. the workspace's
 /// poison-recovering `lock(&mutex)` helper, or `Mutex::lock(&m)`).
-fn is_guard_acquisition(file: &SourceFile, i: usize) -> bool {
+pub(crate) fn is_guard_acquisition(file: &SourceFile, i: usize) -> bool {
     let tokens = file.tokens();
     let t = &tokens[i];
     if t.kind != TokenKind::Ident {
@@ -146,8 +161,10 @@ impl Lint for LockHygiene {
          (the workspace `lock()` helper) or acknowledge the policy with \
          `// tidy: allow(lock-hygiene)`. A let-bound guard still live at a \
          call to `sleep`, `join`, `recv`, or socket I/O serializes all other \
-         threads behind unbounded latency; drop the guard (scope end or \
-         `drop(guard)`) before blocking. `Condvar::wait` is exempt — it \
+         threads behind unbounded latency; liveness is computed over the \
+         function's control-flow graph, so only paths that actually carry \
+         the guard to the call count — early returns, moves, `drop(guard)` \
+         and scope ends all release it. `Condvar::wait` is exempt — it \
          releases the guard it consumes, so holding one there is the \
          correct idiom."
     }
@@ -185,30 +202,60 @@ impl Lint for LockHygiene {
                     });
                 }
             }
-            // (2) Guard bindings live across blocking calls.
-            if file.text(t) == "let" {
-                self.check_guard_liveness(file, i, out);
+        }
+        // (2) Guards live across blocking calls: CFG dataflow per fn.
+        for f in &resolve::parse_facts(file).fns {
+            let Some(body) = f.body else { continue };
+            if file.in_test_block(f.line) {
+                continue;
             }
+            let graph = cfg::build(file, body);
+            let facts = guard_facts(file, body);
+            if facts.is_empty() {
+                continue;
+            }
+            check_liveness(file, &graph, &facts, out);
         }
     }
 }
 
-impl LockHygiene {
-    /// For a `let` at token `i`: if it binds a guard (its initializer
-    /// acquires a lock), scan from the end of the statement to the end
-    /// of the enclosing block (or `drop(name)`) for blocking calls.
-    fn check_guard_liveness(&self, file: &SourceFile, i: usize, out: &mut Vec<Violation>) {
-        let tokens = file.tokens();
+/// One guard binding inside a function body.
+pub(crate) struct GuardFact {
+    /// The binding name.
+    pub name: String,
+    /// 1-based line of the `let`.
+    pub let_line: usize,
+    /// Token index (the statement's `;`) after which the guard is live.
+    pub gen_at: usize,
+    /// Token index of the acquiring ident inside the initializer.
+    pub acq: usize,
+    /// Token index of the `}` closing the binding's scope; the guard
+    /// cannot be live at or past it.
+    pub scope_close: usize,
+}
+
+/// Collects the guard bindings of one function body: `let`s whose
+/// whole initializer is a guard acquisition (plus `unwrap`-family
+/// adapters that still yield the guard).
+pub(crate) fn guard_facts(file: &SourceFile, body: (usize, usize)) -> Vec<GuardFact> {
+    let tokens = file.tokens();
+    let (open, close) = body;
+    let mut out = Vec::new();
+    for i in open + 1..close.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || file.text(t) != "let" || file.in_test_block(t.line) {
+            continue;
+        }
         let mut sig = (i + 1..tokens.len()).filter(|&k| !tokens[k].is_comment());
-        let Some(mut n) = sig.next() else { return };
+        let Some(mut n) = sig.next() else { continue };
         if tokens[n].kind == TokenKind::Ident && file.text(&tokens[n]) == "mut" {
             match sig.next() {
                 Some(k) => n = k,
-                None => return,
+                None => continue,
             }
         }
         if tokens[n].kind != TokenKind::Ident {
-            return; // destructuring patterns are out of scope
+            continue; // destructuring patterns are out of scope
         }
         let name = file.text(&tokens[n]);
         // Statement extent: to the `;` at relative depth 0.
@@ -240,19 +287,19 @@ impl LockHygiene {
             }
             j += 1;
         }
-        let (Some(stmt_end), Some(acq)) = (stmt_end, acquires) else { return };
+        let (Some(stmt_end), Some(acq)) = (stmt_end, acquires) else { continue };
         // The binding holds the guard only when the acquisition — plus
         // result adapters that still yield it (`unwrap`,
         // `unwrap_or_else`, `expect`) — is the *whole* initializer. A
         // further method call (`lock(m).drain(..).collect()`) consumes
         // the guard inside the statement; it dies at the semicolon.
-        let open = (acq + 1..tokens.len())
+        let paren = (acq + 1..tokens.len())
             .find(|&k| !tokens[k].is_comment())
             .unwrap_or(acq + 1);
-        let mut e = close_paren(file, open);
+        let mut e = close_paren(file, paren);
         loop {
             let mut sig = (e..tokens.len()).filter(|&k| !tokens[k].is_comment());
-            let (Some(dot), Some(method), Some(paren)) = (sig.next(), sig.next(), sig.next())
+            let (Some(dot), Some(method), Some(p)) = (sig.next(), sig.next(), sig.next())
             else {
                 break;
             };
@@ -260,75 +307,231 @@ impl LockHygiene {
                 && file.text(&tokens[dot]) == "."
                 && tokens[method].kind == TokenKind::Ident
                 && matches!(file.text(&tokens[method]), "unwrap" | "unwrap_or_else" | "expect")
-                && tokens[paren].kind == TokenKind::Punct
-                && file.text(&tokens[paren]) == "("
+                && tokens[p].kind == TokenKind::Punct
+                && file.text(&tokens[p]) == "("
             {
-                e = close_paren(file, paren);
+                e = close_paren(file, p);
             } else {
                 break;
             }
         }
         if (e..stmt_end).any(|k| !tokens[k].is_comment()) {
-            return; // the guard is consumed inside its own statement
+            continue; // the guard is consumed inside its own statement
         }
-        // Liveness: from the statement end to the enclosing block's
-        // close, ended early by `drop(name)`.
+        // Scope close: the `}` taking brace depth negative after the
+        // statement (the function's own `}` as the fallback).
         let mut depth = 0i64;
-        let mut j = stmt_end + 1;
-        while j < tokens.len() {
-            let u = &tokens[j];
-            if u.kind == TokenKind::Punct {
-                match file.text(u) {
+        let mut scope_close = close;
+        for k in stmt_end + 1..close.min(tokens.len()) {
+            if tokens[k].kind == TokenKind::Punct {
+                match file.text(&tokens[k]) {
                     "{" => depth += 1,
                     "}" => {
                         depth -= 1;
                         if depth < 0 {
-                            return; // scope end drops the guard
+                            scope_close = k;
+                            break;
                         }
                     }
                     _ => {}
                 }
             }
-            if u.kind == TokenKind::Ident && !file.in_test_block(u.line) {
-                let text = file.text(u);
-                if text == "drop" {
-                    // `drop(name)` releases early.
-                    let mut sig = (j + 1..tokens.len()).filter(|&k| !tokens[k].is_comment());
-                    if let (Some(open), Some(arg)) = (sig.next(), sig.next()) {
-                        if tokens[open].kind == TokenKind::Punct
-                            && file.text(&tokens[open]) == "("
-                            && tokens[arg].kind == TokenKind::Ident
-                            && file.text(&tokens[arg]) == name
-                        {
-                            return;
-                        }
-                    }
-                }
-                if BLOCKING.contains(&text) {
-                    // Must be a call, not a mention.
-                    let is_call = tokens[j + 1..]
-                        .iter()
-                        .find(|v| !v.is_comment())
-                        .map(|v| v.kind == TokenKind::Punct && file.text(v) == "(")
-                        .unwrap_or(false);
-                    if is_call {
-                        out.push(Violation {
-                            file: file.path.clone(),
-                            line: u.line,
-                            rule: self.name(),
-                            resolution: "token",
-                            message: format!(
-                                "guard `{name}` (acquired on line {}) is still live \
-                                 across this `{text}` call; other threads serialize \
-                                 behind unbounded latency — drop the guard first",
-                                tokens[i].line
-                            ),
-                        });
-                        return; // one finding per guard
-                    }
+        }
+        out.push(GuardFact {
+            name: name.to_string(),
+            let_line: t.line,
+            gen_at: stmt_end,
+            acq,
+            scope_close,
+        });
+    }
+    out
+}
+
+/// What a token does to a guard fact during replay.
+enum Ev {
+    Gen,
+    Kill,
+}
+
+/// The effect of token `k` on fact `f`, in replay order: leaving the
+/// binding's scope kills; the binding statement's end gens; after
+/// that, `drop(name)`, any bare mention that could move the guard, a
+/// reassignment, or a shadowing rebind kills. Borrows (`&name`,
+/// `*name`) and uses through the guard (`name.method()`, `name[..]`)
+/// keep it live.
+fn event_at(file: &SourceFile, k: usize, f: &GuardFact) -> Option<Ev> {
+    let tokens = file.tokens();
+    if k >= f.scope_close {
+        return Some(Ev::Kill);
+    }
+    if k == f.gen_at {
+        return Some(Ev::Gen);
+    }
+    if k <= f.gen_at {
+        return None;
+    }
+    let t = &tokens[k];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let text = file.text(t);
+    if text == "drop" {
+        // `drop(name)` releases early.
+        let mut sig = (k + 1..tokens.len()).filter(|&j| !tokens[j].is_comment());
+        if let (Some(open), Some(arg)) = (sig.next(), sig.next()) {
+            if tokens[open].kind == TokenKind::Punct
+                && file.text(&tokens[open]) == "("
+                && tokens[arg].kind == TokenKind::Ident
+                && file.text(&tokens[arg]) == f.name
+            {
+                return Some(Ev::Kill);
+            }
+        }
+        return None;
+    }
+    if text != f.name {
+        return None;
+    }
+    // A mention of the binding. Decide move-vs-use from its neighbors.
+    let prev = tokens[..k].iter().rposition(|u| !u.is_comment());
+    if let Some(p) = prev {
+        let u = &tokens[p];
+        let pt = file.text(u);
+        if u.kind == TokenKind::Punct && matches!(pt, "." | "::" | "&" | "&&" | "*") {
+            return None; // field/path segment, borrow, or deref
+        }
+        if u.kind == TokenKind::Ident && pt == "mut" {
+            // `&mut name` is a borrow.
+            let pp = tokens[..p].iter().rposition(|v| !v.is_comment());
+            if let Some(pp) = pp {
+                let v = &tokens[pp];
+                if v.kind == TokenKind::Punct && matches!(file.text(v), "&" | "&&") {
+                    return None;
                 }
             }
-            j += 1;
+        }
+    }
+    let next = (k + 1..tokens.len()).find(|&j| !tokens[j].is_comment());
+    if let Some(nx) = next {
+        let u = &tokens[nx];
+        if u.kind == TokenKind::Punct && matches!(file.text(u), "." | "[") {
+            return None; // method call or index through the guard
+        }
+    }
+    // Anything else — passed to a function, matched on, reassigned,
+    // returned, shadowed — may consume the guard: kill (bias toward
+    // "released", never accusing a path that let go).
+    Some(Ev::Kill)
+}
+
+/// Per-block gen/kill sets for the guard facts, by linear replay of
+/// each block's token segments.
+fn block_sets(file: &SourceFile, graph: &Cfg, facts: &[GuardFact]) -> (Vec<BitSet>, Vec<BitSet>) {
+    let nb = graph.blocks.len();
+    let mut gen = vec![BitSet::new(facts.len()); nb];
+    let mut kill = vec![BitSet::new(facts.len()); nb];
+    for b in 0..nb {
+        for k in graph.tokens_of(b) {
+            for (fi, f) in facts.iter().enumerate() {
+                match event_at(file, k, f) {
+                    Some(Ev::Gen) => {
+                        gen[b].insert(fi);
+                        kill[b].remove(fi);
+                    }
+                    Some(Ev::Kill) => {
+                        kill[b].insert(fi);
+                        gen[b].remove(fi);
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+    (gen, kill)
+}
+
+/// For each queried token index, the fact indices live immediately
+/// before that token (dataflow live-in plus in-block replay). Shared
+/// with the `lock-order-cycle` rule, which asks at acquisition and
+/// call sites.
+pub(crate) fn live_facts_at(
+    file: &SourceFile,
+    graph: &Cfg,
+    facts: &[GuardFact],
+    sites: &[usize],
+) -> std::collections::HashMap<usize, Vec<usize>> {
+    let (gen, kill) = block_sets(file, graph, facts);
+    let ins = cfg::forward(graph, &gen, &kill);
+    let mut out = std::collections::HashMap::new();
+    for b in 0..graph.blocks.len() {
+        let mut live = ins[b].clone();
+        for k in graph.tokens_of(b) {
+            if sites.contains(&k) {
+                out.insert(k, live.ones());
+            }
+            for (fi, f) in facts.iter().enumerate() {
+                match event_at(file, k, f) {
+                    Some(Ev::Gen) => live.insert(fi),
+                    Some(Ev::Kill) => live.remove(fi),
+                    None => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the gen/kill dataflow over the CFG and reports guards live at
+/// blocking call sites (one finding per guard, deterministic order).
+fn check_liveness(file: &SourceFile, graph: &Cfg, facts: &[GuardFact], out: &mut Vec<Violation>) {
+    let tokens = file.tokens();
+    let nb = graph.blocks.len();
+    let (gen, kill) = block_sets(file, graph, facts);
+    let ins = cfg::forward(graph, &gen, &kill);
+    let mut reported: HashSet<usize> = HashSet::new();
+    for b in 0..nb {
+        let mut live = ins[b].clone();
+        for k in graph.tokens_of(b) {
+            for (fi, f) in facts.iter().enumerate() {
+                match event_at(file, k, f) {
+                    Some(Ev::Gen) => live.insert(fi),
+                    Some(Ev::Kill) => live.remove(fi),
+                    None => {}
+                }
+            }
+            let t = &tokens[k];
+            if t.kind != TokenKind::Ident || file.in_test_block(t.line) {
+                continue;
+            }
+            let text = file.text(t);
+            if !BLOCKING.contains(&text) {
+                continue;
+            }
+            let is_call = tokens[k + 1..]
+                .iter()
+                .find(|v| !v.is_comment())
+                .map(|v| v.kind == TokenKind::Punct && file.text(v) == "(")
+                .unwrap_or(false);
+            if !is_call {
+                continue;
+            }
+            for (fi, f) in facts.iter().enumerate() {
+                if live.contains(fi) && reported.insert(fi) {
+                    out.push(Violation {
+                        file: file.path.clone(),
+                        line: t.line,
+                        rule: "lock-hygiene",
+                        resolution: "cfg",
+                        message: format!(
+                            "guard `{}` (acquired on line {}) is still live \
+                             across this `{text}` call; other threads serialize \
+                             behind unbounded latency — drop the guard first",
+                            f.name, f.let_line
+                        ),
+                    });
+                }
+            }
         }
     }
 }
@@ -349,6 +552,7 @@ mod tests {
         let out = run("fn f(m: &Mutex<T>) { let g = m.lock().unwrap(); }\n");
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("poisoned lock"));
+        assert_eq!(out[0].resolution, "token");
         assert_eq!(run("fn f(l: &RwLock<T>) { let g = l.read().unwrap(); }\n").len(), 1);
         assert_eq!(run("fn f(l: &RwLock<T>) { let g = l.write().unwrap(); }\n").len(), 1);
     }
@@ -398,6 +602,7 @@ fn f(m: &Mutex<T>) {
         assert!(out[0].message.contains("`g`"));
         assert!(out[0].message.contains("sleep"));
         assert_eq!(out[0].line, 3, "reported at the blocking call");
+        assert_eq!(out[0].resolution, "cfg", "liveness findings are CFG-resolved");
     }
 
     #[test]
@@ -462,6 +667,66 @@ fn shutdown(m: &Mutex<Vec<JoinHandle<()>>>) {
     for h in handles {
         h.join().ok();
     }
+}
+";
+        let out = run(src);
+        assert!(out.is_empty(), "got: {out:?}");
+    }
+
+    #[test]
+    fn guard_moved_before_blocking_passes_without_a_literal_drop() {
+        // The regression the CFG rebuild exists for: the guard is moved
+        // into `finish` on the fallthrough path (no `drop()` call
+        // anywhere), and the early-return path never reaches the join.
+        // The statement-linear scan flagged this; path-accurate
+        // liveness must not.
+        let src = "\
+fn f(m: &Mutex<VecDeque<u32>>, h: JoinHandle<()>) -> u32 {
+    let g = lock(m);
+    if let Some(v) = g.front() {
+        return *v;
+    }
+    finish(g);
+    h.join().ok();
+    0
+}
+";
+        let out = run(src);
+        assert!(out.is_empty(), "moved guard is not live at join: {out:?}");
+    }
+
+    #[test]
+    fn guard_live_on_only_one_path_still_fires() {
+        // The else path carries the guard to the join — one live path
+        // is enough.
+        let src = "\
+fn f(m: &Mutex<T>, h: JoinHandle<()>) {
+    let g = lock(m);
+    if cheap() {
+        drop(g);
+    } else {
+        g.push(1);
+    }
+    h.join().ok();
+}
+";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].resolution, "cfg");
+    }
+
+    #[test]
+    fn closure_bodies_are_not_charged_to_the_enclosing_fn() {
+        // The guard lives only inside the spawned closure's body, which
+        // runs on another thread's schedule — the enclosing fn's CFG
+        // excises it, so the enclosing `join` is not a finding.
+        let src = "\
+fn f(m: &'static Mutex<T>) {
+    let h = spawn(move || {
+        let g = lock(m);
+        g.push(1);
+    });
+    h.join().ok();
 }
 ";
         let out = run(src);

@@ -6,8 +6,10 @@ mod doc;
 mod error_impl;
 mod float_eq;
 mod lock_hygiene;
+mod lock_order;
 mod manifest;
 mod panic;
+mod panic_path;
 mod prob_contract;
 mod pub_reexport;
 mod seed_discipline;
@@ -18,8 +20,10 @@ pub use doc::DocCoverage;
 pub use error_impl::ErrorImpl;
 pub use float_eq::FloatEq;
 pub use lock_hygiene::LockHygiene;
+pub use lock_order::LockOrderCycle;
 pub use manifest::ManifestHygiene;
 pub use panic::PanicFreedom;
+pub use panic_path::PanicPath;
 pub use prob_contract::ProbContract;
 pub use pub_reexport::PubReexport;
 pub use seed_discipline::{SeedDiscipline, SeedDisciplineDrift, ENTROPY, SEEDED};
@@ -45,9 +49,16 @@ pub fn all() -> Vec<Box<dyn Lint>> {
 
 /// The cross-file rules, run once over the whole workspace.
 /// `float-eq` moved here when its type flow grew cross-file (the called
-/// function's return type lives in another file).
+/// function's return type lives in another file); `lock-order-cycle`
+/// and `panic-path` propagate CFG facts through resolved call edges.
 pub fn workspace() -> Vec<Box<dyn WorkspaceLint>> {
-    vec![Box::new(FloatEq), Box::new(PubReexport), Box::new(SeedDisciplineDrift)]
+    vec![
+        Box::new(FloatEq),
+        Box::new(PubReexport),
+        Box::new(SeedDisciplineDrift),
+        Box::new(LockOrderCycle),
+        Box::new(PanicPath),
+    ]
 }
 
 /// Every rule name the gate knows, in report order. `allow(...)`
@@ -159,6 +170,8 @@ mod tests {
                 "float-eq",
                 "pub-reexport",
                 "seed-discipline-drift",
+                "lock-order-cycle",
+                "panic-path",
                 "unused-allow",
             ]
         );

@@ -1,0 +1,398 @@
+//! Rule `panic-path`: nothing reachable from a serve request-handling
+//! entry point may panic.
+//!
+//! The server's contract is that every failure maps to an HTTP status
+//! (408 deadline, 503 backpressure, 500 engine error) — never a dead
+//! worker thread. A panic anywhere on the request path breaks that
+//! contract for every in-flight connection the worker owned. The
+//! per-file `panic` rule polices `unwrap`/`expect`/`panic!` textually,
+//! but an acknowledged `// tidy: allow(panic)` or a panicking
+//! construct it does not cover (element indexing) can still sit on the
+//! hot path. This rule closes the gap by walking the *resolved call
+//! graph* of the `serve` crate from its request-handling entry points
+//! (`start`, `acceptor_loop`, `handle_connection`, `handle_request`,
+//! `reject_connection`) and flagging, in every reached function:
+//!
+//! - `.unwrap()` / `.expect(..)` calls,
+//! - `panic!` / `todo!` / `unimplemented!` / `unreachable!` macros,
+//! - element indexing (`xs[i]`) — a panicking operation in disguise;
+//!   range *slicing* (`&buf[..n]`) is exempt because the HTTP parser
+//!   is built on it and every use is length-guarded at the call site.
+//!
+//! Calls inside closures are attributed to the function that creates
+//! them: work deferred to the pool still runs on the request's behalf.
+//! Each finding names the shortest call path from an entry point, so
+//! the fix site is obvious. Limits, by design: calls are resolved
+//! crate-locally (cross-crate panics are the per-file `panic` rule's
+//! jurisdiction) and `cfg(test)` code is exempt.
+
+use std::collections::HashMap;
+
+use crate::calls::{CrateIndex, FnRef};
+use crate::lexer::TokenKind;
+use crate::symbols::Workspace;
+use crate::{SourceFile, Violation, WorkspaceLint};
+
+/// See the module docs.
+pub struct PanicPath;
+
+/// The serve crate's request-handling roots: accept-loop, connection
+/// and request handlers, and the rejection fast path.
+const ENTRY_POINTS: &[&str] =
+    &["start", "acceptor_loop", "handle_connection", "handle_request", "reject_connection"];
+
+/// The crate whose call graph is walked.
+const SERVE_CRATE: &str = "serve";
+
+/// Macros that panic by definition.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+impl WorkspaceLint for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Nothing reachable from a serve request-handling entry point \
+         (`start`, `acceptor_loop`, `handle_connection`, `handle_request`, \
+         `reject_connection`) may panic: the server's contract maps every \
+         failure to an HTTP status (408/503/500), never a dead worker. The \
+         rule walks the crate's resolved call graph from those entries — \
+         through method receivers, `Type::method` paths, and closures — \
+         and flags `.unwrap()`, `.expect(..)`, `panic!`-family macros, and \
+         element indexing (`xs[i]`, a panicking operation in disguise) in \
+         every reached function. Range slicing (`&buf[..n]`) is exempt. \
+         Replace the construct with `.get(..)`, a typed error, or an \
+         explicit length guard; `cfg(test)` code is not checked."
+    }
+
+    fn check(&self, ws: &Workspace<'_>, out: &mut Vec<Violation>) {
+        let idx = CrateIndex::build(ws, SERVE_CRATE);
+        let fns = idx.all_fns();
+        // BFS from the entry points over resolved call edges, keeping
+        // the parent pointer that yields the shortest call path.
+        let mut parent: HashMap<FnRef, Option<FnRef>> = HashMap::new();
+        let mut queue: Vec<FnRef> = Vec::new();
+        for &f in &fns {
+            if ENTRY_POINTS.contains(&idx.fn_info(f).name.as_str()) {
+                parent.insert(f, None);
+                queue.push(f);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let f = queue[head];
+            head += 1;
+            for call in idx.resolve_calls(ws, f) {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(call.callee)
+                {
+                    e.insert(Some(f));
+                    queue.push(call.callee);
+                }
+            }
+        }
+        // Scan every reached function, in BFS order (entries first,
+        // then by discovery — deterministic given the sorted file set).
+        for &fref in &queue {
+            let path = call_path(&idx, &parent, fref);
+            scan_fn(&idx, ws, fref, &path, out);
+        }
+    }
+}
+
+/// The shortest entry→function call path as `a → b → c`.
+fn call_path(idx: &CrateIndex<'_>, parent: &HashMap<FnRef, Option<FnRef>>, f: FnRef) -> String {
+    let mut names = vec![idx.fn_info(f).name.clone()];
+    let mut at = f;
+    while let Some(&Some(p)) = parent.get(&at) {
+        names.push(idx.fn_info(p).name.clone());
+        at = p;
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+/// Flags the panicking constructs inside one reached function's body
+/// (closures included; nested `fn` items excluded — they are reached
+/// only via their own call edges).
+fn scan_fn(
+    idx: &CrateIndex<'_>,
+    ws: &Workspace<'_>,
+    fref: FnRef,
+    path: &str,
+    out: &mut Vec<Violation>,
+) {
+    let info = idx.fn_info(fref);
+    let Some((open, close)) = info.body else { return };
+    let file = &ws.files[fref.file];
+    let tokens = file.tokens();
+    if file.in_test_block(info.line) {
+        return;
+    }
+    let mut k = open + 1;
+    let end = close.min(tokens.len());
+    while k < end {
+        let t = &tokens[k];
+        if t.is_comment() || file.in_test_block(t.line) {
+            k += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            let name = file.text(t);
+            if name == "fn" {
+                // Nested item: skip to past its body.
+                k = skip_fn_item(file, k, end);
+                continue;
+            }
+            let next = sig_after(file, k, end);
+            let next_text = next.map(|n| file.text(&tokens[n]));
+            if matches!(name, "unwrap" | "expect")
+                && next_text == Some("(")
+                && prev_is_dot(file, k)
+            {
+                out.push(violation(
+                    file,
+                    t.line,
+                    format!(
+                        "`.{name}(..)` on the request path (reached via {path}) panics \
+                         the worker instead of mapping the failure to an HTTP status; \
+                         return a typed error or recover explicitly"
+                    ),
+                ));
+            } else if PANIC_MACROS.contains(&name) && next_text == Some("!") {
+                out.push(violation(
+                    file,
+                    t.line,
+                    format!(
+                        "`{name}!` on the request path (reached via {path}) kills the \
+                         worker; map the condition to an HTTP error response instead"
+                    ),
+                ));
+            }
+        } else if t.kind == TokenKind::Punct
+            && file.text(t) == "["
+            && is_element_index(file, k)
+        {
+            out.push(violation(
+                file,
+                t.line,
+                format!(
+                    "element indexing on the request path (reached via {path}) panics \
+                     when out of bounds; use `.get(..)` or guard the length explicitly"
+                ),
+            ));
+        }
+        k += 1;
+    }
+}
+
+fn violation(file: &SourceFile, line: usize, message: String) -> Violation {
+    Violation {
+        file: file.path.clone(),
+        line,
+        rule: "panic-path",
+        resolution: "cfg",
+        message,
+    }
+}
+
+/// True when the `[` at `k` is an element index — a postfix bracket
+/// after an expression whose bracketed content has no top-level range
+/// operator. `&buf[..n]` slicing and `[T; N]` literals do not match.
+fn is_element_index(file: &SourceFile, k: usize) -> bool {
+    let tokens = file.tokens();
+    let postfix = tokens[..k]
+        .iter()
+        .rfind(|t| !t.is_comment())
+        .map(|t| match t.kind {
+            TokenKind::Ident => !matches!(
+                file.text(t),
+                "return" | "break" | "in" | "else" | "match" | "as" | "mut" | "move" | "let"
+            ),
+            TokenKind::Punct => matches!(file.text(t), ")" | "]"),
+            _ => false,
+        })
+        .unwrap_or(false);
+    if !postfix {
+        return false;
+    }
+    // Range operators at bracket depth 0 make it a slice.
+    let mut depth = 0i64;
+    for j in k..tokens.len() {
+        let t = &tokens[j];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match file.text(t) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "}" => depth -= 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return true; // closed with no range seen
+                }
+            }
+            ".." | "..=" if depth == 1 => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn prev_is_dot(file: &SourceFile, k: usize) -> bool {
+    file.tokens()[..k]
+        .iter()
+        .rfind(|t| !t.is_comment())
+        .map(|t| t.kind == TokenKind::Punct && file.text(t) == ".")
+        .unwrap_or(false)
+}
+
+fn sig_after(file: &SourceFile, k: usize, end: usize) -> Option<usize> {
+    let tokens = file.tokens();
+    (k + 1..end.min(tokens.len())).find(|&j| !tokens[j].is_comment())
+}
+
+fn skip_fn_item(file: &SourceFile, kw: usize, end: usize) -> usize {
+    let tokens = file.tokens();
+    let mut j = kw + 1;
+    while j < end {
+        if tokens[j].kind == TokenKind::Punct {
+            match file.text(&tokens[j]) {
+                "{" => return crate::resolve::matching_close(file, j, "{", "}") + 1,
+                ";" => return j + 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileKind;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(p, s)| SourceFile::new(*p, *s, FileKind::RustLibrary))
+            .collect();
+        let ws = Workspace::build(&files);
+        let mut out = Vec::new();
+        PanicPath.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_reached_from_an_entry_point_fires_with_the_call_path() {
+        let src = "\
+pub fn handle_request(req: Request) -> Response {
+    decode(req)
+}
+fn decode(req: Request) -> Response {
+    req.body.parse().unwrap()
+}
+";
+        let out = run(&[("crates/serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("handle_request → decode"), "{}", out[0].message);
+        assert_eq!(out[0].resolution, "cfg");
+    }
+
+    #[test]
+    fn unreached_functions_are_not_flagged() {
+        let src = "\
+pub fn handle_request(req: Request) -> Response {
+    respond(req)
+}
+fn respond(req: Request) -> Response {
+    Response::ok(req)
+}
+fn offline_tool(x: Data) -> Out {
+    x.parse().unwrap()
+}
+";
+        assert!(run(&[("crates/serve/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_jurisdiction() {
+        let src = "\
+pub fn handle_request(req: Request) -> Response {
+    req.body.parse().unwrap()
+}
+";
+        assert!(
+            run(&[("crates/core/src/lib.rs", src)]).is_empty(),
+            "only the serve crate's entry points are walked"
+        );
+    }
+
+    #[test]
+    fn element_indexing_fires_but_range_slicing_is_exempt() {
+        let src = "\
+pub fn handle_request(buf: &[u8], n: usize) -> u8 {
+    let head = &buf[..n];
+    head[0]
+}
+";
+        let out = run(&[("crates/serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("element indexing"));
+        assert_eq!(out[0].line, 3, "the slice on line 2 is exempt");
+    }
+
+    #[test]
+    fn panic_macros_fire_and_closure_work_is_attributed() {
+        let src = "\
+pub fn handle_connection(pool: &Pool, req: Request) {
+    pool.submit(move || {
+        if req.bad() {
+            panic!(\"bad request\");
+        }
+    });
+}
+";
+        let out = run(&[("crates/serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`panic!`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn calls_through_receiver_types_extend_the_walk() {
+        let src = "\
+pub struct Codec;
+impl Codec {
+    pub fn decode(&self, raw: &str) -> u64 {
+        raw.parse().expect(\"digits\")
+    }
+}
+pub fn handle_request(c: &Codec, raw: &str) -> u64 {
+    c.decode(raw)
+}
+";
+        let out = run(&[("crates/serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("handle_request → decode"));
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "\
+pub fn handle_request(req: Request) -> Response {
+    respond(req)
+}
+fn respond(req: Request) -> Response {
+    Response::ok(req)
+}
+#[cfg(test)]
+mod tests {
+    fn handle_request(x: u8) -> u8 {
+        [1u8, 2][usize::from(x)]
+    }
+}
+";
+        assert!(run(&[("crates/serve/src/lib.rs", src)]).is_empty());
+    }
+}

@@ -57,7 +57,7 @@ fn json_findings_parse_with_the_in_tree_reader() {
     let doc = json::parse(stdout.trim()).expect("findings must be valid JSON");
     assert_eq!(
         doc.get("schema").and_then(json::Json::as_str),
-        Some("sysunc-tidy/2"),
+        Some("sysunc-tidy/3"),
         "schema id missing or wrong"
     );
     assert_eq!(doc.get("clean").and_then(json::Json::as_bool), Some(true));
@@ -69,7 +69,7 @@ fn json_findings_parse_with_the_in_tree_reader() {
         Some(0)
     );
     // Allowed findings carry the full file/line/rule/resolution/message
-    // shape; resolution is one of the three analysis layers.
+    // shape; resolution is one of the four analysis layers.
     let allowed = doc.get("allowed").and_then(json::Json::as_arr).expect("allowed array");
     assert!(!allowed.is_empty(), "the tree has acknowledged exceptions");
     for finding in allowed {
@@ -82,7 +82,7 @@ fn json_findings_parse_with_the_in_tree_reader() {
             .and_then(json::Json::as_str)
             .expect("every finding carries its resolution provenance");
         assert!(
-            matches!(resolution, "token" | "module-graph" | "type-flow"),
+            matches!(resolution, "token" | "module-graph" | "type-flow" | "cfg"),
             "unknown resolution layer `{resolution}`"
         );
     }
@@ -100,7 +100,15 @@ fn bare_explain_lists_rules_and_unknown_rules_exit_two() {
         .expect("sysunc-tidy should spawn");
     assert!(output.status.success(), "bare --explain must exit 0");
     let stdout = String::from_utf8_lossy(&output.stdout);
-    for rule in ["panic", "float-eq", "pub-reexport", "lock-hygiene", "unused-allow"] {
+    for rule in [
+        "panic",
+        "float-eq",
+        "pub-reexport",
+        "lock-hygiene",
+        "lock-order-cycle",
+        "panic-path",
+        "unused-allow",
+    ] {
         assert!(
             stdout.lines().any(|l| l.starts_with(rule)),
             "listing lacks `{rule}`:\n{stdout}"
@@ -243,9 +251,195 @@ fn lock_hygiene_fires_on_a_seeded_fixture() {
     let hits: Vec<_> =
         report.violations.iter().filter(|v| v.rule == "lock-hygiene").collect();
     assert_eq!(hits.len(), 2, "unwrap + guard-across-sleep, got: {hits:?}");
-    assert!(hits.iter().all(|v| v.resolution == "token"));
-    assert!(hits.iter().any(|v| v.message.contains("unwrap")), "{hits:?}");
-    assert!(hits.iter().any(|v| v.message.contains("still live across")), "{hits:?}");
+    // The unwrapped acquisition is a token-level fact; the guard being
+    // live across the sleep is established on the CFG.
+    assert!(
+        hits.iter()
+            .any(|v| v.resolution == "token" && v.message.contains("unwrap")),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|v| v.resolution == "cfg" && v.message.contains("still live across")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn lock_hygiene_ignores_guards_gone_before_the_blocking_call() {
+    // The CFG regression the rewrite exists for: the guard is returned
+    // on one path and moved away on the other, so no path reaches the
+    // blocking `join` with the guard live. The old per-scope scan
+    // flagged exactly this shape.
+    let files = vec![SourceFile::new(
+        "crates/x/src/lib.rs",
+        "//! Fixture.\n\
+         use std::sync::{Mutex, MutexGuard};\n\
+         /// Consumes the guard, releasing the lock.\n\
+         fn consume(_g: MutexGuard<'_, u32>) {}\n\
+         /// Early return on one path, explicit hand-off on the other.\n\
+         pub fn drain(m: &Mutex<u32>, h: std::thread::JoinHandle<u32>) -> u32 {\n\
+             let g = m.lock().unwrap_or_else(|e| e.into_inner());\n\
+             if *g > 0 {\n\
+                 return *g;\n\
+             }\n\
+             consume(g);\n\
+             h.join().unwrap_or(0)\n\
+         }\n",
+        FileKind::RustLibrary,
+    )];
+    let report = check_files(&files);
+    let hits: Vec<_> =
+        report.violations.iter().filter(|v| v.rule == "lock-hygiene").collect();
+    assert!(hits.is_empty(), "no path holds the guard across `join`, got: {hits:?}");
+}
+
+#[test]
+fn lock_order_cycle_fires_when_two_fns_acquire_in_opposite_orders() {
+    let files = vec![SourceFile::new(
+        "crates/x/src/lib.rs",
+        "//! Fixture.\n\
+         use std::sync::Mutex;\n\
+         /// Takes `a` then `b`.\n\
+         pub fn ab(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {\n\
+             let ga = a.lock().unwrap_or_else(|e| e.into_inner());\n\
+             let gb = b.lock().unwrap_or_else(|e| e.into_inner());\n\
+             *ga + *gb\n\
+         }\n\
+         /// Takes `b` then `a` — the opposite order.\n\
+         pub fn ba(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {\n\
+             let gb = b.lock().unwrap_or_else(|e| e.into_inner());\n\
+             let ga = a.lock().unwrap_or_else(|e| e.into_inner());\n\
+             *ga + *gb\n\
+         }\n",
+        FileKind::RustLibrary,
+    )];
+    let report = check_files(&files);
+    let hits: Vec<_> =
+        report.violations.iter().filter(|v| v.rule == "lock-order-cycle").collect();
+    assert_eq!(hits.len(), 1, "one cycle, reported once, got: {hits:?}");
+    assert_eq!(hits[0].resolution, "cfg");
+    assert!(hits[0].message.contains("acquisition-order cycle"), "{hits:?}");
+    assert!(hits[0].message.contains('a') && hits[0].message.contains('b'), "{hits:?}");
+}
+
+#[test]
+fn panic_path_walks_call_edges_from_serve_entry_points() {
+    // `handle_request` itself is panic-free; the unwrap sits one call
+    // edge away in a private helper, so only the call graph finds it.
+    let files = vec![
+        SourceFile::new(
+            "crates/serve/src/lib.rs",
+            "//! Fixture serve crate.\npub mod server;\n",
+            FileKind::RustLibrary,
+        ),
+        SourceFile::new(
+            "crates/serve/src/server.rs",
+            "//! Fixture.\n\
+             /// Handles one request.\n\
+             pub fn handle_request(body: &str) -> usize { decode(body) }\n\
+             /// Decodes a body.\n\
+             fn decode(body: &str) -> usize { body.parse().unwrap() }\n\
+             /// Never called from an entry point.\n\
+             pub fn offline_tool(body: &str) -> usize { body.parse().unwrap() }\n",
+            FileKind::RustLibrary,
+        ),
+    ];
+    let report = check_files(&files);
+    let hits: Vec<_> =
+        report.violations.iter().filter(|v| v.rule == "panic-path").collect();
+    assert_eq!(hits.len(), 1, "only the reachable unwrap, got: {hits:?}");
+    assert_eq!(hits[0].resolution, "cfg");
+    assert!(
+        hits[0].message.contains("handle_request → decode"),
+        "message names the call path: {hits:?}"
+    );
+}
+
+#[test]
+fn cfg_invariants_hold_over_randomized_bodies() {
+    use sysunc::prob::propcheck;
+    use sysunc_tidy::{cfg, resolve};
+
+    // Grow a random statement sequence from control-flow templates;
+    // depth-bounded so nesting terminates.
+    fn gen_stmts(g: &mut propcheck::Gen, depth: usize, out: &mut String) {
+        let n = g.usize_in(0, 4);
+        for _ in 0..n {
+            let choice = if depth == 0 { g.usize_in(0, 3) } else { g.usize_in(0, 8) };
+            match choice {
+                0 => out.push_str("let x = probe();\n"),
+                1 => out.push_str("tick();\n"),
+                2 => out.push_str("return;\n"),
+                3 => {
+                    out.push_str("if probe() {\n");
+                    gen_stmts(g, depth - 1, out);
+                    out.push_str("} else {\n");
+                    gen_stmts(g, depth - 1, out);
+                    out.push_str("}\n");
+                }
+                4 => {
+                    out.push_str("while probe() {\n");
+                    gen_stmts(g, depth - 1, out);
+                    out.push_str("}\n");
+                }
+                5 => {
+                    out.push_str("loop {\n");
+                    gen_stmts(g, depth - 1, out);
+                    out.push_str("break;\n}\n");
+                }
+                6 => {
+                    out.push_str("match probe() {\ntrue => {\n");
+                    gen_stmts(g, depth - 1, out);
+                    out.push_str("}\nfalse => {\n");
+                    gen_stmts(g, depth - 1, out);
+                    out.push_str("}\n}\n");
+                }
+                _ => {
+                    out.push_str("for _i in 0..4 {\n");
+                    gen_stmts(g, depth - 1, out);
+                    out.push_str("continue;\n}\n");
+                }
+            }
+        }
+    }
+
+    propcheck::run(64, |g| {
+        let mut body = String::from("//! Fixture.\npub fn f() {\n");
+        gen_stmts(g, 3, &mut body);
+        body.push_str("}\n");
+        let file = SourceFile::new("crates/x/src/lib.rs", body.clone(), FileKind::RustLibrary);
+        let facts = resolve::parse_facts(&file);
+        let f = facts.fns.first().expect("fixture declares one fn");
+        let graph = cfg::build(&file, f.body.expect("fixture fn has a body"));
+
+        // No dangling edges: every successor indexes a real block.
+        for (bi, block) in graph.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                assert!(s < graph.blocks.len(), "block {bi} has dangling edge {s}\n{body}");
+            }
+        }
+        // Every block is reachable from the entry block.
+        let mut seen = vec![false; graph.blocks.len()];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = queue.pop() {
+            for &s in &graph.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push(s);
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&r| r),
+            "unreachable block survived pruning\n{body}"
+        );
+        // The exit block, when present, is terminal.
+        if let Some(exit) = graph.exit {
+            assert!(graph.blocks[exit].succs.is_empty(), "exit has successors\n{body}");
+        }
+    });
 }
 
 #[test]
