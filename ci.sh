@@ -45,6 +45,12 @@ echo "== serve smoke (ephemeral port, in-tree client) =="
 # mismatch between served traffic and the metrics account.
 cargo run -q --release --offline --example serve_smoke
 
+echo "== fleet smoke (2 shards, crash injection, aggregated metrics) =="
+# Boots a 2-shard process fleet, SIGKILLs a shard under concurrent
+# load, and verifies zero failed requests, a recorded restart, routed
+# cache locality, and the merged /metrics exposition.
+cargo run -q --release --offline --example fleet_smoke
+
 echo "== serve load benchmark (cold / cache-hot / batch) =="
 # Self-hosted loadgen suite: every mode runs against one server (cold
 # first, so the baseline sees an empty cache) and the per-mode
@@ -52,12 +58,25 @@ echo "== serve load benchmark (cold / cache-hot / batch) =="
 cargo run -q --release --offline -p sysunc-bench --bin loadgen -- \
   --clients 8 --requests 50 --budget 2048
 
+echo "== fleet load benchmark (2 shards, same modes) =="
+# The same suite through a 2-shard fleet front; a shard is SIGKILLed
+# mid cache-hot run, so the numbers include a crash, the router's
+# retry window, and the supervisor's restart. Keys gain a `fleet-`
+# prefix and land in BENCH_fleet.json.
+cargo run -q --release --offline -p sysunc-bench --bin loadgen -- \
+  --clients 8 --requests 50 --budget 2048 --fleet 2 --out BENCH_fleet.json
+
 echo "== serve trend tripwire =="
-# Folds the suite into BENCH_serve_trend.json and fails on a >20%
-# per-mode throughput drop against the committed baseline, or on
-# cache-hot throughput below 5x cold (the cache must earn its keep).
-# On a machine without a baseline the run becomes the baseline.
-cargo run -q --release --offline -p sysunc-bench --bin serve_trend
+# Folds both suites into BENCH_serve_trend.json and fails on a >20%
+# per-mode throughput drop against the committed baseline, on
+# cache-hot throughput below 5x cold (the cache must earn its keep),
+# on any failed fleet request (crash tolerance must be total), or on
+# fleet-cache-hot throughput below the hardware-aware bar (1.7x
+# single-process on >=4 cores, an overhead floor when time-sliced).
+# The baseline stays single-process; on a machine without one the
+# single-process run becomes the baseline.
+cargo run -q --release --offline -p sysunc-bench --bin serve_trend -- \
+  --fleet-in BENCH_fleet.json
 
 echo "== engine kernel benchmark (scalar vs chunked) =="
 # Times every sampling engine on both paper models through the scalar

@@ -4,7 +4,7 @@
 //! loadgen [--clients N] [--requests N] [--engine NAME] [--model NAME]
 //!         [--budget N] [--mode cold|cache-hot|batch|all]
 //!         [--batch-size N] [--hot-seeds N]
-//!         [--addr HOST:PORT] [--out FILE]
+//!         [--addr HOST:PORT] [--out FILE] [--fleet N]
 //! ```
 //!
 //! Without `--addr` the benchmark starts its own server on an
@@ -14,11 +14,21 @@
 //! writes the `sysunc-bench-serve/2` suite document to `--out`
 //! (default `BENCH_serve.json`). A single `--mode` writes that mode's
 //! suite of one.
+//!
+//! `--fleet N` self-hosts an N-shard [`sysunc_fleet::Fleet`] instead
+//! of a single in-process server and drives the same modes through the
+//! router; result keys gain a `fleet-` prefix (see
+//! [`LoadgenConfig::mode_key`]). During the cache-hot mode a shard is
+//! SIGKILLed once a quarter of the requests have been routed — the
+//! crash-tolerance acceptance: the run must still finish with zero
+//! failed requests while the supervisor restarts the child.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 use sysunc::ModelRegistry;
 use sysunc_bench::loadgen::{run, suite_to_json, LoadMode, LoadgenConfig};
+use sysunc_fleet::{Fleet, FleetConfig, FleetHandle};
 use sysunc_serve::{Server, ServerConfig};
 
 struct Args {
@@ -79,10 +89,54 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     Some(value("--addr")?.parse().map_err(|e| format!("--addr: {e}"))?)
             }
             "--out" => parsed.out = value("--out")?,
+            "--fleet" => {
+                parsed.config.fleet_shards =
+                    value("--fleet")?.parse().map_err(|e| format!("--fleet: {e}"))?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    if parsed.config.fleet_shards > 0 && parsed.addr.is_some() {
+        return Err("--fleet self-hosts its shards; drop --addr".into());
+    }
     Ok(parsed)
+}
+
+/// Drives one mode against the fleet front. During the cache-hot mode
+/// a scoped sidecar thread SIGKILLs shard 0 once a quarter of the
+/// requests have been routed, so the measured run includes a crash,
+/// the router's retry window, and the supervisor's restart.
+fn run_fleet_mode(
+    fleet: &FleetHandle,
+    config: &LoadgenConfig,
+) -> Result<sysunc_bench::loadgen::LoadgenResult, String> {
+    let inject_crash = config.mode == LoadMode::CacheHot;
+    let trigger = (config.clients * config.requests_per_client / 4).max(1) as u64;
+    std::thread::scope(|scope| {
+        let killer = inject_crash.then(|| {
+            scope.spawn(|| {
+                let metrics = fleet.metrics();
+                let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                while std::time::Instant::now() < deadline {
+                    let routed: u64 =
+                        (0..fleet.shards()).map(|s| metrics.routed_count(s)).sum();
+                    if routed >= trigger {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                fleet.kill_shard(0)
+            })
+        });
+        let result = run(fleet.addr(), config).map_err(|e| e.to_string());
+        if let Some(handle) = killer {
+            let killed = handle.join().unwrap_or(false);
+            if killed && !fleet.await_healthy(fleet.shards(), Duration::from_secs(30)) {
+                return Err("killed shard was not restarted to healthy".into());
+            }
+        }
+        result
+    })
 }
 
 fn main() -> ExitCode {
@@ -95,27 +149,49 @@ fn main() -> ExitCode {
         }
     };
 
-    // Self-host unless pointed at an external server.
-    let (addr, server) = match args.addr {
-        Some(addr) => (addr, None),
-        None => {
-            let registry = match ModelRegistry::standard() {
-                Ok(registry) => registry,
-                Err(e) => {
-                    eprintln!("loadgen: cannot build the model registry: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let config = ServerConfig {
-                workers: args.config.clients.max(2),
-                queue_capacity: args.config.clients.max(2) * 4,
-                ..ServerConfig::default()
-            };
-            match Server::start(config, registry) {
-                Ok(server) => (server.addr(), Some(server)),
-                Err(e) => {
-                    eprintln!("loadgen: cannot start server: {e}");
-                    return ExitCode::FAILURE;
+    // Self-host unless pointed at an external server: an N-shard fleet
+    // with `--fleet N`, a single in-process server otherwise.
+    let mut fleet = None;
+    let (addr, server) = if args.config.fleet_shards > 0 {
+        let config = FleetConfig {
+            shards: args.config.fleet_shards,
+            child_workers: args.config.clients.max(2),
+            child_queue: args.config.clients.max(2) * 4,
+            ..FleetConfig::default()
+        };
+        match Fleet::start(config) {
+            Ok(handle) => {
+                let addr = handle.addr();
+                fleet = Some(handle);
+                (addr, None)
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot start fleet: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match args.addr {
+            Some(addr) => (addr, None),
+            None => {
+                let registry = match ModelRegistry::standard() {
+                    Ok(registry) => registry,
+                    Err(e) => {
+                        eprintln!("loadgen: cannot build the model registry: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let config = ServerConfig {
+                    workers: args.config.clients.max(2),
+                    queue_capacity: args.config.clients.max(2) * 4,
+                    ..ServerConfig::default()
+                };
+                match Server::start(config, registry) {
+                    Ok(server) => (server.addr(), Some(server)),
+                    Err(e) => {
+                        eprintln!("loadgen: cannot start server: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }
@@ -125,11 +201,15 @@ fn main() -> ExitCode {
     let mut failure = None;
     for &mode in &args.modes {
         let config = args.config.with_mode(mode);
-        match run(addr, &config) {
+        let outcome = match &fleet {
+            Some(handle) => run_fleet_mode(handle, &config),
+            None => run(addr, &config).map_err(|e| e.to_string()),
+        };
+        match outcome {
             Ok(result) => {
                 println!(
                     "loadgen[{}]: {} ok / {} failed, {:.1} jobs/s, p50 {} us, p99 {} us",
-                    mode.name(),
+                    config.mode_key(),
                     result.ok,
                     result.failed,
                     result.throughput_rps(),
@@ -143,6 +223,11 @@ fn main() -> ExitCode {
                 break;
             }
         }
+    }
+    if let Some(handle) = fleet {
+        let restarts = handle.metrics().total_restarts();
+        println!("loadgen: fleet absorbed {restarts} shard restart(s)");
+        handle.shutdown();
     }
     if let Some(server) = server {
         server.shutdown();

@@ -5,6 +5,8 @@
 //! serve_trend [--in BENCH_serve.json] [--out BENCH_serve_trend.json]
 //!             [--baseline serve.baseline] [--write-baseline]
 //!             [--min-ratio 0.8] [--cache-speedup 5.0]
+//!             [--fleet-in BENCH_fleet.json]
+//!             [--fleet-speedup 1.7] [--fleet-speedup-floor 0.15]
 //! ```
 //!
 //! Reads a `sysunc-bench-serve/2` suite document, appends one
@@ -17,6 +19,22 @@
 //!   cold throughput fails the run — the response cache must earn its
 //!   keep.
 //!
+//! `--fleet-in` merges a second suite from a `loadgen --fleet N` run
+//! (its modes are keyed `fleet-<mode>`) into the trend record and arms
+//! two fleet gates:
+//!
+//! - any failed request in a fleet mode fails the run — the router's
+//!   retry loop must absorb child crashes completely;
+//! - fleet-cache-hot throughput must beat single-process cache-hot by
+//!   `--fleet-speedup` (default 1.7) when the recording machine had at
+//!   least [`FLEET_FULL_CORES`] cores, or by `--fleet-speedup-floor`
+//!   (default 0.15) on smaller machines, where shards time-slice one
+//!   core and only routing overhead is measurable.
+//!
+//! The baseline stays single-process: fleet rows are appended to the
+//! trend record but never written into `--baseline`, so the
+//! regression comparison is unaffected by fleet runs.
+//!
 //! When the baseline file does not exist yet (first run on a machine),
 //! the current suite is written as the new baseline and the checks
 //! pass vacuously; `--write-baseline` forces that refresh.
@@ -24,9 +42,14 @@
 use std::process::ExitCode;
 use sysunc::prob::json::parse;
 use sysunc_bench::trend::{
-    cache_speedup_shortfall, serve_mode_summaries, serve_trend_record,
+    cache_speedup_shortfall, fleet_failed_requests, fleet_speedup_shortfall,
+    merge_serve_suites, serve_mode_summaries, serve_trend_record,
     throughput_regressions,
 };
+
+/// Core count at which the full `--fleet-speedup` ratio is armed; below
+/// it shards time-slice and only the overhead floor is enforceable.
+const FLEET_FULL_CORES: u64 = 4;
 
 struct Args {
     input: String,
@@ -35,6 +58,9 @@ struct Args {
     write_baseline: bool,
     min_ratio: f64,
     cache_speedup: f64,
+    fleet_input: Option<String>,
+    fleet_speedup: f64,
+    fleet_speedup_floor: f64,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -45,6 +71,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         write_baseline: false,
         min_ratio: 0.8,
         cache_speedup: 5.0,
+        fleet_input: None,
+        fleet_speedup: 1.7,
+        fleet_speedup_floor: 0.15,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -65,6 +94,17 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.cache_speedup = value("--cache-speedup")?
                     .parse()
                     .map_err(|e| format!("--cache-speedup: {e}"))?
+            }
+            "--fleet-in" => parsed.fleet_input = Some(value("--fleet-in")?),
+            "--fleet-speedup" => {
+                parsed.fleet_speedup = value("--fleet-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--fleet-speedup: {e}"))?
+            }
+            "--fleet-speedup-floor" => {
+                parsed.fleet_speedup_floor = value("--fleet-speedup-floor")?
+                    .parse()
+                    .map_err(|e| format!("--fleet-speedup-floor: {e}"))?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -89,13 +129,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let suite = match parse(&text) {
+    let mut suite = match parse(&text) {
         Ok(suite) => suite,
         Err(e) => {
             eprintln!("serve_trend: {} is not valid JSON: {e}", args.input);
             return ExitCode::FAILURE;
         }
     };
+    if let Some(fleet_path) = &args.fleet_input {
+        let fleet_text = match std::fs::read_to_string(fleet_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("serve_trend: cannot read {fleet_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fleet_suite = match parse(&fleet_text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("serve_trend: {fleet_path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        suite = match merge_serve_suites(&suite, &fleet_suite) {
+            Ok(merged) => merged,
+            Err(e) => {
+                eprintln!("serve_trend: cannot merge {fleet_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     let summaries = match serve_mode_summaries(&suite) {
         Ok(summaries) => summaries,
         Err(e) => {
@@ -125,6 +188,26 @@ fn main() -> ExitCode {
 
     // The cache-speedup invariant holds regardless of any baseline.
     if let Some(msg) = cache_speedup_shortfall(&summaries, args.cache_speedup) {
+        eprintln!("serve_trend: FAIL: {msg}");
+        return ExitCode::FAILURE;
+    }
+
+    // Fleet gates, armed only when fleet rows are present: zero failed
+    // requests (crash tolerance must be total) and a hardware-aware
+    // routed-throughput bar against the single-process cache-hot run.
+    let dropped = fleet_failed_requests(&summaries);
+    if !dropped.is_empty() {
+        for finding in &dropped {
+            eprintln!("serve_trend: FAIL: {finding}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Some(msg) = fleet_speedup_shortfall(
+        &summaries,
+        FLEET_FULL_CORES,
+        args.fleet_speedup,
+        args.fleet_speedup_floor,
+    ) {
         eprintln!("serve_trend: FAIL: {msg}");
         return ExitCode::FAILURE;
     }

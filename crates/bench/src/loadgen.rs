@@ -81,6 +81,11 @@ pub struct LoadgenConfig {
     pub batch_size: usize,
     /// Distinct seeds cycled through in [`LoadMode::CacheHot`].
     pub hot_seeds: u64,
+    /// Shard count when the target is a `sysunc-fleet` front
+    /// (`0` = plain single-process serving). Only labeling: the
+    /// traffic is identical, but results are keyed `fleet-<mode>` so
+    /// fleet rows sit next to single-process rows in one suite.
+    pub fleet_shards: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -94,6 +99,7 @@ impl Default for LoadgenConfig {
             mode: LoadMode::Cold,
             batch_size: 16,
             hot_seeds: 4,
+            fleet_shards: 0,
         }
     }
 }
@@ -103,6 +109,18 @@ impl LoadgenConfig {
     /// suite driver to run every mode under one parameter set.
     pub fn with_mode(&self, mode: LoadMode) -> Self {
         Self { mode, ..self.clone() }
+    }
+
+    /// The key this run's summary is filed under in suite documents:
+    /// the mode name, prefixed `fleet-` when the target is a sharded
+    /// front — so `cache-hot` and `fleet-cache-hot` coexist in one
+    /// suite and the trend gate can compare them.
+    pub fn mode_key(&self) -> String {
+        if self.fleet_shards > 0 {
+            format!("fleet-{}", self.mode.name())
+        } else {
+            self.mode.name().to_string()
+        }
     }
 
     /// The problem every request shares; only seeds vary.
@@ -219,11 +237,15 @@ impl LoadgenResult {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema").string("sysunc-bench-serve/1");
-        w.key("mode").string(config.mode.name());
+        w.key("mode").string(&config.mode_key());
         w.key("engine").string(&config.engine);
         w.key("model").string(&config.model);
         w.key("budget").u64(config.budget as u64);
         w.key("clients").u64(config.clients as u64);
+        w.key("fleet_shards").u64(config.fleet_shards as u64);
+        // The host's core budget, recorded so trend gates can judge
+        // fleet speedups against the hardware they actually ran on.
+        w.key("cores").u64(available_cores() as u64);
         w.key("batch_size").u64(config.jobs_per_call() as u64);
         w.key("requests").u64(self.requests);
         w.key("ok").u64(self.ok);
@@ -261,12 +283,17 @@ pub fn suite_to_json(
             out.push(',');
         }
         out.push('"');
-        out.push_str(config.mode.name());
+        out.push_str(&config.mode_key());
         out.push_str("\":");
         out.push_str(&result.to_json(config)?);
     }
     out.push_str("}}");
     Ok(out)
+}
+
+/// The host's usable core count (`1` when undeterminable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 /// Runs the load against a server at `addr` in the configured mode.
@@ -457,6 +484,40 @@ mod tests {
         seeds.dedup();
         assert_eq!(seeds.len(), 8, "every job seed is distinct");
         assert!(seeds.iter().all(|&s| s >= 100_000_000), "disjoint seed range");
+    }
+
+    #[test]
+    fn fleet_runs_are_keyed_and_labeled_distinctly() {
+        let single = LoadgenConfig::default();
+        assert_eq!(single.mode_key(), "cold");
+        let fleet = LoadgenConfig {
+            fleet_shards: 2,
+            mode: LoadMode::CacheHot,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(fleet.mode_key(), "fleet-cache-hot");
+        let r = LoadgenResult {
+            requests: 1,
+            ok: 1,
+            failed: 0,
+            elapsed: Duration::from_millis(1),
+            latencies_micros: vec![5],
+        };
+        let text = r.to_json(&fleet).expect("renders");
+        let v = sysunc::prob::json::parse(&text).expect("parses");
+        assert_eq!(
+            v.get("mode").and_then(|j| j.as_str().map(str::to_string)),
+            Some("fleet-cache-hot".into())
+        );
+        assert_eq!(v.get("fleet_shards").and_then(|j| j.as_u64()), Some(2));
+        assert!(v.get("cores").and_then(|j| j.as_u64()).unwrap_or(0) >= 1);
+        let suite =
+            suite_to_json(&[(fleet.clone(), r.clone())]).expect("suite renders");
+        let sv = sysunc::prob::json::parse(&suite).expect("parses");
+        assert!(
+            sv.get("modes").and_then(|m| m.get("fleet-cache-hot")).is_some(),
+            "fleet rows are keyed with the fleet- prefix"
+        );
     }
 
     #[test]

@@ -183,6 +183,10 @@ pub struct ModeSummary {
     pub ok: u64,
     /// Jobs that failed.
     pub failed: u64,
+    /// Usable cores on the host the run measured (`0` for documents
+    /// predating the field) — fleet speedup gates are judged against
+    /// the hardware the numbers came from.
+    pub cores: u64,
 }
 
 /// Extracts the per-mode summaries from a `sysunc-bench-serve/2` suite
@@ -224,9 +228,44 @@ pub fn serve_mode_summaries(suite: &Json) -> Result<Vec<ModeSummary>, JsonError>
             p99_micros: micros("p99")?,
             ok: member("ok")?.as_u64().unwrap_or(0),
             failed: member("failed")?.as_u64().unwrap_or(0),
+            cores: doc.get("cores").and_then(Json::as_u64).unwrap_or(0),
         });
     }
     Ok(summaries)
+}
+
+/// Merges the mode entries of `extra` into `base` (both
+/// `sysunc-bench-serve/2` suites) — how a fleet run's `fleet-*` rows
+/// join the single-process rows in one document for trend recording
+/// and gating. Duplicate mode keys keep `base`'s entry.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] when either document lacks the suite schema
+/// or its `modes` object.
+pub fn merge_serve_suites(base: &Json, extra: &Json) -> Result<Json, JsonError> {
+    let modes_of = |doc: &Json, who: &str| -> Result<Vec<(String, Json)>, JsonError> {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != "sysunc-bench-serve/2" {
+            return Err(JsonError::decode(format!(
+                "{who} suite has schema '{schema}', expected sysunc-bench-serve/2"
+            )));
+        }
+        match doc.get("modes") {
+            Some(Json::Obj(modes)) => Ok(modes.clone()),
+            _ => Err(JsonError::decode(format!("{who} suite lacks a 'modes' object"))),
+        }
+    };
+    let mut modes = modes_of(base, "base")?;
+    for (key, doc) in modes_of(extra, "extra")? {
+        if !modes.iter().any(|(k, _)| *k == key) {
+            modes.push((key, doc));
+        }
+    }
+    Ok(Json::Obj(vec![
+        ("schema".into(), Json::Str("sysunc-bench-serve/2".into())),
+        ("modes".into(), Json::Obj(modes)),
+    ]))
 }
 
 /// Renders one `sysunc-bench-serve-trend/1` record (a single JSON
@@ -301,6 +340,63 @@ pub fn cache_speedup_shortfall(current: &[ModeSummary], min_ratio: f64) -> Optio
             hot.throughput_rps,
             hot.throughput_rps / cold.throughput_rps,
             cold.throughput_rps
+        ));
+    }
+    None
+}
+
+/// The fleet crash-tolerance gate: every `fleet-*` mode must report
+/// zero failed jobs. The fleet loadgen run includes a forced child
+/// crash mid-run, so any failure means the router dropped a request
+/// instead of riding out the restart. One message per offending mode;
+/// empty means the gate holds (including when no fleet rows exist).
+pub fn fleet_failed_requests(current: &[ModeSummary]) -> Vec<String> {
+    current
+        .iter()
+        .filter(|s| s.mode.starts_with("fleet-") && s.failed > 0)
+        .map(|s| {
+            format!(
+                "fleet mode '{}' dropped {} request(s); crash tolerance demands \
+                 zero failures across a forced shard restart",
+                s.mode, s.failed
+            )
+        })
+        .collect()
+}
+
+/// The hardware-aware fleet speedup gate: `fleet-cache-hot` throughput
+/// against single-process `cache-hot`. On a host with at least
+/// `full_cores` usable cores the shards run in parallel and the fleet
+/// must reach `full_ratio` (the ~linear cache-hot scaling claim);
+/// below that the shards time-slice the same cores, a speedup is
+/// physically unavailable, and only the overhead floor `floor_ratio`
+/// is enforced — routing must not swallow most of the throughput. The
+/// core count is read from the fleet row itself (recorded at measure
+/// time), so gating a result judges the hardware it ran on. `None`
+/// when either mode is absent or the applicable bar is met.
+pub fn fleet_speedup_shortfall(
+    current: &[ModeSummary],
+    full_cores: u64,
+    full_ratio: f64,
+    floor_ratio: f64,
+) -> Option<String> {
+    let hot = current.iter().find(|s| s.mode == "cache-hot")?;
+    let fleet = current.iter().find(|s| s.mode == "fleet-cache-hot")?;
+    let (bar, regime) = if fleet.cores >= full_cores {
+        (full_ratio, format!("{} cores (parallel regime)", fleet.cores))
+    } else {
+        (
+            floor_ratio,
+            format!("{} core(s) (time-sliced regime, overhead floor)", fleet.cores.max(1)),
+        )
+    };
+    if hot.throughput_rps > 0.0 && fleet.throughput_rps < hot.throughput_rps * bar {
+        return Some(format!(
+            "fleet-cache-hot throughput {:.1} jobs/s is {:.2}x single-process \
+             cache-hot ({:.1} jobs/s); expected at least {bar:.2}x on {regime}",
+            fleet.throughput_rps,
+            fleet.throughput_rps / hot.throughput_rps,
+            hot.throughput_rps,
         ));
     }
     None
@@ -612,6 +708,85 @@ mod tests {
 
         let findings = throughput_regressions(&healthy[..1], &baseline, 0.8);
         assert!(findings.iter().any(|f| f.contains("missing")), "{findings:?}");
+    }
+
+    fn fleet_suite(hot_rps: f64, fleet_rps: f64, cores: u64, failed: u64) -> Json {
+        let doc = |rps: f64, failed: u64| {
+            format!(
+                r#"{{"schema":"sysunc-bench-serve/1","ok":10,"failed":{failed},
+                    "cores":{cores},"throughput_rps":{rps},
+                    "latency_micros":{{"p50":100,"p99":400}}}}"#
+            )
+        };
+        parse(&format!(
+            r#"{{"schema":"sysunc-bench-serve/2","modes":{{
+                "cache-hot":{hot},"fleet-cache-hot":{fleet}}}}}"#,
+            hot = doc(hot_rps, 0),
+            fleet = doc(fleet_rps, failed)
+        ))
+        .expect("suite parses")
+    }
+
+    #[test]
+    fn merged_suites_carry_both_row_sets() {
+        let merged = merge_serve_suites(
+            &serve_suite(50.0, 500.0),
+            &fleet_suite(500.0, 900.0, 8, 0),
+        )
+        .expect("merges");
+        let summaries = serve_mode_summaries(&merged).expect("folds");
+        let modes: Vec<&str> = summaries.iter().map(|s| s.mode.as_str()).collect();
+        assert_eq!(modes, ["cold", "cache-hot", "fleet-cache-hot"]);
+        // Duplicate keys keep the base entry.
+        assert!(
+            (summaries[1].throughput_rps - 500.0).abs() < 1e-9,
+            "base cache-hot row wins over the extra suite's copy"
+        );
+        // The merged document feeds the trend record directly.
+        let record = serve_trend_record(&merged).expect("renders");
+        assert!(record.contains("fleet-cache-hot"), "{record}");
+        // Foreign schemas are refused.
+        let foreign = parse(r#"{"schema":"other/9"}"#).expect("parses");
+        assert!(merge_serve_suites(&serve_suite(1.0, 1.0), &foreign).is_err());
+    }
+
+    #[test]
+    fn fleet_failure_gate_demands_zero_dropped_requests() {
+        let clean =
+            serve_mode_summaries(&fleet_suite(500.0, 900.0, 8, 0)).expect("folds");
+        assert!(fleet_failed_requests(&clean).is_empty());
+        let dropped =
+            serve_mode_summaries(&fleet_suite(500.0, 900.0, 8, 3)).expect("folds");
+        let findings = fleet_failed_requests(&dropped);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("fleet-cache-hot"), "{findings:?}");
+        assert!(findings[0].contains("3 request(s)"), "{findings:?}");
+        // Single-process failures are the baseline gates' business.
+        let single = serve_mode_summaries(&serve_suite(50.0, 500.0)).expect("folds");
+        assert!(fleet_failed_requests(&single).is_empty());
+    }
+
+    #[test]
+    fn fleet_speedup_gate_is_hardware_aware() {
+        // Parallel regime (cores >= full_cores): the full ratio applies.
+        let scaled = serve_mode_summaries(&fleet_suite(500.0, 900.0, 8, 0)).expect("f");
+        assert!(fleet_speedup_shortfall(&scaled, 4, 1.7, 0.35).is_none());
+        let flat = serve_mode_summaries(&fleet_suite(500.0, 600.0, 8, 0)).expect("f");
+        let msg = fleet_speedup_shortfall(&flat, 4, 1.7, 0.35).expect("shortfall");
+        assert!(msg.contains("1.20x"), "{msg}");
+        assert!(msg.contains("parallel regime"), "{msg}");
+        // Time-sliced regime (1 core): only the overhead floor applies.
+        let sliced = serve_mode_summaries(&fleet_suite(500.0, 250.0, 1, 0)).expect("f");
+        assert!(
+            fleet_speedup_shortfall(&sliced, 4, 1.7, 0.35).is_none(),
+            "0.5x on one core is above the overhead floor"
+        );
+        let choked = serve_mode_summaries(&fleet_suite(500.0, 100.0, 1, 0)).expect("f");
+        let msg = fleet_speedup_shortfall(&choked, 4, 1.7, 0.35).expect("shortfall");
+        assert!(msg.contains("overhead floor"), "{msg}");
+        // No fleet rows → no verdict.
+        let single = serve_mode_summaries(&serve_suite(50.0, 500.0)).expect("folds");
+        assert!(fleet_speedup_shortfall(&single, 4, 1.7, 0.35).is_none());
     }
 
     fn engine_doc(mc_chunked: f64, mc_speedup: f64) -> Json {

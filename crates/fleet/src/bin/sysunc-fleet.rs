@@ -1,0 +1,103 @@
+//! Standalone fleet supervisor + router.
+//!
+//! ```text
+//! sysunc-fleet [--shards N] [--addr HOST:PORT] [--serve-bin PATH]
+//!              [--child-workers N] [--child-queue N]
+//!              [--child-cache-capacity N] [--child-cache-ttl-ms N]
+//!              [--max-connections N] [--probe-interval-ms N]
+//! ```
+//!
+//! Spawns N supervised `sysunc-serve` shards, binds the routing front
+//! (port 0 = ephemeral), prints `fleet listening on <addr>` to stdout,
+//! and serves until stdin reaches EOF — the same signal-free drain
+//! convention the shards themselves use, so fleets nest under any
+//! process manager that can close a pipe. The serve binary is located
+//! via `--serve-bin`, the `SYSUNC_SERVE_BIN` environment variable, or
+//! the supervisor's own build tree.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use sysunc_fleet::{Fleet, FleetConfig};
+
+fn parse_args(args: &[String]) -> Result<FleetConfig, String> {
+    let mut config = FleetConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--shards" => {
+                config.shards =
+                    value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--addr" => config.addr = value("--addr")?,
+            "--serve-bin" => config.serve_bin = Some(PathBuf::from(value("--serve-bin")?)),
+            "--child-workers" => {
+                config.child_workers = value("--child-workers")?
+                    .parse()
+                    .map_err(|e| format!("--child-workers: {e}"))?
+            }
+            "--child-queue" => {
+                config.child_queue = value("--child-queue")?
+                    .parse()
+                    .map_err(|e| format!("--child-queue: {e}"))?
+            }
+            "--child-cache-capacity" => {
+                config.child_cache_capacity = value("--child-cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--child-cache-capacity: {e}"))?
+            }
+            "--child-cache-ttl-ms" => {
+                config.child_cache_ttl = Some(Duration::from_millis(
+                    value("--child-cache-ttl-ms")?
+                        .parse()
+                        .map_err(|e| format!("--child-cache-ttl-ms: {e}"))?,
+                ))
+            }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--probe-interval-ms" => {
+                config.probe_interval = Duration::from_millis(
+                    value("--probe-interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("--probe-interval-ms: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&raw) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("sysunc-fleet: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards = config.shards;
+    let fleet = match Fleet::start(config) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("sysunc-fleet: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("fleet listening on {}", fleet.addr());
+    eprintln!("sysunc-fleet: {shards} shard(s) up, routing on {}", fleet.addr());
+    // Serve until stdin closes.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    eprintln!("sysunc-fleet: stdin closed, draining fleet");
+    fleet.shutdown();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,185 @@
+//! One supervised `sysunc-serve` shard process: spawn, readiness
+//! handshake, liveness checks, forced kill, and graceful drain.
+//!
+//! The child protocol is the serve binary's own stdin/stdout
+//! convention, so no signals are needed anywhere:
+//!
+//! - **spawn** — the supervisor launches `sysunc-serve --child --addr
+//!   127.0.0.1:0 …` with stdin and stdout piped, and waits (bounded)
+//!   for the `listening on <addr>` handshake line that carries the
+//!   resolved ephemeral port.
+//! - **drain** — closing the child's stdin asks it to finish in-flight
+//!   requests and exit 0; the supervisor waits out a deadline and only
+//!   then falls back to a kill.
+//! - **kill** — SIGKILL through [`std::process::Child::kill`], used
+//!   for wedged children and by crash-injection tests.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::error::{FleetError, Result};
+
+/// A running shard process and its resolved listen address.
+#[derive(Debug)]
+pub struct ShardChild {
+    child: Child,
+    /// Held open while serving; dropping it asks the child to drain.
+    stdin: Option<ChildStdin>,
+    addr: SocketAddr,
+}
+
+impl ShardChild {
+    /// Spawns one serve child and completes the readiness handshake:
+    /// returns once the child printed `listening on <addr>` (within
+    /// `handshake_timeout`), so the returned shard is accepting
+    /// connections. `extra_args` follow the built-in
+    /// `--child --addr 127.0.0.1:0`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Spawn`] when the binary cannot be launched or the
+    /// handshake line does not arrive in time (the half-started child
+    /// is killed before returning).
+    pub fn spawn(
+        serve_bin: &Path,
+        extra_args: &[String],
+        handshake_timeout: Duration,
+    ) -> Result<Self> {
+        let mut child = Command::new(serve_bin)
+            .arg("--child")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| FleetError::Spawn(format!("cannot launch {serve_bin:?}: {e}")))?;
+        let stdin = child.stdin.take();
+        let Some(stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(FleetError::Spawn("child stdout was not piped".into()));
+        };
+        // The handshake read happens on its own thread so a child that
+        // never prints cannot hang the supervisor; the thread then
+        // keeps draining stdout so the pipe can never fill up.
+        let (tx, rx) = mpsc::channel::<String>();
+        std::thread::Builder::new()
+            .name("sysunc-fleet-child-stdout".into())
+            .spawn(move || {
+                let mut reader = BufReader::new(stdout);
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() {
+                    let _ = tx.send(line);
+                }
+                let mut sink = String::new();
+                while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                    sink.clear();
+                }
+            })
+            .map_err(|e| FleetError::Spawn(format!("cannot spawn handshake reader: {e}")))?;
+        let line = match rx.recv_timeout(handshake_timeout) {
+            Ok(line) => line,
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(FleetError::Spawn(format!(
+                    "child did not print its handshake line within {handshake_timeout:?}"
+                )));
+            }
+        };
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .and_then(|a| a.parse::<SocketAddr>().ok());
+        let Some(addr) = addr else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(FleetError::Spawn(format!(
+                "unexpected handshake line '{}'",
+                line.trim()
+            )));
+        };
+        Ok(Self { child, stdin, addr })
+    }
+
+    /// The address the child is serving on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the process is still running (non-blocking).
+    pub fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// Force-kills the process (SIGKILL) and reaps it — the supervisor
+    /// path for wedged children and the crash-injection hook for
+    /// fleet-semantics tests.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Asks the child to drain (closes its stdin) and waits for exit,
+    /// killing it if it outlives `deadline`. Returns `true` when the
+    /// child exited on its own.
+    pub fn drain(mut self, deadline: Duration) -> bool {
+        drop(self.stdin.take());
+        let end = Instant::now() + deadline;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return true,
+                Ok(None) if Instant::now() < end => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                _ => {
+                    self.kill();
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ShardChild {
+    fn drop(&mut self) {
+        // Never leak a process: anything not drained explicitly dies
+        // with its handle.
+        if matches!(self.child.try_wait(), Ok(None)) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// Locates the `sysunc-serve` binary for spawning shards: the
+/// `SYSUNC_SERVE_BIN` environment variable wins, then the directory of
+/// the current executable and its `target/{release,debug}` siblings —
+/// covering supervisors launched from the same build tree.
+pub fn locate_serve_bin() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("SYSUNC_SERVE_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Some(path);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    for dir in exe.ancestors().skip(1) {
+        let sibling = dir.join("sysunc-serve");
+        if sibling.is_file() {
+            return Some(sibling);
+        }
+        for profile in ["release", "debug"] {
+            let candidate = dir.join("target").join(profile).join("sysunc-serve");
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,35 @@
+//! The fleet crate's error type.
+
+use std::fmt;
+
+/// Everything that can go wrong starting or running a fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A shard process could not be launched or did not hand shake.
+    Spawn(String),
+    /// The front listener could not bind or accept.
+    Io(String),
+    /// The fleet was asked to start with an unusable configuration.
+    Config(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Spawn(msg) => write!(f, "shard spawn failed: {msg}"),
+            FleetError::Io(msg) => write!(f, "fleet i/o error: {msg}"),
+            FleetError::Config(msg) => write!(f, "fleet configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, FleetError>;

@@ -3,12 +3,18 @@
 //! ```text
 //! sysunc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]
 //!              [--max-connections N] [--cache-capacity N] [--cache-shards N]
+//!              [--cache-ttl-ms N] [--child]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `listening on <addr>` to stdout,
 //! and serves until stdin reaches EOF — the supervisor-friendly,
 //! signal-free shutdown convention: closing the pipe asks the server
 //! to drain and exit 0.
+//!
+//! `--child` marks the process as a shard under a `sysunc-fleet`
+//! supervisor: stderr chatter is suppressed (the supervisor owns the
+//! operator console) while the stdout `listening on <addr>` handshake
+//! line — the supervisor's readiness signal — is kept.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -16,8 +22,15 @@ use std::time::Duration;
 use sysunc::ModelRegistry;
 use sysunc_serve::{Server, ServerConfig};
 
-fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+struct Args {
+    config: ServerConfig,
+    /// Supervised-shard mode: keep the stdout handshake, drop chatter.
+    child: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut config = ServerConfig::default();
+    let mut child = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -57,16 +70,24 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|e| format!("--cache-shards: {e}"))?
             }
+            "--cache-ttl-ms" => {
+                config.cache_ttl = Some(Duration::from_millis(
+                    value("--cache-ttl-ms")?
+                        .parse()
+                        .map_err(|e| format!("--cache-ttl-ms: {e}"))?,
+                ))
+            }
+            "--child" => child = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok(config)
+    Ok(Args { config, child })
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
-        Ok(config) => config,
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Args { config, child } = match parse_args(&raw) {
+        Ok(args) => args,
         Err(msg) => {
             eprintln!("sysunc-serve: {msg}");
             return ExitCode::FAILURE;
@@ -90,7 +111,9 @@ fn main() -> ExitCode {
     // Serve until stdin closes.
     let mut sink = Vec::new();
     let _ = std::io::stdin().read_to_end(&mut sink);
-    eprintln!("sysunc-serve: stdin closed, draining");
+    if !child {
+        eprintln!("sysunc-serve: stdin closed, draining");
+    }
     server.shutdown();
     ExitCode::SUCCESS
 }

@@ -27,6 +27,34 @@ pub struct BatchOutcome {
     pub cache_misses: u64,
 }
 
+/// How a connect tolerates a refused connection — the signature of a
+/// server that is restarting (its port is not yet bound again). Each
+/// refused attempt sleeps, doubling the delay up to `max_backoff`,
+/// until `attempts` connects have failed. Errors other than refusal
+/// (unreachable host, timeout) fail immediately: they signal absence,
+/// not a restart in progress.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connect attempts before giving up (at least 1).
+    pub attempts: usize,
+    /// Sleep after the first refused attempt.
+    pub initial_backoff: Duration,
+    /// Ceiling for the doubled backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 8 attempts backing off 10 ms → 250 ms: about 1.2 s in total,
+    /// comfortably covering a supervised child restart.
+    fn default() -> Self {
+        Self {
+            attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
 /// A blocking keep-alive HTTP client for one server connection.
 #[derive(Debug)]
 pub struct HttpClient {
@@ -55,6 +83,55 @@ impl HttpClient {
         stream.set_read_timeout(Some(Duration::from_millis(25)))?;
         stream.set_nodelay(true)?;
         Ok(Self { conn: HttpConn::new(stream), limits: Limits::default(), timeout })
+    }
+
+    /// Overrides the per-response timeout for subsequent requests —
+    /// lets a pool keep a short connect timeout but a generous request
+    /// deadline.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Connects like [`HttpClient::connect_with_timeout`], retrying
+    /// refused connections under `policy` — so a client riding out a
+    /// supervised server restart reconnects instead of hard-failing.
+    ///
+    /// # Errors
+    ///
+    /// The last refusal once the attempt budget is spent; any
+    /// non-refusal connect failure immediately.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<Self> {
+        let mut backoff = policy.initial_backoff;
+        let attempts = policy.attempts.max(1);
+        for attempt in 1..=attempts {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(Self {
+                        conn: HttpConn::new(stream),
+                        limits: Limits::default(),
+                        timeout,
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    if attempt == attempts {
+                        return Err(ServeError::Io(format!(
+                            "connection to {addr} refused after {attempts} attempts: {e}"
+                        )));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // The loop always returns by the final attempt.
+        Err(ServeError::Io(format!("connection to {addr} refused")))
     }
 
     /// Sends one request and reads the response off the same
@@ -221,6 +298,50 @@ fn parse_batch_cache_header(value: &str) -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn retry_gives_up_after_the_attempt_budget() {
+        // Bind then drop a listener so the port is free (refused), not
+        // filtered (timeout).
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+            listener.local_addr().expect("addr")
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        let started = Instant::now();
+        let err = HttpClient::connect_with_retry(addr, Duration::from_secs(1), &policy)
+            .expect_err("no listener, must fail");
+        assert!(err.to_string().contains("3 attempts"), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(1), "backoff stays bounded");
+    }
+
+    #[test]
+    fn retry_rides_out_a_listener_that_appears_late() {
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+            listener.local_addr().expect("addr")
+        };
+        // Rebind the same port after a delay, like a restarting child.
+        let accepter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            let listener = TcpListener::bind(addr).expect("rebinds");
+            let _ = listener.accept();
+        });
+        let policy = RetryPolicy {
+            attempts: 20,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+        };
+        let client = HttpClient::connect_with_retry(addr, Duration::from_secs(1), &policy);
+        assert!(client.is_ok(), "{:?}", client.err());
+        drop(client);
+        accepter.join().expect("accepter finishes");
+    }
 
     #[test]
     fn batch_cache_header_parses_and_degrades_gracefully() {

@@ -49,7 +49,7 @@ pub mod shutdown;
 
 /// Content-addressed LRU cache of rendered responses.
 pub use cache::ResponseCache;
-pub use client::{BatchOutcome, HttpClient};
+pub use client::{BatchOutcome, HttpClient, RetryPolicy};
 pub use error::{Result, ServeError};
 pub use http::{Limits, Request, Response};
 pub use metrics::ServerMetrics;

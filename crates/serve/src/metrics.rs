@@ -118,6 +118,7 @@ pub const ROUTE_LABELS: &[&str] = &[
     "/v1/engines",
     "/v1/models",
     "/metrics",
+    "/healthz",
     "other",
 ];
 

@@ -11,6 +11,7 @@
 //! | `GET` | `/v1/engines` | engine catalog |
 //! | `GET` | `/v1/models` | registered model names |
 //! | `GET` | `/metrics` | text exposition of [`ServerMetrics`] |
+//! | `GET` | `/healthz` | liveness probe (answered inline, no pool slot) |
 //!
 //! Both propagate routes decode into the **canonical request**
 //! ([`CanonicalRequest`]): the content-addressed identity the response
@@ -49,11 +50,22 @@ pub enum Route {
     Models,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /healthz`.
+    Healthz,
     /// A known path with the wrong method.
     MethodNotAllowed,
     /// An unknown path.
     NotFound,
 }
+
+/// The request-handling roots of this crate, by function name. This is
+/// the authoritative list `sysunc-tidy`'s `panic-path` rule walks the
+/// call graph from: every function reachable from one of these handles
+/// live traffic and must map failures to HTTP statuses, never panic.
+/// Keep it in sync with [`route`] dispatch — a new served route whose
+/// handling starts outside these roots silently escapes the lint.
+pub const REQUEST_ENTRY_POINTS: &[&str] =
+    &["start", "acceptor_loop", "handle_connection", "handle_request", "reject_connection"];
 
 /// Classifies a request line against the route table. Query strings
 /// are ignored for matching.
@@ -65,9 +77,11 @@ pub fn route(method: &str, target: &str) -> Route {
         ("GET", "/v1/engines") => Route::Engines,
         ("GET", "/v1/models") => Route::Models,
         ("GET", "/metrics") => Route::Metrics,
+        ("GET", "/healthz") => Route::Healthz,
         (
             _,
-            "/v1/propagate" | "/v1/propagate/batch" | "/v1/engines" | "/v1/models" | "/metrics",
+            "/v1/propagate" | "/v1/propagate/batch" | "/v1/engines" | "/v1/models" | "/metrics"
+            | "/healthz",
         ) => Route::MethodNotAllowed,
         _ => Route::NotFound,
     }
@@ -174,6 +188,28 @@ pub fn models_response(registry: &ModelRegistry) -> Response {
 /// `GET /metrics`: the Prometheus-style text exposition.
 pub fn metrics_response(metrics: &ServerMetrics) -> Response {
     Response::new(200).with_text(metrics.render_text())
+}
+
+/// `GET /healthz`: a liveness snapshot answered on the connection
+/// thread without taking a pool slot, so a supervisor probe succeeds
+/// even when every worker is busy and the queue is full. Reports the
+/// propagate queue depth, worker count, worker panics so far, and the
+/// server's uptime.
+pub fn healthz_response(
+    queue_depth: usize,
+    workers: usize,
+    worker_panics: u64,
+    uptime: std::time::Duration,
+) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("status").string("ok");
+    w.key("queue_depth").u64(queue_depth as u64);
+    w.key("workers").u64(workers as u64);
+    w.key("worker_panics").u64(worker_panics);
+    w.key("uptime_micros").u64(uptime.as_micros().min(u128::from(u64::MAX)) as u64);
+    w.end_object();
+    Response::new(200).with_json(w.finish().unwrap_or_else(|_| String::from("{}")))
 }
 
 /// Validates engine and model names of a decoded wire request and
@@ -421,9 +457,26 @@ mod tests {
         assert_eq!(route("GET", "/v1/engines"), Route::Engines);
         assert_eq!(route("GET", "/v1/models"), Route::Models);
         assert_eq!(route("GET", "/metrics?verbose=1"), Route::Metrics);
+        assert_eq!(route("GET", "/healthz"), Route::Healthz);
+        assert_eq!(route("POST", "/healthz"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/v1/propagate"), Route::MethodNotAllowed);
         assert_eq!(route("DELETE", "/metrics"), Route::MethodNotAllowed);
         assert_eq!(route("GET", "/nope"), Route::NotFound);
+    }
+
+    #[test]
+    fn healthz_response_reports_the_snapshot_without_a_pool_slot() {
+        let resp = healthz_response(3, 4, 1, Duration::from_millis(1500));
+        assert_eq!(resp.status, 200);
+        let v = json::parse(&resp.body_text()).expect("json");
+        assert_eq!(
+            v.get("status").and_then(|j| j.as_str().map(str::to_string)),
+            Some("ok".into())
+        );
+        assert_eq!(v.get("queue_depth").and_then(|j| j.as_u64()), Some(3));
+        assert_eq!(v.get("workers").and_then(|j| j.as_u64()), Some(4));
+        assert_eq!(v.get("worker_panics").and_then(|j| j.as_u64()), Some(1));
+        assert_eq!(v.get("uptime_micros").and_then(|j| j.as_u64()), Some(1_500_000));
     }
 
     #[test]

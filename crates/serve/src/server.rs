@@ -34,8 +34,8 @@ use crate::metrics::{route_label, ServerMetrics};
 use crate::pool::{ConnectionLimiter, WorkerPool};
 use crate::router::{
     decode_batch_body, decode_propagate_body, engines_response, error_response,
-    metrics_response, models_response, propagate_response, read_error_response, route,
-    run_batch_jobs, CancelToken, Route,
+    healthz_response, metrics_response, models_response, propagate_response,
+    read_error_response, route, run_batch_jobs, CancelToken, Route,
 };
 use crate::shutdown::ShutdownSignal;
 use std::io::Write;
@@ -68,6 +68,9 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Response-cache shards (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Response-cache entry lifetime; `None` means entries never
+    /// expire. Bounds staleness when the model registry is mutable.
+    pub cache_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +85,7 @@ impl Default for ServerConfig {
             max_connections: 128,
             cache_capacity: 1024,
             cache_shards: 8,
+            cache_ttl: None,
         }
     }
 }
@@ -94,6 +98,8 @@ struct Ctx {
     cache: ResponseCache,
     signal: ShutdownSignal,
     config: ServerConfig,
+    /// When the server started, backing the `/healthz` uptime report.
+    started: Instant,
 }
 
 /// The propagation server. Construct with [`Server::start`].
@@ -117,9 +123,14 @@ impl Server {
             registry,
             metrics: Arc::clone(&metrics),
             pool: WorkerPool::new(config.workers, config.queue_capacity),
-            cache: ResponseCache::new(config.cache_capacity, config.cache_shards),
+            cache: ResponseCache::with_ttl(
+                config.cache_capacity,
+                config.cache_shards,
+                config.cache_ttl,
+            ),
             signal: signal.clone(),
             config,
+            started: Instant::now(),
         });
         let acceptor_ctx = Arc::clone(&ctx);
         let acceptor = std::thread::Builder::new()
@@ -267,6 +278,14 @@ fn handle_request(request: &Request, ctx: &Arc<Ctx>) -> Response {
         Route::Engines => engines_response(),
         Route::Models => models_response(&ctx.registry),
         Route::Metrics => metrics_response(&ctx.metrics),
+        // Answered inline — a supervisor probe must succeed even when
+        // every worker is busy and the queue is at capacity.
+        Route::Healthz => healthz_response(
+            ctx.pool.queue_len(),
+            ctx.config.workers,
+            ctx.pool.panic_count(),
+            ctx.started.elapsed(),
+        ),
         Route::MethodNotAllowed => {
             let allow = if route_label(&request.target).starts_with("/v1/propagate") {
                 "POST"

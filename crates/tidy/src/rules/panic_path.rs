@@ -10,14 +10,22 @@
 //! construct it does not cover (element indexing) can still sit on the
 //! hot path. This rule closes the gap by walking the *resolved call
 //! graph* of the `serve` crate from its request-handling entry points
-//! (`start`, `acceptor_loop`, `handle_connection`, `handle_request`,
-//! `reject_connection`) and flagging, in every reached function:
+//! and flagging, in every reached function:
 //!
 //! - `.unwrap()` / `.expect(..)` calls,
 //! - `panic!` / `todo!` / `unimplemented!` / `unreachable!` macros,
 //! - element indexing (`xs[i]`) — a panicking operation in disguise;
 //!   range *slicing* (`&buf[..n]`) is exempt because the HTTP parser
 //!   is built on it and every use is length-guarded at the call site.
+//!
+//! The entry-point list is not a copy maintained here: the rule reads
+//! the serve crate's own `REQUEST_ENTRY_POINTS` declaration — the
+//! constant `router.rs` keeps next to its route registration — so a
+//! new request-handling root added to the server is walked the moment
+//! it is declared. Only when the scanned file set carries no such
+//! declaration (partial workspaces, fixtures) does the rule fall back
+//! to the built-in list (`start`, `acceptor_loop`,
+//! `handle_connection`, `handle_request`, `reject_connection`).
 //!
 //! Calls inside closures are attributed to the function that creates
 //! them: work deferred to the pool still runs on the request's behalf.
@@ -28,7 +36,7 @@
 
 use std::collections::HashMap;
 
-use crate::calls::{CrateIndex, FnRef};
+use crate::calls::{crate_of, CrateIndex, FnRef};
 use crate::lexer::TokenKind;
 use crate::symbols::Workspace;
 use crate::{SourceFile, Violation, WorkspaceLint};
@@ -36,10 +44,15 @@ use crate::{SourceFile, Violation, WorkspaceLint};
 /// See the module docs.
 pub struct PanicPath;
 
-/// The serve crate's request-handling roots: accept-loop, connection
-/// and request handlers, and the rejection fast path.
-const ENTRY_POINTS: &[&str] =
+/// Fallback request-handling roots, used only when the scanned file
+/// set lacks the serve crate's own [`ENTRY_POINT_CONST`] declaration.
+const DEFAULT_ENTRY_POINTS: &[&str] =
     &["start", "acceptor_loop", "handle_connection", "handle_request", "reject_connection"];
+
+/// The serve-crate constant that declares the request-handling roots
+/// authoritatively (kept next to the route registration in
+/// `router.rs`).
+const ENTRY_POINT_CONST: &str = "REQUEST_ENTRY_POINTS";
 
 /// The crate whose call graph is walked.
 const SERVE_CRATE: &str = "serve";
@@ -53,10 +66,12 @@ impl WorkspaceLint for PanicPath {
     }
 
     fn explain(&self) -> &'static str {
-        "Nothing reachable from a serve request-handling entry point \
-         (`start`, `acceptor_loop`, `handle_connection`, `handle_request`, \
-         `reject_connection`) may panic: the server's contract maps every \
-         failure to an HTTP status (408/503/500), never a dead worker. The \
+        "Nothing reachable from a serve request-handling entry point may \
+         panic: the server's contract maps every failure to an HTTP status \
+         (408/503/500), never a dead worker. The roots are read from the \
+         serve crate's own `REQUEST_ENTRY_POINTS` declaration (falling back \
+         to the built-in `start`/`acceptor_loop`/`handle_connection`/\
+         `handle_request`/`reject_connection` list when absent). The \
          rule walks the crate's resolved call graph from those entries — \
          through method receivers, `Type::method` paths, and closures — \
          and flags `.unwrap()`, `.expect(..)`, `panic!`-family macros, and \
@@ -67,6 +82,7 @@ impl WorkspaceLint for PanicPath {
     }
 
     fn check(&self, ws: &Workspace<'_>, out: &mut Vec<Violation>) {
+        let roots = entry_points(ws);
         let idx = CrateIndex::build(ws, SERVE_CRATE);
         let fns = idx.all_fns();
         // BFS from the entry points over resolved call edges, keeping
@@ -74,7 +90,7 @@ impl WorkspaceLint for PanicPath {
         let mut parent: HashMap<FnRef, Option<FnRef>> = HashMap::new();
         let mut queue: Vec<FnRef> = Vec::new();
         for &f in &fns {
-            if ENTRY_POINTS.contains(&idx.fn_info(f).name.as_str()) {
+            if roots.iter().any(|r| r == &idx.fn_info(f).name) {
                 parent.insert(f, None);
                 queue.push(f);
             }
@@ -98,6 +114,54 @@ impl WorkspaceLint for PanicPath {
             scan_fn(&idx, ws, fref, &path, out);
         }
     }
+}
+
+/// The request-handling roots to walk from: the string literals of the
+/// serve crate's `pub const REQUEST_ENTRY_POINTS: &[&str] = &[…];`
+/// declaration when present (the authoritative list `router.rs` keeps
+/// next to its route registration), otherwise the built-in fallback.
+fn entry_points(ws: &Workspace<'_>) -> Vec<String> {
+    for file in ws.files.iter() {
+        if crate_of(file) != Some(SERVE_CRATE) {
+            continue;
+        }
+        let tokens = file.tokens();
+        for (k, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.text(t) != ENTRY_POINT_CONST {
+                continue;
+            }
+            // Only the declaration counts: `const REQUEST_ENTRY_POINTS …`,
+            // not a use of the constant elsewhere.
+            let declared = tokens[..k]
+                .iter()
+                .rfind(|p| !p.is_comment())
+                .map(|p| p.kind == TokenKind::Ident && file.text(p) == "const")
+                .unwrap_or(false);
+            if !declared {
+                continue;
+            }
+            // Collect the string literals of the initializer, up to `;`.
+            let mut names = Vec::new();
+            for t in tokens.iter().skip(k + 1) {
+                match t.kind {
+                    TokenKind::Str | TokenKind::RawStr => {
+                        let name =
+                            file.text(t).trim_start_matches(['b', 'r', '#']).trim_matches('"');
+                        let name = name.trim_matches('#');
+                        if !name.is_empty() {
+                            names.push(name.to_string());
+                        }
+                    }
+                    TokenKind::Punct if file.text(t) == ";" => break,
+                    _ => {}
+                }
+            }
+            if !names.is_empty() {
+                return names;
+            }
+        }
+    }
+    DEFAULT_ENTRY_POINTS.iter().map(|s| (*s).to_string()).collect()
 }
 
 /// The shortest entry→function call path as `a → b → c`.
@@ -375,6 +439,70 @@ pub fn handle_request(c: &Codec, raw: &str) -> u64 {
         let out = run(&[("crates/serve/src/lib.rs", src)]);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("handle_request → decode"));
+    }
+
+    #[test]
+    fn roots_are_derived_from_the_serve_declaration_not_the_builtin_list() {
+        // The serve crate declares its own entry points; the built-in
+        // fallback name `handle_request` must NOT be walked once a
+        // declaration exists — that knockout proves derivation.
+        let src = "\
+pub const REQUEST_ENTRY_POINTS: &[&str] = &[\"serve_loop\"];
+pub fn serve_loop(req: Request) -> Response {
+    req.body.parse().unwrap()
+}
+pub fn handle_request(req: Request) -> Response {
+    req.body.parse().unwrap()
+}
+";
+        let out = run(&[("crates/serve/src/router.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("serve_loop"),
+            "the declared root is walked: {}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn declared_roots_spanning_files_drive_the_walk() {
+        let decl = "\
+pub const REQUEST_ENTRY_POINTS: &[&str] = &[
+    \"accept\",
+    \"respond\",
+];
+";
+        let src = "\
+pub fn accept(req: Request) -> Response {
+    decode(req)
+}
+fn decode(req: Request) -> Response {
+    req.body.parse().unwrap()
+}
+pub fn respond(buf: &[u8]) -> u8 {
+    buf[0]
+}
+";
+        let out = run(&[
+            ("crates/serve/src/router.rs", decl),
+            ("crates/serve/src/server.rs", src),
+        ]);
+        assert_eq!(out.len(), 2, "both declared roots are walked: {out:?}");
+        assert!(out.iter().any(|v| v.message.contains("accept → decode")), "{out:?}");
+        assert!(out.iter().any(|v| v.message.contains("element indexing")), "{out:?}");
+    }
+
+    #[test]
+    fn builtin_roots_back_up_a_missing_declaration() {
+        // No REQUEST_ENTRY_POINTS anywhere: the fallback list applies
+        // (this is what keeps partial-workspace fixtures meaningful).
+        let src = "\
+pub fn reject_connection(buf: &[u8]) -> u8 {
+    buf[0]
+}
+";
+        let out = run(&[("crates/serve/src/lib.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 
     #[test]

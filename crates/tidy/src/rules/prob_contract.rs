@@ -110,8 +110,7 @@ impl Lint for ProbContract {
                 continue;
             }
             let Some((name, after)) = pub_fn_at(file, i) else { continue };
-            let lower = name.to_lowercase();
-            if !KEYWORDS.iter().any(|k| lower.contains(k)) {
+            if !is_probability_name(&name.to_lowercase()) {
                 continue;
             }
             let documented =
@@ -133,6 +132,26 @@ impl Lint for ProbContract {
     }
 }
 
+/// True when the (lowercased) name carries a probability keyword.
+/// `probe`/`probing` are exempt: health probes deal in liveness, not
+/// probabilities, and would otherwise false-positive on `prob`.
+fn is_probability_name(lower: &str) -> bool {
+    KEYWORDS.iter().any(|k| {
+        let mut from = 0;
+        while let Some(pos) = lower[from..].find(k) {
+            let at = from + pos;
+            let rest = &lower[at + k.len()..];
+            let probe_like =
+                *k == "prob" && (rest.starts_with('e') || rest.starts_with("ing"));
+            if !probe_like {
+                return true;
+            }
+            from = at + k.len();
+        }
+        false
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +161,20 @@ mod tests {
         let mut out = Vec::new();
         ProbContract.check(&file, &mut out);
         out
+    }
+
+    #[test]
+    fn probe_names_are_not_probabilities() {
+        let src = "\
+pub fn probe_failed(&self) -> u64 {
+    self.failures
+}
+pub fn probing_interval(&self) -> u64 {
+    self.interval
+}
+";
+        let out = run(src);
+        assert!(out.is_empty(), "health probes are liveness, not probability: {out:?}");
     }
 
     #[test]
