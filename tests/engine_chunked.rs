@@ -9,7 +9,7 @@
 //! batch runs.
 
 use sysunc::prob::dist::Continuous;
-use sysunc::prob::propcheck;
+use sysunc::prob::propcheck::{self, u64_range, usize_range};
 use sysunc::prob::rng::{SeedableRng, StdRng};
 use sysunc::propagator::{propagate_chunked, ChunkOptions};
 use sysunc::sampling::{
@@ -42,12 +42,13 @@ impl Model for CurvedModel {
 #[test]
 fn chunked_outputs_bit_identical_to_scalar_for_every_design() {
     // Arbitrary budgets and chunk widths, deliberately coprime so the
-    // final chunk is almost always a ragged tail.
-    propcheck::run(48, |g| {
-        let n = g.usize_in(1, 700);
-        let width = g.usize_in(1, 300);
-        let threads = g.usize_in(1, 5);
-        let seed = g.u64_in(0, 10_000);
+    // final chunk is almost always a ragged tail; a divergence shrinks
+    // to the smallest budget/width/thread combination that exhibits it.
+    propcheck::check(
+        "chunked_outputs_bit_identical_to_scalar_for_every_design",
+        48,
+        (usize_range(1..700), usize_range(1..300), usize_range(1..5), u64_range(0..10_000)),
+        |&(n, width, threads, seed)| {
         let dists = sysunc::prob::dist::Uniform::new(0.2, 2.0).expect("valid");
         let norm = sysunc::prob::dist::Normal::new(0.0, 1.0).expect("valid");
         let expo = sysunc::prob::dist::Exponential::new(1.3).expect("valid");
@@ -98,11 +99,11 @@ fn fused_moments_match_sequential_within_tolerance() {
     // The one documented non-bit-identical reduction: per-chunk
     // accumulators merged in chunk order vs a sequential streaming
     // push. Mathematically equal; floating-point-wise within ulps.
-    propcheck::run(48, |g| {
-        let n = g.usize_in(2, 3000);
-        let width = g.usize_in(1, 513);
-        let threads = g.usize_in(1, 6);
-        let seed = g.u64_in(0, 10_000);
+    propcheck::check(
+        "fused_moments_match_sequential_within_tolerance",
+        48,
+        (usize_range(2..3000), usize_range(1..513), usize_range(1..6), u64_range(0..10_000)),
+        |&(n, width, threads, seed)| {
         let a = sysunc::prob::dist::Normal::new(1.0, 2.0).expect("valid");
         let b = sysunc::prob::dist::Uniform::new(0.0, 1.0).expect("valid");
         let inputs: Vec<&dyn Continuous> = vec![&a, &b];
@@ -150,6 +151,7 @@ fn fused_moments_match_sequential_within_tolerance() {
         assert_eq!(run.variance().to_bits(), retiled.variance().to_bits());
     });
 }
+
 
 #[test]
 fn every_engine_is_deterministic_under_its_seed() {

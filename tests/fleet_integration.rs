@@ -181,32 +181,50 @@ fn routed_cache_hits_are_bit_identical_to_single_process() {
     let mut fleet_client = HttpClient::connect(fleet.addr()).expect("connects");
     let mut single_client = HttpClient::connect(single.addr()).expect("connects");
 
-    for seed in [7u64, 8, 9, 10] {
-        let body = json::to_string(&wire(seed));
-        let first = fleet_client
-            .request("POST", "/v1/propagate", Some(&body))
-            .expect("first fleet answer");
-        assert_eq!(first.status, 200, "{}", first.body_text());
-        assert_eq!(first.header("X-Sysunc-Cache"), Some("miss"), "cold shard cache");
-        let second = fleet_client
-            .request("POST", "/v1/propagate", Some(&body))
-            .expect("second fleet answer");
-        assert_eq!(
-            second.header("X-Sysunc-Cache"),
-            Some("hit"),
-            "hash placement sends the repeat to the shard that cached it"
-        );
-        assert_eq!(first.body, second.body, "cache hit is bit-identical");
+    // Propcheck drives the request seeds; both clients and the fleet
+    // are reused across cases. `assume` rejects a seed already sent
+    // (including during shrinking), so the miss/hit protocol holds for
+    // every evaluated case.
+    use std::cell::RefCell;
+    use sysunc::prob::propcheck::{self, u64_range};
+    let fleet_client = RefCell::new(fleet_client);
+    let single_client = RefCell::new(single_client);
+    let seen = RefCell::new(std::collections::HashSet::new());
+    propcheck::check(
+        "routed_cache_hits_are_bit_identical_to_single_process",
+        6,
+        u64_range(0..1_000_000),
+        |&seed| {
+            propcheck::assume(seen.borrow_mut().insert(seed));
+            let body = json::to_string(&wire(seed));
+            let mut fleet_client = fleet_client.borrow_mut();
+            let first = fleet_client
+                .request("POST", "/v1/propagate", Some(&body))
+                .expect("first fleet answer");
+            assert_eq!(first.status, 200, "{}", first.body_text());
+            assert_eq!(first.header("X-Sysunc-Cache"), Some("miss"), "cold shard cache");
+            let second = fleet_client
+                .request("POST", "/v1/propagate", Some(&body))
+                .expect("second fleet answer");
+            assert_eq!(
+                second.header("X-Sysunc-Cache"),
+                Some("hit"),
+                "hash placement sends the repeat to the shard that cached it"
+            );
+            assert_eq!(first.body, second.body, "cache hit is bit-identical");
 
-        let direct = single_client
-            .request("POST", "/v1/propagate", Some(&body))
-            .expect("single-process answer");
-        assert_eq!(direct.status, 200);
-        assert_eq!(
-            first.body, direct.body,
-            "routed answer matches the single-process bytes (seed {seed})"
-        );
-    }
+            let direct = single_client
+                .borrow_mut()
+                .request("POST", "/v1/propagate", Some(&body))
+                .expect("single-process answer");
+            assert_eq!(direct.status, 200);
+            assert_eq!(
+                first.body, direct.body,
+                "routed answer matches the single-process bytes (seed {seed})"
+            );
+        },
+    );
+    let mut fleet_client = fleet_client.into_inner();
 
     // The aggregated exposition shows fleet series plus summed child
     // series, and routing placed requests on the shards.

@@ -1,0 +1,420 @@
+//! Cross-layer invariants stated as first-class `propcheck` properties:
+//! claims that span crates (engines × reports, wire × hashing, evidence
+//! calculus, fault-tree analysis) rather than belonging to any single
+//! module's unit tests. Each property shrinks to a minimal
+//! counterexample on failure and prints a `PROPCHECK_SEED` replay line;
+//! the final test deliberately breaks an invariant to prove the
+//! shrinker and the seed-replay path work end to end.
+
+use std::collections::BTreeMap;
+
+use sysunc::evidence::{Frame, MassFunction};
+use sysunc::fta::{minimal_cut_sets, FaultTree, GateKind, NodeRef};
+use sysunc::prob::dist::{Continuous, Normal};
+use sysunc::prob::json::{self, FromJson};
+use sysunc::prob::propcheck::{
+    self, f64_range, one_of, recursive, u64_range, usize_range, vec_of, BoxedStrategy, Strategy,
+};
+use sysunc::{
+    fnv1a64, standard_engines, CanonicalRequest, Propagator, SobolEngine, UncertainInput,
+    WireRequest, ENGINE_NAMES,
+};
+
+// ------------------------------------------------------------------
+// Quantile monotonicity and interval containment across all engines.
+// ------------------------------------------------------------------
+
+/// A strategy over every input kind the sampling and spectral engines
+/// accept (`Interval` inputs are evidential-only and tested there).
+fn sampled_input() -> BoxedStrategy<UncertainInput> {
+    one_of(vec![
+        (f64_range(-2.0, 2.0), f64_range(0.1, 1.5))
+            .map(|(mu, sigma)| UncertainInput::Normal { mu, sigma })
+            .boxed(),
+        (f64_range(-2.0, 1.0), f64_range(0.2, 3.0))
+            .map(|(a, width)| UncertainInput::Uniform { a, b: a + width })
+            .boxed(),
+        f64_range(0.3, 2.5).map(|rate| UncertainInput::Exponential { rate }).boxed(),
+        (f64_range(0.5, 4.0), f64_range(0.5, 4.0))
+            .map(|(alpha, beta)| UncertainInput::Beta { alpha, beta })
+            .boxed(),
+    ])
+    .boxed()
+}
+
+/// Every engine the workspace ships, including the Sobol QMC engine
+/// that `standard_engines` leaves out.
+fn all_engines() -> Vec<Box<dyn Propagator>> {
+    let mut engines = standard_engines();
+    engines.push(Box::new(SobolEngine));
+    engines
+}
+
+struct SumModel;
+impl sysunc::Model for SumModel {
+    fn eval(&self, x: &[f64]) -> f64 {
+        x.iter().sum()
+    }
+}
+
+/// For every engine: quantile intervals are non-decreasing in the
+/// level (both endpoints), every reported interval is ordered, and the
+/// exceedance probability — when requested — is a probability.
+#[test]
+fn every_engine_reports_monotone_quantiles_and_ordered_intervals() {
+    const TINY: f64 = 1e-9;
+    let levels = [0.05, 0.25, 0.5, 0.75, 0.95];
+    propcheck::check(
+        "every_engine_reports_monotone_quantiles_and_ordered_intervals",
+        16,
+        (vec_of(sampled_input(), 1..4), usize_range(64..257), u64_range(0..50_000)),
+        |(inputs, budget, seed)| {
+            let model = SumModel;
+            let mut request = sysunc::PropagationRequest::new(inputs.clone(), &model)
+                .expect("non-empty inputs");
+            request.budget = *budget;
+            request.seed = *seed;
+            request.quantile_levels = levels.to_vec();
+            request.threshold = Some(0.75);
+            for engine in all_engines() {
+                let report = engine.propagate(&request).expect("engine accepts the request");
+                let name = engine.name();
+                assert!(
+                    report.mean.lo() <= report.mean.hi() + TINY,
+                    "{name}: mean interval is ordered"
+                );
+                assert!(
+                    report.variance.hi() >= -TINY,
+                    "{name}: variance cannot be negative"
+                );
+                assert_eq!(report.quantiles.len(), levels.len(), "{name}: all levels answered");
+                for ((level, q), requested) in report.quantiles.iter().zip(&levels) {
+                    assert!(
+                        (level - requested).abs() < TINY,
+                        "{name}: levels echo the request in order"
+                    );
+                    assert!(q.lo() <= q.hi() + TINY, "{name}: quantile interval is ordered");
+                }
+                for pair in report.quantiles.windows(2) {
+                    let (lo_level, lo_q) = &pair[0];
+                    let (hi_level, hi_q) = &pair[1];
+                    assert!(
+                        lo_q.lo() <= hi_q.lo() + TINY && lo_q.hi() <= hi_q.hi() + TINY,
+                        "{name}: quantiles must be monotone in the level: \
+                         q({lo_level}) = {lo_q:?} vs q({hi_level}) = {hi_q:?}"
+                    );
+                }
+                let exceedance = report.exceedance.expect("threshold was requested");
+                assert!(
+                    exceedance.lo() >= -TINY && exceedance.hi() <= 1.0 + TINY,
+                    "{name}: exceedance is a probability, got {exceedance:?}"
+                );
+                assert!(exceedance.lo() <= exceedance.hi() + TINY);
+            }
+        },
+    );
+}
+
+// ------------------------------------------------------------------
+// CanonicalRequest: hashing is invariant under JSON respelling.
+// ------------------------------------------------------------------
+
+const MODELS: &[&str] = &["sum", "linear-2x3y", "product", "orbital-period", "orbital-energy"];
+
+/// Reordering members, changing whitespace, or spelling defaults
+/// explicitly must not change the canonical bytes or the content hash
+/// — the property the fleet router's cache placement depends on.
+#[test]
+fn canonical_request_hash_is_invariant_under_json_respelling() {
+    propcheck::check(
+        "canonical_request_hash_is_invariant_under_json_respelling",
+        64,
+        (
+            usize_range(0..ENGINE_NAMES.len()),
+            usize_range(0..MODELS.len()),
+            (f64_range(-3.0, 3.0), f64_range(0.1, 2.0)),
+            usize_range(1..10_000),
+            u64_range(0..1 << 48),
+            propcheck::any_bool(),
+        ),
+        |&(engine, model, (mu, sigma), budget, seed, with_threshold)| {
+            let mut wire = WireRequest::new(
+                ENGINE_NAMES[engine],
+                MODELS[model],
+                vec![
+                    UncertainInput::Normal { mu, sigma },
+                    UncertainInput::Uniform { a: mu - 1.0, b: mu + 1.0 },
+                ],
+            );
+            wire.budget = budget;
+            wire.seed = seed;
+            if with_threshold {
+                wire.threshold = Some(mu);
+            }
+            let canonical = CanonicalRequest::from_wire(&wire).expect("known engine");
+
+            // Respell the same request: members reversed, noisy
+            // whitespace. Decoding and re-canonicalizing must land on
+            // the same bytes and the same hash.
+            let threshold = match wire.threshold {
+                Some(t) => format!("{t}"),
+                None => "null".into(),
+            };
+            let respelled = format!(
+                "{{\n  \"threshold\": {threshold},\n  \"seed\": {seed},\
+                 \n  \"quantile_levels\": {levels},\n  \"model\": {model:?},\
+                 \n  \"inputs\": {inputs},\n  \"engine\": {engine:?},\
+                 \n  \"budget\": {budget}\n}}",
+                levels = json::to_string(&wire.quantile_levels),
+                inputs = json::to_string(&wire.inputs),
+                model = wire.model,
+                engine = wire.engine,
+            );
+            let decoded = WireRequest::from_json(&json::parse(&respelled).expect("valid JSON"))
+                .expect("respelled request decodes");
+            let recanonicalized = CanonicalRequest::from_wire(&decoded).expect("same engine");
+            assert_eq!(canonical.bytes(), recanonicalized.bytes(), "canonical bytes agree");
+            assert_eq!(canonical.content_hash(), recanonicalized.content_hash());
+            assert_eq!(canonical.engine(), recanonicalized.engine());
+
+            // The hash is FNV-1a/64 of the canonical bytes, and the hex
+            // spelling is its 16-digit rendering.
+            assert_eq!(canonical.content_hash(), fnv1a64(canonical.bytes().as_bytes()));
+            assert_eq!(
+                canonical.hash_hex(),
+                format!("{:016x}", canonical.content_hash())
+            );
+
+            // Omitted members decode to defaults, so a minimal spelling
+            // and an explicit-defaults spelling canonicalize alike.
+            let minimal = format!(
+                "{{\"engine\": {engine:?}, \"model\": {model:?}, \"inputs\": {inputs}}}",
+                engine = wire.engine,
+                model = wire.model,
+                inputs = json::to_string(&wire.inputs),
+            );
+            let minimal_decoded =
+                WireRequest::from_json(&json::parse(&minimal).expect("valid JSON"))
+                    .expect("minimal request decodes");
+            let defaults =
+                WireRequest::new(ENGINE_NAMES[engine], MODELS[model], wire.inputs.clone());
+            assert_eq!(
+                CanonicalRequest::from_wire(&minimal_decoded).expect("decodes").bytes(),
+                CanonicalRequest::from_wire(&defaults).expect("decodes").bytes(),
+                "omitted members canonicalize as their defaults"
+            );
+        },
+    );
+}
+
+// ------------------------------------------------------------------
+// Evidence calculus: Bel ≤ Pl for every subset of the frame.
+// ------------------------------------------------------------------
+
+/// For any mass function, belief never exceeds plausibility, both are
+/// probabilities, `Pl(A) = 1 − Bel(¬A)`, and belief is monotone under
+/// set inclusion.
+#[test]
+fn belief_is_bounded_by_plausibility_on_every_subset() {
+    const TINY: f64 = 1e-9;
+    let frame = Frame::new(vec!["a", "b", "c", "d"]).expect("valid frame");
+    let theta = frame.theta();
+    propcheck::check(
+        "belief_is_bounded_by_plausibility_on_every_subset",
+        64,
+        vec_of((u64_range(1..16), f64_range(0.01, 1.0)), 1..6),
+        |entries| {
+            // Merge duplicate focal sets, then normalize to total mass 1.
+            let mut focal: BTreeMap<u64, f64> = BTreeMap::new();
+            for &(mask, weight) in entries {
+                *focal.entry(mask).or_insert(0.0) += weight;
+            }
+            let total: f64 = focal.values().sum();
+            let elements: Vec<(u64, f64)> =
+                focal.into_iter().map(|(mask, w)| (mask, w / total)).collect();
+            let m = MassFunction::from_focal(&frame, elements).expect("normalized mass");
+
+            for set in 1..theta {
+                let bel = m.belief(set);
+                let pl = m.plausibility(set);
+                assert!(bel <= pl + TINY, "Bel({set:#b}) = {bel} exceeds Pl = {pl}");
+                assert!((-TINY..=1.0 + TINY).contains(&bel), "Bel is a probability");
+                assert!((-TINY..=1.0 + TINY).contains(&pl), "Pl is a probability");
+                let complement = theta & !set;
+                assert!(
+                    (pl + m.belief(complement) - 1.0).abs() < TINY,
+                    "Pl(A) = 1 - Bel(not A) fails for {set:#b}"
+                );
+                for bit in 0..4u64 {
+                    let superset = set | (1 << bit);
+                    assert!(
+                        bel <= m.belief(superset) + TINY,
+                        "belief must be monotone under inclusion"
+                    );
+                }
+            }
+            assert!((m.belief(theta) - 1.0).abs() < TINY, "Bel(Θ) = 1");
+            assert!((m.plausibility(theta) - 1.0).abs() < TINY, "Pl(Θ) = 1");
+        },
+    );
+}
+
+// ------------------------------------------------------------------
+// Fault-tree analysis: MOCUS cut sets are sufficient and minimal.
+// ------------------------------------------------------------------
+
+const N_EVENTS: usize = 5;
+
+/// A randomly shaped gate tree over `N_EVENTS` shared basic events.
+#[derive(Clone, Debug)]
+enum TreeSpec {
+    Leaf(usize),
+    Gate(usize, Vec<TreeSpec>),
+}
+
+fn tree_spec() -> BoxedStrategy<TreeSpec> {
+    recursive(
+        || usize_range(0..N_EVENTS).map(TreeSpec::Leaf).boxed(),
+        2,
+        |inner| {
+            (usize_range(0..3), vec_of(inner, 2..4))
+                .map(|(kind, children)| TreeSpec::Gate(kind, children))
+                .boxed()
+        },
+    )
+}
+
+fn build_node(
+    tree: &mut FaultTree,
+    events: &[NodeRef],
+    spec: &TreeSpec,
+    counter: &mut usize,
+) -> NodeRef {
+    match spec {
+        TreeSpec::Leaf(i) => events[*i],
+        TreeSpec::Gate(kind, children) => {
+            let mut inputs: Vec<NodeRef> = Vec::new();
+            for child in children {
+                let node = build_node(tree, events, child, counter);
+                if !inputs.contains(&node) {
+                    inputs.push(node);
+                }
+            }
+            let kind = match kind {
+                0 => GateKind::And,
+                1 => GateKind::Or,
+                _ => GateKind::KOfN(2.min(inputs.len())),
+            };
+            *counter += 1;
+            tree.add_gate(format!("g{counter}"), kind, inputs).expect("valid gate")
+        }
+    }
+}
+
+/// Every MOCUS cut set triggers the top event on its own, stops
+/// triggering it when any single member is removed (minimality — the
+/// gates are monotone, so a sufficient proper subset would itself be a
+/// smaller cut set), and no listed cut set contains another.
+#[test]
+fn fta_cut_sets_are_sufficient_minimal_and_incomparable() {
+    propcheck::check(
+        "fta_cut_sets_are_sufficient_minimal_and_incomparable",
+        64,
+        tree_spec(),
+        |spec| {
+            let mut tree = FaultTree::new();
+            let events: Vec<NodeRef> = (0..N_EVENTS)
+                .map(|i| {
+                    tree.add_basic_event(format!("e{i}"), 0.05 + 0.04 * i as f64)
+                        .expect("valid event")
+                })
+                .collect();
+            let mut counter = 0;
+            let top = build_node(&mut tree, &events, spec, &mut counter);
+            tree.set_top(top).expect("top exists");
+
+            let cuts = minimal_cut_sets(&tree).expect("analyzable tree");
+            assert!(!cuts.is_empty(), "a monotone tree with a top event has cut sets");
+            for cut in &cuts {
+                let mut failed = vec![false; N_EVENTS];
+                for &i in cut {
+                    failed[i] = true;
+                }
+                assert!(
+                    tree.structure_function(&failed).expect("evaluates"),
+                    "cut set {cut:?} must be sufficient"
+                );
+                for &i in cut {
+                    failed[i] = false;
+                    assert!(
+                        !tree.structure_function(&failed).expect("evaluates"),
+                        "cut set {cut:?} minus event {i} must not trigger the top"
+                    );
+                    failed[i] = true;
+                }
+            }
+            for (i, a) in cuts.iter().enumerate() {
+                for (j, b) in cuts.iter().enumerate() {
+                    assert!(
+                        i == j || !a.is_subset(b),
+                        "cut sets must be pairwise incomparable: {a:?} ⊆ {b:?}"
+                    );
+                }
+            }
+        },
+    );
+}
+
+// ------------------------------------------------------------------
+// The acceptance knockout: a deliberately broken invariant shrinks to
+// a minimal counterexample whose seed replays deterministically.
+// ------------------------------------------------------------------
+
+/// Asserts the (false) claim that no Normal quantile exceeds the
+/// median. The harness must find the violation, shrink the level to
+/// the 0.5 boundary, and replay it bit-identically — both from
+/// `Config::with_seed` and through the real `PROPCHECK_SEED`
+/// environment variable.
+#[test]
+fn a_broken_invariant_shrinks_to_minimal_and_replays_via_seed() {
+    let broken = |p: &f64| {
+        let d = Normal::new(0.0, 1.0).expect("valid");
+        assert!(
+            d.quantile(*p) <= d.quantile(0.5),
+            "deliberately broken claim: q({p}) never exceeds the median"
+        );
+    };
+    let config = propcheck::Config::new("knockout_quantile_monotonicity").cases(64).ephemeral();
+    let failure = propcheck::check_config(&config, f64_range(0.001, 0.999), broken)
+        .expect_err("the broken invariant must produce a counterexample");
+    assert_eq!(failure.name, "knockout_quantile_monotonicity");
+    assert!(
+        failure.minimal > 0.5 && failure.minimal < 0.501,
+        "shrinking lands on the smallest violating level, got {}",
+        failure.minimal
+    );
+    assert!(!failure.persisted, "ephemeral runs never write the corpus");
+
+    // Replay 1: explicit seed. Exactly one case, bit-identical minimum.
+    let replay = propcheck::Config::new("knockout_quantile_monotonicity")
+        .with_seed(failure.seed)
+        .ephemeral();
+    let replayed = propcheck::check_config(&replay, f64_range(0.001, 0.999), broken)
+        .expect_err("the seed reproduces the failure");
+    assert_eq!(replayed.minimal.to_bits(), failure.minimal.to_bits());
+    assert_eq!(replayed.seed, failure.seed);
+    assert_eq!(replayed.case, 0, "seed replay runs the replayed case first");
+
+    // Replay 2: the PROPCHECK_SEED environment variable — the recipe
+    // the failure report prints.
+    std::env::set_var("PROPCHECK_SEED", format!("{:#x}", failure.seed));
+    let from_env = propcheck::Config::new("knockout_quantile_monotonicity").ephemeral();
+    let env_replayed = propcheck::check_config(&from_env, f64_range(0.001, 0.999), broken);
+    std::env::remove_var("PROPCHECK_SEED");
+    let env_failure = env_replayed.expect_err("the env seed reproduces the failure");
+    assert_eq!(env_failure.minimal.to_bits(), failure.minimal.to_bits());
+    assert!(
+        format!("{failure}").contains("PROPCHECK_SEED"),
+        "the report prints the replay recipe"
+    );
+}

@@ -581,3 +581,65 @@ fn engine_catalog_and_wire_resolution_agree() {
     }
     assert!(engine_by_name("no-such-engine").is_none());
 }
+
+/// Propcheck-driven cache bit-identity: for arbitrary engine / model /
+/// budget / seed combinations, the first response and an immediate
+/// repeat (a cache hit) are both byte-identical to the same propagation
+/// run in-process. One server is reused across all generated cases; a
+/// divergence shrinks toward the smallest budget and seed showing it.
+#[test]
+fn cache_responses_bit_identical_for_arbitrary_requests() {
+    use std::cell::RefCell;
+    use sysunc::prob::propcheck::{self, u64_range, usize_range};
+
+    let server = Server::start(
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+        ModelRegistry::standard().expect("registry builds"),
+    )
+    .expect("server starts");
+    let client = RefCell::new(HttpClient::connect(server.addr()).expect("connects"));
+    let local = ModelRegistry::standard().expect("registry builds");
+    const MODELS: &[&str] = &["sum", "linear-2x3y", "product"];
+
+    propcheck::check(
+        "cache_responses_bit_identical_for_arbitrary_requests",
+        24,
+        (
+            usize_range(0..ENGINE_NAMES.len()),
+            usize_range(0..MODELS.len()),
+            usize_range(16..256),
+            u64_range(0..1_000_000),
+        ),
+        |&(e, m, budget, seed)| {
+            let mut wire = WireRequest::new(ENGINE_NAMES[e], MODELS[m], standard_inputs());
+            wire.budget = budget;
+            wire.seed = seed;
+            let model = local.get(MODELS[m]).expect("registered");
+            let request = wire.to_request(model).expect("valid");
+            let direct =
+                wire.resolve_engine().expect("known").propagate(&request).expect("runs");
+            let expected = json::to_string(&direct);
+            let body = json::to_string(&wire);
+            let mut client = client.borrow_mut();
+            for round in 0..2 {
+                let response = client
+                    .request("POST", "/v1/propagate", Some(&body))
+                    .expect("response arrives");
+                assert_eq!(response.status, 200, "body: {}", response.body_text());
+                let verdict = response.header("X-Sysunc-Cache").expect("cache header");
+                if round == 1 {
+                    assert_eq!(verdict, "hit", "repeat of an identical request hits");
+                }
+                assert_eq!(
+                    response.body_text(),
+                    expected,
+                    "served response differs from in-process run \
+                     (engine {}, model {}, {verdict})",
+                    ENGINE_NAMES[e],
+                    MODELS[m]
+                );
+            }
+        },
+    );
+    server.shutdown();
+}

@@ -404,10 +404,18 @@ fn cfg_invariants_hold_over_randomized_bodies() {
         }
     }
 
-    propcheck::run(64, |g| {
-        let mut body = String::from("//! Fixture.\npub fn f() {\n");
-        gen_stmts(g, 3, &mut body);
-        body.push_str("}\n");
+    // Imperative recursive generation fits `gen_with` better than the
+    // combinator strategies; it generates whole bodies with no shrink.
+    propcheck::check(
+        "cfg_invariants_hold_over_randomized_bodies",
+        64,
+        propcheck::gen_with(|g| {
+            let mut body = String::from("//! Fixture.\npub fn f() {\n");
+            gen_stmts(g, 3, &mut body);
+            body.push_str("}\n");
+            body
+        }),
+        |body| {
         let file = SourceFile::new("crates/x/src/lib.rs", body.clone(), FileKind::RustLibrary);
         let facts = resolve::parse_facts(&file);
         let f = facts.fns.first().expect("fixture declares one fn");

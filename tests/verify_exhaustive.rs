@@ -1,0 +1,280 @@
+//! Bounded-exhaustive verification tier (Kani-style, without Kani):
+//! instead of sampling the input space, these harnesses enumerate it
+//! completely for small bounds — all `2^n` basic-event assignments of a
+//! structured fault-tree corpus, every request in a finite wire
+//! universe, every byte string up to length 2 — and check the claims
+//! the property tier only samples.
+//!
+//! The tests are `#[ignore]`-gated: they are exhaustive loops that
+//! belong in a release build, not in the default debug `cargo test`.
+//! `ci.sh`'s verify tier runs them with
+//! `cargo test --release --test verify_exhaustive -- --ignored`.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use sysunc::fta::{minimal_cut_sets, FaultTree, GateKind};
+use sysunc::prob::json::{self, FromJson};
+use sysunc::{fnv1a64, CanonicalRequest, UncertainInput, WireRequest, ENGINE_NAMES};
+
+// ------------------------------------------------------------------
+// Fault trees: 2^n enumeration versus MOCUS.
+// ------------------------------------------------------------------
+
+const KINDS: [GateKind; 3] = [GateKind::And, GateKind::Or, GateKind::KOfN(2)];
+
+/// The structured corpus: every combination of three gate kinds in a
+/// two-level tree over six basic events, once with disjoint subtrees
+/// and once with a shared event — `27 × 2 = 54` trees.
+fn tree_corpus() -> Vec<FaultTree> {
+    let mut corpus = Vec::new();
+    for top_kind in KINDS {
+        for left_kind in KINDS {
+            for right_kind in KINDS {
+                for shared in [false, true] {
+                    let mut tree = FaultTree::new();
+                    let events: Vec<_> = (0..6)
+                        .map(|i| {
+                            tree.add_basic_event(format!("e{i}"), 0.05 + 0.03 * i as f64)
+                                .expect("valid event")
+                        })
+                        .collect();
+                    let left = tree
+                        .add_gate(
+                            "left",
+                            left_kind,
+                            vec![events[0], events[1], events[2]],
+                        )
+                        .expect("valid gate");
+                    let right_members = if shared {
+                        vec![events[2], events[3], events[4]]
+                    } else {
+                        vec![events[3], events[4], events[5]]
+                    };
+                    let right =
+                        tree.add_gate("right", right_kind, right_members).expect("valid gate");
+                    let top =
+                        tree.add_gate("top", top_kind, vec![left, right]).expect("valid gate");
+                    tree.set_top(top).expect("top exists");
+                    corpus.push(tree);
+                }
+            }
+        }
+    }
+    corpus
+}
+
+fn failed_vec(mask: u32, n: usize) -> Vec<bool> {
+    (0..n).map(|i| mask & (1 << i) != 0).collect()
+}
+
+/// Enumerates all `2^6` assignments of every corpus tree and derives
+/// the minimal failing subsets directly from the structure function
+/// (monotone gates: a failing set is minimal iff dropping any single
+/// member stops the failure). That ground truth must equal MOCUS.
+#[test]
+#[ignore = "exhaustive verify tier: run via ci.sh (release, --ignored)"]
+fn mocus_cut_sets_equal_the_enumerated_minimal_failing_subsets() {
+    for (t, tree) in tree_corpus().iter().enumerate() {
+        let n = 6;
+        let mut ground_truth: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+        for mask in 0u32..1 << n {
+            let failed = failed_vec(mask, n);
+            if !tree.structure_function(&failed).expect("evaluates") {
+                continue;
+            }
+            let minimal = (0..n).filter(|i| mask & (1 << i) != 0).all(|i| {
+                let mut without = failed.clone();
+                without[i] = false;
+                !tree.structure_function(&without).expect("evaluates")
+            });
+            if minimal {
+                ground_truth
+                    .insert((0..n).filter(|i| mask & (1 << i) != 0).collect::<BTreeSet<_>>());
+            }
+        }
+        let mocus: BTreeSet<BTreeSet<usize>> = minimal_cut_sets(tree)
+            .expect("analyzable tree")
+            .into_iter()
+            .map(|cut| cut.into_iter().collect())
+            .collect();
+        assert_eq!(
+            mocus, ground_truth,
+            "tree #{t}: MOCUS disagrees with the 2^n enumeration"
+        );
+
+        // Completeness the other way: an assignment fails iff it
+        // contains some cut set — the defining equivalence.
+        for mask in 0u32..1 << n {
+            let failed = failed_vec(mask, n);
+            let fails = tree.structure_function(&failed).expect("evaluates");
+            let covered = mocus
+                .iter()
+                .any(|cut| cut.iter().all(|&i| mask & (1 << i) != 0));
+            assert_eq!(fails, covered, "tree #{t}, assignment {mask:#08b}");
+        }
+    }
+}
+
+/// `top_probability_exact` must match two independent routes: a direct
+/// enumeration over assignments of the structure function, and
+/// inclusion–exclusion over the MOCUS cut sets.
+#[test]
+#[ignore = "exhaustive verify tier: run via ci.sh (release, --ignored)"]
+fn exact_top_probability_matches_enumeration_and_inclusion_exclusion() {
+    for (t, tree) in tree_corpus().iter().enumerate() {
+        let n = 6;
+        let probs: Vec<f64> = (0..n).map(|i| 0.05 + 0.03 * i as f64).collect();
+        let exact = tree.top_probability_exact().expect("small tree");
+
+        let mut enumerated = 0.0;
+        for mask in 0u32..1 << n {
+            let failed = failed_vec(mask, n);
+            if tree.structure_function(&failed).expect("evaluates") {
+                let weight: f64 = (0..n)
+                    .map(|i| if failed[i] { probs[i] } else { 1.0 - probs[i] })
+                    .product();
+                enumerated += weight;
+            }
+        }
+        assert!(
+            (exact - enumerated).abs() < 1e-12,
+            "tree #{t}: exact {exact} vs enumerated {enumerated}"
+        );
+
+        let cuts = minimal_cut_sets(tree).expect("analyzable tree");
+        let mut inclusion_exclusion = 0.0;
+        for selector in 1u32..1 << cuts.len() {
+            let union: BTreeSet<usize> = cuts
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| selector & (1 << c) != 0)
+                .flat_map(|(_, cut)| cut.iter().copied())
+                .collect();
+            let term: f64 = union.iter().map(|&i| probs[i]).product();
+            if selector.count_ones() % 2 == 1 {
+                inclusion_exclusion += term;
+            } else {
+                inclusion_exclusion -= term;
+            }
+        }
+        assert!(
+            (exact - inclusion_exclusion).abs() < 1e-9,
+            "tree #{t}: exact {exact} vs inclusion-exclusion {inclusion_exclusion}"
+        );
+    }
+}
+
+// ------------------------------------------------------------------
+// Canonical JSON and content hashing over an enumerated universe.
+// ------------------------------------------------------------------
+
+/// Every request in a finite wire universe: engines × models ×
+/// budgets × seeds × thresholds × input sets.
+fn request_universe() -> Vec<WireRequest> {
+    let models = ["sum", "linear-2x3y", "product", "orbital-period", "orbital-energy"];
+    let input_sets: [Vec<UncertainInput>; 2] = [
+        vec![
+            UncertainInput::Normal { mu: 1.0, sigma: 0.5 },
+            UncertainInput::Uniform { a: 0.0, b: 2.0 },
+        ],
+        vec![
+            UncertainInput::Exponential { rate: 1.5 },
+            UncertainInput::Beta { alpha: 2.0, beta: 3.0 },
+            UncertainInput::Interval { lo: -1.0, hi: 1.0 },
+        ],
+    ];
+    let mut universe = Vec::new();
+    for engine in ENGINE_NAMES {
+        for model in models {
+            for inputs in &input_sets {
+                for budget in [1usize, 4096] {
+                    for seed in [0u64, 2020] {
+                        for threshold in [None, Some(0.5)] {
+                            let mut wire = WireRequest::new(*engine, model, inputs.clone());
+                            wire.budget = budget;
+                            wire.seed = seed;
+                            wire.threshold = threshold;
+                            universe.push(wire);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    universe
+}
+
+/// Canonicalization must be idempotent (canonical bytes decode and
+/// re-canonicalize to themselves), spelling-invariant (a `to_string`
+/// round trip lands on the same bytes), and collision-free across the
+/// whole universe: distinct requests get distinct bytes AND distinct
+/// FNV-1a/64 hashes.
+#[test]
+#[ignore = "exhaustive verify tier: run via ci.sh (release, --ignored)"]
+fn canonical_json_is_idempotent_and_collision_free_over_the_universe() {
+    let universe = request_universe();
+    assert_eq!(universe.len(), 400, "the whole universe is enumerated");
+    let mut by_bytes: HashMap<String, usize> = HashMap::new();
+    let mut by_hash: HashMap<u64, usize> = HashMap::new();
+    for (i, wire) in universe.iter().enumerate() {
+        let canonical = CanonicalRequest::from_wire(wire).expect("known engine");
+
+        // Idempotence: the canonical bytes are themselves a valid
+        // request spelling that canonicalizes to the same bytes.
+        let reparsed =
+            WireRequest::from_json(&json::parse(canonical.bytes()).expect("canonical is JSON"))
+                .expect("canonical bytes decode");
+        let again = CanonicalRequest::from_wire(&reparsed).expect("same engine");
+        assert_eq!(canonical.bytes(), again.bytes(), "request #{i}: idempotent");
+        assert_eq!(canonical.content_hash(), again.content_hash());
+
+        // Spelling invariance through the ordinary encoder.
+        let respelled =
+            WireRequest::from_json(&json::parse(&json::to_string(wire)).expect("valid JSON"))
+                .expect("round trip decodes");
+        assert_eq!(
+            canonical.bytes(),
+            CanonicalRequest::from_wire(&respelled).expect("same engine").bytes(),
+            "request #{i}: to_string round trip is canonical-equal"
+        );
+
+        // Collision-freedom across the enumerated universe.
+        if let Some(previous) = by_bytes.insert(canonical.bytes().to_string(), i) {
+            panic!("requests #{previous} and #{i} share canonical bytes");
+        }
+        if let Some(previous) = by_hash.insert(canonical.content_hash(), i) {
+            panic!("requests #{previous} and #{i} collide on the content hash");
+        }
+    }
+}
+
+/// FNV-1a/64 is injective on every byte string of length ≤ 2 — all
+/// 65 793 inputs hash distinctly — and matches its defining fold.
+#[test]
+#[ignore = "exhaustive verify tier: run via ci.sh (release, --ignored)"]
+fn fnv1a64_is_collision_free_on_all_inputs_up_to_two_bytes() {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let reference = |bytes: &[u8]| {
+        bytes
+            .iter()
+            .fold(OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
+    };
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut check = |bytes: &[u8]| {
+        let hash = fnv1a64(bytes);
+        assert_eq!(hash, reference(bytes), "defining fold for {bytes:?}");
+        assert!(seen.insert(hash), "collision at {bytes:?}");
+    };
+    check(&[]);
+    for a in 0u16..256 {
+        check(&[a as u8]);
+    }
+    for a in 0u16..256 {
+        for b in 0u16..256 {
+            check(&[a as u8, b as u8]);
+        }
+    }
+    assert_eq!(seen.len(), 1 + 256 + 256 * 256);
+}
